@@ -1,0 +1,111 @@
+// Ablation — availability forecasting. The paper's two prototypes differ
+// here: Centurion uses NWS (windowed/adaptive prediction), Orange Grove keeps
+// the last measured value. This bench scores the forecasters on bursty,
+// drifting, and stable ground-truth load patterns: the metric is the accuracy
+// of the execution-time prediction made from each forecaster's snapshot.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "monitor/monitor.h"
+
+namespace {
+
+using namespace cbes;
+using namespace cbes::bench;
+
+/// Builds a scripted ground truth of the given character on `node`.
+ScriptedLoad make_pattern(const char* kind, NodeId node) {
+  ScriptedLoad load;
+  if (std::string_view(kind) == "stable") {
+    load.add({node, 0.0, kNever, 0.35, 0.0});
+  } else if (std::string_view(kind) == "bursty") {
+    // 20 s bursts every 60 s.
+    for (int k = 0; k < 40; ++k) {
+      load.add({node, 60.0 * k + 10.0, 60.0 * k + 30.0, 0.7, 0.0});
+    }
+  } else {  // drifting: staircase ramp up
+    for (int k = 0; k < 8; ++k) {
+      load.add({node, 120.0 * k, kNever, 0.06, 0.0});
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbes;
+  using namespace cbes::bench;
+
+  std::printf(
+      "CBES ablation -- forecaster choice vs prediction accuracy under "
+      "dynamic load\n\n");
+
+  const Env env = make_orange_grove_env();
+  const ClusterTopology& topo = env.topology();
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const Mapping mapping(std::vector<NodeId>(alphas.begin(), alphas.end()));
+
+  // A medium LU job (~100 s) launched at staggered times.
+  LuParams lp = orange_grove_lu_params();
+  lp.iters = 30;
+  const Program lu = make_lu(lp);
+  env.svc->register_application(lu, mapping);
+  const AppProfile& profile = env.svc->profile_of("lu");
+
+  struct ForecasterSpec {
+    const char* name;
+    std::function<std::unique_ptr<Forecaster>()> make;
+  };
+  const ForecasterSpec forecasters[] = {
+      {"last-value (Grove proto)",
+       [] { return std::make_unique<LastValueForecaster>(); }},
+      {"sliding-window(8)",
+       [] { return std::make_unique<SlidingWindowForecaster>(8); }},
+      {"median(8)", [] { return std::make_unique<MedianForecaster>(8); }},
+      {"adaptive (NWS-like)",
+       [] { return std::make_unique<AdaptiveForecaster>(); }},
+  };
+
+  TextTable table({"load pattern", "forecaster", "mean |error|", "max |error|"});
+  for (const char* pattern : {"stable", "bursty", "drifting"}) {
+    const ScriptedLoad truth = make_pattern(pattern, alphas[0]);
+    for (const ForecasterSpec& spec : forecasters) {
+      MonitorConfig mcfg;
+      mcfg.noise_sigma = 0.03;
+      SystemMonitor monitor(topo, truth, mcfg);
+      monitor.set_forecaster(spec.make());
+
+      RunningStats err;
+      for (int launch = 0; launch < 10; ++launch) {
+        const Seconds t0 = 97.0 * launch + 41.0;
+        const Seconds predicted = env.svc->evaluator().evaluate(
+            profile, mapping, monitor.snapshot(t0));
+        SimOptions sim;
+        sim.seed = derive_seed(0xF0CA, static_cast<std::uint64_t>(launch));
+        sim.start_time = t0;
+        const Seconds measured =
+            env.svc->simulator().run(lu, mapping, truth, sim).makespan;
+        err.add(100.0 * std::abs(predicted - measured) / measured);
+      }
+      table.row()
+          .cell(pattern)
+          .cell(spec.name)
+          .cell(format_percent(err.mean() / 100.0))
+          .cell(format_percent(err.max() / 100.0));
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nLast-value (the Orange Grove prototype) tracks stable and drifting "
+      "load but\nchases bursts badly; the sliding window smooths bursts. The "
+      "adaptive NWS-style\nselector backtests one-step error, which on square-"
+      "wave bursts still favours\nlast-value — burst-robustness needs the "
+      "window even when its average backtest\nloses. This is the trade the "
+      "paper's two prototypes made implicitly.\n");
+  return 0;
+}

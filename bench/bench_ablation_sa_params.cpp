@@ -1,0 +1,116 @@
+// Ablation — scheduler search strategy and budget. How does the quality of
+// the selected mapping (measured execution time) scale with the SA evaluation
+// budget, and how do the alternatives compare: the genetic scheduler (the
+// paper's §8 future-work candidate), random selection, and the naive
+// round-robin placement?
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sched/genetic.h"
+
+int main() {
+  using namespace cbes;
+  using namespace cbes::bench;
+
+  std::printf(
+      "CBES ablation -- scheduler strategy/budget vs solution quality "
+      "(LU, medium-speed zone)\n\n");
+
+  const Env env = make_orange_grove_env();
+  const ClusterTopology& topo = env.topology();
+  const Program lu = make_lu(orange_grove_lu_params());
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  env.svc->register_application(
+      lu, Mapping(std::vector<NodeId>(alphas.begin(), alphas.end())));
+  const AppProfile& profile = env.svc->profile_of("lu");
+  const LoadSnapshot snapshot = env.svc->monitor().snapshot(0.0);
+  NoLoad idle;
+
+  const NodePool pool = zone_pool(topo, 2);
+  const CbesCost cost(env.svc->evaluator(), profile, snapshot);
+  MeasureCache cache(env.svc->simulator(), lu, idle, 2, 0xAB3);
+
+  constexpr std::size_t kRepeats = 12;
+  TextTable table({"scheduler", "budget (evals)", "mean measured (s)",
+                   "best (s)", "worst (s)", "mean wall (ms)"});
+
+  auto report = [&](const char* name, auto make_scheduler,
+                    std::size_t budget_label) {
+    RunningStats meas;
+    RunningStats wall;
+    for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+      auto scheduler = make_scheduler(derive_seed(0xAB3F, rep + 1));
+      const ScheduleResult r = scheduler->schedule(8, pool, cost);
+      meas.add(cache.measure(r.mapping));
+      wall.add(r.wall_seconds * 1e3);
+    }
+    table.row()
+        .cell(name)
+        .cell(budget_label)
+        .cell(meas.mean(), 1)
+        .cell(meas.min(), 1)
+        .cell(meas.max(), 1)
+        .cell(wall.mean(), 2);
+  };
+
+  for (std::size_t budget : {500u, 2000u, 6000u, 20000u, 60000u}) {
+    report(
+        ("SA/" + std::to_string(budget)).c_str(),
+        [&](std::uint64_t seed) {
+          SaParams p = paper_sa_params();
+          p.max_evaluations = budget;
+          p.seed = seed;
+          return std::make_unique<SimulatedAnnealingScheduler>(p);
+        },
+        budget);
+  }
+  report(
+      "SA warm-start (default)",
+      [&](std::uint64_t seed) {
+        SaParams p;
+        p.seed = seed;
+        return std::make_unique<SimulatedAnnealingScheduler>(p);
+      },
+      30000);
+  report(
+      "GA",
+      [&](std::uint64_t seed) {
+        GaParams p;
+        p.seed = seed;
+        return std::make_unique<GeneticScheduler>(p);
+      },
+      3200);
+  {
+    RunningStats meas;
+    for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+      RandomScheduler rs(derive_seed(0xAB3E, rep + 1));
+      meas.add(cache.measure(rs.schedule(8, pool, cost).mapping));
+    }
+    table.row()
+        .cell("RS")
+        .cell(std::size_t{1})
+        .cell(meas.mean(), 1)
+        .cell(meas.min(), 1)
+        .cell(meas.max(), 1)
+        .cell(0.0, 2);
+  }
+  {
+    const Mapping naive = Mapping::round_robin(topo, 8);
+    table.row()
+        .cell("round-robin, whole cluster (not zone-restricted)")
+        .cell(std::size_t{0})
+        .cell(cache.measure(naive), 1)
+        .cell("")
+        .cell("")
+        .cell(0.0, 2);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nThe SA budget buys consistency (mean approaches best); the GA is "
+      "competitive at\nsimilar budgets, and RS shows what scheduling-for-free "
+      "costs in execution time.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E13 — §2 (text): the O(N) monitoring/calibration method. "The CBES
+// infrastructure uses a method that approximates a view of a cluster's
+// resource availability in O(N) time", grouping node pairs into
+// path-equivalence classes and benchmarking one representative per class
+// (the clique-parallelized benchmarks "drastically reduce the O(N^2)
+// required initialization time").
+//
+// This bench calibrates both ways on both clusters and reports (a) the
+// measurement-count savings and (b) how closely the O(N) model agrees with
+// the exhaustively measured one across every node pair and message size.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "netmodel/calibrate.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace cbes;
+
+struct Agreement {
+  double mean_pct = 0.0;
+  double max_pct = 0.0;
+};
+
+Agreement compare_models(const ClusterTopology& topo, const LatencyModel& a,
+                         const LatencyModel& b) {
+  RunningStats err;
+  double worst = 0.0;
+  for (std::size_t x = 0; x < topo.node_count(); ++x) {
+    for (std::size_t y = 0; y < topo.node_count(); ++y) {
+      if (x == y) continue;
+      for (Bytes size : {Bytes{64}, Bytes{4096}, Bytes{262144}}) {
+        const Seconds la = a.no_load(NodeId{x}, NodeId{y}, size);
+        const Seconds lb = b.no_load(NodeId{x}, NodeId{y}, size);
+        const double e = 100.0 * std::abs(la - lb) / lb;
+        err.add(e);
+        worst = std::max(worst, e);
+      }
+    }
+  }
+  return Agreement{err.mean(), worst};
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbes;
+  using namespace cbes::bench;
+
+  std::printf(
+      "CBES reproduction -- E13: O(N) clique calibration vs exhaustive "
+      "O(N^2)\n\n");
+
+  TextTable table({"cluster", "pairs", "classes", "measurements O(N)",
+                   "measurements O(N^2)", "savings", "mean |diff|",
+                   "max |diff|"});
+  for (const char* name : {"orange-grove", "centurion"}) {
+    const ClusterTopology topo = std::string(name) == "centurion"
+                                     ? make_centurion()
+                                     : make_orange_grove();
+    SimNetConfig hw;
+    CalibrationOptions fast;
+    fast.repeats = 5;
+    CalibrationOptions full = fast;
+    full.full_pairwise = true;
+
+    CalibrationReport fast_rep, full_rep;
+    const LatencyModel representative = calibrate(topo, hw, fast, &fast_rep);
+    const LatencyModel exhaustive = calibrate(topo, hw, full, &full_rep);
+    const Agreement agree = compare_models(topo, representative, exhaustive);
+
+    const std::size_t pairs = topo.node_count() * (topo.node_count() - 1);
+    table.row()
+        .cell(name)
+        .cell(pairs)
+        .cell(fast_rep.classes)
+        .cell(fast_rep.measurements)
+        .cell(full_rep.measurements)
+        .cell(format_fixed(static_cast<double>(full_rep.measurements) /
+                               static_cast<double>(fast_rep.measurements),
+                           1) +
+              "x")
+        .cell(format_percent(agree.mean_pct / 100.0, 2))
+        .cell(format_percent(agree.max_pct / 100.0, 2));
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nOne representative pair per path-equivalence class recovers the "
+      "exhaustive model\nto within measurement jitter, at a small fraction of "
+      "the benchmark cost — the\npaper's justification for its O(N) "
+      "monitoring method.\n");
+  return 0;
+}

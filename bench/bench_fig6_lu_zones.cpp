@@ -1,0 +1,76 @@
+// E5 — Figure 6: "LU on 8 Orange Grove nodes: measured execution time
+// ranges". A sampling of ~100 representative mappings across the cluster's
+// mapping space reveals three execution-time zones, one per node-speed subset
+// (A, A+I, A+I+S); zone separation comes from architecture speed, intra-zone
+// range from communication.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "common/stats.h"
+
+int main() {
+  using namespace cbes;
+  using namespace cbes::bench;
+
+  std::printf(
+      "CBES reproduction -- E5 / Figure 6: LU execution-time zones on Orange "
+      "Grove\n\n");
+
+  const Env env = make_orange_grove_env();
+  const ClusterTopology& topo = env.topology();
+  const Program lu = make_lu(orange_grove_lu_params());
+  NoLoad idle;
+  MpiSimulator& sim = env.svc->simulator();
+
+  // Paper values for reference (figure 6, read off the plot).
+  const double paper_lo[4] = {0, 207.8, 236.2, 308.2};
+  const double paper_hi[4] = {0, 219.4, 260.4, 327.8};
+
+  constexpr std::size_t kMappingsPerZone = 34;  // ~100 total, as in the paper
+  const std::string csv = csv_path("fig6_lu_zones");
+  std::unique_ptr<CsvWriter> out;
+  if (!csv.empty()) {
+    out = std::make_unique<CsvWriter>(
+        csv, std::vector<std::string>{"zone", "mapping", "seconds"});
+  }
+
+  TextTable table({"architecture mix", "min (s)", "max (s)", "mean (s)",
+                   "paper range (s)"});
+  Rng rng(0xF16);
+  std::vector<double> all_times;
+  for (int zone = 1; zone <= 3; ++zone) {
+    const NodePool pool = zone_pool(topo, zone);
+    MeasureCache cache(sim, lu, idle, /*repeats=*/2,
+                       0xF16000 + static_cast<std::uint64_t>(zone));
+    RunningStats stats;
+    for (std::size_t i = 0; i < kMappingsPerZone; ++i) {
+      const Mapping m = pool.random_mapping(8, rng);
+      const double t = cache.measure(m);
+      stats.add(t);
+      all_times.push_back(t);
+      if (out) {
+        out->row({zone_name(zone), std::to_string(i), format_fixed(t, 2)});
+      }
+    }
+    table.row()
+        .cell(zone_name(zone))
+        .cell(stats.min(), 1)
+        .cell(stats.max(), 1)
+        .cell(stats.mean(), 1)
+        .cell(format_fixed(paper_lo[zone], 1) + " - " +
+              format_fixed(paper_hi[zone], 1));
+  }
+  table.print(std::cout);
+
+  // The figure's visual: distinct, non-overlapping zones.
+  std::printf("\nDistribution of all %zu sampled mappings (seconds):\n",
+              all_times.size());
+  Histogram hist(180.0, 340.0, 16);
+  for (double t : all_times) hist.add(t);
+  std::cout << hist.ascii(48);
+  if (out) std::printf("\nwrote %s\n", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E4 — §6 (text): internode latency differences due to connectivity and
+// heterogeneity. The paper reports "up to approximately 13%" for Centurion
+// and "as high as 54%" for Orange Grove; differences are (max - min) / max.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "netmodel/calibrate.h"
+
+namespace {
+
+using namespace cbes;
+
+struct Spread {
+  Seconds lo = kNever;
+  Seconds hi = 0.0;
+  [[nodiscard]] double diff() const { return (hi - lo) / hi; }
+};
+
+Spread spread_at(const LatencyModel& model, const ClusterTopology& topo,
+                 Bytes size) {
+  Spread s;
+  for (std::size_t a = 0; a < topo.node_count(); ++a) {
+    for (std::size_t b = 0; b < topo.node_count(); ++b) {
+      if (a == b) continue;
+      const Seconds l = model.no_load(NodeId{a}, NodeId{b}, size);
+      s.lo = std::min(s.lo, l);
+      s.hi = std::max(s.hi, l);
+    }
+  }
+  return s;
+}
+
+void report(const char* label, const ClusterTopology& topo,
+            const LatencyModel& model, double paper_max) {
+  std::printf("\n=== %s: internode latency differences ===\n", label);
+  TextTable t({"msg size", "min latency (us)", "max latency (us)",
+               "difference", "paper (max)"});
+  double max_diff = 0.0;
+  for (Bytes size : {Bytes{64}, Bytes{1024}, Bytes{8192}, Bytes{65536}}) {
+    const Spread s = spread_at(model, topo, size);
+    max_diff = std::max(max_diff, s.diff());
+    t.row()
+        .cell(format_bytes(size))
+        .cell(s.lo * 1e6, 1)
+        .cell(s.hi * 1e6, 1)
+        .cell(format_percent(s.diff()))
+        .cell(format_percent(paper_max));
+  }
+  t.print(std::cout);
+  std::printf("max difference across sizes: %.1f%%  (paper: ~%.0f%%)\n",
+              100.0 * max_diff, 100.0 * paper_max);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbes;
+  using namespace cbes::bench;
+
+  std::printf("CBES reproduction -- E4: cluster latency heterogeneity\n");
+
+  const Env centurion = make_centurion_env();
+  report("Centurion (128 nodes)", centurion.topology(),
+         centurion.svc->latency_model(), 0.13);
+
+  const Env grove = make_orange_grove_env();
+  report("Orange Grove (28 nodes)", grove.topology(),
+         grove.svc->latency_model(), 0.54);
+
+  // Same-architecture difference: the paper's abstract highlights >10%
+  // speedup potential "between same architecture nodes"; show the latency
+  // structure behind it for the Intel pool.
+  const ClusterTopology& topo = grove.topology();
+  const LatencyModel& model = grove.svc->latency_model();
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  Spread intel;
+  for (NodeId a : intels) {
+    for (NodeId b : intels) {
+      if (a == b) continue;
+      const Seconds l = model.no_load(a, b, 1024);
+      intel.lo = std::min(intel.lo, l);
+      intel.hi = std::max(intel.hi, l);
+    }
+  }
+  std::printf(
+      "\nOrange Grove Intel pool (same architecture, 1 KiB): %.1f%% latency "
+      "difference\n",
+      100.0 * intel.diff());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E11 — §6.2 (text): scheduler overhead. "One of the major factors affecting
+// scheduler time is the complexity of an application's communication pattern,
+// as reflected in that application's profile. The higher the complexity, the
+// longer it takes to evaluate a mapping."
+//
+// google-benchmark microbenchmarks: single mapping evaluation vs profile
+// complexity (message-group count), full SA scheduling runs, and the latency
+// model lookup itself.
+#include <benchmark/benchmark.h>
+
+#include "apps/asci.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "profile/profiler.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/genetic.h"
+
+namespace {
+
+using namespace cbes;
+using namespace cbes::bench;
+
+/// Builds a synthetic profile with the requested number of message groups per
+/// process (profile complexity knob).
+AppProfile profile_with_groups(std::size_t nranks, std::size_t groups_per_proc) {
+  AppProfile prof;
+  prof.app_name = "synthetic-complexity";
+  prof.procs.resize(nranks);
+  Rng rng(99);
+  for (std::size_t i = 0; i < nranks; ++i) {
+    auto& p = prof.procs[i];
+    p.x = 100.0;
+    p.o = 5.0;
+    p.b = 20.0;
+    p.lambda = 1.0;
+    p.profiled_arch = Arch::kAlpha533;
+    for (std::size_t g = 0; g < groups_per_proc; ++g) {
+      const std::size_t peer = (i + 1 + g % (nranks - 1)) % nranks;
+      const MessageGroup mg{RankId{peer}, 1024 * (1 + g % 16), 10 + g};
+      if (g % 2 == 0) {
+        p.recv_groups.push_back(mg);
+      } else {
+        p.send_groups.push_back(mg);
+      }
+    }
+  }
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+struct Fixture {
+  Env env = make_orange_grove_env();
+  LoadSnapshot snapshot = LoadSnapshot::idle(env.topology().node_count());
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_MappingEvaluation(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto groups = static_cast<std::size_t>(state.range(0));
+  const AppProfile prof = profile_with_groups(8, groups);
+  const NodePool pool = NodePool::whole_cluster(f.env.topology());
+  Rng rng(7);
+  const Mapping m = pool.random_mapping(8, rng);
+  const MappingEvaluator& ev = f.env.svc->evaluator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.evaluate(prof, m, f.snapshot));
+  }
+  state.SetLabel(std::to_string(groups * 8) + " total groups");
+}
+BENCHMARK(BM_MappingEvaluation)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LatencyModelLookup(benchmark::State& state) {
+  Fixture& f = fixture();
+  const LatencyModel& model = f.env.svc->latency_model();
+  std::size_t i = 0;
+  const std::size_t n = f.env.topology().node_count();
+  for (auto _ : state) {
+    const NodeId a{i % n};
+    const NodeId b{(i * 7 + 1) % n};
+    if (a != b) {
+      benchmark::DoNotOptimize(model.current(a, b, 4096, f.snapshot));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_LatencyModelLookup);
+
+void BM_SaSchedule(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto groups = static_cast<std::size_t>(state.range(0));
+  const AppProfile prof = profile_with_groups(8, groups);
+  const NodePool pool = NodePool::whole_cluster(f.env.topology());
+  const CbesCost cost(f.env.svc->evaluator(), prof, f.snapshot);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SaParams params;
+    params.seed = seed++;
+    SimulatedAnnealingScheduler sa(params);
+    benchmark::DoNotOptimize(sa.schedule(8, pool, cost));
+  }
+}
+BENCHMARK(BM_SaSchedule)->Arg(2)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_GaSchedule(benchmark::State& state) {
+  Fixture& f = fixture();
+  const AppProfile prof = profile_with_groups(8, 32);
+  const NodePool pool = NodePool::whole_cluster(f.env.topology());
+  const CbesCost cost(f.env.svc->evaluator(), prof, f.snapshot);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    GaParams params;
+    params.seed = seed++;
+    GeneticScheduler ga(params);
+    benchmark::DoNotOptimize(ga.schedule(8, pool, cost));
+  }
+}
+BENCHMARK(BM_GaSchedule)->Unit(benchmark::kMillisecond);
+
+}  // namespace

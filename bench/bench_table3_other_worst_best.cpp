@@ -1,0 +1,133 @@
+// E9 — Table 3: "Other tests: worst vs. best case scenario". HPL (three
+// problem sizes), sweep3d, smg2000 (three problem sizes), SAMRAI, Towhee, and
+// Aztec, scheduled on a homogeneous node subset so the comparison isolates the
+// effect of communications. The paper finds speedups of 5.6-10.8% for the
+// communication-structured codes and "uncertain speedup" for sweep3d, SAMRAI,
+// Towhee, and the short HPL(500) run.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "profile/profiler.h"
+
+namespace {
+
+using namespace cbes;
+using namespace cbes::bench;
+
+struct Case {
+  const char* app;
+  double paper_worst;
+  double paper_best;
+  double paper_speedup;  ///< percent; <0 marks the paper's "uncertain" cases
+  const char* comment;
+};
+
+constexpr Case kCases[] = {
+    {"hpl.500", 24.6, 24.6, -1, "short run: uncertain speedup"},
+    {"hpl.5000", 87.7, 80.2, 10.8, ""},
+    {"hpl.10000", 463.3, 435.9, 5.9, ""},
+    {"sweep3d", 70.6, 70.6, -1, "near all-to-all: uncertain"},
+    {"smg2000.12", 17.3, 16.4, 5.6, ""},
+    {"smg2000.50", 72.0, 66.7, 7.4, ""},
+    {"smg2000.60", 127.3, 115.1, 9.6, ""},
+    {"samrai", 7.7, 7.7, -1, "near all-to-all: uncertain"},
+    {"towhee", 46.4, 46.4, -1, "embarrassingly parallel: uncertain"},
+    {"aztec", 90.7, 80.9, 10.8, "Poisson solver"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace cbes;
+  using namespace cbes::bench;
+
+  std::printf(
+      "CBES reproduction -- E9 / Table 3: other programs, worst vs. best on a "
+      "homogeneous pool\n\n");
+
+  const Env env = make_orange_grove_env();
+  const ClusterTopology& topo = env.topology();
+  // "Level the field": restrict both schedulers to the Intel pool (12 nodes
+  // across three switches), one rank per node.
+  const NodePool pool = NodePool::by_arch(topo, Arch::kIntelPII400)
+                            .one_per_node();
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const Mapping profiling_mapping(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 8));
+  NoLoad idle;
+  const LoadSnapshot snapshot = env.svc->monitor().snapshot(0.0);
+
+  constexpr std::size_t kRuns = 25;
+
+  TextTable table({"test case", "worst (s)", "best (s)", "speedup",
+                   "sched time (s)", "paper (w/b/spd)", "comment"});
+  std::size_t case_index = 0;
+  for (const Case& c : kCases) {
+    ++case_index;
+    const Program program = find_app(c.app).make(8);
+    env.svc->register_application(program, profiling_mapping);
+    const AppProfile& profile = env.svc->profile_of(program.name);
+
+    MeasureCache cache(env.svc->simulator(), program, idle, /*repeats=*/3,
+                       derive_seed(0x7AB3E, case_index));
+    SaParams params = paper_sa_params();
+    params.seed = derive_seed(0x3A, case_index);
+    const CampaignResult ncs =
+        run_campaign(pool, 8, env.svc->evaluator(), profile, snapshot,
+                     ncs_options(), cache, kRuns, params);
+    params.seed = derive_seed(0x3B, case_index);
+    const CampaignResult cs =
+        run_campaign(pool, 8, env.svc->evaluator(), profile, snapshot,
+                     EvalOptions{}, cache, kRuns, params);
+
+    const double worst = ncs.worst_measured();
+    const double best = cs.best_measured();
+    const double speedup = 100.0 * (worst - best) / worst;
+
+    // "Uncertain": the gap is inside the measurement noise of the extremes.
+    auto worst_it = std::max_element(ncs.measured.begin(), ncs.measured.end());
+    auto best_it = std::min_element(cs.measured.begin(), cs.measured.end());
+    const double noise =
+        cache
+            .stats(ncs.picks[static_cast<std::size_t>(
+                                 worst_it - ncs.measured.begin())]
+                       .mapping)
+            .ci95_halfwidth() +
+        cache
+            .stats(cs.picks[static_cast<std::size_t>(best_it -
+                                                     cs.measured.begin())]
+                       .mapping)
+            .ci95_halfwidth();
+    const bool uncertain = (worst - best) < 2.0 * noise || speedup < 1.5;
+
+    std::string paper_col;
+    if (c.paper_speedup < 0) {
+      paper_col = "uncertain";
+    } else {
+      paper_col = format_fixed(c.paper_worst, 1) + "/" +
+                  format_fixed(c.paper_best, 1) + "/" +
+                  format_fixed(c.paper_speedup, 1) + "%";
+    }
+    table.row()
+        .cell(c.app)
+        .cell(worst, 1)
+        .cell(best, 1)
+        .cell(uncertain ? "uncertain" : format_percent(speedup / 100.0))
+        .cell((cs.total_wall + ncs.total_wall) /
+                  static_cast<double>(2 * kRuns),
+              3)
+        .cell(paper_col)
+        .cell(c.comment);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nworst = slowest measured mapping across %zu NCS runs; best = fastest "
+      "across %zu CS\nruns; both schedulers restricted to the homogeneous "
+      "Intel pool (one rank/node).\n",
+      kRuns, kRuns);
+  return 0;
+}

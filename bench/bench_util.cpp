@@ -1,0 +1,229 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cbes::bench {
+
+namespace {
+
+CbesService::Config standard_config() {
+  CbesService::Config cfg;
+  cfg.calibration.repeats = 5;
+  // The paper's scheduling experiments ran on an otherwise idle cluster; the
+  // monitor's synthetic sensor noise would otherwise break NCS's cost
+  // plateaus and steer it (the real daemons report a clean idle picture).
+  cfg.monitor.noise_sigma = 0.0;
+  return cfg;
+}
+
+Env make_env(ClusterTopology topo) {
+  Env env;
+  env.topo = std::make_unique<ClusterTopology>(std::move(topo));
+  env.truth = std::make_unique<NoLoad>();
+  env.svc = std::make_unique<CbesService>(*env.topo, *env.truth,
+                                          standard_config());
+  return env;
+}
+
+}  // namespace
+
+Env make_orange_grove_env() { return make_env(make_orange_grove()); }
+
+Env make_centurion_env() { return make_env(make_centurion()); }
+
+LuParams orange_grove_lu_params() {
+  LuParams p;
+  p.ranks = 8;
+  p.iters = 60;
+  p.compute_per_iter = 2.6;
+  p.blocks_per_sweep = 20;
+  p.msg_size = 10 * 1024;
+  p.halo_rounds = 16;
+  p.halo_size = 48 * 1024;
+  p.allreduce_every = 5;
+  p.mem_intensity = 0.40;
+  return p;
+}
+
+NodePool zone_pool(const ClusterTopology& topo, int zone) {
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  std::vector<NodeId> nodes;
+  switch (zone) {
+    case 1:
+      nodes = alphas;
+      break;
+    case 2:
+      nodes.assign(alphas.begin(), alphas.begin() + 4);
+      nodes.insert(nodes.end(), intels.begin(), intels.end());
+      break;
+    case 3:
+      nodes.assign(alphas.begin(), alphas.begin() + 2);
+      nodes.insert(nodes.end(), intels.begin(), intels.begin() + 2);
+      nodes.insert(nodes.end(), sparcs.begin(), sparcs.end());
+      break;
+    default:
+      throw ContractError("zone must be 1, 2, or 3");
+  }
+  // Node-level mappings, as in the paper's 8-node scheduling tests.
+  return NodePool(topo, std::move(nodes), /*max_slots_per_node=*/1);
+}
+
+const char* zone_name(int zone) {
+  switch (zone) {
+    case 1: return "high-speed group (A)";
+    case 2: return "medium-speed group (A+I)";
+    case 3: return "low-speed group (A+I+S)";
+  }
+  return "?";
+}
+
+MeasureCache::MeasureCache(MpiSimulator& sim, const Program& program,
+                           const LoadModel& load, int repeats,
+                           std::uint64_t seed)
+    : sim_(&sim),
+      program_(&program),
+      load_(&load),
+      repeats_(repeats),
+      seed_(seed) {
+  CBES_CHECK_MSG(repeats >= 1, "need at least one measurement repeat");
+}
+
+const RunningStats& MeasureCache::stats(const Mapping& mapping) {
+  auto [it, inserted] = cache_.try_emplace(mapping.assignment());
+  if (inserted) {
+    for (int r = 0; r < repeats_; ++r) {
+      SimOptions opt;
+      opt.seed = derive_seed(seed_, cache_.size() * 1000 +
+                                        static_cast<std::uint64_t>(r));
+      it->second.add(sim_->run(*program_, mapping, *load_, opt).makespan);
+      ++simulations_;
+    }
+  }
+  return it->second;
+}
+
+double MeasureCache::measure(const Mapping& mapping) {
+  return stats(mapping).mean();
+}
+
+double CampaignResult::mean_predicted() const {
+  double sum = 0;
+  for (double p : predicted) sum += p;
+  return predicted.empty() ? 0.0 : sum / static_cast<double>(predicted.size());
+}
+
+double CampaignResult::mean_measured() const {
+  double sum = 0;
+  for (double m : measured) sum += m;
+  return measured.empty() ? 0.0 : sum / static_cast<double>(measured.size());
+}
+
+double CampaignResult::best_measured() const {
+  return *std::min_element(measured.begin(), measured.end());
+}
+
+double CampaignResult::worst_measured() const {
+  return *std::max_element(measured.begin(), measured.end());
+}
+
+double CampaignResult::hit_rate(double global_best, double tolerance) const {
+  std::size_t hits = 0;
+  for (double m : measured) {
+    if (m <= global_best * (1.0 + tolerance)) ++hits;
+  }
+  return measured.empty()
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(measured.size());
+}
+
+CampaignResult run_campaign(const NodePool& pool, std::size_t nranks,
+                            const MappingEvaluator& evaluator,
+                            const AppProfile& profile,
+                            const LoadSnapshot& snapshot, EvalOptions options,
+                            MeasureCache& cache, std::size_t runs,
+                            const SaParams& base_params) {
+  CampaignResult result;
+  // No plateau guidance for NCS: within an equal-speed pool its cost must be
+  // flat so it "behaves like RS", exactly as the paper observes.
+  const double guidance = options.comm_term ? 1e-3 : 0.0;
+  const CbesCost cost(evaluator, profile, snapshot, options, guidance);
+  for (std::size_t run = 0; run < runs; ++run) {
+    SaParams params = base_params;
+    params.seed = derive_seed(base_params.seed, run + 1);
+    SimulatedAnnealingScheduler scheduler(params);
+    ScheduleResult pick = scheduler.schedule(nranks, pool, cost);
+    result.total_wall += pick.wall_seconds;
+    result.predicted.push_back(pick.cost);
+    result.measured.push_back(cache.measure(pick.mapping));
+    result.picks.push_back(std::move(pick));
+  }
+  return result;
+}
+
+SaParams paper_sa_params() {
+  SaParams params;
+  params.moves_per_temperature = 60;
+  params.cooling = 0.92;
+  params.restarts = 1;
+  params.structured_warm_start = false;
+  params.max_evaluations = 6000;
+  return params;
+}
+
+double full_prediction(const MappingEvaluator& evaluator,
+                       const AppProfile& profile, const Mapping& mapping,
+                       const LoadSnapshot& snapshot) {
+  return evaluator.evaluate(profile, mapping, snapshot, EvalOptions{});
+}
+
+Mapping homogeneous_profiling_mapping(const ClusterTopology& topo,
+                                      std::size_t nranks, Rng& rng) {
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  CBES_CHECK_MSG(2 * intels.size() >= nranks,
+                 "not enough Intel slots for a homogeneous profiling mapping");
+  std::vector<NodeId> nodes;
+  if (intels.size() >= nranks) {
+    for (std::size_t idx : rng.sample_indices(intels.size(), nranks)) {
+      nodes.push_back(intels[idx]);
+    }
+  } else {
+    // Pack two ranks per dual-CPU node, nodes in order.
+    for (std::size_t i = 0; nodes.size() < nranks; ++i) {
+      nodes.push_back(intels[i / 2]);
+    }
+  }
+  return Mapping(std::move(nodes));
+}
+
+Mapping arch_preserving_shuffle(const ClusterTopology& topo,
+                                const Mapping& mapping, Rng& rng) {
+  std::vector<NodeId> assignment = mapping.assignment();
+  for (Arch arch : kAllArchs) {
+    std::vector<std::size_t> rank_slots;
+    for (std::size_t r = 0; r < assignment.size(); ++r) {
+      if (topo.node(assignment[r]).arch == arch) rank_slots.push_back(r);
+    }
+    if (rank_slots.empty()) continue;
+    const auto pool_nodes = topo.nodes_with_arch(arch);
+    const auto picks =
+        rng.sample_indices(pool_nodes.size(), rank_slots.size());
+    for (std::size_t i = 0; i < rank_slots.size(); ++i) {
+      assignment[rank_slots[i]] = pool_nodes[picks[i]];
+    }
+  }
+  return Mapping(std::move(assignment));
+}
+
+std::string csv_path(const std::string& name) {
+  const char* dir = std::getenv("CBES_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::string(dir) + "/" + name + ".csv";
+}
+
+}  // namespace cbes::bench

@@ -1,0 +1,144 @@
+// Shared experiment scaffolding for the reproduction benches: standard service
+// setups for the two paper clusters, the LU workload tuned to the Orange Grove
+// zone experiments, zone node pools, scheduler-campaign helpers, and a
+// measurement cache (each distinct mapping is simulated once per campaign).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/npb.h"
+#include "apps/program.h"
+#include "common/stats.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes::bench {
+
+/// A ready-to-use CBES deployment over one of the paper's clusters.
+struct Env {
+  std::unique_ptr<ClusterTopology> topo;
+  std::unique_ptr<LoadModel> truth;
+  std::unique_ptr<CbesService> svc;
+
+  [[nodiscard]] const ClusterTopology& topology() const { return *topo; }
+  [[nodiscard]] CbesService& service() const { return *svc; }
+};
+
+/// Orange Grove with an idle ground truth (zone/scheduling experiments).
+[[nodiscard]] Env make_orange_grove_env();
+/// Centurion with an idle ground truth (prediction-error experiments).
+[[nodiscard]] Env make_centurion_env();
+
+/// The LU workload configured for the Orange Grove experiments of §6.1 —
+/// tuned so the all-Alpha zone lands near the paper's ~210 s with a
+/// communication share large enough to matter.
+[[nodiscard]] LuParams orange_grove_lu_params();
+
+/// Zone pools for the LU tests (§6.1): each forces mappings into one of the
+/// three execution-time zones of Figure 6.
+///   zone 1 "high speed"   — the 8 Alpha nodes;
+///   zone 2 "medium speed" — 4 Alphas + the 12 Intels (>= 4 ranks on Intel);
+///   zone 3 "low speed"    — 2 Alphas + 2 Intels + the 8 SPARCs.
+[[nodiscard]] NodePool zone_pool(const ClusterTopology& topo, int zone);
+[[nodiscard]] const char* zone_name(int zone);
+
+/// Measured-execution-time cache: simulating one LU run costs ~10^6 events, so
+/// campaigns that re-select the same mapping reuse its measurement. Each
+/// distinct mapping is measured `repeats` times with distinct seeds.
+class MeasureCache {
+ public:
+  MeasureCache(MpiSimulator& sim, const Program& program,
+               const LoadModel& load, int repeats = 3,
+               std::uint64_t seed = 0xBE7C4);
+
+  /// Mean measured makespan for `mapping`.
+  double measure(const Mapping& mapping);
+  /// Full statistics (for 95% CI columns).
+  const RunningStats& stats(const Mapping& mapping);
+
+  [[nodiscard]] std::size_t unique_mappings() const { return cache_.size(); }
+  [[nodiscard]] std::size_t simulations() const { return simulations_; }
+
+ private:
+  MpiSimulator* sim_;
+  const Program* program_;
+  const LoadModel* load_;
+  int repeats_;
+  std::uint64_t seed_;
+  std::size_t simulations_ = 0;
+  std::map<std::vector<NodeId>, RunningStats> cache_;
+};
+
+/// One scheduler campaign: `runs` independent scheduling runs (seeds 1..runs),
+/// each mapping measured through the cache.
+struct CampaignResult {
+  std::vector<ScheduleResult> picks;
+  std::vector<double> predicted;  ///< scheduler cost per run
+  std::vector<double> measured;   ///< mean measured time per run
+  double total_wall = 0.0;        ///< scheduler wall time across runs
+
+  [[nodiscard]] double mean_predicted() const;
+  [[nodiscard]] double mean_measured() const;
+  [[nodiscard]] double best_measured() const;
+  [[nodiscard]] double worst_measured() const;
+  /// Fraction of runs whose measured time is within `tolerance` of the best
+  /// measured time seen across both campaigns (the paper's "hits").
+  [[nodiscard]] double hit_rate(double global_best, double tolerance) const;
+};
+
+/// Runs `runs` SA schedules with the given cost options, measuring each pick.
+/// NCS runs (comm_term off) use a flat cost so the annealer wanders its
+/// plateaus like RS, as in the paper.
+[[nodiscard]] CampaignResult run_campaign(const NodePool& pool,
+                                          std::size_t nranks,
+                                          const MappingEvaluator& evaluator,
+                                          const AppProfile& profile,
+                                          const LoadSnapshot& snapshot,
+                                          EvalOptions options,
+                                          MeasureCache& cache,
+                                          std::size_t runs,
+                                          const SaParams& base_params);
+
+/// SA configuration emulating the paper's 2005 prototype: a plain annealer
+/// without warm starts or restarts and a modest evaluation budget — the
+/// regime where CS hits ~90% rather than ~100%.
+[[nodiscard]] SaParams paper_sa_params();
+
+/// Evaluates the *full* CBES prediction for a mapping (used to re-score NCS
+/// picks: the paper processes "each mapping selected by NCS with the full
+/// evaluation operation").
+[[nodiscard]] double full_prediction(const MappingEvaluator& evaluator,
+                                     const AppProfile& profile,
+                                     const Mapping& mapping,
+                                     const LoadSnapshot& snapshot);
+
+/// An architecture-homogeneous profiling mapping of `nranks` on Intel nodes
+/// (one per node while they last, then two per dual node). Profiling on mixed
+/// architectures poisons the lambda factors: ranks on fast nodes log large
+/// blocked times waiting for slow peers, and B/Theta explodes when the
+/// process exchanges few messages.
+[[nodiscard]] Mapping homogeneous_profiling_mapping(
+    const ClusterTopology& topo, std::size_t nranks, Rng& rng);
+
+/// Reassigns every rank to a different random node of the *same*
+/// architecture: connectivity changes, the rank-to-architecture pattern does
+/// not. Lambda factors transfer between mappings with the same rank/arch
+/// pattern; across patterns, skew waits differ and predictions degrade (which
+/// is why profiling prefers homogeneous mappings).
+[[nodiscard]] Mapping arch_preserving_shuffle(const ClusterTopology& topo,
+                                              const Mapping& mapping,
+                                              Rng& rng);
+
+/// Writes one CSV alongside the printed table when CBES_BENCH_CSV_DIR is set;
+/// returns the path or "" when disabled.
+[[nodiscard]] std::string csv_path(const std::string& name);
+
+}  // namespace cbes::bench

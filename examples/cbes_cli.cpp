@@ -1,0 +1,227 @@
+// cbes_cli — command-line front end to the CBES service, the kind of
+// "external client" the paper's core module serves mapping-comparison
+// requests for.
+//
+// Usage:
+//   cbes_cli topo <centurion|orange-grove|path/to/cluster.topo>
+//   cbes_cli apps
+//   cbes_cli profile <cluster> <app> <ranks> [out.prof]
+//   cbes_cli predict <cluster> <app> <ranks> --map n0,n1,...
+//   cbes_cli compare <cluster> <app> <ranks> --map a0,a1,.. --map b0,b1,..
+//   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
+//
+// Node lists are comma-separated node indices (see `topo` for the listing).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/service.h"
+#include "profile/serialize.h"
+#include "topology/parser.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/genetic.h"
+#include "sched/pool.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace cbes;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cbes_cli <topo|apps|profile|predict|compare|schedule> "
+               "...\n(see the header of examples/cbes_cli.cpp)\n");
+  return 2;
+}
+
+ClusterTopology make_cluster(const std::string& name) {
+  if (name == "centurion") return make_centurion();
+  if (name == "orange-grove") return make_orange_grove();
+  if (name.size() > 5 && name.substr(name.size() - 5) == ".topo") {
+    return load_topology_file(name);  // user-supplied cluster description
+  }
+  throw ContractError("unknown cluster: " + name +
+                      " (try centurion, orange-grove, or a .topo file)");
+}
+
+Mapping parse_mapping(const std::string& spec) {
+  std::vector<NodeId> nodes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    nodes.emplace_back(static_cast<std::uint32_t>(std::stoul(token)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  CBES_CHECK_MSG(!nodes.empty(), "empty mapping spec");
+  return Mapping(std::move(nodes));
+}
+
+int cmd_topo(const std::string& cluster_name) {
+  const ClusterTopology topo = make_cluster(cluster_name);
+  std::printf("%s: %zu nodes, %zu switches, %zu CPU slots\n",
+              topo.name().c_str(), topo.node_count(), topo.switch_count(),
+              topo.total_slots());
+  for (const Node& n : topo.nodes()) {
+    std::printf("  [%3u] %-12s %-12s cpus=%d  on %s\n", n.id.value,
+                n.name.c_str(), std::string(arch_name(n.arch)).c_str(),
+                n.cpus, topo.sw(n.attached).name.c_str());
+  }
+  return 0;
+}
+
+int cmd_apps() {
+  for (const AppSpec& spec : app_registry()) {
+    std::printf("  %-12s %s\n", spec.name.c_str(), spec.description.c_str());
+  }
+  return 0;
+}
+
+struct Session {
+  ClusterTopology topo;
+  NoLoad idle;
+  CbesService svc;
+  Program program;
+
+  Session(const std::string& cluster_name, const std::string& app,
+          std::size_t ranks)
+      : topo(make_cluster(cluster_name)),
+        svc(topo, idle, CbesService::Config{}),
+        program(find_app(app).make(ranks)) {
+    std::fprintf(stderr, "[calibrated %zu path classes]\n",
+                 svc.calibration_report().classes);
+    svc.register_application(program, Mapping::round_robin(topo, ranks));
+    std::fprintf(stderr, "[profiled '%s' on the round-robin mapping]\n",
+                 program.name.c_str());
+  }
+};
+
+int cmd_profile(const std::string& cluster, const std::string& app,
+                std::size_t ranks, const char* out_path) {
+  Session s(cluster, app, ranks);
+  const AppProfile& profile = s.svc.profile_of(s.program.name);
+  if (out_path != nullptr) {
+    save_profile_file(profile, out_path);
+    std::printf("wrote %s\n", out_path);
+  }
+  std::printf("application %s on %zu ranks:\n", profile.app_name.c_str(),
+              profile.nranks());
+  std::printf("  computation/communication: %.0f%%/%.0f%%\n",
+              100 * profile.computation_fraction(),
+              100 * (1 - profile.computation_fraction()));
+  std::printf("  message groups: %zu\n", profile.total_groups());
+  for (std::size_t r = 0; r < profile.nranks(); ++r) {
+    const ProcessProfile& p = profile.procs[r];
+    std::printf("  rank %2zu: X=%8.2fs O=%6.2fs B=%8.2fs lambda=%5.2f\n", r,
+                p.x, p.o, p.b, p.lambda);
+  }
+  return 0;
+}
+
+int cmd_predict_or_compare(const std::string& cluster, const std::string& app,
+                           std::size_t ranks,
+                           const std::vector<std::string>& mapping_specs) {
+  Session s(cluster, app, ranks);
+  std::vector<Mapping> candidates;
+  for (const std::string& spec : mapping_specs) {
+    candidates.push_back(parse_mapping(spec));
+    CBES_CHECK_MSG(candidates.back().nranks() == ranks,
+                   "mapping must list exactly one node per rank");
+    CBES_CHECK_MSG(candidates.back().fits(s.topo),
+                   "mapping exceeds node slots: " + spec);
+  }
+  const auto result = s.svc.compare(s.program.name, candidates, 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::printf("%c mapping %zu: predicted %.2f s   (%s)\n",
+                i == result.best ? '*' : ' ', i, result.predicted[i],
+                candidates[i].describe(s.topo).c_str());
+  }
+  return 0;
+}
+
+int cmd_schedule(const std::string& cluster, const std::string& app,
+                 std::size_t ranks, const std::string& arch_filter,
+                 const std::string& algo) {
+  Session s(cluster, app, ranks);
+  NodePool pool = NodePool::whole_cluster(s.topo);
+  if (arch_filter == "A") pool = NodePool::by_arch(s.topo, Arch::kAlpha533);
+  if (arch_filter == "I") pool = NodePool::by_arch(s.topo, Arch::kIntelPII400);
+  if (arch_filter == "S") pool = NodePool::by_arch(s.topo, Arch::kSparc500);
+
+  const AppProfile& profile = s.svc.profile_of(s.program.name);
+  const LoadSnapshot snapshot = s.svc.monitor().snapshot(0.0);
+  const CbesCost cost(s.svc.evaluator(), profile, snapshot);
+
+  ScheduleResult result;
+  if (algo == "--ga") {
+    GeneticScheduler ga(GaParams{});
+    result = ga.schedule(ranks, pool, cost);
+  } else if (algo == "--rs") {
+    RandomScheduler rs(0xC11);
+    result = rs.schedule(ranks, pool, cost);
+  } else {
+    SimulatedAnnealingScheduler sa(SaParams{});
+    result = sa.schedule(ranks, pool, cost);
+  }
+  std::printf("selected (%zu evaluations, %.3f s):\n  %s\n",
+              result.evaluations, result.wall_seconds,
+              result.mapping.describe(s.topo).c_str());
+  std::printf("predicted execution time: %.2f s\n",
+              s.svc.predict(s.program.name, result.mapping, 0.0).time);
+
+  SimOptions sim;
+  NoLoad idle;
+  const RunResult run =
+      s.svc.simulator().run(s.program, result.mapping, idle, sim);
+  std::printf("simulated execution time: %.2f s\n", run.makespan);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "topo" && argc == 3) return cmd_topo(argv[2]);
+    if (cmd == "apps") return cmd_apps();
+    if (argc < 5) return usage();
+    const std::string cluster = argv[2];
+    const std::string app = argv[3];
+    const auto ranks = static_cast<std::size_t>(std::stoul(argv[4]));
+
+    if (cmd == "profile") {
+      return cmd_profile(cluster, app, ranks, argc > 5 ? argv[5] : nullptr);
+    }
+    if (cmd == "predict" || cmd == "compare") {
+      std::vector<std::string> specs;
+      for (int i = 5; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--map") == 0) specs.emplace_back(argv[i + 1]);
+      }
+      if (specs.empty()) return usage();
+      return cmd_predict_or_compare(cluster, app, ranks, specs);
+    }
+    if (cmd == "schedule") {
+      std::string arch;
+      std::string algo = "--sa";
+      for (int i = 5; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--arch") == 0 && i + 1 < argc) {
+          arch = argv[++i];
+        } else {
+          algo = argv[i];
+        }
+      }
+      return cmd_schedule(cluster, app, ranks, arch, algo);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

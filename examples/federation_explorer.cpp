@@ -1,0 +1,63 @@
+// Explores how cluster federation shapes the latency landscape CBES exploits:
+// calibrates a latency model on each of several topologies and prints the
+// pairwise no-load latency spread (the paper quotes ~13% for the nearly-flat
+// Centurion and ~54% for the federated Orange Grove).
+#include <algorithm>
+#include <cstdio>
+
+#include "netmodel/calibrate.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace cbes;
+
+struct SpreadReport {
+  Seconds min_latency;
+  Seconds max_latency;
+  double spread;
+};
+
+SpreadReport latency_spread(const ClusterTopology& topo, Bytes size) {
+  const LatencyModel model = calibrate(topo, SimNetConfig{}, {});
+  SpreadReport r{kNever, 0.0, 0.0};
+  for (std::size_t a = 0; a < topo.node_count(); ++a) {
+    for (std::size_t b = 0; b < topo.node_count(); ++b) {
+      if (a == b) continue;
+      const Seconds l = model.no_load(NodeId{a}, NodeId{b}, size);
+      r.min_latency = std::min(r.min_latency, l);
+      r.max_latency = std::max(r.max_latency, l);
+    }
+  }
+  r.spread = (r.max_latency - r.min_latency) / r.min_latency;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbes;
+  constexpr Bytes kProbe = 1024;
+
+  std::printf("%-22s %10s %12s %12s %9s\n", "topology", "nodes",
+              "min lat(us)", "max lat(us)", "spread");
+  const auto report = [&](const ClusterTopology& topo) {
+    const SpreadReport r = latency_spread(topo, kProbe);
+    std::printf("%-22s %10zu %12.1f %12.1f %8.1f%%\n", topo.name().c_str(),
+                topo.node_count(), r.min_latency * 1e6, r.max_latency * 1e6,
+                100.0 * r.spread);
+  };
+
+  report(make_flat(16));
+  report(make_two_switch(8));
+  report(make_centurion());
+  report(make_orange_grove());
+  for (std::size_t clusters : {2u, 3u, 4u}) {
+    report(make_federation(clusters, 6));
+  }
+
+  std::printf(
+      "\nThe wider the spread, the more a communication-aware scheduler (CS)\n"
+      "can gain over a compute-only one (NCS) — see bench_table1/3.\n");
+  return 0;
+}

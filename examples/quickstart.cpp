@@ -1,0 +1,73 @@
+// Quickstart: the complete CBES workflow in one file.
+//
+//   1. Build a cluster description (the paper's Orange Grove).
+//   2. Bring up the service: offline calibration + monitoring.
+//   3. Profile an application (NPB LU) from an execution trace.
+//   4. Ask the scheduler (simulated annealing over the CBES cost) for a
+//      mapping, and compare it against the naive round-robin placement.
+//   5. "Run" both mappings on the simulated cluster and report
+//      predicted vs measured times.
+#include <cstdio>
+
+#include "apps/npb.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+int main() {
+  using namespace cbes;
+
+  // 1. The cluster: 8 Alpha + 12 dual-PII + 8 SPARC nodes, two sub-clusters
+  //    joined by a limited federation link.
+  const ClusterTopology cluster = make_orange_grove();
+  std::printf("cluster '%s': %zu nodes, %zu switches, %zu CPU slots\n",
+              cluster.name().c_str(), cluster.node_count(),
+              cluster.switch_count(), cluster.total_slots());
+
+  // 2. Bring up CBES. Construction runs the one-time calibration phase.
+  NoLoad idle;
+  CbesService::Config config;
+  config.calibration.repeats = 5;
+  CbesService cbes(cluster, idle, config);
+  std::printf("calibrated %zu path classes from %zu measurements\n",
+              cbes.calibration_report().classes,
+              cbes.calibration_report().measurements);
+
+  // 3. Profile NPB LU (class S for a quick demo) on the first 8 nodes.
+  const Program lu = make_npb_lu(8, NpbClass::kS);
+  const Mapping profiling_mapping = Mapping::round_robin(cluster, 8);
+  const AppProfile& profile = cbes.register_application(lu, profiling_mapping);
+  std::printf("profiled '%s': computation fraction %.0f%%, %zu message groups\n",
+              profile.app_name.c_str(), 100 * profile.computation_fraction(),
+              profile.total_groups());
+
+  // 4. Schedule: SA over the whole cluster, CBES prediction as energy.
+  const NodePool pool = NodePool::whole_cluster(cluster);
+  const LoadSnapshot snapshot = cbes.monitor().snapshot(/*now=*/0.0);
+  const CbesCost cost(cbes.evaluator(), profile, snapshot);
+  SimulatedAnnealingScheduler scheduler(SaParams{});
+  const ScheduleResult chosen = scheduler.schedule(8, pool, cost);
+  std::printf("\nscheduler picked (%zu evaluations, %.2f s):\n  %s\n",
+              chosen.evaluations, chosen.wall_seconds,
+              chosen.mapping.describe(cluster).c_str());
+
+  const Mapping naive = Mapping::round_robin(cluster, 8);
+  std::printf("naive round-robin placement:\n  %s\n",
+              naive.describe(cluster).c_str());
+
+  // 5. Predict and measure both mappings.
+  SimOptions sim;
+  for (const auto& [label, mapping] :
+       {std::pair{"scheduled", &chosen.mapping}, {"round-robin", &naive}}) {
+    const Prediction pred = cbes.predict("lu.S", *mapping, 0.0);
+    sim.seed += 17;
+    const RunResult run = cbes.simulator().run(lu, *mapping, idle, sim);
+    std::printf("\n%-12s predicted %7.2f s   measured %7.2f s   error %4.1f%%\n",
+                label, pred.time, run.makespan,
+                100.0 * (pred.time - run.makespan) / run.makespan);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Mid-run remapping (the paper's §8 future-work feature): a long Aztec solve
+// is running on a good mapping when background load lands on two of its nodes.
+// CBES notices through its monitor, searches for an escape mapping, and weighs
+// the predicted gain against the migration cost.
+#include <cstdio>
+
+#include "apps/asci.h"
+#include "core/remap.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+int main() {
+  using namespace cbes;
+
+  const ClusterTopology cluster = make_orange_grove();
+
+  // Background load script: at t = 600 s, two Intel nodes get hammered by
+  // another user's job (60% CPU demand, some NIC traffic).
+  const auto intels = cluster.nodes_with_arch(Arch::kIntelPII400);
+  ScriptedLoad world;
+  world.add({intels[0], 600.0, kNever, 0.6, 0.2});
+  world.add({intels[1], 600.0, kNever, 0.6, 0.2});
+
+  CbesService cbes(cluster, world, {});
+
+  // Profile Aztec and schedule it on the Intel pool at t = 0 (system idle).
+  const Program aztec = make_aztec(8);
+  std::vector<NodeId> first8(intels.begin(), intels.begin() + 8);
+  cbes.register_application(aztec, Mapping(first8));
+  const AppProfile& profile = cbes.profile_of("aztec");
+
+  const NodePool pool = NodePool::by_arch(cluster, Arch::kIntelPII400);
+  const LoadSnapshot at_start = cbes.monitor().snapshot(0.0);
+  const CbesCost cost_start(cbes.evaluator(), profile, at_start);
+  SimulatedAnnealingScheduler scheduler(SaParams{});
+  const Mapping initial = scheduler.schedule(8, pool, cost_start).mapping;
+  const Seconds planned = cbes.evaluator().evaluate(profile, initial, at_start);
+  std::printf("t=0     scheduled on: %s\n        predicted %.1f s\n",
+              initial.describe(cluster).c_str(), planned);
+
+  // t = 650 s: the monitor's sensors have seen the new load. Re-plan.
+  const LoadSnapshot now = cbes.monitor().snapshot(650.0);
+  const Seconds degraded = cbes.evaluator().evaluate(profile, initial, now);
+  std::printf("t=650   background load detected; current mapping now predicts "
+              "%.1f s (was %.1f s)\n", degraded, planned);
+
+  SaParams escape_params;
+  escape_params.seed = 99;
+  SimulatedAnnealingScheduler escape_search(escape_params);
+  const CbesCost cost_now(cbes.evaluator(), profile, now);
+  const Mapping candidate = escape_search.schedule(8, pool, cost_now).mapping;
+
+  // Suppose the run is 40% complete. Worth moving? Aztec's working set is
+  // modest, so checkpoints are small.
+  RemapCostModel cost;
+  cost.state_bytes = 16 * 1024 * 1024;
+  cost.restart_overhead = 1.0;
+  const RemapDecision decision =
+      evaluate_remap(cbes.evaluator(), profile, initial, candidate,
+                     /*progress=*/0.4, now, cost);
+  std::printf(
+      "        escape mapping: %s\n"
+      "        remaining on current: %6.1f s\n"
+      "        remaining on escape : %6.1f s + %.1f s migration (%zu ranks)\n"
+      "        decision: %s (gain %.1f s)\n",
+      candidate.describe(cluster).c_str(), decision.remaining_current,
+      decision.remaining_candidate, decision.migration_cost,
+      decision.moved_ranks, decision.beneficial ? "REMAP" : "stay",
+      decision.gain());
+  return 0;
+}

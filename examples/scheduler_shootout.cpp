@@ -1,0 +1,60 @@
+// Compares the three CBES-compatible schedulers (SA, GA, RS) plus the naive
+// round-robin placement on one scheduling problem: mapping smg2000 onto the
+// Orange Grove Intel pool. Prints predicted and simulated times for each.
+#include <cstdio>
+
+#include "apps/asci.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/genetic.h"
+#include "sched/pool.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+int main() {
+  using namespace cbes;
+
+  const ClusterTopology cluster = make_orange_grove();
+  NoLoad idle;
+  CbesService cbes(cluster, idle, {});
+
+  const Program smg = make_smg2000(8, 50);
+  const auto intels = cluster.nodes_with_arch(Arch::kIntelPII400);
+  cbes.register_application(
+      smg, Mapping(std::vector<NodeId>(intels.begin(), intels.begin() + 8)));
+  const AppProfile& profile = cbes.profile_of("smg2000.50");
+
+  const NodePool pool = NodePool::by_arch(cluster, Arch::kIntelPII400);
+  const LoadSnapshot snapshot = cbes.monitor().snapshot(0.0);
+  const CbesCost cost(cbes.evaluator(), profile, snapshot);
+
+  SimulatedAnnealingScheduler sa(SaParams{});
+  GaParams ga_params;
+  GeneticScheduler ga(ga_params);
+  RandomScheduler rs(12345);
+
+  std::printf("%-12s %12s %12s %12s %10s\n", "scheduler", "predicted(s)",
+              "measured(s)", "evaluations", "time(ms)");
+  SimOptions sim;
+  auto report = [&](const char* name, const ScheduleResult& r) {
+    sim.seed += 31;
+    const RunResult run = cbes.simulator().run(smg, r.mapping, idle, sim);
+    std::printf("%-12s %12.2f %12.2f %12zu %10.1f\n", name, r.cost,
+                run.makespan, r.evaluations, r.wall_seconds * 1e3);
+  };
+
+  report("SA (CS)", sa.schedule(8, pool, cost));
+  report("GA", ga.schedule(8, pool, cost));
+  report("RS", rs.schedule(8, pool, cost));
+
+  // The naive baseline every MPI runtime ships with.
+  const Mapping naive = Mapping(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 8));
+  ScheduleResult naive_result;
+  naive_result.mapping = naive;
+  naive_result.cost = cost(naive);
+  naive_result.evaluations = 1;
+  report("round-robin", naive_result);
+  return 0;
+}

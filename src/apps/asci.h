@@ -1,0 +1,42 @@
+// HPL and the ASCI-Purple benchmark skeletons used in the paper's scheduling
+// experiments (§6): sweep3d, smg2000, SAMRAI, Towhee, and Aztec.
+//
+// Each generator reproduces the code's documented communication structure at a
+// simulation-friendly work scale; the paper's qualitative findings (Aztec and
+// smg2000 benefit most, sweep3d/SAMRAI cancel out, Towhee barely communicates)
+// follow from the patterns, not from tuned magic numbers.
+#pragma once
+
+#include "apps/program.h"
+
+namespace cbes {
+
+/// High Performance Linpack: right-looking LU with row-ring panel broadcasts
+/// and a trailing update that shrinks quadratically. `n` is the problem size;
+/// the paper runs n = 500, 5000, and 10000.
+[[nodiscard]] Program make_hpl(std::size_t ranks, std::size_t n);
+
+/// ASCI sweep3d: 3D wavefront particle transport, eight octant sweeps per
+/// iteration. Near-symmetric neighbour traffic in every direction — the paper
+/// found the mapping benefits "cancelled by the penalties".
+[[nodiscard]] Program make_sweep3d(std::size_t ranks);
+
+/// smg2000: semicoarsening multigrid V-cycles. `cube` is the per-process
+/// problem edge (the paper runs 12, 50, and 60). Latency-bound at coarse
+/// levels: many small messages.
+[[nodiscard]] Program make_smg2000(std::size_t ranks, std::size_t cube);
+
+/// SAMRAI: structured AMR — periodic regridding is an all-to-all, interleaved
+/// with imbalanced patch computation. Near all-to-all overall.
+[[nodiscard]] Program make_samrai(std::size_t ranks);
+
+/// Towhee: Monte Carlo molecular simulation — embarrassingly parallel,
+/// insignificant communication.
+[[nodiscard]] Program make_towhee(std::size_t ranks);
+
+/// Aztec: iterative Krylov solver (Poisson problem) — halo exchanges plus two
+/// dot-product reductions per iteration; the most communication-sensitive code
+/// in the paper's selection.
+[[nodiscard]] Program make_aztec(std::size_t ranks);
+
+}  // namespace cbes

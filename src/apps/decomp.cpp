@@ -1,0 +1,64 @@
+#include "apps/decomp.h"
+
+#include "common/check.h"
+
+namespace cbes {
+
+Grid2D Grid2D::make(std::size_t nranks) {
+  CBES_CHECK_MSG(nranks >= 1, "empty grid");
+  // Largest divisor <= sqrt(n) gives the most square rows x cols factorization.
+  std::size_t best = 1;
+  for (std::size_t r = 1; r * r <= nranks; ++r)
+    if (nranks % r == 0) best = r;
+  return Grid2D{best, nranks / best};
+}
+
+RankId Grid2D::north(std::size_t rank) const {
+  const std::size_t r = row_of(rank);
+  return r == 0 ? RankId{} : at(r - 1, col_of(rank));
+}
+
+RankId Grid2D::south(std::size_t rank) const {
+  const std::size_t r = row_of(rank);
+  return r + 1 == rows ? RankId{} : at(r + 1, col_of(rank));
+}
+
+RankId Grid2D::west(std::size_t rank) const {
+  const std::size_t c = col_of(rank);
+  return c == 0 ? RankId{} : at(row_of(rank), c - 1);
+}
+
+RankId Grid2D::east(std::size_t rank) const {
+  const std::size_t c = col_of(rank);
+  return c + 1 == cols ? RankId{} : at(row_of(rank), c + 1);
+}
+
+Grid3D Grid3D::make(std::size_t nranks) {
+  CBES_CHECK_MSG(nranks >= 1, "empty grid");
+  // Factor n = nx * ny * nz with the dimensions as balanced as possible:
+  // pick nz = largest divisor <= cbrt(n), then split the rest via Grid2D.
+  std::size_t nz = 1;
+  for (std::size_t d = 1; d * d * d <= nranks; ++d)
+    if (nranks % d == 0) nz = d;
+  const Grid2D rest = Grid2D::make(nranks / nz);
+  return Grid3D{rest.cols, rest.rows, nz};
+}
+
+RankId Grid3D::neighbor(std::size_t rank, int dx, int dy, int dz) const {
+  const std::size_t x = rank % nx;
+  const std::size_t y = (rank / nx) % ny;
+  const std::size_t z = rank / (nx * ny);
+  const auto sx = static_cast<std::ptrdiff_t>(x) + dx;
+  const auto sy = static_cast<std::ptrdiff_t>(y) + dy;
+  const auto sz = static_cast<std::ptrdiff_t>(z) + dz;
+  if (sx < 0 || sy < 0 || sz < 0 ||
+      sx >= static_cast<std::ptrdiff_t>(nx) ||
+      sy >= static_cast<std::ptrdiff_t>(ny) ||
+      sz >= static_cast<std::ptrdiff_t>(nz)) {
+    return RankId{};
+  }
+  return at(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy),
+            static_cast<std::size_t>(sz));
+}
+
+}  // namespace cbes

@@ -1,0 +1,51 @@
+// Process-grid decomposition helpers shared by the application generators.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace cbes {
+
+/// A 2D process grid of rows x cols == nranks, as close to square as possible
+/// (rows <= cols). Row-major rank numbering: rank = row * cols + col.
+struct Grid2D {
+  std::size_t rows = 1;
+  std::size_t cols = 1;
+
+  [[nodiscard]] static Grid2D make(std::size_t nranks);
+
+  [[nodiscard]] std::size_t row_of(std::size_t rank) const {
+    return rank / cols;
+  }
+  [[nodiscard]] std::size_t col_of(std::size_t rank) const {
+    return rank % cols;
+  }
+  [[nodiscard]] RankId at(std::size_t row, std::size_t col) const {
+    return RankId{row * cols + col};
+  }
+  [[nodiscard]] std::size_t size() const { return rows * cols; }
+
+  /// Neighbour in the given direction, or an invalid RankId at the boundary.
+  [[nodiscard]] RankId north(std::size_t rank) const;
+  [[nodiscard]] RankId south(std::size_t rank) const;
+  [[nodiscard]] RankId west(std::size_t rank) const;
+  [[nodiscard]] RankId east(std::size_t rank) const;
+};
+
+/// A 3D process grid (nx x ny x nz == nranks), as cubic as possible.
+struct Grid3D {
+  std::size_t nx = 1, ny = 1, nz = 1;
+
+  [[nodiscard]] static Grid3D make(std::size_t nranks);
+
+  [[nodiscard]] std::size_t size() const { return nx * ny * nz; }
+  [[nodiscard]] RankId at(std::size_t x, std::size_t y, std::size_t z) const {
+    return RankId{(z * ny + y) * nx + x};
+  }
+  /// Neighbour offset by (dx, dy, dz), or invalid at the boundary.
+  [[nodiscard]] RankId neighbor(std::size_t rank, int dx, int dy,
+                                int dz) const;
+};
+
+}  // namespace cbes

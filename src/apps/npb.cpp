@@ -1,0 +1,274 @@
+#include "apps/npb.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "apps/decomp.h"
+#include "common/check.h"
+
+namespace cbes {
+
+const char* npb_class_name(NpbClass klass) noexcept {
+  switch (klass) {
+    case NpbClass::kS: return "S";
+    case NpbClass::kA: return "A";
+    case NpbClass::kB: return "B";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Class scale factors relative to class A: total work and message sizes.
+struct ClassScale {
+  double work;
+  double size;
+  double iters;
+};
+
+ClassScale scale_of(NpbClass klass) {
+  switch (klass) {
+    case NpbClass::kS: return {0.05, 0.25, 0.5};
+    case NpbClass::kA: return {1.0, 1.0, 1.0};
+    case NpbClass::kB: return {4.0, 1.6, 1.25};
+  }
+  return {1.0, 1.0, 1.0};
+}
+
+std::size_t scaled_iters(std::size_t base, double factor) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      static_cast<double>(base) * factor));
+}
+
+Bytes scaled_size(double base, double factor) {
+  return std::max<Bytes>(64, static_cast<Bytes>(base * factor));
+}
+
+}  // namespace
+
+Program make_lu(const LuParams& p) {
+  CBES_CHECK_MSG(p.ranks >= 1, "LU needs at least one rank");
+  CBES_CHECK_MSG(p.blocks_per_sweep >= 1, "LU needs at least one block");
+  ProgramBuilder b("lu", p.ranks, p.mem_intensity);
+  const Grid2D g = Grid2D::make(p.ranks);
+  const Seconds block_compute =
+      p.compute_per_iter / (2.0 * static_cast<double>(p.blocks_per_sweep));
+
+  for (std::size_t it = 0; it < p.iters; ++it) {
+    // Right-hand-side and Jacobian halo exchanges: all ranks exchange
+    // boundary faces with their grid neighbours in lockstep.
+    for (std::size_t round = 0; round < p.halo_rounds; ++round) {
+      for (std::size_t r = 0; r < p.ranks; ++r) {
+        if (const RankId e = g.east(r); e.valid())
+          b.exchange(RankId{r}, e, p.halo_size);
+      }
+      for (std::size_t r = 0; r < p.ranks; ++r) {
+        if (const RankId s = g.south(r); s.valid())
+          b.exchange(RankId{r}, s, p.halo_size);
+      }
+    }
+    // Lower-triangular sweep: the wavefront enters at the north-west corner.
+    // Each block receives boundary planes from north/west, computes, and
+    // forwards to south/east — the classic SSOR pipeline.
+    for (std::size_t blk = 0; blk < p.blocks_per_sweep; ++blk) {
+      for (std::size_t r = 0; r < p.ranks; ++r) {
+        const RankId rank{r};
+        if (const RankId n = g.north(r); n.valid()) b.recv(rank, n, p.msg_size);
+        if (const RankId w = g.west(r); w.valid()) b.recv(rank, w, p.msg_size);
+        b.compute(rank, block_compute);
+        if (const RankId s = g.south(r); s.valid()) b.send(rank, s, p.msg_size);
+        if (const RankId e = g.east(r); e.valid()) b.send(rank, e, p.msg_size);
+      }
+    }
+    // Upper-triangular sweep: wavefront from the south-east corner.
+    for (std::size_t blk = 0; blk < p.blocks_per_sweep; ++blk) {
+      for (std::size_t rr = p.ranks; rr > 0; --rr) {
+        const std::size_t r = rr - 1;
+        const RankId rank{r};
+        if (const RankId s = g.south(r); s.valid()) b.recv(rank, s, p.msg_size);
+        if (const RankId e = g.east(r); e.valid()) b.recv(rank, e, p.msg_size);
+        b.compute(rank, block_compute);
+        if (const RankId n = g.north(r); n.valid()) b.send(rank, n, p.msg_size);
+        if (const RankId w = g.west(r); w.valid()) b.send(rank, w, p.msg_size);
+      }
+    }
+    if (p.allreduce_every > 0 && (it + 1) % p.allreduce_every == 0) {
+      b.allreduce(64);  // residual norms
+    }
+  }
+  return std::move(b).build();
+}
+
+Program make_npb_lu(std::size_t ranks, NpbClass klass) {
+  const ClassScale s = scale_of(klass);
+  LuParams p;
+  p.ranks = ranks;
+  p.iters = scaled_iters(60, s.iters);
+  // Total work scales with class; per-rank share shrinks with rank count.
+  p.compute_per_iter = 2000.0 * s.work /
+                       static_cast<double>(p.iters) /
+                       static_cast<double>(ranks);
+  p.blocks_per_sweep = 20;
+  p.msg_size = scaled_size(8192.0, s.size);
+  p.halo_rounds = 8;
+  p.halo_size = scaled_size(32768.0, s.size);
+  p.allreduce_every = 5;
+  Program prog = make_lu(p);
+  prog.name = std::string("lu.") + npb_class_name(klass);
+  return prog;
+}
+
+Program make_npb_is(std::size_t ranks, NpbClass klass) {
+  const ClassScale s = scale_of(klass);
+  ProgramBuilder b(std::string("is.") + npb_class_name(klass), ranks, 0.65);
+  const std::size_t iters = scaled_iters(10, s.iters);
+  // Bucket sort: key volume splits quadratically across rank pairs.
+  const double total_keys_bytes = 32.0e6 * s.work;
+  const Bytes pair_bytes = scaled_size(
+      total_keys_bytes / static_cast<double>(ranks * ranks), 1.0);
+  const Seconds rank_compute =
+      0.6 * s.work * 16.0 / static_cast<double>(ranks);
+  for (std::size_t it = 0; it < iters; ++it) {
+    b.compute_all(rank_compute);
+    b.allreduce(1024);       // bucket-size exchange
+    b.alltoall(pair_bytes);  // key redistribution
+    b.compute_all(rank_compute * 0.4);
+  }
+  b.allreduce(64);  // full verification
+  return std::move(b).build();
+}
+
+Program make_npb_ep(std::size_t ranks, NpbClass klass) {
+  const ClassScale s = scale_of(klass);
+  ProgramBuilder b(std::string("ep.") + npb_class_name(klass), ranks, 0.05);
+  // Embarrassingly parallel: long independent compute, three tiny reductions.
+  const Seconds total_work = 1800.0 * s.work;
+  const Seconds per_rank = total_work / static_cast<double>(ranks);
+  for (int chunk = 0; chunk < 10; ++chunk) b.compute_all(per_rank / 10.0);
+  for (int r = 0; r < 3; ++r) b.allreduce(64);
+  return std::move(b).build();
+}
+
+Program make_npb_cg(std::size_t ranks, NpbClass klass) {
+  const ClassScale s = scale_of(klass);
+  ProgramBuilder b(std::string("cg.") + npb_class_name(klass), ranks, 0.70);
+  const Grid2D g = Grid2D::make(ranks);
+  const std::size_t outer = scaled_iters(15, s.iters);
+  const std::size_t inner = 25;
+  // Row/column vector segments of the sparse matvec.
+  const Bytes seg = scaled_size(
+      14000.0 * 8.0 * s.size / static_cast<double>(g.cols), 1.0);
+  const Seconds matvec = 900.0 * s.work /
+                         static_cast<double>(outer * inner) /
+                         static_cast<double>(ranks);
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t i = 0; i < inner; ++i) {
+      b.compute_all(matvec);
+      // Transpose exchange along grid rows (segment swap with the mirrored
+      // column), as NPB CG's reduce_exch pattern does.
+      for (std::size_t r = 0; r < ranks; ++r) {
+        const std::size_t row = g.row_of(r);
+        const std::size_t col = g.col_of(r);
+        const std::size_t mirror_col = g.cols - 1 - col;
+        if (col < mirror_col) {
+          b.exchange(RankId{r}, g.at(row, mirror_col), seg);
+        }
+      }
+      b.allreduce(16);  // dot products
+      b.allreduce(16);
+    }
+    b.allreduce(16);  // eigenvalue estimate
+  }
+  return std::move(b).build();
+}
+
+Program make_npb_mg(std::size_t ranks, NpbClass klass) {
+  const ClassScale s = scale_of(klass);
+  ProgramBuilder b(std::string("mg.") + npb_class_name(klass), ranks, 0.75);
+  const Grid3D g = Grid3D::make(ranks);
+  const std::size_t cycles = scaled_iters(8, s.iters);
+  const std::size_t levels = 6;
+  const double base_face = 96.0 * 1024.0 * s.size;
+  const Seconds base_compute =
+      1200.0 * s.work / static_cast<double>(cycles) /
+      static_cast<double>(ranks);
+
+  auto halo3d = [&](Bytes size) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      for (const auto [dx, dy, dz] :
+           {std::array{1, 0, 0}, std::array{0, 1, 0}, std::array{0, 0, 1}}) {
+        const RankId peer = g.neighbor(r, dx, dy, dz);
+        if (peer.valid()) b.exchange(RankId{r}, peer, size);
+      }
+    }
+  };
+
+  for (std::size_t c = 0; c < cycles; ++c) {
+    // V-cycle down: halo + smoothing at shrinking resolution.
+    for (std::size_t l = 0; l < levels; ++l) {
+      const double shrink = 1.0 / static_cast<double>(1u << (2 * l));
+      halo3d(scaled_size(base_face * shrink, 1.0));
+      b.compute_all(base_compute * shrink);
+    }
+    // V-cycle up: prolongation mirrors the way down.
+    for (std::size_t l = levels; l > 0; --l) {
+      const double shrink = 1.0 / static_cast<double>(1u << (2 * (l - 1)));
+      halo3d(scaled_size(base_face * shrink, 1.0));
+      b.compute_all(base_compute * shrink * 0.5);
+    }
+    b.allreduce(64);  // residual norm
+  }
+  return std::move(b).build();
+}
+
+namespace {
+
+/// Shared ADI skeleton for SP and BT: per iteration, face exchanges with the
+/// four 2D neighbours in each of the three sweep directions plus the solve
+/// compute. SP exchanges smaller faces more often; BT fewer, larger.
+Program make_adi(const char* name, std::size_t ranks, NpbClass klass,
+                 std::size_t base_iters, double face_bytes, double work,
+                 std::size_t exchanges_per_dir, double mem_intensity) {
+  const ClassScale s = scale_of(klass);
+  ProgramBuilder b(std::string(name) + "." + npb_class_name(klass), ranks,
+                   mem_intensity);
+  const Grid2D g = Grid2D::make(ranks);
+  const std::size_t iters = scaled_iters(base_iters, s.iters);
+  const Bytes face = scaled_size(face_bytes * s.size, 1.0);
+  const Seconds compute = work * s.work / static_cast<double>(iters) /
+                          static_cast<double>(ranks) / 3.0;
+
+  for (std::size_t it = 0; it < iters; ++it) {
+    for (int dir = 0; dir < 3; ++dir) {
+      for (std::size_t x = 0; x < exchanges_per_dir; ++x) {
+        for (std::size_t r = 0; r < ranks; ++r) {
+          if (const RankId e = g.east(r); e.valid())
+            b.exchange(RankId{r}, e, face);
+        }
+        for (std::size_t r = 0; r < ranks; ++r) {
+          if (const RankId sth = g.south(r); sth.valid())
+            b.exchange(RankId{r}, sth, face);
+        }
+      }
+      b.compute_all(compute);
+    }
+    if ((it + 1) % 10 == 0) b.allreduce(40);  // rhs norms
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Program make_npb_sp(std::size_t ranks, NpbClass klass) {
+  return make_adi("sp", ranks, klass, /*base_iters=*/40,
+                  /*face_bytes=*/24.0 * 1024.0, /*work=*/1600.0,
+                  /*exchanges_per_dir=*/3, /*mem_intensity=*/0.55);
+}
+
+Program make_npb_bt(std::size_t ranks, NpbClass klass) {
+  return make_adi("bt", ranks, klass, /*base_iters=*/20,
+                  /*face_bytes=*/64.0 * 1024.0, /*work=*/2400.0,
+                  /*exchanges_per_dir=*/1, /*mem_intensity=*/0.45);
+}
+
+}  // namespace cbes

@@ -1,0 +1,56 @@
+// NAS Parallel Benchmark (NPB 2.4) communication/computation skeletons.
+//
+// CBES only consumes an application's *trace statistics* — compute bursts,
+// message counts/sizes per peer, blocking structure — so each generator here
+// reproduces the documented pattern of its benchmark (wavefront pipelining for
+// LU, pairwise all-to-all for IS, nearest-neighbour halos for MG, ADI face
+// exchanges for SP/BT, ...) at a work scale that simulates quickly. Class
+// presets (S/A/B) scale total work and message sizes the way the real input
+// classes do relative to each other.
+#pragma once
+
+#include "apps/program.h"
+
+namespace cbes {
+
+enum class NpbClass : unsigned char { kS, kA, kB };
+
+[[nodiscard]] const char* npb_class_name(NpbClass klass) noexcept;
+
+/// LU: simulated CFD application, SSOR solver with 2D wavefront pipelining —
+/// the paper's primary scheduling workload (§6.1). The knobs are exposed
+/// because the Orange Grove experiments tune total runtime and comm fraction
+/// to the paper's measured zones.
+struct LuParams {
+  std::size_t ranks = 8;
+  std::size_t iters = 120;
+  /// Reference compute seconds per rank per iteration (across both sweeps).
+  Seconds compute_per_iter = 1.4;
+  /// Pipeline blocks (k-planes) per sweep; one message per edge per block.
+  /// Pipelining hides per-message latency (upstream and downstream advance at
+  /// the same cadence), so these mostly cost pipeline-fill time.
+  std::size_t blocks_per_sweep = 25;
+  Bytes msg_size = 8192;
+  /// Synchronous halo-exchange rounds per iteration — LU's rhs/jacld/jacu
+  /// neighbour exchanges outside the triangular solves. These are the
+  /// latency- and contention-sensitive part: every rank blocks on its
+  /// neighbours each round, so per-message cost lands on the critical path.
+  std::size_t halo_rounds = 8;
+  Bytes halo_size = 32 * 1024;
+  /// Residual-norm allreduce every this many iterations.
+  std::size_t allreduce_every = 5;
+  double mem_intensity = 0.40;
+};
+
+[[nodiscard]] Program make_lu(const LuParams& params);
+
+// NPB class presets running on `ranks` processes.
+[[nodiscard]] Program make_npb_lu(std::size_t ranks, NpbClass klass);
+[[nodiscard]] Program make_npb_is(std::size_t ranks, NpbClass klass);
+[[nodiscard]] Program make_npb_ep(std::size_t ranks, NpbClass klass);
+[[nodiscard]] Program make_npb_cg(std::size_t ranks, NpbClass klass);
+[[nodiscard]] Program make_npb_mg(std::size_t ranks, NpbClass klass);
+[[nodiscard]] Program make_npb_sp(std::size_t ranks, NpbClass klass);
+[[nodiscard]] Program make_npb_bt(std::size_t ranks, NpbClass klass);
+
+}  // namespace cbes

@@ -1,0 +1,221 @@
+#include "apps/program.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cbes {
+
+std::size_t Program::total_ops() const noexcept {
+  std::size_t total = 0;
+  for (const RankProgram& r : ranks) total += r.ops.size();
+  return total;
+}
+
+Seconds Program::total_compute_ref() const noexcept {
+  Seconds total = 0.0;
+  for (const RankProgram& r : ranks)
+    for (const Op& op : r.ops)
+      if (op.kind == OpKind::kCompute) total += op.compute_ref;
+  return total;
+}
+
+std::size_t Program::total_messages() const noexcept {
+  std::size_t total = 0;
+  for (const RankProgram& r : ranks)
+    for (const Op& op : r.ops)
+      if (op.kind == OpKind::kSend) ++total;
+  return total;
+}
+
+Bytes Program::total_bytes() const noexcept {
+  Bytes total = 0;
+  for (const RankProgram& r : ranks)
+    for (const Op& op : r.ops)
+      if (op.kind == OpKind::kSend) total += op.size;
+  return total;
+}
+
+std::vector<Program> split_phases(const Program& program) {
+  // Highest phase id decides the segment count; unmarked programs are one
+  // segment.
+  int max_phase = 0;
+  for (const RankProgram& r : program.ranks) {
+    for (const Op& op : r.ops) {
+      if (op.kind == OpKind::kPhaseMark) max_phase = std::max(max_phase, op.phase);
+    }
+  }
+
+  std::vector<Program> segments(static_cast<std::size_t>(max_phase) + 1);
+  for (auto& seg : segments) {
+    seg.name = program.name;
+    seg.mem_intensity = program.mem_intensity;
+    seg.ranks.resize(program.nranks());
+  }
+  for (std::size_t r = 0; r < program.nranks(); ++r) {
+    std::size_t current = 0;
+    for (const Op& op : program.ranks[r].ops) {
+      if (op.kind == OpKind::kPhaseMark) {
+        CBES_CHECK_MSG(op.phase >= 0, "negative phase id");
+        current = static_cast<std::size_t>(op.phase);
+        continue;
+      }
+      segments[current].ranks[r].ops.push_back(op);
+    }
+  }
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    segments[s].name = program.name + ".phase" + std::to_string(s);
+    // Quiescence check: per channel, sends and receives must balance inside
+    // the segment, or remapping at this boundary would strand a message.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, long> balance;
+    for (std::size_t r = 0; r < segments[s].nranks(); ++r) {
+      for (const Op& op : segments[s].ranks[r].ops) {
+        if (op.kind == OpKind::kSend) {
+          ++balance[{static_cast<std::uint32_t>(r), op.peer.value}];
+        } else if (op.kind == OpKind::kRecv) {
+          --balance[{op.peer.value, static_cast<std::uint32_t>(r)}];
+        }
+      }
+    }
+    for (const auto& [channel, count] : balance) {
+      CBES_CHECK_MSG(count == 0,
+                     "phase " + std::to_string(s) + " of '" + program.name +
+                         "' is not communication-quiescent");
+    }
+  }
+  return segments;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name, std::size_t nranks,
+                               double mem_intensity) {
+  CBES_CHECK_MSG(nranks >= 1, "program needs at least one rank");
+  CBES_CHECK_MSG(mem_intensity >= 0.0 && mem_intensity <= 1.0,
+                 "memory intensity must be in [0, 1]");
+  program_.name = std::move(name);
+  program_.mem_intensity = mem_intensity;
+  program_.ranks.resize(nranks);
+}
+
+void ProgramBuilder::push(RankId rank, Op op) {
+  CBES_CHECK_MSG(rank.valid() && rank.index() < program_.ranks.size(),
+                 "rank outside program");
+  program_.ranks[rank.index()].ops.push_back(op);
+}
+
+void ProgramBuilder::compute(RankId rank, Seconds reference_seconds) {
+  CBES_CHECK_MSG(reference_seconds >= 0.0, "negative compute burst");
+  if (reference_seconds == 0.0) return;
+  Op op;
+  op.kind = OpKind::kCompute;
+  op.compute_ref = reference_seconds;
+  push(rank, op);
+}
+
+void ProgramBuilder::compute_all(Seconds reference_seconds) {
+  for (std::size_t r = 0; r < nranks(); ++r)
+    compute(RankId{r}, reference_seconds);
+}
+
+void ProgramBuilder::send(RankId from, RankId to, Bytes size) {
+  CBES_CHECK_MSG(from != to, "self-message");
+  Op op;
+  op.kind = OpKind::kSend;
+  op.peer = to;
+  op.size = size;
+  push(from, op);
+}
+
+void ProgramBuilder::recv(RankId at, RankId from, Bytes size) {
+  CBES_CHECK_MSG(at != from, "self-message");
+  Op op;
+  op.kind = OpKind::kRecv;
+  op.peer = from;
+  op.size = size;
+  push(at, op);
+}
+
+void ProgramBuilder::message(RankId from, RankId to, Bytes size) {
+  send(from, to, size);
+  recv(to, from, size);
+}
+
+void ProgramBuilder::exchange(RankId a, RankId b, Bytes size) {
+  // MPI_Sendrecv on both sides: sends are eager, so send-before-recv on both
+  // ranks is deadlock-free and overlaps the two transfers.
+  send(a, b, size);
+  send(b, a, size);
+  recv(a, b, size);
+  recv(b, a, size);
+}
+
+void ProgramBuilder::broadcast(RankId root, Bytes size) {
+  const std::size_t n = nranks();
+  if (n == 1) return;
+  // Binomial tree on ranks relative to root.
+  for (std::size_t step = 1; step < n; step <<= 1) {
+    for (std::size_t rel = 0; rel < step && rel + step < n; ++rel) {
+      const RankId src{(root.index() + rel) % n};
+      const RankId dst{(root.index() + rel + step) % n};
+      message(src, dst, size);
+    }
+  }
+}
+
+void ProgramBuilder::reduce(RankId root, Bytes size) {
+  const std::size_t n = nranks();
+  if (n == 1) return;
+  // Mirror of the broadcast tree: leaves send first.
+  std::size_t top = 1;
+  while (top < n) top <<= 1;
+  for (std::size_t step = top >> 1; step >= 1; step >>= 1) {
+    for (std::size_t rel = 0; rel < step && rel + step < n; ++rel) {
+      const RankId dst{(root.index() + rel) % n};
+      const RankId src{(root.index() + rel + step) % n};
+      message(src, dst, size);
+    }
+  }
+}
+
+void ProgramBuilder::allreduce(Bytes size) {
+  reduce(RankId{std::size_t{0}}, size);
+  broadcast(RankId{std::size_t{0}}, size);
+}
+
+void ProgramBuilder::barrier() { allreduce(0); }
+
+void ProgramBuilder::alltoall(Bytes size) {
+  const std::size_t n = nranks();
+  // Round r: rank i exchanges with (i + r) % n; every unordered pair appears
+  // exactly once per r in {1..n-1} paired with r' = n - r, so iterate pairs
+  // where i < partner to emit each exchange once per round pattern.
+  for (std::size_t r = 1; r < n; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t partner = (i + r) % n;
+      if (i < partner) exchange(RankId{i}, RankId{partner}, size);
+    }
+  }
+}
+
+void ProgramBuilder::ring_shift(Bytes size) {
+  const std::size_t n = nranks();
+  if (n == 1) return;
+  for (std::size_t i = 0; i < n; ++i)
+    send(RankId{i}, RankId{(i + 1) % n}, size);
+  for (std::size_t i = 0; i < n; ++i)
+    recv(RankId{i}, RankId{(i + n - 1) % n}, size);
+}
+
+void ProgramBuilder::phase_mark(int phase) {
+  for (std::size_t r = 0; r < nranks(); ++r) {
+    Op op;
+    op.kind = OpKind::kPhaseMark;
+    op.phase = phase;
+    push(RankId{r}, op);
+  }
+}
+
+Program ProgramBuilder::build() && { return std::move(program_); }
+
+}  // namespace cbes

@@ -1,0 +1,116 @@
+// MPI-like program intermediate representation.
+//
+// CBES supports "legacy MPI programs without modifications" (paper §4): all it
+// ever sees is the trace of compute bursts and messages each process produced.
+// A Program captures exactly that — per rank, an ordered list of compute,
+// send, and receive operations (collectives are lowered to point-to-point by
+// the builder, as LAM/MPI itself ultimately does on a switched cluster).
+//
+// Sends are eager/buffered (the sender pays stack overhead and continues);
+// receives block. This matches LAM's behaviour for the message sizes these
+// codes exchange and keeps the blocked-time accounting (the paper's B_i) at
+// the receivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbes {
+
+enum class OpKind : unsigned char {
+  kCompute,   ///< busy CPU for `compute_ref` seconds on the idle reference node
+  kSend,      ///< eager send of `size` bytes to `peer`
+  kRecv,      ///< blocking receive of the next message from `peer`
+  kPhaseMark, ///< LAM trace segment marker (XMPI phase boundaries)
+};
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  Seconds compute_ref = 0.0;  ///< kCompute only
+  RankId peer;                ///< kSend / kRecv only
+  Bytes size = 0;             ///< kSend / kRecv only
+  int phase = 0;              ///< kPhaseMark only: id of the phase that begins
+};
+
+/// One rank's op sequence.
+struct RankProgram {
+  std::vector<Op> ops;
+};
+
+/// A complete parallel program.
+struct Program {
+  std::string name;
+  /// Memory intensity mu in [0,1]; determines the architecture-specific speed
+  /// ratios of this code (paper §3.1 footnote 1).
+  double mem_intensity = 0.3;
+  std::vector<RankProgram> ranks;
+
+  [[nodiscard]] std::size_t nranks() const noexcept { return ranks.size(); }
+  /// Total operations across all ranks (sizing/diagnostics).
+  [[nodiscard]] std::size_t total_ops() const noexcept;
+  /// Total reference compute seconds across all ranks.
+  [[nodiscard]] Seconds total_compute_ref() const noexcept;
+  /// Total message count / bytes across all ranks.
+  [[nodiscard]] std::size_t total_messages() const noexcept;
+  [[nodiscard]] Bytes total_bytes() const noexcept;
+};
+
+/// Splits a phase-marked program into one standalone sub-program per phase
+/// segment (ops before the first mark belong to segment 0 together with the
+/// ops of mark 0, matching LAM's trace segmentation). Each segment must be
+/// communication-quiescent: every send matched by a receive within the same
+/// segment — the property that makes mid-run remapping at phase boundaries
+/// sound. Throws ContractError when a message crosses a boundary.
+[[nodiscard]] std::vector<Program> split_phases(const Program& program);
+
+/// Convenience builder: per-rank appends plus deadlock-free lowered
+/// collectives. Rank count is fixed at construction.
+class ProgramBuilder {
+ public:
+  ProgramBuilder(std::string name, std::size_t nranks, double mem_intensity);
+
+  // -- point-to-point -------------------------------------------------------
+  void compute(RankId rank, Seconds reference_seconds);
+  /// Identical compute burst on every rank.
+  void compute_all(Seconds reference_seconds);
+  void send(RankId from, RankId to, Bytes size);
+  void recv(RankId at, RankId from, Bytes size);
+  /// Matched send+recv pair (from -> to).
+  void message(RankId from, RankId to, Bytes size);
+  /// Bidirectional exchange (MPI_Sendrecv on both sides).
+  void exchange(RankId a, RankId b, Bytes size);
+
+  // -- lowered collectives ----------------------------------------------------
+  /// Binomial-tree broadcast from `root`.
+  void broadcast(RankId root, Bytes size);
+  /// Binomial-tree reduction to `root`.
+  void reduce(RankId root, Bytes size);
+  /// Reduce to rank 0 + broadcast (how LAM lowers allreduce on a LAN).
+  void allreduce(Bytes size);
+  /// Zero-byte allreduce.
+  void barrier();
+  /// Pairwise-exchange all-to-all: each rank exchanges `size` bytes with every
+  /// other rank over nranks-1 rounds.
+  void alltoall(Bytes size);
+  /// Ring shift: every rank sends to (rank+1) % nranks.
+  void ring_shift(Bytes size);
+
+  /// Starts a new trace phase on all ranks.
+  void phase_mark(int phase);
+
+  [[nodiscard]] Program build() &&;
+
+  [[nodiscard]] std::size_t nranks() const noexcept {
+    return program_.ranks.size();
+  }
+
+ private:
+  void push(RankId rank, Op op);
+
+  Program program_;
+};
+
+}  // namespace cbes

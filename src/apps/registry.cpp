@@ -1,0 +1,73 @@
+#include "apps/registry.h"
+
+#include "apps/asci.h"
+#include "apps/npb.h"
+#include "apps/synthetic.h"
+#include "common/check.h"
+
+namespace cbes {
+
+const std::vector<AppSpec>& app_registry() {
+  static const std::vector<AppSpec> registry = {
+      {"lu.A", "NPB LU class A (SSOR wavefront CFD)",
+       [](std::size_t n) { return make_npb_lu(n, NpbClass::kA); }},
+      {"lu.B", "NPB LU class B",
+       [](std::size_t n) { return make_npb_lu(n, NpbClass::kB); }},
+      {"is.A", "NPB IS class A (bucket sort, all-to-all)",
+       [](std::size_t n) { return make_npb_is(n, NpbClass::kA); }},
+      {"ep.B", "NPB EP class B (embarrassingly parallel)",
+       [](std::size_t n) { return make_npb_ep(n, NpbClass::kB); }},
+      {"cg.A", "NPB CG class A (sparse eigenvalue)",
+       [](std::size_t n) { return make_npb_cg(n, NpbClass::kA); }},
+      {"mg.A", "NPB MG class A (3D multigrid)",
+       [](std::size_t n) { return make_npb_mg(n, NpbClass::kA); }},
+      {"mg.B", "NPB MG class B",
+       [](std::size_t n) { return make_npb_mg(n, NpbClass::kB); }},
+      {"sp.A", "NPB SP class A (ADI pentadiagonal)",
+       [](std::size_t n) { return make_npb_sp(n, NpbClass::kA); }},
+      {"sp.B", "NPB SP class B",
+       [](std::size_t n) { return make_npb_sp(n, NpbClass::kB); }},
+      {"bt.S", "NPB BT class S (ADI block-tridiagonal)",
+       [](std::size_t n) { return make_npb_bt(n, NpbClass::kS); }},
+      {"bt.A", "NPB BT class A",
+       [](std::size_t n) { return make_npb_bt(n, NpbClass::kA); }},
+      {"bt.B", "NPB BT class B",
+       [](std::size_t n) { return make_npb_bt(n, NpbClass::kB); }},
+      {"hpl.500", "HPL, n = 500 (short run)",
+       [](std::size_t n) { return make_hpl(n, 500); }},
+      {"hpl.5000", "HPL, n = 5000",
+       [](std::size_t n) { return make_hpl(n, 5000); }},
+      {"hpl.10000", "HPL, n = 10000",
+       [](std::size_t n) { return make_hpl(n, 10000); }},
+      {"sweep3d", "ASCI sweep3d (3D particle transport)",
+       [](std::size_t n) { return make_sweep3d(n); }},
+      {"smg2000.12", "smg2000, 12^3 per process",
+       [](std::size_t n) { return make_smg2000(n, 12); }},
+      {"smg2000.50", "smg2000, 50^3 per process",
+       [](std::size_t n) { return make_smg2000(n, 50); }},
+      {"smg2000.60", "smg2000, 60^3 per process",
+       [](std::size_t n) { return make_smg2000(n, 60); }},
+      {"samrai", "SAMRAI structured AMR framework",
+       [](std::size_t n) { return make_samrai(n); }},
+      {"towhee", "MCCCS Towhee Monte Carlo",
+       [](std::size_t n) { return make_towhee(n); }},
+      {"aztec", "Aztec iterative solver (Poisson)",
+       [](std::size_t n) { return make_aztec(n); }},
+      {"synthetic", "configurable synthetic benchmark (defaults)",
+       [](std::size_t n) {
+         SyntheticParams p;
+         p.ranks = n;
+         return make_synthetic(p);
+       }},
+  };
+  return registry;
+}
+
+const AppSpec& find_app(const std::string& name) {
+  for (const AppSpec& spec : app_registry()) {
+    if (spec.name == name) return spec;
+  }
+  throw ContractError("unknown application: " + name);
+}
+
+}  // namespace cbes

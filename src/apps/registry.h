@@ -1,0 +1,26 @@
+// Name-indexed access to every application generator, for harnesses and tools.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/program.h"
+
+namespace cbes {
+
+struct AppSpec {
+  std::string name;
+  std::string description;
+  /// Builds the program for the given rank count.
+  std::function<Program(std::size_t ranks)> make;
+};
+
+/// All registered applications (NPB kernels at class A, HPL at its three
+/// paper sizes, and the ASCI selection).
+[[nodiscard]] const std::vector<AppSpec>& app_registry();
+
+/// Looks up a generator by name; throws ContractError when unknown.
+[[nodiscard]] const AppSpec& find_app(const std::string& name);
+
+}  // namespace cbes

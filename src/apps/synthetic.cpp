@@ -1,0 +1,113 @@
+#include "apps/synthetic.h"
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "apps/decomp.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cbes {
+
+namespace {
+
+/// Directed message channels of one phase of the given pattern.
+std::vector<std::pair<std::size_t, std::size_t>> pattern_channels(
+    const SyntheticParams& params) {
+  std::vector<std::pair<std::size_t, std::size_t>> channels;
+  const std::size_t n = params.ranks;
+  switch (params.pattern) {
+    case CommPattern::kRing:
+      for (std::size_t r = 0; r < n; ++r) channels.emplace_back(r, (r + 1) % n);
+      break;
+    case CommPattern::kGrid: {
+      const Grid2D grid = Grid2D::make(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (const RankId e = grid.east(r); e.valid()) {
+          channels.emplace_back(r, e.index());
+          channels.emplace_back(e.index(), r);
+        }
+        if (const RankId s = grid.south(r); s.valid()) {
+          channels.emplace_back(r, s.index());
+          channels.emplace_back(s.index(), r);
+        }
+      }
+      break;
+    }
+    case CommPattern::kAllToAll:
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+          if (a != b) channels.emplace_back(a, b);
+        }
+      }
+      break;
+    case CommPattern::kPairs: {
+      std::vector<std::size_t> pairing(n);
+      std::iota(pairing.begin(), pairing.end(), std::size_t{0});
+      Rng rng(params.seed);
+      rng.shuffle(std::span<std::size_t>(pairing));
+      for (std::size_t k = 0; k + 1 < n; k += 2) {
+        channels.emplace_back(pairing[k], pairing[k + 1]);
+        channels.emplace_back(pairing[k + 1], pairing[k]);
+      }
+      break;
+    }
+  }
+  return channels;
+}
+
+}  // namespace
+
+Program make_synthetic(const SyntheticParams& params) {
+  CBES_CHECK_MSG(params.ranks >= 2, "synthetic benchmark needs >= 2 ranks");
+  CBES_CHECK_MSG(params.overlap >= 0.0 && params.overlap <= 1.0,
+                 "overlap must be in [0, 1]");
+  CBES_CHECK_MSG(params.imbalance >= 0.0 && params.imbalance < 1.0,
+                 "imbalance must be in [0, 1)");
+  CBES_CHECK_MSG(params.mark_segments >= 1, "need at least one segment");
+  ProgramBuilder b("synthetic", params.ranks, params.mem_intensity);
+  const auto channels = pattern_channels(params);
+
+  int current_segment = -1;
+  for (std::size_t phase = 0; phase < params.phases; ++phase) {
+    if (params.mark_segments > 1) {
+      const int segment = static_cast<int>(phase * params.mark_segments /
+                                           params.phases);
+      if (segment != current_segment) {
+        b.phase_mark(segment);
+        current_segment = segment;
+      }
+    }
+    // Pre-send compute: skewed per rank (even ranks run longer).
+    for (std::size_t r = 0; r < params.ranks; ++r) {
+      const double skew =
+          (r % 2 == 0) ? 1.0 + params.imbalance : 1.0 - params.imbalance;
+      b.compute(RankId{r},
+                params.compute_per_phase * skew * (1.0 - params.overlap));
+    }
+    // Eager sends go out, ...
+    for (std::size_t m = 0; m < params.msgs_per_phase; ++m) {
+      for (const auto& [src, dst] : channels) {
+        b.send(RankId{src}, RankId{dst}, params.msg_size);
+      }
+    }
+    // ... the overlapped share of the compute hides the transfers, ...
+    if (params.overlap > 0.0) {
+      for (std::size_t r = 0; r < params.ranks; ++r) {
+        const double skew =
+            (r % 2 == 0) ? 1.0 + params.imbalance : 1.0 - params.imbalance;
+        b.compute(RankId{r}, params.compute_per_phase * skew * params.overlap);
+      }
+    }
+    // ... then everyone drains their inbound channels.
+    for (std::size_t m = 0; m < params.msgs_per_phase; ++m) {
+      for (const auto& [src, dst] : channels) {
+        b.recv(RankId{dst}, RankId{src}, params.msg_size);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace cbes

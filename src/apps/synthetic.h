@@ -1,0 +1,48 @@
+// The configurable synthetic benchmark of the paper's first validation phase
+// (§5): "configurable in terms of computation and communication overlap,
+// communication granularity, and execution duration (indirectly)".
+#pragma once
+
+#include <cstdint>
+
+#include "apps/program.h"
+
+namespace cbes {
+
+enum class CommPattern : unsigned char {
+  kRing,      ///< each rank talks to its successor
+  kGrid,      ///< 2D nearest-neighbour halo exchange
+  kAllToAll,  ///< pairwise all-to-all
+  kPairs,     ///< fixed random pairing (rank 2k <-> 2k+1 after shuffle)
+};
+
+struct SyntheticParams {
+  std::size_t ranks = 8;
+  std::size_t phases = 50;
+  /// Reference compute seconds per rank per phase.
+  Seconds compute_per_phase = 0.1;
+  /// Messages exchanged per channel per phase (communication granularity:
+  /// many small vs few large for the same volume).
+  std::size_t msgs_per_phase = 4;
+  Bytes msg_size = 16 * 1024;
+  /// Computation/communication overlap in [0, 1]: the fraction of each
+  /// phase's compute placed between the sends and the matching receives, so
+  /// transfers hide behind it (lambda -> 0 as overlap -> 1; lambda ~ 1 at 0).
+  double overlap = 0.0;
+  /// Skews compute across ranks (rank-alternating +/- fraction); receivers of
+  /// slow partners then block longer than theory (lambda > 1).
+  double imbalance = 0.0;
+  CommPattern pattern = CommPattern::kGrid;
+  double mem_intensity = 0.3;
+  /// Seed for the kPairs pattern's pairing.
+  std::uint64_t seed = 1;
+  /// When > 1, the run is split into this many trace segments with LAM phase
+  /// markers (each segment is communication-quiescent, so split_phases() and
+  /// the PhasedRunner accept it).
+  std::size_t mark_segments = 1;
+};
+
+/// Builds the synthetic benchmark program.
+[[nodiscard]] Program make_synthetic(const SyntheticParams& params);
+
+}  // namespace cbes

@@ -1,0 +1,57 @@
+// Lightweight precondition / invariant checking for CBES.
+//
+// CBES_CHECK is always on (library contract violations throw cbes::ContractError,
+// which callers may catch in tests); CBES_ASSERT compiles out in NDEBUG builds and
+// is reserved for internal invariants that are provably unreachable when the public
+// contracts hold.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cbes {
+
+/// Thrown when a public-API precondition or a library invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace cbes
+
+#define CBES_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::cbes::detail::contract_failure("CBES_CHECK", #expr, __FILE__,         \
+                                       __LINE__, std::string{});              \
+  } while (0)
+
+#define CBES_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::cbes::detail::contract_failure("CBES_CHECK", #expr, __FILE__,         \
+                                       __LINE__, (msg));                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define CBES_ASSERT(expr) ((void)0)
+#else
+#define CBES_ASSERT(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::cbes::detail::contract_failure("CBES_ASSERT", #expr, __FILE__,        \
+                                       __LINE__, std::string{});              \
+  } while (0)
+#endif

@@ -1,0 +1,54 @@
+#include "common/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  CBES_CHECK_MSG(out_.good(), "cannot open CSV file: " + path);
+  CBES_CHECK_MSG(columns_ > 0, "CSV header must be nonempty");
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  CBES_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  write_row(cells);
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace cbes

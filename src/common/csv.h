@@ -1,0 +1,30 @@
+// Minimal CSV emission so each bench can also dump machine-readable series
+// (one file per figure) alongside its printed table.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cbes {
+
+/// Streams rows to a CSV file; quotes fields containing separators.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Emits one row; pads/truncates nothing — size must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for all-numeric rows.
+  void row_numeric(const std::vector<double>& cells, int precision = 6);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,82 @@
+// Deterministic random-number generation for CBES.
+//
+// Every stochastic component in the repository takes an explicit 64-bit seed and
+// owns its own generator; there is no global RNG state, so any experiment is
+// reproducible from its seed alone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cbes {
+
+/// splitmix64 — used to expand a single seed into generator state and to derive
+/// independent child seeds (seed "splitting").
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Derives a child seed from (parent seed, stream index); distinct streams are
+/// statistically independent for our purposes.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent,
+                                        std::uint64_t stream) noexcept;
+
+/// xoshiro256** — small, fast, high-quality generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  [[nodiscard]] double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Lognormal such that the *median* is `median` and log-space sigma is `sigma`.
+  [[nodiscard]] double lognormal_median(double median, double sigma) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+  /// Exponential with the given mean. Requires mean > 0.
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Uniformly selects an index into a container of size n. Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <class T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) in selection order (k <= n).
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace cbes

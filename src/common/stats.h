@@ -1,0 +1,92 @@
+// Summary statistics used throughout the experiment harnesses: running moments,
+// 95% confidence intervals (as reported in the paper's figures/tables), quantiles,
+// histograms, and least-squares line fitting for the latency-model calibration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cbes {
+
+/// Single-pass accumulation of count/mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of the 95% confidence interval on the mean (Student-t).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value for 95% confidence with `df` degrees of
+/// freedom (tabulated for small df, 1.96 asymptote).
+[[nodiscard]] double t_critical_95(std::size_t df) noexcept;
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1]; the input need not be sorted. Requires a nonempty sample.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+[[nodiscard]] inline double median(std::span<const double> sample) {
+  return quantile(sample, 0.5);
+}
+
+/// Fixed-bin histogram over [lo, hi]; samples outside are clamped to the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one row per bin, scaled to `width` columns.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Result of an ordinary-least-squares fit y = intercept + slope * x.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination; 1 for a perfect fit, 0 when x explains nothing.
+  double r_squared = 0.0;
+};
+
+/// OLS fit; requires xs.size() == ys.size() and at least two distinct x values.
+[[nodiscard]] LineFit fit_line(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// Weighted least squares with per-point weights (e.g. 1/y^2 to minimize
+/// *relative* residuals when measurement noise is multiplicative, as network
+/// latency jitter is). Requires positive weights and two distinct x values.
+[[nodiscard]] LineFit fit_line_weighted(std::span<const double> xs,
+                                        std::span<const double> ys,
+                                        std::span<const double> weights);
+
+}  // namespace cbes

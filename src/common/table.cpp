@@ -1,0 +1,89 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CBES_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  CBES_CHECK_MSG(rows_.empty() || rows_.back().size() == header_.size(),
+                 "previous row not fully populated");
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  CBES_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  CBES_CHECK_MSG(rows_.back().size() < header_.size(), "row already full");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* value) { return cell(std::string(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+TextTable& TextTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c])) << v;
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes < 1024) return std::to_string(bytes) + " B";
+  const double kib = static_cast<double>(bytes) / 1024.0;
+  if (kib < 1024.0) return format_fixed(kib, kib < 10 ? 1 : 0) + " KiB";
+  const double mib = kib / 1024.0;
+  return format_fixed(mib, mib < 10 ? 1 : 0) + " MiB";
+}
+
+}  // namespace cbes

@@ -1,0 +1,46 @@
+// Fixed-width plain-text table rendering for the experiment harnesses, so each
+// bench binary can print the same rows the paper's tables report.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cbes {
+
+/// Column-aligned text table. Cells are strings; helpers format numbers.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value);
+  /// Fixed-precision floating point cell.
+  TextTable& cell(double value, int precision = 1);
+  TextTable& cell(std::size_t value);
+  TextTable& cell(int value);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed precision, e.g. format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// "12.3%" style percentage string.
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+
+/// Human-readable byte size ("64 B", "8 KiB", "1.5 MiB").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace cbes

@@ -1,0 +1,71 @@
+// Core value types shared by every CBES module.
+//
+// Times are plain double seconds (`Seconds`); message sizes are byte counts.
+// Entity identifiers are strong types so a rank index can never be passed where a
+// node index is expected (C++ Core Guidelines I.4 / ES.9).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cbes {
+
+/// Simulated wall-clock time, in seconds.
+using Seconds = double;
+
+/// Message payload size, in bytes.
+using Bytes = std::uint64_t;
+
+/// Sentinel for "no time" / "not yet scheduled".
+inline constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+namespace detail {
+
+/// Strongly-typed numeric identifier. `Tag` distinguishes id families.
+template <class Tag>
+struct Id {
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = std::numeric_limits<underlying>::max();
+
+  underlying value = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying v) : value(v) {}
+  constexpr explicit Id(std::size_t v) : value(static_cast<underlying>(v)) {}
+  constexpr explicit Id(int v) : value(static_cast<underlying>(v)) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value);
+  }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+}  // namespace detail
+
+struct NodeTag {};
+struct SwitchTag {};
+struct RankTag {};
+struct LinkTag {};
+
+/// Identifies a compute node within a ClusterTopology.
+using NodeId = detail::Id<NodeTag>;
+/// Identifies a switch within a ClusterTopology.
+using SwitchId = detail::Id<SwitchTag>;
+/// Identifies an application process (MPI rank).
+using RankId = detail::Id<RankTag>;
+/// Identifies a network link within a ClusterTopology.
+using LinkId = detail::Id<LinkTag>;
+
+}  // namespace cbes
+
+template <class Tag>
+struct std::hash<cbes::detail::Id<Tag>> {
+  std::size_t operator()(cbes::detail::Id<Tag> id) const noexcept {
+    return std::hash<typename cbes::detail::Id<Tag>::underlying>{}(id.value);
+  }
+};

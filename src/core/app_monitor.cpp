@@ -1,0 +1,61 @@
+#include "core/app_monitor.h"
+
+#include "common/check.h"
+
+namespace cbes {
+
+AppMonitor::AppMonitor(std::vector<Seconds> predicted_durations,
+                       AppMonitorConfig config)
+    : config_(config), predicted_(std::move(predicted_durations)) {
+  CBES_CHECK_MSG(!predicted_.empty(), "nothing to monitor");
+  CBES_CHECK_MSG(config_.drift_threshold > 0.0, "threshold must be positive");
+  CBES_CHECK_MSG(config_.patience >= 1, "patience must be at least 1");
+  for (Seconds p : predicted_) {
+    CBES_CHECK_MSG(p > 0.0, "predicted durations must be positive");
+  }
+}
+
+RemapTrigger AppMonitor::report(Seconds measured) {
+  CBES_CHECK_MSG(measured >= 0.0, "negative measured duration");
+  CBES_CHECK_MSG(base_ < predicted_.size(),
+                 "more progress reports than predicted units");
+  const Seconds predicted = predicted_[base_];
+  ++base_;
+  ++completed_;
+  measured_total_ += measured;
+  predicted_total_ += predicted;
+  last_drift_ = measured / predicted;
+
+  if (last_drift_ > 1.0 + config_.drift_threshold) {
+    ++slow_streak_;
+    fast_streak_ = 0;
+  } else if (last_drift_ < 1.0 - config_.drift_threshold) {
+    ++fast_streak_;
+    slow_streak_ = 0;
+  } else {
+    slow_streak_ = 0;
+    fast_streak_ = 0;
+    state_ = RemapTrigger::kNone;
+  }
+  if (slow_streak_ >= config_.patience) state_ = RemapTrigger::kExternal;
+  if (fast_streak_ >= config_.patience) state_ = RemapTrigger::kInternal;
+  return state_;
+}
+
+void AppMonitor::rebase(std::vector<Seconds> predicted_remaining) {
+  CBES_CHECK_MSG(!predicted_remaining.empty(), "rebase with no predictions");
+  for (Seconds p : predicted_remaining) {
+    CBES_CHECK_MSG(p > 0.0, "predicted durations must be positive");
+  }
+  predicted_ = std::move(predicted_remaining);
+  base_ = 0;
+  slow_streak_ = 0;
+  fast_streak_ = 0;
+  state_ = RemapTrigger::kNone;
+}
+
+double AppMonitor::cumulative_drift() const noexcept {
+  return predicted_total_ > 0.0 ? measured_total_ / predicted_total_ : 1.0;
+}
+
+}  // namespace cbes

@@ -1,0 +1,74 @@
+// Application monitoring — the other half of the paper's §8 roadmap: watch a
+// running application's progress against its prediction and raise a remap
+// trigger when reality drifts.
+//
+// The monitor is fed progress reports (phase/segment completions with their
+// measured durations, which LAM's daemons can observe from the trace stream)
+// and compares them with the per-segment predictions made at scheduling time.
+// Sustained slowdown beyond a threshold raises kExternal (system conditions
+// changed — consult CBES for a remap); sustained *speedup* raises kInternal
+// (the application itself behaves differently from its profile — consider
+// re-profiling).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbes {
+
+enum class RemapTrigger : unsigned char {
+  kNone,      ///< progress tracks the prediction
+  kExternal,  ///< running slower than predicted: system conditions changed
+  kInternal,  ///< running faster/differently: the profile is stale
+};
+
+struct AppMonitorConfig {
+  /// Relative drift that arms a trigger (e.g. 0.10 = 10% off prediction).
+  double drift_threshold = 0.10;
+  /// Consecutive drifting reports required before the trigger fires —
+  /// hysteresis against one-off hiccups (paper §5: short-lived loads must
+  /// not invalidate predictions).
+  std::size_t patience = 2;
+};
+
+/// Tracks one running application.
+class AppMonitor {
+ public:
+  /// `predicted_durations[k]` is the scheduling-time prediction for progress
+  /// unit (segment) k.
+  AppMonitor(std::vector<Seconds> predicted_durations,
+             AppMonitorConfig config = {});
+
+  /// Records that the next progress unit completed in `measured` seconds and
+  /// returns the current trigger state.
+  RemapTrigger report(Seconds measured);
+
+  /// Re-arms the monitor after a remap (the remaining predictions change).
+  /// `predicted_remaining[k]` predicts progress unit completed_units()+k.
+  void rebase(std::vector<Seconds> predicted_remaining);
+
+  [[nodiscard]] std::size_t completed_units() const noexcept {
+    return completed_;
+  }
+  /// Measured / predicted for the last reported unit (1 = on prediction).
+  [[nodiscard]] double last_drift() const noexcept { return last_drift_; }
+  /// Cumulative measured vs cumulative predicted so far.
+  [[nodiscard]] double cumulative_drift() const noexcept;
+  [[nodiscard]] RemapTrigger state() const noexcept { return state_; }
+
+ private:
+  AppMonitorConfig config_;
+  std::vector<Seconds> predicted_;
+  std::size_t base_ = 0;       ///< index into predicted_ of the next unit
+  std::size_t completed_ = 0;  ///< total units reported since construction
+  Seconds measured_total_ = 0.0;
+  Seconds predicted_total_ = 0.0;
+  std::size_t slow_streak_ = 0;
+  std::size_t fast_streak_ = 0;
+  double last_drift_ = 1.0;
+  RemapTrigger state_ = RemapTrigger::kNone;
+};
+
+}  // namespace cbes

@@ -1,0 +1,77 @@
+#include "core/evaluator.h"
+
+#include "common/check.h"
+#include "profile/theta.h"
+
+namespace cbes {
+
+MappingEvaluator::MappingEvaluator(const LatencyModel& model)
+    : model_(&model) {}
+
+Seconds MappingEvaluator::term_r(const ProcessProfile& proc, NodeId node,
+                                 const AppProfile& profile,
+                                 const LoadSnapshot& snapshot,
+                                 const EvalOptions& options) const {
+  const Arch arch = model_->topology().node(node).arch;
+  const double speed_ratio =
+      profile.speed_of(proc.profiled_arch) / profile.speed_of(arch);
+  double r = (proc.x + proc.o) * speed_ratio;
+  if (options.load_term) {
+    r /= snapshot.cpu_avail[node.index()];
+  }
+  return r;
+}
+
+Prediction MappingEvaluator::predict(const AppProfile& profile,
+                                     const Mapping& mapping,
+                                     const LoadSnapshot& snapshot,
+                                     const EvalOptions& options) const {
+  const std::size_t n = profile.nranks();
+  CBES_CHECK_MSG(mapping.nranks() == n, "mapping/profile rank count mismatch");
+
+  Prediction pred;
+  pred.compute.resize(n);
+  pred.comm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RankId rank{i};
+    const ProcessProfile& proc = profile.procs[i];
+    const NodeId node = mapping.node_of(rank);
+    pred.compute[i] = term_r(proc, node, profile, snapshot, options);
+    if (options.comm_term) {
+      Seconds c = theta(proc, rank, mapping, *model_, snapshot);
+      if (options.lambda_correction) c *= proc.lambda;
+      pred.comm[i] = c;
+    }
+    const Seconds total = pred.compute[i] + pred.comm[i];
+    if (total > pred.time) {
+      pred.time = total;
+      pred.critical = rank;
+    }
+  }
+  return pred;
+}
+
+Seconds MappingEvaluator::evaluate(const AppProfile& profile,
+                                   const Mapping& mapping,
+                                   const LoadSnapshot& snapshot,
+                                   const EvalOptions& options) const {
+  const std::size_t n = profile.nranks();
+  CBES_CHECK_MSG(mapping.nranks() == n, "mapping/profile rank count mismatch");
+
+  Seconds worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RankId rank{i};
+    const ProcessProfile& proc = profile.procs[i];
+    Seconds total =
+        term_r(proc, mapping.node_of(rank), profile, snapshot, options);
+    if (options.comm_term) {
+      Seconds c = theta(proc, rank, mapping, *model_, snapshot);
+      if (options.lambda_correction) c *= proc.lambda;
+      total += c;
+    }
+    if (total > worst) worst = total;
+  }
+  return worst;
+}
+
+}  // namespace cbes

@@ -1,0 +1,77 @@
+// The CBES mapping-evaluation operation (paper §3.1, equations 4–8):
+//
+//   S_M  = max_i (R_i + C_i)                                  (4)
+//   R_i  = (X_i + O_i) * (Speed_profile_i / Speed_j) / ACPU_j (5)
+//   Theta_i^M = sum over message groups of mc * L_c(...)      (6)
+//   lambda_i  = B_i / Theta_i^profile                         (7)
+//   C_i  = Theta_i^M * lambda_i                               (8)
+//
+// This is the energy function the simulated-annealing scheduler minimizes and
+// the predictor the validation experiments (Fig. 5) measure against reality.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "monitor/snapshot.h"
+#include "netmodel/latency_model.h"
+#include "profile/app_profile.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+/// Per-process and aggregate outcome of one mapping evaluation.
+struct Prediction {
+  /// Predicted application execution time S_M (seconds).
+  Seconds time = 0.0;
+  /// The process attaining the max in equation 4 (the paper's i_M).
+  RankId critical;
+  /// R_i per process.
+  std::vector<Seconds> compute;
+  /// C_i per process.
+  std::vector<Seconds> comm;
+};
+
+/// Evaluation knobs for the ablation experiments. Defaults reproduce the
+/// paper's full formulation.
+struct EvalOptions {
+  /// Apply the lambda correction of equations 7–8; when false C_i = Theta_i
+  /// (ablation: how much does the correction factor matter?).
+  bool lambda_correction = true;
+  /// Apply the 1/ACPU slowdown of equation 5; when false nodes are assumed
+  /// idle (ablation: how much does monitoring matter under load?).
+  bool load_term = true;
+  /// Include the communication term at all; false gives the paper's NCS
+  /// scheduler's cost function, which "cannot predict execution times".
+  bool comm_term = true;
+};
+
+class MappingEvaluator {
+ public:
+  /// `model` must outlive the evaluator.
+  explicit MappingEvaluator(const LatencyModel& model);
+
+  /// Full prediction with per-process breakdown.
+  [[nodiscard]] Prediction predict(const AppProfile& profile,
+                                   const Mapping& mapping,
+                                   const LoadSnapshot& snapshot,
+                                   const EvalOptions& options = {}) const;
+
+  /// Scalar S_M only — the scheduler's fast path (no allocations).
+  [[nodiscard]] Seconds evaluate(const AppProfile& profile,
+                                 const Mapping& mapping,
+                                 const LoadSnapshot& snapshot,
+                                 const EvalOptions& options = {}) const;
+
+  [[nodiscard]] const LatencyModel& model() const noexcept { return *model_; }
+
+ private:
+  [[nodiscard]] Seconds term_r(const ProcessProfile& proc, NodeId node,
+                               const AppProfile& profile,
+                               const LoadSnapshot& snapshot,
+                               const EvalOptions& options) const;
+
+  const LatencyModel* model_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,54 @@
+#include "core/remap.h"
+
+#include "common/check.h"
+
+namespace cbes {
+
+Seconds migration_cost(const ClusterTopology& topology, const Mapping& current,
+                       const Mapping& candidate, const RemapCostModel& cost) {
+  CBES_CHECK_MSG(current.nranks() == candidate.nranks(),
+                 "mappings must cover the same ranks");
+  Seconds total = 0.0;
+  std::size_t moved = 0;
+  for (std::size_t r = 0; r < current.nranks(); ++r) {
+    const NodeId from = current.node_of(RankId{r});
+    const NodeId to = candidate.node_of(RankId{r});
+    if (from == to) continue;
+    ++moved;
+    const double bw = topology.path_bandwidth(from, to);
+    total += static_cast<double>(cost.state_bytes) / bw +
+             topology.path_latency(from, to) + cost.restart_overhead;
+  }
+  if (moved > 0) total += cost.coordination_overhead;
+  return total;
+}
+
+RemapDecision evaluate_remap(const MappingEvaluator& evaluator,
+                             const AppProfile& profile, const Mapping& current,
+                             const Mapping& candidate, double progress,
+                             const LoadSnapshot& snapshot,
+                             const RemapCostModel& cost) {
+  CBES_CHECK_MSG(progress >= 0.0 && progress < 1.0,
+                 "progress must be in [0, 1)");
+  CBES_CHECK_MSG(current.nranks() == candidate.nranks(),
+                 "mappings must cover the same ranks");
+
+  const double remaining = 1.0 - progress;
+  RemapDecision decision;
+  decision.remaining_current =
+      remaining * evaluator.evaluate(profile, current, snapshot);
+  decision.remaining_candidate =
+      remaining * evaluator.evaluate(profile, candidate, snapshot);
+
+  for (std::size_t r = 0; r < current.nranks(); ++r) {
+    if (current.node_of(RankId{r}) != candidate.node_of(RankId{r})) {
+      ++decision.moved_ranks;
+    }
+  }
+  decision.migration_cost = migration_cost(evaluator.model().topology(),
+                                           current, candidate, cost);
+  decision.beneficial = decision.gain() > 0.0;
+  return decision;
+}
+
+}  // namespace cbes

@@ -1,0 +1,66 @@
+// Mid-run remapping support — the paper's §8 future-work item ("expand the
+// CBES infrastructure with application monitoring and remapping capabilities")
+// implemented here: given a running application, its progress, and a candidate
+// mapping, decide whether migrating is worth the cost.
+//
+// The remaining-time estimate scales the profile terms by the unexecuted
+// fraction; migration cost charges each *moved* rank a checkpoint transfer
+// over the network path between its old and new node plus a fixed restart
+// overhead (paper §2: "taking into account the task remapping costs").
+#pragma once
+
+#include "core/evaluator.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+struct RemapCostModel {
+  /// Checkpoint image size per rank.
+  Bytes state_bytes = 64 * 1024 * 1024;
+  /// Fixed teardown/restart time per moved rank.
+  Seconds restart_overhead = 2.0;
+  /// Coordination barrier paid once per remap event.
+  Seconds coordination_overhead = 1.0;
+};
+
+struct RemapDecision {
+  /// True when switching (including migration cost) beats staying.
+  bool beneficial = false;
+  /// Predicted time to finish on the current mapping.
+  Seconds remaining_current = 0.0;
+  /// Predicted time to finish on the candidate mapping (excluding migration).
+  Seconds remaining_candidate = 0.0;
+  /// Predicted cost of moving: checkpoint transfers + restarts.
+  Seconds migration_cost = 0.0;
+  /// Ranks whose node changes.
+  std::size_t moved_ranks = 0;
+
+  [[nodiscard]] Seconds total_candidate() const {
+    return remaining_candidate + migration_cost;
+  }
+  /// Time saved by remapping (negative = loss).
+  [[nodiscard]] Seconds gain() const {
+    return remaining_current - total_candidate();
+  }
+};
+
+/// Predicted cost of migrating from `current` to `candidate`: checkpoint
+/// transfer over each moved rank's old->new network path, restart overheads,
+/// and one coordination barrier (0 when nothing moves).
+[[nodiscard]] Seconds migration_cost(const ClusterTopology& topology,
+                                     const Mapping& current,
+                                     const Mapping& candidate,
+                                     const RemapCostModel& cost = {});
+
+/// Evaluates remapping a run that has completed `progress` (fraction in
+/// [0, 1)) of its profiled work from `current` to `candidate`, under the
+/// availability picture in `snapshot`.
+[[nodiscard]] RemapDecision evaluate_remap(const MappingEvaluator& evaluator,
+                                           const AppProfile& profile,
+                                           const Mapping& current,
+                                           const Mapping& candidate,
+                                           double progress,
+                                           const LoadSnapshot& snapshot,
+                                           const RemapCostModel& cost = {});
+
+}  // namespace cbes

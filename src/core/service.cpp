@@ -1,0 +1,65 @@
+#include "core/service.h"
+
+#include "common/check.h"
+
+namespace cbes {
+
+CbesService::CbesService(const ClusterTopology& topology,
+                         const LoadModel& truth, Config config)
+    : topology_(&topology),
+      config_(config),
+      model_(std::make_unique<LatencyModel>(
+          calibrate(topology, config.hardware, config.calibration,
+                    &calibration_report_))),
+      evaluator_(std::make_unique<MappingEvaluator>(*model_)),
+      monitor_(topology, truth, config.monitor),
+      simulator_(topology) {}
+
+const AppProfile& CbesService::register_application(
+    const Program& program, const Mapping& profiling_mapping) {
+  AppProfile profile = profile_application(program, profiling_mapping,
+                                           simulator_, *model_,
+                                           config_.profiler);
+  return register_profile(std::move(profile));
+}
+
+const AppProfile& CbesService::register_profile(AppProfile profile) {
+  CBES_CHECK_MSG(!profile.app_name.empty(), "profile must carry an app name");
+  auto [it, _] =
+      profiles_.insert_or_assign(profile.app_name, std::move(profile));
+  return it->second;
+}
+
+const AppProfile& CbesService::profile_of(const std::string& name) const {
+  const auto it = profiles_.find(name);
+  CBES_CHECK_MSG(it != profiles_.end(), "no profile registered for: " + name);
+  return it->second;
+}
+
+bool CbesService::has_profile(const std::string& name) const {
+  return profiles_.contains(name);
+}
+
+Prediction CbesService::predict(const std::string& app, const Mapping& mapping,
+                                Seconds now) const {
+  return evaluator_->predict(profile_of(app), mapping, monitor_.snapshot(now));
+}
+
+CbesService::ComparisonResult CbesService::compare(
+    const std::string& app, const std::vector<Mapping>& candidates,
+    Seconds now) const {
+  CBES_CHECK_MSG(!candidates.empty(), "nothing to compare");
+  const AppProfile& profile = profile_of(app);
+  const LoadSnapshot snapshot = monitor_.snapshot(now);
+
+  ComparisonResult result;
+  result.predicted.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    result.predicted.push_back(
+        evaluator_->evaluate(profile, candidates[i], snapshot));
+    if (result.predicted[i] < result.predicted[result.best]) result.best = i;
+  }
+  return result;
+}
+
+}  // namespace cbes

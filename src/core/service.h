@@ -1,0 +1,100 @@
+// CbesService — the deployable face of CBES (paper figure 2): the core module
+// plus its two autonomous subsystems (system profiling/monitoring and
+// application profiling), behind one API that external clients (schedulers)
+// call with mapping-comparison requests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "monitor/monitor.h"
+#include "netmodel/calibrate.h"
+#include "netmodel/latency_model.h"
+#include "profile/profiler.h"
+#include "simmpi/simulator.h"
+
+namespace cbes {
+
+class CbesService {
+ public:
+  struct Config {
+    /// Ground-truth hardware description (shared with the simulator).
+    SimNetConfig hardware;
+    CalibrationOptions calibration;
+    MonitorConfig monitor;
+    ProfilerOptions profiler;
+  };
+
+  /// Builds the service over `topology` with ground-truth load `truth`.
+  /// Construction performs the offline calibration phase (paper §2) —
+  /// "lengthy and expensive, but it takes place only once".
+  /// Both references must outlive the service.
+  CbesService(const ClusterTopology& topology, const LoadModel& truth,
+              Config config);
+
+  // ---- system-dedicated infrastructure -----------------------------------
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const CalibrationReport& calibration_report() const noexcept {
+    return calibration_report_;
+  }
+  [[nodiscard]] SystemMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] const SystemMonitor& monitor() const noexcept {
+    return monitor_;
+  }
+
+  // ---- application-dedicated infrastructure --------------------------------
+  /// Profiles `program` on `profiling_mapping` (tracing run on the idle
+  /// system) and registers the profile under the program's name. Returns the
+  /// stored profile. Re-registering a name replaces the old profile.
+  const AppProfile& register_application(const Program& program,
+                                         const Mapping& profiling_mapping);
+
+  /// Registers an externally built profile (e.g. a segment profile).
+  const AppProfile& register_profile(AppProfile profile);
+
+  [[nodiscard]] const AppProfile& profile_of(const std::string& name) const;
+  [[nodiscard]] bool has_profile(const std::string& name) const;
+
+  // ---- the core operation ---------------------------------------------------
+  /// Predicted execution time of `app` under `mapping`, given the monitor's
+  /// availability picture at time `now`.
+  [[nodiscard]] Prediction predict(const std::string& app,
+                                   const Mapping& mapping, Seconds now) const;
+
+  struct ComparisonResult {
+    std::vector<Seconds> predicted;  ///< one per candidate, in request order
+    std::size_t best = 0;            ///< index of the fastest candidate
+  };
+
+  /// Compares candidate mappings for `app` — the mapping-comparison request
+  /// the paper's core module serves. Requires at least one candidate.
+  [[nodiscard]] ComparisonResult compare(
+      const std::string& app, const std::vector<Mapping>& candidates,
+      Seconds now) const;
+
+  [[nodiscard]] const MappingEvaluator& evaluator() const noexcept {
+    return *evaluator_;
+  }
+  [[nodiscard]] MpiSimulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] const ClusterTopology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  const ClusterTopology* topology_;
+  Config config_;
+  CalibrationReport calibration_report_;
+  std::unique_ptr<LatencyModel> model_;
+  std::unique_ptr<MappingEvaluator> evaluator_;
+  SystemMonitor monitor_;
+  MpiSimulator simulator_;
+  std::map<std::string, AppProfile> profiles_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,70 @@
+#include "monitor/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace cbes {
+
+double LastValueForecaster::predict(std::span<const double> history) const {
+  CBES_CHECK_MSG(!history.empty(), "forecast from empty history");
+  return history.back();
+}
+
+SlidingWindowForecaster::SlidingWindowForecaster(std::size_t window)
+    : window_(window) {
+  CBES_CHECK_MSG(window >= 1, "window must be at least 1");
+}
+
+double SlidingWindowForecaster::predict(std::span<const double> history) const {
+  CBES_CHECK_MSG(!history.empty(), "forecast from empty history");
+  const std::size_t n = std::min(window_, history.size());
+  double sum = 0.0;
+  for (std::size_t i = history.size() - n; i < history.size(); ++i)
+    sum += history[i];
+  return sum / static_cast<double>(n);
+}
+
+MedianForecaster::MedianForecaster(std::size_t window) : window_(window) {
+  CBES_CHECK_MSG(window >= 1, "window must be at least 1");
+}
+
+double MedianForecaster::predict(std::span<const double> history) const {
+  CBES_CHECK_MSG(!history.empty(), "forecast from empty history");
+  const std::size_t n = std::min(window_, history.size());
+  return median(history.subspan(history.size() - n, n));
+}
+
+AdaptiveForecaster::AdaptiveForecaster() {
+  base_.push_back(std::make_unique<LastValueForecaster>());
+  base_.push_back(std::make_unique<SlidingWindowForecaster>(4));
+  base_.push_back(std::make_unique<SlidingWindowForecaster>(16));
+  base_.push_back(std::make_unique<MedianForecaster>(8));
+}
+
+double AdaptiveForecaster::predict(std::span<const double> history) const {
+  CBES_CHECK_MSG(!history.empty(), "forecast from empty history");
+  if (history.size() < 3) return history.back();
+
+  // One-step-ahead backtest over the available history: for each prefix,
+  // predict the next sample and accumulate absolute error per base predictor.
+  const Forecaster* best = base_.front().get();
+  double best_err = std::numeric_limits<double>::infinity();
+  for (const auto& f : base_) {
+    double err = 0.0;
+    for (std::size_t cut = 1; cut + 1 <= history.size(); ++cut) {
+      const double predicted = f->predict(history.subspan(0, cut));
+      err += std::abs(predicted - history[cut]);
+    }
+    if (err < best_err) {
+      best_err = err;
+      best = f.get();
+    }
+  }
+  return best->predict(history);
+}
+
+}  // namespace cbes

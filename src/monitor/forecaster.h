@@ -1,0 +1,70 @@
+// Availability forecasters.
+//
+// The paper's two prototypes differ here: the Orange Grove prototype "considers
+// the latest measured load values as valid for the next time period" (LastValue),
+// while the Centurion prototype uses NWS, which keeps a window of past samples
+// and picks among simple predictors (approximated by SlidingWindow and
+// AdaptiveForecaster below).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace cbes {
+
+/// Predicts the next-period value of one sensor series from its history
+/// (most recent sample last).
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  /// `history` is never empty.
+  [[nodiscard]] virtual double predict(std::span<const double> history) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The Orange Grove prototype's rule: last measurement carries forward.
+class LastValueForecaster final : public Forecaster {
+ public:
+  [[nodiscard]] double predict(std::span<const double> history) const override;
+  [[nodiscard]] std::string_view name() const override { return "last-value"; }
+};
+
+/// Mean of the trailing `window` samples (NWS "running mean" predictor).
+class SlidingWindowForecaster final : public Forecaster {
+ public:
+  explicit SlidingWindowForecaster(std::size_t window);
+  [[nodiscard]] double predict(std::span<const double> history) const override;
+  [[nodiscard]] std::string_view name() const override { return "sliding-window"; }
+
+ private:
+  std::size_t window_;
+};
+
+/// Median of the trailing `window` samples (robust to load spikes).
+class MedianForecaster final : public Forecaster {
+ public:
+  explicit MedianForecaster(std::size_t window);
+  [[nodiscard]] double predict(std::span<const double> history) const override;
+  [[nodiscard]] std::string_view name() const override { return "median"; }
+
+ private:
+  std::size_t window_;
+};
+
+/// NWS-style adaptive selection: evaluates a set of base predictors on the
+/// history (one-step-ahead backtest) and forwards to whichever had the lowest
+/// mean absolute error.
+class AdaptiveForecaster final : public Forecaster {
+ public:
+  AdaptiveForecaster();
+  [[nodiscard]] double predict(std::span<const double> history) const override;
+  [[nodiscard]] std::string_view name() const override { return "adaptive"; }
+
+ private:
+  std::vector<std::unique_ptr<Forecaster>> base_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,84 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cbes {
+
+SystemMonitor::SystemMonitor(const ClusterTopology& topology,
+                             const LoadModel& truth, MonitorConfig config)
+    : topology_(&topology),
+      truth_(&truth),
+      config_(config),
+      forecaster_(std::make_unique<LastValueForecaster>()) {
+  CBES_CHECK_MSG(config_.period > 0.0, "monitor period must be positive");
+  CBES_CHECK_MSG(config_.history >= 1, "monitor must retain history");
+}
+
+void SystemMonitor::set_forecaster(std::unique_ptr<Forecaster> forecaster) {
+  CBES_CHECK_MSG(forecaster != nullptr, "null forecaster");
+  forecaster_ = std::move(forecaster);
+}
+
+double SystemMonitor::noisy(double value, NodeId node, std::uint64_t tick,
+                            std::uint64_t sensor) const {
+  if (config_.noise_sigma <= 0.0) return value;
+  // Deterministic per (seed, node, tick, sensor): the same question always
+  // gets the same answer, as if reading the daemon's published record.
+  std::uint64_t stream = (static_cast<std::uint64_t>(node.value) << 34) ^
+                         (tick << 2) ^ sensor;
+  Rng rng(derive_seed(config_.seed, stream));
+  return value * rng.lognormal_median(1.0, config_.noise_sigma);
+}
+
+LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
+  const std::size_t n = topology_->node_count();
+  LoadSnapshot snap;
+  snap.taken_at = now;
+  snap.cpu_avail.resize(n);
+  snap.nic_util.resize(n);
+
+  // Ticks at k * period, k >= 0; the most recent published tick is floor(now/p).
+  const auto last_tick = static_cast<std::uint64_t>(
+      std::max(0.0, std::floor(now / config_.period)));
+  const std::uint64_t first_tick =
+      last_tick + 1 >= config_.history ? last_tick + 1 - config_.history : 0;
+
+  std::vector<double> cpu_hist;
+  std::vector<double> nic_hist;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{i};
+    cpu_hist.clear();
+    nic_hist.clear();
+    for (std::uint64_t k = first_tick; k <= last_tick; ++k) {
+      const Seconds t = static_cast<double>(k) * config_.period;
+      cpu_hist.push_back(
+          std::clamp(noisy(truth_->cpu_avail(node, t), node, k, 0), 0.02, 1.0));
+      nic_hist.push_back(
+          std::clamp(noisy(truth_->nic_util(node, t), node, k, 1), 0.0, 0.95));
+    }
+    snap.cpu_avail[i] = std::clamp(forecaster_->predict(cpu_hist), 0.02, 1.0);
+    snap.nic_util[i] = std::clamp(forecaster_->predict(nic_hist), 0.0, 0.95);
+  }
+  return snap;
+}
+
+LoadSnapshot SystemMonitor::truth_snapshot(Seconds now) const {
+  const std::size_t n = topology_->node_count();
+  LoadSnapshot snap;
+  snap.taken_at = now;
+  snap.cpu_avail.resize(n);
+  snap.nic_util.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node{i};
+    snap.cpu_avail[i] = truth_->cpu_avail(node, now);
+    snap.nic_util[i] = truth_->nic_util(node, now);
+  }
+  return snap;
+}
+
+}  // namespace cbes

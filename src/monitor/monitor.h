@@ -1,0 +1,65 @@
+// The system-monitoring subsystem of CBES (paper §2): daemons that keep "a
+// current picture of the availability of system resources".
+//
+// SystemMonitor simulates the daemons: each node's CPU and NIC sensors sample
+// the ground-truth LoadModel on a fixed period (with measurement noise), and a
+// snapshot at time `now` reflects only what has been published by then. A
+// pluggable Forecaster turns the sample history into the next-period estimate,
+// mirroring the NWS (Centurion) vs last-value (Orange Grove) prototypes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "monitor/forecaster.h"
+#include "monitor/snapshot.h"
+#include "simnet/load.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+struct MonitorConfig {
+  /// Sensor sampling period. The paper's daemons publish periodically; anything
+  /// that changes between ticks is invisible until the next tick.
+  Seconds period = 10.0;
+  /// Multiplicative measurement noise (log-space sigma) on each sample;
+  /// 0 disables noise.
+  double noise_sigma = 0.01;
+  /// Number of trailing samples retained per sensor for forecasting.
+  std::size_t history = 32;
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Simulated monitoring infrastructure over a cluster.
+class SystemMonitor {
+ public:
+  /// `topology` and `truth` must outlive the monitor. Defaults to the
+  /// last-value forecaster (the Orange Grove prototype's behaviour).
+  SystemMonitor(const ClusterTopology& topology, const LoadModel& truth,
+                MonitorConfig config);
+
+  /// Replaces the forecaster (e.g. AdaptiveForecaster for NWS-like behaviour).
+  void set_forecaster(std::unique_ptr<Forecaster> forecaster);
+
+  /// The availability picture the daemons have published by `now`, run through
+  /// the forecaster. Deterministic in (config.seed, now).
+  [[nodiscard]] LoadSnapshot snapshot(Seconds now) const;
+
+  /// Ground truth at `now` — what an oracle monitor would report. Used by
+  /// experiments to separate monitoring error from model error.
+  [[nodiscard]] LoadSnapshot truth_snapshot(Seconds now) const;
+
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double noisy(double value, NodeId node, std::uint64_t tick,
+                             std::uint64_t sensor) const;
+
+  const ClusterTopology* topology_;
+  const LoadModel* truth_;
+  MonitorConfig config_;
+  std::unique_ptr<Forecaster> forecaster_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,38 @@
+// The resource-availability picture CBES holds of the cluster at scheduling time.
+//
+// A snapshot is what the monitoring daemons have *published*, not the live truth:
+// it can be stale (sensors sample on a period) and noisy (measurement error).
+// The gap between snapshot and truth is exactly what the paper's phase-3
+// experiments probe.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbes {
+
+/// Per-node availability view at a point in time.
+struct LoadSnapshot {
+  Seconds taken_at = 0.0;
+  /// ACPU per node, in (0, 1]; index = NodeId::index().
+  std::vector<double> cpu_avail;
+  /// Background NIC utilization per node, in [0, 1).
+  std::vector<double> nic_util;
+
+  /// An all-idle snapshot for `n` nodes.
+  static LoadSnapshot idle(std::size_t n) {
+    LoadSnapshot s;
+    s.cpu_avail.assign(n, 1.0);
+    s.nic_util.assign(n, 0.0);
+    return s;
+  }
+
+  [[nodiscard]] double cpu(NodeId node) const {
+    return cpu_avail[node.index()];
+  }
+  [[nodiscard]] double nic(NodeId node) const { return nic_util[node.index()]; }
+};
+
+}  // namespace cbes

@@ -1,0 +1,195 @@
+#include "netmodel/calibrate.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "simnet/load.h"
+
+namespace cbes {
+
+namespace {
+
+/// Ground-truth load imposed on both benchmark endpoints during the loaded
+/// calibration sets: 50% CPU demand / 50% NIC utilization give g_cpu = g_nic = 1,
+/// which makes the sensitivity coefficients directly readable from the deltas.
+constexpr double kCalCpuDemand = 0.5;
+constexpr double kCalNicDemand = 0.5;
+
+Seconds one_way(SimNetwork& net, NodeId a, NodeId b, Bytes size,
+                const LoadModel& load, Seconds epoch) {
+  const TransferResult r = net.transfer(epoch, a, b, size, load);
+  return (r.arrival + r.receiver_cpu) - epoch;
+}
+
+Seconds median_one_way(SimNetwork& net, NodeId a, NodeId b, Bytes size,
+                       int repeats, const LoadModel& load, Seconds& epoch,
+                       std::size_t* measurements) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    samples.push_back(one_way(net, a, b, size, load, epoch));
+    // Space the pings far enough apart that store-and-forward queues drain:
+    // calibration must not self-contend (the paper's cliques ensure the same).
+    epoch += 1.0;
+  }
+  if (measurements) *measurements += samples.size();
+  return median(samples);
+}
+
+struct PairSample {
+  NodeId a;
+  NodeId b;
+};
+
+LatencyCoeffs fit_class(SimNetwork& net, const std::vector<PairSample>& pairs,
+                        const CalibrationOptions& options, Seconds& epoch,
+                        std::size_t* measurements) {
+  // --- no-load affine fit over the size sweep, pooled across all pairs ------
+  NoLoad idle;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> ws;
+  for (const PairSample& p : pairs) {
+    for (Bytes size : options.sizes) {
+      xs.push_back(static_cast<double>(size));
+      ys.push_back(median_one_way(net, p.a, p.b, size, options.repeats, idle,
+                                  epoch, measurements));
+      // Latency jitter is multiplicative, so weight by 1/y^2: minimizing
+      // *relative* residuals keeps the fitted intercept honest at small sizes
+      // instead of letting millisecond-scale noise at the largest size drag it.
+      ws.push_back(1.0 / (ys.back() * ys.back()));
+    }
+  }
+  const LineFit fit = fit_line_weighted(xs, ys, ws);
+  LatencyCoeffs c;
+  c.alpha = std::max(0.0, fit.intercept);
+  c.beta = std::max(0.0, fit.slope);
+  c.fit_r_squared = fit.r_squared;
+  if (!options.fit_load_terms) return c;
+
+  // --- loaded sets: impose 50% CPU demand on both endpoints (g_cpu = 1) -----
+  const PairSample& rep = pairs.front();
+  ScriptedLoad cpu_loaded;
+  cpu_loaded.add({rep.a, 0.0, kNever, kCalCpuDemand, 0.0});
+  cpu_loaded.add({rep.b, 0.0, kNever, kCalCpuDemand, 0.0});
+
+  const Bytes s1 = options.sizes.front();
+  const Bytes s2 = options.sizes.back();
+  const double d1 =
+      median_one_way(net, rep.a, rep.b, s1, options.repeats, cpu_loaded, epoch,
+                     measurements) -
+      (c.alpha + c.beta * static_cast<double>(s1));
+  const double d2 =
+      median_one_way(net, rep.a, rep.b, s2, options.repeats, cpu_loaded, epoch,
+                     measurements) -
+      (c.alpha + c.beta * static_cast<double>(s2));
+  // d(s) = alpha*k_alpha*g + beta*s*k_beta*g with g = 1: two sizes, two unknowns.
+  const double v =
+      (d2 - d1) / (static_cast<double>(s2) - static_cast<double>(s1));
+  const double u = d1 - static_cast<double>(s1) * v;
+  if (c.alpha > 0.0) c.k_alpha_cpu = std::max(0.0, u / c.alpha);
+  if (c.beta > 0.0) c.k_beta_cpu = std::max(0.0, v / c.beta);
+
+  // --- NIC set: 50% background NIC utilization on both endpoints (g_nic = 1) --
+  ScriptedLoad nic_loaded;
+  nic_loaded.add({rep.a, 0.0, kNever, 0.0, kCalNicDemand});
+  nic_loaded.add({rep.b, 0.0, kNever, 0.0, kCalNicDemand});
+  const double dn =
+      median_one_way(net, rep.a, rep.b, s2, options.repeats, nic_loaded, epoch,
+                     measurements) -
+      (c.alpha + c.beta * static_cast<double>(s2));
+  if (c.beta > 0.0) {
+    c.k_beta_nic = std::max(0.0, dn / (c.beta * static_cast<double>(s2)));
+  }
+  return c;
+}
+
+}  // namespace
+
+Seconds measure_latency(SimNetwork& net, NodeId a, NodeId b, Bytes size,
+                        int repeats) {
+  NoLoad idle;
+  Seconds epoch = 0.0;
+  return median_one_way(net, a, b, size, repeats, idle, epoch, nullptr);
+}
+
+LatencyModel calibrate(const ClusterTopology& topology,
+                       const SimNetConfig& hardware,
+                       const CalibrationOptions& options,
+                       CalibrationReport* report) {
+  CBES_CHECK_MSG(options.sizes.size() >= 2,
+                 "calibration needs at least two message sizes");
+  CBES_CHECK_MSG(options.repeats >= 1, "calibration needs at least one repeat");
+
+  SimNetwork net(topology, hardware, derive_seed(options.seed, 1));
+
+  // Group node pairs into path-equivalence classes.
+  std::unordered_map<std::string, std::vector<PairSample>> classes;
+  const std::size_t n = topology.node_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const NodeId na{a}, nb{b};
+      auto& bucket = classes[topology.path_signature(na, nb)];
+      if (options.full_pairwise || bucket.empty()) {
+        bucket.push_back(PairSample{na, nb});
+      }
+    }
+  }
+
+  CalibrationReport rep;
+  rep.classes = classes.size();
+  Seconds epoch = 0.0;
+  std::unordered_map<std::string, LatencyCoeffs> by_signature;
+  for (const auto& [sig, pairs] : classes) {
+    const LatencyCoeffs c =
+        fit_class(net, pairs, options, epoch, &rep.measurements);
+    rep.pairs_measured += pairs.size();
+    rep.worst_fit_r_squared =
+        std::min(rep.worst_fit_r_squared, c.fit_r_squared);
+    by_signature.emplace(sig, c);
+  }
+
+  // Loopback class: measured on a multi-CPU node when one exists (only such
+  // nodes can host two ranks), otherwise on node 0.
+  NodeId loop_node{std::size_t{0}};
+  for (const Node& node : topology.nodes()) {
+    if (node.cpus > 1) {
+      loop_node = node.id;
+      break;
+    }
+  }
+  NoLoad idle;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> ws;
+  for (Bytes size : options.sizes) {
+    std::vector<double> samples;
+    for (int r = 0; r < options.repeats; ++r) {
+      const TransferResult t =
+          net.local_transfer(epoch, loop_node, size, idle);
+      samples.push_back((t.arrival + t.receiver_cpu) - epoch);
+      epoch += 1.0;
+      ++rep.measurements;
+    }
+    xs.push_back(static_cast<double>(size));
+    ys.push_back(median(samples));
+    ws.push_back(1.0 / (ys.back() * ys.back()));
+  }
+  const LineFit loop_fit = fit_line_weighted(xs, ys, ws);
+  LatencyCoeffs loopback;
+  loopback.alpha = std::max(0.0, loop_fit.intercept);
+  loopback.beta = std::max(0.0, loop_fit.slope);
+  loopback.fit_r_squared = loop_fit.r_squared;
+  // Loopback endpoint work is pure CPU; its entire cost stretches with load.
+  loopback.k_alpha_cpu = options.fit_load_terms ? 1.0 : 0.0;
+  loopback.k_beta_cpu = options.fit_load_terms ? 1.0 : 0.0;
+
+  if (report) *report = rep;
+  return LatencyModel(topology, std::move(by_signature), loopback);
+}
+
+}  // namespace cbes

@@ -1,0 +1,64 @@
+// Offline calibration of the CBES latency model (paper §2):
+//
+//   "Prior to any invocation of the service, the system-dedicated
+//    infrastructure needs to be initialized. ... The computing system must
+//    remain free of computational and communication load for the duration of
+//    the calibration."
+//
+// The calibrator runs MPI-style ping benchmarks through the ground-truth
+// network (SimNetwork), sweeping message sizes, and fits the affine no-load
+// latency per path class by least squares. Two further benchmark sets — run
+// under controlled artificial CPU and NIC load — fit the load-sensitivity
+// coefficients used for the on-demand L_c adjustment.
+//
+// In O(N) mode (the default, matching the paper's clique-parallel method) only
+// one representative pair per path-equivalence class is measured; in full
+// O(N^2) mode every pair is measured and classes aggregate all their pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "netmodel/latency_model.h"
+#include "simnet/network.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+struct CalibrationOptions {
+  /// Message sizes swept by the no-load ping benchmark.
+  std::vector<Bytes> sizes = {64, 512, 4096, 32768, 131072, 524288};
+  /// Ping repetitions per (pair, size); the median de-noises jitter.
+  int repeats = 7;
+  /// Measure every pair (O(N^2) validation mode) instead of one representative
+  /// pair per path class (the paper's O(N) clique method).
+  bool full_pairwise = false;
+  /// Also run the loaded benchmark sets and fit k_alpha_cpu / k_beta_cpu /
+  /// k_beta_nic; when false those coefficients stay 0 (no-load model only).
+  bool fit_load_terms = true;
+  std::uint64_t seed = 0xCA11B8A7EULL;
+};
+
+/// Summary of a calibration run, for reporting and tests.
+struct CalibrationReport {
+  std::size_t classes = 0;        ///< distinct path classes found
+  std::size_t pairs_measured = 0; ///< node pairs actually benchmarked
+  std::size_t measurements = 0;   ///< individual ping measurements taken
+  double worst_fit_r_squared = 1.0;
+};
+
+/// Calibrates a latency model for `topology` whose ground-truth hardware
+/// behaviour is described by `hardware`. Deterministic in `options.seed`.
+[[nodiscard]] LatencyModel calibrate(const ClusterTopology& topology,
+                                     const SimNetConfig& hardware,
+                                     const CalibrationOptions& options,
+                                     CalibrationReport* report = nullptr);
+
+/// One no-load end-to-end latency measurement (median of `repeats` pings) from
+/// `a` to `b` at the given size, through `net`. Exposed for tests and the
+/// latency-spread experiment.
+[[nodiscard]] Seconds measure_latency(SimNetwork& net, NodeId a, NodeId b,
+                                      Bytes size, int repeats);
+
+}  // namespace cbes

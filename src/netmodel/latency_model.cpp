@@ -1,0 +1,69 @@
+#include "netmodel/latency_model.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace cbes {
+
+LatencyModel::LatencyModel(
+    const ClusterTopology& topology,
+    std::unordered_map<std::string, LatencyCoeffs> by_signature,
+    LatencyCoeffs loopback)
+    : topology_(&topology), n_(topology.node_count()) {
+  coeffs_.push_back(loopback);  // class 0 = loopback
+
+  std::unordered_map<std::string, std::uint16_t> index_of;
+  pair_class_.assign(n_ * n_, 0);
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (a == b) continue;  // stays class 0
+      const std::string sig =
+          topology.path_signature(NodeId{a}, NodeId{b});
+      auto [it, inserted] = index_of.try_emplace(
+          sig, static_cast<std::uint16_t>(coeffs_.size()));
+      if (inserted) {
+        const auto found = by_signature.find(sig);
+        CBES_CHECK_MSG(found != by_signature.end(),
+                       "latency model missing coefficients for path class " +
+                           sig);
+        CBES_CHECK_MSG(coeffs_.size() <
+                           std::numeric_limits<std::uint16_t>::max(),
+                       "too many path classes");
+        coeffs_.push_back(found->second);
+      }
+      pair_class_[a * n_ + b] = it->second;
+    }
+  }
+}
+
+std::size_t LatencyModel::class_index(NodeId a, NodeId b) const {
+  CBES_ASSERT(a.valid() && a.index() < n_);
+  CBES_ASSERT(b.valid() && b.index() < n_);
+  return pair_class_[a.index() * n_ + b.index()];
+}
+
+const LatencyCoeffs& LatencyModel::coeffs(NodeId a, NodeId b) const {
+  return coeffs_[class_index(a, b)];
+}
+
+Seconds LatencyModel::no_load(NodeId a, NodeId b, Bytes size) const {
+  const LatencyCoeffs& c = coeffs_[class_index(a, b)];
+  return c.alpha + c.beta * static_cast<double>(size);
+}
+
+Seconds LatencyModel::current(NodeId a, NodeId b, Bytes size,
+                              const LoadSnapshot& snapshot) const {
+  const LatencyCoeffs& c = coeffs_[class_index(a, b)];
+  const double inv_a = 1.0 / snapshot.cpu_avail[a.index()];
+  const double inv_b = 1.0 / snapshot.cpu_avail[b.index()];
+  const double g_cpu = 0.5 * (inv_a + inv_b) - 1.0;
+  const double nic_a = 1.0 / (1.0 - snapshot.nic_util[a.index()]);
+  const double nic_b = 1.0 / (1.0 - snapshot.nic_util[b.index()]);
+  const double g_nic = 0.5 * (nic_a + nic_b) - 1.0;
+  return c.alpha * (1.0 + c.k_alpha_cpu * g_cpu) +
+         c.beta * static_cast<double>(size) *
+             (1.0 + c.k_beta_cpu * g_cpu + c.k_beta_nic * g_nic);
+}
+
+}  // namespace cbes

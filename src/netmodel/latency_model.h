@@ -1,0 +1,79 @@
+// The network end-to-end latency model at the heart of CBES (paper §2, [12]):
+// per node-pair no-load latency as a function of message size, adjustable on
+// demand for the effect of endpoint CPU and NIC load.
+//
+// The model is *fitted from measurements* (see calibrate.h); it never inspects
+// the simulator's internals. Node pairs are grouped into path-equivalence
+// classes (same link-hardware multiset + endpoint architectures), which is what
+// lets the paper's O(N) calibration stand in for the O(N^2) full sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "monitor/snapshot.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+/// Fitted coefficients for one path class.
+///
+/// No-load latency:       L0(s) = alpha + beta * s
+/// Load-adjusted latency: Lc(s) = alpha * (1 + k_alpha_cpu * g_cpu)
+///                              + beta * s * (1 + k_beta_cpu * g_cpu
+///                                              + k_beta_nic * g_nic)
+/// where g_cpu = mean(1/ACPU_src, 1/ACPU_dst) - 1 and
+///       g_nic = mean(1/(1-NIC_src), 1/(1-NIC_dst)) - 1.
+struct LatencyCoeffs {
+  double alpha = 0.0;       ///< fixed cost, seconds
+  double beta = 0.0;        ///< per-byte cost, seconds/byte
+  double k_alpha_cpu = 0.0; ///< CPU-load sensitivity of the fixed cost
+  double k_beta_cpu = 0.0;  ///< CPU-load sensitivity of the per-byte cost
+  double k_beta_nic = 0.0;  ///< NIC-load sensitivity of the per-byte cost
+  double fit_r_squared = 1.0;  ///< quality of the no-load OLS fit
+};
+
+/// Immutable latency model over a fixed topology. Lookups are O(1): the pair ->
+/// class mapping is a dense matrix built at construction, sized for the SA
+/// scheduler's inner loop (millions of evaluations).
+class LatencyModel {
+ public:
+  /// Builds a model over `topology` from per-signature coefficients plus the
+  /// loopback (same-node) class. Signatures must cover every node pair.
+  LatencyModel(const ClusterTopology& topology,
+               std::unordered_map<std::string, LatencyCoeffs> by_signature,
+               LatencyCoeffs loopback);
+
+  /// No-load end-to-end latency for a `size`-byte message from a to b.
+  [[nodiscard]] Seconds no_load(NodeId a, NodeId b, Bytes size) const;
+
+  /// Current latency: no-load value adjusted for the endpoint loads recorded
+  /// in `snapshot` (the paper's L_c).
+  [[nodiscard]] Seconds current(NodeId a, NodeId b, Bytes size,
+                                const LoadSnapshot& snapshot) const;
+
+  /// Number of distinct path classes (excluding loopback).
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return coeffs_.size() - 1;
+  }
+
+  /// Coefficients backing the (a, b) pair; for introspection and tests.
+  [[nodiscard]] const LatencyCoeffs& coeffs(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const ClusterTopology& topology() const noexcept {
+    return *topology_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t class_index(NodeId a, NodeId b) const;
+
+  const ClusterTopology* topology_;
+  std::vector<LatencyCoeffs> coeffs_;     // [0] = loopback
+  std::vector<std::uint16_t> pair_class_; // n*n dense map into coeffs_
+  std::size_t n_ = 0;
+};
+
+}  // namespace cbes

@@ -1,0 +1,73 @@
+#include "profile/analyzer.h"
+
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+/// Accumulates one rank's trace into `proc`, restricted to `phase`
+/// (-1 = all phases).
+void reduce_rank(const RankTrace& rank_trace, int phase, ProcessProfile& proc) {
+  for (const TraceInterval& iv : rank_trace.intervals) {
+    if (phase >= 0 && iv.phase != phase) continue;
+    switch (iv.kind) {
+      case IntervalKind::kExecuting: proc.x += iv.duration; break;
+      case IntervalKind::kOverhead: proc.o += iv.duration; break;
+      case IntervalKind::kBlocked: proc.b += iv.duration; break;
+    }
+  }
+  // Group messages by (peer, size) within each direction.
+  std::map<std::pair<std::uint32_t, Bytes>, std::size_t> sent;
+  std::map<std::pair<std::uint32_t, Bytes>, std::size_t> received;
+  for (const TraceMessage& m : rank_trace.messages) {
+    if (phase >= 0 && m.phase != phase) continue;
+    auto& bucket = m.sent ? sent : received;
+    ++bucket[{m.peer.value, m.size}];
+  }
+  for (const auto& [key, count] : received) {
+    proc.recv_groups.push_back(MessageGroup{RankId{key.first}, key.second,
+                                            count});
+  }
+  for (const auto& [key, count] : sent) {
+    proc.send_groups.push_back(MessageGroup{RankId{key.first}, key.second,
+                                            count});
+  }
+}
+
+AppProfile reduce(const Trace& trace, const ClusterTopology& topology,
+                  int phase) {
+  CBES_CHECK_MSG(trace.mapping.size() == trace.nranks(),
+                 "trace mapping does not cover all ranks");
+  AppProfile profile;
+  profile.app_name = trace.app_name;
+  profile.phase = phase;
+  profile.profiling_mapping = trace.mapping;
+  profile.procs.resize(trace.nranks());
+  for (std::size_t r = 0; r < trace.nranks(); ++r) {
+    ProcessProfile& proc = profile.procs[r];
+    proc.profiled_arch = topology.node(trace.mapping[r]).arch;
+    reduce_rank(trace.ranks[r], phase, proc);
+  }
+  return profile;
+}
+
+}  // namespace
+
+AppProfile analyze_trace(const Trace& trace, const ClusterTopology& topology) {
+  return reduce(trace, topology, -1);
+}
+
+std::vector<AppProfile> analyze_segments(const Trace& trace,
+                                         const ClusterTopology& topology) {
+  std::vector<AppProfile> segments;
+  for (int phase = 0; phase <= trace.max_phase; ++phase) {
+    segments.push_back(reduce(trace, topology, phase));
+  }
+  return segments;
+}
+
+}  // namespace cbes

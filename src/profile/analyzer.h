@@ -1,0 +1,26 @@
+// Trace analysis — our stand-in for the profiling module the paper added to
+// XMPI: reduces an execution trace to an application profile (whole-run or
+// one profile per phase segment).
+#pragma once
+
+#include <vector>
+
+#include "profile/app_profile.h"
+#include "topology/cluster.h"
+#include "trace/trace.h"
+
+namespace cbes {
+
+/// Reduces `trace` to a whole-run profile: accumulates X/O/B per process and
+/// groups messages by (peer, size, direction). Lambda factors and architecture
+/// speeds are NOT filled here (see profiler.h) — the analyzer knows nothing
+/// about latency models, just like XMPI.
+[[nodiscard]] AppProfile analyze_trace(const Trace& trace,
+                                       const ClusterTopology& topology);
+
+/// One profile per phase segment (the modified XMPI "generates a basic profile
+/// for each segment"). Segment k covers intervals/messages tagged phase == k.
+[[nodiscard]] std::vector<AppProfile> analyze_segments(
+    const Trace& trace, const ClusterTopology& topology);
+
+}  // namespace cbes

@@ -1,0 +1,24 @@
+#include "profile/app_profile.h"
+
+namespace cbes {
+
+double AppProfile::computation_fraction() const {
+  Seconds x = 0.0;
+  Seconds b = 0.0;
+  for (const ProcessProfile& p : procs) {
+    x += p.x + p.o;
+    b += p.b;
+  }
+  const Seconds total = x + b;
+  return total > 0.0 ? x / total : 1.0;
+}
+
+std::size_t AppProfile::total_groups() const {
+  std::size_t total = 0;
+  for (const ProcessProfile& p : procs) {
+    total += p.recv_groups.size() + p.send_groups.size();
+  }
+  return total;
+}
+
+}  // namespace cbes

@@ -1,0 +1,74 @@
+// Application profiles (paper §2, §3.1): "a summary of an application's
+// behavior" — per process the accumulated X (own code), O (MPI overhead) and
+// B (blocked) times, the same-size message groups exchanged with every peer,
+// the lambda correction factors, and the experimentally measured speed ratios
+// of the application on each cluster architecture (footnote 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/arch.h"
+
+namespace cbes {
+
+/// A group of same-size messages on one channel (the paper's mg sets, each
+/// with a message count mc and message size ms).
+struct MessageGroup {
+  RankId peer;
+  Bytes size = 0;
+  std::size_t count = 0;
+};
+
+/// Profile of one application process.
+struct ProcessProfile {
+  Seconds x = 0.0;  ///< accumulated own-code execution time
+  Seconds o = 0.0;  ///< accumulated MPI-library overhead time
+  Seconds b = 0.0;  ///< accumulated blocked-waiting time
+  /// Architecture of the node that hosted this process while profiling
+  /// (Speed_profile in equation 5 refers to this node).
+  Arch profiled_arch = Arch::kGeneric;
+  /// Messages this process received, grouped by (sender, size) — mgS.
+  std::vector<MessageGroup> recv_groups;
+  /// Messages this process sent, grouped by (recipient, size) — mgR.
+  std::vector<MessageGroup> send_groups;
+  /// Correction factor lambda_i = B_i / Theta_i^profile (equation 7);
+  /// < 1 when communication overlapped computation, > 1 when overhead
+  /// expanded it.
+  double lambda = 1.0;
+};
+
+/// Profile of a complete application (optionally of one trace segment).
+struct AppProfile {
+  std::string app_name;
+  /// Trace segment this profile summarizes (-1 = whole run).
+  int phase = -1;
+  std::vector<ProcessProfile> procs;
+  /// Node assignment used during the profiling run (needed to compute
+  /// Theta^profile and hence lambda).
+  std::vector<NodeId> profiling_mapping;
+  /// Measured application speed per architecture, relative to the reference
+  /// (indexed by static_cast<size_t>(Arch)). Footnote 1: "experimentally
+  /// measured speed ratios for all cluster node architectures".
+  std::array<double, kAllArchs.size()> arch_speed{1.0, 1.0, 1.0, 1.0};
+
+  [[nodiscard]] std::size_t nranks() const noexcept { return procs.size(); }
+
+  /// Relative speed of `arch` for this application.
+  [[nodiscard]] double speed_of(Arch arch) const {
+    return arch_speed[static_cast<std::size_t>(arch)];
+  }
+
+  /// Computation share: sum X / (sum X + sum B) — the paper quotes e.g. an
+  /// "80%/20% computation to communication ratio" for LU(2).
+  [[nodiscard]] double computation_fraction() const;
+
+  /// Total message-group count across processes — the profile-complexity
+  /// measure that drives mapping-evaluation (and hence scheduler) cost.
+  [[nodiscard]] std::size_t total_groups() const;
+};
+
+}  // namespace cbes

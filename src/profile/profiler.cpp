@@ -1,0 +1,71 @@
+#include "profile/profiler.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "profile/analyzer.h"
+#include "profile/theta.h"
+#include "simnet/load.h"
+
+namespace cbes {
+
+void measure_arch_speeds(AppProfile& profile, const Program& program,
+                         const ClusterTopology& topology,
+                         const ProfilerOptions& options) {
+  // Time a fixed reference kernel on one node of each architecture, as the
+  // paper's profiling step does, and express speeds relative to the first
+  // architecture found (the profile only ever uses ratios).
+  constexpr Seconds kKernelRef = 1.0;
+  SimNetwork net(topology, options.net, derive_seed(options.seed, 17));
+  Rng noise(derive_seed(options.seed, 23));
+
+  for (Arch arch : kAllArchs) {
+    const auto nodes = topology.nodes_with_arch(arch);
+    if (nodes.empty()) continue;  // architecture not present: keep default 1.0
+    const Seconds t =
+        net.compute_time(nodes.front(), kKernelRef, program.mem_intensity,
+                         /*cpu_avail=*/1.0);
+    double speed = kKernelRef / t;
+    if (options.speed_noise_sigma > 0.0) {
+      speed *= noise.lognormal_median(1.0, options.speed_noise_sigma);
+    }
+    profile.arch_speed[static_cast<std::size_t>(arch)] = speed;
+  }
+}
+
+void fix_lambdas(AppProfile& profile, const LatencyModel& model) {
+  const Mapping mapping(profile.profiling_mapping);
+  for (std::size_t r = 0; r < profile.nranks(); ++r) {
+    ProcessProfile& proc = profile.procs[r];
+    const Seconds th = theta_no_load(proc, RankId{r}, mapping, model);
+    // lambda in [0, inf): <1 when communication overlapped computation,
+    // >1 when overhead expanded it (paper §3.1). Processes that exchanged no
+    // messages have Theta == 0; their C term is 0 regardless, keep lambda = 1.
+    proc.lambda = th > 0.0 ? proc.b / th : 1.0;
+  }
+}
+
+AppProfile profile_application(const Program& program,
+                               const Mapping& profiling_mapping,
+                               MpiSimulator& simulator,
+                               const LatencyModel& model,
+                               const ProfilerOptions& options) {
+  CBES_CHECK_MSG(profiling_mapping.nranks() == program.nranks(),
+                 "profiling mapping must cover every rank");
+
+  SimOptions sim;
+  sim.net = options.net;
+  sim.seed = derive_seed(options.seed, 1);
+  sim.record_trace = true;
+
+  NoLoad idle;  // paper: profiling runs on an otherwise free system
+  const RunResult run =
+      simulator.run(program, profiling_mapping, idle, sim);
+  CBES_CHECK_MSG(run.trace.has_value(), "profiling run produced no trace");
+
+  AppProfile profile = analyze_trace(*run.trace, simulator.topology());
+  measure_arch_speeds(profile, program, simulator.topology(), options);
+  fix_lambdas(profile, model);
+  return profile;
+}
+
+}  // namespace cbes

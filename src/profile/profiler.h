@@ -1,0 +1,47 @@
+// The application-profiling subsystem of CBES: runs the application once on a
+// profiling mapping (tracing enabled), analyzes the trace, measures the
+// application's per-architecture speed ratios with a compute microbenchmark,
+// and fixes the lambda correction factors against the latency model
+// (equation 7).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/program.h"
+#include "netmodel/latency_model.h"
+#include "profile/app_profile.h"
+#include "simmpi/simulator.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+struct ProfilerOptions {
+  /// Hardware description used for the profiling run.
+  SimNetConfig net;
+  std::uint64_t seed = 0x9A0F11EULL;
+  /// Multiplicative noise on the measured architecture speed ratios
+  /// (real measurements are never exact); 0 disables.
+  double speed_noise_sigma = 0.004;
+};
+
+/// Profiles `program` by executing it on `profiling_mapping` over an idle
+/// cluster. The latency model is needed to evaluate Theta^profile for the
+/// lambda factors. Requires the mapping to fit the simulator's topology.
+[[nodiscard]] AppProfile profile_application(const Program& program,
+                                             const Mapping& profiling_mapping,
+                                             MpiSimulator& simulator,
+                                             const LatencyModel& model,
+                                             const ProfilerOptions& options);
+
+/// Fills `profile.arch_speed` by timing a reference compute kernel on one node
+/// of each architecture present in the topology (absent architectures get 1.0).
+/// Exposed separately so segment profiles can share one measurement.
+void measure_arch_speeds(AppProfile& profile, const Program& program,
+                         const ClusterTopology& topology,
+                         const ProfilerOptions& options);
+
+/// Computes lambda_i = B_i / Theta_i^profile for every process (equation 7),
+/// using no-load latencies on the profiling mapping.
+void fix_lambdas(AppProfile& profile, const LatencyModel& model);
+
+}  // namespace cbes

@@ -1,0 +1,161 @@
+#include "profile/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ios>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+/// Names may contain spaces; escape the few characters the parser splits on.
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\' || c == ' ' || c == '\n') {
+      out += '\\';
+      out += (c == ' ' ? 's' : (c == '\n' ? 'n' : '\\'));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 's' ? ' ' : (s[i] == 'n' ? '\n' : '\\');
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void write_groups(std::ostream& out, const char* tag,
+                  const std::vector<MessageGroup>& groups) {
+  out << tag << ' ' << groups.size();
+  for (const MessageGroup& g : groups) {
+    out << ' ' << g.peer.value << ' ' << g.size << ' ' << g.count;
+  }
+  out << '\n';
+}
+
+std::vector<MessageGroup> read_groups(std::istream& in, const char* tag) {
+  std::string word;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word) && word == tag,
+                 std::string("profile parse error: expected ") + tag);
+  std::size_t count = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> count), "profile parse error: count");
+  std::vector<MessageGroup> groups(count);
+  for (MessageGroup& g : groups) {
+    std::uint32_t peer = 0;
+    CBES_CHECK_MSG(static_cast<bool>(in >> peer >> g.size >> g.count),
+                   "profile parse error: group");
+    g.peer = RankId{peer};
+  }
+  return groups;
+}
+
+}  // namespace
+
+void save_profile(const AppProfile& profile, std::ostream& out) {
+  out << "cbes-profile " << kFormatVersion << '\n';
+  out << std::setprecision(17);
+  out << "name " << escape(profile.app_name) << '\n';
+  out << "phase " << profile.phase << '\n';
+  out << "arch_speed";
+  for (double s : profile.arch_speed) out << ' ' << s;
+  out << '\n';
+  out << "mapping " << profile.profiling_mapping.size();
+  for (NodeId n : profile.profiling_mapping) out << ' ' << n.value;
+  out << '\n';
+  out << "procs " << profile.procs.size() << '\n';
+  for (const ProcessProfile& p : profile.procs) {
+    out << "proc " << p.x << ' ' << p.o << ' ' << p.b << ' '
+        << static_cast<int>(p.profiled_arch) << ' ' << p.lambda << '\n';
+    write_groups(out, "recv", p.recv_groups);
+    write_groups(out, "send", p.send_groups);
+  }
+  CBES_CHECK_MSG(out.good(), "profile write failed");
+}
+
+AppProfile load_profile(std::istream& in) {
+  std::string word;
+  int version = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> version) &&
+                     word == "cbes-profile",
+                 "not a CBES profile");
+  CBES_CHECK_MSG(version == kFormatVersion, "unsupported profile version");
+
+  AppProfile profile;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word) && word == "name",
+                 "profile parse error: name");
+  std::string name;
+  in >> name;
+  profile.app_name = unescape(name);
+
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> profile.phase) &&
+                     word == "phase",
+                 "profile parse error: phase");
+
+  CBES_CHECK_MSG(static_cast<bool>(in >> word) && word == "arch_speed",
+                 "profile parse error: arch_speed");
+  for (double& s : profile.arch_speed) {
+    CBES_CHECK_MSG(static_cast<bool>(in >> s), "profile parse error: speed");
+  }
+
+  std::size_t mapping_size = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> mapping_size) &&
+                     word == "mapping",
+                 "profile parse error: mapping");
+  profile.profiling_mapping.resize(mapping_size);
+  for (NodeId& n : profile.profiling_mapping) {
+    std::uint32_t value = 0;
+    CBES_CHECK_MSG(static_cast<bool>(in >> value),
+                   "profile parse error: mapping node");
+    n = NodeId{value};
+  }
+
+  std::size_t nprocs = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> nprocs) && word == "procs",
+                 "profile parse error: procs");
+  profile.procs.resize(nprocs);
+  for (ProcessProfile& p : profile.procs) {
+    int arch = 0;
+    CBES_CHECK_MSG(
+        static_cast<bool>(in >> word >> p.x >> p.o >> p.b >> arch >>
+                          p.lambda) &&
+            word == "proc",
+        "profile parse error: proc");
+    CBES_CHECK_MSG(arch >= 0 &&
+                       arch < static_cast<int>(kAllArchs.size()),
+                   "profile parse error: arch out of range");
+    p.profiled_arch = static_cast<Arch>(arch);
+    p.recv_groups = read_groups(in, "recv");
+    p.send_groups = read_groups(in, "send");
+  }
+  return profile;
+}
+
+void save_profile_file(const AppProfile& profile, const std::string& path) {
+  std::ofstream out(path);
+  CBES_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  save_profile(profile, out);
+}
+
+AppProfile load_profile_file(const std::string& path) {
+  std::ifstream in(path);
+  CBES_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  return load_profile(in);
+}
+
+}  // namespace cbes

@@ -1,0 +1,28 @@
+// Profile persistence — the stand-in for CBES's application-dedicated
+// database tables (paper figure 2): profiles are produced once by the
+// (expensive) profiling run and reused across scheduling requests and
+// service restarts.
+//
+// The format is a line-oriented text format, versioned, with one record per
+// line; it needs no third-party dependencies and diffs cleanly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "profile/app_profile.h"
+
+namespace cbes {
+
+/// Writes `profile` to `out`. Throws ContractError on stream failure.
+void save_profile(const AppProfile& profile, std::ostream& out);
+
+/// Reads a profile written by save_profile. Throws ContractError on malformed
+/// input or version mismatch.
+[[nodiscard]] AppProfile load_profile(std::istream& in);
+
+/// Convenience file wrappers.
+void save_profile_file(const AppProfile& profile, const std::string& path);
+[[nodiscard]] AppProfile load_profile_file(const std::string& path);
+
+}  // namespace cbes

@@ -1,0 +1,39 @@
+#include "profile/theta.h"
+
+namespace cbes {
+
+Seconds theta(const ProcessProfile& proc, RankId me, const Mapping& mapping,
+              const LatencyModel& model, const LoadSnapshot& snapshot) {
+  const NodeId my_node = mapping.node_of(me);
+  Seconds total = 0.0;
+  // First summation of eq. 6: messages sent *to* process i (k in SS_i).
+  for (const MessageGroup& g : proc.recv_groups) {
+    const NodeId sender = mapping.node_of(g.peer);
+    total += static_cast<double>(g.count) *
+             model.current(sender, my_node, g.size, snapshot);
+  }
+  // Second summation: messages process i sent (k in SR_i).
+  for (const MessageGroup& g : proc.send_groups) {
+    const NodeId recipient = mapping.node_of(g.peer);
+    total += static_cast<double>(g.count) *
+             model.current(my_node, recipient, g.size, snapshot);
+  }
+  return total;
+}
+
+Seconds theta_no_load(const ProcessProfile& proc, RankId me,
+                      const Mapping& mapping, const LatencyModel& model) {
+  const NodeId my_node = mapping.node_of(me);
+  Seconds total = 0.0;
+  for (const MessageGroup& g : proc.recv_groups) {
+    total += static_cast<double>(g.count) *
+             model.no_load(mapping.node_of(g.peer), my_node, g.size);
+  }
+  for (const MessageGroup& g : proc.send_groups) {
+    total += static_cast<double>(g.count) *
+             model.no_load(my_node, mapping.node_of(g.peer), g.size);
+  }
+  return total;
+}
+
+}  // namespace cbes

@@ -1,0 +1,27 @@
+// Theta — the theoretical communication time of a process under a mapping
+// (paper equation 6): the sum over all of the process's message groups of
+// message count times the current latency L_c between the nodes the mapping
+// assigns to the two endpoints.
+#pragma once
+
+#include "common/types.h"
+#include "monitor/snapshot.h"
+#include "netmodel/latency_model.h"
+#include "profile/app_profile.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+/// Theta_i^M with load-adjusted latencies (equation 6). `proc` is process i's
+/// profile; `me` is i's identity (needed to locate its node in the mapping).
+[[nodiscard]] Seconds theta(const ProcessProfile& proc, RankId me,
+                            const Mapping& mapping, const LatencyModel& model,
+                            const LoadSnapshot& snapshot);
+
+/// Theta_i with *no-load* latencies — used for the profile's own theoretical
+/// time (equation 7's denominator), which is taken on an otherwise idle system.
+[[nodiscard]] Seconds theta_no_load(const ProcessProfile& proc, RankId me,
+                                    const Mapping& mapping,
+                                    const LatencyModel& model);
+
+}  // namespace cbes

@@ -1,0 +1,232 @@
+#include "sched/annealing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+/// Mapping state with per-node occupancy, supporting the two SA moves:
+/// relocate one rank to a free slot, or swap the placements of two ranks.
+class SaState {
+ public:
+  SaState(const NodePool& pool, Mapping mapping)
+      : pool_(&pool), mapping_(std::move(mapping)) {
+    for (NodeId n : mapping_.assignment()) ++occupancy_[n];
+  }
+
+  [[nodiscard]] const Mapping& mapping() const noexcept { return mapping_; }
+
+  /// True when some pool node still has a free CPU slot.
+  [[nodiscard]] bool has_free_slot() const {
+    for (NodeId n : pool_->nodes()) {
+      if (used(n) < pool_->slots_of(n)) return true;
+    }
+    return false;
+  }
+
+  /// One primitive reassignment; a proposed move is a short action sequence.
+  struct Action {
+    RankId rank;
+    NodeId from;
+    NodeId to;
+  };
+  using Move = std::vector<Action>;
+
+  /// Proposes and applies a random move; returns it so it can be undone.
+  /// Mix: single relocations, rank swaps, and occasional double relocations.
+  /// The double moves matter on pools with multi-CPU nodes: two communicating
+  /// ranks co-located on one node form a basin no single move can leave
+  /// (splitting the pair is always uphill until both ranks have moved).
+  Move propose(Rng& rng, bool allow_relocate) {
+    const std::size_t n = mapping_.nranks();
+    Move move;
+    const double u = rng.uniform();
+    if (allow_relocate && u < 0.55) {
+      const std::size_t pair = (u < 0.12 && n > 1) ? 2 : 1;
+      RankId previous;
+      for (std::size_t k = 0; k < pair; ++k) {
+        RankId rank{rng.index(n)};
+        if (k == 1 && rank == previous) rank = RankId{(rank.index() + 1) % n};
+        if (relocate_random(rng, rank, move)) previous = rank;
+      }
+      if (!move.empty()) return move;
+      // No free slot anywhere: fall through to a swap.
+    }
+    RankId a{rng.index(n)};
+    RankId b{rng.index(n)};
+    while (n > 1 && b == a) b = RankId{rng.index(n)};
+    const NodeId na = mapping_.node_of(a);
+    const NodeId nb = mapping_.node_of(b);
+    move.push_back(Action{a, na, nb});
+    move.push_back(Action{b, nb, na});
+    apply(move.end()[-2]);
+    apply(move.back());
+    return move;
+  }
+
+  void undo(const Move& move) {
+    for (auto it = move.rbegin(); it != move.rend(); ++it) {
+      apply(Action{it->rank, it->to, it->from});
+    }
+  }
+
+ private:
+  [[nodiscard]] int used(NodeId n) const {
+    const auto it = occupancy_.find(n);
+    return it == occupancy_.end() ? 0 : it->second;
+  }
+  void apply(const Action& action) {
+    --occupancy_[action.from];
+    ++occupancy_[action.to];
+    mapping_.reassign(action.rank, action.to);
+  }
+  /// Relocates `rank` to a uniformly random node with a free slot; appends the
+  /// applied action to `move`. Returns false when no eligible target exists.
+  bool relocate_random(Rng& rng, RankId rank, Move& move) {
+    const NodeId from = mapping_.node_of(rank);
+    NodeId target;
+    std::size_t seen = 0;
+    for (NodeId cand : pool_->nodes()) {
+      if (cand == from) continue;
+      if (used(cand) >= pool_->slots_of(cand)) continue;
+      ++seen;  // reservoir-sample uniformly among eligible targets
+      if (rng.below(seen) == 0) target = cand;
+    }
+    if (!target.valid()) return false;
+    move.push_back(Action{rank, from, target});
+    apply(move.back());
+    return true;
+  }
+
+  const NodePool* pool_;
+  Mapping mapping_;
+  std::unordered_map<NodeId, int> occupancy_;
+};
+
+/// Structured warm starts for the first two restarts. Random starts alone
+/// converge poorly on this landscape: equation 4 is a max, so most moves sit
+/// on plateaus, and multi-CPU co-location forms deep basins. Seeding one
+/// restart with "first pool nodes, one rank per node" and one with "pool
+/// slots packed in order" covers both archetypes cheaply; remaining restarts
+/// stay random.
+Mapping warm_start(const NodePool& pool, std::size_t nranks,
+                   std::size_t restart, Rng& rng, bool structured) {
+  if (!structured) return pool.random_mapping(nranks, rng);
+  if (restart == 0 && pool.size() >= nranks) {
+    std::vector<NodeId> nodes(pool.nodes().begin(),
+                              pool.nodes().begin() +
+                                  static_cast<long>(nranks));
+    return Mapping(std::move(nodes));
+  }
+  if (restart == 1) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(nranks);
+    for (NodeId n : pool.nodes()) {
+      for (int s = 0; s < pool.slots_of(n) && nodes.size() < nranks; ++s) {
+        nodes.push_back(n);
+      }
+      if (nodes.size() == nranks) break;
+    }
+    return Mapping(std::move(nodes));
+  }
+  return pool.random_mapping(nranks, rng);
+}
+
+}  // namespace
+
+SimulatedAnnealingScheduler::SimulatedAnnealingScheduler(SaParams params)
+    : params_(params) {
+  CBES_CHECK_MSG(params_.cooling > 0.0 && params_.cooling < 1.0,
+                 "cooling factor must be in (0, 1)");
+  CBES_CHECK_MSG(params_.t0_acceptance > 0.0 && params_.t0_acceptance < 1.0,
+                 "t0 acceptance must be in (0, 1)");
+  CBES_CHECK_MSG(params_.restarts >= 1, "need at least one restart");
+}
+
+ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
+                                                     const NodePool& pool,
+                                                     const CostFunction& cost) {
+  CBES_CHECK_MSG(nranks >= 1, "cannot schedule zero ranks");
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(params_.seed);
+
+  ScheduleResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+
+  for (std::size_t restart = 0;
+       restart < params_.restarts && evaluations < params_.max_evaluations;
+       ++restart) {
+    SaState state(pool, warm_start(pool, nranks, restart, rng,
+                                   params_.structured_warm_start));
+    double current = cost(state.mapping());
+    ++evaluations;
+    if (current < best.cost) {
+      best.cost = current;
+      best.mapping = state.mapping();
+    }
+    const bool allow_relocate = state.has_free_slot();
+
+    // Initial temperature: mean uphill delta over sampled random moves, scaled
+    // so t0_acceptance of them would be accepted (Metropolis).
+    double mean_uphill = 0.0;
+    std::size_t uphill = 0;
+    for (std::size_t s = 0;
+         s < params_.t0_samples && evaluations < params_.max_evaluations;
+         ++s) {
+      const SaState::Move move = state.propose(rng, allow_relocate);
+      const double trial = cost(state.mapping());
+      ++evaluations;
+      if (trial > current) {
+        mean_uphill += trial - current;
+        ++uphill;
+      }
+      state.undo(move);
+    }
+    double t0 = 1.0;
+    if (uphill > 0) {
+      mean_uphill /= static_cast<double>(uphill);
+      t0 = -mean_uphill / std::log(params_.t0_acceptance);
+    }
+    const double t_min = t0 * params_.t_min_factor;
+
+    for (double t = t0; t > t_min && evaluations < params_.max_evaluations;
+         t *= params_.cooling) {
+      for (std::size_t m = 0;
+           m < params_.moves_per_temperature &&
+           evaluations < params_.max_evaluations;
+           ++m) {
+        const SaState::Move move = state.propose(rng, allow_relocate);
+        const double trial = cost(state.mapping());
+        ++evaluations;
+        const double delta = trial - current;
+        if (delta <= 0.0 || rng.chance(std::exp(-delta / t))) {
+          current = trial;
+          // "<=" so that on plateaus (NCS inside an equal-speed pool, where
+          // the cost cannot distinguish mappings) the walk endpoint is kept —
+          // the paper's observation that NCS then "behaves like RS".
+          if (current <= best.cost) {
+            best.cost = current;
+            best.mapping = state.mapping();
+          }
+        } else {
+          state.undo(move);
+        }
+      }
+    }
+  }
+
+  best.evaluations = evaluations;
+  best.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return best;
+}
+
+}  // namespace cbes

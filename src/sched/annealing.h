@@ -1,0 +1,53 @@
+// The default CBES scheduler (paper §6): "a typical simulated annealing
+// algorithm [19][20]. The CBES mapping evaluation formula (equation 4) plays
+// the role of the energy function". With the full cost this is CS; with the
+// no-communication cost it is NCS.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.h"
+
+namespace cbes {
+
+struct SaParams {
+  /// Metropolis moves attempted per temperature step.
+  std::size_t moves_per_temperature = 150;
+  /// Geometric cooling factor T <- cooling * T.
+  double cooling = 0.95;
+  /// Random moves sampled to set the initial temperature so this fraction of
+  /// uphill moves would be accepted.
+  std::size_t t0_samples = 40;
+  double t0_acceptance = 0.8;
+  /// Annealing stops when T drops below t_min_factor * T0 (or the evaluation
+  /// budget runs out).
+  double t_min_factor = 1e-3;
+  std::size_t max_evaluations = 30000;
+  /// Independent restarts; the best result across restarts wins. Dual-CPU
+  /// co-location creates deep local optima (cheap loopback channels), so a
+  /// single anneal can get trapped; three restarts escape reliably.
+  std::size_t restarts = 3;
+  /// Seed the first two restarts with structured mappings (first pool nodes
+  /// one-per-node, then slot-packed) instead of random states. Disable to get
+  /// the plain textbook annealer (as the paper's 2005 prototype ran).
+  bool structured_warm_start = true;
+  std::uint64_t seed = 1;
+};
+
+class SimulatedAnnealingScheduler final : public Scheduler {
+ public:
+  explicit SimulatedAnnealingScheduler(SaParams params);
+
+  [[nodiscard]] ScheduleResult schedule(std::size_t nranks,
+                                        const NodePool& pool,
+                                        const CostFunction& cost) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "SA";
+  }
+  [[nodiscard]] const SaParams& params() const noexcept { return params_; }
+
+ private:
+  SaParams params_;
+};
+
+}  // namespace cbes

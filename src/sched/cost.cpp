@@ -1,0 +1,35 @@
+#include "sched/cost.h"
+
+namespace cbes {
+
+CbesCost::CbesCost(const MappingEvaluator& evaluator, const AppProfile& profile,
+                   const LoadSnapshot& snapshot, EvalOptions options,
+                   double guidance)
+    : evaluator_(&evaluator),
+      profile_(&profile),
+      snapshot_(&snapshot),
+      options_(options),
+      guidance_(guidance) {}
+
+double CbesCost::operator()(const Mapping& mapping) const {
+  ++evaluations_;
+  if (guidance_ == 0.0) {
+    return evaluator_->evaluate(*profile_, mapping, *snapshot_, options_);
+  }
+  const Prediction pred =
+      evaluator_->predict(*profile_, mapping, *snapshot_, options_);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pred.compute.size(); ++i) {
+    mean += pred.compute[i] + pred.comm[i];
+  }
+  mean /= static_cast<double>(pred.compute.size());
+  return pred.time + guidance_ * mean;
+}
+
+EvalOptions ncs_options() noexcept {
+  EvalOptions options;
+  options.comm_term = false;
+  return options;
+}
+
+}  // namespace cbes

@@ -1,0 +1,68 @@
+// Cost functions the schedulers minimize. The CBES mapping evaluation
+// (equation 4) is the default energy function; dropping its communication term
+// yields the paper's NCS comparison scheduler, whose score "cannot predict
+// execution times" but still ranks mappings by compute speed and load.
+#pragma once
+
+#include <cstddef>
+
+#include "core/evaluator.h"
+#include "monitor/snapshot.h"
+#include "profile/app_profile.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+/// Scalar objective over mappings (lower is better). Implementations must be
+/// cheap: the SA scheduler calls this tens of thousands of times.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+  [[nodiscard]] virtual double operator()(const Mapping& mapping) const = 0;
+  /// True when the score is an execution-time prediction in seconds
+  /// (CS yes, NCS no — paper §6).
+  [[nodiscard]] virtual bool predicts_time() const noexcept { return true; }
+  /// Cumulative number of evaluations served (scheduler-overhead metric).
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return evaluations_;
+  }
+
+ protected:
+  mutable std::size_t evaluations_ = 0;
+};
+
+/// The CBES cost: S_M from the mapping evaluator under a fixed availability
+/// snapshot. EvalOptions select the CS (full) or NCS (no comm term) variant
+/// and the ablation switches. References must outlive the cost function.
+class CbesCost final : public CostFunction {
+ public:
+  /// `guidance` adds guidance * mean_i(R_i + C_i) to the S_M energy. The
+  /// paper's equation 4 is a max, which is flat under any move that does not
+  /// touch the critical process — annealing then has to random-walk large
+  /// plateaus. A small mean term (default 0.1% of the energy scale) gives
+  /// those plateaus a slope without disturbing the ranking of mappings whose
+  /// S_M actually differ. Set 0 for the strict paper formulation.
+  CbesCost(const MappingEvaluator& evaluator, const AppProfile& profile,
+           const LoadSnapshot& snapshot, EvalOptions options = {},
+           double guidance = 1e-3);
+
+  [[nodiscard]] double operator()(const Mapping& mapping) const override;
+  [[nodiscard]] bool predicts_time() const noexcept override {
+    return options_.comm_term;
+  }
+  [[nodiscard]] const EvalOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const MappingEvaluator* evaluator_;
+  const AppProfile* profile_;
+  const LoadSnapshot* snapshot_;
+  EvalOptions options_;
+  double guidance_;
+};
+
+/// NCS convenience: CbesCost with the communication term disabled.
+[[nodiscard]] EvalOptions ncs_options() noexcept;
+
+}  // namespace cbes

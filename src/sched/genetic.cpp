@@ -1,0 +1,144 @@
+#include "sched/genetic.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+/// Rank-wise uniform crossover followed by capacity repair: ranks that land on
+/// over-full nodes are reassigned to random free slots.
+Mapping crossover(const Mapping& a, const Mapping& b, const NodePool& pool,
+                  Rng& rng) {
+  const std::size_t n = a.nranks();
+  std::vector<NodeId> child(n);
+  std::unordered_map<NodeId, int> used;
+  std::vector<std::size_t> overflow;
+  for (std::size_t r = 0; r < n; ++r) {
+    const NodeId pick = rng.chance(0.5) ? a.assignment()[r] : b.assignment()[r];
+    if (used[pick] < pool.slots_of(pick)) {
+      child[r] = pick;
+      ++used[pick];
+    } else {
+      overflow.push_back(r);
+    }
+  }
+  for (std::size_t r : overflow) {
+    // Reservoir-sample a node with spare capacity.
+    NodeId target;
+    std::size_t seen = 0;
+    for (NodeId cand : pool.nodes()) {
+      if (used[cand] >= pool.slots_of(cand)) continue;
+      ++seen;
+      if (rng.below(seen) == 0) target = cand;
+    }
+    CBES_ASSERT(target.valid());
+    child[r] = target;
+    ++used[target];
+  }
+  return Mapping(std::move(child));
+}
+
+void mutate(Mapping& m, const NodePool& pool, double rate, Rng& rng) {
+  std::unordered_map<NodeId, int> used;
+  for (NodeId n : m.assignment()) ++used[n];
+  for (std::size_t r = 0; r < m.nranks(); ++r) {
+    if (!rng.chance(rate)) continue;
+    const NodeId old_node = m.node_of(RankId{r});
+    NodeId target;
+    std::size_t seen = 0;
+    for (NodeId cand : pool.nodes()) {
+      if (cand == old_node) continue;
+      if (used[cand] >= pool.slots_of(cand)) continue;
+      ++seen;
+      if (rng.below(seen) == 0) target = cand;
+    }
+    if (!target.valid()) continue;  // pool fully packed: skip
+    --used[old_node];
+    ++used[target];
+    m.reassign(RankId{r}, target);
+  }
+}
+
+}  // namespace
+
+GeneticScheduler::GeneticScheduler(GaParams params) : params_(params) {
+  CBES_CHECK_MSG(params_.population >= 4, "population too small");
+  CBES_CHECK_MSG(params_.tournament >= 1, "tournament size must be >= 1");
+  CBES_CHECK_MSG(params_.elites < params_.population,
+                 "elites must leave room for offspring");
+}
+
+ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
+                                          const NodePool& pool,
+                                          const CostFunction& cost) {
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(params_.seed);
+
+  struct Individual {
+    Mapping mapping;
+    double cost = 0.0;
+  };
+  std::vector<Individual> population;
+  population.reserve(params_.population);
+  std::size_t evaluations = 0;
+  for (std::size_t i = 0; i < params_.population; ++i) {
+    Individual ind;
+    ind.mapping = pool.random_mapping(nranks, rng);
+    ind.cost = cost(ind.mapping);
+    ++evaluations;
+    population.push_back(std::move(ind));
+  }
+
+  auto by_cost = [](const Individual& x, const Individual& y) {
+    return x.cost < y.cost;
+  };
+  std::sort(population.begin(), population.end(), by_cost);
+
+  auto tournament_pick = [&]() -> const Individual& {
+    std::size_t best = rng.index(population.size());
+    for (std::size_t k = 1; k < params_.tournament; ++k) {
+      const std::size_t other = rng.index(population.size());
+      if (population[other].cost < population[best].cost) best = other;
+    }
+    return population[best];
+  };
+
+  for (std::size_t gen = 0; gen < params_.generations &&
+                            evaluations < params_.max_evaluations;
+       ++gen) {
+    std::vector<Individual> next;
+    next.reserve(params_.population);
+    for (std::size_t e = 0; e < params_.elites; ++e)
+      next.push_back(population[e]);
+    while (next.size() < params_.population &&
+           evaluations < params_.max_evaluations) {
+      Individual child;
+      child.mapping = crossover(tournament_pick().mapping,
+                                tournament_pick().mapping, pool, rng);
+      mutate(child.mapping, pool, params_.mutation_rate, rng);
+      child.cost = cost(child.mapping);
+      ++evaluations;
+      next.push_back(std::move(child));
+    }
+    // If the evaluation budget ran out mid-generation, keep survivors sorted.
+    population = std::move(next);
+    std::sort(population.begin(), population.end(), by_cost);
+  }
+
+  ScheduleResult result;
+  result.mapping = population.front().mapping;
+  result.cost = population.front().cost;
+  result.evaluations = evaluations;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cbes

@@ -1,0 +1,39 @@
+// Genetic-algorithm scheduler — the paper's §8 future-work item ("investigate
+// the suitability of other scheduling algorithms, e.g. genetic algorithms").
+// Individuals are mappings; fitness is the CBES cost; crossover mixes parent
+// assignments rank-wise with slot-capacity repair.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.h"
+
+namespace cbes {
+
+struct GaParams {
+  std::size_t population = 40;
+  std::size_t generations = 80;
+  std::size_t tournament = 3;
+  double mutation_rate = 0.08;
+  std::size_t elites = 2;
+  std::size_t max_evaluations = 20000;
+  std::uint64_t seed = 1;
+};
+
+class GeneticScheduler final : public Scheduler {
+ public:
+  explicit GeneticScheduler(GaParams params);
+
+  [[nodiscard]] ScheduleResult schedule(std::size_t nranks,
+                                        const NodePool& pool,
+                                        const CostFunction& cost) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "GA";
+  }
+  [[nodiscard]] const GaParams& params() const noexcept { return params_; }
+
+ private:
+  GaParams params_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,150 @@
+#include "sched/phased.h"
+
+#include <span>
+
+#include "common/check.h"
+#include "profile/profiler.h"
+#include "sched/cost.h"
+
+namespace cbes {
+
+namespace {
+
+/// Sum of predicted times of the remaining phases — the between-phase
+/// search's objective.
+class RemainingCost final : public CostFunction {
+ public:
+  RemainingCost(const MappingEvaluator& evaluator,
+                std::span<const AppProfile> remaining,
+                const LoadSnapshot& snapshot)
+      : evaluator_(&evaluator), remaining_(remaining), snapshot_(&snapshot) {}
+
+  double operator()(const Mapping& mapping) const override {
+    ++evaluations_;
+    Seconds total = 0.0;
+    for (const AppProfile& profile : remaining_) {
+      total += evaluator_->evaluate(profile, mapping, *snapshot_);
+    }
+    return total;
+  }
+
+ private:
+  const MappingEvaluator* evaluator_;
+  std::span<const AppProfile> remaining_;
+  const LoadSnapshot* snapshot_;
+};
+
+}  // namespace
+
+PhasedRunner::PhasedRunner(CbesService& service, NodePool pool,
+                           PhasedOptions options)
+    : service_(&service), pool_(std::move(pool)), options_(options) {}
+
+void PhasedRunner::prepare(const Program& program,
+                           const Mapping& profiling_mapping) {
+  segments_ = split_phases(program);
+  profiles_.clear();
+  ProfilerOptions popt = service_->config().profiler;
+  popt.net = options_.sim.net;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    popt.seed = derive_seed(0x9A5ED, s + 1);
+    profiles_.push_back(profile_application(segments_[s], profiling_mapping,
+                                            service_->simulator(),
+                                            service_->latency_model(), popt));
+  }
+}
+
+Seconds PhasedRunner::predict_remaining(std::size_t first_phase,
+                                        const Mapping& mapping,
+                                        const LoadSnapshot& snapshot) const {
+  CBES_CHECK_MSG(first_phase <= profiles_.size(), "phase index out of range");
+  Seconds total = 0.0;
+  for (std::size_t s = first_phase; s < profiles_.size(); ++s) {
+    total += service_->evaluator().evaluate(profiles_[s], mapping, snapshot);
+  }
+  return total;
+}
+
+PhasedRunReport PhasedRunner::run(const Mapping& initial,
+                                  const LoadModel& load) {
+  CBES_CHECK_MSG(!segments_.empty(), "call prepare() before run()");
+  CBES_CHECK_MSG(initial.fits(service_->topology()),
+                 "initial mapping does not fit the cluster");
+
+  PhasedRunReport report;
+  Mapping current = initial;
+  Seconds now = options_.sim.start_time;
+
+  // Per-phase predictions for the starting mapping feed the application
+  // monitor (drift-triggered policy).
+  auto predict_phases = [&](const Mapping& m, std::size_t first) {
+    const LoadSnapshot snapshot = service_->monitor().snapshot(now);
+    std::vector<Seconds> predicted;
+    for (std::size_t k = first; k < profiles_.size(); ++k) {
+      predicted.push_back(
+          service_->evaluator().evaluate(profiles_[k], m, snapshot));
+    }
+    return predicted;
+  };
+  AppMonitor drift(predict_phases(current, 0), options_.monitor);
+
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    PhaseRecord record;
+    record.phase = s;
+
+    const bool consult =
+        options_.adaptive && s > 0 &&
+        (options_.policy == RemapPolicy::kEveryBoundary ||
+         drift.state() == RemapTrigger::kExternal);
+    if (consult) {
+      // Consult the monitor and search for a better mapping for the rest of
+      // the run.
+      const LoadSnapshot snapshot = service_->monitor().snapshot(now);
+      const RemainingCost cost(
+          service_->evaluator(),
+          std::span<const AppProfile>(profiles_).subspan(s), snapshot);
+      SaParams params = options_.sa;
+      params.seed = derive_seed(options_.sa.seed, s);
+      SimulatedAnnealingScheduler scheduler(params);
+      const ScheduleResult found =
+          scheduler.schedule(current.nranks(), pool_, cost);
+
+      const Seconds stay = cost(current);
+      const Seconds move = found.cost;
+      const Seconds migration = migration_cost(
+          service_->topology(), current, found.mapping, options_.remap_cost);
+      if (stay - (move + migration) > options_.min_gain_fraction * stay) {
+        current = found.mapping;
+        record.remapped = true;
+        record.migration = migration;
+        now += migration;
+        ++report.remaps;
+        report.total_migration += migration;
+        drift.rebase(predict_phases(current, s));
+      } else if (drift.state() == RemapTrigger::kExternal) {
+        // Nothing better exists under current conditions: re-arm against the
+        // refreshed predictions so the monitor doesn't fire every boundary.
+        drift.rebase(predict_phases(current, s));
+      }
+    }
+
+    SimOptions sim = options_.sim;
+    sim.start_time = now;
+    sim.seed = derive_seed(options_.sim.seed, 0x500 + s);
+    const RunResult result =
+        service_->simulator().run(segments_[s], current, load, sim);
+
+    record.mapping = current;
+    record.start = now;
+    record.duration = result.makespan;
+    now += result.makespan;
+    drift.report(result.makespan);
+    report.phases.push_back(std::move(record));
+  }
+
+  report.total = now - options_.sim.start_time;
+  report.final_mapping = current;
+  return report;
+}
+
+}  // namespace cbes

@@ -1,0 +1,106 @@
+// Phase-segmented execution with mid-run remapping — the paper's §8 roadmap
+// ("expand the CBES infrastructure with application monitoring and remapping
+// capabilities") realized on top of the phase markers LAM/MPI already
+// provides (§4):
+//
+//   "an application run may consist of a core segment repeated any number of
+//    times. In such a case, one would need to pay the overhead for finding a
+//    mapping for this core segment only once, then save a percentage of time
+//    out of each repetition."
+//
+// The runner executes a phase-marked program one quiescent segment at a time.
+// Between segments it consults the monitor, searches (SA over the pool) for a
+// mapping that minimizes the predicted remaining time, and migrates when the
+// predicted gain exceeds the migration cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/program.h"
+#include "core/app_monitor.h"
+#include "core/remap.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/pool.h"
+
+namespace cbes {
+
+/// When the runner consults the scheduler.
+enum class RemapPolicy : unsigned char {
+  /// Search at every segment boundary (thorough; scheduler cost every phase).
+  kEveryBoundary,
+  /// Search only when the application monitor reports sustained drift from
+  /// the prediction (the paper's paragraph-8 "application monitoring" triggers).
+  kOnDrift,
+};
+
+struct PhasedOptions {
+  /// Hardware + seed for the execution runs.
+  SimOptions sim;
+  RemapCostModel remap_cost;
+  /// When false, the initial mapping is kept for the whole run (the static
+  /// baseline adaptive execution is compared against).
+  bool adaptive = true;
+  RemapPolicy policy = RemapPolicy::kEveryBoundary;
+  /// Drift detection for the kOnDrift policy.
+  AppMonitorConfig monitor;
+  /// Scheduler configuration for the between-phase searches.
+  SaParams sa;
+  /// Only remap when the predicted gain exceeds this fraction of the
+  /// predicted remaining time (hysteresis against churn).
+  double min_gain_fraction = 0.02;
+};
+
+struct PhaseRecord {
+  std::size_t phase = 0;
+  Mapping mapping;          ///< mapping the phase executed on
+  Seconds start = 0.0;      ///< absolute start time
+  Seconds duration = 0.0;   ///< measured execution time of the phase
+  bool remapped = false;    ///< true when a migration preceded this phase
+  Seconds migration = 0.0;  ///< migration stall charged before the phase
+};
+
+struct PhasedRunReport {
+  /// Total wall time: phase durations plus migration stalls.
+  Seconds total = 0.0;
+  std::vector<PhaseRecord> phases;
+  std::size_t remaps = 0;
+  Seconds total_migration = 0.0;
+  Mapping final_mapping;
+};
+
+/// Executes phased programs under CBES supervision.
+class PhasedRunner {
+ public:
+  /// `service` supplies the evaluator, monitor, and simulator; `pool` bounds
+  /// the mappings the between-phase searches may select.
+  PhasedRunner(CbesService& service, NodePool pool, PhasedOptions options);
+
+  /// Splits `program` into phases and profiles each on `profiling_mapping`
+  /// over the idle system. Must be called before run().
+  void prepare(const Program& program, const Mapping& profiling_mapping);
+
+  /// Runs the prepared program under ground-truth `load`, starting from
+  /// `initial` at time options.sim.start_time.
+  [[nodiscard]] PhasedRunReport run(const Mapping& initial,
+                                    const LoadModel& load);
+
+  [[nodiscard]] std::size_t phase_count() const noexcept {
+    return segments_.size();
+  }
+  /// Predicted time of the phases in [first_phase, end) under `mapping`,
+  /// given `snapshot` — the objective of the between-phase search.
+  [[nodiscard]] Seconds predict_remaining(std::size_t first_phase,
+                                          const Mapping& mapping,
+                                          const LoadSnapshot& snapshot) const;
+
+ private:
+  CbesService* service_;
+  NodePool pool_;
+  PhasedOptions options_;
+  std::vector<Program> segments_;
+  std::vector<AppProfile> profiles_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,68 @@
+#include "sched/pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cbes {
+
+NodePool::NodePool(const ClusterTopology& topology, std::vector<NodeId> nodes,
+                   int max_slots_per_node)
+    : topology_(&topology),
+      nodes_(std::move(nodes)),
+      max_slots_per_node_(max_slots_per_node) {
+  CBES_CHECK_MSG(!nodes_.empty(), "empty node pool");
+  CBES_CHECK_MSG(max_slots_per_node_ >= 1,
+                 "pool must allow at least one rank per node");
+  std::vector<NodeId> sorted = nodes_;
+  std::sort(sorted.begin(), sorted.end());
+  CBES_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 "pool contains duplicate nodes");
+  for (NodeId n : nodes_) {
+    (void)topology.node(n);  // validates n
+    total_slots_ += static_cast<std::size_t>(slots_of(n));
+  }
+}
+
+NodePool NodePool::whole_cluster(const ClusterTopology& topology) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(topology.node_count());
+  for (const Node& n : topology.nodes()) nodes.push_back(n.id);
+  return NodePool(topology, std::move(nodes));
+}
+
+NodePool NodePool::by_arch(const ClusterTopology& topology, Arch arch) {
+  return NodePool(topology, topology.nodes_with_arch(arch));
+}
+
+NodePool NodePool::one_per_node() const {
+  return NodePool(*topology_, nodes_, 1);
+}
+
+int NodePool::slots_of(NodeId node) const {
+  return std::min(topology_->node(node).cpus, max_slots_per_node_);
+}
+
+bool NodePool::contains(NodeId node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+Mapping NodePool::random_mapping(std::size_t nranks, Rng& rng) const {
+  CBES_CHECK_MSG(nranks <= total_slots_,
+                 "pool has fewer CPU slots than ranks requested");
+  // Expand nodes into one entry per CPU slot, then sample slots uniformly.
+  std::vector<NodeId> slots;
+  slots.reserve(total_slots_);
+  for (NodeId n : nodes_) {
+    for (int s = 0; s < slots_of(n); ++s) slots.push_back(n);
+  }
+  const std::vector<std::size_t> picks =
+      rng.sample_indices(slots.size(), nranks);
+  std::vector<NodeId> assignment;
+  assignment.reserve(nranks);
+  for (std::size_t idx : picks) assignment.push_back(slots[idx]);
+  return Mapping(std::move(assignment));
+}
+
+}  // namespace cbes

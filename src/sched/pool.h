@@ -1,0 +1,57 @@
+// Candidate node pools: the set of nodes an administrator has made available
+// to a scheduling request (paper §2 — CBES "only utilizes resources made
+// available to an application ... according to administrating policies").
+// The zone experiments of §6 restrict pools by architecture and connectivity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/cluster.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+class NodePool {
+ public:
+  /// Pool over an explicit node list; slot capacity comes from each node's
+  /// CPU count, capped at `max_slots_per_node` (1 = the paper's node-level
+  /// mappings, where LAM assigns one task per node regardless of CPUs).
+  /// Nodes must be distinct and belong to `topology`.
+  NodePool(const ClusterTopology& topology, std::vector<NodeId> nodes,
+           int max_slots_per_node = 1 << 20);
+
+  /// Every node of the cluster.
+  static NodePool whole_cluster(const ClusterTopology& topology);
+  /// Every node of one architecture.
+  static NodePool by_arch(const ClusterTopology& topology, Arch arch);
+  /// Same node list, but at most one rank per node.
+  [[nodiscard]] NodePool one_per_node() const;
+
+  [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t total_slots() const noexcept {
+    return total_slots_;
+  }
+  [[nodiscard]] const ClusterTopology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] int slots_of(NodeId node) const;
+  [[nodiscard]] bool contains(NodeId node) const;
+
+  /// Uniformly random valid mapping of `nranks` onto the pool's slots — the
+  /// paper's RS scheduler ("picks mappings at random from a pool of nodes
+  /// considered equivalent"). Requires nranks <= total_slots().
+  [[nodiscard]] Mapping random_mapping(std::size_t nranks, Rng& rng) const;
+
+ private:
+  const ClusterTopology* topology_;
+  std::vector<NodeId> nodes_;
+  int max_slots_per_node_ = 1 << 20;
+  std::size_t total_slots_ = 0;
+};
+
+}  // namespace cbes

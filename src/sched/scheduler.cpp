@@ -1,0 +1,23 @@
+#include "sched/scheduler.h"
+
+#include <chrono>
+
+namespace cbes {
+
+RandomScheduler::RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+ScheduleResult RandomScheduler::schedule(std::size_t nranks,
+                                         const NodePool& pool,
+                                         const CostFunction& cost) {
+  const auto start = std::chrono::steady_clock::now();
+  ScheduleResult result;
+  result.mapping = pool.random_mapping(nranks, rng_);
+  result.cost = cost(result.mapping);
+  result.evaluations = 1;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cbes

@@ -1,0 +1,51 @@
+// Scheduler interface and the random scheduler (the paper's RS baseline).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+
+namespace cbes {
+
+struct ScheduleResult {
+  Mapping mapping;
+  /// Cost of the selected mapping (a time prediction for CS, a score for NCS).
+  double cost = 0.0;
+  /// Cost-function invocations spent by this scheduling run.
+  std::size_t evaluations = 0;
+  /// Wall-clock time of the scheduling run (the paper's "approximate
+  /// scheduler time" column).
+  Seconds wall_seconds = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Finds a mapping of `nranks` tasks onto `pool` minimizing `cost`.
+  /// Requires nranks <= pool.total_slots().
+  [[nodiscard]] virtual ScheduleResult schedule(std::size_t nranks,
+                                                const NodePool& pool,
+                                                const CostFunction& cost) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// RS: picks one mapping uniformly at random and reports its cost.
+/// "Requires a negligible amount of time to find a mapping solution."
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed);
+  [[nodiscard]] ScheduleResult schedule(std::size_t nranks,
+                                        const NodePool& pool,
+                                        const CostFunction& cost) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "RS";
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,229 @@
+#include "simmpi/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+/// A message in flight (or delivered, awaiting its receive).
+struct PendingMsg {
+  Seconds ready = 0.0;    ///< earliest time the payload is at the receiver
+  Seconds recv_cpu = 0.0; ///< receiver-side stack time charged on delivery
+};
+
+struct Channel {
+  std::deque<PendingMsg> inbox;
+  /// Rank currently blocked receiving on this channel (at most one: the
+  /// destination), and when it posted the receive.
+  bool waiting = false;
+  Seconds posted_at = 0.0;
+};
+
+struct RankState {
+  std::size_t pc = 0;       ///< next op index
+  Seconds clock = 0.0;
+  int phase = 0;
+  bool blocked = false;
+  bool done = false;
+  RankStats stats;
+};
+
+/// Key for the (src -> dst) channel map.
+constexpr std::uint64_t channel_key(std::size_t src, std::size_t dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+struct QueueEntry {
+  Seconds time;
+  std::size_t rank;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    return a.time > b.time;
+  }
+};
+
+}  // namespace
+
+MpiSimulator::MpiSimulator(const ClusterTopology& topology)
+    : topology_(&topology) {}
+
+RunResult MpiSimulator::run(const Program& program, const Mapping& mapping,
+                            const LoadModel& load, const SimOptions& options) {
+  const std::size_t n = program.nranks();
+  CBES_CHECK_MSG(mapping.nranks() == n, "mapping/program rank count mismatch");
+  CBES_CHECK_MSG(mapping.fits(*topology_),
+                 "mapping exceeds node CPU slots or references unknown nodes");
+
+  SimNetwork net(*topology_, options.net, options.seed);
+
+  std::vector<RankState> ranks(n);
+  std::unordered_map<std::uint64_t, Channel> channels;
+  RunResult result;
+  result.ranks.resize(n);
+  if (options.record_trace) {
+    Trace trace;
+    trace.app_name = program.name;
+    trace.mapping = mapping.assignment();
+    trace.ranks.resize(n);
+    result.trace = std::move(trace);
+  }
+
+  auto record = [&](std::size_t rank, IntervalKind kind, Seconds begin,
+                    Seconds duration) {
+    if (result.trace && duration > 0.0) {
+      result.trace->ranks[rank].intervals.push_back(
+          TraceInterval{kind, begin, duration, ranks[rank].phase});
+    }
+  };
+  auto record_msg = [&](std::size_t rank, RankId peer, Bytes size, bool sent) {
+    if (result.trace) {
+      result.trace->ranks[rank].messages.push_back(
+          TraceMessage{peer, size, sent, ranks[rank].phase});
+    }
+  };
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      runnable;
+  for (std::size_t r = 0; r < n; ++r) {
+    ranks[r].clock = options.start_time;
+    runnable.push({options.start_time, r});
+  }
+
+  // Delivers the front message of `ch` to blocked rank `dst` and reschedules it.
+  auto wake_receiver = [&](Channel& ch, std::size_t dst) {
+    CBES_ASSERT(!ch.inbox.empty());
+    const PendingMsg msg = ch.inbox.front();
+    ch.inbox.pop_front();
+    ch.waiting = false;
+    RankState& rs = ranks[dst];
+    const Seconds wait = std::max(0.0, msg.ready - ch.posted_at);
+    rs.stats.b += wait;
+    record(dst, IntervalKind::kBlocked, ch.posted_at, wait);
+    const Seconds start_overhead = std::max(ch.posted_at, msg.ready);
+    rs.stats.o += msg.recv_cpu;
+    record(dst, IntervalKind::kOverhead, start_overhead, msg.recv_cpu);
+    rs.clock = start_overhead + msg.recv_cpu;
+    rs.blocked = false;
+    runnable.push({rs.clock, dst});
+  };
+
+  std::size_t finished = 0;
+  while (finished < n) {
+    if (runnable.empty()) {
+      std::ostringstream os;
+      os << "communication deadlock in '" << program.name << "': ranks";
+      for (std::size_t r = 0; r < n; ++r)
+        if (!ranks[r].done) os << ' ' << r << "@op" << ranks[r].pc;
+      os << " are all blocked";
+      throw ContractError(os.str());
+    }
+    const QueueEntry entry = runnable.top();
+    runnable.pop();
+    RankState& rs = ranks[entry.rank];
+    if (rs.done || rs.blocked || entry.time != rs.clock) {
+      continue;  // stale queue entry
+    }
+
+    const std::vector<Op>& ops = program.ranks[entry.rank].ops;
+    if (rs.pc >= ops.size()) {
+      rs.done = true;
+      rs.stats.finish = rs.clock;
+      ++finished;
+      continue;
+    }
+    const Op& op = ops[rs.pc++];
+    const NodeId node = mapping.node_of(RankId{entry.rank});
+
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        const double avail = load.cpu_avail(node, rs.clock);
+        const Seconds dur =
+            net.compute_time(node, op.compute_ref, program.mem_intensity,
+                             avail);
+        rs.stats.x += dur;
+        record(entry.rank, IntervalKind::kExecuting, rs.clock, dur);
+        rs.clock += dur;
+        runnable.push({rs.clock, entry.rank});
+        break;
+      }
+      case OpKind::kSend: {
+        const std::size_t dst = op.peer.index();
+        const NodeId dst_node = mapping.node_of(op.peer);
+        const TransferResult tr =
+            node == dst_node
+                ? net.local_transfer(rs.clock, node, op.size, load)
+                : net.transfer(rs.clock, node, dst_node, op.size, load);
+        rs.stats.o += tr.sender_cpu;
+        record(entry.rank, IntervalKind::kOverhead, rs.clock, tr.sender_cpu);
+        record_msg(entry.rank, op.peer, op.size, /*sent=*/true);
+        rs.clock += tr.sender_cpu;
+        ++result.messages;
+
+        Channel& ch = channels[channel_key(entry.rank, dst)];
+        ch.inbox.push_back(PendingMsg{tr.arrival, tr.receiver_cpu});
+        if (ch.waiting) wake_receiver(ch, dst);
+        runnable.push({rs.clock, entry.rank});
+        break;
+      }
+      case OpKind::kRecv: {
+        const std::size_t src = op.peer.index();
+        record_msg(entry.rank, op.peer, op.size, /*sent=*/false);
+        Channel& ch = channels[channel_key(src, entry.rank)];
+        if (!ch.inbox.empty()) {
+          const PendingMsg msg = ch.inbox.front();
+          ch.inbox.pop_front();
+          const Seconds wait = std::max(0.0, msg.ready - rs.clock);
+          rs.stats.b += wait;
+          record(entry.rank, IntervalKind::kBlocked, rs.clock, wait);
+          const Seconds start_overhead = std::max(rs.clock, msg.ready);
+          rs.stats.o += msg.recv_cpu;
+          record(entry.rank, IntervalKind::kOverhead, start_overhead,
+                 msg.recv_cpu);
+          rs.clock = start_overhead + msg.recv_cpu;
+          runnable.push({rs.clock, entry.rank});
+        } else {
+          CBES_CHECK_MSG(!ch.waiting,
+                         "two receives posted on one channel simultaneously");
+          ch.waiting = true;
+          ch.posted_at = rs.clock;
+          rs.blocked = true;
+        }
+        break;
+      }
+      case OpKind::kPhaseMark: {
+        rs.phase = op.phase;
+        if (result.trace) {
+          result.trace->max_phase =
+              std::max(result.trace->max_phase, op.phase);
+        }
+        runnable.push({rs.clock, entry.rank});
+        break;
+      }
+    }
+  }
+
+  // Drain check: leftover inbox messages mean the program under-received.
+  for (const auto& [key, ch] : channels) {
+    CBES_CHECK_MSG(ch.inbox.empty(),
+                   "program '" + program.name +
+                       "' finished with undelivered messages");
+  }
+
+  Seconds last_finish = options.start_time;
+  for (std::size_t r = 0; r < n; ++r) {
+    result.ranks[r] = ranks[r].stats;
+    last_finish = std::max(last_finish, ranks[r].stats.finish);
+    if (result.trace) result.trace->ranks[r].finish = ranks[r].stats.finish;
+  }
+  result.makespan = last_finish - options.start_time;
+  if (result.trace) result.trace->makespan = result.makespan;
+  return result;
+}
+
+}  // namespace cbes

@@ -1,0 +1,37 @@
+#include "simnet/load.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cbes {
+
+void ScriptedLoad::add(Episode episode) {
+  CBES_CHECK_MSG(episode.node.valid(), "load episode needs a valid node");
+  CBES_CHECK_MSG(episode.cpu_demand >= 0.0 && episode.cpu_demand < 1.0,
+                 "cpu_demand must be in [0, 1)");
+  CBES_CHECK_MSG(episode.nic_demand >= 0.0 && episode.nic_demand < 1.0,
+                 "nic_demand must be in [0, 1)");
+  CBES_CHECK_MSG(episode.end > episode.begin, "episode interval is empty");
+  episodes_.push_back(episode);
+}
+
+double ScriptedLoad::cpu_avail(NodeId node, Seconds now) const {
+  // Overlapping episodes on the same node stack: demands add up, availability
+  // floors at 2% so a fully-swamped node still makes (very slow) progress.
+  double demand = 0.0;
+  for (const Episode& e : episodes_) {
+    if (e.node == node && now >= e.begin && now < e.end) demand += e.cpu_demand;
+  }
+  return std::max(0.02, 1.0 - demand);
+}
+
+double ScriptedLoad::nic_util(NodeId node, Seconds now) const {
+  double demand = 0.0;
+  for (const Episode& e : episodes_) {
+    if (e.node == node && now >= e.begin && now < e.end) demand += e.nic_demand;
+  }
+  return std::min(0.95, demand);
+}
+
+}  // namespace cbes

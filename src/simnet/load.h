@@ -1,0 +1,63 @@
+// Ground-truth background load on cluster nodes.
+//
+// The paper's experiments distinguish the *actual* load on a node (which slows
+// computation and inflates end-to-end latency) from the *monitored* load CBES sees
+// through its daemons. This header models the actual load; the `monitor` library
+// samples it the way the CBES/NWS daemons sample a live cluster.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbes {
+
+/// Time-varying ground-truth load, queried by the simulator as it executes.
+class LoadModel {
+ public:
+  virtual ~LoadModel() = default;
+
+  /// Fraction of one CPU available to a foreground process on `node` at `now`,
+  /// in (0, 1]. The paper's ACPU term; 1.0 = idle node.
+  [[nodiscard]] virtual double cpu_avail(NodeId node, Seconds now) const = 0;
+
+  /// NIC utilization by background traffic in [0, 1); inflates the node's
+  /// uplink serialization time by 1/(1 - util).
+  [[nodiscard]] virtual double nic_util(NodeId node, Seconds now) const = 0;
+};
+
+/// The unloaded cluster: every CPU fully available, no background traffic.
+class NoLoad final : public LoadModel {
+ public:
+  [[nodiscard]] double cpu_avail(NodeId, Seconds) const override { return 1.0; }
+  [[nodiscard]] double nic_util(NodeId, Seconds) const override { return 0.0; }
+};
+
+/// Piecewise-constant scripted load: a list of intervals per node. Used to
+/// reproduce the paper's phase-3 experiments (inject load after scheduling) and
+/// the shared-cluster scenarios.
+class ScriptedLoad final : public LoadModel {
+ public:
+  /// One background-load episode on a node.
+  struct Episode {
+    NodeId node;
+    Seconds begin = 0.0;
+    Seconds end = kNever;
+    /// CPU demand of the background work in [0, 1); foreground availability
+    /// during the episode is 1 - cpu_demand (floored at 2%).
+    double cpu_demand = 0.0;
+    /// Background NIC utilization in [0, 1).
+    double nic_demand = 0.0;
+  };
+
+  ScriptedLoad() = default;
+  void add(Episode episode);
+
+  [[nodiscard]] double cpu_avail(NodeId node, Seconds now) const override;
+  [[nodiscard]] double nic_util(NodeId node, Seconds now) const override;
+
+ private:
+  std::vector<Episode> episodes_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,103 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cbes {
+
+SimNetwork::SimNetwork(const ClusterTopology& topology, SimNetConfig config,
+                       std::uint64_t seed)
+    : topology_(&topology), config_(config), rng_(seed) {
+  link_free_at_.assign(topology.link_count(), 0.0);
+}
+
+void SimNetwork::reset() {
+  std::fill(link_free_at_.begin(), link_free_at_.end(), 0.0);
+}
+
+TransferResult SimNetwork::transfer(Seconds start, NodeId src, NodeId dst,
+                                    Bytes size, const LoadModel& load) {
+  CBES_CHECK_MSG(src != dst, "loopback messages never reach the network");
+  const Node& src_node = topology_->node(src);
+  const Node& dst_node = topology_->node(dst);
+
+  const auto bytes = static_cast<double>(size);
+
+  // Endpoint software overheads: architecture-scaled, stretched by CPU load.
+  const double src_avail = load.cpu_avail(src, start);
+  const Seconds send_cpu = (config_.endpoint_overhead +
+                            config_.per_byte_host * bytes) *
+                           traits(src_node.arch).comm_overhead_factor /
+                           src_avail;
+
+  // The payload enters the wire once the sender's stack has processed it.
+  const Seconds wire_start = start + send_cpu;
+
+  // Cut-through traversal: hop latencies accumulate, the payload serializes
+  // once at the slowest (effective) link, and each traversed link is occupied
+  // for its own serialization time so concurrent transfers queue FIFO.
+  // Endpoint uplinks are additionally slowed by background NIC traffic.
+  const auto& path = topology_->path(src, dst);
+  Seconds hop_total = 0.0;
+  Seconds bottleneck = 0.0;
+  Seconds queue_delay = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Link& link = topology_->link(path[i]);
+    hop_total += link.hop_latency;
+    Seconds serialization = bytes / link.bandwidth_bps;
+    if (i == 0) {
+      serialization /= (1.0 - load.nic_util(src, wire_start));
+    } else if (i + 1 == path.size()) {
+      serialization /= (1.0 - load.nic_util(dst, wire_start));
+    }
+    bottleneck = std::max(bottleneck, serialization);
+    if (config_.contention) {
+      Seconds& free_at = link_free_at_[path[i].index()];
+      queue_delay += std::max(0.0, free_at - wire_start);
+      free_at = std::max(free_at, wire_start) + serialization;
+    }
+  }
+  Seconds wire = hop_total + bottleneck;
+  if (config_.jitter_sigma > 0.0) {
+    wire *= rng_.lognormal_median(1.0, config_.jitter_sigma);
+  }
+  const Seconds t = wire_start + wire + queue_delay;
+
+  const double dst_avail = load.cpu_avail(dst, t);
+  const Seconds recv_cpu = (config_.endpoint_overhead +
+                            config_.per_byte_host * bytes) *
+                           traits(dst_node.arch).comm_overhead_factor /
+                           dst_avail;
+
+  return TransferResult{send_cpu, recv_cpu, t};
+}
+
+TransferResult SimNetwork::local_transfer(Seconds start, NodeId node,
+                                          Bytes size, const LoadModel& load) {
+  const Node& n = topology_->node(node);
+  const double mem_rate = traits(n.arch).mem_rate;
+  const double avail = load.cpu_avail(node, start);
+  const auto bytes = static_cast<double>(size);
+  // Both the copy and a slim slice of the messaging stack run on the CPU.
+  const Seconds cpu_each = (0.25 * config_.endpoint_overhead +
+                            bytes / (config_.local_bandwidth_bps * mem_rate) / 2) /
+                           avail;
+  Seconds wire = config_.local_latency / mem_rate;
+  if (config_.jitter_sigma > 0.0) {
+    wire *= rng_.lognormal_median(1.0, config_.jitter_sigma);
+  }
+  const Seconds arrival = start + cpu_each * 2 + wire;
+  return TransferResult{cpu_each, cpu_each, arrival};
+}
+
+Seconds SimNetwork::compute_time(NodeId node, Seconds reference_seconds,
+                                 double mem_intensity, double cpu_avail) const {
+  CBES_CHECK_MSG(reference_seconds >= 0.0, "negative compute burst");
+  CBES_CHECK_MSG(cpu_avail > 0.0, "CPU availability must be positive");
+  const Node& n = topology_->node(node);
+  const double speed = effective_speed(n.arch, mem_intensity);
+  return reference_seconds / speed / cpu_avail;
+}
+
+}  // namespace cbes

@@ -1,0 +1,101 @@
+// Ground-truth network and machine behaviour — the "real hardware" this repo
+// substitutes for the physical Centurion and Orange Grove clusters.
+//
+// Messages traverse the topology cut-through (packet-pipelined), as 2005-era
+// switched ethernet does: end-to-end wire time is the sum of per-hop forwarding
+// latencies plus one serialization of the payload at the bottleneck link.
+// Each link still tracks FIFO occupancy (size / link bandwidth) so concurrent
+// transfers queue behind each other, and endpoint software overhead runs on the
+// hosts' CPUs scaled by architecture and current availability. A small
+// lognormal jitter makes repeated runs noisy, as on a real cluster.
+//
+// The CBES latency model (src/netmodel) never reads these internals; it is
+// *fitted* from ping-pong measurements taken through this class, exactly as the
+// real CBES calibrates against real hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "simnet/load.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+/// Tunable constants of the "hardware". Defaults approximate 2005-era fast
+/// ethernet with LAM/MPI TCP messaging.
+struct SimNetConfig {
+  /// Base per-message software overhead on each endpoint (syscalls, MPI
+  /// bookkeeping, TCP stack), before architecture scaling.
+  Seconds endpoint_overhead = 55e-6;
+  /// Host-side per-byte cost (user<->kernel copies) on each endpoint.
+  Seconds per_byte_host = 9e-9;
+  /// Log-space sigma of multiplicative jitter on the network portion of each
+  /// transfer; 0 disables noise entirely (used by calibration and tests).
+  double jitter_sigma = 0.012;
+  /// When false, links never queue (infinite capacity) — isolates latency
+  /// behaviour from contention in tests.
+  bool contention = true;
+  /// Intra-node (slot-to-slot on a dual-CPU node) message path: fixed shared
+  /// memory latency plus a memcpy bandwidth, both on the reference Alpha node;
+  /// the actual node scales them by its memory rate.
+  Seconds local_latency = 6e-6;
+  double local_bandwidth_bps = 160.0e6;
+};
+
+/// Result of one message transfer.
+struct TransferResult {
+  /// CPU time the sender spends in the messaging stack (part of MPI overhead).
+  Seconds sender_cpu = 0.0;
+  /// CPU time the receiver spends in the messaging stack upon delivery.
+  Seconds receiver_cpu = 0.0;
+  /// Absolute time the message payload is available at the receiver
+  /// (excluding receiver CPU overhead, which the caller schedules).
+  Seconds arrival = 0.0;
+};
+
+/// Stateful network simulator over a frozen topology.
+class SimNetwork {
+ public:
+  /// `topology` must outlive the network. `seed` drives the jitter stream.
+  SimNetwork(const ClusterTopology& topology, SimNetConfig config,
+             std::uint64_t seed);
+
+  /// Simulates a message of `size` bytes injected by `src` at time `start`,
+  /// destined for `dst`, under ground-truth `load`. Mutates link queues when
+  /// contention is enabled. `src != dst`; intra-node (slot-to-slot) messages
+  /// are the caller's fast path and never reach the network.
+  TransferResult transfer(Seconds start, NodeId src, NodeId dst, Bytes size,
+                          const LoadModel& load);
+
+  /// Intra-node message between two ranks sharing `node` (dual-CPU nodes):
+  /// shared-memory copy, no network traversal.
+  TransferResult local_transfer(Seconds start, NodeId node, Bytes size,
+                                const LoadModel& load);
+
+  /// Duration of a compute burst that takes `reference_seconds` on an idle
+  /// reference (Alpha) node, executed on `node` whose current availability is
+  /// `cpu_avail`, for an application with the given memory intensity.
+  [[nodiscard]] Seconds compute_time(NodeId node, Seconds reference_seconds,
+                                     double mem_intensity,
+                                     double cpu_avail) const;
+
+  /// Clears all link queue state (fresh run on the same topology).
+  void reset();
+
+  [[nodiscard]] const ClusterTopology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] const SimNetConfig& config() const noexcept { return config_; }
+
+ private:
+  const ClusterTopology* topology_;
+  SimNetConfig config_;
+  Rng rng_;
+  /// Per-link FIFO availability time, indexed by LinkId.
+  std::vector<Seconds> link_free_at_;
+};
+
+}  // namespace cbes

@@ -1,0 +1,51 @@
+// Hardware architecture descriptions for the heterogeneous clusters in the paper:
+// Alpha 533 MHz, dual Intel Pentium II 400 MHz, and SPARC 500 MHz nodes.
+//
+// Application-specific speed ratios (paper §3.1, footnote 1) emerge from blending
+// each architecture's compute and memory rates with the application's memory
+// intensity — a compute-bound code sees different ratios than a bandwidth-bound one.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace cbes {
+
+/// Node architectures present on Centurion and Orange Grove.
+enum class Arch : unsigned char {
+  kAlpha533,   ///< Alpha 533 MHz, Alpha Linux (fastest for the paper's codes)
+  kIntelPII400,  ///< dual Intel Pentium II 400 MHz, x86 Linux
+  kSparc500,   ///< SPARC 500 MHz, Solaris (slowest for the paper's codes)
+  kGeneric,    ///< synthetic reference architecture used in unit tests
+};
+
+inline constexpr std::array<Arch, 4> kAllArchs = {
+    Arch::kAlpha533, Arch::kIntelPII400, Arch::kSparc500, Arch::kGeneric};
+
+/// Static per-architecture characteristics. Rates are relative to Alpha = 1.0.
+struct ArchTraits {
+  std::string_view name;       ///< human-readable name ("A", "I", "S" in the paper)
+  std::string_view code;       ///< one-letter code used in the paper's figures
+  double flops_rate;           ///< relative floating-point throughput
+  double mem_rate;             ///< relative memory-subsystem throughput
+  /// Multiplier on per-message software (TCP/MPI stack) overhead; slower CPUs pay
+  /// more host-side time per message.
+  double comm_overhead_factor;
+  int default_cpus;            ///< CPUs per node as deployed in the paper's clusters
+};
+
+/// Looks up the immutable traits for an architecture.
+[[nodiscard]] const ArchTraits& traits(Arch arch) noexcept;
+
+/// Effective relative execution speed of an application with the given memory
+/// intensity mu in [0,1]: harmonic blend of compute and memory rates.
+/// mu = 0 → pure compute; mu = 1 → pure memory-bound.
+[[nodiscard]] double effective_speed(Arch arch, double mem_intensity) noexcept;
+
+/// Short display name, e.g. "Alpha533".
+[[nodiscard]] std::string_view arch_name(Arch arch) noexcept;
+
+/// One-letter paper code: "A", "I", "S" (or "G").
+[[nodiscard]] std::string_view arch_code(Arch arch) noexcept;
+
+}  // namespace cbes

@@ -1,0 +1,170 @@
+#include "topology/builders.h"
+
+#include <string>
+
+namespace cbes {
+
+namespace {
+
+// Fast-ethernet payload bandwidth (100 Mbps minus framing overhead).
+constexpr double kFastEthernetBps = 11.8e6;
+// 1.2 Gbps core switch trunk (Centurion).
+constexpr double kGigCoreBps = 140.0e6;
+// D-Link 8-port switches: same wire speed, but cheaper forwarding silicon.
+constexpr double kDLinkBps = 11.0e6;
+// Limited-capacity federation link between the two Orange Grove sub-clusters.
+constexpr double kFederationBps = 7.0e6;
+// Switch-to-switch 100 Mbps trunks carry every flow crossing the switch
+// boundary and run through the stack backplane; effective per-flow payload
+// bandwidth is well below a dedicated node link.
+constexpr double kTrunkBps = 8.5e6;
+
+// Fixed per-traversal forwarding latencies (frame store-and-forward plus
+// lookup on 2005-era switches). Tuned so measured internode latency
+// differences, (max - min) / max across node pairs, match the paper:
+// Centurion ~13%, Orange Grove ~54%.
+constexpr Seconds k3ComHop = 30e-6;
+constexpr Seconds kGigHop = 6e-6;
+constexpr Seconds kDLinkHop = 55e-6;
+constexpr Seconds kFederationHop = 70e-6;
+// Switch-to-switch trunks forward whole frames in both directions and carry
+// every flow crossing the switch boundary; their traversal costs more.
+constexpr Seconds k3ComTrunkHop = 60e-6;
+
+}  // namespace
+
+ClusterTopology make_centurion() {
+  ClusterTopology topo("centurion");
+  const SwitchId core = topo.add_root_switch("3com-gig-00");
+
+  // Eight identical 24-port leaf switches under the gigabit core.
+  SwitchId leaves[8];
+  for (int s = 0; s < 8; ++s) {
+    leaves[s] = topo.add_switch("3com-" + std::to_string(4 + s), core,
+                                kGigCoreBps, kGigHop, kCatGigUplink);
+  }
+
+  // 32 Alpha nodes on leaf switches 0-1 (16 each).
+  for (int i = 0; i < 32; ++i) {
+    topo.add_node("alpha-" + std::to_string(i), Arch::kAlpha533, 1,
+                  leaves[i / 16], kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  // 96 dual-PII nodes on leaf switches 2-7 (16 each).
+  for (int i = 0; i < 96; ++i) {
+    topo.add_node("intel-" + std::to_string(i), Arch::kIntelPII400, 2,
+                  leaves[2 + i / 16], kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  topo.freeze();
+  return topo;
+}
+
+ClusterTopology make_orange_grove() {
+  ClusterTopology topo("orange-grove");
+
+  // East sub-cluster: the two stacked 3Com switches act as one 48-port core.
+  const SwitchId stack = topo.add_root_switch("3com-stack");
+  const SwitchId sw01 = topo.add_switch("3com-01", stack, kTrunkBps,
+                                        k3ComTrunkHop, kCat3ComUplink);
+  const SwitchId sw02 = topo.add_switch("3com-02", stack, kTrunkBps,
+                                        k3ComTrunkHop, kCat3ComUplink);
+
+  // West sub-cluster hangs off the east core through the limited federation
+  // link; its own core is 3Com switch 11, with the two D-Link 8-port switches
+  // below it.
+  const SwitchId sw11 = topo.add_switch("3com-11", stack, kFederationBps,
+                                        kFederationHop, kCatFederation);
+  const SwitchId dl10 = topo.add_switch("dlink-10", sw11, kDLinkBps, kDLinkHop,
+                                        kCatDLinkUplink);
+  const SwitchId dl12 = topo.add_switch("dlink-12", sw11, kDLinkBps, kDLinkHop,
+                                        kCatDLinkUplink);
+
+  // 8 Alpha nodes, all but one on 3Com-01 (one stray on the stacked core), so
+  // all-Alpha mappings still differ modestly in connectivity — the
+  // intra-zone-1 execution-time range of Figure 6.
+  for (int i = 0; i < 7; ++i) {
+    topo.add_node("alpha-" + std::to_string(i), Arch::kAlpha533, 1, sw01,
+                  kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  topo.add_node("alpha-7", Arch::kAlpha533, 1, stack, kFastEthernetBps,
+                k3ComHop, kCat3ComNode);
+  // 12 dual-PII nodes: 4 on 3Com-01, 4 on 3Com-02, 4 on the stacked core.
+  for (int i = 0; i < 4; ++i) {
+    topo.add_node("intel-" + std::to_string(i), Arch::kIntelPII400, 2, sw01,
+                  kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  for (int i = 4; i < 8; ++i) {
+    topo.add_node("intel-" + std::to_string(i), Arch::kIntelPII400, 2, sw02,
+                  kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  for (int i = 8; i < 12; ++i) {
+    topo.add_node("intel-" + std::to_string(i), Arch::kIntelPII400, 2, stack,
+                  kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  // 8 SPARC nodes in the west sub-cluster: 4 on its core, 2 on each D-Link.
+  for (int i = 0; i < 4; ++i) {
+    topo.add_node("sparc-" + std::to_string(i), Arch::kSparc500, 1, sw11,
+                  kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  for (int i = 4; i < 6; ++i) {
+    topo.add_node("sparc-" + std::to_string(i), Arch::kSparc500, 1, dl10,
+                  kDLinkBps, kDLinkHop, kCatDLinkNode);
+  }
+  for (int i = 6; i < 8; ++i) {
+    topo.add_node("sparc-" + std::to_string(i), Arch::kSparc500, 1, dl12,
+                  kDLinkBps, kDLinkHop, kCatDLinkNode);
+  }
+  topo.freeze();
+  return topo;
+}
+
+ClusterTopology make_flat(std::size_t n, Arch arch, int cpus) {
+  ClusterTopology topo("flat-" + std::to_string(n));
+  const SwitchId sw = topo.add_root_switch("sw0");
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_node("node-" + std::to_string(i), arch, cpus, sw,
+                  kFastEthernetBps, k3ComHop, kCat3ComNode);
+  }
+  topo.freeze();
+  return topo;
+}
+
+ClusterTopology make_two_switch(std::size_t per_switch, Arch arch) {
+  ClusterTopology topo("two-switch");
+  const SwitchId core = topo.add_root_switch("core");
+  const SwitchId a = topo.add_switch("leaf-a", core, kFastEthernetBps, k3ComHop,
+                                     kCat3ComUplink);
+  const SwitchId b = topo.add_switch("leaf-b", core, kFastEthernetBps, k3ComHop,
+                                     kCat3ComUplink);
+  for (std::size_t i = 0; i < per_switch; ++i) {
+    topo.add_node("a-" + std::to_string(i), arch, 1, a, kFastEthernetBps,
+                  k3ComHop, kCat3ComNode);
+  }
+  for (std::size_t i = 0; i < per_switch; ++i) {
+    topo.add_node("b-" + std::to_string(i), arch, 1, b, kFastEthernetBps,
+                  k3ComHop, kCat3ComNode);
+  }
+  topo.freeze();
+  return topo;
+}
+
+ClusterTopology make_federation(std::size_t clusters, std::size_t per_cluster,
+                                Arch arch) {
+  ClusterTopology topo("federation");
+  const SwitchId root = topo.add_root_switch("core-0");
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    SwitchId sub = root;
+    if (c > 0) {
+      sub = topo.add_switch("core-" + std::to_string(c), root, kFederationBps,
+                            kFederationHop, kCatFederation);
+    }
+    for (std::size_t i = 0; i < per_cluster; ++i, ++next) {
+      topo.add_node("node-" + std::to_string(next), arch, 1, sub,
+                    kFastEthernetBps, k3ComHop, kCat3ComNode);
+    }
+  }
+  topo.freeze();
+  return topo;
+}
+
+}  // namespace cbes

@@ -1,0 +1,51 @@
+// Ready-made cluster topologies: the two experimental clusters from the paper
+// (Centurion at UVa, the rewired Orange Grove at Syracuse) plus small synthetic
+// shapes for unit tests and exploration.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/cluster.h"
+
+namespace cbes {
+
+/// Link hardware categories used by the builders (shared with the O(N)
+/// calibration's path-equivalence classes).
+enum LinkCategory : int {
+  kCat3ComNode = 1,    ///< node NIC to a 3Com 24-port 100 Mbps switch
+  kCat3ComUplink = 2,  ///< 3Com leaf switch to a parent switch (100 Mbps trunk)
+  kCatGigUplink = 3,   ///< 3Com leaf to the 1.2 Gbps core (Centurion)
+  kCatDLinkNode = 4,   ///< node NIC to a D-Link 8-port switch (higher latency)
+  kCatDLinkUplink = 5, ///< D-Link switch uplink
+  kCatFederation = 6,  ///< limited-capacity inter-cluster federation link
+};
+
+/// The experimental Centurion configuration (paper §4.1, figure 3):
+/// 32 Alpha 533 MHz + 96 dual Intel PII 400 MHz nodes over eight 3Com 24-port
+/// 100 Mbps leaf switches connected to a 3Com 1.2 Gbps core switch.
+/// Internode latency spread is small (~13%): the cluster is nearly flat.
+[[nodiscard]] ClusterTopology make_centurion();
+
+/// The rewired Orange Grove configuration (paper §4.2, figure 4):
+/// 8 Alpha 533 MHz + 8 SPARC 500 MHz + 12 dual Intel PII 400 MHz nodes over
+/// five 3Com switches (two stacked) and two D-Link 8-port switches, wired as a
+/// federation of two elementary clusters joined by a limited-capacity link.
+/// Internode latency spread is large (~54%).
+[[nodiscard]] ClusterTopology make_orange_grove();
+
+/// Single switch, `n` identical nodes — the degenerate homogeneous case.
+[[nodiscard]] ClusterTopology make_flat(std::size_t n, Arch arch = Arch::kGeneric,
+                                        int cpus = 1);
+
+/// Two leaf switches of `per_switch` nodes each under a core switch; used by
+/// tests that need exactly one latency boundary.
+[[nodiscard]] ClusterTopology make_two_switch(std::size_t per_switch,
+                                              Arch arch = Arch::kGeneric);
+
+/// Parameterized federation: `clusters` sub-clusters of `per_cluster` nodes,
+/// joined through limited links; used by topology-sensitivity studies.
+[[nodiscard]] ClusterTopology make_federation(std::size_t clusters,
+                                              std::size_t per_cluster,
+                                              Arch arch = Arch::kGeneric);
+
+}  // namespace cbes

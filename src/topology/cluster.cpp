@@ -1,0 +1,198 @@
+#include "topology/cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes {
+
+ClusterTopology::ClusterTopology(std::string name) : name_(std::move(name)) {}
+
+void ClusterTopology::require_frozen() const {
+  CBES_CHECK_MSG(frozen_, "topology must be frozen before routing queries");
+}
+
+void ClusterTopology::require_mutable() const {
+  CBES_CHECK_MSG(!frozen_, "topology is frozen; no further mutation allowed");
+}
+
+SwitchId ClusterTopology::add_root_switch(std::string name) {
+  require_mutable();
+  CBES_CHECK_MSG(switches_.empty(), "root switch must be added first");
+  Switch s;
+  s.id = SwitchId{switches_.size()};
+  s.name = std::move(name);
+  s.depth = 0;
+  switches_.push_back(std::move(s));
+  return switches_.back().id;
+}
+
+SwitchId ClusterTopology::add_switch(std::string name, SwitchId parent,
+                                     double bandwidth_bps, Seconds hop_latency,
+                                     int category) {
+  require_mutable();
+  CBES_CHECK_MSG(parent.valid() && parent.index() < switches_.size(),
+                 "unknown parent switch");
+  CBES_CHECK_MSG(bandwidth_bps > 0.0, "link bandwidth must be positive");
+  CBES_CHECK_MSG(hop_latency >= 0.0, "hop latency must be nonnegative");
+
+  Link l;
+  l.id = LinkId{links_.size()};
+  l.name = name + "<->" + switches_[parent.index()].name;
+  l.bandwidth_bps = bandwidth_bps;
+  l.hop_latency = hop_latency;
+  l.category = category;
+  links_.push_back(l);
+
+  Switch s;
+  s.id = SwitchId{switches_.size()};
+  s.name = std::move(name);
+  s.parent = parent;
+  s.uplink = l.id;
+  s.depth = switches_[parent.index()].depth + 1;
+  switches_.push_back(std::move(s));
+  return switches_.back().id;
+}
+
+NodeId ClusterTopology::add_node(std::string name, Arch arch, int cpus,
+                                 SwitchId sw_id, double bandwidth_bps,
+                                 Seconds hop_latency, int category) {
+  require_mutable();
+  CBES_CHECK_MSG(sw_id.valid() && sw_id.index() < switches_.size(),
+                 "unknown switch");
+  CBES_CHECK_MSG(cpus >= 1, "node must have at least one CPU");
+  CBES_CHECK_MSG(bandwidth_bps > 0.0, "NIC bandwidth must be positive");
+
+  Link l;
+  l.id = LinkId{links_.size()};
+  l.name = name + "<->" + switches_[sw_id.index()].name;
+  l.bandwidth_bps = bandwidth_bps;
+  l.hop_latency = hop_latency;
+  l.category = category;
+  links_.push_back(l);
+
+  Node n;
+  n.id = NodeId{nodes_.size()};
+  n.name = std::move(name);
+  n.arch = arch;
+  n.cpus = cpus;
+  n.attached = sw_id;
+  n.uplink = l.id;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void ClusterTopology::freeze() {
+  require_mutable();
+  CBES_CHECK_MSG(!nodes_.empty(), "topology has no nodes");
+  frozen_ = true;
+
+  // Precompute every pairwise path once; experiments route millions of messages
+  // over a fixed topology, so paying O(N^2) memory here is the right trade.
+  const std::size_t n = nodes_.size();
+  path_cache_.assign(n * n, {});
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto chain_a = chain_to_root(nodes_[a].attached);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto chain_b = chain_to_root(nodes_[b].attached);
+      // Find the lowest common ancestor: strip the shared suffix of both chains.
+      std::size_t ia = chain_a.size(), ib = chain_b.size();
+      while (ia > 0 && ib > 0 && chain_a[ia - 1] == chain_b[ib - 1]) {
+        --ia;
+        --ib;
+      }
+      // LCA is the last stripped element; ia/ib now count switches strictly
+      // below the LCA on each side.
+      std::vector<LinkId>& p = path_cache_[a * n + b];
+      p.push_back(nodes_[a].uplink);
+      for (std::size_t i = 0; i < ia; ++i)
+        p.push_back(switches_[chain_a[i].index()].uplink);
+      for (std::size_t i = ib; i > 0; --i)
+        p.push_back(switches_[chain_b[i - 1].index()].uplink);
+      p.push_back(nodes_[b].uplink);
+    }
+  }
+}
+
+const Node& ClusterTopology::node(NodeId id) const {
+  CBES_CHECK_MSG(id.valid() && id.index() < nodes_.size(), "unknown node id");
+  return nodes_[id.index()];
+}
+
+const Switch& ClusterTopology::sw(SwitchId id) const {
+  CBES_CHECK_MSG(id.valid() && id.index() < switches_.size(),
+                 "unknown switch id");
+  return switches_[id.index()];
+}
+
+const Link& ClusterTopology::link(LinkId id) const {
+  CBES_CHECK_MSG(id.valid() && id.index() < links_.size(), "unknown link id");
+  return links_[id.index()];
+}
+
+std::vector<NodeId> ClusterTopology::nodes_with_arch(Arch arch) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.arch == arch) out.push_back(n.id);
+  return out;
+}
+
+std::size_t ClusterTopology::total_slots() const {
+  std::size_t slots = 0;
+  for (const Node& n : nodes_) slots += static_cast<std::size_t>(n.cpus);
+  return slots;
+}
+
+std::vector<SwitchId> ClusterTopology::chain_to_root(SwitchId leaf) const {
+  std::vector<SwitchId> chain;
+  for (SwitchId s = leaf; s.valid(); s = switches_[s.index()].parent)
+    chain.push_back(s);
+  return chain;
+}
+
+const std::vector<LinkId>& ClusterTopology::path(NodeId a, NodeId b) const {
+  require_frozen();
+  CBES_CHECK(a.valid() && a.index() < nodes_.size());
+  CBES_CHECK(b.valid() && b.index() < nodes_.size());
+  return path_cache_[a.index() * nodes_.size() + b.index()];
+}
+
+std::size_t ClusterTopology::hops(NodeId a, NodeId b) const {
+  return path(a, b).size();
+}
+
+double ClusterTopology::path_bandwidth(NodeId a, NodeId b) const {
+  const auto& p = path(a, b);
+  double bw = std::numeric_limits<double>::infinity();
+  for (LinkId l : p) bw = std::min(bw, links_[l.index()].bandwidth_bps);
+  return bw;
+}
+
+Seconds ClusterTopology::path_latency(NodeId a, NodeId b) const {
+  const auto& p = path(a, b);
+  Seconds total = 0.0;
+  for (LinkId l : p) total += links_[l.index()].hop_latency;
+  return total;
+}
+
+std::string ClusterTopology::path_signature(NodeId a, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  auto arch_lo = static_cast<int>(na.arch);
+  auto arch_hi = static_cast<int>(nb.arch);
+  if (arch_lo > arch_hi) std::swap(arch_lo, arch_hi);
+
+  std::vector<int> cats;
+  for (LinkId l : path(a, b)) cats.push_back(links_[l.index()].category);
+  std::sort(cats.begin(), cats.end());
+
+  std::ostringstream os;
+  os << 'a' << arch_lo << ':' << arch_hi << '|';
+  for (int c : cats) os << c << ',';
+  return os.str();
+}
+
+}  // namespace cbes

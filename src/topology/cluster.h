@@ -1,0 +1,127 @@
+// Cluster topology model: compute nodes attached to a tree of switches.
+//
+// Both experimental clusters in the paper are switched fast-ethernet trees
+// (leaf switches under a core switch; Orange Grove additionally emulates a
+// federation of two elementary clusters joined by a limited-capacity link), so a
+// tree is the exact routing structure — the path between two nodes climbs to the
+// lowest common ancestor switch and descends.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/arch.h"
+
+namespace cbes {
+
+/// A network link (node<->switch or switch<->switch).
+struct Link {
+  LinkId id;
+  std::string name;
+  double bandwidth_bps = 0.0;   ///< payload bandwidth, bytes per second
+  Seconds hop_latency = 0.0;    ///< fixed per-traversal latency (wire + forwarding)
+  /// Builder-assigned hardware category (e.g. all 3Com-leaf uplinks share one
+  /// category); the O(N) calibration groups node pairs by the categories along
+  /// their path.
+  int category = 0;
+};
+
+/// A compute node.
+struct Node {
+  NodeId id;
+  std::string name;
+  Arch arch = Arch::kGeneric;
+  int cpus = 1;                 ///< schedulable CPU slots (dual-PII nodes have 2)
+  SwitchId attached;            ///< leaf switch this node hangs off
+  LinkId uplink;                ///< link from the node's NIC to `attached`
+};
+
+/// A switch in the tree. The root switch has an invalid parent.
+struct Switch {
+  SwitchId id;
+  std::string name;
+  SwitchId parent;              ///< invalid for the root
+  LinkId uplink;                ///< link towards the parent; invalid for the root
+  int depth = 0;                ///< root = 0
+};
+
+/// Immutable-after-build description of a cluster: nodes, switches, links, and
+/// tree routing with cached paths.
+class ClusterTopology {
+ public:
+  explicit ClusterTopology(std::string name);
+
+  // ---- construction (builder-facing) ------------------------------------
+  /// Adds the root switch (must be the first switch added).
+  SwitchId add_root_switch(std::string name);
+  /// Adds a switch under `parent`, connected by a link with the given
+  /// characteristics. `category` groups hardware-identical links.
+  SwitchId add_switch(std::string name, SwitchId parent, double bandwidth_bps,
+                      Seconds hop_latency, int category);
+  /// Adds a node under leaf switch `sw`; its NIC link uses the given
+  /// characteristics.
+  NodeId add_node(std::string name, Arch arch, int cpus, SwitchId sw,
+                  double bandwidth_bps, Seconds hop_latency, int category);
+  /// Finalizes the topology; no further mutation is allowed afterwards.
+  void freeze();
+
+  // ---- queries ------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Switch& sw(SwitchId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::span<const Switch> switches() const noexcept {
+    return switches_;
+  }
+  [[nodiscard]] std::span<const Link> links() const noexcept { return links_; }
+
+  /// All nodes of a given architecture.
+  [[nodiscard]] std::vector<NodeId> nodes_with_arch(Arch arch) const;
+
+  /// Total schedulable CPU slots across all nodes.
+  [[nodiscard]] std::size_t total_slots() const;
+
+  /// Ordered sequence of links a message from `a` to `b` traverses
+  /// (a->leaf ... ->LCA-> ... leaf->b). Empty when a == b (loopback).
+  /// Requires freeze(); results are cached, lookups after the first are O(1).
+  [[nodiscard]] const std::vector<LinkId>& path(NodeId a, NodeId b) const;
+
+  /// Number of links on the path (0 for loopback).
+  [[nodiscard]] std::size_t hops(NodeId a, NodeId b) const;
+
+  /// Minimum bandwidth along the path, bytes/second. Infinite for loopback.
+  [[nodiscard]] double path_bandwidth(NodeId a, NodeId b) const;
+
+  /// Sum of fixed hop latencies along the path.
+  [[nodiscard]] Seconds path_latency(NodeId a, NodeId b) const;
+
+  /// Equivalence-class signature for calibration: unordered endpoint
+  /// architectures + sorted multiset of link categories along the path.
+  /// Two pairs with equal signatures have identical no-load latency behaviour,
+  /// which is what makes the paper's O(N) calibration sound.
+  [[nodiscard]] std::string path_signature(NodeId a, NodeId b) const;
+
+ private:
+  [[nodiscard]] std::vector<SwitchId> chain_to_root(SwitchId leaf) const;
+  void require_frozen() const;
+  void require_mutable() const;
+
+  std::string name_;
+  bool frozen_ = false;
+  std::vector<Node> nodes_;
+  std::vector<Switch> switches_;
+  std::vector<Link> links_;
+  // Cached pairwise paths, indexed a * node_count + b, filled by freeze().
+  std::vector<std::vector<LinkId>> path_cache_;
+};
+
+}  // namespace cbes

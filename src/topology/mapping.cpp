@@ -1,0 +1,75 @@
+#include "topology/mapping.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cbes {
+
+Mapping::Mapping(std::vector<NodeId> assignment)
+    : assignment_(std::move(assignment)) {
+  for (NodeId n : assignment_)
+    CBES_CHECK_MSG(n.valid(), "mapping contains an invalid node id");
+}
+
+NodeId Mapping::node_of(RankId rank) const {
+  CBES_CHECK_MSG(rank.valid() && rank.index() < assignment_.size(),
+                 "rank outside mapping");
+  return assignment_[rank.index()];
+}
+
+void Mapping::reassign(RankId rank, NodeId node) {
+  CBES_CHECK_MSG(rank.valid() && rank.index() < assignment_.size(),
+                 "rank outside mapping");
+  CBES_CHECK_MSG(node.valid(), "invalid node");
+  assignment_[rank.index()] = node;
+}
+
+bool Mapping::fits(const ClusterTopology& topology) const {
+  std::unordered_map<NodeId, int> used;
+  for (NodeId n : assignment_) {
+    if (!n.valid() || n.index() >= topology.node_count()) return false;
+    if (++used[n] > topology.node(n).cpus) return false;
+  }
+  return true;
+}
+
+std::size_t Mapping::ranks_on(NodeId node) const {
+  std::size_t count = 0;
+  for (NodeId n : assignment_)
+    if (n == node) ++count;
+  return count;
+}
+
+Mapping Mapping::round_robin(const ClusterTopology& topology,
+                             std::size_t nranks) {
+  CBES_CHECK_MSG(nranks <= topology.total_slots(),
+                 "more ranks than CPU slots in the cluster");
+  std::vector<NodeId> assignment;
+  assignment.reserve(nranks);
+  // Fill one slot per node per sweep, like lamboot walking its node list.
+  for (int sweep = 0; assignment.size() < nranks; ++sweep) {
+    bool placed_any = false;
+    for (const Node& node : topology.nodes()) {
+      if (assignment.size() == nranks) break;
+      if (sweep < node.cpus) {
+        assignment.push_back(node.id);
+        placed_any = true;
+      }
+    }
+    CBES_CHECK_MSG(placed_any, "round_robin failed to place all ranks");
+  }
+  return Mapping(std::move(assignment));
+}
+
+std::string Mapping::describe(const ClusterTopology& topology) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < assignment_.size(); ++r) {
+    if (r) os << ' ';
+    os << r << ':' << topology.node(assignment_[r]).name;
+  }
+  return os.str();
+}
+
+}  // namespace cbes

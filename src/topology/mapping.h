@@ -1,0 +1,54 @@
+// A mapping M (paper §3.1): the assignment of application tasks (ranks) to
+// cluster nodes. Multiple ranks may share a node up to its CPU slot count
+// (the dual-PII nodes host two ranks — the "16(2)" cases of Figure 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+class Mapping {
+ public:
+  Mapping() = default;
+  /// `assignment[r]` is the node hosting rank r.
+  explicit Mapping(std::vector<NodeId> assignment);
+
+  [[nodiscard]] std::size_t nranks() const noexcept {
+    return assignment_.size();
+  }
+  [[nodiscard]] NodeId node_of(RankId rank) const;
+  [[nodiscard]] const std::vector<NodeId>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Replaces the node of one rank (the SA neighbour move).
+  void reassign(RankId rank, NodeId node);
+
+  /// True when every rank's node exists and no node hosts more ranks than it
+  /// has CPU slots.
+  [[nodiscard]] bool fits(const ClusterTopology& topology) const;
+
+  /// Number of ranks placed on `node`.
+  [[nodiscard]] std::size_t ranks_on(NodeId node) const;
+
+  /// The naive placement the paper ascribes to PVM/MPI runtimes: walk the boot
+  /// node list round-robin, filling CPU slots, "regardless of resource
+  /// availability".
+  static Mapping round_robin(const ClusterTopology& topology,
+                             std::size_t nranks);
+
+  /// Human-readable "rank->node" listing, e.g. "0:alpha-3 1:intel-0 ...".
+  [[nodiscard]] std::string describe(const ClusterTopology& topology) const;
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
+
+ private:
+  std::vector<NodeId> assignment_;
+};
+
+}  // namespace cbes

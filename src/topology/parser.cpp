@@ -1,0 +1,202 @@
+#include "topology/parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ContractError("topology parse error, line " + std::to_string(line) +
+                      ": " + what);
+}
+
+double parse_bandwidth(std::size_t line, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value <= 0.0) fail(line, "bad bandwidth " + text);
+  const std::string suffix(end);
+  if (suffix.empty()) return value;
+  if (suffix == "k" || suffix == "K") return value * 1e3;
+  if (suffix == "M") return value * 1e6;
+  if (suffix == "G") return value * 1e9;
+  fail(line, "unknown bandwidth suffix " + suffix);
+}
+
+Seconds parse_latency(std::size_t line, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) fail(line, "bad latency " + text);
+  const std::string suffix(end);
+  if (suffix == "us") return value * 1e-6;
+  if (suffix == "ms") return value * 1e-3;
+  if (suffix == "s" || suffix.empty()) return value;
+  fail(line, "unknown latency suffix " + suffix);
+}
+
+Arch parse_arch(std::size_t line, const std::string& code) {
+  for (Arch arch : kAllArchs) {
+    if (code == arch_code(arch)) return arch;
+  }
+  fail(line, "unknown architecture code " + code + " (use A, I, S, or G)");
+}
+
+/// key=value attributes after the positional fields.
+std::map<std::string, std::string> parse_attrs(
+    std::size_t line, std::istringstream& stream) {
+  std::map<std::string, std::string> attrs;
+  std::string token;
+  while (stream >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      fail(line, "expected key=value, got " + token);
+    }
+    attrs[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return attrs;
+}
+
+std::string take(std::size_t line, std::map<std::string, std::string>& attrs,
+                 const std::string& key, const char* fallback = nullptr) {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) {
+    if (fallback != nullptr) return fallback;
+    fail(line, "missing attribute " + key);
+  }
+  std::string value = it->second;
+  attrs.erase(it);
+  return value;
+}
+
+}  // namespace
+
+ClusterTopology parse_topology(std::istream& in) {
+  std::string cluster_name;
+  std::map<std::string, SwitchId> switches;
+  ClusterTopology topo("unnamed");
+  bool named = false;
+  bool has_root = false;
+  std::size_t line_no = 0;
+  std::string line;
+
+  // We cannot rename a ClusterTopology after construction, so buffer lines
+  // until the `cluster` directive, then construct.
+  std::vector<std::pair<std::size_t, std::string>> body;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream stream(line);
+    std::string keyword;
+    if (!(stream >> keyword)) continue;  // blank line
+    if (keyword == "cluster") {
+      if (named) fail(line_no, "duplicate cluster directive");
+      if (!(stream >> cluster_name)) fail(line_no, "cluster needs a name");
+      named = true;
+      continue;
+    }
+    body.emplace_back(line_no, line);
+  }
+  if (!named) throw ContractError("topology parse error: no cluster directive");
+  topo = ClusterTopology(cluster_name);
+
+  auto add_one_node = [&](std::size_t at, const std::string& name,
+                          std::map<std::string, std::string> attrs) {
+    const Arch arch = parse_arch(at, take(at, attrs, "arch"));
+    const int cpus = std::stoi(take(at, attrs, "cpus", "1"));
+    const std::string sw_name = take(at, attrs, "switch");
+    const auto sw = switches.find(sw_name);
+    if (sw == switches.end()) fail(at, "unknown switch " + sw_name);
+    const double bw = parse_bandwidth(at, take(at, attrs, "bw"));
+    const Seconds lat = parse_latency(at, take(at, attrs, "lat"));
+    const int cat = std::stoi(take(at, attrs, "cat", "0"));
+    if (!attrs.empty()) fail(at, "unknown attribute " + attrs.begin()->first);
+    topo.add_node(name, arch, cpus, sw->second, bw, lat, cat);
+  };
+
+  for (const auto& [at, text] : body) {
+    std::istringstream stream(text);
+    std::string keyword;
+    stream >> keyword;
+    if (keyword == "switch") {
+      std::string name;
+      if (!(stream >> name)) fail(at, "switch needs a name");
+      if (switches.contains(name)) fail(at, "duplicate switch " + name);
+      auto attrs = parse_attrs(at, stream);
+      if (!has_root) {
+        if (!attrs.empty()) {
+          fail(at, "the first (root) switch takes no attributes");
+        }
+        switches[name] = topo.add_root_switch(name);
+        has_root = true;
+        continue;
+      }
+      const std::string parent_name = take(at, attrs, "parent");
+      const auto parent = switches.find(parent_name);
+      if (parent == switches.end()) fail(at, "unknown parent " + parent_name);
+      const double bw = parse_bandwidth(at, take(at, attrs, "bw"));
+      const Seconds lat = parse_latency(at, take(at, attrs, "lat"));
+      const int cat = std::stoi(take(at, attrs, "cat", "0"));
+      if (!attrs.empty()) fail(at, "unknown attribute " + attrs.begin()->first);
+      switches[name] = topo.add_switch(name, parent->second, bw, lat, cat);
+    } else if (keyword == "node") {
+      std::string name;
+      if (!(stream >> name)) fail(at, "node needs a name");
+      add_one_node(at, name, parse_attrs(at, stream));
+    } else if (keyword == "nodes") {
+      std::size_t count = 0;
+      if (!(stream >> count) || count == 0) fail(at, "nodes needs a count");
+      auto attrs = parse_attrs(at, stream);
+      const std::string prefix = take(at, attrs, "prefix");
+      for (std::size_t i = 0; i < count; ++i) {
+        add_one_node(at, prefix + std::to_string(i), attrs);
+      }
+    } else {
+      fail(at, "unknown directive " + keyword);
+    }
+  }
+  CBES_CHECK_MSG(has_root, "topology has no switches");
+  topo.freeze();
+  return topo;
+}
+
+ClusterTopology parse_topology_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_topology(in);
+}
+
+ClusterTopology load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  CBES_CHECK_MSG(in.good(), "cannot open topology file: " + path);
+  return parse_topology(in);
+}
+
+void write_topology(const ClusterTopology& topo, std::ostream& out) {
+  out << "cluster " << topo.name() << '\n';
+  out << std::setprecision(17);
+  for (const Switch& s : topo.switches()) {
+    out << "switch " << s.name;
+    if (s.parent.valid()) {
+      const Link& l = topo.link(s.uplink);
+      out << " parent=" << topo.sw(s.parent).name << " bw=" << l.bandwidth_bps
+          << " lat=" << l.hop_latency << "s cat=" << l.category;
+    }
+    out << '\n';
+  }
+  for (const Node& n : topo.nodes()) {
+    const Link& l = topo.link(n.uplink);
+    out << "node " << n.name << " arch=" << arch_code(n.arch)
+        << " cpus=" << n.cpus << " switch=" << topo.sw(n.attached).name
+        << " bw=" << l.bandwidth_bps << " lat=" << l.hop_latency
+        << "s cat=" << l.category << '\n';
+  }
+}
+
+}  // namespace cbes

@@ -1,0 +1,34 @@
+// Cluster-description files: lets a deployment describe its own machine room
+// instead of using the built-in Centurion / Orange Grove models.
+//
+// The format is line-oriented; '#' starts a comment. Bandwidths accept
+// k/M/G suffixes (bytes per second); latencies accept us/ms/s suffixes.
+//
+//   cluster my-lab
+//   switch core                                  # first switch = tree root
+//   switch rack1 parent=core bw=100M lat=60us cat=2
+//   switch rack2 parent=core bw=100M lat=60us cat=2
+//   node n0 arch=I cpus=2 switch=rack1 bw=11.8M lat=30us cat=1
+//   nodes 8 prefix=w arch=A switch=rack2 bw=11.8M lat=30us cat=1
+//
+// `nodes N prefix=p ...` expands to N nodes p0..p{N-1} with identical
+// attributes. Architectures are the one-letter paper codes (A, I, S, G).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/cluster.h"
+
+namespace cbes {
+
+/// Parses a cluster description; throws ContractError with a line number on
+/// malformed input. The returned topology is frozen.
+[[nodiscard]] ClusterTopology parse_topology(std::istream& in);
+[[nodiscard]] ClusterTopology parse_topology_string(const std::string& text);
+[[nodiscard]] ClusterTopology load_topology_file(const std::string& path);
+
+/// Writes `topo` in the same format (round-trips through parse_topology).
+void write_topology(const ClusterTopology& topo, std::ostream& out);
+
+}  // namespace cbes

@@ -1,0 +1,125 @@
+#include "trace/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+constexpr int kFormatVersion = 1;
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  out << "cbes-trace " << kFormatVersion << '\n';
+  out << std::setprecision(17);
+  // App names may contain anything; length-prefix instead of escaping.
+  out << "app " << trace.app_name.size() << ' ' << trace.app_name << '\n';
+  out << "makespan " << trace.makespan << '\n';
+  out << "max_phase " << trace.max_phase << '\n';
+  out << "mapping " << trace.mapping.size();
+  for (NodeId n : trace.mapping) out << ' ' << n.value;
+  out << '\n';
+  out << "ranks " << trace.nranks() << '\n';
+  for (const RankTrace& r : trace.ranks) {
+    out << "rank " << r.finish << ' ' << r.intervals.size() << ' '
+        << r.messages.size() << '\n';
+    for (const TraceInterval& iv : r.intervals) {
+      out << "i " << static_cast<int>(iv.kind) << ' ' << iv.begin << ' '
+          << iv.duration << ' ' << iv.phase << '\n';
+    }
+    for (const TraceMessage& m : r.messages) {
+      out << "m " << m.peer.value << ' ' << m.size << ' ' << (m.sent ? 1 : 0)
+          << ' ' << m.phase << '\n';
+    }
+  }
+  CBES_CHECK_MSG(out.good(), "trace write failed");
+}
+
+Trace load_trace(std::istream& in) {
+  std::string word;
+  int version = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> version) &&
+                     word == "cbes-trace",
+                 "not a CBES trace");
+  CBES_CHECK_MSG(version == kFormatVersion, "unsupported trace version");
+
+  Trace trace;
+  std::size_t name_len = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> name_len) && word == "app",
+                 "trace parse error: app");
+  in.get();  // the single separating space
+  trace.app_name.resize(name_len);
+  in.read(trace.app_name.data(), static_cast<std::streamsize>(name_len));
+  CBES_CHECK_MSG(in.good(), "trace parse error: app name");
+
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> trace.makespan) &&
+                     word == "makespan",
+                 "trace parse error: makespan");
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> trace.max_phase) &&
+                     word == "max_phase",
+                 "trace parse error: max_phase");
+
+  std::size_t mapping_size = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> mapping_size) &&
+                     word == "mapping",
+                 "trace parse error: mapping");
+  trace.mapping.resize(mapping_size);
+  for (NodeId& n : trace.mapping) {
+    std::uint32_t value = 0;
+    CBES_CHECK_MSG(static_cast<bool>(in >> value),
+                   "trace parse error: mapping node");
+    n = NodeId{value};
+  }
+
+  std::size_t nranks = 0;
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> nranks) && word == "ranks",
+                 "trace parse error: ranks");
+  trace.ranks.resize(nranks);
+  for (RankTrace& r : trace.ranks) {
+    std::size_t intervals = 0;
+    std::size_t messages = 0;
+    CBES_CHECK_MSG(static_cast<bool>(in >> word >> r.finish >> intervals >>
+                                     messages) &&
+                       word == "rank",
+                   "trace parse error: rank");
+    r.intervals.resize(intervals);
+    for (TraceInterval& iv : r.intervals) {
+      int kind = 0;
+      CBES_CHECK_MSG(static_cast<bool>(in >> word >> kind >> iv.begin >>
+                                       iv.duration >> iv.phase) &&
+                         word == "i",
+                     "trace parse error: interval");
+      CBES_CHECK_MSG(kind >= 0 && kind <= 2, "trace parse error: kind");
+      iv.kind = static_cast<IntervalKind>(kind);
+    }
+    r.messages.resize(messages);
+    for (TraceMessage& m : r.messages) {
+      std::uint32_t peer = 0;
+      int sent = 0;
+      CBES_CHECK_MSG(static_cast<bool>(in >> word >> peer >> m.size >> sent >>
+                                       m.phase) &&
+                         word == "m",
+                     "trace parse error: message");
+      m.peer = RankId{peer};
+      m.sent = sent != 0;
+    }
+  }
+  return trace;
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  CBES_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  save_trace(trace, out);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  CBES_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  return load_trace(in);
+}
+
+}  // namespace cbes

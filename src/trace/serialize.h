@@ -1,0 +1,23 @@
+// Execution-trace persistence — the stand-in for LAM's on-disk trace files
+// that XMPI analyzes "post mortem" (paper §4). Line-oriented, versioned text,
+// no third-party dependencies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace cbes {
+
+/// Writes `trace` to `out`. Throws ContractError on stream failure.
+void save_trace(const Trace& trace, std::ostream& out);
+
+/// Reads a trace written by save_trace. Throws ContractError on malformed
+/// input or version mismatch.
+[[nodiscard]] Trace load_trace(std::istream& in);
+
+void save_trace_file(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+}  // namespace cbes

@@ -1,0 +1,13 @@
+#include "trace/trace.h"
+
+namespace cbes {
+
+std::size_t Trace::total_events() const noexcept {
+  std::size_t total = 0;
+  for (const RankTrace& r : ranks) {
+    total += r.intervals.size() + r.messages.size();
+  }
+  return total;
+}
+
+}  // namespace cbes

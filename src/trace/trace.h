@@ -1,0 +1,61 @@
+// LAM/MPI-style execution traces (paper §4: "these daemons store detailed
+// execution traces for an application ... using the XMPI tool it is possible
+// to examine application behavior").
+//
+// A Trace is the raw material application profiling works from: per-process
+// timed intervals classified as own-code execution, MPI-library overhead, or
+// blocked-waiting, plus every message sent/received and the phase markers that
+// segment the trace (LAM's non-standard phase statements).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbes {
+
+enum class IntervalKind : unsigned char {
+  kExecuting,  ///< process running its own code (accumulates into X)
+  kOverhead,   ///< process inside the MPI library (accumulates into O)
+  kBlocked,    ///< process waiting for a message (accumulates into B)
+};
+
+struct TraceInterval {
+  IntervalKind kind = IntervalKind::kExecuting;
+  Seconds begin = 0.0;
+  Seconds duration = 0.0;
+  int phase = 0;  ///< trace segment this interval belongs to
+};
+
+struct TraceMessage {
+  RankId peer;
+  Bytes size = 0;
+  bool sent = false;  ///< true = this rank sent it, false = received
+  int phase = 0;
+};
+
+/// Everything recorded for one process.
+struct RankTrace {
+  std::vector<TraceInterval> intervals;
+  std::vector<TraceMessage> messages;
+  Seconds finish = 0.0;
+};
+
+/// A complete execution trace.
+struct Trace {
+  std::string app_name;
+  /// Node assignment in effect during the traced run, indexed by rank.
+  std::vector<NodeId> mapping;
+  std::vector<RankTrace> ranks;
+  Seconds makespan = 0.0;
+  /// Highest phase id seen (phases are 0..max_phase).
+  int max_phase = 0;
+
+  [[nodiscard]] std::size_t nranks() const noexcept { return ranks.size(); }
+  /// Total recorded events, across all ranks (intervals + messages).
+  [[nodiscard]] std::size_t total_events() const noexcept;
+};
+
+}  // namespace cbes

@@ -1,0 +1,375 @@
+// Unit tests for the program IR, builder collectives, grid decompositions,
+// and the application generators (structure, balance, and pattern properties).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/asci.h"
+#include "apps/decomp.h"
+#include "apps/npb.h"
+#include "apps/program.h"
+#include "apps/registry.h"
+#include "apps/synthetic.h"
+#include "common/check.h"
+
+namespace cbes {
+namespace {
+
+/// Sends and receives must pair up exactly per channel for a program to be
+/// runnable; this is the key structural invariant of the IR.
+void expect_balanced(const Program& p) {
+  std::map<std::pair<std::size_t, std::size_t>, long> balance;
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> sent_bytes;
+  std::map<std::pair<std::size_t, std::size_t>, Bytes> recv_bytes;
+  for (std::size_t r = 0; r < p.nranks(); ++r) {
+    for (const Op& op : p.ranks[r].ops) {
+      if (op.kind == OpKind::kSend) {
+        ++balance[{r, op.peer.index()}];
+        sent_bytes[{r, op.peer.index()}] += op.size;
+      } else if (op.kind == OpKind::kRecv) {
+        --balance[{op.peer.index(), r}];
+        recv_bytes[{op.peer.index(), r}] += op.size;
+      }
+    }
+  }
+  for (const auto& [channel, count] : balance) {
+    EXPECT_EQ(count, 0) << "channel " << channel.first << "->"
+                        << channel.second << " unbalanced";
+  }
+  EXPECT_EQ(sent_bytes, recv_bytes);
+}
+
+// ------------------------------------------------------------- builder -----
+
+TEST(Builder, ComputeAccumulates) {
+  ProgramBuilder b("t", 2, 0.3);
+  b.compute(RankId{std::size_t{0}}, 1.5);
+  b.compute_all(0.5);
+  const Program p = std::move(b).build();
+  EXPECT_DOUBLE_EQ(p.total_compute_ref(), 2.5);
+}
+
+TEST(Builder, ZeroComputeIsElided) {
+  ProgramBuilder b("t", 1, 0.3);
+  b.compute(RankId{std::size_t{0}}, 0.0);
+  EXPECT_EQ(std::move(b).build().total_ops(), 0u);
+}
+
+TEST(Builder, MessagePairsUp) {
+  ProgramBuilder b("t", 2, 0.3);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 100);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  EXPECT_EQ(p.total_messages(), 1u);
+  EXPECT_EQ(p.total_bytes(), 100u);
+}
+
+TEST(Builder, ExchangeIsSymmetric) {
+  ProgramBuilder b("t", 2, 0.3);
+  b.exchange(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 64);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  EXPECT_EQ(p.total_messages(), 2u);
+}
+
+TEST(Builder, RejectsSelfMessage) {
+  ProgramBuilder b("t", 2, 0.3);
+  EXPECT_THROW(b.send(RankId{std::size_t{1}}, RankId{std::size_t{1}}, 8),
+               ContractError);
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollectiveSizes, BroadcastReachesEveryRank) {
+  const std::size_t n = GetParam();
+  ProgramBuilder b("t", n, 0.3);
+  b.broadcast(RankId{std::size_t{0}}, 128);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  // Every non-root rank receives at least one message.
+  for (std::size_t r = 1; r < n; ++r) {
+    bool receives = false;
+    for (const Op& op : p.ranks[r].ops)
+      receives |= op.kind == OpKind::kRecv;
+    EXPECT_TRUE(receives) << "rank " << r;
+  }
+  // Tree broadcast: exactly n - 1 messages.
+  EXPECT_EQ(p.total_messages(), n - 1);
+}
+
+TEST_P(CollectiveSizes, ReduceGathersFromEveryRank) {
+  const std::size_t n = GetParam();
+  ProgramBuilder b("t", n, 0.3);
+  b.reduce(RankId{std::size_t{0}}, 128);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  EXPECT_EQ(p.total_messages(), n - 1);
+}
+
+TEST_P(CollectiveSizes, AllreduceIsReducePlusBroadcast) {
+  const std::size_t n = GetParam();
+  ProgramBuilder b("t", n, 0.3);
+  b.allreduce(64);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  EXPECT_EQ(p.total_messages(), 2 * (n - 1));
+}
+
+TEST_P(CollectiveSizes, AlltoallTouchesEveryPair) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  ProgramBuilder b("t", n, 0.3);
+  b.alltoall(32);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  std::set<std::pair<std::size_t, std::size_t>> channels;
+  for (std::size_t r = 0; r < n; ++r)
+    for (const Op& op : p.ranks[r].ops)
+      if (op.kind == OpKind::kSend) channels.insert({r, op.peer.index()});
+  EXPECT_EQ(channels.size(), n * (n - 1));
+}
+
+TEST_P(CollectiveSizes, RingShiftBalances) {
+  const std::size_t n = GetParam();
+  ProgramBuilder b("t", n, 0.3);
+  b.ring_shift(16);
+  expect_balanced(std::move(b).build());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16, 31));
+
+TEST(Builder, RootedBroadcastFromNonzeroRoot) {
+  ProgramBuilder b("t", 5, 0.3);
+  b.broadcast(RankId{std::size_t{3}}, 64);
+  const Program p = std::move(b).build();
+  expect_balanced(p);
+  // Root sends but never receives.
+  for (const Op& op : p.ranks[3].ops) EXPECT_NE(op.kind, OpKind::kRecv);
+}
+
+TEST(Builder, PhaseMarksAllRanks) {
+  ProgramBuilder b("t", 3, 0.3);
+  b.phase_mark(1);
+  const Program p = std::move(b).build();
+  for (const RankProgram& r : p.ranks) {
+    ASSERT_EQ(r.ops.size(), 1u);
+    EXPECT_EQ(r.ops[0].kind, OpKind::kPhaseMark);
+    EXPECT_EQ(r.ops[0].phase, 1);
+  }
+}
+
+// -------------------------------------------------------------- decomp -----
+
+TEST(Grid2D, SquareWhenPossible) {
+  const Grid2D g = Grid2D::make(16);
+  EXPECT_EQ(g.rows, 4u);
+  EXPECT_EQ(g.cols, 4u);
+}
+
+TEST(Grid2D, NonSquareFactorization) {
+  const Grid2D g = Grid2D::make(8);
+  EXPECT_EQ(g.rows, 2u);
+  EXPECT_EQ(g.cols, 4u);
+  EXPECT_EQ(g.size(), 8u);
+}
+
+TEST(Grid2D, PrimeFallsToRow) {
+  const Grid2D g = Grid2D::make(7);
+  EXPECT_EQ(g.rows, 1u);
+  EXPECT_EQ(g.cols, 7u);
+}
+
+TEST(Grid2D, NeighborsAtBoundaries) {
+  const Grid2D g = Grid2D::make(6);  // 2 x 3
+  EXPECT_FALSE(g.north(0).valid());
+  EXPECT_FALSE(g.west(0).valid());
+  EXPECT_EQ(g.south(0), g.at(1, 0));
+  EXPECT_EQ(g.east(0), g.at(0, 1));
+  EXPECT_FALSE(g.south(5).valid());
+  EXPECT_FALSE(g.east(5).valid());
+}
+
+TEST(Grid3D, CubicWhenPossible) {
+  const Grid3D g = Grid3D::make(8);
+  EXPECT_EQ(g.nx, 2u);
+  EXPECT_EQ(g.ny, 2u);
+  EXPECT_EQ(g.nz, 2u);
+}
+
+TEST(Grid3D, NeighborSymmetry) {
+  const Grid3D g = Grid3D::make(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const RankId right = g.neighbor(r, 1, 0, 0);
+    if (right.valid()) {
+      EXPECT_EQ(g.neighbor(right.index(), -1, 0, 0), RankId{r});
+    }
+  }
+}
+
+TEST(Grid3D, SizePreserved) {
+  for (std::size_t n : {1u, 4u, 6u, 12u, 27u, 64u, 121u}) {
+    EXPECT_EQ(Grid3D::make(n).size(), n) << n;
+  }
+}
+
+// ------------------------------------------------------------ programs -----
+
+class AllApps : public ::testing::TestWithParam<const AppSpec*> {};
+
+TEST_P(AllApps, BalancedAndNonTrivial) {
+  const Program p = GetParam()->make(8);
+  EXPECT_EQ(p.nranks(), 8u);
+  expect_balanced(p);
+  EXPECT_GT(p.total_compute_ref(), 0.0);
+  EXPECT_GE(p.mem_intensity, 0.0);
+  EXPECT_LE(p.mem_intensity, 1.0);
+}
+
+std::vector<const AppSpec*> all_app_specs() {
+  std::vector<const AppSpec*> specs;
+  for (const AppSpec& s : app_registry()) specs.push_back(&s);
+  return specs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllApps, ::testing::ValuesIn(all_app_specs()),
+    [](const ::testing::TestParamInfo<const AppSpec*>& info) {
+      std::string name = info.param->name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(Apps, RegistryLookup) {
+  EXPECT_EQ(find_app("aztec").name, "aztec");
+  EXPECT_THROW((void)find_app("no-such-app"), ContractError);
+}
+
+TEST(Apps, TowheeIsEmbarrassinglyParallel) {
+  const Program p = make_towhee(8);
+  const double comm_bytes = static_cast<double>(p.total_bytes());
+  EXPECT_LT(comm_bytes, 1e6);
+  EXPECT_GT(p.total_compute_ref(), 10.0);
+}
+
+TEST(Apps, EpCommunicatesLessThanIs) {
+  const Program ep = make_npb_ep(8, NpbClass::kA);
+  const Program is = make_npb_is(8, NpbClass::kA);
+  EXPECT_LT(ep.total_bytes() * 100, is.total_bytes());
+}
+
+TEST(Apps, Sweep3dTouchesAllDirections) {
+  const Program p = make_sweep3d(8);
+  // In a 2x2x2 grid with 8 octants, every rank must both send to and receive
+  // from every one of its 3 neighbours.
+  std::set<std::pair<std::size_t, std::size_t>> sends;
+  for (std::size_t r = 0; r < 8; ++r)
+    for (const Op& op : p.ranks[r].ops)
+      if (op.kind == OpKind::kSend) sends.insert({r, op.peer.index()});
+  EXPECT_EQ(sends.size(), 24u);  // 8 ranks x 3 neighbours, both directions used
+}
+
+TEST(Apps, LuClassScaling) {
+  const Program a = make_npb_lu(8, NpbClass::kA);
+  const Program b = make_npb_lu(8, NpbClass::kB);
+  EXPECT_GT(b.total_compute_ref(), a.total_compute_ref() * 2.0);
+}
+
+TEST(Apps, HplWorkScalesCubicallyAboveFixedSetup) {
+  // The fixed generation/validation cost dominates tiny problems; the
+  // factorization flops above it scale cubically.
+  const Program tiny = make_hpl(8, 500);
+  const Program mid = make_hpl(8, 5000);
+  const Program big = make_hpl(8, 10000);
+  const double setup = 20.0;
+  const double tiny_work = tiny.total_compute_ref() / 8.0 - setup / 8.0 * 8.0;
+  EXPECT_LT(tiny_work, 3.0);  // nearly all fixed cost
+  EXPECT_GT(big.total_compute_ref() - 8 * setup,
+            (mid.total_compute_ref() - 8 * setup) * 6.0);
+}
+
+TEST(Apps, LuWavefrontStructure) {
+  LuParams p;
+  p.ranks = 4;
+  p.iters = 1;
+  p.blocks_per_sweep = 2;
+  p.halo_rounds = 0;  // isolate the wavefront structure
+  p.allreduce_every = 0;
+  const Program prog = make_lu(p);
+  expect_balanced(prog);
+  // Corner rank (0,0) of the 2x2 grid never receives in the lower sweep;
+  // it must start with compute.
+  bool corner_starts_with_compute =
+      prog.ranks[0].ops.front().kind == OpKind::kCompute;
+  EXPECT_TRUE(corner_starts_with_compute);
+}
+
+TEST(Apps, SmgHasManySmallMessages) {
+  const Program p = make_smg2000(8, 50);
+  const double avg_msg = static_cast<double>(p.total_bytes()) /
+                         static_cast<double>(p.total_messages());
+  EXPECT_LT(avg_msg, 32 * 1024.0);
+  EXPECT_GT(p.total_messages(), 1000u);
+}
+
+// ----------------------------------------------------------- synthetic -----
+
+class SyntheticPatterns : public ::testing::TestWithParam<CommPattern> {};
+
+TEST_P(SyntheticPatterns, Balanced) {
+  SyntheticParams params;
+  params.ranks = 6;
+  params.phases = 3;
+  params.pattern = GetParam();
+  expect_balanced(make_synthetic(params));
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SyntheticPatterns,
+                         ::testing::Values(CommPattern::kRing,
+                                           CommPattern::kGrid,
+                                           CommPattern::kAllToAll,
+                                           CommPattern::kPairs));
+
+TEST(Synthetic, ImbalanceSkewsCompute) {
+  SyntheticParams params;
+  params.ranks = 2;
+  params.phases = 1;
+  params.msgs_per_phase = 0;
+  params.imbalance = 0.5;
+  const Program p = make_synthetic(params);
+  Seconds even = 0, odd = 0;
+  for (const Op& op : p.ranks[0].ops)
+    if (op.kind == OpKind::kCompute) even += op.compute_ref;
+  for (const Op& op : p.ranks[1].ops)
+    if (op.kind == OpKind::kCompute) odd += op.compute_ref;
+  EXPECT_DOUBLE_EQ(even, 0.15);
+  EXPECT_DOUBLE_EQ(odd, 0.05);
+}
+
+TEST(Synthetic, GranularityPreservesVolume) {
+  SyntheticParams coarse;
+  coarse.ranks = 4;
+  coarse.msgs_per_phase = 1;
+  coarse.msg_size = 64 * 1024;
+  SyntheticParams fine = coarse;
+  fine.msgs_per_phase = 16;
+  fine.msg_size = 4 * 1024;
+  const Program pc = make_synthetic(coarse);
+  const Program pf = make_synthetic(fine);
+  EXPECT_EQ(pc.total_bytes(), pf.total_bytes());
+  EXPECT_GT(pf.total_messages(), pc.total_messages());
+}
+
+TEST(Synthetic, RejectsBadParams) {
+  SyntheticParams params;
+  params.ranks = 1;
+  EXPECT_THROW(make_synthetic(params), ContractError);
+  params.ranks = 4;
+  params.imbalance = 1.0;
+  EXPECT_THROW(make_synthetic(params), ContractError);
+}
+
+}  // namespace
+}  // namespace cbes

@@ -1,0 +1,424 @@
+// Unit tests for the common substrate: RNG determinism and distribution
+// sanity, statistics (Welford, CI, quantiles, histogram, OLS), table/CSV
+// formatting, and contract checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace cbes {
+namespace {
+
+// ---------------------------------------------------------------- ids -----
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, RoundTripsValue) {
+  NodeId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(Ids, ComparesByValue) {
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+  EXPECT_LT(NodeId{3}, NodeId{4});
+}
+
+TEST(Ids, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, RankId>);
+  static_assert(!std::is_same_v<SwitchId, LinkId>);
+}
+
+TEST(Ids, Hashable) {
+  std::hash<NodeId> h;
+  EXPECT_EQ(h(NodeId{5}), h(NodeId{5}));
+}
+
+// ---------------------------------------------------------------- rng -----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(5);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 1000; ++i) ++seen[rng.below(5)];
+  for (int count : seen) EXPECT_GT(count, 100);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsMedian) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal_median(3.0, 0.5));
+  EXPECT_NEAR(median(xs), 3.0, 0.08);
+}
+
+TEST(Rng, LognormalAlwaysPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GT(rng.lognormal_median(1.0, 2.0), 0.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceClampsOutOfRange) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(41);
+  const auto sample = rng.sample_indices(100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  auto sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(43);
+  auto sample = rng.sample_indices(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(47);
+  EXPECT_THROW(rng.sample_indices(3, 4), ContractError);
+}
+
+TEST(Rng, DeriveSeedStreamsDiffer) {
+  const auto s0 = derive_seed(123, 0);
+  const auto s1 = derive_seed(123, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(derive_seed(123, 0), s0);  // deterministic
+}
+
+// --------------------------------------------------------------- stats -----
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsPooled) {
+  RunningStats a, b, pooled;
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(3, 2);
+    a.add(x);
+    pooled.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.normal(-1, 1);
+    b.add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-10);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(59);
+  for (int i = 0; i < 5; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 500; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(TCritical, KnownValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(4), 2.776, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.96, 1e-3);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> xs{5, 1, 3};
+  EXPECT_EQ(median(xs), 3.0);
+}
+
+TEST(Quantile, InterpolatesEvenSample) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs{9, 2, 7, 4};
+  EXPECT_EQ(quantile(xs, 0.0), 2.0);
+  EXPECT_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, RejectsEmpty) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)quantile(xs, 0.5), ContractError);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);  // clamps into last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(Histogram, AsciiRendersEveryBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractError);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 1 + 2x
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecovered) {
+  Rng rng(61);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(4.0 + 0.5 * x + rng.normal(0, 1.0));
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 4.0, 1.0);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)fit_line(one, one), ContractError);
+  const std::vector<double> same_x{2.0, 2.0};
+  const std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW((void)fit_line(same_x, ys), ContractError);
+}
+
+// --------------------------------------------------------------- table -----
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().cell("alpha").cell(3.14159, 2);
+  t.row().cell("b").cell(std::size_t{7});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsOverfullRow) {
+  TextTable t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), ContractError);
+}
+
+TEST(TextTable, RejectsCellWithoutRow) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell("x"), ContractError);
+}
+
+TEST(Format, Fixed) { EXPECT_EQ(format_fixed(3.14159, 2), "3.14"); }
+
+TEST(Format, Percent) { EXPECT_EQ(format_percent(0.123, 1), "12.3%"); }
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(8192), "8.0 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+// ----------------------------------------------------------------- csv -----
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cbes_csv_test.csv").string();
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "hello, world"});
+    csv.row_numeric({2.5, 3.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"hello, world\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,3");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cbes_csv_test2.csv").string();
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), ContractError);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------------- check -----
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    CBES_CHECK_MSG(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { CBES_CHECK(1 + 1 == 2); }
+
+}  // namespace
+}  // namespace cbes

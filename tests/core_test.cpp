@@ -1,0 +1,318 @@
+// Unit tests for the mapping evaluator (equations 4-8), the CBES service
+// facade, and remapping support.
+#include <gtest/gtest.h>
+
+#include "apps/npb.h"
+#include "common/check.h"
+#include "core/evaluator.h"
+#include "core/remap.h"
+#include "core/service.h"
+#include "netmodel/calibrate.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+CalibrationOptions fast_cal() {
+  CalibrationOptions opt;
+  opt.repeats = 3;
+  return opt;
+}
+
+SimNetConfig quiet_hw() {
+  SimNetConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  return cfg;
+}
+
+Mapping identity_mapping(std::size_t n) {
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.emplace_back(i);
+  return Mapping(std::move(nodes));
+}
+
+/// Hand-built two-process profile: 10 s compute each, one message group each
+/// way, lambda = 1, profiled on Alpha nodes.
+AppProfile tiny_profile() {
+  AppProfile prof;
+  prof.app_name = "tiny";
+  prof.procs.resize(2);
+  for (auto& p : prof.procs) {
+    p.x = 8.0;
+    p.o = 2.0;
+    p.profiled_arch = Arch::kAlpha533;
+    p.lambda = 1.0;
+  }
+  prof.procs[0].recv_groups.push_back({RankId{std::size_t{1}}, 4096, 100});
+  prof.procs[0].send_groups.push_back({RankId{std::size_t{1}}, 4096, 100});
+  prof.procs[1].recv_groups.push_back({RankId{std::size_t{0}}, 4096, 100});
+  prof.procs[1].send_groups.push_back({RankId{std::size_t{0}}, 4096, 100});
+  prof.profiling_mapping = {NodeId{0}, NodeId{1}};
+  // Speeds for a mu=0.4 code.
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+// ------------------------------------------------------------ evaluator ----
+
+TEST(Evaluator, IdleAlphaPredictionIsComputePlusComm) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const Mapping m({alphas[0], alphas[1]});
+  const LoadSnapshot idle = LoadSnapshot::idle(topo.node_count());
+  const Prediction pred = ev.predict(prof, m, idle);
+  // R = (8+2) * 1 / 1 = 10 per process; C = 200 * L(4096).
+  EXPECT_NEAR(pred.compute[0], 10.0, 1e-9);
+  const Seconds expected_c =
+      200.0 * model.no_load(alphas[0], alphas[1], 4096);
+  EXPECT_NEAR(pred.comm[0], expected_c, expected_c * 0.01);
+  EXPECT_DOUBLE_EQ(pred.time, pred.compute[0] + pred.comm[0]);
+}
+
+TEST(Evaluator, SlowerArchRaisesR) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(topo.node_count());
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  const Prediction fast = ev.predict(prof, Mapping({alphas[0], alphas[1]}), idle);
+  const Prediction slow = ev.predict(prof, Mapping({sparcs[0], alphas[1]}), idle);
+  const double ratio = prof.speed_of(Arch::kAlpha533) /
+                       prof.speed_of(Arch::kSparc500);
+  EXPECT_NEAR(slow.compute[0], fast.compute[0] * ratio, 1e-9);
+  EXPECT_GT(slow.time, fast.time);
+}
+
+TEST(Evaluator, LoadRaisesR) {
+  const ClusterTopology topo = make_flat(2, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.cpu_avail[0] = 0.5;
+  const Prediction pred = ev.predict(prof, identity_mapping(2), snap);
+  EXPECT_NEAR(pred.compute[0], 20.0, 1e-9);  // 10 / 0.5
+  EXPECT_NEAR(pred.compute[1], 10.0, 1e-9);
+}
+
+TEST(Evaluator, CriticalProcessIsMax) {
+  const ClusterTopology topo = make_flat(2, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  AppProfile prof = tiny_profile();
+  prof.procs[1].x = 30.0;
+  const LoadSnapshot idle = LoadSnapshot::idle(2);
+  const Prediction pred = ev.predict(prof, identity_mapping(2), idle);
+  EXPECT_EQ(pred.critical, (RankId{std::size_t{1}}));
+}
+
+TEST(Evaluator, LambdaScalesComm) {
+  const ClusterTopology topo = make_flat(2, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(2);
+  const Prediction base = ev.predict(prof, identity_mapping(2), idle);
+  prof.procs[0].lambda = 0.5;
+  const Prediction halved = ev.predict(prof, identity_mapping(2), idle);
+  EXPECT_NEAR(halved.comm[0], base.comm[0] * 0.5, 1e-12);
+}
+
+TEST(Evaluator, EvalOptionsToggleTerms) {
+  const ClusterTopology topo = make_flat(2, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.cpu_avail[0] = 0.5;
+  const Mapping m = identity_mapping(2);
+
+  EvalOptions no_comm;
+  no_comm.comm_term = false;
+  const Prediction p1 = ev.predict(prof, m, snap, no_comm);
+  EXPECT_DOUBLE_EQ(p1.comm[0], 0.0);
+  EXPECT_NEAR(p1.time, 20.0, 1e-9);
+
+  EvalOptions no_load;
+  no_load.load_term = false;
+  const Prediction p2 = ev.predict(prof, m, snap, no_load);
+  EXPECT_NEAR(p2.compute[0], 10.0, 1e-9);
+
+  EvalOptions no_lambda;
+  no_lambda.lambda_correction = false;
+  AppProfile scaled = tiny_profile();
+  scaled.procs[0].lambda = 0.25;
+  const Prediction with_l = ev.predict(scaled, m, snap);
+  const Prediction without_l = ev.predict(scaled, m, snap, no_lambda);
+  EXPECT_NEAR(without_l.comm[0], with_l.comm[0] * 4.0, 1e-12);
+}
+
+TEST(Evaluator, EvaluateMatchesPredict) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(topo.node_count());
+  const Mapping m({NodeId{3}, NodeId{20}});
+  EXPECT_DOUBLE_EQ(ev.evaluate(prof, m, idle), ev.predict(prof, m, idle).time);
+}
+
+TEST(Evaluator, RejectsRankMismatch) {
+  const ClusterTopology topo = make_flat(3);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(3);
+  EXPECT_THROW((void)ev.evaluate(prof, identity_mapping(3), idle), ContractError);
+}
+
+// -------------------------------------------------------------- service ----
+
+CbesService::Config service_config() {
+  CbesService::Config cfg;
+  cfg.hardware.jitter_sigma = 0.0;
+  cfg.calibration.repeats = 3;
+  cfg.monitor.noise_sigma = 0.0;
+  cfg.profiler.net.jitter_sigma = 0.0;
+  return cfg;
+}
+
+TEST(Service, EndToEndPredict) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  svc.register_application(p, identity_mapping(4));
+  EXPECT_TRUE(svc.has_profile("lu.S"));
+  const Prediction pred = svc.predict("lu.S", identity_mapping(4), 0.0);
+  EXPECT_GT(pred.time, 0.0);
+}
+
+TEST(Service, CompareRanksCandidates) {
+  const ClusterTopology topo = make_orange_grove();
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  svc.register_application(
+      p, Mapping({alphas[0], alphas[1], alphas[2], alphas[3]}));
+  const std::vector<Mapping> candidates = {
+      Mapping({sparcs[0], sparcs[1], sparcs[2], sparcs[3]}),
+      Mapping({alphas[0], alphas[1], alphas[2], alphas[3]}),
+  };
+  const auto result = svc.compare("lu.S", candidates, 0.0);
+  EXPECT_EQ(result.best, 1u);  // all-Alpha beats all-SPARC
+  EXPECT_LT(result.predicted[1], result.predicted[0]);
+}
+
+TEST(Service, UnknownProfileThrows) {
+  const ClusterTopology topo = make_flat(2);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  EXPECT_THROW((void)svc.profile_of("nope"), ContractError);
+  EXPECT_THROW((void)svc.predict("nope", identity_mapping(2), 0.0), ContractError);
+}
+
+TEST(Service, AcceptsExternallyBuiltProfiles) {
+  // The profile-database workflow: profile once, persist, reload into a
+  // fresh service instance, and predict without re-profiling.
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  NoLoad idle;
+  CbesService first(topo, idle, service_config());
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  const AppProfile& original =
+      first.register_application(p, identity_mapping(4));
+  const Seconds want = first.predict("lu.S", identity_mapping(4), 0.0).time;
+
+  CbesService second(topo, idle, service_config());
+  EXPECT_FALSE(second.has_profile("lu.S"));
+  second.register_profile(original);
+  EXPECT_TRUE(second.has_profile("lu.S"));
+  EXPECT_NEAR(second.predict("lu.S", identity_mapping(4), 0.0).time, want,
+              want * 1e-9);
+}
+
+TEST(Service, RegisterProfileRequiresName) {
+  const ClusterTopology topo = make_flat(2);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  AppProfile anonymous;
+  anonymous.procs.resize(1);
+  EXPECT_THROW(svc.register_profile(anonymous), ContractError);
+}
+
+TEST(Service, CalibrationReportPopulated) {
+  const ClusterTopology topo = make_two_switch(2);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  EXPECT_GT(svc.calibration_report().classes, 0u);
+  EXPECT_GT(svc.calibration_report().measurements, 0u);
+}
+
+// ---------------------------------------------------------------- remap ----
+
+TEST(Remap, StayingOnIdenticalMappingNeverBeneficial) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(4);
+  const Mapping m = identity_mapping(2);
+  const RemapDecision d = evaluate_remap(ev, prof, m, m, 0.5, idle);
+  EXPECT_FALSE(d.beneficial);
+  EXPECT_EQ(d.moved_ranks, 0u);
+  EXPECT_DOUBLE_EQ(d.migration_cost, 0.0);
+}
+
+TEST(Remap, EscapesLoadedNode) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  AppProfile prof = tiny_profile();
+  // Long-running app so the migration cost is worth paying.
+  prof.procs[0].x = prof.procs[1].x = 4000.0;
+  LoadSnapshot snap = LoadSnapshot::idle(4);
+  snap.cpu_avail[0] = 0.3;  // node 0 swamped
+  const Mapping current = identity_mapping(2);
+  const Mapping escape({NodeId{2}, NodeId{1}});
+  const RemapDecision d = evaluate_remap(ev, prof, current, escape, 0.2, snap);
+  EXPECT_TRUE(d.beneficial);
+  EXPECT_EQ(d.moved_ranks, 1u);
+  EXPECT_GT(d.migration_cost, 0.0);
+  EXPECT_GT(d.gain(), 0.0);
+}
+
+TEST(Remap, MigrationCostBlocksMarginalMoves) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  AppProfile prof = tiny_profile();  // short app (~10s of work left)
+  LoadSnapshot snap = LoadSnapshot::idle(4);
+  snap.cpu_avail[0] = 0.95;  // barely loaded
+  const RemapDecision d =
+      evaluate_remap(ev, prof, identity_mapping(2), Mapping({NodeId{2}, NodeId{1}}),
+                     0.9, snap, RemapCostModel{});
+  EXPECT_FALSE(d.beneficial);
+}
+
+TEST(Remap, RejectsBadProgress) {
+  const ClusterTopology topo = make_flat(2, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(2);
+  const Mapping m = identity_mapping(2);
+  EXPECT_THROW((void)evaluate_remap(ev, prof, m, m, 1.0, idle), ContractError);
+  EXPECT_THROW((void)evaluate_remap(ev, prof, m, m, -0.1, idle), ContractError);
+}
+
+}  // namespace
+}  // namespace cbes

@@ -1,0 +1,208 @@
+// Integration tests across the full stack: calibrate -> profile -> predict ->
+// schedule -> measure, asserting the paper's qualitative findings end to end.
+#include <gtest/gtest.h>
+
+#include "apps/asci.h"
+#include "apps/npb.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+#include "simmpi/simulator.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+CbesService::Config test_config() {
+  CbesService::Config cfg;
+  cfg.calibration.repeats = 3;
+  cfg.monitor.noise_sigma = 0.0;
+  return cfg;
+}
+
+Mapping first_n(const std::vector<NodeId>& nodes, std::size_t n) {
+  return Mapping(std::vector<NodeId>(nodes.begin(),
+                                     nodes.begin() + static_cast<long>(n)));
+}
+
+/// Shared fixture: Orange Grove with a registered small LU profile.
+class OrangeGroveCbes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new ClusterTopology(make_orange_grove());
+    truth_ = new NoLoad();
+    svc_ = new CbesService(*topo_, *truth_, test_config());
+    lu_ = new Program(make_npb_lu(8, NpbClass::kS));
+    const auto alphas = topo_->nodes_with_arch(Arch::kAlpha533);
+    svc_->register_application(*lu_, first_n(alphas, 8));
+  }
+  static void TearDownTestSuite() {
+    delete svc_;
+    delete lu_;
+    delete truth_;
+    delete topo_;
+    svc_ = nullptr;
+  }
+
+  static ClusterTopology* topo_;
+  static NoLoad* truth_;
+  static CbesService* svc_;
+  static Program* lu_;
+};
+
+ClusterTopology* OrangeGroveCbes::topo_ = nullptr;
+NoLoad* OrangeGroveCbes::truth_ = nullptr;
+CbesService* OrangeGroveCbes::svc_ = nullptr;
+Program* OrangeGroveCbes::lu_ = nullptr;
+
+TEST_F(OrangeGroveCbes, PredictionMatchesMeasurementOnProfilingMapping) {
+  const auto alphas = topo_->nodes_with_arch(Arch::kAlpha533);
+  const Mapping m = first_n(alphas, 8);
+  const Prediction pred = svc_->predict("lu.S", m, 0.0);
+
+  NoLoad idle;
+  SimOptions sim;
+  sim.seed = 77;
+  const RunResult run = svc_->simulator().run(*lu_, m, idle, sim);
+  const double err = std::abs(pred.time - run.makespan) / run.makespan;
+  EXPECT_LT(err, 0.06) << "predicted " << pred.time << " measured "
+                       << run.makespan;
+}
+
+TEST_F(OrangeGroveCbes, PredictionTracksArchitectureChange) {
+  const auto alphas = topo_->nodes_with_arch(Arch::kAlpha533);
+  const auto intels = topo_->nodes_with_arch(Arch::kIntelPII400);
+  std::vector<NodeId> mixed(alphas.begin(), alphas.begin() + 4);
+  mixed.insert(mixed.end(), intels.begin(), intels.begin() + 4);
+  const Mapping m{std::move(mixed)};
+
+  const Prediction pred = svc_->predict("lu.S", m, 0.0);
+  NoLoad idle;
+  SimOptions sim;
+  sim.seed = 78;
+  const RunResult run = svc_->simulator().run(*lu_, m, idle, sim);
+  const double err = std::abs(pred.time - run.makespan) / run.makespan;
+  EXPECT_LT(err, 0.08) << "predicted " << pred.time << " measured "
+                       << run.makespan;
+}
+
+TEST_F(OrangeGroveCbes, LoadAwarePredictionBeatsLoadBlind) {
+  const auto alphas = topo_->nodes_with_arch(Arch::kAlpha533);
+  const Mapping m = first_n(alphas, 8);
+
+  // Impose 30% load on two mapped nodes; monitor sees it after its next tick.
+  ScriptedLoad load;
+  load.add({alphas[0], 0.0, kNever, 0.3, 0.0});
+  load.add({alphas[1], 0.0, kNever, 0.3, 0.0});
+  SystemMonitor mon(*topo_, load, test_config().monitor);
+
+  const AppProfile& prof = svc_->profile_of("lu.S");
+  const LoadSnapshot aware = mon.snapshot(100.0);
+  const Seconds with_load = svc_->evaluator().evaluate(prof, m, aware);
+  EvalOptions blind;
+  blind.load_term = false;
+  const Seconds without_load =
+      svc_->evaluator().evaluate(prof, m, aware, blind);
+
+  SimOptions sim;
+  sim.seed = 79;
+  const RunResult run = svc_->simulator().run(*lu_, m, load, sim);
+  const double err_aware = std::abs(with_load - run.makespan) / run.makespan;
+  const double err_blind =
+      std::abs(without_load - run.makespan) / run.makespan;
+  EXPECT_LT(err_aware, err_blind);
+}
+
+TEST_F(OrangeGroveCbes, SchedulerPrefersFastNodes) {
+  // SA over the whole cluster should place the 8 LU ranks on Alphas (fastest
+  // for this code) rather than SPARCs.
+  const NodePool pool = NodePool::whole_cluster(*topo_);
+  const AppProfile& prof = svc_->profile_of("lu.S");
+  const LoadSnapshot idle = LoadSnapshot::idle(topo_->node_count());
+  const CbesCost cost(svc_->evaluator(), prof, idle);
+  SaParams params;
+  params.seed = 101;
+  SimulatedAnnealingScheduler sa(params);
+  const ScheduleResult result = sa.schedule(8, pool, cost);
+
+  std::size_t on_sparc = 0;
+  for (NodeId n : result.mapping.assignment()) {
+    if (topo_->node(n).arch == Arch::kSparc500) ++on_sparc;
+  }
+  EXPECT_EQ(on_sparc, 0u);
+}
+
+TEST_F(OrangeGroveCbes, CsBeatsNcsOnMeasuredTime) {
+  // Restrict both schedulers to a mixed-connectivity Intel pool; CS should
+  // find a mapping that actually runs no slower than NCS's pick.
+  const NodePool pool = NodePool::by_arch(*topo_, Arch::kIntelPII400);
+  const auto intels = topo_->nodes_with_arch(Arch::kIntelPII400);
+  Program lu_intel = make_npb_lu(8, NpbClass::kS);
+  svc_->register_application(lu_intel, first_n(intels, 8));
+  const AppProfile& prof = svc_->profile_of("lu.S");
+  const LoadSnapshot idle = LoadSnapshot::idle(topo_->node_count());
+
+  const CbesCost cs_cost(svc_->evaluator(), prof, idle);
+  const CbesCost ncs_cost(svc_->evaluator(), prof, idle, ncs_options());
+
+  SaParams params;
+  params.seed = 202;
+  SimulatedAnnealingScheduler cs(params), ncs(params);
+  const Mapping cs_pick = cs.schedule(8, pool, cs_cost).mapping;
+  const Mapping ncs_pick = ncs.schedule(8, pool, ncs_cost).mapping;
+
+  NoLoad idle_load;
+  SimOptions sim;
+  sim.seed = 303;
+  const Seconds cs_time =
+      svc_->simulator().run(lu_intel, cs_pick, idle_load, sim).makespan;
+  sim.seed = 304;
+  const Seconds ncs_time =
+      svc_->simulator().run(lu_intel, ncs_pick, idle_load, sim).makespan;
+  EXPECT_LE(cs_time, ncs_time * 1.02);
+}
+
+TEST(Integration, CenturionServiceBringUp) {
+  // Full bring-up on the 128-node cluster: calibration stays O(N)-ish and an
+  // EP profile predicts well at 16 ranks.
+  const ClusterTopology topo = make_centurion();
+  NoLoad idle;
+  CbesService svc(topo, idle, test_config());
+  EXPECT_LT(svc.calibration_report().pairs_measured, 60u);
+
+  const Program ep = make_npb_ep(16, NpbClass::kS);
+  svc.register_application(ep, Mapping::round_robin(topo, 16));
+  const Mapping m = Mapping::round_robin(topo, 16);
+  const Prediction pred = svc.predict("ep.S", m, 0.0);
+  SimOptions sim;
+  sim.seed = 55;
+  const RunResult run = svc.simulator().run(ep, m, idle, sim);
+  EXPECT_LT(std::abs(pred.time - run.makespan) / run.makespan, 0.05);
+}
+
+TEST(Integration, TowheeInsensitiveToMapping) {
+  // Embarrassingly parallel code: best and worst mappings within one
+  // architecture should measure nearly identically (paper: "uncertain
+  // speedup").
+  const ClusterTopology topo = make_orange_grove();
+  MpiSimulator sim(topo);
+  const Program towhee = make_towhee(8);
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  NoLoad idle;
+  SimOptions opt;
+  opt.seed = 5;
+  const Seconds together =
+      sim.run(towhee, first_n(intels, 8), idle, opt).makespan;
+  // Spread across sub-clusters' switches.
+  std::vector<NodeId> spread = {intels[0], intels[4], intels[8],  intels[1],
+                                intels[5], intels[9], intels[10], intels[2]};
+  opt.seed = 6;
+  const Seconds scattered =
+      sim.run(towhee, Mapping(spread), idle, opt).makespan;
+  EXPECT_NEAR(scattered / together, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace cbes

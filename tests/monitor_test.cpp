@@ -1,0 +1,170 @@
+// Unit tests for the monitoring subsystem: forecasters, sensor staleness,
+// measurement noise determinism, and snapshots.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "monitor/forecaster.h"
+#include "monitor/monitor.h"
+#include "monitor/snapshot.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+// ---------------------------------------------------------- forecaster -----
+
+TEST(Forecaster, LastValue) {
+  LastValueForecaster f;
+  const std::vector<double> h{0.3, 0.9, 0.6};
+  EXPECT_DOUBLE_EQ(f.predict(h), 0.6);
+}
+
+TEST(Forecaster, SlidingWindowMean) {
+  SlidingWindowForecaster f(2);
+  const std::vector<double> h{0.0, 0.4, 0.8};
+  EXPECT_DOUBLE_EQ(f.predict(h), 0.6);
+}
+
+TEST(Forecaster, SlidingWindowShorterHistory) {
+  SlidingWindowForecaster f(10);
+  const std::vector<double> h{0.5, 0.7};
+  EXPECT_DOUBLE_EQ(f.predict(h), 0.6);
+}
+
+TEST(Forecaster, MedianRobustToSpike) {
+  MedianForecaster f(5);
+  const std::vector<double> h{0.5, 0.5, 0.5, 9.0, 0.5};
+  EXPECT_DOUBLE_EQ(f.predict(h), 0.5);
+}
+
+TEST(Forecaster, AdaptivePicksGoodPredictorOnStableSeries) {
+  AdaptiveForecaster f;
+  const std::vector<double> stable(20, 0.8);
+  EXPECT_NEAR(f.predict(stable), 0.8, 1e-12);
+}
+
+TEST(Forecaster, AdaptiveTracksStepChange) {
+  AdaptiveForecaster f;
+  // After a step, last-value has the lowest backtest error and should win.
+  std::vector<double> h(10, 0.2);
+  h.insert(h.end(), 10, 0.9);
+  EXPECT_NEAR(f.predict(h), 0.9, 0.15);
+}
+
+TEST(Forecaster, RejectsEmptyHistory) {
+  LastValueForecaster f;
+  EXPECT_THROW((void)f.predict({}), ContractError);
+}
+
+TEST(Forecaster, WindowMustBePositive) {
+  EXPECT_THROW(SlidingWindowForecaster(0), ContractError);
+  EXPECT_THROW(MedianForecaster(0), ContractError);
+}
+
+// --------------------------------------------------------------- monitor ---
+
+MonitorConfig quiet_monitor() {
+  MonitorConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.period = 10.0;
+  return cfg;
+}
+
+TEST(Monitor, IdleClusterReportsFullAvailability) {
+  const ClusterTopology topo = make_flat(4);
+  NoLoad idle;
+  SystemMonitor mon(topo, idle, quiet_monitor());
+  const LoadSnapshot snap = mon.snapshot(100.0);
+  ASSERT_EQ(snap.cpu_avail.size(), 4u);
+  for (double a : snap.cpu_avail) EXPECT_DOUBLE_EQ(a, 1.0);
+  for (double u : snap.nic_util) EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(Monitor, SeesLoadAfterSensorTick) {
+  const ClusterTopology topo = make_flat(2);
+  ScriptedLoad load;
+  load.add({NodeId{0}, 15.0, kNever, 0.4, 0.0});
+  SystemMonitor mon(topo, load, quiet_monitor());
+  // Load started at t=15; the t=20 tick publishes it.
+  EXPECT_DOUBLE_EQ(mon.snapshot(25.0).cpu(NodeId{0}), 0.6);
+}
+
+TEST(Monitor, StaleBetweenTicks) {
+  const ClusterTopology topo = make_flat(2);
+  ScriptedLoad load;
+  load.add({NodeId{0}, 11.0, kNever, 0.4, 0.0});
+  SystemMonitor mon(topo, load, quiet_monitor());
+  // At t=19 the latest tick was t=10, before the load began: still reads idle.
+  EXPECT_DOUBLE_EQ(mon.snapshot(19.0).cpu(NodeId{0}), 1.0);
+  EXPECT_DOUBLE_EQ(mon.truth_snapshot(19.0).cpu(NodeId{0}), 0.6);
+}
+
+TEST(Monitor, SnapshotsAreDeterministic) {
+  const ClusterTopology topo = make_flat(3);
+  ScriptedLoad load;
+  load.add({NodeId{1}, 0.0, kNever, 0.3, 0.1});
+  MonitorConfig cfg;
+  cfg.noise_sigma = 0.05;
+  SystemMonitor a(topo, load, cfg);
+  SystemMonitor b(topo, load, cfg);
+  const LoadSnapshot sa = a.snapshot(50.0);
+  const LoadSnapshot sb = b.snapshot(50.0);
+  EXPECT_EQ(sa.cpu_avail, sb.cpu_avail);
+  EXPECT_EQ(sa.nic_util, sb.nic_util);
+}
+
+TEST(Monitor, NoiseIsBounded) {
+  const ClusterTopology topo = make_flat(2);
+  ScriptedLoad load;
+  load.add({NodeId{0}, 0.0, kNever, 0.5, 0.0});
+  MonitorConfig cfg;
+  cfg.noise_sigma = 0.05;
+  SystemMonitor mon(topo, load, cfg);
+  const double measured = mon.snapshot(100.0).cpu(NodeId{0});
+  EXPECT_NEAR(measured, 0.5, 0.12);
+  EXPECT_LE(measured, 1.0);
+}
+
+TEST(Monitor, SlidingWindowSmoothsBurst) {
+  const ClusterTopology topo = make_flat(1);
+  ScriptedLoad load;
+  // One short burst covering exactly one sensor tick (t = 50).
+  load.add({NodeId{0}, 45.0, 55.0, 0.8, 0.0});
+  SystemMonitor last(topo, load, quiet_monitor());
+  SystemMonitor windowed(topo, load, quiet_monitor());
+  windowed.set_forecaster(std::make_unique<SlidingWindowForecaster>(8));
+  // At t=59 the latest tick (t=50) saw the burst.
+  EXPECT_NEAR(last.snapshot(59.0).cpu(NodeId{0}), 0.2, 1e-9);
+  EXPECT_GT(windowed.snapshot(59.0).cpu(NodeId{0}), 0.5);
+}
+
+TEST(Monitor, TruthSnapshotTracksInstantaneously) {
+  const ClusterTopology topo = make_flat(1);
+  ScriptedLoad load;
+  load.add({NodeId{0}, 5.0, 6.0, 0.9, 0.0});
+  SystemMonitor mon(topo, load, quiet_monitor());
+  EXPECT_NEAR(mon.truth_snapshot(5.5).cpu(NodeId{0}), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(mon.truth_snapshot(6.5).cpu(NodeId{0}), 1.0);
+}
+
+TEST(Monitor, RejectsBadConfig) {
+  const ClusterTopology topo = make_flat(1);
+  NoLoad idle;
+  MonitorConfig cfg;
+  cfg.period = 0.0;
+  EXPECT_THROW(SystemMonitor(topo, idle, cfg), ContractError);
+}
+
+TEST(Snapshot, IdleFactory) {
+  const LoadSnapshot snap = LoadSnapshot::idle(3);
+  EXPECT_EQ(snap.cpu_avail.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap.cpu(NodeId{2}), 1.0);
+  EXPECT_DOUBLE_EQ(snap.nic(NodeId{0}), 0.0);
+}
+
+}  // namespace
+}  // namespace cbes

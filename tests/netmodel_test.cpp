@@ -1,0 +1,210 @@
+// Unit tests for the latency model and its calibration: fit quality against
+// the ground-truth network, O(N) vs O(N^2) equivalence, load adjustment, and
+// the model's paper-facing properties (latency spread, class structure).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "netmodel/calibrate.h"
+#include "netmodel/latency_model.h"
+#include "simnet/load.h"
+#include "simnet/network.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+SimNetConfig quiet_hw() {
+  SimNetConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  return cfg;
+}
+
+CalibrationOptions fast_cal() {
+  CalibrationOptions opt;
+  opt.repeats = 3;
+  return opt;
+}
+
+// ---------------------------------------------------------- calibration -----
+
+TEST(Calibration, FitsAffineModelExactlyWithoutJitter) {
+  const ClusterTopology topo = make_flat(4);
+  CalibrationReport report;
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal(), &report);
+  EXPECT_GT(report.worst_fit_r_squared, 0.999);
+  EXPECT_EQ(report.classes, 1u);  // one homogeneous same-switch class
+}
+
+TEST(Calibration, PredictsGroundTruthLatency) {
+  const ClusterTopology topo = make_two_switch(3);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  SimNetwork net(topo, quiet_hw(), 99);
+  for (Bytes size : {Bytes{200}, Bytes{3000}, Bytes{100000}}) {
+    const Seconds truth = measure_latency(net, NodeId{0}, NodeId{4}, size, 1);
+    const Seconds predicted = model.no_load(NodeId{0}, NodeId{4}, size);
+    EXPECT_NEAR(predicted, truth, truth * 0.02) << "size=" << size;
+  }
+}
+
+TEST(Calibration, SurvivesJitter) {
+  const ClusterTopology topo = make_two_switch(2);
+  SimNetConfig hw;  // default jitter
+  CalibrationOptions opt;
+  opt.repeats = 9;
+  const LatencyModel model = calibrate(topo, hw, opt);
+  SimNetwork quiet_net(topo, quiet_hw(), 1);
+  const Seconds truth = measure_latency(quiet_net, NodeId{0}, NodeId{2}, 8192, 1);
+  EXPECT_NEAR(model.no_load(NodeId{0}, NodeId{2}, 8192), truth, truth * 0.05);
+}
+
+TEST(Calibration, ClassCountIsSmall) {
+  // O(N): Orange Grove has 28 nodes = 378 pairs but only a handful of path
+  // classes — that is what makes one-representative-per-class calibration O(N).
+  const ClusterTopology topo = make_orange_grove();
+  CalibrationReport report;
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal(), &report);
+  EXPECT_LT(report.classes, 40u);
+  EXPECT_EQ(report.pairs_measured, report.classes);
+}
+
+TEST(Calibration, FullPairwiseAgreesWithClassBased) {
+  const ClusterTopology topo = make_two_switch(2);
+  CalibrationOptions fast = fast_cal();
+  CalibrationOptions full = fast_cal();
+  full.full_pairwise = true;
+  CalibrationReport fast_rep, full_rep;
+  const LatencyModel m1 = calibrate(topo, quiet_hw(), fast, &fast_rep);
+  const LatencyModel m2 = calibrate(topo, quiet_hw(), full, &full_rep);
+  EXPECT_GT(full_rep.pairs_measured, fast_rep.pairs_measured);
+  for (Bytes size : {Bytes{256}, Bytes{65536}}) {
+    const Seconds a = m1.no_load(NodeId{0}, NodeId{3}, size);
+    const Seconds b = m2.no_load(NodeId{0}, NodeId{3}, size);
+    EXPECT_NEAR(a, b, a * 0.02);
+  }
+}
+
+TEST(Calibration, RejectsDegenerateOptions) {
+  const ClusterTopology topo = make_flat(2);
+  CalibrationOptions opt;
+  opt.sizes = {64};
+  EXPECT_THROW(calibrate(topo, quiet_hw(), opt), ContractError);
+  CalibrationOptions opt2;
+  opt2.repeats = 0;
+  EXPECT_THROW(calibrate(topo, quiet_hw(), opt2), ContractError);
+}
+
+// ---------------------------------------------------------------- model -----
+
+TEST(Model, EquivalentPairsShareCoefficients) {
+  const ClusterTopology topo = make_two_switch(3);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  // (0,1) and (1,2) are both same-leaf pairs.
+  EXPECT_DOUBLE_EQ(model.no_load(NodeId{0}, NodeId{1}, 4096),
+                   model.no_load(NodeId{1}, NodeId{2}, 4096));
+}
+
+TEST(Model, CrossSwitchSlowerThanSameSwitch) {
+  const ClusterTopology topo = make_two_switch(3);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  EXPECT_GT(model.no_load(NodeId{0}, NodeId{3}, 1024),
+            model.no_load(NodeId{0}, NodeId{1}, 1024));
+}
+
+TEST(Model, LoopbackIsCheapest) {
+  const ClusterTopology topo = make_flat(2, Arch::kIntelPII400, 2);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  EXPECT_LT(model.no_load(NodeId{0}, NodeId{0}, 16384),
+            model.no_load(NodeId{0}, NodeId{1}, 16384));
+}
+
+TEST(Model, CpuLoadRaisesCurrentLatency) {
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  const Seconds idle = model.current(NodeId{0}, NodeId{1}, 2048, snap);
+  EXPECT_NEAR(idle, model.no_load(NodeId{0}, NodeId{1}, 2048), idle * 1e-9);
+  snap.cpu_avail[0] = 0.5;
+  EXPECT_GT(model.current(NodeId{0}, NodeId{1}, 2048, snap), idle);
+}
+
+TEST(Model, CpuAdjustmentMatchesGroundTruth) {
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  // Ground truth under 50% load on both endpoints:
+  SimNetwork net(topo, quiet_hw(), 5);
+  ScriptedLoad loaded;
+  loaded.add({NodeId{0}, 0.0, kNever, 0.5, 0.0});
+  loaded.add({NodeId{1}, 0.0, kNever, 0.5, 0.0});
+  const TransferResult tr = net.transfer(0.0, NodeId{0}, NodeId{1}, 4096, loaded);
+  const Seconds truth = tr.arrival + tr.receiver_cpu;
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.cpu_avail[0] = snap.cpu_avail[1] = 0.5;
+  const Seconds predicted = model.current(NodeId{0}, NodeId{1}, 4096, snap);
+  EXPECT_NEAR(predicted, truth, truth * 0.05);
+}
+
+TEST(Model, NicAdjustmentMatchesGroundTruth) {
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  SimNetwork net(topo, quiet_hw(), 5);
+  ScriptedLoad loaded;
+  loaded.add({NodeId{0}, 0.0, kNever, 0.0, 0.5});
+  loaded.add({NodeId{1}, 0.0, kNever, 0.0, 0.5});
+  const TransferResult tr =
+      net.transfer(0.0, NodeId{0}, NodeId{1}, 262144, loaded);
+  const Seconds truth = tr.arrival + tr.receiver_cpu;
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.nic_util[0] = snap.nic_util[1] = 0.5;
+  const Seconds predicted = model.current(NodeId{0}, NodeId{1}, 262144, snap);
+  EXPECT_NEAR(predicted, truth, truth * 0.10);
+}
+
+TEST(Model, WithoutLoadTermsCurrentEqualsNoLoad) {
+  const ClusterTopology topo = make_flat(2);
+  CalibrationOptions opt = fast_cal();
+  opt.fit_load_terms = false;
+  const LatencyModel model = calibrate(topo, quiet_hw(), opt);
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.cpu_avail[0] = 0.3;
+  EXPECT_DOUBLE_EQ(model.current(NodeId{0}, NodeId{1}, 4096, snap),
+                   model.no_load(NodeId{0}, NodeId{1}, 4096));
+}
+
+// ----------------------------------------------- paper latency spreads -----
+
+double latency_spread(const LatencyModel& model, const ClusterTopology& topo,
+                      Bytes size) {
+  Seconds lo = kNever, hi = 0.0;
+  for (std::size_t a = 0; a < topo.node_count(); ++a) {
+    for (std::size_t b = 0; b < topo.node_count(); ++b) {
+      if (a == b) continue;
+      const Seconds l = model.no_load(NodeId{a}, NodeId{b}, size);
+      lo = std::min(lo, l);
+      hi = std::max(hi, l);
+    }
+  }
+  // The paper's "latency difference" metric: how much slower the worst pair
+  // is, as a fraction of the worst pair, (max - min) / max.
+  return (hi - lo) / hi;
+}
+
+TEST(PaperSpread, CenturionIsNearlyFlat) {
+  const ClusterTopology topo = make_centurion();
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const double spread = latency_spread(model, topo, 1024);
+  // Paper: "up to approximately 13%".
+  EXPECT_GT(spread, 0.05);
+  EXPECT_LT(spread, 0.22);
+}
+
+TEST(PaperSpread, OrangeGroveIsStronglyHeterogeneous) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const double spread = latency_spread(model, topo, 1024);
+  // Paper: "as high as 54%".
+  EXPECT_GT(spread, 0.40);
+  EXPECT_LT(spread, 0.70);
+}
+
+}  // namespace
+}  // namespace cbes

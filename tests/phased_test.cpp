@@ -1,0 +1,374 @@
+// Tests for phase-segmented execution and mid-run remapping: split_phases,
+// simulator start_time, migration cost, and the PhasedRunner's adaptive
+// behaviour under load change.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.h"
+#include "common/check.h"
+#include "core/app_monitor.h"
+#include "core/remap.h"
+#include "core/service.h"
+#include "sched/phased.h"
+#include "sched/pool.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+CbesService::Config fast_config() {
+  CbesService::Config cfg;
+  cfg.calibration.repeats = 3;
+  cfg.monitor.noise_sigma = 0.0;
+  return cfg;
+}
+
+// -------------------------------------------------------- split_phases -----
+
+TEST(SplitPhases, UnmarkedProgramIsOneSegment) {
+  ProgramBuilder b("t", 2, 0.3);
+  b.compute_all(1.0);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 64);
+  const auto segments = split_phases(std::move(b).build());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].total_compute_ref(), 2.0);
+  EXPECT_EQ(segments[0].total_messages(), 1u);
+}
+
+TEST(SplitPhases, SegmentsPartitionOps) {
+  ProgramBuilder b("t", 2, 0.3);
+  b.phase_mark(0);
+  b.compute_all(1.0);
+  b.exchange(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 64);
+  b.phase_mark(1);
+  b.compute_all(2.0);
+  b.phase_mark(2);
+  b.exchange(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 128);
+  const Program p = std::move(b).build();
+  const auto segments = split_phases(p);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(segments[0].total_compute_ref(), 2.0);
+  EXPECT_EQ(segments[0].total_messages(), 2u);
+  EXPECT_DOUBLE_EQ(segments[1].total_compute_ref(), 4.0);
+  EXPECT_EQ(segments[1].total_messages(), 0u);
+  EXPECT_EQ(segments[2].total_bytes(), 256u);
+  // Conservation: the segments cover exactly the original ops.
+  Seconds total = 0;
+  std::size_t msgs = 0;
+  for (const Program& s : segments) {
+    total += s.total_compute_ref();
+    msgs += s.total_messages();
+  }
+  EXPECT_DOUBLE_EQ(total, p.total_compute_ref());
+  EXPECT_EQ(msgs, p.total_messages());
+}
+
+TEST(SplitPhases, SegmentNamesCarryPhase) {
+  ProgramBuilder b("app", 2, 0.3);
+  b.phase_mark(0);
+  b.compute_all(1.0);
+  b.phase_mark(1);
+  b.compute_all(1.0);
+  const auto segments = split_phases(std::move(b).build());
+  EXPECT_EQ(segments[0].name, "app.phase0");
+  EXPECT_EQ(segments[1].name, "app.phase1");
+}
+
+TEST(SplitPhases, RejectsCrossBoundaryMessages) {
+  // Send in phase 0, receive in phase 1: not quiescent.
+  ProgramBuilder b("t", 2, 0.3);
+  b.phase_mark(0);
+  b.send(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 64);
+  b.phase_mark(1);
+  b.recv(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 64);
+  EXPECT_THROW(split_phases(std::move(b).build()), ContractError);
+}
+
+TEST(SplitPhases, SyntheticSegmentsAreQuiescent) {
+  SyntheticParams params;
+  params.ranks = 6;
+  params.phases = 12;
+  params.mark_segments = 4;
+  const auto segments = split_phases(make_synthetic(params));
+  EXPECT_EQ(segments.size(), 4u);
+}
+
+// ----------------------------------------------------------- start_time ----
+
+TEST(StartTime, ShiftsLoadWindow) {
+  const ClusterTopology topo = make_flat(1);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 1, 0.0);
+  b.compute(RankId{std::size_t{0}}, 2.0);
+  const Program p = std::move(b).build();
+
+  ScriptedLoad load;
+  load.add({NodeId{0}, 0.0, 10.0, 0.5, 0.0});  // loaded only before t=10
+
+  SimOptions early;
+  early.net.jitter_sigma = 0.0;
+  SimOptions late = early;
+  late.start_time = 100.0;
+
+  NoLoad idle;
+  EXPECT_DOUBLE_EQ(sim.run(p, Mapping({NodeId{0}}), load, early).makespan,
+                   4.0);
+  EXPECT_DOUBLE_EQ(sim.run(p, Mapping({NodeId{0}}), load, late).makespan, 2.0);
+  // Finish times are absolute.
+  EXPECT_DOUBLE_EQ(sim.run(p, Mapping({NodeId{0}}), idle, late)
+                       .ranks[0]
+                       .finish,
+                   102.0);
+}
+
+// ------------------------------------------------------- migration_cost ----
+
+TEST(MigrationCost, ZeroWhenNothingMoves) {
+  const ClusterTopology topo = make_flat(4);
+  const Mapping m({NodeId{0}, NodeId{1}});
+  EXPECT_DOUBLE_EQ(migration_cost(topo, m, m), 0.0);
+}
+
+TEST(MigrationCost, GrowsWithMovedRanksAndDistance) {
+  const ClusterTopology topo = make_orange_grove();
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  const Mapping from({intels[0], intels[1]});
+  const Mapping near({intels[2], intels[1]});   // one rank, same switch
+  const Mapping both({intels[2], intels[3]});   // two ranks
+  const Mapping far({sparcs[4], intels[1]});    // one rank across federation
+  const Seconds near_cost = migration_cost(topo, from, near);
+  EXPECT_GT(near_cost, 0.0);
+  EXPECT_GT(migration_cost(topo, from, both), near_cost);
+  EXPECT_GT(migration_cost(topo, from, far), near_cost);
+}
+
+TEST(MigrationCost, ScalesWithStateSize) {
+  const ClusterTopology topo = make_flat(4);
+  const Mapping from({NodeId{0}});
+  const Mapping to({NodeId{1}});
+  RemapCostModel small;
+  small.state_bytes = 1 << 20;
+  RemapCostModel big;
+  big.state_bytes = 1 << 28;
+  EXPECT_GT(migration_cost(topo, from, to, big),
+            migration_cost(topo, from, to, small));
+}
+
+// --------------------------------------------------------- PhasedRunner ----
+
+class PhasedRunnerTest : public ::testing::Test {
+ protected:
+  static Program make_job(std::size_t phases = 6) {
+    SyntheticParams params;
+    params.ranks = 4;
+    params.phases = 10 * phases;
+    params.compute_per_phase = 0.6;
+    params.msgs_per_phase = 2;
+    params.msg_size = 16 * 1024;
+    params.pattern = CommPattern::kGrid;
+    params.mark_segments = phases;
+    return make_synthetic(params);
+  }
+};
+
+TEST_F(PhasedRunnerTest, StaticRunMatchesMonolithicApprox) {
+  const ClusterTopology topo = make_orange_grove();
+  NoLoad idle;
+  CbesService svc(topo, idle, fast_config());
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const Mapping mapping(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 4));
+
+  const Program job = make_job();
+  PhasedOptions options;
+  options.adaptive = false;
+  PhasedRunner runner(svc, NodePool::by_arch(topo, Arch::kIntelPII400),
+                      options);
+  runner.prepare(job, mapping);
+  const PhasedRunReport report = runner.run(mapping, idle);
+
+  SimOptions sim;
+  const Seconds monolithic = svc.simulator().run(job, mapping, idle, sim)
+                                 .makespan;
+  EXPECT_EQ(report.remaps, 0u);
+  EXPECT_EQ(report.phases.size(), 6u);
+  EXPECT_NEAR(report.total, monolithic, monolithic * 0.05);
+}
+
+TEST_F(PhasedRunnerTest, DoesNotRemapOnIdleCluster) {
+  const ClusterTopology topo = make_orange_grove();
+  NoLoad idle;
+  CbesService svc(topo, idle, fast_config());
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  // Start from a good mapping (first 4 intels share a switch).
+  const Mapping mapping(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 4));
+  PhasedRunner runner(
+      svc, NodePool::by_arch(topo, Arch::kIntelPII400).one_per_node(), {});
+  runner.prepare(make_job(), mapping);
+  const PhasedRunReport report = runner.run(mapping, idle);
+  EXPECT_EQ(report.remaps, 0u);
+}
+
+TEST_F(PhasedRunnerTest, EscapesMidRunLoad) {
+  const ClusterTopology topo = make_orange_grove();
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const Mapping initial(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 4));
+
+  ScriptedLoad world;  // heavy load lands early on two mapped nodes
+  world.add({intels[0], 5.0, kNever, 0.6, 0.0});
+  world.add({intels[1], 5.0, kNever, 0.6, 0.0});
+  CbesService svc(topo, world, fast_config());
+
+  const Program job = make_job();
+  PhasedOptions options;
+  options.remap_cost.state_bytes = 8 * 1024 * 1024;
+  const NodePool pool =
+      NodePool::by_arch(topo, Arch::kIntelPII400).one_per_node();
+
+  PhasedRunner adaptive(svc, pool, options);
+  adaptive.prepare(job, initial);
+  const PhasedRunReport moved = adaptive.run(initial, world);
+
+  PhasedOptions static_options = options;
+  static_options.adaptive = false;
+  PhasedRunner fixed(svc, pool, static_options);
+  fixed.prepare(job, initial);
+  const PhasedRunReport stayed = fixed.run(initial, world);
+
+  EXPECT_GE(moved.remaps, 1u);
+  EXPECT_LT(moved.total, stayed.total);
+  // After remapping, the loaded nodes are vacated.
+  EXPECT_EQ(moved.final_mapping.ranks_on(intels[0]), 0u);
+  EXPECT_EQ(moved.final_mapping.ranks_on(intels[1]), 0u);
+}
+
+// ----------------------------------------------------------- AppMonitor ----
+
+TEST(AppMonitor, StaysQuietOnPrediction) {
+  AppMonitor mon({10.0, 10.0, 10.0});
+  EXPECT_EQ(mon.report(10.2), RemapTrigger::kNone);
+  EXPECT_EQ(mon.report(9.8), RemapTrigger::kNone);
+  EXPECT_NEAR(mon.cumulative_drift(), 1.0, 0.05);
+}
+
+TEST(AppMonitor, RequiresSustainedDrift) {
+  AppMonitorConfig cfg;
+  cfg.drift_threshold = 0.10;
+  cfg.patience = 2;
+  AppMonitor mon({10.0, 10.0, 10.0, 10.0}, cfg);
+  EXPECT_EQ(mon.report(13.0), RemapTrigger::kNone);   // first slow unit
+  EXPECT_EQ(mon.report(10.0), RemapTrigger::kNone);   // hiccup forgiven
+  EXPECT_EQ(mon.report(13.0), RemapTrigger::kNone);
+  EXPECT_EQ(mon.report(13.0), RemapTrigger::kExternal);  // sustained
+}
+
+TEST(AppMonitor, FastDriftRaisesInternal) {
+  AppMonitorConfig cfg;
+  cfg.patience = 2;
+  AppMonitor mon({10.0, 10.0, 10.0}, cfg);
+  EXPECT_EQ(mon.report(7.0), RemapTrigger::kNone);
+  EXPECT_EQ(mon.report(7.0), RemapTrigger::kInternal);
+  EXPECT_LT(mon.last_drift(), 1.0);
+}
+
+TEST(AppMonitor, RebaseClearsState) {
+  AppMonitorConfig cfg;
+  cfg.patience = 1;
+  AppMonitor mon({10.0, 10.0, 10.0}, cfg);
+  EXPECT_EQ(mon.report(15.0), RemapTrigger::kExternal);
+  mon.rebase({15.0, 15.0});
+  EXPECT_EQ(mon.state(), RemapTrigger::kNone);
+  EXPECT_EQ(mon.report(15.0), RemapTrigger::kNone);  // now on prediction
+  EXPECT_EQ(mon.completed_units(), 2u);
+}
+
+TEST(AppMonitor, RejectsBadInput) {
+  EXPECT_THROW(AppMonitor({}), ContractError);
+  EXPECT_THROW(AppMonitor({0.0}), ContractError);
+  AppMonitor mon({1.0});
+  EXPECT_THROW(mon.report(-1.0), ContractError);
+  (void)mon.report(1.0);
+  EXPECT_THROW(mon.report(1.0), ContractError);  // more reports than units
+}
+
+TEST_F(PhasedRunnerTest, DriftPolicyRemapsOnlyWhenDrifting) {
+  const ClusterTopology topo = make_orange_grove();
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const Mapping initial(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 4));
+
+  ScriptedLoad world;
+  world.add({intels[0], 5.0, kNever, 0.6, 0.0});
+  world.add({intels[1], 5.0, kNever, 0.6, 0.0});
+  CbesService svc(topo, world, fast_config());
+
+  PhasedOptions options;
+  options.policy = RemapPolicy::kOnDrift;
+  options.monitor.patience = 1;
+  options.remap_cost.state_bytes = 8 * 1024 * 1024;
+  const NodePool pool =
+      NodePool::by_arch(topo, Arch::kIntelPII400).one_per_node();
+  PhasedRunner runner(svc, pool, options);
+  runner.prepare(make_job(8), initial);
+  const PhasedRunReport moved = runner.run(initial, world);
+  EXPECT_GE(moved.remaps, 1u);
+  EXPECT_EQ(moved.final_mapping.ranks_on(intels[0]), 0u);
+
+  // Idle cluster under the same policy: zero remaps, zero searches needed.
+  NoLoad idle;
+  CbesService idle_svc(topo, idle, fast_config());
+  PhasedRunner idle_runner(idle_svc, pool, options);
+  idle_runner.prepare(make_job(8), initial);
+  EXPECT_EQ(idle_runner.run(initial, idle).remaps, 0u);
+}
+
+TEST_F(PhasedRunnerTest, MigrationStallsAreAccounted) {
+  const ClusterTopology topo = make_orange_grove();
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const Mapping initial(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 4));
+  ScriptedLoad world;
+  world.add({intels[0], 5.0, kNever, 0.6, 0.0});
+  CbesService svc(topo, world, fast_config());
+
+  PhasedRunner runner(
+      svc, NodePool::by_arch(topo, Arch::kIntelPII400).one_per_node(), {});
+  runner.prepare(make_job(), initial);
+  const PhasedRunReport report = runner.run(initial, world);
+  Seconds durations = 0.0;
+  for (const PhaseRecord& p : report.phases) durations += p.duration;
+  EXPECT_NEAR(report.total, durations + report.total_migration, 1e-9);
+}
+
+TEST_F(PhasedRunnerTest, RunBeforePrepareThrows) {
+  const ClusterTopology topo = make_flat(4);
+  NoLoad idle;
+  CbesService svc(topo, idle, fast_config());
+  PhasedRunner runner(svc, NodePool::whole_cluster(topo), {});
+  EXPECT_THROW((void)runner.run(Mapping({NodeId{0}}), idle), ContractError);
+}
+
+TEST_F(PhasedRunnerTest, PredictRemainingDecreases) {
+  const ClusterTopology topo = make_orange_grove();
+  NoLoad idle;
+  CbesService svc(topo, idle, fast_config());
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  const Mapping mapping(
+      std::vector<NodeId>(intels.begin(), intels.begin() + 4));
+  PhasedRunner runner(svc, NodePool::by_arch(topo, Arch::kIntelPII400), {});
+  runner.prepare(make_job(), mapping);
+  const LoadSnapshot snap = LoadSnapshot::idle(topo.node_count());
+  Seconds prev = runner.predict_remaining(0, mapping, snap);
+  for (std::size_t s = 1; s <= runner.phase_count(); ++s) {
+    const Seconds rem = runner.predict_remaining(s, mapping, snap);
+    EXPECT_LT(rem, prev);
+    prev = rem;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.0);
+}
+
+}  // namespace
+}  // namespace cbes

@@ -1,0 +1,347 @@
+// Unit tests for trace analysis, profiles, theta, lambda, and the profiler.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "apps/npb.h"
+#include "apps/synthetic.h"
+#include "common/check.h"
+#include "netmodel/calibrate.h"
+#include "profile/analyzer.h"
+#include "profile/profiler.h"
+#include "profile/serialize.h"
+#include "profile/theta.h"
+#include "simmpi/simulator.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+SimOptions traced_sim() {
+  SimOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  opt.record_trace = true;
+  return opt;
+}
+
+Mapping identity_mapping(std::size_t n) {
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.emplace_back(i);
+  return Mapping(std::move(nodes));
+}
+
+CalibrationOptions fast_cal() {
+  CalibrationOptions opt;
+  opt.repeats = 3;
+  return opt;
+}
+
+Trace traced_run(const ClusterTopology& topo, const Program& p) {
+  MpiSimulator sim(topo);
+  NoLoad idle;
+  auto result = sim.run(p, identity_mapping(p.nranks()), idle, traced_sim());
+  return std::move(*result.trace);
+}
+
+// ------------------------------------------------------------- analyzer ----
+
+TEST(Analyzer, AccumulatesXob) {
+  const ClusterTopology topo = make_flat(2);
+  ProgramBuilder b("t", 2, 0.0);
+  b.compute(RankId{std::size_t{0}}, 1.0);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 4096);
+  const Trace trace = traced_run(topo, std::move(b).build());
+  const AppProfile prof = analyze_trace(trace, topo);
+  EXPECT_NEAR(prof.procs[0].x, 1.0, 1e-9);
+  EXPECT_GT(prof.procs[0].o, 0.0);
+  EXPECT_NEAR(prof.procs[1].b, 1.0, 0.01);
+}
+
+TEST(Analyzer, GroupsMessagesBySize) {
+  const ClusterTopology topo = make_flat(2);
+  ProgramBuilder b("t", 2, 0.0);
+  for (int i = 0; i < 3; ++i)
+    b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 1024);
+  for (int i = 0; i < 2; ++i)
+    b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 2048);
+  const Trace trace = traced_run(topo, std::move(b).build());
+  const AppProfile prof = analyze_trace(trace, topo);
+  ASSERT_EQ(prof.procs[1].recv_groups.size(), 2u);
+  ASSERT_EQ(prof.procs[0].send_groups.size(), 2u);
+  std::size_t total = 0;
+  for (const MessageGroup& g : prof.procs[1].recv_groups) {
+    EXPECT_EQ(g.peer, (RankId{std::size_t{0}}));
+    total += g.count;
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Analyzer, RecordsProfiledArch) {
+  const ClusterTopology topo = make_orange_grove();
+  ProgramBuilder b("t", 2, 0.3);
+  b.compute_all(0.1);
+  MpiSimulator sim(topo);
+  NoLoad idle;
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  auto r = sim.run(std::move(b).build(), Mapping({alphas[0], sparcs[0]}), idle,
+                   traced_sim());
+  const AppProfile prof = analyze_trace(*r.trace, topo);
+  EXPECT_EQ(prof.procs[0].profiled_arch, Arch::kAlpha533);
+  EXPECT_EQ(prof.procs[1].profiled_arch, Arch::kSparc500);
+}
+
+TEST(Analyzer, SegmentsSplitByPhase) {
+  const ClusterTopology topo = make_flat(2);
+  ProgramBuilder b("t", 2, 0.0);
+  b.phase_mark(0);
+  b.compute_all(1.0);
+  b.phase_mark(1);
+  b.compute_all(2.0);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 512);
+  const Trace trace = traced_run(topo, std::move(b).build());
+  const auto segments = analyze_segments(trace, topo);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_NEAR(segments[0].procs[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(segments[1].procs[0].x, 2.0, 1e-9);
+  EXPECT_TRUE(segments[0].procs[1].recv_groups.empty());
+  EXPECT_EQ(segments[1].procs[1].recv_groups.size(), 1u);
+  // Whole-run profile covers both.
+  const AppProfile whole = analyze_trace(trace, topo);
+  EXPECT_NEAR(whole.procs[0].x, 3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- theta ----
+
+TEST(Theta, SumsBothDirections) {
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  ProcessProfile proc;
+  proc.recv_groups.push_back({RankId{std::size_t{1}}, 1024, 3});
+  proc.send_groups.push_back({RankId{std::size_t{1}}, 2048, 2});
+  const Mapping m = identity_mapping(2);
+  const Seconds th =
+      theta_no_load(proc, RankId{std::size_t{0}}, m, model);
+  const Seconds expected =
+      3 * model.no_load(NodeId{1}, NodeId{0}, 1024) +
+      2 * model.no_load(NodeId{0}, NodeId{1}, 2048);
+  EXPECT_DOUBLE_EQ(th, expected);
+}
+
+TEST(Theta, LoadedThetaIsHigher) {
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  ProcessProfile proc;
+  proc.recv_groups.push_back({RankId{std::size_t{1}}, 65536, 10});
+  const Mapping m = identity_mapping(2);
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.cpu_avail[1] = 0.5;
+  EXPECT_GT(theta(proc, RankId{std::size_t{0}}, m, model, snap),
+            theta_no_load(proc, RankId{std::size_t{0}}, m, model));
+}
+
+// -------------------------------------------------------------- profiler ---
+
+TEST(Profiler, LambdaNearOneForBlockingExchange) {
+  // Synchronized ranks exchanging with no overlap: measured B should be close
+  // to the theoretical communication time, so lambda ~ 1.
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  ProgramBuilder b("sync", 2, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    // Rank 0 computes then sends; rank 1 just receives: B_1 accumulates the
+    // compute wait, far above theta -> lambda_1 > 1. Rank 0 receives replies
+    // sent immediately -> lambda_0 modest.
+    b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 8192);
+    b.message(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 8192);
+  }
+  ProfilerOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  opt.speed_noise_sigma = 0.0;
+  const AppProfile prof = profile_application(
+      std::move(b).build(), identity_mapping(2), sim, model, opt);
+  for (const ProcessProfile& p : prof.procs) {
+    EXPECT_GT(p.lambda, 0.0);
+    EXPECT_LT(p.lambda, 3.0);
+  }
+}
+
+TEST(Profiler, OverlapYieldsLambdaBelowOne) {
+  const ClusterTopology topo = make_flat(2);
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  ProgramBuilder b("overlap", 2, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    // Send early, receive after computing: transfers overlap compute entirely.
+    b.send(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 32768);
+    b.send(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 32768);
+    b.compute_all(0.05);
+    b.recv(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 32768);
+    b.recv(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 32768);
+  }
+  ProfilerOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  opt.speed_noise_sigma = 0.0;
+  const AppProfile prof = profile_application(
+      std::move(b).build(), identity_mapping(2), sim, model, opt);
+  for (const ProcessProfile& p : prof.procs) EXPECT_LT(p.lambda, 0.5);
+}
+
+TEST(Profiler, MeasuresArchSpeeds) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  ProfilerOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  opt.speed_noise_sigma = 0.0;
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const AppProfile prof = profile_application(
+      p, Mapping({alphas[0], alphas[1], alphas[2], alphas[3]}), sim, model,
+      opt);
+  EXPECT_NEAR(prof.speed_of(Arch::kAlpha533), 1.0, 1e-6);
+  EXPECT_NEAR(prof.speed_of(Arch::kIntelPII400),
+              effective_speed(Arch::kIntelPII400, p.mem_intensity), 1e-6);
+  EXPECT_NEAR(prof.speed_of(Arch::kSparc500),
+              effective_speed(Arch::kSparc500, p.mem_intensity), 1e-6);
+}
+
+TEST(Profiler, ComputationFractionSensible) {
+  const ClusterTopology topo = make_flat(8);
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  ProfilerOptions opt;
+  opt.net.jitter_sigma = 0.0;
+
+  const AppProfile ep = profile_application(
+      make_npb_ep(8, NpbClass::kS), identity_mapping(8), sim, model, opt);
+  EXPECT_GT(ep.computation_fraction(), 0.95);
+}
+
+TEST(Profiler, TotalGroupsCountsComplexity) {
+  AppProfile prof;
+  prof.procs.resize(2);
+  prof.procs[0].recv_groups.push_back({RankId{std::size_t{1}}, 8, 1});
+  prof.procs[0].send_groups.push_back({RankId{std::size_t{1}}, 8, 1});
+  prof.procs[1].recv_groups.push_back({RankId{std::size_t{0}}, 8, 1});
+  EXPECT_EQ(prof.total_groups(), 3u);
+}
+
+// ------------------------------------------------------- serialization -----
+
+TEST(Serialize, RoundTripsRealProfile) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  ProfilerOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  const AppProfile original = profile_application(
+      make_npb_lu(4, NpbClass::kS), Mapping::round_robin(topo, 4), sim, model,
+      opt);
+
+  std::stringstream buffer;
+  save_profile(original, buffer);
+  const AppProfile loaded = load_profile(buffer);
+
+  EXPECT_EQ(loaded.app_name, original.app_name);
+  EXPECT_EQ(loaded.phase, original.phase);
+  EXPECT_EQ(loaded.profiling_mapping, original.profiling_mapping);
+  EXPECT_EQ(loaded.arch_speed, original.arch_speed);
+  ASSERT_EQ(loaded.nranks(), original.nranks());
+  for (std::size_t r = 0; r < loaded.nranks(); ++r) {
+    const ProcessProfile& a = loaded.procs[r];
+    const ProcessProfile& b = original.procs[r];
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.o, b.o);
+    EXPECT_DOUBLE_EQ(a.b, b.b);
+    EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+    EXPECT_EQ(a.profiled_arch, b.profiled_arch);
+    ASSERT_EQ(a.recv_groups.size(), b.recv_groups.size());
+    for (std::size_t g = 0; g < a.recv_groups.size(); ++g) {
+      EXPECT_EQ(a.recv_groups[g].peer, b.recv_groups[g].peer);
+      EXPECT_EQ(a.recv_groups[g].size, b.recv_groups[g].size);
+      EXPECT_EQ(a.recv_groups[g].count, b.recv_groups[g].count);
+    }
+    ASSERT_EQ(a.send_groups.size(), b.send_groups.size());
+  }
+}
+
+TEST(Serialize, LoadedProfilePredictsIdentically) {
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  ProfilerOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  const AppProfile original = profile_application(
+      make_npb_lu(4, NpbClass::kS), Mapping::round_robin(topo, 4), sim, model,
+      opt);
+  std::stringstream buffer;
+  save_profile(original, buffer);
+  const AppProfile loaded = load_profile(buffer);
+
+  const Seconds t1 = theta_no_load(original.procs[1], RankId{std::size_t{1}},
+                                   Mapping(original.profiling_mapping), model);
+  const Seconds t2 = theta_no_load(loaded.procs[1], RankId{std::size_t{1}},
+                                   Mapping(loaded.profiling_mapping), model);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(Serialize, EscapesNameWithSpaces) {
+  AppProfile prof;
+  prof.app_name = "my app v2\nline";
+  prof.procs.resize(1);
+  std::stringstream buffer;
+  save_profile(prof, buffer);
+  EXPECT_EQ(load_profile(buffer).app_name, "my app v2\nline");
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream garbage("not a profile at all");
+  EXPECT_THROW(load_profile(garbage), ContractError);
+  std::stringstream wrong_version("cbes-profile 999\nname x\n");
+  EXPECT_THROW(load_profile(wrong_version), ContractError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  AppProfile prof;
+  prof.app_name = "filecheck";
+  prof.procs.resize(2);
+  prof.procs[0].x = 3.5;
+  prof.procs[0].recv_groups.push_back({RankId{std::size_t{1}}, 256, 7});
+  prof.profiling_mapping = {NodeId{0}, NodeId{1}};
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cbes_profile_test.prof")
+          .string();
+  save_profile_file(prof, path);
+  const AppProfile loaded = load_profile_file(path);
+  EXPECT_EQ(loaded.procs[0].recv_groups[0].count, 7u);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_profile_file(path), ContractError);
+}
+
+TEST(Profiler, RejectsMismatchedMapping) {
+  const ClusterTopology topo = make_flat(4);
+  const LatencyModel model = calibrate(topo, SimNetConfig{.jitter_sigma = 0},
+                                       fast_cal());
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 4, 0.0);
+  b.compute_all(0.1);
+  ProfilerOptions opt;
+  EXPECT_THROW(profile_application(std::move(b).build(), identity_mapping(2),
+                                   sim, model, opt),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace cbes

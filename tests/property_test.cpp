@@ -1,0 +1,297 @@
+// Cross-module property tests: invariants that must hold for EVERY
+// application in the registry and across the mapping/topology space, checked
+// with parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include "apps/npb.h"
+#include "apps/registry.h"
+#include "apps/synthetic.h"
+#include "common/check.h"
+#include "core/evaluator.h"
+#include "netmodel/calibrate.h"
+#include "profile/profiler.h"
+#include "sched/annealing.h"
+#include "sched/pool.h"
+#include "simmpi/simulator.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+/// Shared expensive fixtures: one Orange Grove topology + calibrated model.
+struct World {
+  ClusterTopology topo = make_orange_grove();
+  LatencyModel model = [this] {
+    CalibrationOptions opt;
+    opt.repeats = 3;
+    return calibrate(topo, SimNetConfig{}, opt);
+  }();
+  MpiSimulator sim{topo};
+  NoLoad idle;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+Mapping intel_mapping(const ClusterTopology& topo, std::size_t n,
+                      std::uint64_t seed) {
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  Rng rng(seed);
+  const auto picks = rng.sample_indices(intels.size(), n);
+  std::vector<NodeId> nodes;
+  for (std::size_t p : picks) nodes.push_back(intels[p]);
+  return Mapping(std::move(nodes));
+}
+
+// ------------------------------------------------ per-application sweeps ---
+
+class EveryApp : public ::testing::TestWithParam<const AppSpec*> {};
+
+TEST_P(EveryApp, SimulationInvariants) {
+  World& w = world();
+  const Program p = GetParam()->make(8);
+  const Mapping m = intel_mapping(w.topo, 8, 0xE1);
+  SimOptions opt;
+  opt.seed = 11;
+  const RunResult r = w.sim.run(p, m, w.idle, opt);
+
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_EQ(r.messages, p.total_messages());
+  Seconds total_x = 0.0;
+  for (const RankStats& s : r.ranks) {
+    EXPECT_GE(s.x, 0.0);
+    EXPECT_GE(s.o, 0.0);
+    EXPECT_GE(s.b, 0.0);
+    // A rank cannot be busy/waiting longer than it exists.
+    EXPECT_LE(s.x + s.o + s.b, s.finish + 1e-9);
+    EXPECT_LE(s.finish, r.makespan + 1e-9);
+    total_x += s.x;
+  }
+  // All compute executed on one architecture: X totals the reference work
+  // scaled by that architecture's speed for this code.
+  const double speed =
+      effective_speed(Arch::kIntelPII400, p.mem_intensity);
+  EXPECT_NEAR(total_x, p.total_compute_ref() / speed,
+              1e-6 * total_x + 1e-9);
+}
+
+TEST_P(EveryApp, SimulationIsDeterministicPerSeed) {
+  World& w = world();
+  const Program p = GetParam()->make(8);
+  const Mapping m = intel_mapping(w.topo, 8, 0xE2);
+  SimOptions opt;
+  opt.seed = 21;
+  const double a = w.sim.run(p, m, w.idle, opt).makespan;
+  const double b = w.sim.run(p, m, w.idle, opt).makespan;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_P(EveryApp, SelfPredictionIsConsistent) {
+  // Profile on a mapping, predict for the SAME mapping: the pipeline
+  // (trace -> profile -> lambda -> evaluator) must close on itself to within
+  // jitter and monitor slack.
+  World& w = world();
+  const Program p = GetParam()->make(8);
+  const Mapping m = intel_mapping(w.topo, 8, 0xE3);
+  ProfilerOptions popt;
+  popt.seed = 0xE3;
+  const AppProfile profile =
+      profile_application(p, m, w.sim, w.model, popt);
+  const MappingEvaluator ev(w.model);
+  const Seconds predicted =
+      ev.evaluate(profile, m, LoadSnapshot::idle(w.topo.node_count()));
+  SimOptions opt;
+  opt.seed = 31;
+  const Seconds measured = w.sim.run(p, m, w.idle, opt).makespan;
+  EXPECT_NEAR(predicted, measured, 0.06 * measured)
+      << GetParam()->name << ": predicted " << predicted << " measured "
+      << measured;
+}
+
+TEST_P(EveryApp, LoadNeverSpeedsExecutionUp) {
+  World& w = world();
+  const Program p = GetParam()->make(8);
+  const Mapping m = intel_mapping(w.topo, 8, 0xE4);
+  SimOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  opt.seed = 41;
+  const double idle_time = w.sim.run(p, m, w.idle, opt).makespan;
+  ScriptedLoad loaded;
+  loaded.add({m.node_of(RankId{std::size_t{0}}), 0.0, kNever, 0.3, 0.0});
+  const double loaded_time = w.sim.run(p, m, loaded, opt).makespan;
+  EXPECT_GE(loaded_time, idle_time - 1e-9);
+}
+
+std::vector<const AppSpec*> cheap_apps() {
+  // Exclude the largest problem sizes to keep the sweep quick.
+  std::vector<const AppSpec*> specs;
+  for (const AppSpec& s : app_registry()) {
+    if (s.name == "hpl.10000" || s.name == "lu.B" || s.name == "sp.B" ||
+        s.name == "bt.B" || s.name == "mg.B" || s.name == "ep.B") {
+      continue;
+    }
+    specs.push_back(&s);
+  }
+  return specs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EveryApp, ::testing::ValuesIn(cheap_apps()),
+    [](const ::testing::TestParamInfo<const AppSpec*>& info) {
+      std::string name = info.param->name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+// ------------------------------------------------- latency-model sweeps ----
+
+class PairSample : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairSample, NoLoadLatencyIsMonotonicInSize) {
+  World& w = world();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const NodeId a{rng.index(w.topo.node_count())};
+  NodeId b{rng.index(w.topo.node_count())};
+  while (b == a) b = NodeId{rng.index(w.topo.node_count())};
+  Seconds prev = 0.0;
+  for (Bytes size : {Bytes{0}, Bytes{64}, Bytes{4096}, Bytes{262144},
+                     Bytes{4194304}}) {
+    const Seconds l = w.model.no_load(a, b, size);
+    EXPECT_GE(l, prev);
+    prev = l;
+  }
+}
+
+TEST_P(PairSample, LatencyIsSymmetricAcrossDirection) {
+  // Path classes are direction-independent by construction.
+  World& w = world();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const NodeId a{rng.index(w.topo.node_count())};
+  NodeId b{rng.index(w.topo.node_count())};
+  while (b == a) b = NodeId{rng.index(w.topo.node_count())};
+  EXPECT_DOUBLE_EQ(w.model.no_load(a, b, 8192), w.model.no_load(b, a, 8192));
+}
+
+TEST_P(PairSample, LoadNeverLowersCurrentLatency) {
+  World& w = world();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  const NodeId a{rng.index(w.topo.node_count())};
+  NodeId b{rng.index(w.topo.node_count())};
+  while (b == a) b = NodeId{rng.index(w.topo.node_count())};
+  LoadSnapshot snap = LoadSnapshot::idle(w.topo.node_count());
+  snap.cpu_avail[a.index()] = rng.uniform(0.2, 0.9);
+  snap.nic_util[b.index()] = rng.uniform(0.0, 0.6);
+  EXPECT_GE(w.model.current(a, b, 32768, snap),
+            w.model.no_load(a, b, 32768) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairSample, ::testing::Range(0, 12));
+
+// --------------------------------------------------- evaluator sweeps ------
+
+class MappingSample : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingSample, EvaluateEqualsPredictAndLoadIsMonotone) {
+  World& w = world();
+  static const Program lu = make_npb_lu(8, NpbClass::kS);
+  static const AppProfile profile = [&] {
+    ProfilerOptions popt;
+    return profile_application(lu, intel_mapping(w.topo, 8, 0xCAFE), w.sim,
+                               w.model, popt);
+  }();
+  const MappingEvaluator ev(w.model);
+  const NodePool pool = NodePool::whole_cluster(w.topo).one_per_node();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 0xA0 + 77);
+  const Mapping m = pool.random_mapping(8, rng);
+  LoadSnapshot idle = LoadSnapshot::idle(w.topo.node_count());
+
+  const Prediction pred = ev.predict(profile, m, idle);
+  EXPECT_DOUBLE_EQ(ev.evaluate(profile, m, idle), pred.time);
+  EXPECT_GT(pred.time, 0.0);
+  // Critical process attains the max.
+  Seconds max_total = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    max_total = std::max(max_total, pred.compute[i] + pred.comm[i]);
+  }
+  EXPECT_DOUBLE_EQ(pred.time, max_total);
+
+  // Loading any mapped node can only raise the prediction.
+  LoadSnapshot loaded = idle;
+  loaded.cpu_avail[m.node_of(RankId{rng.index(8)}).index()] = 0.5;
+  EXPECT_GE(ev.evaluate(profile, m, loaded), pred.time - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingSample, ::testing::Range(0, 10));
+
+// --------------------------------------------------- scheduler sweeps ------
+
+class SchedulerSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSeeds, SaNeverWorseThanRandomOnRealCost) {
+  World& w = world();
+  static const Program lu = make_npb_lu(8, NpbClass::kS);
+  static const AppProfile profile = [&] {
+    ProfilerOptions popt;
+    return profile_application(lu, intel_mapping(w.topo, 8, 0xBEEF), w.sim,
+                               w.model, popt);
+  }();
+  const MappingEvaluator ev(w.model);
+  const LoadSnapshot idle = LoadSnapshot::idle(w.topo.node_count());
+  const CbesCost cost(ev, profile, idle);
+  const NodePool pool = NodePool::whole_cluster(w.topo).one_per_node();
+
+  SaParams params;
+  params.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  params.max_evaluations = 8000;
+  SimulatedAnnealingScheduler sa(params);
+  RandomScheduler rs(params.seed);
+  const double sa_cost = sa.schedule(8, pool, cost).cost;
+  const double rs_cost = rs.schedule(8, pool, cost).cost;
+  EXPECT_LE(sa_cost, rs_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerSeeds, ::testing::Range(0, 6));
+
+// ------------------------------------------------- phase-split sweeps ------
+
+class SegmentCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentCounts, PhasedExecutionConservesWork) {
+  World& w = world();
+  SyntheticParams params;
+  params.ranks = 6;
+  params.phases = 24;
+  params.compute_per_phase = 0.05;
+  params.mark_segments = GetParam();
+  const Program p = make_synthetic(params);
+  const auto segments = split_phases(p);
+  EXPECT_EQ(segments.size(), GetParam());
+
+  // Running the segments back to back matches the monolithic run (same
+  // hardware, no jitter, idle cluster).
+  const Mapping m = intel_mapping(w.topo, 6, 0x5E6);
+  SimOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  const double whole = w.sim.run(p, m, w.idle, opt).makespan;
+  Seconds t = 0.0;
+  for (const Program& seg : segments) {
+    SimOptions sopt = opt;
+    sopt.start_time = t;
+    t += w.sim.run(seg, m, w.idle, sopt).makespan;
+  }
+  // Segment boundaries act as global resynchronization points, so the
+  // segmented run can only be slightly slower (pipeline skew resets), never
+  // faster.
+  EXPECT_GE(t, whole - 1e-6);
+  EXPECT_LE(t, whole * 1.02 + 0.12 * static_cast<double>(segments.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SegmentCounts,
+                         ::testing::Values(1, 2, 3, 4, 6, 12));
+
+}  // namespace
+}  // namespace cbes

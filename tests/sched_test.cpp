@@ -1,0 +1,283 @@
+// Unit tests for node pools, cost functions, and the three schedulers
+// (SA = CS/NCS, RS, GA): validity, determinism, and optimization quality.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "netmodel/calibrate.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/genetic.h"
+#include "sched/pool.h"
+#include "sched/scheduler.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+CalibrationOptions fast_cal() {
+  CalibrationOptions opt;
+  opt.repeats = 3;
+  return opt;
+}
+
+SimNetConfig quiet_hw() {
+  SimNetConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  return cfg;
+}
+
+/// Toy objective rewarding low node indices; optimum is nodes {0..n-1}.
+class IndexSumCost final : public CostFunction {
+ public:
+  double operator()(const Mapping& m) const override {
+    ++evaluations_;
+    double sum = 0;
+    for (NodeId n : m.assignment()) sum += static_cast<double>(n.value);
+    return sum;
+  }
+};
+
+// ----------------------------------------------------------------- pool ----
+
+TEST(Pool, SlotsAccounting) {
+  const ClusterTopology topo = make_orange_grove();
+  const NodePool all = NodePool::whole_cluster(topo);
+  EXPECT_EQ(all.size(), 28u);
+  EXPECT_EQ(all.total_slots(), 8u + 8u + 24u);
+  const NodePool intels = NodePool::by_arch(topo, Arch::kIntelPII400);
+  EXPECT_EQ(intels.size(), 12u);
+  EXPECT_EQ(intels.total_slots(), 24u);
+}
+
+TEST(Pool, OnePerNodeCapsSlots) {
+  const ClusterTopology topo = make_orange_grove();
+  const NodePool all = NodePool::whole_cluster(topo);
+  const NodePool capped = all.one_per_node();
+  EXPECT_EQ(capped.total_slots(), 28u);
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  EXPECT_EQ(capped.slots_of(intels[0]), 1);
+  EXPECT_EQ(all.slots_of(intels[0]), 2);
+  Rng rng(3);
+  const Mapping m = capped.random_mapping(20, rng);
+  for (NodeId n : m.assignment()) EXPECT_EQ(m.ranks_on(n), 1u);
+}
+
+TEST(Pool, RejectsDuplicates) {
+  const ClusterTopology topo = make_flat(3);
+  EXPECT_THROW(NodePool(topo, {NodeId{0}, NodeId{0}}), ContractError);
+}
+
+TEST(Pool, RandomMappingIsValid) {
+  const ClusterTopology topo = make_orange_grove();
+  const NodePool pool = NodePool::whole_cluster(topo);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Mapping m = pool.random_mapping(8, rng);
+    EXPECT_TRUE(m.fits(topo));
+    for (NodeId n : m.assignment()) EXPECT_TRUE(pool.contains(n));
+  }
+}
+
+TEST(Pool, RandomMappingUsesDualSlots) {
+  const ClusterTopology topo = make_flat(2, Arch::kIntelPII400, 2);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  Rng rng(7);
+  const Mapping m = pool.random_mapping(4, rng);
+  EXPECT_TRUE(m.fits(topo));
+  EXPECT_EQ(m.ranks_on(NodeId{0}), 2u);
+  EXPECT_EQ(m.ranks_on(NodeId{1}), 2u);
+}
+
+TEST(Pool, RandomMappingRejectsOverflow) {
+  const ClusterTopology topo = make_flat(2);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  Rng rng(1);
+  EXPECT_THROW(pool.random_mapping(3, rng), ContractError);
+}
+
+TEST(Pool, RandomMappingCoversPool) {
+  const ClusterTopology topo = make_flat(6);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  Rng rng(11);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 100; ++i) {
+    const Mapping m = pool.random_mapping(2, rng);
+    for (NodeId n : m.assignment()) seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+// ------------------------------------------------------------ annealing ----
+
+TEST(Annealing, FindsToyOptimum) {
+  const ClusterTopology topo = make_flat(12);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  SaParams params;
+  params.seed = 3;
+  SimulatedAnnealingScheduler sa(params);
+  IndexSumCost cost;
+  const ScheduleResult result = sa.schedule(4, pool, cost);
+  // Optimum: ranks on nodes {0,1,2,3}, cost 6.
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_TRUE(result.mapping.fits(topo));
+  EXPECT_GT(result.evaluations, 100u);
+}
+
+TEST(Annealing, DeterministicPerSeed) {
+  const ClusterTopology topo = make_flat(10);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  SaParams params;
+  params.seed = 42;
+  SimulatedAnnealingScheduler a(params), b(params);
+  IndexSumCost cost;
+  EXPECT_EQ(a.schedule(3, pool, cost).mapping.assignment(),
+            b.schedule(3, pool, cost).mapping.assignment());
+}
+
+TEST(Annealing, RespectsEvaluationBudget) {
+  const ClusterTopology topo = make_flat(10);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  SaParams params;
+  params.max_evaluations = 200;
+  SimulatedAnnealingScheduler sa(params);
+  IndexSumCost cost;
+  const ScheduleResult result = sa.schedule(3, pool, cost);
+  EXPECT_LE(result.evaluations, 200u);
+  EXPECT_EQ(result.evaluations, cost.evaluations());
+}
+
+TEST(Annealing, HandlesFullyPackedPool) {
+  // nranks == total slots: only swap moves are possible.
+  const ClusterTopology topo = make_flat(4);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  SaParams params;
+  params.seed = 9;
+  SimulatedAnnealingScheduler sa(params);
+  IndexSumCost cost;
+  const ScheduleResult result = sa.schedule(4, pool, cost);
+  EXPECT_TRUE(result.mapping.fits(topo));
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);  // all placements equivalent here
+}
+
+TEST(Annealing, SingleRank) {
+  const ClusterTopology topo = make_flat(5);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  SaParams params;
+  params.seed = 13;
+  SimulatedAnnealingScheduler sa(params);
+  IndexSumCost cost;
+  const ScheduleResult result = sa.schedule(1, pool, cost);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);  // best single node is node 0
+}
+
+TEST(Annealing, RejectsBadParams) {
+  SaParams params;
+  params.cooling = 1.5;
+  EXPECT_THROW(SimulatedAnnealingScheduler{params}, ContractError);
+}
+
+// -------------------------------------------------------------- genetic ----
+
+TEST(Genetic, FindsToyOptimum) {
+  const ClusterTopology topo = make_flat(12);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  GaParams params;
+  params.seed = 5;
+  GeneticScheduler ga(params);
+  IndexSumCost cost;
+  const ScheduleResult result = ga.schedule(4, pool, cost);
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_TRUE(result.mapping.fits(topo));
+}
+
+TEST(Genetic, OffspringAlwaysValid) {
+  const ClusterTopology topo = make_flat(3, Arch::kIntelPII400, 2);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  GaParams params;
+  params.generations = 10;
+  params.seed = 17;
+  GeneticScheduler ga(params);
+  IndexSumCost cost;
+  const ScheduleResult result = ga.schedule(5, pool, cost);
+  EXPECT_TRUE(result.mapping.fits(topo));
+}
+
+TEST(Genetic, DeterministicPerSeed) {
+  const ClusterTopology topo = make_flat(8);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  GaParams params;
+  params.seed = 23;
+  GeneticScheduler a(params), b(params);
+  IndexSumCost cost;
+  EXPECT_EQ(a.schedule(3, pool, cost).mapping.assignment(),
+            b.schedule(3, pool, cost).mapping.assignment());
+}
+
+// --------------------------------------------------------------- random ----
+
+TEST(Random, ProducesValidMappings) {
+  const ClusterTopology topo = make_orange_grove();
+  const NodePool pool = NodePool::whole_cluster(topo);
+  RandomScheduler rs(31);
+  IndexSumCost cost;
+  for (int i = 0; i < 20; ++i) {
+    const ScheduleResult result = rs.schedule(8, pool, cost);
+    EXPECT_TRUE(result.mapping.fits(topo));
+    EXPECT_EQ(result.evaluations, 1u);
+  }
+}
+
+TEST(Random, IsCheapComparedToSa) {
+  const ClusterTopology topo = make_flat(16);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  RandomScheduler rs(37);
+  SaParams params;
+  SimulatedAnnealingScheduler sa(params);
+  IndexSumCost c1, c2;
+  const auto r_rs = rs.schedule(4, pool, c1);
+  const auto r_sa = sa.schedule(4, pool, c2);
+  EXPECT_LT(r_rs.evaluations, r_sa.evaluations / 10);
+}
+
+// ------------------------------------------------------ CS vs NCS costs ----
+
+TEST(CbesCostFunctions, CsSeesLatencyNcsDoesNot) {
+  // Two same-speed mappings that differ only in connectivity: CS must rank
+  // the co-located one better, NCS must score them identically.
+  const ClusterTopology topo = make_two_switch(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+
+  AppProfile prof;
+  prof.app_name = "t";
+  prof.procs.resize(2);
+  for (auto& p : prof.procs) {
+    p.x = 10.0;
+    p.o = 1.0;
+    p.profiled_arch = Arch::kAlpha533;
+    p.lambda = 1.0;
+  }
+  prof.procs[0].send_groups.push_back({RankId{std::size_t{1}}, 8192, 500});
+  prof.procs[1].recv_groups.push_back({RankId{std::size_t{0}}, 8192, 500});
+  prof.profiling_mapping = {NodeId{0}, NodeId{1}};
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+
+  const LoadSnapshot idle = LoadSnapshot::idle(topo.node_count());
+  const CbesCost cs(ev, prof, idle);
+  const CbesCost ncs(ev, prof, idle, ncs_options());
+
+  const Mapping colocated({NodeId{0}, NodeId{1}});   // same leaf switch
+  const Mapping split({NodeId{0}, NodeId{4}});       // across the core
+
+  EXPECT_LT(cs(colocated), cs(split));
+  EXPECT_DOUBLE_EQ(ncs(colocated), ncs(split));
+  EXPECT_TRUE(cs.predicts_time());
+  EXPECT_FALSE(ncs.predicts_time());
+  EXPECT_EQ(cs.evaluations(), 2u);
+}
+
+}  // namespace
+}  // namespace cbes

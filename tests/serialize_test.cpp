@@ -1,0 +1,214 @@
+// Tests for the persistence layers: the cluster-description format
+// (topology/parser) and execution-trace files (trace/serialize).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "apps/npb.h"
+#include "common/check.h"
+#include "netmodel/calibrate.h"
+#include "simmpi/simulator.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+#include "topology/parser.h"
+#include "trace/serialize.h"
+
+namespace cbes {
+namespace {
+
+constexpr const char* kSample = R"(
+# a small two-rack lab
+cluster my-lab
+switch core
+switch rack1 parent=core bw=100M lat=60us cat=2
+switch rack2 parent=core bw=100M lat=60us cat=2
+node head arch=A cpus=1 switch=core bw=11.8M lat=30us cat=1
+nodes 4 prefix=i arch=I cpus=2 switch=rack1 bw=11.8M lat=30us cat=1
+nodes 2 prefix=s arch=S switch=rack2 bw=11M lat=55us cat=3
+)";
+
+// ------------------------------------------------------ topology parser ----
+
+TEST(TopologyParser, ParsesSample) {
+  const ClusterTopology topo = parse_topology_string(kSample);
+  EXPECT_EQ(topo.name(), "my-lab");
+  EXPECT_EQ(topo.node_count(), 7u);
+  EXPECT_EQ(topo.switch_count(), 3u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kIntelPII400).size(), 4u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kSparc500).size(), 2u);
+  EXPECT_EQ(topo.total_slots(), 1u + 8u + 2u);
+  // head (on core) to i0 (on rack1): 3 links.
+  EXPECT_EQ(topo.hops(NodeId{0}, NodeId{1}), 3u);
+  EXPECT_EQ(topo.node(NodeId{1}).name, "i0");
+  EXPECT_EQ(topo.node(NodeId{1}).cpus, 2);
+}
+
+TEST(TopologyParser, ParsesUnits) {
+  const ClusterTopology topo = parse_topology_string(
+      "cluster u\nswitch sw\n"
+      "node a arch=G switch=sw bw=1.5G lat=2ms\n"
+      "node b arch=G switch=sw bw=500k lat=0.001s\n");
+  EXPECT_DOUBLE_EQ(topo.link(topo.node(NodeId{0}).uplink).bandwidth_bps,
+                   1.5e9);
+  EXPECT_DOUBLE_EQ(topo.link(topo.node(NodeId{0}).uplink).hop_latency, 2e-3);
+  EXPECT_DOUBLE_EQ(topo.link(topo.node(NodeId{1}).uplink).bandwidth_bps,
+                   500e3);
+  EXPECT_DOUBLE_EQ(topo.link(topo.node(NodeId{1}).uplink).hop_latency, 1e-3);
+}
+
+TEST(TopologyParser, RejectsMalformedInput) {
+  // No cluster directive.
+  EXPECT_THROW(parse_topology_string("switch s\n"), ContractError);
+  // Unknown switch reference.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A switch=oops bw=1M "
+                   "lat=1us\n"),
+               ContractError);
+  // Unknown directive.
+  EXPECT_THROW(parse_topology_string("cluster c\nswtich s\n"), ContractError);
+  // Bad architecture code.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=Q switch=s bw=1M "
+                   "lat=1us\n"),
+               ContractError);
+  // Missing attribute.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A switch=s lat=1us\n"),
+               ContractError);
+  // Duplicate switch.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nswitch s parent=s bw=1M lat=1us\n"),
+               ContractError);
+}
+
+TEST(TopologyParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_topology_string("cluster c\nswitch s\nbogus x\n");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TopologyParser, RoundTripsBuiltInClusters) {
+  for (const ClusterTopology* original :
+       {new ClusterTopology(make_orange_grove()),
+        new ClusterTopology(make_centurion())}) {
+    std::stringstream buffer;
+    write_topology(*original, buffer);
+    const ClusterTopology loaded = parse_topology(buffer);
+    EXPECT_EQ(loaded.name(), original->name());
+    ASSERT_EQ(loaded.node_count(), original->node_count());
+    ASSERT_EQ(loaded.switch_count(), original->switch_count());
+    for (std::size_t i = 0; i < loaded.node_count(); ++i) {
+      const Node& a = loaded.node(NodeId{i});
+      const Node& b = original->node(NodeId{i});
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.arch, b.arch);
+      EXPECT_EQ(a.cpus, b.cpus);
+    }
+    // Routing must be identical.
+    for (std::size_t a = 0; a < loaded.node_count(); a += 5) {
+      for (std::size_t b = a + 1; b < loaded.node_count(); b += 7) {
+        EXPECT_EQ(loaded.hops(NodeId{a}, NodeId{b}),
+                  original->hops(NodeId{a}, NodeId{b}));
+        EXPECT_DOUBLE_EQ(loaded.path_latency(NodeId{a}, NodeId{b}),
+                         original->path_latency(NodeId{a}, NodeId{b}));
+        EXPECT_DOUBLE_EQ(loaded.path_bandwidth(NodeId{a}, NodeId{b}),
+                         original->path_bandwidth(NodeId{a}, NodeId{b}));
+      }
+    }
+    delete original;
+  }
+}
+
+TEST(TopologyParser, ParsedClusterIsFullyUsable) {
+  // A parsed cluster must calibrate and simulate like a built-in one.
+  const ClusterTopology topo = parse_topology_string(kSample);
+  CalibrationOptions copt;
+  copt.repeats = 3;
+  const LatencyModel model = calibrate(topo, SimNetConfig{}, copt);
+  EXPECT_GT(model.no_load(NodeId{1}, NodeId{5}, 1024),
+            model.no_load(NodeId{1}, NodeId{2}, 1024));
+
+  MpiSimulator sim(topo);
+  NoLoad idle;
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  const RunResult r = sim.run(p, Mapping({NodeId{1}, NodeId{2}, NodeId{3},
+                                          NodeId{4}}),
+                              idle, SimOptions{});
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+// ---------------------------------------------------------- trace files ----
+
+TEST(TraceSerialize, RoundTripsRealTrace) {
+  const ClusterTopology topo = make_flat(4);
+  MpiSimulator sim(topo);
+  NoLoad idle;
+  SimOptions opt;
+  opt.record_trace = true;
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  auto result = sim.run(p, Mapping::round_robin(topo, 4), idle, opt);
+  const Trace& original = *result.trace;
+
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const Trace loaded = load_trace(buffer);
+
+  EXPECT_EQ(loaded.app_name, original.app_name);
+  EXPECT_DOUBLE_EQ(loaded.makespan, original.makespan);
+  EXPECT_EQ(loaded.max_phase, original.max_phase);
+  EXPECT_EQ(loaded.mapping, original.mapping);
+  ASSERT_EQ(loaded.nranks(), original.nranks());
+  EXPECT_EQ(loaded.total_events(), original.total_events());
+  for (std::size_t r = 0; r < loaded.nranks(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded.ranks[r].finish, original.ranks[r].finish);
+    ASSERT_EQ(loaded.ranks[r].intervals.size(),
+              original.ranks[r].intervals.size());
+    for (std::size_t i = 0; i < loaded.ranks[r].intervals.size(); ++i) {
+      EXPECT_EQ(loaded.ranks[r].intervals[i].kind,
+                original.ranks[r].intervals[i].kind);
+      EXPECT_DOUBLE_EQ(loaded.ranks[r].intervals[i].begin,
+                       original.ranks[r].intervals[i].begin);
+    }
+  }
+}
+
+TEST(TraceSerialize, AppNameWithSpacesSurvives) {
+  Trace trace;
+  trace.app_name = "my app (v2)";
+  trace.ranks.resize(1);
+  trace.mapping = {NodeId{0}};
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  EXPECT_EQ(load_trace(buffer).app_name, "my app (v2)");
+}
+
+TEST(TraceSerialize, RejectsGarbage) {
+  std::stringstream garbage("definitely not a trace");
+  EXPECT_THROW(load_trace(garbage), ContractError);
+}
+
+TEST(TraceSerialize, FileRoundTrip) {
+  Trace trace;
+  trace.app_name = "t";
+  trace.ranks.resize(2);
+  trace.ranks[0].intervals.push_back(
+      TraceInterval{IntervalKind::kBlocked, 1.0, 2.0, 0});
+  trace.ranks[1].messages.push_back(
+      TraceMessage{RankId{std::size_t{0}}, 512, true, 0});
+  trace.mapping = {NodeId{0}, NodeId{1}};
+  const auto path =
+      (std::filesystem::temp_directory_path() / "cbes_trace_test.trc")
+          .string();
+  save_trace_file(trace, path);
+  const Trace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.ranks[0].intervals[0].kind, IntervalKind::kBlocked);
+  EXPECT_TRUE(loaded.ranks[1].messages[0].sent);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cbes

@@ -1,0 +1,415 @@
+// Unit tests for the discrete-event MPI simulator: timing semantics, X/O/B
+// accounting, blocking behaviour, load reactions, determinism, deadlock
+// detection, and tracing.
+#include <gtest/gtest.h>
+
+#include "apps/program.h"
+#include "apps/synthetic.h"
+#include "common/check.h"
+#include "simmpi/simulator.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+SimOptions quiet_sim() {
+  SimOptions opt;
+  opt.net.jitter_sigma = 0.0;
+  return opt;
+}
+
+Mapping identity_mapping(std::size_t n) {
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.emplace_back(i);
+  return Mapping(std::move(nodes));
+}
+
+TEST(Sim, PureComputeTakesReferenceTime) {
+  const ClusterTopology topo = make_flat(1, Arch::kAlpha533);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 1, 0.0);
+  b.compute(RankId{std::size_t{0}}, 2.0);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(1), idle, quiet_sim());
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].x, 2.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].o, 0.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].b, 0.0);
+}
+
+TEST(Sim, ComputeSlowerOnSlowArch) {
+  const ClusterTopology alpha = make_flat(1, Arch::kAlpha533);
+  const ClusterTopology sparc = make_flat(1, Arch::kSparc500);
+  ProgramBuilder b1("t", 1, 0.4), b2("t", 1, 0.4);
+  b1.compute(RankId{std::size_t{0}}, 2.0);
+  b2.compute(RankId{std::size_t{0}}, 2.0);
+  NoLoad idle;
+  MpiSimulator s1(alpha), s2(sparc);
+  const Seconds on_alpha =
+      s1.run(std::move(b1).build(), identity_mapping(1), idle, quiet_sim())
+          .makespan;
+  const Seconds on_sparc =
+      s2.run(std::move(b2).build(), identity_mapping(1), idle, quiet_sim())
+          .makespan;
+  EXPECT_GT(on_sparc, on_alpha * 1.3);
+}
+
+TEST(Sim, BackgroundLoadStretchesCompute) {
+  const ClusterTopology topo = make_flat(1);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 1, 0.0);
+  b.compute(RankId{std::size_t{0}}, 2.0);
+  ScriptedLoad load;
+  load.add({NodeId{0}, 0.0, kNever, 0.5, 0.0});
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(1), load, quiet_sim());
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(Sim, ReceiverBlocksUntilMessageArrives) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  // Rank 0 computes 1s then sends; rank 1 receives immediately.
+  b.compute(RankId{std::size_t{0}}, 1.0);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 1024);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(2), idle, quiet_sim());
+  // Receiver blocked roughly the sender's compute time.
+  EXPECT_NEAR(r.ranks[1].b, 1.0, 0.01);
+  EXPECT_GT(r.ranks[1].o, 0.0);
+  EXPECT_DOUBLE_EQ(r.ranks[1].x, 0.0);
+}
+
+TEST(Sim, EarlySendMeansNoReceiverWait) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  // Rank 0 sends immediately; rank 1 computes 1s before receiving: the
+  // transfer fully overlaps the receiver's computation.
+  b.send(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 1024);
+  b.compute(RankId{std::size_t{1}}, 1.0);
+  b.recv(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 1024);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(2), idle, quiet_sim());
+  EXPECT_NEAR(r.ranks[1].b, 0.0, 1e-9);
+}
+
+TEST(Sim, SenderNeverBlocks) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  // Eager sends: rank 0 fires 10 sends before rank 1 posts any receive.
+  for (int i = 0; i < 10; ++i)
+    b.send(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 4096);
+  b.compute(RankId{std::size_t{1}}, 5.0);
+  for (int i = 0; i < 10; ++i)
+    b.recv(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 4096);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(2), idle, quiet_sim());
+  EXPECT_DOUBLE_EQ(r.ranks[0].b, 0.0);
+  EXPECT_NEAR(r.ranks[1].b, 0.0, 1e-6);  // all arrived during its compute
+}
+
+TEST(Sim, FifoPerChannel) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  b.send(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 100);
+  b.send(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 200000);
+  b.recv(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 100);
+  b.recv(RankId{std::size_t{1}}, RankId{std::size_t{0}}, 200000);
+  NoLoad idle;
+  // Must not deadlock and must account both messages.
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(2), idle, quiet_sim());
+  EXPECT_EQ(r.messages, 2u);
+}
+
+TEST(Sim, IntraNodeMessagesAreCheap) {
+  const ClusterTopology dual = make_flat(1, Arch::kIntelPII400, 2);
+  const ClusterTopology pair = make_flat(2, Arch::kIntelPII400, 1);
+  ProgramBuilder b1("t", 2, 0.0), b2("t", 2, 0.0);
+  for (auto* b : {&b1, &b2}) {
+    for (int i = 0; i < 50; ++i)
+      b->message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 8192);
+  }
+  NoLoad idle;
+  MpiSimulator s1(dual), s2(pair);
+  const Seconds shared =
+      s1.run(std::move(b1).build(), Mapping({NodeId{0}, NodeId{0}}), idle,
+             quiet_sim())
+          .makespan;
+  const Seconds networked =
+      s2.run(std::move(b2).build(), identity_mapping(2), idle, quiet_sim())
+          .makespan;
+  EXPECT_LT(shared, networked);
+}
+
+TEST(Sim, DeterministicForSameSeed) {
+  const ClusterTopology topo = make_two_switch(4);
+  MpiSimulator sim(topo);
+  SyntheticParams params;
+  params.ranks = 8;
+  params.phases = 5;
+  const Program p = make_synthetic(params);
+  NoLoad idle;
+  SimOptions opt;  // jitter on
+  opt.seed = 123;
+  const RunResult a = sim.run(p, identity_mapping(8), idle, opt);
+  const RunResult b = sim.run(p, identity_mapping(8), idle, opt);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  opt.seed = 124;
+  const RunResult c = sim.run(p, identity_mapping(8), idle, opt);
+  EXPECT_NE(a.makespan, c.makespan);
+}
+
+TEST(Sim, DetectsDeadlock) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  Program p;
+  p.name = "deadlock";
+  p.ranks.resize(2);
+  // Both ranks receive first; nobody ever sends.
+  Op recv0;
+  recv0.kind = OpKind::kRecv;
+  recv0.peer = RankId{std::size_t{1}};
+  recv0.size = 8;
+  Op recv1 = recv0;
+  recv1.peer = RankId{std::size_t{0}};
+  p.ranks[0].ops.push_back(recv0);
+  p.ranks[1].ops.push_back(recv1);
+  NoLoad idle;
+  EXPECT_THROW(sim.run(p, identity_mapping(2), idle, quiet_sim()),
+               ContractError);
+}
+
+TEST(Sim, DetectsUnreceivedMessages) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  Program p;
+  p.name = "leak";
+  p.ranks.resize(2);
+  Op send;
+  send.kind = OpKind::kSend;
+  send.peer = RankId{std::size_t{1}};
+  send.size = 8;
+  p.ranks[0].ops.push_back(send);
+  NoLoad idle;
+  EXPECT_THROW(sim.run(p, identity_mapping(2), idle, quiet_sim()),
+               ContractError);
+}
+
+TEST(Sim, RejectsOverfullMapping) {
+  const ClusterTopology topo = make_flat(2, Arch::kGeneric, 1);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  b.compute_all(1.0);
+  NoLoad idle;
+  EXPECT_THROW(sim.run(std::move(b).build(), Mapping({NodeId{0}, NodeId{0}}),
+                       idle, quiet_sim()),
+               ContractError);
+}
+
+TEST(Sim, TraceRecordsEverything) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("traced", 2, 0.0);
+  b.phase_mark(0);
+  b.compute_all(0.5);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 2048);
+  b.phase_mark(1);
+  b.compute_all(0.1);
+  NoLoad idle;
+  SimOptions opt = quiet_sim();
+  opt.record_trace = true;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(2), idle, opt);
+  ASSERT_TRUE(r.trace.has_value());
+  EXPECT_EQ(r.trace->app_name, "traced");
+  EXPECT_EQ(r.trace->nranks(), 2u);
+  EXPECT_EQ(r.trace->max_phase, 1);
+  EXPECT_DOUBLE_EQ(r.trace->makespan, r.makespan);
+  // Sender recorded one sent message; receiver one received.
+  EXPECT_EQ(r.trace->ranks[0].messages.size(), 1u);
+  EXPECT_TRUE(r.trace->ranks[0].messages[0].sent);
+  EXPECT_FALSE(r.trace->ranks[1].messages[0].sent);
+  // Interval sums match the stats.
+  Seconds x = 0;
+  for (const TraceInterval& iv : r.trace->ranks[0].intervals)
+    if (iv.kind == IntervalKind::kExecuting) x += iv.duration;
+  EXPECT_NEAR(x, r.ranks[0].x, 1e-12);
+}
+
+TEST(Sim, NoTraceByDefault) {
+  const ClusterTopology topo = make_flat(1);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 1, 0.0);
+  b.compute(RankId{std::size_t{0}}, 0.1);
+  NoLoad idle;
+  EXPECT_FALSE(sim.run(std::move(b).build(), identity_mapping(1), idle,
+                       quiet_sim())
+                   .trace.has_value());
+}
+
+TEST(Sim, MakespanIsMaxFinish) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  b.compute(RankId{std::size_t{0}}, 1.0);
+  b.compute(RankId{std::size_t{1}}, 3.0);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(2), idle, quiet_sim());
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].finish, 1.0);
+  EXPECT_DOUBLE_EQ(r.ranks[1].finish, 3.0);
+}
+
+// ------------------------------------------------ edge / fault injection ----
+
+TEST(SimEdge, ZeroByteMessagesTravel) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 0);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), Mapping({NodeId{0}, NodeId{1}}), idle,
+              quiet_sim());
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_GT(r.makespan, 0.0);  // latency is never free
+}
+
+TEST(SimEdge, EmptyProgramFinishesImmediately) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  Program p;
+  p.name = "empty";
+  p.ranks.resize(2);
+  NoLoad idle;
+  const RunResult r =
+      sim.run(p, Mapping({NodeId{0}, NodeId{1}}), idle, quiet_sim());
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(SimEdge, SurvivesSwampedNode) {
+  // Availability floors at 2%: a fully-swamped node is 50x slower but the
+  // run still terminates with the right scaling.
+  const ClusterTopology topo = make_flat(1);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 1, 0.0);
+  b.compute(RankId{std::size_t{0}}, 1.0);
+  ScriptedLoad swamp;
+  swamp.add({NodeId{0}, 0.0, kNever, 0.99, 0.0});
+  swamp.add({NodeId{0}, 0.0, kNever, 0.99, 0.0});
+  const RunResult r =
+      sim.run(std::move(b).build(), Mapping({NodeId{0}}), swamp, quiet_sim());
+  EXPECT_DOUBLE_EQ(r.makespan, 50.0);
+}
+
+TEST(SimEdge, NearSaturatedNicStillDelivers) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 2, 0.0);
+  b.message(RankId{std::size_t{0}}, RankId{std::size_t{1}}, 128 * 1024);
+  ScriptedLoad busy;
+  busy.add({NodeId{0}, 0.0, kNever, 0.0, 0.9});
+  const RunResult r =
+      sim.run(std::move(b).build(), Mapping({NodeId{0}, NodeId{1}}), busy,
+              quiet_sim());
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_LT(r.makespan, 5.0);  // slow, but bounded
+}
+
+TEST(SimEdge, RejectsPeerOutsideProgram) {
+  const ClusterTopology topo = make_flat(2);
+  MpiSimulator sim(topo);
+  Program p;
+  p.name = "rogue";
+  p.ranks.resize(2);
+  Op send;
+  send.kind = OpKind::kSend;
+  send.peer = RankId{std::size_t{7}};  // no rank 7 in the mapping
+  send.size = 8;
+  p.ranks[0].ops.push_back(send);
+  NoLoad idle;
+  EXPECT_THROW(sim.run(p, Mapping({NodeId{0}, NodeId{1}}), idle, quiet_sim()),
+               ContractError);
+}
+
+TEST(SimEdge, InterleavedChannelsStayFifo) {
+  // Two channels into one rank, messages of alternating sizes: every receive
+  // must match its channel's send order, so the sizes line up and the drain
+  // check passes.
+  const ClusterTopology topo = make_flat(3);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 3, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    b.send(RankId{std::size_t{0}}, RankId{std::size_t{2}},
+           static_cast<Bytes>(100 + i));
+    b.send(RankId{std::size_t{1}}, RankId{std::size_t{2}},
+           static_cast<Bytes>(50000 + i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    b.recv(RankId{std::size_t{2}}, RankId{std::size_t{1}},
+           static_cast<Bytes>(50000 + i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    b.recv(RankId{std::size_t{2}}, RankId{std::size_t{0}},
+           static_cast<Bytes>(100 + i));
+  }
+  NoLoad idle;
+  const RunResult r = sim.run(std::move(b).build(),
+                              Mapping({NodeId{0}, NodeId{1}, NodeId{2}}),
+                              idle, quiet_sim());
+  EXPECT_EQ(r.messages, 40u);
+}
+
+TEST(SimEdge, ManyRanksOnManySwitches) {
+  // Full-cluster stress: an allreduce across all 128 Centurion nodes.
+  const ClusterTopology topo = make_centurion();
+  MpiSimulator sim(topo);
+  ProgramBuilder b("t", 128, 0.1);
+  b.compute_all(0.01);
+  b.allreduce(1024);
+  NoLoad idle;
+  const RunResult r = sim.run(std::move(b).build(),
+                              Mapping::round_robin(topo, 128), idle,
+                              quiet_sim());
+  EXPECT_EQ(r.messages, 2u * 127u);
+  EXPECT_GT(r.makespan, 0.01);
+  EXPECT_LT(r.makespan, 1.0);
+}
+
+TEST(Sim, WavefrontPipelines) {
+  // A 1x4 pipeline: with many blocks the makespan approaches serial compute
+  // per rank plus fill, far below blocks x stages.
+  const ClusterTopology topo = make_flat(4);
+  MpiSimulator sim(topo);
+  ProgramBuilder b("pipe", 4, 0.0);
+  constexpr int kBlocks = 20;
+  constexpr Seconds kBlockWork = 0.05;
+  for (int blk = 0; blk < kBlocks; ++blk) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      if (r > 0) b.recv(RankId{r}, RankId{r - 1}, 1024);
+      b.compute(RankId{r}, kBlockWork);
+      if (r < 3) b.send(RankId{r}, RankId{r + 1}, 1024);
+    }
+  }
+  NoLoad idle;
+  const RunResult r =
+      sim.run(std::move(b).build(), identity_mapping(4), idle, quiet_sim());
+  const Seconds serial = kBlocks * kBlockWork;          // one rank's work
+  const Seconds fill = 3 * kBlockWork;                  // pipeline fill
+  EXPECT_GT(r.makespan, serial);
+  EXPECT_LT(r.makespan, serial + fill + 0.2);
+}
+
+}  // namespace
+}  // namespace cbes

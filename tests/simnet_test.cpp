@@ -1,0 +1,236 @@
+// Unit tests for the ground-truth network/machine simulator: transfer timing
+// structure, load effects, contention queuing, jitter, and compute scaling.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "simnet/load.h"
+#include "simnet/network.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+SimNetConfig quiet_config() {
+  SimNetConfig cfg;
+  cfg.jitter_sigma = 0.0;  // deterministic for structural assertions
+  return cfg;
+}
+
+// ---------------------------------------------------------------- load -----
+
+TEST(ScriptedLoad, IdleOutsideEpisodes) {
+  ScriptedLoad load;
+  load.add({NodeId{0}, 10.0, 20.0, 0.5, 0.2});
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{0}, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{0}, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{1}, 15.0), 1.0);
+}
+
+TEST(ScriptedLoad, AppliesDuringEpisode) {
+  ScriptedLoad load;
+  load.add({NodeId{0}, 10.0, 20.0, 0.3, 0.2});
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{0}, 15.0), 0.7);
+  EXPECT_DOUBLE_EQ(load.nic_util(NodeId{0}, 15.0), 0.2);
+}
+
+TEST(ScriptedLoad, EpisodesStack) {
+  ScriptedLoad load;
+  load.add({NodeId{0}, 0.0, 100.0, 0.4, 0.0});
+  load.add({NodeId{0}, 50.0, 100.0, 0.4, 0.0});
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{0}, 25.0), 0.6);
+  EXPECT_NEAR(load.cpu_avail(NodeId{0}, 75.0), 0.2, 1e-12);
+}
+
+TEST(ScriptedLoad, AvailabilityFloors) {
+  ScriptedLoad load;
+  load.add({NodeId{0}, 0.0, 10.0, 0.6, 0.0});
+  load.add({NodeId{0}, 0.0, 10.0, 0.6, 0.0});
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{0}, 5.0), 0.02);
+}
+
+TEST(ScriptedLoad, RejectsBadEpisodes) {
+  ScriptedLoad load;
+  EXPECT_THROW(load.add({NodeId{}, 0.0, 1.0, 0.1, 0.0}), ContractError);
+  EXPECT_THROW(load.add({NodeId{0}, 0.0, 1.0, 1.5, 0.0}), ContractError);
+  EXPECT_THROW(load.add({NodeId{0}, 5.0, 5.0, 0.1, 0.0}), ContractError);
+}
+
+// ------------------------------------------------------------ transfer -----
+
+TEST(Transfer, LatencyGrowsWithSize) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  const auto small = net.transfer(0.0, NodeId{0}, NodeId{1}, 64, idle);
+  net.reset();
+  const auto big = net.transfer(0.0, NodeId{0}, NodeId{1}, 64 * 1024, idle);
+  EXPECT_GT(big.arrival, small.arrival);
+  EXPECT_GT(big.sender_cpu, small.sender_cpu);
+}
+
+TEST(Transfer, LatencyIsAffineInSizeWithoutJitter) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetConfig cfg = quiet_config();
+  cfg.contention = false;
+  SimNetwork net(topo, cfg, 1);
+  NoLoad idle;
+  auto one_way = [&](Bytes s) {
+    const auto r = net.transfer(0.0, NodeId{0}, NodeId{1}, s, idle);
+    return r.arrival + r.receiver_cpu;
+  };
+  const double l1 = one_way(1000);
+  const double l2 = one_way(2000);
+  const double l3 = one_way(3000);
+  EXPECT_NEAR(l3 - l2, l2 - l1, 1e-12);
+}
+
+TEST(Transfer, MoreHopsMoreLatency) {
+  const ClusterTopology topo = make_two_switch(2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  const auto same = net.transfer(0.0, NodeId{0}, NodeId{1}, 1024, idle);
+  net.reset();
+  const auto cross = net.transfer(0.0, NodeId{0}, NodeId{2}, 1024, idle);
+  EXPECT_GT(cross.arrival, same.arrival);
+}
+
+TEST(Transfer, FederationLinkSlowsLargeMessages) {
+  const ClusterTopology topo = make_orange_grove();
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  const auto east = net.transfer(0.0, alphas[0], alphas[1], 256 * 1024, idle);
+  net.reset();
+  const auto cross = net.transfer(0.0, alphas[0], sparcs[0], 256 * 1024, idle);
+  // Bottleneck bandwidth ratio is ~2x; cut-through keeps it visible.
+  EXPECT_GT(cross.arrival, east.arrival * 1.5);
+}
+
+TEST(Transfer, CpuLoadInflatesEndpointOverheads) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  ScriptedLoad loaded;
+  loaded.add({NodeId{0}, 0.0, kNever, 0.5, 0.0});
+  const auto fast = net.transfer(0.0, NodeId{0}, NodeId{1}, 1024, idle);
+  net.reset();
+  const auto slow = net.transfer(0.0, NodeId{0}, NodeId{1}, 1024, loaded);
+  EXPECT_NEAR(slow.sender_cpu, fast.sender_cpu * 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(slow.receiver_cpu, fast.receiver_cpu);  // dst is idle
+}
+
+TEST(Transfer, NicLoadInflatesSerialization) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  ScriptedLoad loaded;
+  loaded.add({NodeId{0}, 0.0, kNever, 0.0, 0.5});
+  const auto fast = net.transfer(0.0, NodeId{0}, NodeId{1}, 512 * 1024, idle);
+  net.reset();
+  const auto slow = net.transfer(0.0, NodeId{0}, NodeId{1}, 512 * 1024, loaded);
+  EXPECT_GT(slow.arrival, fast.arrival * 1.5);
+}
+
+TEST(Transfer, ContentionQueuesConcurrentTransfers) {
+  const ClusterTopology topo = make_flat(3);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  // Two large messages into the same destination link back to back.
+  const auto first = net.transfer(0.0, NodeId{0}, NodeId{2}, 1024 * 1024, idle);
+  const auto second = net.transfer(0.0, NodeId{1}, NodeId{2}, 1024 * 1024, idle);
+  EXPECT_GT(second.arrival, first.arrival);
+}
+
+TEST(Transfer, NoContentionModeIsStateless) {
+  const ClusterTopology topo = make_flat(3);
+  SimNetConfig cfg = quiet_config();
+  cfg.contention = false;
+  SimNetwork net(topo, cfg, 1);
+  NoLoad idle;
+  const auto first = net.transfer(0.0, NodeId{0}, NodeId{2}, 1024 * 1024, idle);
+  const auto second = net.transfer(0.0, NodeId{1}, NodeId{2}, 1024 * 1024, idle);
+  EXPECT_DOUBLE_EQ(first.arrival, second.arrival);
+}
+
+TEST(Transfer, ResetClearsQueues) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  const auto a = net.transfer(0.0, NodeId{0}, NodeId{1}, 1024 * 1024, idle);
+  net.reset();
+  const auto b = net.transfer(0.0, NodeId{0}, NodeId{1}, 1024 * 1024, idle);
+  EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+}
+
+TEST(Transfer, JitterVariesRepeats) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetConfig cfg;  // default jitter on
+  cfg.contention = false;
+  SimNetwork net(topo, cfg, 7);
+  NoLoad idle;
+  const auto a = net.transfer(0.0, NodeId{0}, NodeId{1}, 4096, idle);
+  const auto b = net.transfer(0.0, NodeId{0}, NodeId{1}, 4096, idle);
+  EXPECT_NE(a.arrival, b.arrival);
+}
+
+TEST(Transfer, ArchitectureScalesStackOverhead) {
+  const ClusterTopology topo = make_orange_grove();
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  const auto from_alpha = net.transfer(0.0, alphas[0], alphas[1], 1024, idle);
+  net.reset();
+  const auto from_sparc = net.transfer(0.0, sparcs[0], sparcs[1], 1024, idle);
+  EXPECT_GT(from_sparc.sender_cpu, from_alpha.sender_cpu);
+}
+
+TEST(Transfer, RejectsLoopback) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  EXPECT_THROW(net.transfer(0.0, NodeId{0}, NodeId{0}, 64, idle),
+               ContractError);
+}
+
+TEST(LocalTransfer, FasterThanNetwork) {
+  const ClusterTopology topo = make_flat(2, Arch::kGeneric, 2);
+  SimNetwork net(topo, quiet_config(), 1);
+  NoLoad idle;
+  const auto local = net.local_transfer(0.0, NodeId{0}, 16 * 1024, idle);
+  const auto remote = net.transfer(0.0, NodeId{0}, NodeId{1}, 16 * 1024, idle);
+  EXPECT_LT(local.arrival + local.receiver_cpu,
+            remote.arrival + remote.receiver_cpu);
+}
+
+// ------------------------------------------------------------- compute -----
+
+TEST(Compute, ScalesWithArchitecture) {
+  const ClusterTopology topo = make_orange_grove();
+  SimNetwork net(topo, quiet_config(), 1);
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  const Seconds on_alpha = net.compute_time(alphas[0], 10.0, 0.4, 1.0);
+  const Seconds on_sparc = net.compute_time(sparcs[0], 10.0, 0.4, 1.0);
+  EXPECT_NEAR(on_alpha, 10.0, 1e-9);  // Alpha is the reference
+  EXPECT_GT(on_sparc, on_alpha * 1.3);
+}
+
+TEST(Compute, ScalesWithAvailability) {
+  const ClusterTopology topo = make_flat(1);
+  SimNetwork net(topo, quiet_config(), 1);
+  const Seconds idle = net.compute_time(NodeId{0}, 10.0, 0.0, 1.0);
+  const Seconds loaded = net.compute_time(NodeId{0}, 10.0, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(loaded, idle * 2.0);
+}
+
+TEST(Compute, RejectsBadInput) {
+  const ClusterTopology topo = make_flat(1);
+  SimNetwork net(topo, quiet_config(), 1);
+  EXPECT_THROW((void)net.compute_time(NodeId{0}, -1.0, 0.0, 1.0), ContractError);
+  EXPECT_THROW((void)net.compute_time(NodeId{0}, 1.0, 0.0, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace cbes

@@ -1,0 +1,265 @@
+// Unit tests for the topology substrate: architecture traits, cluster
+// construction, tree routing, path signatures, the paper clusters, and
+// mappings.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "topology/arch.h"
+#include "topology/builders.h"
+#include "topology/cluster.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+namespace {
+
+// ---------------------------------------------------------------- arch -----
+
+TEST(Arch, AlphaIsReference) {
+  EXPECT_DOUBLE_EQ(traits(Arch::kAlpha533).flops_rate, 1.0);
+  EXPECT_DOUBLE_EQ(traits(Arch::kAlpha533).mem_rate, 1.0);
+}
+
+TEST(Arch, OrderingForPaperCodes) {
+  // For every memory intensity the paper's codes span, Alpha > PII > SPARC.
+  for (double mu : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_GT(effective_speed(Arch::kAlpha533, mu),
+              effective_speed(Arch::kIntelPII400, mu))
+        << "mu=" << mu;
+    EXPECT_GT(effective_speed(Arch::kIntelPII400, mu),
+              effective_speed(Arch::kSparc500, mu))
+        << "mu=" << mu;
+  }
+}
+
+TEST(Arch, EffectiveSpeedBlends) {
+  // mu = 0 gives the flops rate, mu = 1 the memory rate.
+  EXPECT_DOUBLE_EQ(effective_speed(Arch::kIntelPII400, 0.0),
+                   traits(Arch::kIntelPII400).flops_rate);
+  EXPECT_DOUBLE_EQ(effective_speed(Arch::kIntelPII400, 1.0),
+                   traits(Arch::kIntelPII400).mem_rate);
+}
+
+TEST(Arch, EffectiveSpeedClampsMu) {
+  EXPECT_DOUBLE_EQ(effective_speed(Arch::kSparc500, -3.0),
+                   effective_speed(Arch::kSparc500, 0.0));
+  EXPECT_DOUBLE_EQ(effective_speed(Arch::kSparc500, 3.0),
+                   effective_speed(Arch::kSparc500, 1.0));
+}
+
+TEST(Arch, LuLikeRatiosNearPaperZones) {
+  // The Figure 6 zones imply PII ~0.85x and SPARC ~0.67x Alpha for LU.
+  const double mu = 0.40;
+  const double pii = effective_speed(Arch::kIntelPII400, mu) /
+                     effective_speed(Arch::kAlpha533, mu);
+  const double sparc = effective_speed(Arch::kSparc500, mu) /
+                       effective_speed(Arch::kAlpha533, mu);
+  EXPECT_NEAR(pii, 0.85, 0.05);
+  EXPECT_NEAR(sparc, 0.67, 0.05);
+}
+
+TEST(Arch, NamesAndCodes) {
+  EXPECT_EQ(arch_code(Arch::kAlpha533), "A");
+  EXPECT_EQ(arch_code(Arch::kIntelPII400), "I");
+  EXPECT_EQ(arch_code(Arch::kSparc500), "S");
+  EXPECT_EQ(arch_name(Arch::kSparc500), "Sparc500");
+}
+
+TEST(Arch, DualCpuOnIntelOnly) {
+  EXPECT_EQ(traits(Arch::kIntelPII400).default_cpus, 2);
+  EXPECT_EQ(traits(Arch::kAlpha533).default_cpus, 1);
+  EXPECT_EQ(traits(Arch::kSparc500).default_cpus, 1);
+}
+
+// ------------------------------------------------------------- cluster -----
+
+TEST(Cluster, FlatTopologyRouting) {
+  const ClusterTopology topo = make_flat(4);
+  EXPECT_EQ(topo.node_count(), 4u);
+  EXPECT_EQ(topo.switch_count(), 1u);
+  // Same-switch path: node->switch->node, two links.
+  EXPECT_EQ(topo.hops(NodeId{0}, NodeId{1}), 2u);
+  EXPECT_TRUE(topo.path(NodeId{2}, NodeId{2}).empty());
+}
+
+TEST(Cluster, TwoSwitchRouting) {
+  const ClusterTopology topo = make_two_switch(3);
+  // Within a leaf: 2 links; across leaves: node, leaf-up, leaf-down, node = 4.
+  EXPECT_EQ(topo.hops(NodeId{0}, NodeId{1}), 2u);
+  EXPECT_EQ(topo.hops(NodeId{0}, NodeId{3}), 4u);
+}
+
+TEST(Cluster, PathIsSymmetricInLength) {
+  const ClusterTopology topo = make_orange_grove();
+  for (std::size_t a = 0; a < topo.node_count(); a += 3) {
+    for (std::size_t b = a + 1; b < topo.node_count(); b += 5) {
+      EXPECT_EQ(topo.hops(NodeId{a}, NodeId{b}), topo.hops(NodeId{b}, NodeId{a}));
+      EXPECT_DOUBLE_EQ(topo.path_latency(NodeId{a}, NodeId{b}),
+                       topo.path_latency(NodeId{b}, NodeId{a}));
+    }
+  }
+}
+
+TEST(Cluster, PathEndpointsAreNodeUplinks) {
+  const ClusterTopology topo = make_two_switch(2);
+  const auto& p = topo.path(NodeId{0}, NodeId{3});
+  EXPECT_EQ(p.front(), topo.node(NodeId{0}).uplink);
+  EXPECT_EQ(p.back(), topo.node(NodeId{3}).uplink);
+}
+
+TEST(Cluster, PathBandwidthIsBottleneck) {
+  const ClusterTopology topo = make_federation(2, 2);
+  // Cross-federation pairs bottleneck on the limited link.
+  const double cross = topo.path_bandwidth(NodeId{0}, NodeId{2});
+  const double local = topo.path_bandwidth(NodeId{0}, NodeId{1});
+  EXPECT_LT(cross, local);
+}
+
+TEST(Cluster, RoutingRequiresFreeze) {
+  ClusterTopology topo("wip");
+  const SwitchId sw = topo.add_root_switch("root");
+  topo.add_node("n0", Arch::kGeneric, 1, sw, 1e6, 1e-6, 1);
+  topo.add_node("n1", Arch::kGeneric, 1, sw, 1e6, 1e-6, 1);
+  EXPECT_THROW((void)topo.path(NodeId{0}, NodeId{1}), ContractError);
+  topo.freeze();
+  EXPECT_EQ(topo.hops(NodeId{0}, NodeId{1}), 2u);
+}
+
+TEST(Cluster, FrozenRejectsMutation) {
+  ClusterTopology topo = make_flat(2);
+  EXPECT_THROW(topo.add_root_switch("again"), ContractError);
+}
+
+TEST(Cluster, RejectsUnknownIds) {
+  const ClusterTopology topo = make_flat(2);
+  EXPECT_THROW((void)topo.node(NodeId{99}), ContractError);
+  EXPECT_THROW((void)topo.node(NodeId{}), ContractError);
+}
+
+TEST(Cluster, SignatureGroupsEquivalentPairs) {
+  const ClusterTopology topo = make_two_switch(2);
+  // (0,1) and (2,3) are both same-leaf pairs.
+  EXPECT_EQ(topo.path_signature(NodeId{0}, NodeId{1}),
+            topo.path_signature(NodeId{2}, NodeId{3}));
+  // Cross-leaf differs from same-leaf.
+  EXPECT_NE(topo.path_signature(NodeId{0}, NodeId{2}),
+            topo.path_signature(NodeId{0}, NodeId{1}));
+  // Signatures are direction-independent.
+  EXPECT_EQ(topo.path_signature(NodeId{0}, NodeId{2}),
+            topo.path_signature(NodeId{2}, NodeId{0}));
+}
+
+TEST(Cluster, SignatureSeparatesArchitectures) {
+  const ClusterTopology topo = make_orange_grove();
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto intels = topo.nodes_with_arch(Arch::kIntelPII400);
+  // Same-switch alpha-alpha differs from same-switch alpha-intel because the
+  // endpoint software overhead differs by architecture.
+  EXPECT_NE(topo.path_signature(alphas[0], alphas[1]),
+            topo.path_signature(alphas[0], intels[0]));
+}
+
+// ---------------------------------------------------- paper topologies -----
+
+TEST(Centurion, Composition) {
+  const ClusterTopology topo = make_centurion();
+  EXPECT_EQ(topo.node_count(), 128u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kAlpha533).size(), 32u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kIntelPII400).size(), 96u);
+  EXPECT_EQ(topo.switch_count(), 9u);  // 8 leaves + gigabit core
+  // Dual PIIs: 32 + 2*96 slots.
+  EXPECT_EQ(topo.total_slots(), 32u + 192u);
+}
+
+TEST(Centurion, MaxFourHops) {
+  const ClusterTopology topo = make_centurion();
+  for (std::size_t a = 0; a < topo.node_count(); a += 7) {
+    for (std::size_t b = a + 1; b < topo.node_count(); b += 11) {
+      EXPECT_LE(topo.hops(NodeId{a}, NodeId{b}), 4u);
+    }
+  }
+}
+
+TEST(OrangeGrove, Composition) {
+  const ClusterTopology topo = make_orange_grove();
+  EXPECT_EQ(topo.node_count(), 28u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kAlpha533).size(), 8u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kSparc500).size(), 8u);
+  EXPECT_EQ(topo.nodes_with_arch(Arch::kIntelPII400).size(), 12u);
+  // Stacked pair counts as one switch: stack, 3com-01, 3com-02, 3com-11,
+  // dlink-10, dlink-12.
+  EXPECT_EQ(topo.switch_count(), 6u);
+}
+
+TEST(OrangeGrove, FederationCrossingIsBottlenecked) {
+  const ClusterTopology topo = make_orange_grove();
+  const auto alphas = topo.nodes_with_arch(Arch::kAlpha533);
+  const auto sparcs = topo.nodes_with_arch(Arch::kSparc500);
+  // Alpha (east) to SPARC (west) crosses the limited federation link.
+  EXPECT_LT(topo.path_bandwidth(alphas[0], sparcs[0]),
+            topo.path_bandwidth(alphas[0], alphas[1]));
+}
+
+TEST(OrangeGrove, AlphasSpreadOverSwitches) {
+  const ClusterTopology topo = make_orange_grove();
+  std::set<SwitchId> leafs;
+  for (NodeId n : topo.nodes_with_arch(Arch::kAlpha533))
+    leafs.insert(topo.node(n).attached);
+  EXPECT_GE(leafs.size(), 2u) << "all-Alpha mappings must differ in latency";
+}
+
+TEST(Federation, ParameterizedShape) {
+  const ClusterTopology topo = make_federation(3, 4);
+  EXPECT_EQ(topo.node_count(), 12u);
+  EXPECT_EQ(topo.switch_count(), 3u);
+}
+
+// ------------------------------------------------------------- mapping -----
+
+TEST(Mapping, FitsRespectsSlots) {
+  const ClusterTopology topo = make_flat(2, Arch::kGeneric, 1);
+  EXPECT_TRUE(Mapping({NodeId{0}, NodeId{1}}).fits(topo));
+  EXPECT_FALSE(Mapping({NodeId{0}, NodeId{0}}).fits(topo));
+  const ClusterTopology dual = make_flat(2, Arch::kGeneric, 2);
+  EXPECT_TRUE(Mapping({NodeId{0}, NodeId{0}}).fits(dual));
+  EXPECT_FALSE(Mapping({NodeId{0}, NodeId{0}, NodeId{0}}).fits(dual));
+}
+
+TEST(Mapping, FitsRejectsUnknownNode) {
+  const ClusterTopology topo = make_flat(2);
+  EXPECT_FALSE(Mapping({NodeId{5}}).fits(topo));
+}
+
+TEST(Mapping, RoundRobinFillsSweepwise) {
+  const ClusterTopology topo = make_orange_grove();
+  const Mapping m = Mapping::round_robin(topo, topo.node_count() + 4);
+  EXPECT_TRUE(m.fits(topo));
+  // First sweep touches each node once before any dual node gets a 2nd rank.
+  for (std::size_t r = 0; r < topo.node_count(); ++r) {
+    EXPECT_EQ(m.node_of(RankId{r}), NodeId{r});
+  }
+}
+
+TEST(Mapping, RoundRobinRejectsOverflow) {
+  const ClusterTopology topo = make_flat(2);
+  EXPECT_THROW(Mapping::round_robin(topo, 3), ContractError);
+}
+
+TEST(Mapping, ReassignAndRanksOn) {
+  Mapping m({NodeId{0}, NodeId{1}, NodeId{0}});
+  EXPECT_EQ(m.ranks_on(NodeId{0}), 2u);
+  m.reassign(RankId{2}, NodeId{1});
+  EXPECT_EQ(m.ranks_on(NodeId{0}), 1u);
+  EXPECT_EQ(m.ranks_on(NodeId{1}), 2u);
+}
+
+TEST(Mapping, DescribeNamesNodes) {
+  const ClusterTopology topo = make_orange_grove();
+  const Mapping m({NodeId{0}});
+  EXPECT_NE(m.describe(topo).find("alpha-0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbes
