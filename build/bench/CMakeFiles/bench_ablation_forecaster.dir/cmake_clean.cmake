@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forecaster.dir/bench_ablation_forecaster.cpp.o"
+  "CMakeFiles/bench_ablation_forecaster.dir/bench_ablation_forecaster.cpp.o.d"
+  "CMakeFiles/bench_ablation_forecaster.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_ablation_forecaster.dir/bench_util.cpp.o.d"
+  "bench_ablation_forecaster"
+  "bench_ablation_forecaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forecaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_load_term.dir/bench_ablation_load_term.cpp.o"
+  "CMakeFiles/bench_ablation_load_term.dir/bench_ablation_load_term.cpp.o.d"
+  "CMakeFiles/bench_ablation_load_term.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_ablation_load_term.dir/bench_util.cpp.o.d"
+  "bench_ablation_load_term"
+  "bench_ablation_load_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_load_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sa_params.dir/bench_ablation_sa_params.cpp.o"
+  "CMakeFiles/bench_ablation_sa_params.dir/bench_ablation_sa_params.cpp.o.d"
+  "CMakeFiles/bench_ablation_sa_params.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_ablation_sa_params.dir/bench_util.cpp.o.d"
+  "bench_ablation_sa_params"
+  "bench_ablation_sa_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sa_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibration_on.dir/bench_calibration_on.cpp.o"
+  "CMakeFiles/bench_calibration_on.dir/bench_calibration_on.cpp.o.d"
+  "CMakeFiles/bench_calibration_on.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_calibration_on.dir/bench_util.cpp.o.d"
+  "bench_calibration_on"
+  "bench_calibration_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lu_zones.dir/bench_fig6_lu_zones.cpp.o"
+  "CMakeFiles/bench_fig6_lu_zones.dir/bench_fig6_lu_zones.cpp.o.d"
+  "CMakeFiles/bench_fig6_lu_zones.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig6_lu_zones.dir/bench_util.cpp.o.d"
+  "bench_fig6_lu_zones"
+  "bench_fig6_lu_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lu_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_lu_zones.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_spread.dir/bench_latency_spread.cpp.o"
+  "CMakeFiles/bench_latency_spread.dir/bench_latency_spread.cpp.o.d"
+  "CMakeFiles/bench_latency_spread.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_latency_spread.dir/bench_util.cpp.o.d"
+  "bench_latency_spread"
+  "bench_latency_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase1_synthetic_sweep.dir/bench_phase1_synthetic_sweep.cpp.o"
+  "CMakeFiles/bench_phase1_synthetic_sweep.dir/bench_phase1_synthetic_sweep.cpp.o.d"
+  "CMakeFiles/bench_phase1_synthetic_sweep.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_phase1_synthetic_sweep.dir/bench_util.cpp.o.d"
+  "bench_phase1_synthetic_sweep"
+  "bench_phase1_synthetic_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase1_synthetic_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

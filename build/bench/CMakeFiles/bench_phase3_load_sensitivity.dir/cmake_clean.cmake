@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase3_load_sensitivity.dir/bench_phase3_load_sensitivity.cpp.o"
+  "CMakeFiles/bench_phase3_load_sensitivity.dir/bench_phase3_load_sensitivity.cpp.o.d"
+  "CMakeFiles/bench_phase3_load_sensitivity.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_phase3_load_sensitivity.dir/bench_util.cpp.o.d"
+  "bench_phase3_load_sensitivity"
+  "bench_phase3_load_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase3_load_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

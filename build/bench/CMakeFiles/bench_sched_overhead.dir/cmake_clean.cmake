@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_overhead.dir/bench_sched_overhead.cpp.o"
+  "CMakeFiles/bench_sched_overhead.dir/bench_sched_overhead.cpp.o.d"
+  "CMakeFiles/bench_sched_overhead.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_sched_overhead.dir/bench_util.cpp.o.d"
+  "bench_sched_overhead"
+  "bench_sched_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

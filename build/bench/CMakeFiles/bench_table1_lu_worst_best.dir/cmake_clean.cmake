@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lu_worst_best.dir/bench_table1_lu_worst_best.cpp.o"
+  "CMakeFiles/bench_table1_lu_worst_best.dir/bench_table1_lu_worst_best.cpp.o.d"
+  "CMakeFiles/bench_table1_lu_worst_best.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table1_lu_worst_best.dir/bench_util.cpp.o.d"
+  "bench_table1_lu_worst_best"
+  "bench_table1_lu_worst_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lu_worst_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_lu_average.cpp" "bench/CMakeFiles/bench_table2_lu_average.dir/bench_table2_lu_average.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_lu_average.dir/bench_table2_lu_average.cpp.o.d"
+  "/root/repo/bench/bench_util.cpp" "bench/CMakeFiles/bench_table2_lu_average.dir/bench_util.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_lu_average.dir/bench_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/cbes_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cbes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cbes_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/cbes_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbes_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cbes_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/cbes_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/cbes_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cbes_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cbes_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_other_worst_best.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_other_average.dir/bench_table4_other_average.cpp.o"
+  "CMakeFiles/bench_table4_other_average.dir/bench_table4_other_average.cpp.o.d"
+  "CMakeFiles/bench_table4_other_average.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table4_other_average.dir/bench_util.cpp.o.d"
+  "bench_table4_other_average"
+  "bench_table4_other_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_other_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

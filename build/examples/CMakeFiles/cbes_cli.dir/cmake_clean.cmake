@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_cli.dir/cbes_cli.cpp.o"
+  "CMakeFiles/cbes_cli.dir/cbes_cli.cpp.o.d"
+  "cbes_cli"
+  "cbes_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

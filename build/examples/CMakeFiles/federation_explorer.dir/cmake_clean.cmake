@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_explorer.dir/federation_explorer.cpp.o"
+  "CMakeFiles/federation_explorer.dir/federation_explorer.cpp.o.d"
+  "federation_explorer"
+  "federation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_on_load.dir/remap_on_load.cpp.o"
+  "CMakeFiles/remap_on_load.dir/remap_on_load.cpp.o.d"
+  "remap_on_load"
+  "remap_on_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_on_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/asci.cpp" "src/apps/CMakeFiles/cbes_apps.dir/asci.cpp.o" "gcc" "src/apps/CMakeFiles/cbes_apps.dir/asci.cpp.o.d"
+  "/root/repo/src/apps/decomp.cpp" "src/apps/CMakeFiles/cbes_apps.dir/decomp.cpp.o" "gcc" "src/apps/CMakeFiles/cbes_apps.dir/decomp.cpp.o.d"
+  "/root/repo/src/apps/npb.cpp" "src/apps/CMakeFiles/cbes_apps.dir/npb.cpp.o" "gcc" "src/apps/CMakeFiles/cbes_apps.dir/npb.cpp.o.d"
+  "/root/repo/src/apps/program.cpp" "src/apps/CMakeFiles/cbes_apps.dir/program.cpp.o" "gcc" "src/apps/CMakeFiles/cbes_apps.dir/program.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/cbes_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/cbes_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/cbes_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/cbes_apps.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_apps.dir/asci.cpp.o"
+  "CMakeFiles/cbes_apps.dir/asci.cpp.o.d"
+  "CMakeFiles/cbes_apps.dir/decomp.cpp.o"
+  "CMakeFiles/cbes_apps.dir/decomp.cpp.o.d"
+  "CMakeFiles/cbes_apps.dir/npb.cpp.o"
+  "CMakeFiles/cbes_apps.dir/npb.cpp.o.d"
+  "CMakeFiles/cbes_apps.dir/program.cpp.o"
+  "CMakeFiles/cbes_apps.dir/program.cpp.o.d"
+  "CMakeFiles/cbes_apps.dir/registry.cpp.o"
+  "CMakeFiles/cbes_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/cbes_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/cbes_apps.dir/synthetic.cpp.o.d"
+  "libcbes_apps.a"
+  "libcbes_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_common.dir/csv.cpp.o"
+  "CMakeFiles/cbes_common.dir/csv.cpp.o.d"
+  "CMakeFiles/cbes_common.dir/rng.cpp.o"
+  "CMakeFiles/cbes_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cbes_common.dir/stats.cpp.o"
+  "CMakeFiles/cbes_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cbes_common.dir/table.cpp.o"
+  "CMakeFiles/cbes_common.dir/table.cpp.o.d"
+  "libcbes_common.a"
+  "libcbes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_core.dir/app_monitor.cpp.o"
+  "CMakeFiles/cbes_core.dir/app_monitor.cpp.o.d"
+  "CMakeFiles/cbes_core.dir/evaluator.cpp.o"
+  "CMakeFiles/cbes_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/cbes_core.dir/remap.cpp.o"
+  "CMakeFiles/cbes_core.dir/remap.cpp.o.d"
+  "CMakeFiles/cbes_core.dir/service.cpp.o"
+  "CMakeFiles/cbes_core.dir/service.cpp.o.d"
+  "libcbes_core.a"
+  "libcbes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/forecaster.cpp" "src/monitor/CMakeFiles/cbes_monitor.dir/forecaster.cpp.o" "gcc" "src/monitor/CMakeFiles/cbes_monitor.dir/forecaster.cpp.o.d"
+  "/root/repo/src/monitor/monitor.cpp" "src/monitor/CMakeFiles/cbes_monitor.dir/monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/cbes_monitor.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cbes_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cbes_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_monitor.dir/forecaster.cpp.o"
+  "CMakeFiles/cbes_monitor.dir/forecaster.cpp.o.d"
+  "CMakeFiles/cbes_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/cbes_monitor.dir/monitor.cpp.o.d"
+  "libcbes_monitor.a"
+  "libcbes_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_netmodel.dir/calibrate.cpp.o"
+  "CMakeFiles/cbes_netmodel.dir/calibrate.cpp.o.d"
+  "CMakeFiles/cbes_netmodel.dir/latency_model.cpp.o"
+  "CMakeFiles/cbes_netmodel.dir/latency_model.cpp.o.d"
+  "libcbes_netmodel.a"
+  "libcbes_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

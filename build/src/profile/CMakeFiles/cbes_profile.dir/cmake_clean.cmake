@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_profile.dir/analyzer.cpp.o"
+  "CMakeFiles/cbes_profile.dir/analyzer.cpp.o.d"
+  "CMakeFiles/cbes_profile.dir/app_profile.cpp.o"
+  "CMakeFiles/cbes_profile.dir/app_profile.cpp.o.d"
+  "CMakeFiles/cbes_profile.dir/profiler.cpp.o"
+  "CMakeFiles/cbes_profile.dir/profiler.cpp.o.d"
+  "CMakeFiles/cbes_profile.dir/serialize.cpp.o"
+  "CMakeFiles/cbes_profile.dir/serialize.cpp.o.d"
+  "CMakeFiles/cbes_profile.dir/theta.cpp.o"
+  "CMakeFiles/cbes_profile.dir/theta.cpp.o.d"
+  "libcbes_profile.a"
+  "libcbes_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

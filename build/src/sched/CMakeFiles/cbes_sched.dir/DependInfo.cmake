@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/annealing.cpp" "src/sched/CMakeFiles/cbes_sched.dir/annealing.cpp.o" "gcc" "src/sched/CMakeFiles/cbes_sched.dir/annealing.cpp.o.d"
+  "/root/repo/src/sched/cost.cpp" "src/sched/CMakeFiles/cbes_sched.dir/cost.cpp.o" "gcc" "src/sched/CMakeFiles/cbes_sched.dir/cost.cpp.o.d"
+  "/root/repo/src/sched/genetic.cpp" "src/sched/CMakeFiles/cbes_sched.dir/genetic.cpp.o" "gcc" "src/sched/CMakeFiles/cbes_sched.dir/genetic.cpp.o.d"
+  "/root/repo/src/sched/phased.cpp" "src/sched/CMakeFiles/cbes_sched.dir/phased.cpp.o" "gcc" "src/sched/CMakeFiles/cbes_sched.dir/phased.cpp.o.d"
+  "/root/repo/src/sched/pool.cpp" "src/sched/CMakeFiles/cbes_sched.dir/pool.cpp.o" "gcc" "src/sched/CMakeFiles/cbes_sched.dir/pool.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/cbes_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cbes_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cbes_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cbes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/cbes_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/cbes_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/cbes_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/cbes_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cbes_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cbes_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbes_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_sched.dir/annealing.cpp.o"
+  "CMakeFiles/cbes_sched.dir/annealing.cpp.o.d"
+  "CMakeFiles/cbes_sched.dir/cost.cpp.o"
+  "CMakeFiles/cbes_sched.dir/cost.cpp.o.d"
+  "CMakeFiles/cbes_sched.dir/genetic.cpp.o"
+  "CMakeFiles/cbes_sched.dir/genetic.cpp.o.d"
+  "CMakeFiles/cbes_sched.dir/phased.cpp.o"
+  "CMakeFiles/cbes_sched.dir/phased.cpp.o.d"
+  "CMakeFiles/cbes_sched.dir/pool.cpp.o"
+  "CMakeFiles/cbes_sched.dir/pool.cpp.o.d"
+  "CMakeFiles/cbes_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cbes_sched.dir/scheduler.cpp.o.d"
+  "libcbes_sched.a"
+  "libcbes_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbes_sched.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_simmpi.dir/simulator.cpp.o"
+  "CMakeFiles/cbes_simmpi.dir/simulator.cpp.o.d"
+  "libcbes_simmpi.a"
+  "libcbes_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

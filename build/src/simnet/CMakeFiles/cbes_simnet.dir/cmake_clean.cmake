@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_simnet.dir/load.cpp.o"
+  "CMakeFiles/cbes_simnet.dir/load.cpp.o.d"
+  "CMakeFiles/cbes_simnet.dir/network.cpp.o"
+  "CMakeFiles/cbes_simnet.dir/network.cpp.o.d"
+  "libcbes_simnet.a"
+  "libcbes_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/arch.cpp" "src/topology/CMakeFiles/cbes_topology.dir/arch.cpp.o" "gcc" "src/topology/CMakeFiles/cbes_topology.dir/arch.cpp.o.d"
+  "/root/repo/src/topology/builders.cpp" "src/topology/CMakeFiles/cbes_topology.dir/builders.cpp.o" "gcc" "src/topology/CMakeFiles/cbes_topology.dir/builders.cpp.o.d"
+  "/root/repo/src/topology/cluster.cpp" "src/topology/CMakeFiles/cbes_topology.dir/cluster.cpp.o" "gcc" "src/topology/CMakeFiles/cbes_topology.dir/cluster.cpp.o.d"
+  "/root/repo/src/topology/mapping.cpp" "src/topology/CMakeFiles/cbes_topology.dir/mapping.cpp.o" "gcc" "src/topology/CMakeFiles/cbes_topology.dir/mapping.cpp.o.d"
+  "/root/repo/src/topology/parser.cpp" "src/topology/CMakeFiles/cbes_topology.dir/parser.cpp.o" "gcc" "src/topology/CMakeFiles/cbes_topology.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_topology.dir/arch.cpp.o"
+  "CMakeFiles/cbes_topology.dir/arch.cpp.o.d"
+  "CMakeFiles/cbes_topology.dir/builders.cpp.o"
+  "CMakeFiles/cbes_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/cbes_topology.dir/cluster.cpp.o"
+  "CMakeFiles/cbes_topology.dir/cluster.cpp.o.d"
+  "CMakeFiles/cbes_topology.dir/mapping.cpp.o"
+  "CMakeFiles/cbes_topology.dir/mapping.cpp.o.d"
+  "CMakeFiles/cbes_topology.dir/parser.cpp.o"
+  "CMakeFiles/cbes_topology.dir/parser.cpp.o.d"
+  "libcbes_topology.a"
+  "libcbes_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbes_trace.dir/serialize.cpp.o"
+  "CMakeFiles/cbes_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/cbes_trace.dir/trace.cpp.o"
+  "CMakeFiles/cbes_trace.dir/trace.cpp.o.d"
+  "libcbes_trace.a"
+  "libcbes_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbes_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
