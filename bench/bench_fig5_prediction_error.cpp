@@ -144,6 +144,10 @@ int main() {
       "\noverall mean error %.2f%%, worst per-case mean error %.2f%%\n"
       "paper: all mean errors < 3.5%% except one case slightly under 4%%\n",
       overall.mean(), worst_mean_error);
+  record_metric("fig5_overall_mean_error", overall.mean(), "percent");
+  record_metric("fig5_worst_case_mean_error", worst_mean_error, "percent");
+  std::printf("wrote %s\n",
+              write_bench_json("fig5_prediction_error").c_str());
   if (out) std::printf("wrote %s\n", csv.c_str());
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -224,6 +225,33 @@ std::string csv_path(const std::string& name) {
   const char* dir = std::getenv("CBES_BENCH_CSV_DIR");
   if (dir == nullptr || *dir == '\0') return {};
   return std::string(dir) + "/" + name + ".csv";
+}
+
+obs::MetricsRegistry& bench_metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+void record_metric(const std::string& name, double value,
+                   const std::string& unit) {
+  bench_metrics().gauge(name, unit).set(value);
+}
+
+std::string write_bench_json(const std::string& bench) {
+  const char* dir = std::getenv("CBES_BENCH_CSV_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_" + bench + ".json"
+                               : "BENCH_" + bench + ".json";
+  std::ofstream out(path);
+  out << "[\n";
+  const auto samples = bench_metrics().samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out << "  {\"metric\": \"" << samples[i].name << "\", \"value\": "
+        << samples[i].value << ", \"unit\": \"" << samples[i].help << "\"}"
+        << (i + 1 < samples.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return path;
 }
 
 }  // namespace cbes::bench

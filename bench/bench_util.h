@@ -14,6 +14,7 @@
 #include "apps/program.h"
 #include "common/stats.h"
 #include "core/service.h"
+#include "obs/metrics.h"
 #include "sched/annealing.h"
 #include "sched/cost.h"
 #include "sched/pool.h"
@@ -140,5 +141,21 @@ struct CampaignResult {
 /// Writes one CSV alongside the printed table when CBES_BENCH_CSV_DIR is set;
 /// returns the path or "" when disabled.
 [[nodiscard]] std::string csv_path(const std::string& name);
+
+/// Process-wide metrics registry shared by the bench binaries, so headline
+/// results and service-internal counters end up in one machine-readable
+/// report.
+[[nodiscard]] obs::MetricsRegistry& bench_metrics();
+
+/// Records one headline result into bench_metrics() as a gauge; `unit` goes
+/// into the metric help text and the JSON report.
+void record_metric(const std::string& name, double value,
+                   const std::string& unit);
+
+/// Writes every scalar in bench_metrics() to `BENCH_<bench>.json` (in
+/// CBES_BENCH_CSV_DIR when set, else the working directory) as
+/// `[{"metric": ..., "value": ..., "unit": ...}, ...]`, so the perf
+/// trajectory across PRs is trackable. Returns the path written.
+std::string write_bench_json(const std::string& bench);
 
 }  // namespace cbes::bench

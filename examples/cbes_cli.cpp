@@ -10,14 +10,25 @@
 //   cbes_cli compare <cluster> <app> <ranks> --map a0,a1,.. --map b0,b1,..
 //   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
 //
+// Observability flags (accepted anywhere on the command line):
+//   --metrics-out <file>   write Prometheus-format metrics on exit
+//   --trace-out <file>     write a Chrome trace-event JSON (chrome://tracing
+//                          or ui.perfetto.dev) on exit
+//   --verbose              print annealing convergence (one line per
+//                          temperature step) to stderr
+//
 // Node lists are comma-separated node indices (see `topo` for the listing).
 #include <cstdio>
-#include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/registry.h"
 #include "core/service.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/tracer.h"
 #include "profile/serialize.h"
 #include "topology/parser.h"
 #include "sched/annealing.h"
@@ -31,12 +42,72 @@ namespace {
 
 using namespace cbes;
 
+/// Observability sinks, created only when the matching flag is given so the
+/// default run stays uninstrumented.
+std::unique_ptr<obs::MetricsRegistry> g_metrics;
+std::unique_ptr<obs::TraceSession> g_trace;
+bool g_verbose = false;
+
 int usage() {
   std::fprintf(stderr,
                "usage: cbes_cli <topo|apps|profile|predict|compare|schedule> "
-               "...\n(see the header of examples/cbes_cli.cpp)\n");
+               "... [--metrics-out m.txt] [--trace-out t.json] [--verbose]\n"
+               "(see the header of examples/cbes_cli.cpp)\n");
   return 2;
 }
+
+/// Prints convergence when --verbose and mirrors annealing telemetry into the
+/// metrics registry when --metrics-out: temperature steps, restarts, and the
+/// best energy (predicted execution time) seen.
+class CliSchedulerObserver final : public obs::SchedulerObserver {
+ public:
+  CliSchedulerObserver() {
+    if (g_metrics != nullptr) {
+      steps_ = &g_metrics->counter("cbes_anneal_temperature_steps_total",
+                                   "Annealing temperature steps completed");
+      restarts_ = &g_metrics->counter("cbes_anneal_restarts_total",
+                                      "Annealing restarts begun");
+      best_energy_ = &g_metrics->gauge(
+          "cbes_anneal_best_energy",
+          "Best energy (predicted seconds) of the last scheduling run");
+    }
+  }
+
+  void on_restart(std::size_t restart, double t0,
+                  double initial_energy) override {
+    if (restarts_ != nullptr) restarts_->inc();
+    if (g_verbose) {
+      std::fprintf(stderr, "[sa] restart %zu: T0=%.4g start=%.4g\n", restart,
+                   t0, initial_energy);
+    }
+    if (g_trace != nullptr) g_trace->instant("sa/restart");
+  }
+
+  void on_temperature_step(const obs::AnnealStep& step) override {
+    if (steps_ != nullptr) steps_->inc();
+    if (best_energy_ != nullptr) best_energy_->set(step.best_energy);
+    if (g_verbose) {
+      std::fprintf(stderr,
+                   "[sa]   T=%-10.4g acc=%5.1f%%  cur=%-10.4g best=%-10.4g "
+                   "evals=%zu\n",
+                   step.temperature, 100.0 * step.acceptance_rate(),
+                   step.current_energy, step.best_energy, step.evaluations);
+    }
+  }
+
+  void on_finish(double best_energy, std::size_t evaluations,
+                 double wall_seconds) override {
+    if (g_verbose) {
+      std::fprintf(stderr, "[sa] done: best=%.4g after %zu evals in %.3f s\n",
+                   best_energy, evaluations, wall_seconds);
+    }
+  }
+
+ private:
+  obs::Counter* steps_ = nullptr;
+  obs::Counter* restarts_ = nullptr;
+  obs::Gauge* best_energy_ = nullptr;
+};
 
 ClusterTopology make_cluster(const std::string& name) {
   if (name == "centurion") return make_centurion();
@@ -89,10 +160,17 @@ struct Session {
   CbesService svc;
   Program program;
 
+  static CbesService::Config observed_config() {
+    CbesService::Config cfg;
+    cfg.metrics = g_metrics.get();
+    cfg.trace = g_trace.get();
+    return cfg;
+  }
+
   Session(const std::string& cluster_name, const std::string& app,
           std::size_t ranks)
       : topo(make_cluster(cluster_name)),
-        svc(topo, idle, CbesService::Config{}),
+        svc(topo, idle, observed_config()),
         program(find_app(app).make(ranks)) {
     std::fprintf(stderr, "[calibrated %zu path classes]\n",
                  svc.calibration_report().classes);
@@ -158,16 +236,23 @@ int cmd_schedule(const std::string& cluster, const std::string& app,
   const LoadSnapshot snapshot = s.svc.monitor().snapshot(0.0);
   const CbesCost cost(s.svc.evaluator(), profile, snapshot);
 
+  CliSchedulerObserver observer;
   ScheduleResult result;
-  if (algo == "--ga") {
-    GeneticScheduler ga(GaParams{});
-    result = ga.schedule(ranks, pool, cost);
-  } else if (algo == "--rs") {
-    RandomScheduler rs(0xC11);
-    result = rs.schedule(ranks, pool, cost);
-  } else {
-    SimulatedAnnealingScheduler sa(SaParams{});
-    result = sa.schedule(ranks, pool, cost);
+  {
+    const obs::TraceSpan span(g_trace.get(), "cli/schedule");
+    if (algo == "--ga") {
+      GeneticScheduler ga(GaParams{});
+      ga.set_observer(&observer);
+      result = ga.schedule(ranks, pool, cost);
+    } else if (algo == "--rs") {
+      RandomScheduler rs(0xC11);
+      rs.set_observer(&observer);
+      result = rs.schedule(ranks, pool, cost);
+    } else {
+      SimulatedAnnealingScheduler sa(SaParams{});
+      sa.set_observer(&observer);
+      result = sa.schedule(ranks, pool, cost);
+    }
   }
   std::printf("selected (%zu evaluations, %.3f s):\n  %s\n",
               result.evaluations, result.wall_seconds,
@@ -177,51 +262,110 @@ int cmd_schedule(const std::string& cluster, const std::string& app,
 
   SimOptions sim;
   NoLoad idle;
+  const obs::TraceSpan sim_span(g_trace.get(), "cli/simulate");
   const RunResult run =
       s.svc.simulator().run(s.program, result.mapping, idle, sim);
   std::printf("simulated execution time: %.2f s\n", run.makespan);
   return 0;
 }
 
+int dispatch(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  if (cmd == "topo" && args.size() == 2) return cmd_topo(args[1]);
+  if (cmd == "apps") return cmd_apps();
+  if (args.size() < 4) return usage();
+  const std::string& cluster = args[1];
+  const std::string& app = args[2];
+  const auto ranks = static_cast<std::size_t>(std::stoul(args[3]));
+
+  if (cmd == "profile") {
+    return cmd_profile(cluster, app, ranks,
+                       args.size() > 4 ? args[4].c_str() : nullptr);
+  }
+  if (cmd == "predict" || cmd == "compare") {
+    std::vector<std::string> specs;
+    for (std::size_t i = 4; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--map") specs.push_back(args[i + 1]);
+    }
+    if (specs.empty()) return usage();
+    return cmd_predict_or_compare(cluster, app, ranks, specs);
+  }
+  if (cmd == "schedule") {
+    std::string arch;
+    std::string algo = "--sa";
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--arch" && i + 1 < args.size()) {
+        arch = args[++i];
+      } else {
+        algo = args[i];
+      }
+    }
+    return cmd_schedule(cluster, app, ranks, arch, algo);
+  }
+  return usage();
+}
+
+/// Writes the metrics / trace files requested on the command line. Runs on
+/// every exit path so a failed command still leaves its partial trail.
+void flush_observability(const std::string& metrics_path,
+                         const std::string& trace_path) {
+  if (g_metrics != nullptr && !metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << g_metrics->expose_text();
+    if (out) {
+      std::fprintf(stderr, "[wrote metrics to %s]\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  if (g_trace != nullptr && !trace_path.empty()) {
+    std::ofstream out(trace_path);
+    g_trace->export_chrome_json(out);
+    if (out) {
+      std::fprintf(stderr, "[wrote %zu trace events to %s]\n", g_trace->size(),
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
   try {
-    if (argc < 2) return usage();
-    const std::string cmd = argv[1];
-    if (cmd == "topo" && argc == 3) return cmd_topo(argv[2]);
-    if (cmd == "apps") return cmd_apps();
-    if (argc < 5) return usage();
-    const std::string cluster = argv[2];
-    const std::string app = argv[3];
-    const auto ranks = static_cast<std::size_t>(std::stoul(argv[4]));
-
-    if (cmd == "profile") {
-      return cmd_profile(cluster, app, ranks, argc > 5 ? argv[5] : nullptr);
-    }
-    if (cmd == "predict" || cmd == "compare") {
-      std::vector<std::string> specs;
-      for (int i = 5; i + 1 < argc; i += 2) {
-        if (std::strcmp(argv[i], "--map") == 0) specs.emplace_back(argv[i + 1]);
-      }
-      if (specs.empty()) return usage();
-      return cmd_predict_or_compare(cluster, app, ranks, specs);
-    }
-    if (cmd == "schedule") {
-      std::string arch;
-      std::string algo = "--sa";
-      for (int i = 5; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--arch") == 0 && i + 1 < argc) {
-          arch = argv[++i];
-        } else {
-          algo = argv[i];
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--metrics-out" || arg == "--trace-out") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s requires a file argument\n",
+                       arg.c_str());
+          return 2;
         }
+        (arg == "--metrics-out" ? metrics_path : trace_path) = argv[++i];
+      } else if (arg == "--verbose") {
+        g_verbose = true;
+      } else {
+        args.push_back(arg);
       }
-      return cmd_schedule(cluster, app, ranks, arch, algo);
     }
-    return usage();
+    if (!metrics_path.empty()) {
+      g_metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (!trace_path.empty()) g_trace = std::make_unique<obs::TraceSession>();
+
+    const int rc = dispatch(args);
+    flush_observability(metrics_path, trace_path);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    flush_observability(metrics_path, trace_path);
     return 1;
   }
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper:
+#   1. configure + build with the project warning set (-Wall -Wextra and
+#      friends come from the cbes_warnings interface target) and run ctest;
+#   2. rebuild tests once under AddressSanitizer (-DCBES_SANITIZE=address)
+#      and run them again.
+#
+# Usage: scripts/check.sh [--no-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: configure, build, test =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--no-asan" ]]; then
+  echo "== skipping ASan pass (--no-asan) =="
+  exit 0
+fi
+
+echo "== ASan pass: rebuild tests with -DCBES_SANITIZE=address =="
+cmake -B build-asan -S . -DCBES_SANITIZE=address \
+  -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

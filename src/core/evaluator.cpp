@@ -1,12 +1,34 @@
 #include "core/evaluator.h"
 
 #include "common/check.h"
+#include "obs/timer.h"
 #include "profile/theta.h"
 
 namespace cbes {
 
 MappingEvaluator::MappingEvaluator(const LatencyModel& model)
     : model_(&model) {}
+
+void MappingEvaluator::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    predictions_ = nullptr;
+    evaluations_ = nullptr;
+    eval_seconds_ = nullptr;
+    return;
+  }
+  predictions_ = &registry->counter(
+      "cbes_evaluator_predictions_total",
+      "Full predictions (per-process breakdown) computed");
+  evaluations_ = &registry->counter(
+      "cbes_evaluator_evaluations_total",
+      "Scalar mapping evaluations computed (scheduler fast path)");
+  // 100 ns .. ~100 ms: mapping evaluation is microseconds-scale, growing
+  // with profile complexity (paper §6.2).
+  eval_seconds_ = &registry->histogram(
+      "cbes_evaluator_eval_seconds",
+      obs::Histogram::exponential(1e-7, 4.0, 10),
+      "Latency of one scalar mapping evaluation, in seconds");
+}
 
 Seconds MappingEvaluator::term_r(const ProcessProfile& proc, NodeId node,
                                  const AppProfile& profile,
@@ -29,6 +51,7 @@ Prediction MappingEvaluator::predict(const AppProfile& profile,
   const std::size_t n = profile.nranks();
   CBES_CHECK_MSG(mapping.nranks() == n, "mapping/profile rank count mismatch");
 
+  if (predictions_ != nullptr) predictions_->inc();
   Prediction pred;
   pred.compute.resize(n);
   pred.comm.resize(n);
@@ -55,6 +78,20 @@ Seconds MappingEvaluator::evaluate(const AppProfile& profile,
                                    const Mapping& mapping,
                                    const LoadSnapshot& snapshot,
                                    const EvalOptions& options) const {
+  if (evaluations_ == nullptr) {
+    return evaluate_impl(profile, mapping, snapshot, options);
+  }
+  evaluations_->inc();
+  const obs::ScopedTimer timer;
+  const Seconds result = evaluate_impl(profile, mapping, snapshot, options);
+  eval_seconds_->observe(timer.seconds());
+  return result;
+}
+
+Seconds MappingEvaluator::evaluate_impl(const AppProfile& profile,
+                                        const Mapping& mapping,
+                                        const LoadSnapshot& snapshot,
+                                        const EvalOptions& options) const {
   const std::size_t n = profile.nranks();
   CBES_CHECK_MSG(mapping.nranks() == n, "mapping/profile rank count mismatch");
 

@@ -14,6 +14,7 @@
 
 #include "common/types.h"
 #include "monitor/snapshot.h"
+#include "obs/metrics.h"
 #include "netmodel/latency_model.h"
 #include "profile/app_profile.h"
 #include "topology/mapping.h"
@@ -65,13 +66,27 @@ class MappingEvaluator {
 
   [[nodiscard]] const LatencyModel& model() const noexcept { return *model_; }
 
+  /// Wires prediction counters and the evaluation-latency histogram into
+  /// `registry` (nullptr turns instrumentation back off — the default, and
+  /// the zero-cost path: one branch per call). `registry` must outlive the
+  /// evaluator. Instrument references are cached here so the hot path never
+  /// takes the registry lock.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   [[nodiscard]] Seconds term_r(const ProcessProfile& proc, NodeId node,
                                const AppProfile& profile,
                                const LoadSnapshot& snapshot,
                                const EvalOptions& options) const;
+  [[nodiscard]] Seconds evaluate_impl(const AppProfile& profile,
+                                      const Mapping& mapping,
+                                      const LoadSnapshot& snapshot,
+                                      const EvalOptions& options) const;
 
   const LatencyModel* model_;
+  obs::Counter* predictions_ = nullptr;
+  obs::Counter* evaluations_ = nullptr;
+  obs::Histogram* eval_seconds_ = nullptr;
 };
 
 }  // namespace cbes

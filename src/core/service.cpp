@@ -1,6 +1,7 @@
 #include "core/service.h"
 
 #include "common/check.h"
+#include "obs/timer.h"
 
 namespace cbes {
 
@@ -8,15 +9,48 @@ CbesService::CbesService(const ClusterTopology& topology,
                          const LoadModel& truth, Config config)
     : topology_(&topology),
       config_(config),
-      model_(std::make_unique<LatencyModel>(
-          calibrate(topology, config.hardware, config.calibration,
-                    &calibration_report_))),
-      evaluator_(std::make_unique<MappingEvaluator>(*model_)),
       monitor_(topology, truth, config.monitor),
-      simulator_(topology) {}
+      simulator_(topology) {
+  // Offline calibration (paper §2) — timed and traced so deployments can see
+  // what the "lengthy and expensive" one-time phase actually cost.
+  double calibration_seconds = 0.0;
+  {
+    const obs::ScopedTimer timer(&calibration_seconds);
+    const obs::TraceSpan span(config_.trace, "service/calibrate");
+    model_ = std::make_unique<LatencyModel>(
+        calibrate(topology, config_.hardware, config_.calibration,
+                  &calibration_report_, config_.trace));
+  }
+  evaluator_ = std::make_unique<MappingEvaluator>(*model_);
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    reg.gauge("cbes_calibration_seconds",
+              "Wall time of the offline calibration phase")
+        .set(calibration_seconds);
+    reg.gauge("cbes_calibration_path_classes",
+              "Distinct path-equivalence classes found")
+        .set(static_cast<double>(calibration_report_.classes));
+    reg.counter("cbes_calibration_probes_total",
+                "Individual ping measurements taken during calibration")
+        .inc(calibration_report_.measurements);
+    predict_requests_ = &reg.counter("cbes_service_predict_requests_total",
+                                     "predict() requests served");
+    compare_requests_ = &reg.counter("cbes_service_compare_requests_total",
+                                     "compare() requests served");
+    compare_candidates_ =
+        &reg.counter("cbes_service_compare_candidates_total",
+                     "Candidate mappings evaluated across compare() requests");
+    profiles_registered_ = &reg.gauge("cbes_service_profiles_registered",
+                                      "Application profiles currently held");
+    evaluator_->set_metrics(config_.metrics);
+    monitor_.set_metrics(config_.metrics);
+  }
+}
 
 const AppProfile& CbesService::register_application(
     const Program& program, const Mapping& profiling_mapping) {
+  const obs::TraceSpan span(config_.trace, "service/profile:", program.name);
   AppProfile profile = profile_application(program, profiling_mapping,
                                            simulator_, *model_,
                                            config_.profiler);
@@ -27,6 +61,9 @@ const AppProfile& CbesService::register_profile(AppProfile profile) {
   CBES_CHECK_MSG(!profile.app_name.empty(), "profile must carry an app name");
   auto [it, _] =
       profiles_.insert_or_assign(profile.app_name, std::move(profile));
+  if (profiles_registered_ != nullptr) {
+    profiles_registered_->set(static_cast<double>(profiles_.size()));
+  }
   return it->second;
 }
 
@@ -42,6 +79,8 @@ bool CbesService::has_profile(const std::string& name) const {
 
 Prediction CbesService::predict(const std::string& app, const Mapping& mapping,
                                 Seconds now) const {
+  if (predict_requests_ != nullptr) predict_requests_->inc();
+  const obs::TraceSpan span(config_.trace, "service/predict:", app);
   return evaluator_->predict(profile_of(app), mapping, monitor_.snapshot(now));
 }
 
@@ -49,6 +88,11 @@ CbesService::ComparisonResult CbesService::compare(
     const std::string& app, const std::vector<Mapping>& candidates,
     Seconds now) const {
   CBES_CHECK_MSG(!candidates.empty(), "nothing to compare");
+  if (compare_requests_ != nullptr) {
+    compare_requests_->inc();
+    compare_candidates_->inc(candidates.size());
+  }
+  const obs::TraceSpan span(config_.trace, "service/compare:", app);
   const AppProfile& profile = profile_of(app);
   const LoadSnapshot snapshot = monitor_.snapshot(now);
 

@@ -13,6 +13,8 @@
 #include "monitor/monitor.h"
 #include "netmodel/calibrate.h"
 #include "netmodel/latency_model.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "profile/profiler.h"
 #include "simmpi/simulator.h"
 
@@ -26,6 +28,12 @@ class CbesService {
     CalibrationOptions calibration;
     MonitorConfig monitor;
     ProfilerOptions profiler;
+    /// Observability sinks; both optional and disabled by default. When set
+    /// they must outlive the service. `metrics` wires request counters plus
+    /// evaluator/monitor/calibration instrumentation; `trace` records spans
+    /// for calibration, profiling, and every predict/compare request.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceSession* trace = nullptr;
   };
 
   /// Builds the service over `topology` with ground-truth load `truth`.
@@ -95,6 +103,11 @@ class CbesService {
   SystemMonitor monitor_;
   MpiSimulator simulator_;
   std::map<std::string, AppProfile> profiles_;
+  // Cached instruments (null when config_.metrics is null).
+  obs::Counter* predict_requests_ = nullptr;
+  obs::Counter* compare_requests_ = nullptr;
+  obs::Counter* compare_candidates_ = nullptr;
+  obs::Gauge* profiles_registered_ = nullptr;
 };
 
 }  // namespace cbes

@@ -24,6 +24,23 @@ void SystemMonitor::set_forecaster(std::unique_ptr<Forecaster> forecaster) {
   forecaster_ = std::move(forecaster);
 }
 
+void SystemMonitor::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    snapshots_ = nullptr;
+    probes_ = nullptr;
+    snapshot_age_ = nullptr;
+    return;
+  }
+  snapshots_ = &registry->counter("cbes_monitor_snapshots_total",
+                                  "Availability snapshots served");
+  probes_ = &registry->counter(
+      "cbes_monitor_probes_total",
+      "Per-node sensor readings folded into served snapshots");
+  snapshot_age_ = &registry->gauge(
+      "cbes_monitor_snapshot_age_seconds",
+      "Age of the newest published sensor tick in the last snapshot");
+}
+
 double SystemMonitor::noisy(double value, NodeId node, std::uint64_t tick,
                             std::uint64_t sensor) const {
   if (config_.noise_sigma <= 0.0) return value;
@@ -47,6 +64,13 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
       std::max(0.0, std::floor(now / config_.period)));
   const std::uint64_t first_tick =
       last_tick + 1 >= config_.history ? last_tick + 1 - config_.history : 0;
+
+  if (snapshots_ != nullptr) {
+    snapshots_->inc();
+    // Two sensors (CPU, NIC) per node per retained tick.
+    probes_->inc(2 * n * (last_tick - first_tick + 1));
+    snapshot_age_->set(now - static_cast<double>(last_tick) * config_.period);
+  }
 
   std::vector<double> cpu_hist;
   std::vector<double> nic_hist;

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "monitor/forecaster.h"
 #include "monitor/snapshot.h"
+#include "obs/metrics.h"
 #include "simnet/load.h"
 #include "topology/cluster.h"
 
@@ -52,6 +53,10 @@ class SystemMonitor {
 
   [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
 
+  /// Wires snapshot counters and the snapshot-age gauge into `registry`
+  /// (nullptr disables; the default). `registry` must outlive the monitor.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   [[nodiscard]] double noisy(double value, NodeId node, std::uint64_t tick,
                              std::uint64_t sensor) const;
@@ -60,6 +65,9 @@ class SystemMonitor {
   const LoadModel* truth_;
   MonitorConfig config_;
   std::unique_ptr<Forecaster> forecaster_;
+  obs::Counter* snapshots_ = nullptr;
+  obs::Counter* probes_ = nullptr;
+  obs::Gauge* snapshot_age_ = nullptr;
 };
 
 }  // namespace cbes

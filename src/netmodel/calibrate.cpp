@@ -119,7 +119,7 @@ Seconds measure_latency(SimNetwork& net, NodeId a, NodeId b, Bytes size,
 LatencyModel calibrate(const ClusterTopology& topology,
                        const SimNetConfig& hardware,
                        const CalibrationOptions& options,
-                       CalibrationReport* report) {
+                       CalibrationReport* report, obs::TraceSession* trace) {
   CBES_CHECK_MSG(options.sizes.size() >= 2,
                  "calibration needs at least two message sizes");
   CBES_CHECK_MSG(options.repeats >= 1, "calibration needs at least one repeat");
@@ -144,17 +144,22 @@ LatencyModel calibrate(const ClusterTopology& topology,
   rep.classes = classes.size();
   Seconds epoch = 0.0;
   std::unordered_map<std::string, LatencyCoeffs> by_signature;
-  for (const auto& [sig, pairs] : classes) {
-    const LatencyCoeffs c =
-        fit_class(net, pairs, options, epoch, &rep.measurements);
-    rep.pairs_measured += pairs.size();
-    rep.worst_fit_r_squared =
-        std::min(rep.worst_fit_r_squared, c.fit_r_squared);
-    by_signature.emplace(sig, c);
+  {
+    const obs::TraceSpan span(trace, "calibrate/path-classes");
+    for (const auto& [sig, pairs] : classes) {
+      const LatencyCoeffs c =
+          fit_class(net, pairs, options, epoch, &rep.measurements);
+      rep.pairs_measured += pairs.size();
+      rep.worst_fit_r_squared =
+          std::min(rep.worst_fit_r_squared, c.fit_r_squared);
+      by_signature.emplace(sig, c);
+      if (trace != nullptr) trace->instant("calibrate/class-fitted");
+    }
   }
 
   // Loopback class: measured on a multi-CPU node when one exists (only such
   // nodes can host two ranks), otherwise on node 0.
+  const obs::TraceSpan loop_span(trace, "calibrate/loopback");
   NodeId loop_node{std::size_t{0}};
   for (const Node& node : topology.nodes()) {
     if (node.cpus > 1) {

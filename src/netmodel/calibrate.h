@@ -21,6 +21,7 @@
 
 #include "common/types.h"
 #include "netmodel/latency_model.h"
+#include "obs/tracer.h"
 #include "simnet/network.h"
 #include "topology/cluster.h"
 
@@ -50,10 +51,12 @@ struct CalibrationReport {
 
 /// Calibrates a latency model for `topology` whose ground-truth hardware
 /// behaviour is described by `hardware`. Deterministic in `options.seed`.
+/// A non-null `trace` records one span per calibration phase.
 [[nodiscard]] LatencyModel calibrate(const ClusterTopology& topology,
                                      const SimNetConfig& hardware,
                                      const CalibrationOptions& options,
-                                     CalibrationReport* report = nullptr);
+                                     CalibrationReport* report = nullptr,
+                                     obs::TraceSession* trace = nullptr);
 
 /// One no-load end-to-end latency measurement (median of `repeats` pings) from
 /// `a` to `b` at the given size, through `net`. Exposed for tests and the

@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  CBES_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  CBES_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  CBES_CHECK_MSG(i <= bounds_.size(), "histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  CBES_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      if (in_bucket == 0) return hi;
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();  // overflow bucket: best available bound
+}
+
+std::vector<double> Histogram::exponential(double first, double factor,
+                                           std::size_t n) {
+  CBES_CHECK_MSG(first > 0.0 && factor > 1.0 && n >= 1,
+                 "exponential buckets need first > 0, factor > 1, n >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = first;
+  for (std::size_t i = 0; i < n; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name,
+                                                   const std::string& help) {
+  CBES_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  Entry& e = entries_[name];
+  if (e.help.empty()) e.help = help;
+  return e;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_for(name, help);
+  CBES_CHECK_MSG(!e.gauge && !e.histogram,
+                 "metric already registered with a different kind: " + name);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_for(name, help);
+  CBES_CHECK_MSG(!e.counter && !e.histogram,
+                 "metric already registered with a different kind: " + name);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_for(name, help);
+  CBES_CHECK_MSG(!e.counter && !e.gauge,
+                 "metric already registered with a different kind: " + name);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+namespace {
+
+/// Prometheus sample values: integers stay integral, everything else %g.
+void append_value(std::ostringstream& os, double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::expose_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) os << "# HELP " << name << ' ' << e.help << '\n';
+    if (e.counter) {
+      os << "# TYPE " << name << " counter\n" << name << ' '
+         << e.counter->value() << '\n';
+    } else if (e.gauge) {
+      os << "# TYPE " << name << " gauge\n" << name << ' ';
+      append_value(os, e.gauge->value());
+      os << '\n';
+    } else if (e.histogram) {
+      os << "# TYPE " << name << " histogram\n";
+      std::uint64_t cumulative = 0;
+      const auto& bounds = e.histogram->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += e.histogram->bucket(i);
+        os << name << "_bucket{le=\"" << bounds[i] << "\"} " << cumulative
+           << '\n';
+      }
+      os << name << "_bucket{le=\"+Inf\"} " << e.histogram->count() << '\n';
+      os << name << "_sum ";
+      append_value(os, e.histogram->sum());
+      os << '\n' << name << "_count " << e.histogram->count() << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) {
+      out.push_back({name, static_cast<double>(e.counter->value()), e.help});
+    } else if (e.gauge) {
+      out.push_back({name, e.gauge->value(), e.help});
+    } else if (e.histogram) {
+      out.push_back({name + "_count",
+                     static_cast<double>(e.histogram->count()), e.help});
+      out.push_back({name + "_sum", e.histogram->sum(), e.help});
+    }
+  }
+  return out;
+}
+
+}  // namespace cbes::obs

@@ -1,0 +1,126 @@
+// Metrics registry for the CBES service: counters, gauges, and fixed-bucket
+// histograms with Prometheus-style text exposition.
+//
+// Updates are lock-free (`std::atomic`, relaxed ordering) so instrumented hot
+// paths pay one atomic RMW per event; only instrument *registration* and text
+// exposition take the registry mutex. Instruments are owned by the registry
+// and live as long as it does, so callers cache the returned references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cbes::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (calibration seconds, registered profiles, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `<= bounds[i]`
+/// (non-cumulative storage; exposition emits Prometheus cumulative buckets
+/// plus the implicit `+Inf` overflow bucket).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Non-cumulative count of bucket `i`; `i == bounds().size()` is overflow.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation within the
+  /// containing bucket; the overflow bucket reports the largest bound.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Exponential bucket ladder: `first, first*factor, ...` (`n` bounds).
+  [[nodiscard]] static std::vector<double> exponential(double first,
+                                                       double factor,
+                                                       std::size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instrument store with Prometheus text-format exposition.
+class MetricsRegistry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Re-requesting a name with a different instrument kind throws.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// First registration fixes the bucket bounds; later calls ignore them.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples).
+  [[nodiscard]] std::string expose_text() const;
+
+  /// Flat scalar view for machine-readable reports: counters and gauges by
+  /// name, histograms as `<name>_count` / `<name>_sum`.
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+    std::string help;
+  };
+  [[nodiscard]] std::vector<Sample> samples() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry_for(const std::string& name, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cbes::obs

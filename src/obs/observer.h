@@ -1,0 +1,56 @@
+// Scheduler telemetry callbacks. The annealer reports once per temperature
+// step through this interface, so tests, the CLI, and metrics sinks can watch
+// convergence without touching the optimization loop. A null observer pointer
+// disables telemetry entirely: the scheduler skips the stats bookkeeping and
+// the virtual call — observation must not show up in scheduler wall time.
+//
+// Plain doubles/size_t only: obs knows nothing about mappings or pools, so
+// every layer above common can link against it.
+#pragma once
+
+#include <cstddef>
+
+namespace cbes::obs {
+
+/// One temperature step of a simulated-annealing run.
+struct AnnealStep {
+  std::size_t restart = 0;      ///< restart index this step belongs to
+  double temperature = 0.0;     ///< current temperature T
+  std::size_t attempted = 0;    ///< Metropolis moves attempted at T
+  std::size_t accepted = 0;     ///< moves accepted at T
+  double current_energy = 0.0;  ///< energy of the walk endpoint
+  double best_energy = 0.0;     ///< best energy seen so far (global)
+  std::size_t evaluations = 0;  ///< cumulative cost-function invocations
+
+  [[nodiscard]] double acceptance_rate() const {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(accepted) / static_cast<double>(attempted);
+  }
+};
+
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+
+  /// A restart begins: initial temperature `t0` and starting energy.
+  virtual void on_restart(std::size_t restart, double t0,
+                          double initial_energy) {
+    (void)restart;
+    (void)t0;
+    (void)initial_energy;
+  }
+
+  /// One completed temperature step.
+  virtual void on_temperature_step(const AnnealStep& step) { (void)step; }
+
+  /// The run finished: final best energy and total effort.
+  virtual void on_finish(double best_energy, std::size_t evaluations,
+                         double wall_seconds) {
+    (void)best_energy;
+    (void)evaluations;
+    (void)wall_seconds;
+  }
+};
+
+}  // namespace cbes::obs

@@ -1,0 +1,55 @@
+// Wall-clock timing helpers — the one place in CBES that reads
+// std::chrono::steady_clock. Schedulers, the evaluator, and the service all
+// measure elapsed time through ScopedTimer instead of hand-rolling clock math.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace cbes::obs {
+
+/// Measures wall-clock seconds since construction (or the last reset()).
+/// Optional sinks receive the elapsed time at destruction: a Histogram
+/// observes it, a Gauge is set to it, a double accumulates it. Sinks may be
+/// null, which makes the timer a plain stopwatch read via seconds() — callers
+/// that must record *before* a return statement use that form, because a
+/// destructor-time write would race the construction of the return value.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  explicit ScopedTimer(Histogram* sink) : histogram_(sink) {}
+  explicit ScopedTimer(Gauge* sink) : gauge_(sink) {}
+  explicit ScopedTimer(double* sink) : accumulator_(sink) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr && gauge_ == nullptr && accumulator_ == nullptr) {
+      return;
+    }
+    const double s = seconds();
+    if (histogram_ != nullptr) histogram_->observe(s);
+    if (gauge_ != nullptr) gauge_->set(s);
+    if (accumulator_ != nullptr) *accumulator_ += s;
+  }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  Histogram* histogram_ = nullptr;
+  Gauge* gauge_ = nullptr;
+  double* accumulator_ = nullptr;
+};
+
+}  // namespace cbes::obs

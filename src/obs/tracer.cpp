@@ -1,0 +1,97 @@
+#include "obs/tracer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cbes::obs {
+
+namespace {
+
+/// Small dense thread ids for trace rows (std::thread::id is opaque).
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession::TraceSession(std::size_t capacity) : capacity_(capacity) {
+  CBES_CHECK_MSG(capacity >= 2, "trace buffer too small to hold one span");
+  events_.reserve(capacity < 1024 ? capacity : 1024);
+}
+
+void TraceSession::record(std::string_view name, char phase) {
+  const double ts = now_us();
+  const std::uint32_t tid = current_tid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{std::string(name), phase, ts, tid});
+}
+
+void TraceSession::begin(std::string_view name) { record(name, 'B'); }
+void TraceSession::end(std::string_view name) { record(name, 'E'); }
+void TraceSession::instant(std::string_view name) { record(name, 'i'); }
+
+std::size_t TraceSession::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceSession::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceSession::export_chrome_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::string name;
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    name.clear();
+    append_escaped(name, e.name);
+    os << "{\"name\":\"" << name << "\",\"cat\":\"cbes\",\"ph\":\"" << e.phase
+       << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
+    // Instant events need a scope; thread scope keeps them on their row.
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string TraceSession::to_json() const {
+  std::ostringstream os;
+  export_chrome_json(os);
+  return os.str();
+}
+
+}  // namespace cbes::obs

@@ -1,0 +1,95 @@
+// Structured event tracer: records begin/end spans and instant events into a
+// bounded in-memory buffer and exports Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// A TraceSession pointer of nullptr means "tracing off": TraceSpan and the
+// instrumented call sites short-circuit on the null check before doing any
+// clock reads or string formatting, so disabled tracing costs one branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbes::obs {
+
+class TraceSession {
+ public:
+  /// `capacity` bounds the buffered event count; once full, further events
+  /// are dropped (and counted) rather than growing without bound.
+  explicit TraceSession(std::size_t capacity = 1 << 16);
+
+  /// Span start / end. Ends must match begins stack-wise per thread, as in
+  /// the Chrome trace-event contract for duration events.
+  void begin(std::string_view name);
+  void end(std::string_view name);
+  /// Zero-duration marker.
+  void instant(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t dropped() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of B/E/i phase records).
+  void export_chrome_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Event {
+    std::string name;
+    char phase;       // 'B', 'E', or 'i'
+    double ts_us;     // microseconds since session start
+    std::uint32_t tid;
+  };
+
+  void record(std::string_view name, char phase);
+  [[nodiscard]] double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// RAII span: begin at construction, end at destruction. A null session makes
+/// both ends no-ops.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSession* session, std::string_view name)
+      : session_(session) {
+    if (session_ != nullptr) {
+      name_.assign(name);
+      session_->begin(name_);
+    }
+  }
+  /// Two-part name so disabled sessions skip the concatenation too.
+  TraceSpan(TraceSession* session, std::string_view prefix,
+            std::string_view suffix)
+      : session_(session) {
+    if (session_ != nullptr) {
+      name_.reserve(prefix.size() + suffix.size());
+      name_.append(prefix).append(suffix);
+      session_->begin(name_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (session_ != nullptr) session_->end(name_);
+  }
+
+ private:
+  TraceSession* session_;
+  std::string name_;
+};
+
+}  // namespace cbes::obs

@@ -1,11 +1,11 @@
 #include "sched/annealing.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/timer.h"
 
 namespace cbes {
 
@@ -153,7 +153,7 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
                                                      const NodePool& pool,
                                                      const CostFunction& cost) {
   CBES_CHECK_MSG(nranks >= 1, "cannot schedule zero ranks");
-  const auto start = std::chrono::steady_clock::now();
+  const obs::ScopedTimer timer;
   Rng rng(params_.seed);
 
   ScheduleResult best;
@@ -195,9 +195,12 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
       t0 = -mean_uphill / std::log(params_.t0_acceptance);
     }
     const double t_min = t0 * params_.t_min_factor;
+    if (observer_ != nullptr) observer_->on_restart(restart, t0, current);
 
     for (double t = t0; t > t_min && evaluations < params_.max_evaluations;
          t *= params_.cooling) {
+      std::size_t attempted = 0;
+      std::size_t accepted = 0;
       for (std::size_t m = 0;
            m < params_.moves_per_temperature &&
            evaluations < params_.max_evaluations;
@@ -205,9 +208,11 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
         const SaState::Move move = state.propose(rng, allow_relocate);
         const double trial = cost(state.mapping());
         ++evaluations;
+        ++attempted;
         const double delta = trial - current;
         if (delta <= 0.0 || rng.chance(std::exp(-delta / t))) {
           current = trial;
+          ++accepted;
           // "<=" so that on plateaus (NCS inside an equal-speed pool, where
           // the cost cannot distinguish mappings) the walk endpoint is kept —
           // the paper's observation that NCS then "behaves like RS".
@@ -219,13 +224,25 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
           state.undo(move);
         }
       }
+      if (observer_ != nullptr) {
+        obs::AnnealStep step;
+        step.restart = restart;
+        step.temperature = t;
+        step.attempted = attempted;
+        step.accepted = accepted;
+        step.current_energy = current;
+        step.best_energy = best.cost;
+        step.evaluations = evaluations;
+        observer_->on_temperature_step(step);
+      }
     }
   }
 
   best.evaluations = evaluations;
-  best.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  best.wall_seconds = timer.seconds();
+  if (observer_ != nullptr) {
+    observer_->on_finish(best.cost, best.evaluations, best.wall_seconds);
+  }
   return best;
 }
 

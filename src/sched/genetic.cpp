@@ -1,11 +1,11 @@
 #include "sched/genetic.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/timer.h"
 
 namespace cbes {
 
@@ -77,7 +77,7 @@ GeneticScheduler::GeneticScheduler(GaParams params) : params_(params) {
 ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
                                           const NodePool& pool,
                                           const CostFunction& cost) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::ScopedTimer timer;
   Rng rng(params_.seed);
 
   struct Individual {
@@ -135,9 +135,10 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
   result.mapping = population.front().mapping;
   result.cost = population.front().cost;
   result.evaluations = evaluations;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
+  if (observer_ != nullptr) {
+    observer_->on_finish(result.cost, result.evaluations, result.wall_seconds);
+  }
   return result;
 }
 

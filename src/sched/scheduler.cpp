@@ -1,6 +1,6 @@
 #include "sched/scheduler.h"
 
-#include <chrono>
+#include "obs/timer.h"
 
 namespace cbes {
 
@@ -9,14 +9,15 @@ RandomScheduler::RandomScheduler(std::uint64_t seed) : rng_(seed) {}
 ScheduleResult RandomScheduler::schedule(std::size_t nranks,
                                          const NodePool& pool,
                                          const CostFunction& cost) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::ScopedTimer timer;
   ScheduleResult result;
   result.mapping = pool.random_mapping(nranks, rng_);
   result.cost = cost(result.mapping);
   result.evaluations = 1;
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.wall_seconds = timer.seconds();
+  if (observer_ != nullptr) {
+    observer_->on_finish(result.cost, result.evaluations, result.wall_seconds);
+  }
   return result;
 }
 

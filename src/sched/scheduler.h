@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/types.h"
+#include "obs/observer.h"
 #include "sched/cost.h"
 #include "sched/pool.h"
 
@@ -30,6 +31,16 @@ class Scheduler {
                                                 const NodePool& pool,
                                                 const CostFunction& cost) = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Telemetry sink for subsequent schedule() calls; nullptr (the default)
+  /// disables observation. `observer` must outlive those calls. Observation
+  /// never influences the search — results are identical either way.
+  void set_observer(obs::SchedulerObserver* observer) noexcept {
+    observer_ = observer;
+  }
+
+ protected:
+  obs::SchedulerObserver* observer_ = nullptr;
 };
 
 /// RS: picks one mapping uniformly at random and reports its cost.

@@ -1,0 +1,385 @@
+// Unit tests for the observability layer: metrics registry (counters under
+// concurrency, histogram buckets and quantiles, Prometheus exposition),
+// Chrome-trace export (well-formed JSON, span nesting), and the null-observer
+// / null-session short-circuits on the instrumented paths.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/timer.h"
+#include "obs/tracer.h"
+#include "sched/annealing.h"
+#include "sched/pool.h"
+#include "topology/builders.h"
+
+namespace cbes {
+namespace {
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(Counter, ConcurrentIncrements) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, ConcurrentObservations) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket(1), h.count());  // all in (1, 2]
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5 * static_cast<double>(h.count()));
+}
+
+TEST(Histogram, BucketBoundaries) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == bound  -> bucket 0 (le semantics)
+  h.observe(1.0001); //           -> bucket 1
+  h.observe(10.0);   //           -> bucket 1
+  h.observe(99.0);   //           -> bucket 2
+  h.observe(1000.0); // overflow  -> bucket 3
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Histogram, QuantileEstimates) {
+  obs::Histogram h({1.0, 2.0, 3.0, 4.0});
+  // 100 observations uniform over (0, 4]: 25 per bucket.
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i) * 0.04);
+  // Median falls at the boundary between buckets 1 and 2.
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 0.1);
+  EXPECT_NEAR(h.quantile(0.25), 1.0, 0.1);
+  EXPECT_NEAR(h.quantile(1.0), 4.0, 1e-9);
+  EXPECT_GT(h.quantile(0.9), h.quantile(0.5));
+}
+
+TEST(Histogram, QuantileOverflowReportsLastBound) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(50.0);
+  h.observe(60.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), ContractError);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), ContractError);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), ContractError);
+}
+
+TEST(Histogram, ExponentialLadder) {
+  const auto bounds = obs::Histogram::exponential(1e-6, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  EXPECT_NEAR(bounds[3], 1e-3, 1e-12);
+}
+
+TEST(Registry, ExposeTextFormat) {
+  obs::MetricsRegistry reg;
+  reg.counter("requests_total", "requests served").inc(3);
+  reg.gauge("temperature", "current T").set(0.25);
+  obs::Histogram& h = reg.histogram("latency_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("# HELP requests_total requests served"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE temperature gauge"), std::string::npos);
+  EXPECT_NE(text.find("temperature 0.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  // Prometheus buckets are cumulative and include +Inf.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3"), std::string::npos);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x_total");
+  obs::Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x_total");
+  EXPECT_THROW(reg.gauge("x_total"), ContractError);
+  EXPECT_THROW(reg.histogram("x_total", {1.0}), ContractError);
+}
+
+TEST(Registry, SamplesFlattenHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("a_total").inc(2);
+  reg.histogram("h_seconds", {1.0}).observe(0.5);
+  const auto samples = reg.samples();
+  ASSERT_EQ(samples.size(), 3u);  // a_total, h_seconds_count, h_seconds_sum
+  bool saw_count = false;
+  for (const auto& s : samples) {
+    if (s.name == "h_seconds_count") {
+      saw_count = true;
+      EXPECT_DOUBLE_EQ(s.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_count);
+}
+
+// ---------------------------------------------------------------- timer ----
+
+TEST(ScopedTimer, SinksReceiveElapsed) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("t_seconds", {10.0});
+  double acc = 0.0;
+  {
+    const obs::ScopedTimer into_hist(&h);
+    const obs::ScopedTimer into_acc(&acc);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LT(acc, 10.0);  // sanity: a no-op scope is far under 10 s
+}
+
+// --------------------------------------------------------------- tracer ----
+
+/// Minimal Chrome trace-event checker: verifies the JSON wrapper, extracts
+/// the (name, ph, ts, tid) of each event, and stack-checks B/E nesting per
+/// thread as chrome://tracing does.
+struct ParsedEvent {
+  std::string name;
+  char phase = '?';
+  double ts = -1.0;
+  int tid = -1;
+};
+
+std::vector<ParsedEvent> parse_trace(const std::string& json) {
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("]"), std::string::npos);
+  std::vector<ParsedEvent> events;
+  std::size_t pos = 0;
+  auto field = [&](const std::string& obj, const std::string& key) {
+    const std::size_t k = obj.find("\"" + key + "\":");
+    EXPECT_NE(k, std::string::npos) << "missing key " << key << " in " << obj;
+    return obj.substr(k + key.size() + 3);
+  };
+  while ((pos = json.find('{', pos + 1)) != std::string::npos) {
+    const std::size_t end = json.find('}', pos);
+    const std::string obj = json.substr(pos, end - pos + 1);
+    ParsedEvent e;
+    std::string v = field(obj, "name");
+    EXPECT_EQ(v.front(), '"');
+    e.name = v.substr(1, v.find('"', 1) - 1);
+    e.phase = field(obj, "ph")[1];
+    e.ts = std::stod(field(obj, "ts"));
+    e.tid = std::stoi(field(obj, "tid"));
+    events.push_back(e);
+    pos = end;
+  }
+  return events;
+}
+
+TEST(Tracer, ExportsWellFormedNestedSpans) {
+  obs::TraceSession session;
+  session.begin("outer");
+  session.instant("marker");
+  session.begin("inner");
+  session.end("inner");
+  session.end("outer");
+
+  const std::string json = session.to_json();
+  const auto events = parse_trace(json);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[4].phase, 'E');
+
+  // Timestamps are monotone non-decreasing; B/E nest like a stack per tid.
+  std::vector<std::string> stack;
+  double last_ts = 0.0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.ts, last_ts);
+    last_ts = e.ts;
+    EXPECT_EQ(e.tid, events[0].tid);  // single-threaded trace: one row
+    if (e.phase == 'B') stack.push_back(e.name);
+    if (e.phase == 'E') {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(Tracer, EscapesNamesInJson) {
+  obs::TraceSession session;
+  session.instant("quote\"back\\slash");
+  const std::string json = session.to_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(Tracer, CapacityBoundsBufferAndCountsDrops) {
+  obs::TraceSession session(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) session.instant("e");
+  EXPECT_EQ(session.size(), 4u);
+  EXPECT_EQ(session.dropped(), 6u);
+}
+
+TEST(Tracer, NullSessionSpanIsNoOp) {
+  // Must not crash or allocate a name; exercised exactly as call sites do.
+  const obs::TraceSpan span(nullptr, "never-recorded");
+  const obs::TraceSpan concat(nullptr, "prefix:", "suffix");
+}
+
+TEST(Tracer, SpanRaiiBalancesEvents) {
+  obs::TraceSession session;
+  {
+    const obs::TraceSpan outer(&session, "a");
+    const obs::TraceSpan inner(&session, "b");
+  }
+  const auto events = parse_trace(session.to_json());
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_EQ(events[3].name, "a");
+}
+
+// ------------------------------------------------------------- observer ----
+
+/// Records every callback for assertions.
+class RecordingObserver final : public obs::SchedulerObserver {
+ public:
+  void on_restart(std::size_t, double t0, double) override {
+    ++restarts;
+    last_t0 = t0;
+  }
+  void on_temperature_step(const obs::AnnealStep& step) override {
+    steps.push_back(step);
+  }
+  void on_finish(double best, std::size_t evals, double) override {
+    finished = true;
+    final_best = best;
+    final_evals = evals;
+  }
+
+  std::size_t restarts = 0;
+  double last_t0 = 0.0;
+  std::vector<obs::AnnealStep> steps;
+  bool finished = false;
+  double final_best = 0.0;
+  std::size_t final_evals = 0;
+};
+
+/// Toy objective rewarding low node indices; optimum is nodes {0..n-1}.
+class IndexSumCost final : public CostFunction {
+ public:
+  double operator()(const Mapping& m) const override {
+    double sum = 0;
+    for (NodeId n : m.assignment()) sum += static_cast<double>(n.value);
+    return sum;
+  }
+};
+
+TEST(SchedulerObserver, AnnealerEmitsConsistentTelemetry) {
+  const ClusterTopology topo = make_orange_grove();
+  const NodePool pool = NodePool::whole_cluster(topo);
+  const IndexSumCost cost;
+
+  SaParams params;
+  params.seed = 42;
+  // Default budget runs out mid-restart; raise it so every restart completes
+  // and the observer sees exactly params.restarts on_restart callbacks.
+  params.max_evaluations = 200000;
+  SimulatedAnnealingScheduler sa(params);
+  RecordingObserver observer;
+  sa.set_observer(&observer);
+  const ScheduleResult result = sa.schedule(8, pool, cost);
+
+  EXPECT_EQ(observer.restarts, params.restarts);
+  EXPECT_TRUE(observer.finished);
+  EXPECT_DOUBLE_EQ(observer.final_best, result.cost);
+  EXPECT_EQ(observer.final_evals, result.evaluations);
+  ASSERT_FALSE(observer.steps.empty());
+
+  double last_best = std::numeric_limits<double>::infinity();
+  for (const obs::AnnealStep& step : observer.steps) {
+    EXPECT_GT(step.temperature, 0.0);
+    EXPECT_LE(step.accepted, step.attempted);
+    EXPECT_LE(step.attempted, params.moves_per_temperature);
+    EXPECT_LE(step.best_energy, last_best);  // best only improves
+    EXPECT_GE(step.acceptance_rate(), 0.0);
+    EXPECT_LE(step.acceptance_rate(), 1.0);
+    last_best = step.best_energy;
+  }
+  // Cooling: within one restart, temperature decreases monotonically.
+  for (std::size_t i = 1; i < observer.steps.size(); ++i) {
+    if (observer.steps[i].restart == observer.steps[i - 1].restart) {
+      EXPECT_LT(observer.steps[i].temperature,
+                observer.steps[i - 1].temperature);
+    }
+  }
+  EXPECT_EQ(observer.steps.back().evaluations, result.evaluations);
+}
+
+TEST(SchedulerObserver, NullObserverShortCircuitsAndPreservesResults) {
+  const ClusterTopology topo = make_orange_grove();
+  const NodePool pool = NodePool::whole_cluster(topo);
+  const IndexSumCost cost;
+
+  SaParams params;
+  params.seed = 7;
+  SimulatedAnnealingScheduler observed(params);
+  RecordingObserver observer;
+  observed.set_observer(&observer);
+  const ScheduleResult with = observed.schedule(8, pool, cost);
+
+  SimulatedAnnealingScheduler plain(params);  // observer_ stays nullptr
+  const ScheduleResult without = plain.schedule(8, pool, cost);
+
+  // Observation must not perturb the search.
+  EXPECT_EQ(with.mapping.assignment(), without.mapping.assignment());
+  EXPECT_DOUBLE_EQ(with.cost, without.cost);
+  EXPECT_EQ(with.evaluations, without.evaluations);
+
+  // And turning it off again really turns it off.
+  observed.set_observer(nullptr);
+  const std::size_t steps_before = observer.steps.size();
+  (void)observed.schedule(8, pool, cost);
+  EXPECT_EQ(observer.steps.size(), steps_before);
+}
+
+}  // namespace
+}  // namespace cbes
