@@ -1,0 +1,135 @@
+// Server throughput — requests/sec through the CbesServer broker at 1, 4, and
+// 8 worker threads, with the EvalCache on and off. The workload mirrors the
+// cbes_cli `serve` demo: concurrent synthetic clients submitting a mixed
+// stream of predict and compare requests against a small shared mapping set
+// (so the cache sees realistic repetition).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace cbes;
+
+struct Workload {
+  std::string app;
+  std::vector<Mapping> mappings;
+  std::size_t clients = 8;
+  std::size_t requests_per_client = 200;
+};
+
+struct Throughput {
+  double rps = 0.0;
+  double hit_rate = 0.0;  ///< cache hits / lookups
+  std::size_t completed = 0;
+};
+
+Throughput run_once(CbesService& svc, const Workload& load,
+                    std::size_t workers, bool enable_cache) {
+  server::ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.max_queue_depth = load.clients * load.requests_per_client;
+  cfg.enable_cache = enable_cache;
+  server::CbesServer srv(svc, cfg);
+
+  std::atomic<std::size_t> completed{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pumps;
+  pumps.reserve(load.clients);
+  for (std::size_t c = 0; c < load.clients; ++c) {
+    pumps.emplace_back([&, c] {
+      for (std::size_t k = 0; k < load.requests_per_client; ++k) {
+        server::JobHandle handle;
+        if ((c + k) % 2 == 0) {
+          server::PredictRequest req;
+          req.app = load.app;
+          req.mapping = load.mappings[(c + k) % load.mappings.size()];
+          handle = srv.submit(std::move(req));
+        } else {
+          server::CompareRequest req;
+          req.app = load.app;
+          req.candidates = {load.mappings[c % load.mappings.size()],
+                            load.mappings[(c + 2) % load.mappings.size()]};
+          handle = srv.submit(std::move(req));
+        }
+        if (handle.wait().state == server::JobState::kDone) {
+          completed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pumps) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  srv.shutdown();
+
+  Throughput out;
+  out.completed = completed.load();
+  out.rps = static_cast<double>(load.clients * load.requests_per_client) /
+            elapsed;
+  const double lookups =
+      static_cast<double>(srv.cache().hits() + srv.cache().misses());
+  out.hit_rate = lookups > 0.0
+                     ? static_cast<double>(srv.cache().hits()) / lookups
+                     : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cbes;
+  bench::Env env = bench::make_orange_grove_env();
+  const LuParams lu = bench::orange_grove_lu_params();
+  const Program program = make_lu(lu);
+  const std::size_t nranks = program.nranks();
+  env.svc->register_application(
+      program, Mapping::round_robin(env.topology(), nranks));
+
+  Workload load;
+  load.app = program.name;
+  load.mappings.push_back(Mapping::round_robin(env.topology(), nranks));
+  const NodePool pool = NodePool::whole_cluster(env.topology());
+  Rng rng(0xBE9C);
+  for (int i = 0; i < 7; ++i) {
+    load.mappings.push_back(pool.random_mapping(nranks, rng));
+  }
+
+  std::printf("=== CbesServer throughput: %zu clients x %zu mixed "
+              "predict/compare requests ===\n",
+              load.clients, load.requests_per_client);
+  TextTable t({"workers", "cache", "req/s", "cache hit rate", "completed"});
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    for (const bool cache : {false, true}) {
+      const Throughput r = run_once(env.service(), load, workers, cache);
+      t.row()
+          .cell(static_cast<double>(workers), 0)
+          .cell(cache ? "on" : "off")
+          .cell(r.rps, 0)
+          .cell(format_percent(r.hit_rate))
+          .cell(static_cast<double>(r.completed), 0);
+      if (cache) {
+        bench::record_metric(
+            "server_rps_" + std::to_string(workers) + "_workers", r.rps,
+            "req/s");
+      } else {
+        bench::record_metric("server_rps_" + std::to_string(workers) +
+                                 "_workers_nocache",
+                             r.rps, "req/s");
+      }
+    }
+  }
+  t.print(std::cout);
+  const std::string path = bench::write_bench_json("server_throughput");
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

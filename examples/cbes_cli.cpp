@@ -9,6 +9,13 @@
 //   cbes_cli predict <cluster> <app> <ranks> --map n0,n1,...
 //   cbes_cli compare <cluster> <app> <ranks> --map a0,a1,.. --map b0,b1,..
 //   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
+//   cbes_cli serve <cluster> <app> <ranks> [--workers N] [--clients M]
+//                  [--requests K] [--deadline-ms D]
+//
+// `serve` runs the CBES daemon in-process: a CbesServer broker over the
+// service, fed by M concurrent synthetic clients submitting K mixed
+// predict/compare/schedule requests each; prints per-state totals, cache
+// hits, and requests/sec.
 //
 // Observability flags (accepted anywhere on the command line):
 //   --metrics-out <file>   write Prometheus-format metrics on exit
@@ -18,10 +25,13 @@
 //                          temperature step) to stderr
 //
 // Node lists are comma-separated node indices (see `topo` for the listing).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.h"
@@ -30,6 +40,7 @@
 #include "obs/observer.h"
 #include "obs/tracer.h"
 #include "profile/serialize.h"
+#include "server/server.h"
 #include "topology/parser.h"
 #include "sched/annealing.h"
 #include "sched/cost.h"
@@ -50,10 +61,21 @@ bool g_verbose = false;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cbes_cli <topo|apps|profile|predict|compare|schedule> "
-               "... [--metrics-out m.txt] [--trace-out t.json] [--verbose]\n"
+               "usage: cbes_cli <topo|apps|profile|predict|compare|schedule"
+               "|serve> ... [--metrics-out m.txt] [--trace-out t.json] "
+               "[--verbose]\n"
                "(see the header of examples/cbes_cli.cpp)\n");
   return 2;
+}
+
+/// Strict unsigned parse: the whole token must be the number. `std::stoul`
+/// alone accepts "8x" as 8, which silently mis-reads mangled command lines.
+std::size_t parse_count(const std::string& token, const char* what) {
+  std::size_t pos = 0;
+  const unsigned long value = std::stoul(token, &pos);
+  CBES_CHECK_MSG(pos == token.size(),
+                 std::string("bad ") + what + ": " + token);
+  return static_cast<std::size_t>(value);
 }
 
 /// Prints convergence when --verbose and mirrors annealing telemetry into the
@@ -126,7 +148,8 @@ Mapping parse_mapping(const std::string& spec) {
     const std::size_t comma = spec.find(',', pos);
     const std::string token = spec.substr(
         pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    nodes.emplace_back(static_cast<std::uint32_t>(std::stoul(token)));
+    nodes.emplace_back(
+        static_cast<std::uint32_t>(parse_count(token, "node index")));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
@@ -226,6 +249,12 @@ int cmd_predict_or_compare(const std::string& cluster, const std::string& app,
 int cmd_schedule(const std::string& cluster, const std::string& app,
                  std::size_t ranks, const std::string& arch_filter,
                  const std::string& algo) {
+  if (!arch_filter.empty() && arch_filter != "A" && arch_filter != "I" &&
+      arch_filter != "S") {
+    std::fprintf(stderr, "error: --arch must be A, I, or S (got '%s')\n",
+                 arch_filter.c_str());
+    return 2;
+  }
   Session s(cluster, app, ranks);
   NodePool pool = NodePool::whole_cluster(s.topo);
   if (arch_filter == "A") pool = NodePool::by_arch(s.topo, Arch::kAlpha533);
@@ -269,6 +298,124 @@ int cmd_schedule(const std::string& cluster, const std::string& app,
   return 0;
 }
 
+/// Serve options for the in-process daemon demo.
+struct ServeOptions {
+  std::size_t workers = 4;
+  std::size_t clients = 4;
+  std::size_t requests = 32;  ///< per client
+  std::size_t deadline_ms = 0;
+};
+
+int cmd_serve(const std::string& cluster, const std::string& app,
+              std::size_t ranks, const ServeOptions& opt) {
+  Session s(cluster, app, ranks);
+
+  server::ServerConfig cfg;
+  cfg.workers = opt.workers;
+  cfg.max_queue_depth = std::max<std::size_t>(64, opt.clients * opt.requests);
+  cfg.metrics = g_metrics.get();
+  server::CbesServer srv(s.svc, cfg);
+
+  // A small shared pool of candidate mappings so concurrent clients repeat
+  // each other's predict requests — that repetition is what the EvalCache
+  // turns into hits.
+  const NodePool pool = NodePool::whole_cluster(s.topo);
+  std::vector<Mapping> mappings;
+  mappings.push_back(Mapping::round_robin(s.topo, ranks));
+  Rng rng(0xCBE5);
+  for (int i = 0; i < 5; ++i) {
+    mappings.push_back(pool.random_mapping(ranks, rng));
+  }
+
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> cancelled{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> degraded{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pumps;
+  pumps.reserve(opt.clients);
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    pumps.emplace_back([&, c] {
+      for (std::size_t k = 0; k < opt.requests; ++k) {
+        server::SubmitOptions submit;
+        if (opt.deadline_ms > 0) {
+          submit.deadline = std::chrono::milliseconds(opt.deadline_ms);
+        }
+        server::JobHandle handle;
+        switch ((c + k) % 3) {
+          case 0: {
+            server::PredictRequest req;
+            req.app = s.program.name;
+            req.mapping = mappings[(c + k) % mappings.size()];
+            handle = srv.submit(std::move(req), submit);
+            break;
+          }
+          case 1: {
+            server::CompareRequest req;
+            req.app = s.program.name;
+            req.candidates = {mappings[c % mappings.size()],
+                              mappings[(c + 1) % mappings.size()]};
+            handle = srv.submit(std::move(req), submit);
+            break;
+          }
+          default: {
+            server::ScheduleRequest req;
+            req.app = s.program.name;
+            req.nranks = ranks;
+            req.algo = server::Algo::kRandom;
+            req.seed = c * 1000 + k;  // per-job stream, deterministic
+            handle = srv.submit(std::move(req), submit);
+            break;
+          }
+        }
+        const server::JobResult result = handle.wait();
+        switch (result.state) {
+          case server::JobState::kDone:
+            done.fetch_add(1);
+            break;
+          case server::JobState::kCancelled:
+            cancelled.fetch_add(1);
+            break;
+          case server::JobState::kRejected:
+            rejected.fetch_add(1);
+            break;
+          default:
+            failed.fetch_add(1);
+            break;
+        }
+        if (result.cache_hit) cache_hits.fetch_add(1);
+        if (result.degraded) degraded.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : pumps) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  srv.shutdown(/*drain=*/true);
+
+  const std::size_t total = opt.clients * opt.requests;
+  std::printf("served %zu requests from %zu clients on %zu workers in %.3f s "
+              "(%.0f req/s)\n",
+              total, opt.clients, opt.workers, elapsed,
+              static_cast<double>(total) / elapsed);
+  std::printf("  done=%zu cancelled=%zu rejected=%zu failed=%zu\n",
+              done.load(), cancelled.load(), rejected.load(), failed.load());
+  std::printf("  cache: %zu request-level hits (%llu lookups hit, %llu "
+              "missed)\n",
+              cache_hits.load(),
+              static_cast<unsigned long long>(srv.cache().hits()),
+              static_cast<unsigned long long>(srv.cache().misses()));
+  if (degraded.load() > 0) {
+    std::printf("  degraded (stale-monitor) answers: %zu\n", degraded.load());
+  }
+  // Failures mean a request violated a contract mid-run — a broken demo.
+  return failed.load() == 0 ? 0 : 1;
+}
+
 int dispatch(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const std::string& cmd = args[0];
@@ -277,7 +424,7 @@ int dispatch(const std::vector<std::string>& args) {
   if (args.size() < 4) return usage();
   const std::string& cluster = args[1];
   const std::string& app = args[2];
-  const auto ranks = static_cast<std::size_t>(std::stoul(args[3]));
+  const std::size_t ranks = parse_count(args[3], "rank count");
 
   if (cmd == "profile") {
     return cmd_profile(cluster, app, ranks,
@@ -285,8 +432,14 @@ int dispatch(const std::vector<std::string>& args) {
   }
   if (cmd == "predict" || cmd == "compare") {
     std::vector<std::string> specs;
-    for (std::size_t i = 4; i + 1 < args.size(); i += 2) {
-      if (args[i] == "--map") specs.push_back(args[i + 1]);
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--map" && i + 1 < args.size()) {
+        specs.push_back(args[++i]);
+      } else {
+        std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                     args[i].c_str());
+        return usage();
+      }
     }
     if (specs.empty()) return usage();
     return cmd_predict_or_compare(cluster, app, ranks, specs);
@@ -297,27 +450,54 @@ int dispatch(const std::vector<std::string>& args) {
     for (std::size_t i = 4; i < args.size(); ++i) {
       if (args[i] == "--arch" && i + 1 < args.size()) {
         arch = args[++i];
-      } else {
+      } else if (args[i] == "--sa" || args[i] == "--ga" || args[i] == "--rs") {
         algo = args[i];
+      } else {
+        std::fprintf(stderr, "error: unknown schedule option '%s'\n",
+                     args[i].c_str());
+        return usage();
       }
     }
     return cmd_schedule(cluster, app, ranks, arch, algo);
+  }
+  if (cmd == "serve") {
+    ServeOptions opt;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--workers" && i + 1 < args.size()) {
+        opt.workers = parse_count(args[++i], "--workers");
+      } else if (args[i] == "--clients" && i + 1 < args.size()) {
+        opt.clients = parse_count(args[++i], "--clients");
+      } else if (args[i] == "--requests" && i + 1 < args.size()) {
+        opt.requests = parse_count(args[++i], "--requests");
+      } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+        opt.deadline_ms = parse_count(args[++i], "--deadline-ms");
+      } else {
+        std::fprintf(stderr, "error: unknown serve option '%s'\n",
+                     args[i].c_str());
+        return usage();
+      }
+    }
+    return cmd_serve(cluster, app, ranks, opt);
   }
   return usage();
 }
 
 /// Writes the metrics / trace files requested on the command line. Runs on
 /// every exit path so a failed command still leaves its partial trail.
-void flush_observability(const std::string& metrics_path,
-                         const std::string& trace_path) {
+/// Returns false when a requested file could not be written — which must
+/// surface in the exit code, not just on stderr.
+[[nodiscard]] bool flush_observability(const std::string& metrics_path,
+                                       const std::string& trace_path) {
+  bool ok = true;
   if (g_metrics != nullptr && !metrics_path.empty()) {
     std::ofstream out(metrics_path);
     out << g_metrics->expose_text();
     if (out) {
       std::fprintf(stderr, "[wrote metrics to %s]\n", metrics_path.c_str());
     } else {
-      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+      std::fprintf(stderr, "error: could not write metrics to %s\n",
                    metrics_path.c_str());
+      ok = false;
     }
   }
   if (g_trace != nullptr && !trace_path.empty()) {
@@ -327,10 +507,12 @@ void flush_observability(const std::string& metrics_path,
       std::fprintf(stderr, "[wrote %zu trace events to %s]\n", g_trace->size(),
                    trace_path.c_str());
     } else {
-      std::fprintf(stderr, "warning: could not write trace to %s\n",
+      std::fprintf(stderr, "error: could not write trace to %s\n",
                    trace_path.c_str());
+      ok = false;
     }
   }
+  return ok;
 }
 
 }  // namespace
@@ -361,11 +543,13 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) g_trace = std::make_unique<obs::TraceSession>();
 
     const int rc = dispatch(args);
-    flush_observability(metrics_path, trace_path);
-    return rc;
+    const bool flushed = flush_observability(metrics_path, trace_path);
+    // A command that succeeded but failed to write its requested artifacts
+    // is still a failure.
+    return rc != 0 ? rc : (flushed ? 0 : 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    flush_observability(metrics_path, trace_path);
+    static_cast<void>(flush_observability(metrics_path, trace_path));
     return 1;
   }
 }

@@ -3,9 +3,13 @@
 #   1. configure + build with the project warning set (-Wall -Wextra and
 #      friends come from the cbes_warnings interface target) and run ctest;
 #   2. rebuild tests once under AddressSanitizer (-DCBES_SANITIZE=address)
-#      and run them again.
+#      and run them again;
+#   3. with CBES_SANITIZE=thread in the environment, also rebuild under
+#      ThreadSanitizer and run the concurrent server tests (test_server),
+#      which exercise the request broker's queue/cache/worker locking.
 #
 # Usage: scripts/check.sh [--no-asan]
+#        CBES_SANITIZE=thread scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,13 +22,20 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 
 if [[ "${1:-}" == "--no-asan" ]]; then
   echo "== skipping ASan pass (--no-asan) =="
-  exit 0
+else
+  echo "== ASan pass: rebuild tests with -DCBES_SANITIZE=address =="
+  cmake -B build-asan -S . -DCBES_SANITIZE=address \
+    -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
 fi
 
-echo "== ASan pass: rebuild tests with -DCBES_SANITIZE=address =="
-cmake -B build-asan -S . -DCBES_SANITIZE=address \
-  -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-asan -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -j "$jobs"
+if [[ "${CBES_SANITIZE:-}" == "thread" ]]; then
+  echo "== TSan pass: rebuild with -DCBES_SANITIZE=thread, run server tests =="
+  cmake -B build-tsan -S . -DCBES_SANITIZE=thread \
+    -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j "$jobs" --target test_server
+  ./build-tsan/tests/test_server
+fi
 
 echo "== all checks passed =="

@@ -59,6 +59,7 @@ const AppProfile& CbesService::register_application(
 
 const AppProfile& CbesService::register_profile(AppProfile profile) {
   CBES_CHECK_MSG(!profile.app_name.empty(), "profile must carry an app name");
+  const std::unique_lock lock(profiles_mu_);
   auto [it, _] =
       profiles_.insert_or_assign(profile.app_name, std::move(profile));
   if (profiles_registered_ != nullptr) {
@@ -67,34 +68,58 @@ const AppProfile& CbesService::register_profile(AppProfile profile) {
   return it->second;
 }
 
-const AppProfile& CbesService::profile_of(const std::string& name) const {
+const AppProfile& CbesService::find_profile(const std::string& name) const {
   const auto it = profiles_.find(name);
   CBES_CHECK_MSG(it != profiles_.end(), "no profile registered for: " + name);
   return it->second;
 }
 
+const AppProfile& CbesService::profile_of(const std::string& name) const {
+  const std::shared_lock lock(profiles_mu_);
+  return find_profile(name);
+}
+
 bool CbesService::has_profile(const std::string& name) const {
+  const std::shared_lock lock(profiles_mu_);
   return profiles_.contains(name);
+}
+
+AppProfile CbesService::profile_copy(const std::string& name) const {
+  const std::shared_lock lock(profiles_mu_);
+  return find_profile(name);
 }
 
 Prediction CbesService::predict(const std::string& app, const Mapping& mapping,
                                 Seconds now) const {
+  return predict_under(app, mapping, monitor_.snapshot(now));
+}
+
+Prediction CbesService::predict_under(const std::string& app,
+                                      const Mapping& mapping,
+                                      const LoadSnapshot& snapshot) const {
   if (predict_requests_ != nullptr) predict_requests_->inc();
   const obs::TraceSpan span(config_.trace, "service/predict:", app);
-  return evaluator_->predict(profile_of(app), mapping, monitor_.snapshot(now));
+  const std::shared_lock lock(profiles_mu_);
+  return evaluator_->predict(find_profile(app), mapping, snapshot);
 }
 
 CbesService::ComparisonResult CbesService::compare(
     const std::string& app, const std::vector<Mapping>& candidates,
     Seconds now) const {
+  return compare_under(app, candidates, monitor_.snapshot(now));
+}
+
+CbesService::ComparisonResult CbesService::compare_under(
+    const std::string& app, const std::vector<Mapping>& candidates,
+    const LoadSnapshot& snapshot) const {
   CBES_CHECK_MSG(!candidates.empty(), "nothing to compare");
   if (compare_requests_ != nullptr) {
     compare_requests_->inc();
     compare_candidates_->inc(candidates.size());
   }
   const obs::TraceSpan span(config_.trace, "service/compare:", app);
-  const AppProfile& profile = profile_of(app);
-  const LoadSnapshot snapshot = monitor_.snapshot(now);
+  const std::shared_lock lock(profiles_mu_);
+  const AppProfile& profile = find_profile(app);
 
   ComparisonResult result;
   result.predicted.reserve(candidates.size());

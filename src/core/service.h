@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -65,14 +66,29 @@ class CbesService {
   /// Registers an externally built profile (e.g. a segment profile).
   const AppProfile& register_profile(AppProfile profile);
 
+  /// The returned reference is stable until the same name is re-registered;
+  /// it must not be used concurrently with re-registration of that name (use
+  /// profile_copy() or predict_under()/compare_under() from server threads).
   [[nodiscard]] const AppProfile& profile_of(const std::string& name) const;
   [[nodiscard]] bool has_profile(const std::string& name) const;
+
+  /// Thread-safe copy of a registered profile — taken under the profile lock,
+  /// so it stays valid however long a scheduling job runs with it.
+  [[nodiscard]] AppProfile profile_copy(const std::string& name) const;
 
   // ---- the core operation ---------------------------------------------------
   /// Predicted execution time of `app` under `mapping`, given the monitor's
   /// availability picture at time `now`.
   [[nodiscard]] Prediction predict(const std::string& app,
                                    const Mapping& mapping, Seconds now) const;
+
+  /// predict() against an explicit availability snapshot (e.g. a degraded
+  /// no-load picture, or one snapshot shared by a batch of evaluations).
+  /// Thread-safe against concurrent register_application/register_profile:
+  /// the profile lock is held for the whole evaluation.
+  [[nodiscard]] Prediction predict_under(const std::string& app,
+                                         const Mapping& mapping,
+                                         const LoadSnapshot& snapshot) const;
 
   struct ComparisonResult {
     std::vector<Seconds> predicted;  ///< one per candidate, in request order
@@ -85,6 +101,12 @@ class CbesService {
       const std::string& app, const std::vector<Mapping>& candidates,
       Seconds now) const;
 
+  /// compare() against an explicit availability snapshot; thread-safe like
+  /// predict_under().
+  [[nodiscard]] ComparisonResult compare_under(
+      const std::string& app, const std::vector<Mapping>& candidates,
+      const LoadSnapshot& snapshot) const;
+
   [[nodiscard]] const MappingEvaluator& evaluator() const noexcept {
     return *evaluator_;
   }
@@ -95,6 +117,9 @@ class CbesService {
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
+  /// Lookup without locking; callers hold profiles_mu_.
+  [[nodiscard]] const AppProfile& find_profile(const std::string& name) const;
+
   const ClusterTopology* topology_;
   Config config_;
   CalibrationReport calibration_report_;
@@ -102,6 +127,11 @@ class CbesService {
   std::unique_ptr<MappingEvaluator> evaluator_;
   SystemMonitor monitor_;
   MpiSimulator simulator_;
+  /// Guards profiles_: server worker threads serve predict/compare requests
+  /// under a shared lock while registrations take it exclusively. Everything
+  /// else the request path touches is already safe to share (the evaluator
+  /// and monitor are const over immutable state; metric updates are atomic).
+  mutable std::shared_mutex profiles_mu_;
   std::map<std::string, AppProfile> profiles_;
   // Cached instruments (null when config_.metrics is null).
   obs::Counter* predict_requests_ = nullptr;

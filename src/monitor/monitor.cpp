@@ -52,6 +52,15 @@ double SystemMonitor::noisy(double value, NodeId node, std::uint64_t tick,
   return value * rng.lognormal_median(1.0, config_.noise_sigma);
 }
 
+std::uint64_t SystemMonitor::epoch_at(Seconds now) const noexcept {
+  return static_cast<std::uint64_t>(
+      std::max(0.0, std::floor(now / config_.period)));
+}
+
+Seconds SystemMonitor::staleness(Seconds now) const noexcept {
+  return now - static_cast<double>(epoch_at(now)) * config_.period;
+}
+
 LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
   const std::size_t n = topology_->node_count();
   LoadSnapshot snap;
@@ -60,8 +69,8 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
   snap.nic_util.resize(n);
 
   // Ticks at k * period, k >= 0; the most recent published tick is floor(now/p).
-  const auto last_tick = static_cast<std::uint64_t>(
-      std::max(0.0, std::floor(now / config_.period)));
+  const std::uint64_t last_tick = epoch_at(now);
+  snap.epoch = last_tick;
   const std::uint64_t first_tick =
       last_tick + 1 >= config_.history ? last_tick + 1 - config_.history : 0;
 
@@ -95,6 +104,7 @@ LoadSnapshot SystemMonitor::truth_snapshot(Seconds now) const {
   const std::size_t n = topology_->node_count();
   LoadSnapshot snap;
   snap.taken_at = now;
+  snap.epoch = epoch_at(now);
   snap.cpu_avail.resize(n);
   snap.nic_util.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -44,8 +44,19 @@ class SystemMonitor {
   void set_forecaster(std::unique_ptr<Forecaster> forecaster);
 
   /// The availability picture the daemons have published by `now`, run through
-  /// the forecaster. Deterministic in (config.seed, now).
+  /// the forecaster. Deterministic in (config.seed, now). Thread-safe: may be
+  /// called concurrently from server worker threads (all state is read-only;
+  /// metric updates are atomic).
   [[nodiscard]] LoadSnapshot snapshot(Seconds now) const;
+
+  /// The publication epoch a snapshot taken at `now` would carry — the index
+  /// of the newest sensor tick published by then. Monotonic in `now`.
+  [[nodiscard]] std::uint64_t epoch_at(Seconds now) const noexcept;
+
+  /// Age of the newest published sensor tick at `now`, in seconds. Always in
+  /// [0, period); the request broker compares it against its configured
+  /// staleness bound to decide whether to serve degraded (no-load) answers.
+  [[nodiscard]] Seconds staleness(Seconds now) const noexcept;
 
   /// Ground truth at `now` — what an oracle monitor would report. Used by
   /// experiments to separate monitoring error from model error.

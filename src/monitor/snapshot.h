@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -16,6 +17,13 @@ namespace cbes {
 /// Per-node availability view at a point in time.
 struct LoadSnapshot {
   Seconds taken_at = 0.0;
+  /// Monotonic publication epoch: increments whenever the monitoring daemons
+  /// publish a new sensor tick. Two snapshots with equal epochs describe the
+  /// same published availability picture, so derived results (predictions)
+  /// can be reused across them; a changed epoch means the picture may have
+  /// drifted and consumers must re-validate (the paper's §5 phase-3 >10%
+  /// ACPU invalidation rule — enforced by server::EvalCache).
+  std::uint64_t epoch = 0;
   /// ACPU per node, in (0, 1]; index = NodeId::index().
   std::vector<double> cpu_avail;
   /// Background NIC utilization per node, in [0, 1).

@@ -159,9 +159,14 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
   ScheduleResult best;
   best.cost = std::numeric_limits<double>::infinity();
   std::size_t evaluations = 0;
+  // Cooperative cancellation: the token is polled once per proposed move (the
+  // granularity of one cost evaluation), so a fired deadline stops the anneal
+  // within microseconds without a partial move applied.
+  bool cancelled = false;
 
   for (std::size_t restart = 0;
-       restart < params_.restarts && evaluations < params_.max_evaluations;
+       restart < params_.restarts && evaluations < params_.max_evaluations &&
+       !cancelled;
        ++restart) {
     SaState state(pool, warm_start(pool, nranks, restart, rng,
                                    params_.structured_warm_start));
@@ -180,6 +185,10 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
     for (std::size_t s = 0;
          s < params_.t0_samples && evaluations < params_.max_evaluations;
          ++s) {
+      if (stop_requested()) {
+        cancelled = true;
+        break;
+      }
       const SaState::Move move = state.propose(rng, allow_relocate);
       const double trial = cost(state.mapping());
       ++evaluations;
@@ -197,7 +206,8 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
     const double t_min = t0 * params_.t_min_factor;
     if (observer_ != nullptr) observer_->on_restart(restart, t0, current);
 
-    for (double t = t0; t > t_min && evaluations < params_.max_evaluations;
+    for (double t = t0;
+         t > t_min && evaluations < params_.max_evaluations && !cancelled;
          t *= params_.cooling) {
       std::size_t attempted = 0;
       std::size_t accepted = 0;
@@ -205,6 +215,10 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
            m < params_.moves_per_temperature &&
            evaluations < params_.max_evaluations;
            ++m) {
+        if (stop_requested()) {
+          cancelled = true;
+          break;
+        }
         const SaState::Move move = state.propose(rng, allow_relocate);
         const double trial = cost(state.mapping());
         ++evaluations;
@@ -240,6 +254,7 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
 
   best.evaluations = evaluations;
   best.wall_seconds = timer.seconds();
+  best.cancelled = cancelled;
   if (observer_ != nullptr) {
     observer_->on_finish(best.cost, best.evaluations, best.wall_seconds);
   }

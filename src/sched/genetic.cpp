@@ -87,12 +87,19 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
   std::vector<Individual> population;
   population.reserve(params_.population);
   std::size_t evaluations = 0;
+  // Cooperative cancellation: polled once per cost evaluation, like the
+  // annealer, so a request broker's deadline stops the search promptly.
+  bool cancelled = false;
   for (std::size_t i = 0; i < params_.population; ++i) {
     Individual ind;
     ind.mapping = pool.random_mapping(nranks, rng);
     ind.cost = cost(ind.mapping);
     ++evaluations;
     population.push_back(std::move(ind));
+    if (stop_requested()) {
+      cancelled = true;
+      break;
+    }
   }
 
   auto by_cost = [](const Individual& x, const Individual& y) {
@@ -110,7 +117,7 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
   };
 
   for (std::size_t gen = 0; gen < params_.generations &&
-                            evaluations < params_.max_evaluations;
+                            evaluations < params_.max_evaluations && !cancelled;
        ++gen) {
     std::vector<Individual> next;
     next.reserve(params_.population);
@@ -118,6 +125,10 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
       next.push_back(population[e]);
     while (next.size() < params_.population &&
            evaluations < params_.max_evaluations) {
+      if (stop_requested()) {
+        cancelled = true;
+        break;
+      }
       Individual child;
       child.mapping = crossover(tournament_pick().mapping,
                                 tournament_pick().mapping, pool, rng);
@@ -136,6 +147,7 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
   result.cost = population.front().cost;
   result.evaluations = evaluations;
   result.wall_seconds = timer.seconds();
+  result.cancelled = cancelled;
   if (observer_ != nullptr) {
     observer_->on_finish(result.cost, result.evaluations, result.wall_seconds);
   }

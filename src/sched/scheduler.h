@@ -20,6 +20,20 @@ struct ScheduleResult {
   /// Wall-clock time of the scheduling run (the paper's "approximate
   /// scheduler time" column).
   Seconds wall_seconds = 0.0;
+  /// True when the run stopped early because its StopToken fired (deadline or
+  /// caller cancellation). `mapping`/`cost` then hold the best state seen so
+  /// far, which callers must treat as abandoned, not as an answer.
+  bool cancelled = false;
+};
+
+/// Cooperative cancellation source polled by the schedulers' step loops, so a
+/// request broker can bound scheduling-job runtime (per-job deadlines) and
+/// cancel jobs mid-anneal. Implementations must be safe to poll from the
+/// scheduling thread while other threads request the stop.
+class StopToken {
+ public:
+  virtual ~StopToken() = default;
+  [[nodiscard]] virtual bool stop_requested() const noexcept = 0;
 };
 
 class Scheduler {
@@ -39,8 +53,18 @@ class Scheduler {
     observer_ = observer;
   }
 
+  /// Cancellation source for subsequent schedule() calls; nullptr (the
+  /// default) disables polling. `stop` must outlive those calls. When the
+  /// token fires, schedule() returns promptly with `cancelled` set.
+  void set_stop_token(const StopToken* stop) noexcept { stop_ = stop; }
+
  protected:
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_ != nullptr && stop_->stop_requested();
+  }
+
   obs::SchedulerObserver* observer_ = nullptr;
+  const StopToken* stop_ = nullptr;
 };
 
 /// RS: picks one mapping uniformly at random and reports its cost.

@@ -1,0 +1,161 @@
+#include "server/eval_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cbes::server {
+
+EvalCache::EvalCache(EvalCacheConfig config) : config_(config) {
+  CBES_CHECK_MSG(config_.capacity >= 1, "cache capacity must be at least 1");
+  CBES_CHECK_MSG(config_.drift_threshold > 0.0,
+                 "drift threshold must be positive");
+}
+
+void EvalCache::set_metrics(obs::MetricsRegistry* registry) {
+  const std::lock_guard lock(mu_);
+  if (registry == nullptr) {
+    hits_metric_ = nullptr;
+    misses_metric_ = nullptr;
+    invalidations_metric_ = nullptr;
+    evictions_metric_ = nullptr;
+    entries_metric_ = nullptr;
+    return;
+  }
+  hits_metric_ = &registry->counter("cbes_server_cache_hits_total",
+                                    "Predictions served from the EvalCache");
+  misses_metric_ = &registry->counter("cbes_server_cache_misses_total",
+                                      "EvalCache lookups that re-evaluated");
+  invalidations_metric_ = &registry->counter(
+      "cbes_server_cache_invalidations_total",
+      "Entries dropped because a mapped node's ACPU drifted past the "
+      "threshold (paper phase-3 rule)");
+  evictions_metric_ = &registry->counter("cbes_server_cache_evictions_total",
+                                         "LRU evictions under capacity");
+  entries_metric_ =
+      &registry->gauge("cbes_server_cache_entries", "Entries currently held");
+}
+
+std::string EvalCache::key_of(const std::string& app, const Mapping& mapping) {
+  return app + '#' + std::to_string(mapping.hash());
+}
+
+bool EvalCache::drifted(const Entry& entry,
+                        const LoadSnapshot& snapshot) const {
+  for (std::size_t i = 0; i < entry.mapped_nodes.size(); ++i) {
+    const double base = entry.baseline_cpu[i];
+    const double cur = snapshot.cpu(entry.mapped_nodes[i]);
+    if (std::abs(cur - base) > config_.drift_threshold * base) return true;
+  }
+  return false;
+}
+
+void EvalCache::erase_locked(Lru::iterator it) {
+  index_.erase(it->key);
+  lru_.erase(it);
+  if (entries_metric_ != nullptr) {
+    entries_metric_->set(static_cast<double>(lru_.size()));
+  }
+}
+
+std::optional<Prediction> EvalCache::lookup(const std::string& app,
+                                            const Mapping& mapping,
+                                            const LoadSnapshot& snapshot) {
+  const std::string key = key_of(app, mapping);
+  const std::lock_guard lock(mu_);
+  const auto found = index_.find(key);
+  if (found == index_.end() ||
+      found->second->assignment != mapping.assignment()) {
+    // Absent, or a hash collision with a different mapping: plain miss.
+    ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->inc();
+    return std::nullopt;
+  }
+  Lru::iterator it = found->second;
+  if (snapshot.epoch != it->epoch && drifted(*it, snapshot)) {
+    ++invalidations_;
+    ++misses_;
+    if (invalidations_metric_ != nullptr) invalidations_metric_->inc();
+    if (misses_metric_ != nullptr) misses_metric_->inc();
+    erase_locked(it);
+    return std::nullopt;
+  }
+  // Still valid: remember the newest epoch the drift check passed at, so
+  // same-epoch lookups skip the per-node scan. The *baseline* ACPU stays
+  // pinned to insertion time — drift accumulates against the prediction's
+  // inputs, so slow creep past the threshold still invalidates.
+  it->epoch = std::max(it->epoch, snapshot.epoch);
+  ++hits_;
+  if (hits_metric_ != nullptr) hits_metric_->inc();
+  lru_.splice(lru_.begin(), lru_, it);  // touch
+  return it->prediction;
+}
+
+void EvalCache::insert(const std::string& app, const Mapping& mapping,
+                       const LoadSnapshot& snapshot,
+                       const Prediction& prediction) {
+  Entry entry;
+  entry.key = key_of(app, mapping);
+  entry.assignment = mapping.assignment();
+  entry.epoch = snapshot.epoch;
+  // Distinct mapped nodes with their current ACPU as the drift baseline.
+  entry.mapped_nodes = entry.assignment;
+  std::sort(entry.mapped_nodes.begin(), entry.mapped_nodes.end());
+  entry.mapped_nodes.erase(
+      std::unique(entry.mapped_nodes.begin(), entry.mapped_nodes.end()),
+      entry.mapped_nodes.end());
+  entry.baseline_cpu.reserve(entry.mapped_nodes.size());
+  for (NodeId node : entry.mapped_nodes) {
+    entry.baseline_cpu.push_back(snapshot.cpu(node));
+  }
+  entry.prediction = prediction;
+
+  const std::lock_guard lock(mu_);
+  const auto found = index_.find(entry.key);
+  if (found != index_.end()) erase_locked(found->second);
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  while (lru_.size() > config_.capacity) {
+    ++evictions_;
+    if (evictions_metric_ != nullptr) evictions_metric_->inc();
+    erase_locked(std::prev(lru_.end()));
+  }
+  if (entries_metric_ != nullptr) {
+    entries_metric_->set(static_cast<double>(lru_.size()));
+  }
+}
+
+void EvalCache::clear() {
+  const std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+  if (entries_metric_ != nullptr) entries_metric_->set(0.0);
+}
+
+std::size_t EvalCache::size() const {
+  const std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t EvalCache::hits() const {
+  const std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t EvalCache::misses() const {
+  const std::lock_guard lock(mu_);
+  return misses_;
+}
+
+std::uint64_t EvalCache::invalidations() const {
+  const std::lock_guard lock(mu_);
+  return invalidations_;
+}
+
+std::uint64_t EvalCache::evictions() const {
+  const std::lock_guard lock(mu_);
+  return evictions_;
+}
+
+}  // namespace cbes::server

@@ -1,0 +1,104 @@
+// Snapshot-epoch memoization of mapping evaluations.
+//
+// A Prediction is a pure function of (application profile, mapping,
+// availability snapshot). The monitor publishes a new snapshot epoch every
+// sensor period, so the cache keys entries by (app, mapping) and remembers
+// the epoch plus the ACPU of every mapped node at insertion time. A lookup
+// under a *newer* epoch re-validates the paper's §5 phase-3 criterion
+// mechanically: "predictions remain valid while no mapped node has lost more
+// than 10% CPU availability". Entries whose mapped nodes drifted beyond the
+// threshold are invalidated and recomputed; entries that only aged without
+// drifting keep serving hits, which is what makes the broker cheap to
+// re-serve at scale (cf. Lotaru / Nassereldine et al. in PAPERS.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "monitor/snapshot.h"
+#include "obs/metrics.h"
+#include "topology/mapping.h"
+
+namespace cbes::server {
+
+struct EvalCacheConfig {
+  /// Maximum entries held; least-recently-used entries are evicted beyond it.
+  std::size_t capacity = 4096;
+  /// Relative ACPU drift on any mapped node that invalidates an entry —
+  /// strictly greater than this fraction fires (the paper's >10% rule).
+  double drift_threshold = 0.10;
+};
+
+/// Thread-safe (single-mutex) LRU cache of Predictions.
+class EvalCache {
+ public:
+  explicit EvalCache(EvalCacheConfig config = {});
+
+  /// Returns the cached prediction for (app, mapping) when the entry is
+  /// still valid under `snapshot`: same epoch, or a newer epoch in which no
+  /// mapped node's ACPU drifted more than the threshold relative to the
+  /// entry's insertion-time baseline. Drifted entries are erased (counted as
+  /// invalidations) and the lookup reports a miss.
+  [[nodiscard]] std::optional<Prediction> lookup(const std::string& app,
+                                                 const Mapping& mapping,
+                                                 const LoadSnapshot& snapshot);
+
+  /// Inserts (or replaces) the entry for (app, mapping) computed under
+  /// `snapshot`.
+  void insert(const std::string& app, const Mapping& mapping,
+              const LoadSnapshot& snapshot, const Prediction& prediction);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t invalidations() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+  /// Wires hit/miss/invalidation/eviction counters and the entry-count gauge
+  /// into `registry` (nullptr disables; the default). Must outlive the cache.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<NodeId> assignment;     ///< full equality check on lookup
+    std::uint64_t epoch = 0;            ///< newest epoch the entry was valid at
+    std::vector<NodeId> mapped_nodes;   ///< distinct nodes of the mapping
+    std::vector<double> baseline_cpu;   ///< ACPU per mapped node at insert
+    Prediction prediction;
+  };
+  using Lru = std::list<Entry>;
+
+  [[nodiscard]] static std::string key_of(const std::string& app,
+                                          const Mapping& mapping);
+  /// True when some mapped node's ACPU drifted beyond the threshold between
+  /// the entry's baseline and `snapshot`.
+  [[nodiscard]] bool drifted(const Entry& entry,
+                             const LoadSnapshot& snapshot) const;
+  void erase_locked(Lru::iterator it);
+
+  EvalCacheConfig config_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t evictions_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* invalidations_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
+  obs::Gauge* entries_metric_ = nullptr;
+};
+
+}  // namespace cbes::server

@@ -1,0 +1,237 @@
+// The unit of work the CBES request broker serves: one cost/benefit request
+// (predict, compare, or schedule) from one tenant, carried through admission,
+// queuing, execution, and completion.
+//
+// A Job is the shared state between the submitting client (via JobHandle),
+// the RequestQueue, and the executing worker thread. Clients never see the
+// Job directly — they hold a JobHandle, which supports waiting for the
+// terminal state and cooperative cancellation (the worker and the schedulers'
+// step loops poll `cancel_requested` / the job deadline).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/genetic.h"
+#include "sched/scheduler.h"
+#include "topology/mapping.h"
+
+namespace cbes::server {
+
+/// Priority classes for admission and dispatch. Lower value = served first;
+/// within a class, FIFO. Interactive requests (a scheduler blocking a job
+/// launch) overtake batch re-evaluations, mirroring the paper's service being
+/// consulted both at launch time and for speculative what-if queries.
+enum class Priority : unsigned char {
+  kInteractive = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+inline constexpr std::size_t kPriorityClasses = 3;
+
+[[nodiscard]] constexpr std::string_view priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+/// Job lifecycle. kQueued -> kRunning -> {kDone, kCancelled, kFailed};
+/// kRejected is terminal at submission (admission control said no).
+enum class JobState : unsigned char {
+  kQueued,
+  kRunning,
+  kDone,       ///< completed; result holds the answer
+  kCancelled,  ///< deadline fired or the caller cancelled; no partial result
+  kRejected,   ///< refused at admission; result.detail carries the reason
+  kFailed,     ///< the request violated a contract; result.detail explains
+};
+
+[[nodiscard]] constexpr std::string_view job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_terminal(JobState s) noexcept {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+// ---- request payloads ------------------------------------------------------
+
+/// Predict the execution time of one mapping (the cacheable operation).
+struct PredictRequest {
+  std::string app;
+  Mapping mapping;
+  /// Simulated time of the request; selects the monitor epoch.
+  Seconds now = 0.0;
+};
+
+/// Compare candidate mappings (the paper's mapping-comparison request).
+struct CompareRequest {
+  std::string app;
+  std::vector<Mapping> candidates;
+  Seconds now = 0.0;
+};
+
+/// Which search algorithm a schedule job runs.
+enum class Algo : unsigned char { kSa, kGa, kRandom };
+
+/// Find a good mapping with a scheduler run (the expensive, cancellable job).
+struct ScheduleRequest {
+  std::string app;
+  std::size_t nranks = 0;
+  /// Node pool made available to this tenant; empty = whole cluster.
+  std::vector<NodeId> pool_nodes;
+  /// Slot cap per node (1 = the paper's node-level mappings).
+  int max_slots_per_node = 1 << 20;
+  Algo algo = Algo::kSa;
+  /// Search parameters; the `seed` below overrides the params' seed so every
+  /// job's RNG stream is its own — concurrent jobs are deterministic given
+  /// their job seed, never coupled through a shared generator.
+  SaParams sa;
+  GaParams ga;
+  std::uint64_t seed = 1;
+  Seconds now = 0.0;
+};
+
+// ---- results ---------------------------------------------------------------
+
+/// Terminal outcome of a job. Which payload member is meaningful depends on
+/// the job kind and state (only kDone carries an answer).
+struct JobResult {
+  JobState state = JobState::kQueued;
+  /// predict answers (also per-candidate source of compare answers).
+  Prediction prediction;
+  /// compare answers.
+  CbesService::ComparisonResult comparison;
+  /// schedule answers. Default-constructed when the job was cancelled: a job
+  /// past its deadline reports `cancelled`, not a partial anneal.
+  ScheduleResult schedule;
+  /// True when the answer was computed from a no-load availability picture
+  /// because the monitor snapshot was stale past the server's bound.
+  bool degraded = false;
+  /// True when (any part of) the answer was served from the EvalCache.
+  bool cache_hit = false;
+  /// Rejection reason / failure message; empty for kDone.
+  std::string detail;
+  /// Wall time spent queued / executing.
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+// ---- the job itself --------------------------------------------------------
+
+enum class JobKind : unsigned char { kPredict, kCompare, kSchedule };
+
+/// Shared state of one in-flight request. Internal to the server layer:
+/// constructed by CbesServer::submit(), referenced by the queue, one worker,
+/// and the client's JobHandle.
+struct Job {
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t id = 0;
+  Priority priority = Priority::kNormal;
+  JobKind kind = JobKind::kPredict;
+  PredictRequest predict;
+  CompareRequest compare;
+  ScheduleRequest schedule;
+  Clock::time_point submitted{};
+  /// Absolute deadline; unset = unbounded.
+  std::optional<Clock::time_point> deadline;
+  /// Set by JobHandle::cancel(); polled by the worker and, through the
+  /// scheduler StopToken, by the SA/GA step loops.
+  std::atomic<bool> cancel_requested{false};
+
+  /// True once the deadline has passed or cancellation was requested.
+  [[nodiscard]] bool should_stop() const noexcept {
+    if (cancel_requested.load(std::memory_order_relaxed)) return true;
+    return deadline.has_value() && Clock::now() >= *deadline;
+  }
+
+  /// Moves the job to a terminal state and wakes waiters. `outcome.state`
+  /// must be terminal; the first finish wins, later calls are ignored.
+  void finish(JobResult outcome) {
+    const std::lock_guard lock(mu);
+    if (is_terminal(state)) return;
+    state = outcome.state;
+    result = std::move(outcome);
+    done.notify_all();
+  }
+
+  void mark_running() {
+    const std::lock_guard lock(mu);
+    if (state == JobState::kQueued) state = JobState::kRunning;
+  }
+
+  [[nodiscard]] JobState current_state() const {
+    const std::lock_guard lock(mu);
+    return state;
+  }
+
+  /// Blocks until the job reaches a terminal state; returns a copy of the
+  /// result (safe to use after the server is gone).
+  [[nodiscard]] JobResult wait() const {
+    std::unique_lock lock(mu);
+    done.wait(lock, [&] { return is_terminal(state); });
+    return result;
+  }
+
+  mutable std::mutex mu;
+  mutable std::condition_variable done;
+  JobState state = JobState::kQueued;  // guarded by mu
+  JobResult result;                    // guarded by mu
+};
+
+/// The client's view of a submitted job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  explicit JobHandle(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const { return job_->id; }
+  [[nodiscard]] JobState state() const { return job_->current_state(); }
+
+  /// Requests cooperative cancellation. A queued job is cancelled before it
+  /// starts; a running scheduling job stops at its next step-loop poll.
+  void cancel() {
+    job_->cancel_requested.store(true, std::memory_order_relaxed);
+  }
+
+  /// Blocks until terminal; returns the result by value.
+  [[nodiscard]] JobResult wait() const { return job_->wait(); }
+
+ private:
+  std::shared_ptr<Job> job_;
+};
+
+}  // namespace cbes::server

@@ -1,0 +1,106 @@
+#include "server/request_queue.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cbes::server {
+
+RequestQueue::RequestQueue(std::size_t max_depth) : max_depth_(max_depth) {
+  CBES_CHECK_MSG(max_depth_ >= 1, "queue depth must be at least 1");
+}
+
+void RequestQueue::set_metrics(obs::MetricsRegistry* registry) {
+  const std::lock_guard lock(mu_);
+  if (registry == nullptr) {
+    depth_gauge_ = nullptr;
+    admitted_ = nullptr;
+    rejected_ = nullptr;
+    return;
+  }
+  depth_gauge_ = &registry->gauge("cbes_server_queue_depth",
+                                  "Jobs queued and not yet dispatched");
+  admitted_ = &registry->counter("cbes_server_admitted_total",
+                                 "Jobs accepted by admission control");
+  rejected_ = &registry->counter("cbes_server_rejected_total",
+                                 "Jobs refused by admission control");
+}
+
+void RequestQueue::publish_depth_locked() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(depth_));
+  }
+}
+
+RequestQueue::Admission RequestQueue::offer(std::shared_ptr<Job> job) {
+  CBES_CHECK_MSG(job != nullptr, "null job offered");
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) {
+      if (rejected_ != nullptr) rejected_->inc();
+      return {false, "server is shutting down"};
+    }
+    if (job->deadline.has_value() && Job::Clock::now() >= *job->deadline) {
+      if (rejected_ != nullptr) rejected_->inc();
+      return {false, "deadline expired before admission"};
+    }
+    if (depth_ >= max_depth_) {
+      if (rejected_ != nullptr) rejected_->inc();
+      return {false, "queue full (depth " + std::to_string(max_depth_) + ")"};
+    }
+    classes_[static_cast<std::size_t>(job->priority)].push_back(
+        std::move(job));
+    ++depth_;
+    publish_depth_locked();
+    if (admitted_ != nullptr) admitted_->inc();
+  }
+  ready_.notify_one();
+  return {true, {}};
+}
+
+std::shared_ptr<Job> RequestQueue::take() {
+  std::unique_lock lock(mu_);
+  ready_.wait(lock, [&] { return depth_ > 0 || closed_; });
+  for (auto& cls : classes_) {
+    if (cls.empty()) continue;
+    std::shared_ptr<Job> job = std::move(cls.front());
+    cls.pop_front();
+    --depth_;
+    publish_depth_locked();
+    return job;
+  }
+  return nullptr;  // closed and drained
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard lock(mu_);
+  return depth_;
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::vector<std::shared_ptr<Job>> RequestQueue::drain() {
+  std::vector<std::shared_ptr<Job>> out;
+  const std::lock_guard lock(mu_);
+  for (auto& cls : classes_) {
+    for (auto& job : cls) out.push_back(std::move(job));
+    cls.clear();
+  }
+  depth_ = 0;
+  publish_depth_locked();
+  return out;
+}
+
+}  // namespace cbes::server

@@ -1,0 +1,75 @@
+// Bounded, priority-classed job queue with admission control.
+//
+// The broker's first line of defence against overload (ROADMAP: heavy
+// traffic): rather than queuing without bound and letting every tenant's
+// latency grow, the queue holds at most `max_depth` jobs and *rejects* the
+// excess with a reason the client can act on (back off, retry with a lower
+// priority, shed the request). Dispatch order is strict priority
+// (interactive > normal > batch), FIFO within a class.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/job.h"
+
+namespace cbes::server {
+
+class RequestQueue {
+ public:
+  /// Admission-control verdict for one offered job.
+  struct Admission {
+    bool admitted = false;
+    /// Human-readable rejection reason; empty when admitted.
+    std::string reason;
+  };
+
+  /// `max_depth` bounds the number of queued (not yet running) jobs.
+  explicit RequestQueue(std::size_t max_depth);
+
+  /// Offers a job. Rejects (without queuing) when the queue is full, closed,
+  /// or the job's deadline has already expired — overload produces fast
+  /// explicit feedback, not unbounded latency.
+  [[nodiscard]] Admission offer(std::shared_ptr<Job> job);
+
+  /// Blocks until a job is available or the queue is closed and drained;
+  /// returns nullptr in the latter case (worker shutdown signal).
+  [[nodiscard]] std::shared_ptr<Job> take();
+
+  /// Stops admission. Workers drain what is already queued.
+  void close();
+
+  /// Removes and returns all queued jobs without running them (fast
+  /// shutdown); the caller finishes them as cancelled.
+  [[nodiscard]] std::vector<std::shared_ptr<Job>> drain();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+  [[nodiscard]] bool closed() const;
+
+  /// Wires the queue-depth gauge and admitted/rejected counters into
+  /// `registry` (nullptr disables; the default). Must outlive the queue.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  void publish_depth_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::array<std::deque<std::shared_ptr<Job>>, kPriorityClasses> classes_;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_;
+  bool closed_ = false;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* admitted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+};
+
+}  // namespace cbes::server

@@ -1,0 +1,344 @@
+#include "server/server.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+
+namespace cbes::server {
+
+namespace {
+
+/// Bridges a job's deadline/cancellation state into the schedulers' step
+/// loops (Scheduler::set_stop_token).
+class JobStopToken final : public StopToken {
+ public:
+  explicit JobStopToken(const Job& job) noexcept : job_(&job) {}
+  [[nodiscard]] bool stop_requested() const noexcept override {
+    return job_->should_stop();
+  }
+
+ private:
+  const Job* job_;
+};
+
+[[nodiscard]] double seconds_between(Job::Clock::time_point from,
+                                     Job::Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// The pool a schedule request draws from: the tenant's explicit node list,
+/// or the whole cluster. Throws ContractError on malformed node lists, which
+/// submit() converts into a rejection.
+[[nodiscard]] NodePool pool_for(const ClusterTopology& topology,
+                                const ScheduleRequest& request) {
+  if (request.pool_nodes.empty()) {
+    return NodePool::whole_cluster(topology);
+  }
+  return NodePool(topology, request.pool_nodes, request.max_slots_per_node);
+}
+
+}  // namespace
+
+CbesServer::CbesServer(CbesService& service, ServerConfig config)
+    : service_(&service),
+      config_(config),
+      queue_(config.max_queue_depth),
+      cache_(config.cache) {
+  CBES_CHECK_MSG(config_.workers >= 1, "need at least one worker thread");
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    queue_.set_metrics(&reg);
+    cache_.set_metrics(&reg);
+    reg.gauge("cbes_server_workers", "Executor threads serving jobs")
+        .set(static_cast<double>(config_.workers));
+    jobs_done_ =
+        &reg.counter("cbes_server_jobs_done_total", "Jobs completed with an answer");
+    jobs_cancelled_ = &reg.counter("cbes_server_jobs_cancelled_total",
+                                   "Jobs cancelled by deadline or caller");
+    jobs_failed_ = &reg.counter("cbes_server_jobs_failed_total",
+                                "Jobs failed on a contract violation");
+    jobs_degraded_ = &reg.counter(
+        "cbes_server_jobs_degraded_total",
+        "Jobs answered from the no-load picture because the monitor was stale");
+    queue_seconds_ =
+        &reg.histogram("cbes_server_queue_seconds",
+                       obs::Histogram::exponential(1e-6, 4.0, 12),
+                       "Wall time jobs spent queued before dispatch");
+    run_seconds_ =
+        &reg.histogram("cbes_server_run_seconds",
+                       obs::Histogram::exponential(1e-6, 4.0, 12),
+                       "Wall time jobs spent executing");
+  }
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CbesServer::~CbesServer() { shutdown(/*drain=*/true); }
+
+std::shared_ptr<Job> CbesServer::make_job(JobKind kind,
+                                          const SubmitOptions& options) {
+  auto job = std::make_shared<Job>();
+  job->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  job->priority = options.priority;
+  job->kind = kind;
+  job->submitted = Job::Clock::now();
+  const std::chrono::milliseconds budget =
+      options.deadline.count() > 0 ? options.deadline
+                                   : config_.default_deadline;
+  if (budget.count() > 0) job->deadline = job->submitted + budget;
+  return job;
+}
+
+void CbesServer::reject(Job& job, const std::string& reason) {
+  JobResult result;
+  result.state = JobState::kRejected;
+  result.detail = reason;
+  job.finish(std::move(result));
+}
+
+JobHandle CbesServer::admit(std::shared_ptr<Job> job,
+                            const std::string& reason) {
+  JobHandle handle(job);
+  if (!reason.empty()) {
+    reject(*job, reason);
+    return handle;
+  }
+  const RequestQueue::Admission admission = queue_.offer(job);
+  if (!admission.admitted) reject(*job, admission.reason);
+  return handle;
+}
+
+JobHandle CbesServer::submit(PredictRequest request, SubmitOptions options) {
+  auto job = make_job(JobKind::kPredict, options);
+  std::string reason;
+  if (!service_->has_profile(request.app)) {
+    reason = "no profile registered for: " + request.app;
+  } else if (request.mapping.nranks() == 0) {
+    reason = "empty mapping";
+  } else if (!request.mapping.fits(service_->topology())) {
+    reason = "mapping does not fit the cluster";
+  }
+  job->predict = std::move(request);
+  return admit(std::move(job), reason);
+}
+
+JobHandle CbesServer::submit(CompareRequest request, SubmitOptions options) {
+  auto job = make_job(JobKind::kCompare, options);
+  std::string reason;
+  if (!service_->has_profile(request.app)) {
+    reason = "no profile registered for: " + request.app;
+  } else if (request.candidates.empty()) {
+    reason = "nothing to compare";
+  } else {
+    for (const Mapping& candidate : request.candidates) {
+      if (!candidate.fits(service_->topology())) {
+        reason = "candidate mapping does not fit the cluster";
+        break;
+      }
+    }
+  }
+  job->compare = std::move(request);
+  return admit(std::move(job), reason);
+}
+
+JobHandle CbesServer::submit(ScheduleRequest request, SubmitOptions options) {
+  auto job = make_job(JobKind::kSchedule, options);
+  std::string reason;
+  if (!service_->has_profile(request.app)) {
+    reason = "no profile registered for: " + request.app;
+  } else if (request.nranks == 0) {
+    reason = "cannot schedule zero ranks";
+  } else {
+    try {
+      const NodePool pool = pool_for(service_->topology(), request);
+      if (request.nranks > pool.total_slots()) {
+        reason = "pool has " + std::to_string(pool.total_slots()) +
+                 " slots for " + std::to_string(request.nranks) + " ranks";
+      }
+    } catch (const ContractError& e) {
+      reason = e.what();
+    }
+  }
+  job->schedule = std::move(request);
+  return admit(std::move(job), reason);
+}
+
+void CbesServer::shutdown(bool drain) {
+  shut_down_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  if (!drain) {
+    for (const std::shared_ptr<Job>& job : queue_.drain()) {
+      JobResult result;
+      result.state = JobState::kCancelled;
+      result.detail = "server shutdown";
+      job->finish(std::move(result));
+      if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
+    }
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void CbesServer::worker_loop() {
+  while (std::shared_ptr<Job> job = queue_.take()) {
+    execute(*job);
+  }
+}
+
+void CbesServer::execute(Job& job) {
+  const Job::Clock::time_point started = Job::Clock::now();
+  JobResult result;
+  result.queue_seconds = seconds_between(job.submitted, started);
+  if (queue_seconds_ != nullptr) queue_seconds_->observe(result.queue_seconds);
+
+  if (job.should_stop()) {
+    result.state = JobState::kCancelled;
+    result.detail = job.cancel_requested.load(std::memory_order_relaxed)
+                        ? "cancelled while queued"
+                        : "deadline expired while queued";
+    if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
+    job.finish(std::move(result));
+    return;
+  }
+
+  job.mark_running();
+  result.state = JobState::kDone;
+  try {
+    switch (job.kind) {
+      case JobKind::kPredict:
+        run_predict(job, result);
+        break;
+      case JobKind::kCompare:
+        run_compare(job, result);
+        break;
+      case JobKind::kSchedule:
+        run_schedule(job, result);
+        break;
+    }
+  } catch (const std::exception& e) {
+    result.state = JobState::kFailed;
+    result.detail = e.what();
+  }
+  result.run_seconds = seconds_between(started, Job::Clock::now());
+  if (run_seconds_ != nullptr) run_seconds_->observe(result.run_seconds);
+  if (result.degraded && jobs_degraded_ != nullptr) jobs_degraded_->inc();
+  switch (result.state) {
+    case JobState::kDone:
+      if (jobs_done_ != nullptr) jobs_done_->inc();
+      break;
+    case JobState::kCancelled:
+      if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
+      break;
+    default:
+      if (jobs_failed_ != nullptr) jobs_failed_->inc();
+      break;
+  }
+  job.finish(std::move(result));
+}
+
+LoadSnapshot CbesServer::snapshot_for(Seconds now, bool& degraded) const {
+  const SystemMonitor& monitor = service_->monitor();
+  degraded = config_.max_snapshot_age != kNever &&
+             monitor.staleness(now) > config_.max_snapshot_age;
+  if (!degraded) return monitor.snapshot(now);
+  // Stale picture: serve from no-load latencies instead of blocking on the
+  // monitoring subsystem — flagged so clients can weigh the answer.
+  LoadSnapshot snap = LoadSnapshot::idle(service_->topology().node_count());
+  snap.taken_at = now;
+  snap.epoch = monitor.epoch_at(now);
+  return snap;
+}
+
+Prediction CbesServer::cached_predict(const std::string& app,
+                                      const Mapping& mapping,
+                                      const LoadSnapshot& snapshot,
+                                      bool degraded, bool& cache_hit) {
+  const bool cacheable = config_.enable_cache && !degraded;
+  if (cacheable) {
+    if (std::optional<Prediction> hit = cache_.lookup(app, mapping, snapshot)) {
+      cache_hit = true;
+      return *std::move(hit);
+    }
+  }
+  Prediction prediction = service_->predict_under(app, mapping, snapshot);
+  if (cacheable) cache_.insert(app, mapping, snapshot, prediction);
+  return prediction;
+}
+
+void CbesServer::run_predict(Job& job, JobResult& result) {
+  const PredictRequest& request = job.predict;
+  const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  result.prediction = cached_predict(request.app, request.mapping, snapshot,
+                                     result.degraded, result.cache_hit);
+}
+
+void CbesServer::run_compare(Job& job, JobResult& result) {
+  const CompareRequest& request = job.compare;
+  const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  result.comparison.predicted.reserve(request.candidates.size());
+  for (std::size_t i = 0; i < request.candidates.size(); ++i) {
+    const Prediction prediction =
+        cached_predict(request.app, request.candidates[i], snapshot,
+                       result.degraded, result.cache_hit);
+    result.comparison.predicted.push_back(prediction.time);
+    if (prediction.time < result.comparison.predicted[result.comparison.best]) {
+      result.comparison.best = i;
+    }
+  }
+}
+
+void CbesServer::run_schedule(Job& job, JobResult& result) {
+  const ScheduleRequest& request = job.schedule;
+  const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  // Copy the profile under the service lock: the search may outlive many
+  // profile re-registrations.
+  const AppProfile profile = service_->profile_copy(request.app);
+  const NodePool pool = pool_for(service_->topology(), request);
+  const CbesCost cost(service_->evaluator(), profile, snapshot);
+  const JobStopToken token(job);
+
+  ScheduleResult search;
+  switch (request.algo) {
+    case Algo::kSa: {
+      // Per-job RNG: the job seed replaces the params seed, so concurrent
+      // jobs are deterministic in isolation and never share a stream.
+      SaParams params = request.sa;
+      params.seed = request.seed;
+      SimulatedAnnealingScheduler scheduler(params);
+      scheduler.set_stop_token(&token);
+      search = scheduler.schedule(request.nranks, pool, cost);
+      break;
+    }
+    case Algo::kGa: {
+      GaParams params = request.ga;
+      params.seed = request.seed;
+      GeneticScheduler scheduler(params);
+      scheduler.set_stop_token(&token);
+      search = scheduler.schedule(request.nranks, pool, cost);
+      break;
+    }
+    case Algo::kRandom: {
+      RandomScheduler scheduler(request.seed);
+      scheduler.set_stop_token(&token);
+      search = scheduler.schedule(request.nranks, pool, cost);
+      break;
+    }
+  }
+  if (search.cancelled) {
+    // Deadline or cancellation fired mid-search: report cancelled and drop
+    // the partial best — a half-annealed mapping is not an answer.
+    result.state = JobState::kCancelled;
+    result.detail = "cancelled mid-search (deadline or caller)";
+    return;
+  }
+  result.schedule = std::move(search);
+}
+
+}  // namespace cbes::server

@@ -1,0 +1,140 @@
+// CbesServer — the concurrent request-serving layer over the CbesService
+// facade: a multi-tenant broker that turns the paper's synchronous service
+// into a daemon serving many clients at once.
+//
+//   submit() ──> admission control ──> RequestQueue (priority classes)
+//                                          │ take()
+//                               ServerExecutor worker threads
+//                                          │
+//              EvalCache (snapshot-epoch memoization) / CbesService
+//
+// Design points (ISSUE 3 tentpole):
+//   * bounded queue + reject-with-reason instead of unbounded latency;
+//   * per-job deadlines and cooperative cancellation plumbed into the SA/GA
+//     step loops via sched::StopToken — a job past its deadline reports
+//     `cancelled`, never a partial anneal;
+//   * predictions memoized by (app, mapping, snapshot epoch) and invalidated
+//     by the paper's >10% ACPU drift rule (EvalCache);
+//   * graceful degradation: when the monitor picture is stale past a bound,
+//     answers are computed from no-load latencies and flagged `degraded`
+//     rather than blocking on fresh telemetry.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/service.h"
+#include "obs/metrics.h"
+#include "server/eval_cache.h"
+#include "server/job.h"
+#include "server/request_queue.h"
+
+namespace cbes::server {
+
+struct ServerConfig {
+  /// Worker threads executing jobs (the ServerExecutor pool size).
+  std::size_t workers = 4;
+  /// Bound on queued jobs; excess submissions are rejected with a reason.
+  std::size_t max_queue_depth = 64;
+  EvalCacheConfig cache;
+  /// Disable to force every prediction through the evaluator (benchmarks).
+  bool enable_cache = true;
+  /// When the monitor's newest published tick is older than this (simulated
+  /// seconds) at a job's `now`, the job is served from the no-load picture
+  /// and flagged degraded. kNever (the default) disables degradation.
+  Seconds max_snapshot_age = kNever;
+  /// Deadline applied to jobs submitted without one; zero = unbounded.
+  std::chrono::milliseconds default_deadline{0};
+  /// Observability sink; optional. Must outlive the server when set.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Per-submission knobs.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Wall-clock budget measured from submission; zero = use the server's
+  /// default_deadline (zero there too = unbounded).
+  std::chrono::milliseconds deadline{0};
+};
+
+class CbesServer {
+ public:
+  /// `service` must outlive the server. Profiles may be registered on the
+  /// service while the server runs (the service's profile lock arbitrates),
+  /// but jobs for an app must be submitted after its profile registration.
+  CbesServer(CbesService& service, ServerConfig config);
+
+  /// Drains the queue and joins the workers (shutdown(true)).
+  ~CbesServer();
+
+  CbesServer(const CbesServer&) = delete;
+  CbesServer& operator=(const CbesServer&) = delete;
+
+  // ---- request interface ---------------------------------------------------
+  /// All submit() overloads apply admission control synchronously: the
+  /// returned handle is either queued or already terminal-kRejected with
+  /// result().detail explaining why (queue full, unknown app, malformed
+  /// request, expired deadline, shutdown).
+  JobHandle submit(PredictRequest request, SubmitOptions options = {});
+  JobHandle submit(CompareRequest request, SubmitOptions options = {});
+  JobHandle submit(ScheduleRequest request, SubmitOptions options = {});
+
+  /// Stops admission; `drain` = run what is queued to completion, otherwise
+  /// queued jobs finish kCancelled. Running jobs always complete (their own
+  /// deadlines still apply). Idempotent; joins the worker threads.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] EvalCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] CbesService& service() noexcept { return *service_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::shared_ptr<Job> make_job(JobKind kind,
+                                              const SubmitOptions& options);
+  /// Shared tail of every submit(): reject with `reason` when non-empty,
+  /// otherwise run the job through queue admission.
+  JobHandle admit(std::shared_ptr<Job> job, const std::string& reason);
+  void reject(Job& job, const std::string& reason);
+
+  void worker_loop();
+  void execute(Job& job);
+  void run_predict(Job& job, JobResult& result);
+  void run_compare(Job& job, JobResult& result);
+  void run_schedule(Job& job, JobResult& result);
+
+  /// The availability picture for a request at simulated time `now`; flips
+  /// `degraded` and substitutes the no-load picture when the monitor is
+  /// stale past config_.max_snapshot_age.
+  [[nodiscard]] LoadSnapshot snapshot_for(Seconds now, bool& degraded) const;
+  /// Cache-aware prediction (bypasses the cache for degraded answers).
+  [[nodiscard]] Prediction cached_predict(const std::string& app,
+                                          const Mapping& mapping,
+                                          const LoadSnapshot& snapshot,
+                                          bool degraded, bool& cache_hit);
+
+  CbesService* service_;
+  ServerConfig config_;
+  RequestQueue queue_;
+  EvalCache cache_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> shut_down_{false};
+  // Cached instruments (null when config_.metrics is null).
+  obs::Counter* jobs_done_ = nullptr;
+  obs::Counter* jobs_cancelled_ = nullptr;
+  obs::Counter* jobs_failed_ = nullptr;
+  obs::Counter* jobs_degraded_ = nullptr;
+  obs::Histogram* queue_seconds_ = nullptr;
+  obs::Histogram* run_seconds_ = nullptr;
+};
+
+}  // namespace cbes::server

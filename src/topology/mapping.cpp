@@ -1,5 +1,6 @@
 #include "topology/mapping.h"
 
+#include <cstdint>
 #include <sstream>
 #include <unordered_map>
 
@@ -61,6 +62,16 @@ Mapping Mapping::round_robin(const ClusterTopology& topology,
     CBES_CHECK_MSG(placed_any, "round_robin failed to place all ranks");
   }
   return Mapping(std::move(assignment));
+}
+
+std::size_t Mapping::hash() const noexcept {
+  // FNV-1a over the node ids, seeded with the rank count.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ assignment_.size();
+  for (NodeId n : assignment_) {
+    h ^= n.value;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
 }
 
 std::string Mapping::describe(const ClusterTopology& topology) const {

@@ -45,6 +45,12 @@ class Mapping {
   /// Human-readable "rank->node" listing, e.g. "0:alpha-3 1:intel-0 ...".
   [[nodiscard]] std::string describe(const ClusterTopology& topology) const;
 
+  /// Order-sensitive content hash of the assignment (FNV-1a). Equal mappings
+  /// hash equal; used as the cache key component of server::EvalCache, which
+  /// re-checks full equality on lookup, so collisions cost a miss, never a
+  /// wrong answer.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
   friend bool operator==(const Mapping&, const Mapping&) = default;
 
  private:

@@ -303,6 +303,60 @@ TEST(Remap, MigrationCostBlocksMarginalMoves) {
   EXPECT_FALSE(d.beneficial);
 }
 
+TEST(Remap, ZeroProgressScalesToWholePrediction) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(4);
+  const Mapping m = identity_mapping(2);
+  const Seconds full = ev.evaluate(prof, m, idle);
+  const RemapDecision at_start = evaluate_remap(ev, prof, m, m, 0.0, idle);
+  EXPECT_DOUBLE_EQ(at_start.remaining_current, full);
+  // Half-way through, half the predicted work remains.
+  const RemapDecision half_way = evaluate_remap(ev, prof, m, m, 0.5, idle);
+  EXPECT_DOUBLE_EQ(half_way.remaining_current, 0.5 * full);
+}
+
+TEST(Remap, SwappingRanksMovesAllAndChargesCoordinationOnce) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(4);
+  const Mapping current = identity_mapping(2);
+  const Mapping swapped({NodeId{1}, NodeId{0}});
+  const RemapDecision d =
+      evaluate_remap(ev, prof, current, swapped, 0.5, idle);
+  EXPECT_EQ(d.moved_ranks, 2u);
+  // Symmetric swap on a uniform cluster: remaining time is unchanged, so the
+  // move can never pay for its own migration cost.
+  EXPECT_DOUBLE_EQ(d.remaining_candidate, d.remaining_current);
+  EXPECT_FALSE(d.beneficial);
+  // Coordination overhead is charged once per remap event, not per rank.
+  RemapCostModel base;
+  const Seconds two_moves = migration_cost(topo, current, swapped, base);
+  const Seconds one_move =
+      migration_cost(topo, current, Mapping({NodeId{2}, NodeId{1}}), base);
+  EXPECT_NEAR(two_moves - base.coordination_overhead,
+              2.0 * (one_move - base.coordination_overhead),
+              1e-9 * two_moves);
+}
+
+TEST(Remap, MismatchedRankCountsRejected) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(4);
+  EXPECT_THROW((void)migration_cost(topo, identity_mapping(2),
+                                    identity_mapping(3)),
+               ContractError);
+  EXPECT_THROW((void)evaluate_remap(ev, prof, identity_mapping(2),
+                                    identity_mapping(3), 0.5, idle),
+               ContractError);
+}
+
 TEST(Remap, RejectsBadProgress) {
   const ClusterTopology topo = make_flat(2, Arch::kAlpha533);
   const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());

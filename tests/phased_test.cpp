@@ -3,6 +3,8 @@
 // behaviour under load change.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apps/synthetic.h"
 #include "common/check.h"
 #include "core/app_monitor.h"
@@ -283,6 +285,38 @@ TEST(AppMonitor, RebaseClearsState) {
   EXPECT_EQ(mon.state(), RemapTrigger::kNone);
   EXPECT_EQ(mon.report(15.0), RemapTrigger::kNone);  // now on prediction
   EXPECT_EQ(mon.completed_units(), 2u);
+}
+
+TEST(AppMonitor, DriftExactlyAtThresholdDoesNotArm) {
+  // The trigger requires drift *strictly greater* than the threshold (paper
+  // §5: 10% is the last tolerated drift, not the first rejected one). Use a
+  // threshold and durations exact in binary so the comparison is exact.
+  AppMonitorConfig cfg;
+  cfg.drift_threshold = 0.25;
+  cfg.patience = 1;
+  AppMonitor mon({4.0, 4.0, 4.0, 4.0}, cfg);
+  EXPECT_EQ(mon.report(5.0), RemapTrigger::kNone);  // drift = 1.25 exactly
+  EXPECT_EQ(mon.report(3.0), RemapTrigger::kNone);  // drift = 0.75 exactly
+  // One representable step past the threshold fires.
+  EXPECT_EQ(mon.report(std::nextafter(5.0, 6.0)), RemapTrigger::kExternal);
+}
+
+TEST(AppMonitor, FreshMonitorReportsNeutralState) {
+  // Zero completed units: every accessor must be well-defined (in particular
+  // cumulative_drift must not divide by zero).
+  const AppMonitor mon({10.0});
+  EXPECT_EQ(mon.completed_units(), 0u);
+  EXPECT_DOUBLE_EQ(mon.cumulative_drift(), 1.0);
+  EXPECT_DOUBLE_EQ(mon.last_drift(), 1.0);
+  EXPECT_EQ(mon.state(), RemapTrigger::kNone);
+}
+
+TEST(AppMonitor, ZeroMeasuredDurationCountsAsFast) {
+  AppMonitorConfig cfg;
+  cfg.patience = 1;
+  AppMonitor mon({10.0, 10.0}, cfg);
+  EXPECT_EQ(mon.report(0.0), RemapTrigger::kInternal);
+  EXPECT_DOUBLE_EQ(mon.last_drift(), 0.0);
 }
 
 TEST(AppMonitor, RejectsBadInput) {
