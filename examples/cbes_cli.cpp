@@ -11,11 +11,18 @@
 //   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
 //   cbes_cli serve <cluster> <app> <ranks> [--workers N] [--clients M]
 //                  [--requests K] [--deadline-ms D]
+//   cbes_cli chaos <cluster> <app> <ranks> [--seed S] [--requests K]
+//                  [--horizon T]
 //
 // `serve` runs the CBES daemon in-process: a CbesServer broker over the
 // service, fed by M concurrent synthetic clients submitting K mixed
 // predict/compare/schedule requests each; prints per-state totals, cache
 // hits, and requests/sec.
+//
+// `chaos` runs the same daemon under a seeded fault plan (crashes, flapping,
+// report loss): prints the plan, the health transitions the monitor infers,
+// and a request summary. Exits nonzero if any completed request placed ranks
+// on a node that was dead at its request time.
 //
 // Observability flags (accepted anywhere on the command line):
 //   --metrics-out <file>   write Prometheus-format metrics on exit
@@ -36,6 +43,8 @@
 
 #include "apps/registry.h"
 #include "core/service.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/tracer.h"
@@ -62,7 +71,7 @@ bool g_verbose = false;
 int usage() {
   std::fprintf(stderr,
                "usage: cbes_cli <topo|apps|profile|predict|compare|schedule"
-               "|serve> ... [--metrics-out m.txt] [--trace-out t.json] "
+               "|serve|chaos> ... [--metrics-out m.txt] [--trace-out t.json] "
                "[--verbose]\n"
                "(see the header of examples/cbes_cli.cpp)\n");
   return 2;
@@ -416,6 +425,98 @@ int cmd_serve(const std::string& cluster, const std::string& app,
   return failed.load() == 0 ? 0 : 1;
 }
 
+/// Chaos-demo options.
+struct ChaosCliOptions {
+  std::uint64_t seed = 0xC4A05;
+  std::size_t requests = 24;
+  fault::ChaosOptions chaos;
+};
+
+int cmd_chaos(const std::string& cluster, const std::string& app,
+              std::size_t ranks, const ChaosCliOptions& opt) {
+  const ClusterTopology topo = make_cluster(cluster);
+  const fault::FaultPlan plan =
+      fault::FaultPlan::chaos(topo.node_count(), opt.chaos, opt.seed);
+  const fault::FaultInjector injector(topo, plan, opt.seed);
+  NoLoad idle;
+  const fault::FaultyLoad load(idle, injector);
+  CbesService svc(topo, load, Session::observed_config());
+  svc.monitor().set_fault_injector(&injector);
+  const Program program = find_app(app).make(ranks);
+  svc.register_application(program, Mapping::round_robin(topo, ranks));
+
+  std::printf("fault plan (seed %llu, horizon %.0f s, %zu events):\n",
+              static_cast<unsigned long long>(opt.seed), opt.chaos.horizon,
+              plan.size());
+  for (const fault::FaultEvent& e : plan.events()) {
+    std::printf("  t=%6.1f  %-12s %s", e.at, fault_kind_name(e.kind),
+                e.node.valid() ? topo.node(e.node).name.c_str() : "(all)");
+    if (e.until != kNever) std::printf("  until=%.1f", e.until);
+    if (e.magnitude > 0.0) std::printf("  magnitude=%.2f", e.magnitude);
+    if (e.period > 0.0) std::printf("  period=%.1f", e.period);
+    std::printf("\n");
+  }
+
+  // Walk the horizon and print every health transition the monitor infers
+  // from its (lossy) reports.
+  std::printf("health transitions:\n");
+  std::vector<NodeHealth> last(topo.node_count(), NodeHealth::kHealthy);
+  const Seconds step = svc.monitor().config().period;
+  for (Seconds t = 0.0; t <= opt.chaos.horizon; t += step) {
+    const LoadSnapshot snap = svc.monitor().snapshot(t);
+    for (const Node& n : topo.nodes()) {
+      const NodeHealth h = snap.health_of(n.id);
+      if (h != last[n.id.index()]) {
+        std::printf("  t=%6.1f  %-12s %s -> %s\n", t, n.name.c_str(),
+                    health_name(last[n.id.index()]), health_name(h));
+        last[n.id.index()] = h;
+      }
+    }
+  }
+
+  // Drive the request broker across the horizon; every completed answer must
+  // avoid nodes the monitor considers dead at its request time.
+  server::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth = std::max<std::size_t>(64, opt.requests);
+  cfg.metrics = g_metrics.get();
+  server::CbesServer srv(svc, cfg);
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t degraded = 0;
+  std::size_t violations = 0;
+  for (std::size_t k = 0; k < opt.requests; ++k) {
+    const Seconds now = opt.chaos.horizon * static_cast<double>(k) /
+                        static_cast<double>(opt.requests);
+    server::ScheduleRequest req;
+    req.app = program.name;
+    req.nranks = ranks;
+    req.algo = server::Algo::kRandom;
+    req.seed = opt.seed + k;
+    req.now = now;
+    const server::JobResult result = srv.submit(std::move(req)).wait();
+    if (result.state != server::JobState::kDone) {
+      ++failed;  // expected under chaos (e.g. too few live slots); not a bug
+      continue;
+    }
+    ++done;
+    if (result.degraded) ++degraded;
+    const LoadSnapshot ref = svc.monitor().snapshot(now);
+    for (const NodeId node : result.schedule.mapping.assignment()) {
+      if (!ref.alive(node)) {
+        ++violations;
+        std::printf("  VIOLATION: t=%.1f mapped rank onto dead node %s\n", now,
+                    topo.node(node).name.c_str());
+      }
+    }
+  }
+  srv.shutdown(/*drain=*/true);
+  std::printf("chaos summary: %zu requests -> done=%zu failed=%zu "
+              "degraded=%zu violations=%zu\n",
+              opt.requests, done, failed, degraded, violations);
+  return violations == 0 ? 0 : 1;
+}
+
 int dispatch(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const std::string& cmd = args[0];
@@ -478,6 +579,25 @@ int dispatch(const std::vector<std::string>& args) {
       }
     }
     return cmd_serve(cluster, app, ranks, opt);
+  }
+  if (cmd == "chaos") {
+    ChaosCliOptions opt;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--seed" && i + 1 < args.size()) {
+        opt.seed = parse_count(args[++i], "--seed");
+      } else if (args[i] == "--requests" && i + 1 < args.size()) {
+        opt.requests = parse_count(args[++i], "--requests");
+      } else if (args[i] == "--horizon" && i + 1 < args.size()) {
+        opt.chaos.horizon =
+            static_cast<Seconds>(parse_count(args[++i], "--horizon"));
+      } else {
+        std::fprintf(stderr, "error: unknown chaos option '%s'\n",
+                     args[i].c_str());
+        return usage();
+      }
+    }
+    CBES_CHECK_MSG(opt.requests > 0, "--requests must be positive");
+    return cmd_chaos(cluster, app, ranks, opt);
   }
   return usage();
 }
@@ -549,6 +669,12 @@ int main(int argc, char** argv) {
     return rc != 0 ? rc : (flushed ? 0 : 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    static_cast<void>(flush_observability(metrics_path, trace_path));
+    return 1;
+  } catch (...) {
+    // Nothing in the codebase throws non-std exceptions, but a CLI must
+    // never die with "terminate called" on any input.
+    std::fprintf(stderr, "error: unknown exception\n");
     static_cast<void>(flush_observability(metrics_path, trace_path));
     return 1;
   }

@@ -5,8 +5,9 @@
 #   2. rebuild tests once under AddressSanitizer (-DCBES_SANITIZE=address)
 #      and run them again;
 #   3. with CBES_SANITIZE=thread in the environment, also rebuild under
-#      ThreadSanitizer and run the concurrent server tests (test_server),
-#      which exercise the request broker's queue/cache/worker locking.
+#      ThreadSanitizer and run the concurrent suites (test_server and
+#      test_fault), which exercise the request broker's queue/cache/worker
+#      locking and the monitor/injector interplay under chaos plans.
 #
 # Usage: scripts/check.sh [--no-asan]
 #        CBES_SANITIZE=thread scripts/check.sh
@@ -34,8 +35,9 @@ if [[ "${CBES_SANITIZE:-}" == "thread" ]]; then
   echo "== TSan pass: rebuild with -DCBES_SANITIZE=thread, run server tests =="
   cmake -B build-tsan -S . -DCBES_SANITIZE=thread \
     -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_server
+  cmake --build build-tsan -j "$jobs" --target test_server --target test_fault
   ./build-tsan/tests/test_server
+  ./build-tsan/tests/test_fault
 fi
 
 echo "== all checks passed =="

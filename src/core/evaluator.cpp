@@ -6,6 +6,14 @@
 
 namespace cbes {
 
+namespace {
+
+std::string node_label(const ClusterTopology& topology, NodeId id) {
+  return topology.node(id).name;
+}
+
+}  // namespace
+
 MappingEvaluator::MappingEvaluator(const LatencyModel& model)
     : model_(&model) {}
 
@@ -13,6 +21,8 @@ void MappingEvaluator::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     predictions_ = nullptr;
     evaluations_ = nullptr;
+    degraded_predictions_ = nullptr;
+    dead_node_evals_ = nullptr;
     eval_seconds_ = nullptr;
     return;
   }
@@ -22,6 +32,13 @@ void MappingEvaluator::set_metrics(obs::MetricsRegistry* registry) {
   evaluations_ = &registry->counter(
       "cbes_evaluator_evaluations_total",
       "Scalar mapping evaluations computed (scheduler fast path)");
+  degraded_predictions_ = &registry->counter(
+      "cbes_evaluator_degraded_predictions_total",
+      "Predictions served on degraded information (dead/suspect/back-filled "
+      "nodes or fallback latency classes)");
+  dead_node_evals_ = &registry->counter(
+      "cbes_evaluator_dead_node_evals_total",
+      "Evaluations of mappings that placed a rank on a dead node");
   // 100 ns .. ~100 ms: mapping evaluation is microseconds-scale, growing
   // with profile complexity (paper §6.2).
   eval_seconds_ = &registry->histogram(
@@ -55,10 +72,37 @@ Prediction MappingEvaluator::predict(const AppProfile& profile,
   Prediction pred;
   pred.compute.resize(n);
   pred.comm.resize(n);
+
+  // Records the first (most severe first: callers order the checks) reason;
+  // later degradations only keep the flag set.
+  const auto degrade = [&pred](std::string reason) {
+    if (!pred.degraded) {
+      pred.degraded = true;
+      pred.degrade_reason = std::move(reason);
+    }
+  };
+
   for (std::size_t i = 0; i < n; ++i) {
     const RankId rank{i};
     const ProcessProfile& proc = profile.procs[i];
     const NodeId node = mapping.node_of(rank);
+    if (!snapshot.alive(node)) {
+      // A dead node computes nothing: this mapping never finishes.
+      pred.compute[i] = kNever;
+      pred.time = kNever;
+      pred.critical = rank;
+      degrade("rank " + std::to_string(i) + " mapped onto dead node " +
+              node_label(model_->topology(), node));
+      if (dead_node_evals_ != nullptr) dead_node_evals_->inc();
+      continue;
+    }
+    if (snapshot.health_of(node) == NodeHealth::kSuspect) {
+      degrade("node " + node_label(model_->topology(), node) +
+              " is suspect (missed monitor reports)");
+    } else if (snapshot.was_backfilled(node)) {
+      degrade("node " + node_label(model_->topology(), node) +
+              " readings back-filled from its equivalence class");
+    }
     pred.compute[i] = term_r(proc, node, profile, snapshot, options);
     if (options.comm_term) {
       Seconds c = theta(proc, rank, mapping, *model_, snapshot);
@@ -70,6 +114,28 @@ Prediction MappingEvaluator::predict(const AppProfile& profile,
       pred.time = total;
       pred.critical = rank;
     }
+  }
+
+  // Pairs served by fallback latency coefficients also degrade the answer;
+  // only worth scanning when nothing above already flagged it.
+  if (!pred.degraded && options.comm_term &&
+      model_->fallback_class_count() > 0) {
+    for (std::size_t i = 0; i < n && !pred.degraded; ++i) {
+      const NodeId a = mapping.node_of(RankId{i});
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const NodeId b = mapping.node_of(RankId{j});
+        if (a != b && model_->is_fallback(a, b)) {
+          degrade("pair " + node_label(model_->topology(), a) + "<->" +
+                  node_label(model_->topology(), b) +
+                  " uses fallback (uncalibrated) latency coefficients");
+          break;
+        }
+      }
+    }
+  }
+
+  if (pred.degraded && degraded_predictions_ != nullptr) {
+    degraded_predictions_->inc();
   }
   return pred;
 }
@@ -99,8 +165,14 @@ Seconds MappingEvaluator::evaluate_impl(const AppProfile& profile,
   for (std::size_t i = 0; i < n; ++i) {
     const RankId rank{i};
     const ProcessProfile& proc = profile.procs[i];
-    Seconds total =
-        term_r(proc, mapping.node_of(rank), profile, snapshot, options);
+    const NodeId node = mapping.node_of(rank);
+    if (!snapshot.alive(node)) {
+      // Infinite energy: annealing/genetic search rejects any mapping that
+      // touches a dead node without special-casing health anywhere else.
+      if (dead_node_evals_ != nullptr) dead_node_evals_->inc();
+      return kNever;
+    }
+    Seconds total = term_r(proc, node, profile, snapshot, options);
     if (options.comm_term) {
       Seconds c = theta(proc, rank, mapping, *model_, snapshot);
       if (options.lambda_correction) c *= proc.lambda;

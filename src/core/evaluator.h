@@ -10,6 +10,7 @@
 // the predictor the validation experiments (Fig. 5) measure against reality.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -31,6 +32,15 @@ struct Prediction {
   std::vector<Seconds> compute;
   /// C_i per process.
   std::vector<Seconds> comm;
+  /// True when this prediction rests on degraded information: a mapped node
+  /// is dead (time is infinite), suspect, back-filled from its equivalence
+  /// class, or a node pair runs on fallback latency coefficients. Degraded
+  /// predictions are still served — the paper's service must answer with the
+  /// best estimate it has — but consumers can weigh them accordingly.
+  bool degraded = false;
+  /// Human-readable explanation of the first degradation observed; empty when
+  /// not degraded.
+  std::string degrade_reason;
 };
 
 /// Evaluation knobs for the ablation experiments. Defaults reproduce the
@@ -86,6 +96,8 @@ class MappingEvaluator {
   const LatencyModel* model_;
   obs::Counter* predictions_ = nullptr;
   obs::Counter* evaluations_ = nullptr;
+  obs::Counter* degraded_predictions_ = nullptr;
+  obs::Counter* dead_node_evals_ = nullptr;
   obs::Histogram* eval_seconds_ = nullptr;
 };
 

@@ -1,0 +1,132 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cbes::fault {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kCpuSlowdown:
+      return "cpu-slowdown";
+    case FaultKind::kNicDegrade:
+      return "nic-degrade";
+    case FaultKind::kReportLoss:
+      return "report-loss";
+    case FaultKind::kFlap:
+      return "flap";
+  }
+  return "?";
+}
+
+void FaultPlan::add(FaultEvent event) {
+  CBES_CHECK_MSG(std::isfinite(event.at) && event.at >= 0.0,
+                 "fault event start must be finite and nonnegative");
+  CBES_CHECK_MSG(event.until > event.at,
+                 "fault event window must end after it starts");
+  switch (event.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRecover:
+      CBES_CHECK_MSG(event.node.valid(), "crash/recover needs a target node");
+      break;
+    case FaultKind::kCpuSlowdown:
+    case FaultKind::kNicDegrade:
+      CBES_CHECK_MSG(event.node.valid(), "slowdown needs a target node");
+      CBES_CHECK_MSG(
+          std::isfinite(event.magnitude) && event.magnitude >= 0.0 &&
+              event.magnitude < 1.0,
+          "slowdown/degradation magnitude must be in [0, 1)");
+      break;
+    case FaultKind::kReportLoss:
+      CBES_CHECK_MSG(
+          std::isfinite(event.magnitude) && event.magnitude >= 0.0 &&
+              event.magnitude <= 1.0,
+          "report-loss probability must be in [0, 1]");
+      break;
+    case FaultKind::kFlap:
+      CBES_CHECK_MSG(event.node.valid(), "flap needs a target node");
+      CBES_CHECK_MSG(std::isfinite(event.period) && event.period > 0.0,
+                     "flap period must be positive");
+      break;
+  }
+  events_.push_back(event);
+  // Keep events ordered by start time so interpreters can scan forward.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::size_t FaultPlan::count(FaultKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+FaultPlan FaultPlan::chaos(std::size_t node_count, const ChaosOptions& options,
+                           std::uint64_t seed) {
+  CBES_CHECK_MSG(node_count >= 2,
+                 "chaos plan needs at least two nodes (node 0 is spared)");
+  Rng rng(derive_seed(seed, 0xC4A05));
+  FaultPlan plan;
+  // Victims are drawn from [1, n): node 0 stays up so the cluster always has
+  // capacity and the equivalence-class back-fill has a live donor.
+  const auto victim = [&]() -> NodeId {
+    return NodeId{1 + rng.below(node_count - 1)};
+  };
+  for (std::size_t i = 0; i < options.crashes; ++i) {
+    const NodeId node = victim();
+    const Seconds at = rng.uniform(0.0, 0.5 * options.horizon);
+    plan.add({FaultKind::kCrash, node, at});
+    if (rng.chance(options.recovery_fraction)) {
+      plan.add({FaultKind::kRecover, node,
+                rng.uniform(at + 0.1 * options.horizon, options.horizon)});
+    }
+  }
+  for (std::size_t i = 0; i < options.flaps; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kFlap;
+    e.node = victim();
+    e.at = rng.uniform(0.0, 0.5 * options.horizon);
+    e.until = rng.uniform(e.at + 0.1 * options.horizon, options.horizon);
+    e.period = rng.uniform(0.05, 0.2) * options.horizon;
+    plan.add(e);
+  }
+  for (std::size_t i = 0; i < options.slowdowns; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCpuSlowdown;
+    e.node = victim();
+    e.at = rng.uniform(0.0, 0.8 * options.horizon);
+    e.until = rng.uniform(e.at, options.horizon) + 1.0;
+    e.magnitude = rng.uniform(0.2, 0.8);
+    plan.add(e);
+  }
+  for (std::size_t i = 0; i < options.nic_degrades; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kNicDegrade;
+    e.node = victim();
+    e.at = rng.uniform(0.0, 0.8 * options.horizon);
+    e.until = rng.uniform(e.at, options.horizon) + 1.0;
+    e.magnitude = rng.uniform(0.2, 0.7);
+    plan.add(e);
+  }
+  if (options.report_loss > 0.0) {
+    FaultEvent e;
+    e.kind = FaultKind::kReportLoss;
+    e.node = NodeId{};  // cluster-wide
+    e.at = 0.0;
+    e.until = options.horizon;
+    e.magnitude = options.report_loss;
+    plan.add(e);
+  }
+  return plan;
+}
+
+}  // namespace cbes::fault

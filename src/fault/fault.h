@@ -1,0 +1,97 @@
+// Declarative fault plans for chaos-testing CBES (ISSUE 4 tentpole).
+//
+// A FaultPlan is a list of timed fault events against cluster nodes: crashes
+// and recoveries, sustained CPU slowdowns, NIC degradation, monitor-report
+// loss, and flapping (a node cycling up/down). Plans are pure data — the
+// FaultInjector (injector.h) interprets them deterministically, so the same
+// (plan, seed) always produces the same failure history, which is what makes
+// chaos tests reproducible and bisectable.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbes::fault {
+
+/// A recoverable infrastructure hiccup (e.g. a monitor outage mid-request).
+/// The request broker retries these with capped backoff instead of failing
+/// the job; anything else escalates to a job failure.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class FaultKind : unsigned char {
+  kCrash,        ///< node goes down at `at` and stays down until recovered
+  kRecover,      ///< node comes back up at `at`
+  kCpuSlowdown,  ///< background work steals `magnitude` of the CPU in [at, until)
+  kNicDegrade,   ///< background traffic adds `magnitude` NIC util in [at, until)
+  kReportLoss,   ///< monitor reports lost with probability `magnitude` in [at, until)
+  kFlap,         ///< node cycles down/up with cycle length `period` in [at, until)
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// One fault event. Which fields matter depends on `kind`:
+///   kCrash / kRecover:  node, at
+///   kCpuSlowdown:       node, at, until, magnitude in [0, 1)
+///   kNicDegrade:        node, at, until, magnitude in [0, 1)
+///   kReportLoss:        node (invalid = every node), at, until,
+///                       magnitude = per-tick loss probability in [0, 1]
+///   kFlap:              node, at, until, period > 0 (down the first half of
+///                       each cycle, up the second)
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Target node; for kReportLoss an invalid id means cluster-wide.
+  NodeId node;
+  Seconds at = 0.0;
+  Seconds until = kNever;
+  double magnitude = 0.0;
+  Seconds period = 0.0;
+};
+
+/// Options for the seeded random chaos-plan generator.
+struct ChaosOptions {
+  std::size_t crashes = 2;        ///< distinct crash events (some may recover)
+  std::size_t flaps = 1;          ///< flapping episodes
+  std::size_t slowdowns = 2;      ///< CPU-slowdown episodes
+  std::size_t nic_degrades = 1;   ///< NIC-degradation episodes
+  double report_loss = 0.15;      ///< cluster-wide per-tick report-loss rate
+  /// Fraction of crashes that recover before the horizon.
+  double recovery_fraction = 0.5;
+  Seconds horizon = 300.0;        ///< all events land in [0, horizon)
+};
+
+/// Ordered, validated collection of fault events.
+class FaultPlan {
+ public:
+  /// Validates the event's per-kind invariants; throws ContractError on a
+  /// malformed event (negative times, magnitude out of range, ...).
+  void add(FaultEvent event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Count of events of one kind (for reporting and test assertions).
+  [[nodiscard]] std::size_t count(FaultKind kind) const noexcept;
+
+  /// Generates a random-but-deterministic plan over `node_count` nodes:
+  /// same (node_count, options, seed) -> same plan. Node 0 is never crashed
+  /// or flapped so the cluster always keeps at least one live node.
+  [[nodiscard]] static FaultPlan chaos(std::size_t node_count,
+                                       const ChaosOptions& options,
+                                       std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cbes::fault

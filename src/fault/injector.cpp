@@ -1,0 +1,130 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cbes::fault {
+
+FaultInjector::FaultInjector(const ClusterTopology& topology, FaultPlan plan,
+                             std::uint64_t seed)
+    : topology_(&topology), plan_(std::move(plan)), seed_(seed) {
+  by_node_.resize(topology.node_count());
+  const std::vector<FaultEvent>& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (!e.node.valid()) {
+      CBES_CHECK_MSG(e.kind == FaultKind::kReportLoss,
+                     "only report-loss events may be cluster-wide");
+      global_loss_.push_back(i);
+      continue;
+    }
+    CBES_CHECK_MSG(e.node.index() < topology.node_count(),
+                   "fault event targets a node outside the topology");
+    if (e.kind == FaultKind::kReportLoss) {
+      global_loss_.push_back(i);  // node filter applied at query time
+    } else {
+      by_node_[e.node.index()].push_back(i);
+    }
+  }
+}
+
+bool FaultInjector::is_down(NodeId node, Seconds now) const {
+  CBES_CHECK_MSG(node.valid() && node.index() < by_node_.size(),
+                 "unknown node");
+  bool down = false;
+  for (std::size_t i : by_node_[node.index()]) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.at > now) break;  // events are time-ordered
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        down = true;
+        break;
+      case FaultKind::kRecover:
+        down = false;
+        break;
+      case FaultKind::kFlap:
+        // Down during the first half of each cycle while the episode lasts.
+        if (now < e.until &&
+            std::fmod(now - e.at, e.period) < 0.5 * e.period) {
+          down = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return down;
+}
+
+double FaultInjector::cpu_factor(NodeId node, Seconds now) const {
+  CBES_CHECK_MSG(node.valid() && node.index() < by_node_.size(),
+                 "unknown node");
+  double factor = 1.0;
+  for (std::size_t i : by_node_[node.index()]) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.at > now) break;
+    if (e.kind == FaultKind::kCpuSlowdown && now < e.until) {
+      factor *= 1.0 - e.magnitude;  // concurrent slowdowns compound
+    }
+  }
+  return std::max(factor, kDeadCpuAvail);
+}
+
+double FaultInjector::nic_extra(NodeId node, Seconds now) const {
+  CBES_CHECK_MSG(node.valid() && node.index() < by_node_.size(),
+                 "unknown node");
+  double extra = 0.0;
+  for (std::size_t i : by_node_[node.index()]) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.at > now) break;
+    if (e.kind == FaultKind::kNicDegrade && now < e.until) {
+      extra = std::max(extra, e.magnitude);
+    }
+  }
+  return std::min(extra, kDeadNicUtil);
+}
+
+bool FaultInjector::report_lost(NodeId node, std::uint64_t tick,
+                                Seconds tick_time) const {
+  if (is_down(node, tick_time)) return true;
+  double loss = 0.0;
+  for (std::size_t i : global_loss_) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.node.valid() && e.node != node) continue;
+    if (tick_time >= e.at && tick_time < e.until) {
+      loss = std::max(loss, e.magnitude);
+    }
+  }
+  if (loss <= 0.0) return false;
+  // Deterministic per (seed, node, tick): replaying the same history asks
+  // the same questions and must get the same answers.
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(node.value) << 40) ^ tick;
+  Rng rng(derive_seed(seed_, stream));
+  return rng.chance(loss);
+}
+
+std::size_t FaultInjector::down_count(Seconds now) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < by_node_.size(); ++i) {
+    if (is_down(NodeId{i}, now)) ++count;
+  }
+  return count;
+}
+
+double FaultyLoad::cpu_avail(NodeId node, Seconds now) const {
+  if (injector_->is_down(node, now)) return kDeadCpuAvail;
+  return std::max(kDeadCpuAvail,
+                  base_->cpu_avail(node, now) * injector_->cpu_factor(node, now));
+}
+
+double FaultyLoad::nic_util(NodeId node, Seconds now) const {
+  if (injector_->is_down(node, now)) return kDeadNicUtil;
+  return std::min(kDeadNicUtil,
+                  base_->nic_util(node, now) + injector_->nic_extra(node, now));
+}
+
+}  // namespace cbes::fault

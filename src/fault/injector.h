@@ -1,0 +1,88 @@
+// Deterministic interpretation of a FaultPlan.
+//
+// The FaultInjector answers point-in-time queries — is this node down, how
+// much CPU do its background faults steal, is this monitor report lost — as
+// pure functions of (plan, seed, query), so concurrent readers need no locks
+// and a chaos run replays bit-identically from its seed.
+//
+// FaultyLoad adapts an injector onto the LoadModel interface, which is how a
+// plan drives the simnet/simmpi ground truth: a crashed node's CPU collapses
+// to the floor and its NIC saturates, slowdowns and degradations stack onto
+// whatever background load the base model already describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/fault.h"
+#include "simnet/load.h"
+#include "topology/cluster.h"
+
+namespace cbes::fault {
+
+/// CPU availability reported for a dead node: the simulator floor — any rank
+/// accidentally placed there runs ~50x slow, which surfaces loudly in tests.
+inline constexpr double kDeadCpuAvail = 0.02;
+/// NIC utilization reported for a dead node (the model's saturation cap).
+inline constexpr double kDeadNicUtil = 0.95;
+
+class FaultInjector {
+ public:
+  /// `topology` must outlive the injector. Every node-targeted event in
+  /// `plan` must name a node of the topology.
+  FaultInjector(const ClusterTopology& topology, FaultPlan plan,
+                std::uint64_t seed);
+
+  /// True when `node` is down at `now` (inside a crash..recover window or the
+  /// down half of a flap cycle).
+  [[nodiscard]] bool is_down(NodeId node, Seconds now) const;
+
+  /// Fraction of the node's CPU left to the foreground after active
+  /// slowdown faults, in (0, 1]; multiplies the base model's availability.
+  [[nodiscard]] double cpu_factor(NodeId node, Seconds now) const;
+
+  /// Extra NIC utilization from active degradation faults, in [0, 1).
+  [[nodiscard]] double nic_extra(NodeId node, Seconds now) const;
+
+  /// Whether the monitor report for `node` at sensor tick `tick` (published
+  /// at `tick_time`) is lost: always when the node is down, otherwise a
+  /// deterministic per-(seed, node, tick) Bernoulli draw against the highest
+  /// active loss probability. The same question always gets the same answer.
+  [[nodiscard]] bool report_lost(NodeId node, std::uint64_t tick,
+                                 Seconds tick_time) const;
+
+  /// Number of nodes down at `now`.
+  [[nodiscard]] std::size_t down_count(Seconds now) const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const ClusterTopology& topology() const noexcept {
+    return *topology_;
+  }
+
+ private:
+  const ClusterTopology* topology_;
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  /// Per-node event indices into plan_.events(), in time order.
+  std::vector<std::vector<std::size_t>> by_node_;
+  /// Cluster-wide (invalid-node) report-loss event indices.
+  std::vector<std::size_t> global_loss_;
+};
+
+/// LoadModel decorator: the base model's load plus the injector's faults.
+/// Both references must outlive the decorator.
+class FaultyLoad final : public LoadModel {
+ public:
+  FaultyLoad(const LoadModel& base, const FaultInjector& injector)
+      : base_(&base), injector_(&injector) {}
+
+  [[nodiscard]] double cpu_avail(NodeId node, Seconds now) const override;
+  [[nodiscard]] double nic_util(NodeId node, Seconds now) const override;
+
+ private:
+  const LoadModel* base_;
+  const FaultInjector* injector_;
+};
+
+}  // namespace cbes::fault

@@ -2,12 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "fault/injector.h"
 
 namespace cbes {
+
+namespace {
+
+// Longest re-poll gap (in ticks) the exponential backoff reaches for a
+// suspect node. Bounded so a recovered node is re-detected within a few
+// periods instead of drifting towards "never asked again".
+constexpr std::uint64_t kMaxBackoffGap = 8;
+
+}  // namespace
 
 SystemMonitor::SystemMonitor(const ClusterTopology& topology,
                              const LoadModel& truth, MonitorConfig config)
@@ -17,6 +29,12 @@ SystemMonitor::SystemMonitor(const ClusterTopology& topology,
       forecaster_(std::make_unique<LastValueForecaster>()) {
   CBES_CHECK_MSG(config_.period > 0.0, "monitor period must be positive");
   CBES_CHECK_MSG(config_.history >= 1, "monitor must retain history");
+  CBES_CHECK_MSG(config_.suspect_after >= 1,
+                 "suspect threshold must be at least one missed report");
+  CBES_CHECK_MSG(config_.dead_after > config_.suspect_after,
+                 "dead threshold must exceed the suspect threshold");
+  CBES_CHECK_MSG(config_.dead_after < config_.history,
+                 "dead threshold must fit inside the retained history window");
 }
 
 void SystemMonitor::set_forecaster(std::unique_ptr<Forecaster> forecaster) {
@@ -24,11 +42,19 @@ void SystemMonitor::set_forecaster(std::unique_ptr<Forecaster> forecaster) {
   forecaster_ = std::move(forecaster);
 }
 
+void SystemMonitor::set_fault_injector(const fault::FaultInjector* injector) {
+  injector_ = injector;
+}
+
 void SystemMonitor::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     snapshots_ = nullptr;
     probes_ = nullptr;
+    reports_lost_ = nullptr;
+    backfills_ = nullptr;
     snapshot_age_ = nullptr;
+    suspect_nodes_ = nullptr;
+    dead_nodes_ = nullptr;
     return;
   }
   snapshots_ = &registry->counter("cbes_monitor_snapshots_total",
@@ -36,9 +62,21 @@ void SystemMonitor::set_metrics(obs::MetricsRegistry* registry) {
   probes_ = &registry->counter(
       "cbes_monitor_probes_total",
       "Per-node sensor readings folded into served snapshots");
+  reports_lost_ = &registry->counter(
+      "cbes_monitor_reports_lost_total",
+      "Polled sensor reports that never arrived (lost or node down)");
+  backfills_ = &registry->counter(
+      "cbes_monitor_backfills_total",
+      "Node readings back-filled from the topology equivalence class");
   snapshot_age_ = &registry->gauge(
       "cbes_monitor_snapshot_age_seconds",
       "Age of the newest published sensor tick in the last snapshot");
+  suspect_nodes_ = &registry->gauge(
+      "cbes_monitor_suspect_nodes",
+      "Nodes marked suspect in the last served snapshot");
+  dead_nodes_ = &registry->gauge(
+      "cbes_monitor_dead_nodes",
+      "Nodes declared dead in the last served snapshot");
 }
 
 double SystemMonitor::noisy(double value, NodeId node, std::uint64_t tick,
@@ -67,6 +105,8 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
   snap.taken_at = now;
   snap.cpu_avail.resize(n);
   snap.nic_util.resize(n);
+  snap.health.assign(n, NodeHealth::kHealthy);
+  snap.backfilled.assign(n, 0);
 
   // Ticks at k * period, k >= 0; the most recent published tick is floor(now/p).
   const std::uint64_t last_tick = epoch_at(now);
@@ -74,28 +114,124 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
   const std::uint64_t first_tick =
       last_tick + 1 >= config_.history ? last_tick + 1 - config_.history : 0;
 
-  if (snapshots_ != nullptr) {
-    snapshots_->inc();
-    // Two sensors (CPU, NIC) per node per retained tick.
-    probes_->inc(2 * n * (last_tick - first_tick + 1));
-    snapshot_age_->set(now - static_cast<double>(last_tick) * config_.period);
-  }
+  std::uint64_t probe_count = 0;
+  std::uint64_t lost_count = 0;
 
+  // Pass 1: replay each node's report stream through the health machine and
+  // forecast from whatever reports survived.
   std::vector<double> cpu_hist;
   std::vector<double> nic_hist;
+  std::vector<std::uint8_t> has_reports(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId node{i};
     cpu_hist.clear();
     nic_hist.clear();
+
+    // `streak` counts consecutive ticks without a received report. Reports are
+    // published by the node's daemon on every tick whether or not we poll, so
+    // the streak advances every tick; the backoff schedule only changes when
+    // we *ask* (and therefore when recovery is noticed and what polling costs).
+    std::uint64_t streak = 0;
+    std::uint64_t skip = 0;      // ticks left before the next backoff re-poll
+    std::uint64_t gap = 1;       // current backoff gap, doubles up to the cap
     for (std::uint64_t k = first_tick; k <= last_tick; ++k) {
       const Seconds t = static_cast<double>(k) * config_.period;
-      cpu_hist.push_back(
-          std::clamp(noisy(truth_->cpu_avail(node, t), node, k, 0), 0.02, 1.0));
-      nic_hist.push_back(
-          std::clamp(noisy(truth_->nic_util(node, t), node, k, 1), 0.0, 0.95));
+      bool attempted;
+      if (injector_ == nullptr || streak < config_.suspect_after) {
+        attempted = true;  // normal cadence: poll every tick
+      } else if (skip == 0) {
+        attempted = true;  // backoff re-poll of a suspect node
+        skip = gap - 1;
+        gap = std::min(gap * 2, kMaxBackoffGap);
+      } else {
+        attempted = false;
+        --skip;
+      }
+
+      bool received = false;
+      if (attempted) {
+        probe_count += 2;  // two sensors (CPU, NIC) per polled tick
+        received = injector_ == nullptr || !injector_->report_lost(node, k, t);
+        if (!received) ++lost_count;
+      }
+
+      if (received) {
+        streak = 0;
+        skip = 0;
+        gap = 1;
+        cpu_hist.push_back(std::clamp(
+            noisy(truth_->cpu_avail(node, t), node, k, 0), 0.02, 1.0));
+        nic_hist.push_back(std::clamp(
+            noisy(truth_->nic_util(node, t), node, k, 1), 0.0, 0.95));
+      } else {
+        ++streak;
+      }
     }
-    snap.cpu_avail[i] = std::clamp(forecaster_->predict(cpu_hist), 0.02, 1.0);
-    snap.nic_util[i] = std::clamp(forecaster_->predict(nic_hist), 0.0, 0.95);
+
+    if (streak >= config_.dead_after) {
+      snap.health[i] = NodeHealth::kDead;
+    } else if (streak >= config_.suspect_after) {
+      snap.health[i] = NodeHealth::kSuspect;
+    }
+
+    if (!cpu_hist.empty()) {
+      has_reports[i] = 1;
+      snap.cpu_avail[i] = std::clamp(forecaster_->predict(cpu_hist), 0.02, 1.0);
+      snap.nic_util[i] = std::clamp(forecaster_->predict(nic_hist), 0.0, 0.95);
+    }
+  }
+
+  // Pass 2: fill the holes. Dead nodes get the pessimal picture; reachable
+  // nodes with no surviving reports borrow the mean forecast of healthy nodes
+  // in the same hardware equivalence class (the paper's calibration classes),
+  // falling back to idle defaults when the whole class is silent.
+  std::uint64_t backfill_count = 0;
+  std::size_t suspect_count = 0;
+  std::size_t dead_count = 0;
+  std::unordered_map<std::string, std::pair<double, double>> class_sum;
+  std::unordered_map<std::string, std::size_t> class_n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (snap.health[i] == NodeHealth::kHealthy && has_reports[i] != 0) {
+      const std::string sig = topology_->node_signature(NodeId{i});
+      auto& sum = class_sum[sig];
+      sum.first += snap.cpu_avail[i];
+      sum.second += snap.nic_util[i];
+      ++class_n[sig];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (snap.health[i] == NodeHealth::kDead) {
+      ++dead_count;
+      snap.cpu_avail[i] = 0.02;
+      snap.nic_util[i] = 0.95;
+      continue;
+    }
+    if (snap.health[i] == NodeHealth::kSuspect) ++suspect_count;
+    if (has_reports[i] != 0) continue;
+    const std::string sig = topology_->node_signature(NodeId{i});
+    const auto it = class_n.find(sig);
+    if (it != class_n.end() && it->second > 0) {
+      const auto& sum = class_sum[sig];
+      const double denom = static_cast<double>(it->second);
+      snap.cpu_avail[i] = sum.first / denom;
+      snap.nic_util[i] = sum.second / denom;
+    } else {
+      // Last rung of the degradation ladder: assume idle.
+      snap.cpu_avail[i] = 1.0;
+      snap.nic_util[i] = 0.0;
+    }
+    snap.backfilled[i] = 1;
+    ++backfill_count;
+  }
+
+  if (snapshots_ != nullptr) {
+    snapshots_->inc();
+    probes_->inc(probe_count);
+    if (lost_count > 0) reports_lost_->inc(lost_count);
+    if (backfill_count > 0) backfills_->inc(backfill_count);
+    snapshot_age_->set(now - static_cast<double>(last_tick) * config_.period);
+    suspect_nodes_->set(static_cast<double>(suspect_count));
+    dead_nodes_->set(static_cast<double>(dead_count));
   }
   return snap;
 }
@@ -107,10 +243,14 @@ LoadSnapshot SystemMonitor::truth_snapshot(Seconds now) const {
   snap.epoch = epoch_at(now);
   snap.cpu_avail.resize(n);
   snap.nic_util.resize(n);
+  if (injector_ != nullptr) snap.health.assign(n, NodeHealth::kHealthy);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId node{i};
     snap.cpu_avail[i] = truth_->cpu_avail(node, now);
     snap.nic_util[i] = truth_->nic_util(node, now);
+    if (injector_ != nullptr && injector_->is_down(node, now)) {
+      snap.health[i] = NodeHealth::kDead;
+    }
   }
   return snap;
 }

@@ -6,6 +6,13 @@
 // snapshot at time `now` reflects only what has been published by then. A
 // pluggable Forecaster turns the sample history into the next-period estimate,
 // mirroring the NWS (Centurion) vs last-value (Orange Grove) prototypes.
+//
+// Fault tolerance: when a FaultInjector is attached, reports can be lost and
+// nodes can be down. The monitor then runs a per-node health state machine
+// over the retained window — healthy until `suspect_after` consecutive ticks
+// without a report, suspect until `dead_after`, then dead — and re-polls
+// suspect nodes on an exponential backoff rather than every tick. Nodes with
+// no surviving reports are back-filled from their topology equivalence class.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,10 @@
 #include "obs/metrics.h"
 #include "simnet/load.h"
 #include "topology/cluster.h"
+
+namespace cbes::fault {
+class FaultInjector;
+}  // namespace cbes::fault
 
 namespace cbes {
 
@@ -30,6 +41,12 @@ struct MonitorConfig {
   /// Number of trailing samples retained per sensor for forecasting.
   std::size_t history = 32;
   std::uint64_t seed = 0x5eed5eedULL;
+  /// Consecutive missed reports after which a node is marked suspect.
+  std::size_t suspect_after = 2;
+  /// Consecutive missed reports after which a node is declared dead.
+  /// Must exceed `suspect_after` and fit inside `history`, or a freshly dead
+  /// node could never be observed as such.
+  std::size_t dead_after = 5;
 };
 
 /// Simulated monitoring infrastructure over a cluster.
@@ -43,10 +60,17 @@ class SystemMonitor {
   /// Replaces the forecaster (e.g. AdaptiveForecaster for NWS-like behaviour).
   void set_forecaster(std::unique_ptr<Forecaster> forecaster);
 
+  /// Attaches a fault injector that decides which reports get lost and which
+  /// nodes are down (nullptr detaches; the default). Without an injector every
+  /// report arrives and every node is healthy — exactly the pre-fault-layer
+  /// behaviour. `injector` must outlive the monitor.
+  void set_fault_injector(const fault::FaultInjector* injector);
+
   /// The availability picture the daemons have published by `now`, run through
-  /// the forecaster. Deterministic in (config.seed, now). Thread-safe: may be
-  /// called concurrently from server worker threads (all state is read-only;
-  /// metric updates are atomic).
+  /// the forecaster and the health state machine. Deterministic in
+  /// (config.seed, now, fault plan). Thread-safe: may be called concurrently
+  /// from server worker threads (all state is read-only; metric updates are
+  /// atomic).
   [[nodiscard]] LoadSnapshot snapshot(Seconds now) const;
 
   /// The publication epoch a snapshot taken at `now` would carry — the index
@@ -58,8 +82,10 @@ class SystemMonitor {
   /// staleness bound to decide whether to serve degraded (no-load) answers.
   [[nodiscard]] Seconds staleness(Seconds now) const noexcept;
 
-  /// Ground truth at `now` — what an oracle monitor would report. Used by
-  /// experiments to separate monitoring error from model error.
+  /// Ground truth at `now` — what an oracle monitor would report. Carries the
+  /// injector's down/up verdicts as health (no miss-counting: an oracle knows
+  /// immediately). Used by experiments to separate monitoring error from model
+  /// error, and by chaos tests as the reference health picture.
   [[nodiscard]] LoadSnapshot truth_snapshot(Seconds now) const;
 
   [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
@@ -76,9 +102,14 @@ class SystemMonitor {
   const LoadModel* truth_;
   MonitorConfig config_;
   std::unique_ptr<Forecaster> forecaster_;
+  const fault::FaultInjector* injector_ = nullptr;
   obs::Counter* snapshots_ = nullptr;
   obs::Counter* probes_ = nullptr;
+  obs::Counter* reports_lost_ = nullptr;
+  obs::Counter* backfills_ = nullptr;
   obs::Gauge* snapshot_age_ = nullptr;
+  obs::Gauge* suspect_nodes_ = nullptr;
+  obs::Gauge* dead_nodes_ = nullptr;
 };
 
 }  // namespace cbes

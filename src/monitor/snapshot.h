@@ -14,6 +14,22 @@
 
 namespace cbes {
 
+/// Health verdict the monitoring layer attaches to each node. The ladder is
+/// strictly ordered: a node is healthy until it misses reports, suspect after
+/// `MonitorConfig::suspect_after` consecutive misses, and dead after
+/// `dead_after`. Only dead nodes are excluded from scheduling; suspect nodes
+/// stay usable but mark predictions as degraded.
+enum class NodeHealth : unsigned char { kHealthy = 0, kSuspect = 1, kDead = 2 };
+
+[[nodiscard]] constexpr const char* health_name(NodeHealth h) noexcept {
+  switch (h) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kSuspect: return "suspect";
+    case NodeHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
 /// Per-node availability view at a point in time.
 struct LoadSnapshot {
   Seconds taken_at = 0.0;
@@ -28,6 +44,13 @@ struct LoadSnapshot {
   std::vector<double> cpu_avail;
   /// Background NIC utilization per node, in [0, 1).
   std::vector<double> nic_util;
+  /// Health verdict per node. Empty means "no health tracking" and every node
+  /// is treated as healthy (back-compat for hand-built snapshots).
+  std::vector<NodeHealth> health;
+  /// 1 where cpu/nic were back-filled from the node's topology equivalence
+  /// class (or idle defaults) because no reports survived the window. Empty
+  /// means nothing was back-filled.
+  std::vector<std::uint8_t> backfilled;
 
   /// An all-idle snapshot for `n` nodes.
   static LoadSnapshot idle(std::size_t n) {
@@ -41,6 +64,24 @@ struct LoadSnapshot {
     return cpu_avail[node.index()];
   }
   [[nodiscard]] double nic(NodeId node) const { return nic_util[node.index()]; }
+
+  [[nodiscard]] NodeHealth health_of(NodeId node) const {
+    if (health.empty()) return NodeHealth::kHealthy;
+    return health[node.index()];
+  }
+  [[nodiscard]] bool alive(NodeId node) const {
+    return health_of(node) != NodeHealth::kDead;
+  }
+  [[nodiscard]] bool was_backfilled(NodeId node) const {
+    return !backfilled.empty() && backfilled[node.index()] != 0;
+  }
+  [[nodiscard]] std::size_t alive_count() const {
+    if (health.empty()) return cpu_avail.size();
+    std::size_t count = 0;
+    for (NodeHealth h : health)
+      if (h != NodeHealth::kDead) ++count;
+    return count;
+  }
 };
 
 }  // namespace cbes

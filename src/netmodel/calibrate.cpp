@@ -1,10 +1,13 @@
 #include "netmodel/calibrate.h"
 
 #include <algorithm>
+#include <cmath>
+#include <span>
 #include <string>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "simnet/load.h"
 
@@ -123,6 +126,9 @@ LatencyModel calibrate(const ClusterTopology& topology,
   CBES_CHECK_MSG(options.sizes.size() >= 2,
                  "calibration needs at least two message sizes");
   CBES_CHECK_MSG(options.repeats >= 1, "calibration needs at least one repeat");
+  CBES_CHECK_MSG(
+      options.calibrate_fraction > 0.0 && options.calibrate_fraction <= 1.0,
+      "calibrate_fraction must be in (0, 1]");
 
   SimNetwork net(topology, hardware, derive_seed(options.seed, 1));
 
@@ -142,13 +148,36 @@ LatencyModel calibrate(const ClusterTopology& topology,
 
   CalibrationReport rep;
   rep.classes = classes.size();
+
+  // Under partial calibration, a seeded subset of classes gets measured; the
+  // rest inherit class-average fallback coefficients from LatencyModel.
+  // Selection iterates signatures in sorted order so the subset is a function
+  // of (topology, seed) alone, not hash-map iteration order.
+  std::vector<std::string> signatures;
+  signatures.reserve(classes.size());
+  for (const auto& [sig, pairs] : classes) signatures.push_back(sig);
+  std::sort(signatures.begin(), signatures.end());
+  const bool partial = options.calibrate_fraction < 1.0;
+  if (partial) {
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               options.calibrate_fraction *
+               static_cast<double>(signatures.size()))));
+    Rng rng(derive_seed(options.seed, 2));
+    rng.shuffle(std::span<std::string>(signatures));
+    signatures.resize(keep);
+    std::sort(signatures.begin(), signatures.end());
+  }
+
   Seconds epoch = 0.0;
   std::unordered_map<std::string, LatencyCoeffs> by_signature;
   {
     const obs::TraceSpan span(trace, "calibrate/path-classes");
-    for (const auto& [sig, pairs] : classes) {
+    for (const std::string& sig : signatures) {
+      const std::vector<PairSample>& pairs = classes.at(sig);
       const LatencyCoeffs c =
           fit_class(net, pairs, options, epoch, &rep.measurements);
+      ++rep.classes_measured;
       rep.pairs_measured += pairs.size();
       rep.worst_fit_r_squared =
           std::min(rep.worst_fit_r_squared, c.fit_r_squared);
@@ -194,7 +223,7 @@ LatencyModel calibrate(const ClusterTopology& topology,
   loopback.k_beta_cpu = options.fit_load_terms ? 1.0 : 0.0;
 
   if (report) *report = rep;
-  return LatencyModel(topology, std::move(by_signature), loopback);
+  return LatencyModel(topology, std::move(by_signature), loopback, partial);
 }
 
 }  // namespace cbes

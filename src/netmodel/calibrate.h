@@ -38,12 +38,18 @@ struct CalibrationOptions {
   /// Also run the loaded benchmark sets and fit k_alpha_cpu / k_beta_cpu /
   /// k_beta_nic; when false those coefficients stay 0 (no-load model only).
   bool fit_load_terms = true;
+  /// Fraction of path classes actually benchmarked, in (0, 1]. Below 1 a
+  /// seeded subset of classes is measured and the rest run on class-average
+  /// fallback coefficients (LatencyModel::is_fallback) — how a cluster keeps
+  /// serving when calibration was cut short by a fault or a time budget.
+  double calibrate_fraction = 1.0;
   std::uint64_t seed = 0xCA11B8A7EULL;
 };
 
 /// Summary of a calibration run, for reporting and tests.
 struct CalibrationReport {
   std::size_t classes = 0;        ///< distinct path classes found
+  std::size_t classes_measured = 0;  ///< classes actually benchmarked
   std::size_t pairs_measured = 0; ///< node pairs actually benchmarked
   std::size_t measurements = 0;   ///< individual ping measurements taken
   double worst_fit_r_squared = 1.0;

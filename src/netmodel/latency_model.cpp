@@ -6,12 +6,41 @@
 
 namespace cbes {
 
+namespace {
+
+/// Mean of the calibrated coefficients — what an unmeasured class is assumed
+/// to behave like when partial calibration is allowed.
+LatencyCoeffs class_average(
+    const std::unordered_map<std::string, LatencyCoeffs>& by_signature) {
+  LatencyCoeffs avg;
+  avg.fit_r_squared = 0.0;  // advertises "not a fit" to introspection
+  const double denom = static_cast<double>(by_signature.size());
+  for (const auto& [sig, c] : by_signature) {
+    avg.alpha += c.alpha / denom;
+    avg.beta += c.beta / denom;
+    avg.k_alpha_cpu += c.k_alpha_cpu / denom;
+    avg.k_beta_cpu += c.k_beta_cpu / denom;
+    avg.k_beta_nic += c.k_beta_nic / denom;
+  }
+  return avg;
+}
+
+}  // namespace
+
 LatencyModel::LatencyModel(
     const ClusterTopology& topology,
     std::unordered_map<std::string, LatencyCoeffs> by_signature,
-    LatencyCoeffs loopback)
+    LatencyCoeffs loopback, bool allow_partial)
     : topology_(&topology), n_(topology.node_count()) {
   coeffs_.push_back(loopback);  // class 0 = loopback
+  fallback_.push_back(0);
+
+  LatencyCoeffs average;
+  if (allow_partial) {
+    CBES_CHECK_MSG(!by_signature.empty(),
+                   "partial latency model needs at least one fitted class");
+    average = class_average(by_signature);
+  }
 
   std::unordered_map<std::string, std::uint16_t> index_of;
   pair_class_.assign(n_ * n_, 0);
@@ -24,13 +53,19 @@ LatencyModel::LatencyModel(
           sig, static_cast<std::uint16_t>(coeffs_.size()));
       if (inserted) {
         const auto found = by_signature.find(sig);
-        CBES_CHECK_MSG(found != by_signature.end(),
+        CBES_CHECK_MSG(found != by_signature.end() || allow_partial,
                        "latency model missing coefficients for path class " +
                            sig);
         CBES_CHECK_MSG(coeffs_.size() <
                            std::numeric_limits<std::uint16_t>::max(),
                        "too many path classes");
-        coeffs_.push_back(found->second);
+        if (found != by_signature.end()) {
+          coeffs_.push_back(found->second);
+          fallback_.push_back(0);
+        } else {
+          coeffs_.push_back(average);
+          fallback_.push_back(1);
+        }
       }
       pair_class_[a * n_ + b] = it->second;
     }

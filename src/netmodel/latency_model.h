@@ -42,10 +42,14 @@ struct LatencyCoeffs {
 class LatencyModel {
  public:
   /// Builds a model over `topology` from per-signature coefficients plus the
-  /// loopback (same-node) class. Signatures must cover every node pair.
+  /// loopback (same-node) class. Signatures must cover every node pair unless
+  /// `allow_partial` is set, in which case uncovered classes fall back to the
+  /// class-average of the provided coefficients (the degradation ladder's
+  /// middle rung: better than refusing to answer, worse than a measured fit).
+  /// Pairs served by the fallback are queryable via is_fallback().
   LatencyModel(const ClusterTopology& topology,
                std::unordered_map<std::string, LatencyCoeffs> by_signature,
-               LatencyCoeffs loopback);
+               LatencyCoeffs loopback, bool allow_partial = false);
 
   /// No-load end-to-end latency for a `size`-byte message from a to b.
   [[nodiscard]] Seconds no_load(NodeId a, NodeId b, Bytes size) const;
@@ -60,6 +64,19 @@ class LatencyModel {
     return coeffs_.size() - 1;
   }
 
+  /// True when the (a, b) pair is served by class-average fallback
+  /// coefficients rather than a calibrated fit. Always false for loopback.
+  [[nodiscard]] bool is_fallback(NodeId a, NodeId b) const {
+    return fallback_[class_index(a, b)] != 0;
+  }
+
+  /// Number of path classes running on fallback coefficients.
+  [[nodiscard]] std::size_t fallback_class_count() const noexcept {
+    std::size_t count = 0;
+    for (std::uint8_t f : fallback_) count += f;
+    return count;
+  }
+
   /// Coefficients backing the (a, b) pair; for introspection and tests.
   [[nodiscard]] const LatencyCoeffs& coeffs(NodeId a, NodeId b) const;
 
@@ -72,6 +89,7 @@ class LatencyModel {
 
   const ClusterTopology* topology_;
   std::vector<LatencyCoeffs> coeffs_;     // [0] = loopback
+  std::vector<std::uint8_t> fallback_;    // parallel to coeffs_: 1 = class-average
   std::vector<std::uint16_t> pair_class_; // n*n dense map into coeffs_
   std::size_t n_ = 0;
 };

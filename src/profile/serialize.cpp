@@ -1,5 +1,6 @@
 #include "profile/serialize.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ios>
@@ -12,6 +13,11 @@ namespace cbes {
 namespace {
 
 constexpr int kFormatVersion = 1;
+
+/// Profiles are untrusted input; bound every element count so a corrupt or
+/// truncated count field cannot trigger a multi-gigabyte allocation before
+/// the stream runs dry.
+constexpr std::size_t kMaxCount = std::size_t{1} << 20;
 
 /// Names may contain spaces; escape the few characters the parser splits on.
 std::string escape(const std::string& s) {
@@ -49,17 +55,20 @@ void write_groups(std::ostream& out, const char* tag,
   out << '\n';
 }
 
-std::vector<MessageGroup> read_groups(std::istream& in, const char* tag) {
+std::vector<MessageGroup> read_groups(std::istream& in, const char* tag,
+                                      std::size_t nprocs) {
   std::string word;
   CBES_CHECK_MSG(static_cast<bool>(in >> word) && word == tag,
                  std::string("profile parse error: expected ") + tag);
   std::size_t count = 0;
-  CBES_CHECK_MSG(static_cast<bool>(in >> count), "profile parse error: count");
+  CBES_CHECK_MSG(static_cast<bool>(in >> count) && count <= kMaxCount,
+                 "profile parse error: count");
   std::vector<MessageGroup> groups(count);
   for (MessageGroup& g : groups) {
     std::uint32_t peer = 0;
     CBES_CHECK_MSG(static_cast<bool>(in >> peer >> g.size >> g.count),
                    "profile parse error: group");
+    CBES_CHECK_MSG(peer < nprocs, "profile parse error: peer out of range");
     g.peer = RankId{peer};
   }
   return groups;
@@ -100,7 +109,8 @@ AppProfile load_profile(std::istream& in) {
   CBES_CHECK_MSG(static_cast<bool>(in >> word) && word == "name",
                  "profile parse error: name");
   std::string name;
-  in >> name;
+  CBES_CHECK_MSG(static_cast<bool>(in >> name),
+                 "profile parse error: name value");
   profile.app_name = unescape(name);
 
   CBES_CHECK_MSG(static_cast<bool>(in >> word >> profile.phase) &&
@@ -110,23 +120,25 @@ AppProfile load_profile(std::istream& in) {
   CBES_CHECK_MSG(static_cast<bool>(in >> word) && word == "arch_speed",
                  "profile parse error: arch_speed");
   for (double& s : profile.arch_speed) {
-    CBES_CHECK_MSG(static_cast<bool>(in >> s), "profile parse error: speed");
+    CBES_CHECK_MSG(static_cast<bool>(in >> s) && std::isfinite(s) && s >= 0.0,
+                   "profile parse error: speed");
   }
 
   std::size_t mapping_size = 0;
   CBES_CHECK_MSG(static_cast<bool>(in >> word >> mapping_size) &&
-                     word == "mapping",
+                     word == "mapping" && mapping_size <= kMaxCount,
                  "profile parse error: mapping");
   profile.profiling_mapping.resize(mapping_size);
   for (NodeId& n : profile.profiling_mapping) {
     std::uint32_t value = 0;
-    CBES_CHECK_MSG(static_cast<bool>(in >> value),
+    CBES_CHECK_MSG(static_cast<bool>(in >> value) && NodeId{value}.valid(),
                    "profile parse error: mapping node");
     n = NodeId{value};
   }
 
   std::size_t nprocs = 0;
-  CBES_CHECK_MSG(static_cast<bool>(in >> word >> nprocs) && word == "procs",
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> nprocs) && word == "procs" &&
+                     nprocs <= kMaxCount,
                  "profile parse error: procs");
   profile.procs.resize(nprocs);
   for (ProcessProfile& p : profile.procs) {
@@ -139,9 +151,16 @@ AppProfile load_profile(std::istream& in) {
     CBES_CHECK_MSG(arch >= 0 &&
                        arch < static_cast<int>(kAllArchs.size()),
                    "profile parse error: arch out of range");
+    // Times are accumulated durations and lambda a positive correction
+    // factor; NaN would otherwise flow straight into predictions.
+    CBES_CHECK_MSG(std::isfinite(p.x) && p.x >= 0.0 && std::isfinite(p.o) &&
+                       p.o >= 0.0 && std::isfinite(p.b) && p.b >= 0.0,
+                   "profile parse error: negative or non-finite time");
+    CBES_CHECK_MSG(std::isfinite(p.lambda) && p.lambda >= 0.0,
+                   "profile parse error: bad lambda");
     p.profiled_arch = static_cast<Arch>(arch);
-    p.recv_groups = read_groups(in, "recv");
-    p.send_groups = read_groups(in, "send");
+    p.recv_groups = read_groups(in, "recv", nprocs);
+    p.send_groups = read_groups(in, "send", nprocs);
   }
   return profile;
 }

@@ -96,10 +96,23 @@ PhasedRunReport PhasedRunner::run(const Mapping& initial,
         options_.adaptive && s > 0 &&
         (options_.policy == RemapPolicy::kEveryBoundary ||
          drift.state() == RemapTrigger::kExternal);
+    // Dead nodes are not remap candidates; when too few live slots remain to
+    // host the application, stay on the current mapping rather than search an
+    // infeasible pool.
+    std::size_t live_slots = 0;
     if (consult) {
+      const LoadSnapshot probe = service_->monitor().snapshot(now);
+      for (NodeId node : pool_.nodes()) {
+        if (probe.alive(node)) {
+          live_slots += static_cast<std::size_t>(pool_.slots_of(node));
+        }
+      }
+    }
+    if (consult && live_slots >= current.nranks()) {
       // Consult the monitor and search for a better mapping for the rest of
       // the run.
       const LoadSnapshot snapshot = service_->monitor().snapshot(now);
+      const NodePool search_pool = pool_.alive_only(snapshot);
       const RemainingCost cost(
           service_->evaluator(),
           std::span<const AppProfile>(profiles_).subspan(s), snapshot);
@@ -107,7 +120,7 @@ PhasedRunReport PhasedRunner::run(const Mapping& initial,
       params.seed = derive_seed(options_.sa.seed, s);
       SimulatedAnnealingScheduler scheduler(params);
       const ScheduleResult found =
-          scheduler.schedule(current.nranks(), pool_, cost);
+          scheduler.schedule(current.nranks(), search_pool, cost);
 
       const Seconds stay = cost(current);
       const Seconds move = found.cost;

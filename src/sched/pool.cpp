@@ -40,6 +40,16 @@ NodePool NodePool::one_per_node() const {
   return NodePool(*topology_, nodes_, 1);
 }
 
+NodePool NodePool::alive_only(const LoadSnapshot& snapshot) const {
+  std::vector<NodeId> alive;
+  alive.reserve(nodes_.size());
+  for (NodeId n : nodes_) {
+    if (snapshot.alive(n)) alive.push_back(n);
+  }
+  CBES_CHECK_MSG(!alive.empty(), "every node in the pool is dead");
+  return NodePool(*topology_, std::move(alive), max_slots_per_node_);
+}
+
 int NodePool::slots_of(NodeId node) const {
   return std::min(topology_->node(node).cpus, max_slots_per_node_);
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "monitor/snapshot.h"
 #include "topology/cluster.h"
 #include "topology/mapping.h"
 
@@ -28,6 +29,10 @@ class NodePool {
   static NodePool by_arch(const ClusterTopology& topology, Arch arch);
   /// Same node list, but at most one rank per node.
   [[nodiscard]] NodePool one_per_node() const;
+  /// Same pool with nodes the snapshot declares dead removed — the
+  /// fault-tolerance mask every scheduler search runs behind. Requires at
+  /// least one surviving node.
+  [[nodiscard]] NodePool alive_only(const LoadSnapshot& snapshot) const;
 
   [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
     return nodes_;

@@ -126,6 +126,23 @@ void EvalCache::insert(const std::string& app, const Mapping& mapping,
   }
 }
 
+std::size_t EvalCache::invalidate_node(NodeId node) {
+  const std::lock_guard lock(mu_);
+  std::size_t dropped = 0;
+  for (Lru::iterator it = lru_.begin(); it != lru_.end();) {
+    Lru::iterator next = std::next(it);
+    if (std::binary_search(it->mapped_nodes.begin(), it->mapped_nodes.end(),
+                           node)) {
+      ++invalidations_;
+      if (invalidations_metric_ != nullptr) invalidations_metric_->inc();
+      erase_locked(it);
+      ++dropped;
+    }
+    it = next;
+  }
+  return dropped;
+}
+
 void EvalCache::clear() {
   const std::lock_guard lock(mu_);
   lru_.clear();

@@ -55,6 +55,12 @@ class EvalCache {
   void insert(const std::string& app, const Mapping& mapping,
               const LoadSnapshot& snapshot, const Prediction& prediction);
 
+  /// Drops every entry whose mapping touches `node` — called when the node's
+  /// health verdict changes (a crash or recovery moves its availability far
+  /// beyond any drift threshold). Returns the number of entries dropped; they
+  /// are counted as invalidations.
+  std::size_t invalidate_node(NodeId node);
+
   void clear();
 
   [[nodiscard]] std::size_t size() const;

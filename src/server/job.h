@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/remap.h"
 #include "core/service.h"
 #include "sched/annealing.h"
 #include "sched/genetic.h"
@@ -123,6 +124,29 @@ struct ScheduleRequest {
   Seconds now = 0.0;
 };
 
+/// Remap-on-failure / remap-on-drift: search for a candidate mapping for a
+/// *running* application and judge whether migrating beats staying (paper §8).
+/// The server's answer is advisory — the decision plus the candidate — since
+/// actually moving ranks belongs to the launcher, not the estimating service.
+struct RemapRequest {
+  std::string app;
+  /// Where the application is running now. May touch nodes that have since
+  /// died — that is the remap-on-failure case, where staying costs infinity.
+  Mapping current;
+  /// Fraction of the profiled work already completed, in [0, 1).
+  double progress = 0.0;
+  /// Node pool candidates may be drawn from; empty = whole cluster. Dead
+  /// nodes are masked out of the search regardless.
+  std::vector<NodeId> pool_nodes;
+  int max_slots_per_node = 1 << 20;
+  /// SA search parameters; `seed` overrides the params' seed (same contract
+  /// as ScheduleRequest).
+  SaParams sa;
+  std::uint64_t seed = 1;
+  Seconds now = 0.0;
+  RemapCostModel cost;
+};
+
 // ---- results ---------------------------------------------------------------
 
 /// Terminal outcome of a job. Which payload member is meaningful depends on
@@ -136,6 +160,10 @@ struct JobResult {
   /// schedule answers. Default-constructed when the job was cancelled: a job
   /// past its deadline reports `cancelled`, not a partial anneal.
   ScheduleResult schedule;
+  /// remap answers: the stay-vs-migrate verdict and the candidate mapping the
+  /// search found (meaningful only for kRemap jobs that reached kDone).
+  RemapDecision remap;
+  Mapping remap_candidate;
   /// True when the answer was computed from a no-load availability picture
   /// because the monitor snapshot was stale past the server's bound.
   bool degraded = false;
@@ -150,7 +178,7 @@ struct JobResult {
 
 // ---- the job itself --------------------------------------------------------
 
-enum class JobKind : unsigned char { kPredict, kCompare, kSchedule };
+enum class JobKind : unsigned char { kPredict, kCompare, kSchedule, kRemap };
 
 /// Shared state of one in-flight request. Internal to the server layer:
 /// constructed by CbesServer::submit(), referenced by the queue, one worker,
@@ -164,6 +192,7 @@ struct Job {
   PredictRequest predict;
   CompareRequest compare;
   ScheduleRequest schedule;
+  RemapRequest remap;
   Clock::time_point submitted{};
   /// Absolute deadline; unset = unbounded.
   std::optional<Clock::time_point> deadline;

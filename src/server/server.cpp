@@ -1,9 +1,12 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "core/remap.h"
+#include "fault/fault.h"
 #include "sched/cost.h"
 #include "sched/pool.h"
 
@@ -63,6 +66,16 @@ CbesServer::CbesServer(CbesService& service, ServerConfig config)
     jobs_degraded_ = &reg.counter(
         "cbes_server_jobs_degraded_total",
         "Jobs answered from the no-load picture because the monitor was stale");
+    retries_ = &reg.counter(
+        "cbes_server_retries_total",
+        "Execution attempts retried after a transient evaluation failure");
+    health_invalidations_ = &reg.counter(
+        "cbes_server_health_invalidations_total",
+        "Cache entries dropped because a mapped node's health verdict changed");
+    dead_node_refusals_ = &reg.counter(
+        "cbes_server_dead_node_refusals_total",
+        "Jobs refused an answer because the requested mapping touches a dead "
+        "node");
     queue_seconds_ =
         &reg.histogram("cbes_server_queue_seconds",
                        obs::Histogram::exponential(1e-6, 4.0, 12),
@@ -146,6 +159,22 @@ JobHandle CbesServer::submit(CompareRequest request, SubmitOptions options) {
   return admit(std::move(job), reason);
 }
 
+JobHandle CbesServer::submit(RemapRequest request, SubmitOptions options) {
+  auto job = make_job(JobKind::kRemap, options);
+  std::string reason;
+  if (!service_->has_profile(request.app)) {
+    reason = "no profile registered for: " + request.app;
+  } else if (request.current.nranks() == 0) {
+    reason = "empty current mapping";
+  } else if (!request.current.fits(service_->topology())) {
+    reason = "current mapping does not fit the cluster";
+  } else if (!(request.progress >= 0.0) || request.progress >= 1.0) {
+    reason = "progress must be in [0, 1)";
+  }
+  job->remap = std::move(request);
+  return admit(std::move(job), reason);
+}
+
 JobHandle CbesServer::submit(ScheduleRequest request, SubmitOptions options) {
   auto job = make_job(JobKind::kSchedule, options);
   std::string reason;
@@ -209,22 +238,35 @@ void CbesServer::execute(Job& job) {
   }
 
   job.mark_running();
-  result.state = JobState::kDone;
-  try {
-    switch (job.kind) {
-      case JobKind::kPredict:
-        run_predict(job, result);
+  // Transient failures (injected or real) retry with capped exponential
+  // backoff; each attempt starts from a fresh result so a half-computed
+  // answer never leaks. Contract violations fail immediately — retrying a
+  // malformed request cannot succeed.
+  std::chrono::milliseconds backoff = config_.retry_backoff;
+  for (std::size_t attempt = 0;; ++attempt) {
+    JobResult fresh;
+    fresh.state = JobState::kDone;
+    fresh.queue_seconds = result.queue_seconds;
+    try {
+      if (config_.fault_hook) config_.fault_hook(job);
+      run_attempt(job, fresh);
+      result = std::move(fresh);
+      break;
+    } catch (const fault::TransientError& e) {
+      if (attempt >= config_.max_retries || job.should_stop()) {
+        result.state = JobState::kFailed;
+        result.detail = std::string("transient failure (retries exhausted): ") +
+                        e.what();
         break;
-      case JobKind::kCompare:
-        run_compare(job, result);
-        break;
-      case JobKind::kSchedule:
-        run_schedule(job, result);
-        break;
+      }
+      if (retries_ != nullptr) retries_->inc();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, config_.retry_backoff_cap);
+    } catch (const std::exception& e) {
+      result.state = JobState::kFailed;
+      result.detail = e.what();
+      break;
     }
-  } catch (const std::exception& e) {
-    result.state = JobState::kFailed;
-    result.detail = e.what();
   }
   result.run_seconds = seconds_between(started, Job::Clock::now());
   if (run_seconds_ != nullptr) run_seconds_->observe(result.run_seconds);
@@ -243,17 +285,41 @@ void CbesServer::execute(Job& job) {
   job.finish(std::move(result));
 }
 
-LoadSnapshot CbesServer::snapshot_for(Seconds now, bool& degraded) const {
+void CbesServer::note_health(const LoadSnapshot& snapshot) {
+  if (snapshot.health.empty()) return;
+  const std::lock_guard lock(health_mu_);
+  if (last_health_.size() == snapshot.health.size()) {
+    for (std::size_t i = 0; i < snapshot.health.size(); ++i) {
+      if (last_health_[i] == snapshot.health[i]) continue;
+      cache_.invalidate_node(NodeId{i});
+      if (health_invalidations_ != nullptr) health_invalidations_->inc();
+    }
+  }
+  last_health_ = snapshot.health;
+}
+
+LoadSnapshot CbesServer::snapshot_for(Seconds now, bool& degraded) {
   const SystemMonitor& monitor = service_->monitor();
   degraded = config_.max_snapshot_age != kNever &&
              monitor.staleness(now) > config_.max_snapshot_age;
-  if (!degraded) return monitor.snapshot(now);
+  LoadSnapshot snap = monitor.snapshot(now);
+  note_health(snap);
+  if (!degraded) return snap;
   // Stale picture: serve from no-load latencies instead of blocking on the
-  // monitoring subsystem — flagged so clients can weigh the answer.
-  LoadSnapshot snap = LoadSnapshot::idle(service_->topology().node_count());
-  snap.taken_at = now;
-  snap.epoch = monitor.epoch_at(now);
-  return snap;
+  // monitoring subsystem — flagged so clients can weigh the answer. Health
+  // verdicts are kept: degraded service still never uses a dead node, and
+  // dead nodes keep their pessimal availability values.
+  LoadSnapshot idle = LoadSnapshot::idle(service_->topology().node_count());
+  idle.taken_at = now;
+  idle.epoch = snap.epoch;
+  idle.health = snap.health;
+  for (std::size_t i = 0; i < idle.health.size(); ++i) {
+    if (idle.health[i] == NodeHealth::kDead) {
+      idle.cpu_avail[i] = snap.cpu_avail[i];
+      idle.nic_util[i] = snap.nic_util[i];
+    }
+  }
+  return idle;
 }
 
 Prediction CbesServer::cached_predict(const std::string& app,
@@ -272,25 +338,81 @@ Prediction CbesServer::cached_predict(const std::string& app,
   return prediction;
 }
 
+void CbesServer::run_attempt(Job& job, JobResult& result) {
+  switch (job.kind) {
+    case JobKind::kPredict:
+      run_predict(job, result);
+      break;
+    case JobKind::kCompare:
+      run_compare(job, result);
+      break;
+    case JobKind::kSchedule:
+      run_schedule(job, result);
+      break;
+    case JobKind::kRemap:
+      run_remap(job, result);
+      break;
+  }
+}
+
+namespace {
+
+/// First dead node a mapping touches, or an invalid id when none.
+[[nodiscard]] NodeId first_dead_node(const Mapping& mapping,
+                                     const LoadSnapshot& snapshot) {
+  for (std::size_t i = 0; i < mapping.nranks(); ++i) {
+    const NodeId node = mapping.node_of(RankId{i});
+    if (!snapshot.alive(node)) return node;
+  }
+  return NodeId{};
+}
+
+}  // namespace
+
 void CbesServer::run_predict(Job& job, JobResult& result) {
   const PredictRequest& request = job.predict;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  const NodeId dead = first_dead_node(request.mapping, snapshot);
+  if (dead.valid()) {
+    // No finite answer exists; refusing beats serving "infinity" as a number.
+    if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
+    result.state = JobState::kFailed;
+    result.detail =
+        "mapping places ranks on dead node " + std::to_string(dead.value);
+    return;
+  }
   result.prediction = cached_predict(request.app, request.mapping, snapshot,
                                      result.degraded, result.cache_hit);
+  result.degraded = result.degraded || result.prediction.degraded;
 }
 
 void CbesServer::run_compare(Job& job, JobResult& result) {
   const CompareRequest& request = job.compare;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
   result.comparison.predicted.reserve(request.candidates.size());
+  bool any_alive = false;
   for (std::size_t i = 0; i < request.candidates.size(); ++i) {
+    // Candidates on dead nodes stay in the answer — position matters to the
+    // client — but score infinity and never win.
+    if (first_dead_node(request.candidates[i], snapshot).valid()) {
+      result.comparison.predicted.push_back(kNever);
+      continue;
+    }
     const Prediction prediction =
         cached_predict(request.app, request.candidates[i], snapshot,
                        result.degraded, result.cache_hit);
+    result.degraded = result.degraded || prediction.degraded;
     result.comparison.predicted.push_back(prediction.time);
-    if (prediction.time < result.comparison.predicted[result.comparison.best]) {
+    if (!any_alive ||
+        prediction.time < result.comparison.predicted[result.comparison.best]) {
       result.comparison.best = i;
     }
+    any_alive = true;
+  }
+  if (!any_alive) {
+    if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
+    result.state = JobState::kFailed;
+    result.detail = "every candidate mapping touches a dead node";
   }
 }
 
@@ -300,7 +422,18 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
   // Copy the profile under the service lock: the search may outlive many
   // profile re-registrations.
   const AppProfile profile = service_->profile_copy(request.app);
-  const NodePool pool = pool_for(service_->topology(), request);
+  // Dead nodes are masked out of the search pool; admission only checked the
+  // full pool, so re-check capacity against what actually survives.
+  const NodePool pool =
+      pool_for(service_->topology(), request).alive_only(snapshot);
+  if (request.nranks > pool.total_slots()) {
+    if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
+    result.state = JobState::kFailed;
+    result.detail = "only " + std::to_string(pool.total_slots()) +
+                    " slots remain alive for " + std::to_string(request.nranks) +
+                    " ranks";
+    return;
+  }
   const CbesCost cost(service_->evaluator(), profile, snapshot);
   const JobStopToken token(job);
 
@@ -339,6 +472,48 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
     return;
   }
   result.schedule = std::move(search);
+}
+
+void CbesServer::run_remap(Job& job, JobResult& result) {
+  const RemapRequest& request = job.remap;
+  const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  const AppProfile profile = service_->profile_copy(request.app);
+
+  // Candidate search over the *alive* pool — remap-on-failure exists exactly
+  // because request.current may touch nodes that have died; staying there
+  // scores infinite remaining time, so any live candidate wins.
+  ScheduleRequest search_request;
+  search_request.pool_nodes = request.pool_nodes;
+  search_request.max_slots_per_node = request.max_slots_per_node;
+  const NodePool pool =
+      pool_for(service_->topology(), search_request).alive_only(snapshot);
+  if (request.current.nranks() > pool.total_slots()) {
+    if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
+    result.state = JobState::kFailed;
+    result.detail = "only " + std::to_string(pool.total_slots()) +
+                    " slots remain alive for " +
+                    std::to_string(request.current.nranks()) + " ranks";
+    return;
+  }
+
+  const CbesCost cost(service_->evaluator(), profile, snapshot);
+  const JobStopToken token(job);
+  SaParams params = request.sa;
+  params.seed = request.seed;
+  SimulatedAnnealingScheduler scheduler(params);
+  scheduler.set_stop_token(&token);
+  const ScheduleResult search =
+      scheduler.schedule(request.current.nranks(), pool, cost);
+  if (search.cancelled) {
+    result.state = JobState::kCancelled;
+    result.detail = "cancelled mid-search (deadline or caller)";
+    return;
+  }
+
+  result.remap_candidate = search.mapping;
+  result.remap = evaluate_remap(service_->evaluator(), profile,
+                                request.current, result.remap_candidate,
+                                request.progress, snapshot, request.cost);
 }
 
 }  // namespace cbes::server

@@ -23,7 +23,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -49,6 +51,15 @@ struct ServerConfig {
   Seconds max_snapshot_age = kNever;
   /// Deadline applied to jobs submitted without one; zero = unbounded.
   std::chrono::milliseconds default_deadline{0};
+  /// Transient evaluation failures (fault::TransientError) are retried up to
+  /// this many times before the job fails; contract violations never retry.
+  std::size_t max_retries = 2;
+  /// Backoff before the first retry; doubles per attempt up to the cap.
+  std::chrono::milliseconds retry_backoff{5};
+  std::chrono::milliseconds retry_backoff_cap{50};
+  /// Test/chaos seam invoked at the start of every execution attempt; may
+  /// throw fault::TransientError to exercise the retry path. Optional.
+  std::function<void(const Job&)> fault_hook;
   /// Observability sink; optional. Must outlive the server when set.
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -82,6 +93,7 @@ class CbesServer {
   JobHandle submit(PredictRequest request, SubmitOptions options = {});
   JobHandle submit(CompareRequest request, SubmitOptions options = {});
   JobHandle submit(ScheduleRequest request, SubmitOptions options = {});
+  JobHandle submit(RemapRequest request, SubmitOptions options = {});
 
   /// Stops admission; `drain` = run what is queued to completion, otherwise
   /// queued jobs finish kCancelled. Running jobs always complete (their own
@@ -107,14 +119,21 @@ class CbesServer {
 
   void worker_loop();
   void execute(Job& job);
+  void run_attempt(Job& job, JobResult& result);
   void run_predict(Job& job, JobResult& result);
   void run_compare(Job& job, JobResult& result);
   void run_schedule(Job& job, JobResult& result);
+  void run_remap(Job& job, JobResult& result);
 
   /// The availability picture for a request at simulated time `now`; flips
   /// `degraded` and substitutes the no-load picture when the monitor is
-  /// stale past config_.max_snapshot_age.
-  [[nodiscard]] LoadSnapshot snapshot_for(Seconds now, bool& degraded) const;
+  /// stale past config_.max_snapshot_age. Health verdicts survive degradation
+  /// — even a stale answer never places ranks on a dead node — and health
+  /// *changes* observed here invalidate the affected cache entries.
+  [[nodiscard]] LoadSnapshot snapshot_for(Seconds now, bool& degraded);
+  /// Diffs `snapshot`'s health against the last observed picture and drops
+  /// cache entries touching any node whose verdict changed.
+  void note_health(const LoadSnapshot& snapshot);
   /// Cache-aware prediction (bypasses the cache for degraded answers).
   [[nodiscard]] Prediction cached_predict(const std::string& app,
                                           const Mapping& mapping,
@@ -128,11 +147,17 @@ class CbesServer {
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
+  /// Last health verdict seen per node; guards the cache-invalidation diff.
+  std::mutex health_mu_;
+  std::vector<NodeHealth> last_health_;
   // Cached instruments (null when config_.metrics is null).
   obs::Counter* jobs_done_ = nullptr;
   obs::Counter* jobs_cancelled_ = nullptr;
   obs::Counter* jobs_failed_ = nullptr;
   obs::Counter* jobs_degraded_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* health_invalidations_ = nullptr;
+  obs::Counter* dead_node_refusals_ = nullptr;
   obs::Histogram* queue_seconds_ = nullptr;
   obs::Histogram* run_seconds_ = nullptr;
 };

@@ -195,4 +195,20 @@ std::string ClusterTopology::path_signature(NodeId a, NodeId b) const {
   return os.str();
 }
 
+std::string ClusterTopology::node_signature(NodeId id) const {
+  const Node& n = node(id);
+  std::vector<int> cats;
+  cats.push_back(links_[n.uplink.index()].category);
+  for (SwitchId s = n.attached; switches_[s.index()].parent.valid();
+       s = switches_[s.index()].parent) {
+    cats.push_back(links_[switches_[s.index()].uplink.index()].category);
+  }
+  std::sort(cats.begin(), cats.end());
+
+  std::ostringstream os;
+  os << 'n' << static_cast<int>(n.arch) << 'c' << n.cpus << '|';
+  for (int c : cats) os << c << ',';
+  return os.str();
+}
+
 }  // namespace cbes

@@ -110,6 +110,13 @@ class ClusterTopology {
   /// which is what makes the paper's O(N) calibration sound.
   [[nodiscard]] std::string path_signature(NodeId a, NodeId b) const;
 
+  /// Equivalence-class signature of one node: architecture, CPU slots, and
+  /// the sorted link categories on its path to the root. Two nodes with equal
+  /// signatures are hardware-interchangeable, so one's monitor readings are a
+  /// sound stand-in for the other's — the fault-tolerance back-fill reuses
+  /// the same grouping the paper's O(N) calibration rests on.
+  [[nodiscard]] std::string node_signature(NodeId node) const;
+
  private:
   [[nodiscard]] std::vector<SwitchId> chain_to_root(SwitchId leaf) const;
   void require_frozen() const;

@@ -1,8 +1,11 @@
 #include "topology/parser.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -18,10 +21,31 @@ namespace {
                       ": " + what);
 }
 
+/// Description files are untrusted input; bound generated-node counts so a
+/// corrupt count cannot OOM the service.
+constexpr std::size_t kMaxNodes = std::size_t{1} << 20;
+
+/// std::stoi throws std::invalid_argument on junk; route through ContractError
+/// like every other malformed field, and reject trailing garbage ("4x").
+int parse_int(std::size_t line, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    fail(line, "bad integer " + text);
+  }
+  return static_cast<int>(value);
+}
+
 double parse_bandwidth(std::size_t line, const std::string& text) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || value <= 0.0) fail(line, "bad bandwidth " + text);
+  // NaN compares false to everything, so check finiteness explicitly.
+  if (end == text.c_str() || !std::isfinite(value) || value <= 0.0) {
+    fail(line, "bad bandwidth " + text);
+  }
   const std::string suffix(end);
   if (suffix.empty()) return value;
   if (suffix == "k" || suffix == "K") return value * 1e3;
@@ -33,7 +57,9 @@ double parse_bandwidth(std::size_t line, const std::string& text) {
 Seconds parse_latency(std::size_t line, const std::string& text) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || value < 0.0) fail(line, "bad latency " + text);
+  if (end == text.c_str() || !std::isfinite(value) || value < 0.0) {
+    fail(line, "bad latency " + text);
+  }
   const std::string suffix(end);
   if (suffix == "us") return value * 1e-6;
   if (suffix == "ms") return value * 1e-3;
@@ -110,13 +136,13 @@ ClusterTopology parse_topology(std::istream& in) {
   auto add_one_node = [&](std::size_t at, const std::string& name,
                           std::map<std::string, std::string> attrs) {
     const Arch arch = parse_arch(at, take(at, attrs, "arch"));
-    const int cpus = std::stoi(take(at, attrs, "cpus", "1"));
+    const int cpus = parse_int(at, take(at, attrs, "cpus", "1"));
     const std::string sw_name = take(at, attrs, "switch");
     const auto sw = switches.find(sw_name);
     if (sw == switches.end()) fail(at, "unknown switch " + sw_name);
     const double bw = parse_bandwidth(at, take(at, attrs, "bw"));
     const Seconds lat = parse_latency(at, take(at, attrs, "lat"));
-    const int cat = std::stoi(take(at, attrs, "cat", "0"));
+    const int cat = parse_int(at, take(at, attrs, "cat", "0"));
     if (!attrs.empty()) fail(at, "unknown attribute " + attrs.begin()->first);
     topo.add_node(name, arch, cpus, sw->second, bw, lat, cat);
   };
@@ -143,7 +169,7 @@ ClusterTopology parse_topology(std::istream& in) {
       if (parent == switches.end()) fail(at, "unknown parent " + parent_name);
       const double bw = parse_bandwidth(at, take(at, attrs, "bw"));
       const Seconds lat = parse_latency(at, take(at, attrs, "lat"));
-      const int cat = std::stoi(take(at, attrs, "cat", "0"));
+      const int cat = parse_int(at, take(at, attrs, "cat", "0"));
       if (!attrs.empty()) fail(at, "unknown attribute " + attrs.begin()->first);
       switches[name] = topo.add_switch(name, parent->second, bw, lat, cat);
     } else if (keyword == "node") {
@@ -153,6 +179,7 @@ ClusterTopology parse_topology(std::istream& in) {
     } else if (keyword == "nodes") {
       std::size_t count = 0;
       if (!(stream >> count) || count == 0) fail(at, "nodes needs a count");
+      if (count > kMaxNodes) fail(at, "node count exceeds the parser bound");
       auto attrs = parse_attrs(at, stream);
       const std::string prefix = take(at, attrs, "prefix");
       for (std::size_t i = 0; i < count; ++i) {

@@ -1,5 +1,6 @@
 #include "trace/serialize.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -10,6 +11,10 @@ namespace cbes {
 
 namespace {
 constexpr int kFormatVersion = 1;
+/// Traces are untrusted input; bound counts and the length-prefixed name so
+/// corrupt fields cannot trigger huge allocations before the stream runs dry.
+constexpr std::size_t kMaxCount = std::size_t{1} << 20;
+constexpr std::size_t kMaxNameLen = 4096;
 }  // namespace
 
 void save_trace(const Trace& trace, std::ostream& out) {
@@ -48,7 +53,8 @@ Trace load_trace(std::istream& in) {
 
   Trace trace;
   std::size_t name_len = 0;
-  CBES_CHECK_MSG(static_cast<bool>(in >> word >> name_len) && word == "app",
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> name_len) && word == "app" &&
+                     name_len <= kMaxNameLen,
                  "trace parse error: app");
   in.get();  // the single separating space
   trace.app_name.resize(name_len);
@@ -56,26 +62,28 @@ Trace load_trace(std::istream& in) {
   CBES_CHECK_MSG(in.good(), "trace parse error: app name");
 
   CBES_CHECK_MSG(static_cast<bool>(in >> word >> trace.makespan) &&
-                     word == "makespan",
+                     word == "makespan" && std::isfinite(trace.makespan) &&
+                     trace.makespan >= 0.0,
                  "trace parse error: makespan");
   CBES_CHECK_MSG(static_cast<bool>(in >> word >> trace.max_phase) &&
-                     word == "max_phase",
+                     word == "max_phase" && trace.max_phase >= 0,
                  "trace parse error: max_phase");
 
   std::size_t mapping_size = 0;
   CBES_CHECK_MSG(static_cast<bool>(in >> word >> mapping_size) &&
-                     word == "mapping",
+                     word == "mapping" && mapping_size <= kMaxCount,
                  "trace parse error: mapping");
   trace.mapping.resize(mapping_size);
   for (NodeId& n : trace.mapping) {
     std::uint32_t value = 0;
-    CBES_CHECK_MSG(static_cast<bool>(in >> value),
+    CBES_CHECK_MSG(static_cast<bool>(in >> value) && NodeId{value}.valid(),
                    "trace parse error: mapping node");
     n = NodeId{value};
   }
 
   std::size_t nranks = 0;
-  CBES_CHECK_MSG(static_cast<bool>(in >> word >> nranks) && word == "ranks",
+  CBES_CHECK_MSG(static_cast<bool>(in >> word >> nranks) && word == "ranks" &&
+                     nranks <= kMaxCount,
                  "trace parse error: ranks");
   trace.ranks.resize(nranks);
   for (RankTrace& r : trace.ranks) {
@@ -85,6 +93,10 @@ Trace load_trace(std::istream& in) {
                                      messages) &&
                        word == "rank",
                    "trace parse error: rank");
+    CBES_CHECK_MSG(std::isfinite(r.finish) && r.finish >= 0.0,
+                   "trace parse error: finish");
+    CBES_CHECK_MSG(intervals <= kMaxCount && messages <= kMaxCount,
+                   "trace parse error: rank counts");
     r.intervals.resize(intervals);
     for (TraceInterval& iv : r.intervals) {
       int kind = 0;
@@ -93,6 +105,9 @@ Trace load_trace(std::istream& in) {
                          word == "i",
                      "trace parse error: interval");
       CBES_CHECK_MSG(kind >= 0 && kind <= 2, "trace parse error: kind");
+      CBES_CHECK_MSG(std::isfinite(iv.begin) && iv.begin >= 0.0 &&
+                         std::isfinite(iv.duration) && iv.duration >= 0.0,
+                     "trace parse error: interval times");
       iv.kind = static_cast<IntervalKind>(kind);
     }
     r.messages.resize(messages);
@@ -103,6 +118,7 @@ Trace load_trace(std::istream& in) {
                                        m.phase) &&
                          word == "m",
                      "trace parse error: message");
+      CBES_CHECK_MSG(peer < nranks, "trace parse error: peer out of range");
       m.peer = RankId{peer};
       m.sent = sent != 0;
     }

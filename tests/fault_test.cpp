@@ -1,0 +1,447 @@
+// Unit tests for the fault-tolerance layer: fault plans and their injector,
+// the monitor's health state machine, equivalence-class back-fill, partial
+// calibration fallback, and the dead-node masking helpers the schedulers and
+// the cache rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
+#include "monitor/monitor.h"
+#include "monitor/snapshot.h"
+#include "netmodel/calibrate.h"
+#include "obs/metrics.h"
+#include "sched/pool.h"
+#include "server/eval_cache.h"
+#include "simnet/load.h"
+#include "simnet/network.h"
+#include "topology/builders.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+namespace {
+
+using fault::ChaosOptions;
+using fault::FaultEvent;
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultyLoad;
+
+// ------------------------------------------------------------ fault plan ---
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  FaultPlan plan;
+  // Negative / non-finite start time.
+  EXPECT_THROW(plan.add({FaultKind::kCrash, NodeId{1}, -1.0}), ContractError);
+  EXPECT_THROW(plan.add({FaultKind::kCrash, NodeId{1}, kNever}), ContractError);
+  // Window ending before it starts.
+  EXPECT_THROW(plan.add({FaultKind::kCpuSlowdown, NodeId{1}, 10.0, 5.0, 0.5}),
+               ContractError);
+  // Crash needs a target node.
+  EXPECT_THROW(plan.add({FaultKind::kCrash, NodeId{}, 1.0}), ContractError);
+  // Slowdown magnitude must stay below 1 (a node cannot lose all its CPU
+  // and still be "up").
+  EXPECT_THROW(plan.add({FaultKind::kCpuSlowdown, NodeId{1}, 0.0, 10.0, 1.0}),
+               ContractError);
+  // Flap needs a positive period.
+  FaultEvent flap;
+  flap.kind = FaultKind::kFlap;
+  flap.node = NodeId{1};
+  flap.until = 100.0;
+  flap.period = 0.0;
+  EXPECT_THROW(plan.add(flap), ContractError);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, KeepsEventsOrderedByStartTime) {
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{2}, 50.0});
+  plan.add({FaultKind::kCrash, NodeId{1}, 10.0});
+  plan.add({FaultKind::kRecover, NodeId{1}, 30.0});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].at, 10.0);
+  EXPECT_DOUBLE_EQ(plan.events()[1].at, 30.0);
+  EXPECT_DOUBLE_EQ(plan.events()[2].at, 50.0);
+}
+
+TEST(FaultPlan, ChaosGeneratorHonoursRequestedCounts) {
+  ChaosOptions opt;
+  opt.crashes = 3;
+  opt.flaps = 2;
+  opt.slowdowns = 1;
+  opt.nic_degrades = 1;
+  opt.report_loss = 0.2;
+  const FaultPlan plan = FaultPlan::chaos(16, opt, 42);
+  EXPECT_EQ(plan.count(FaultKind::kCrash), 3u);
+  EXPECT_EQ(plan.count(FaultKind::kFlap), 2u);
+  EXPECT_EQ(plan.count(FaultKind::kCpuSlowdown), 1u);
+  EXPECT_EQ(plan.count(FaultKind::kNicDegrade), 1u);
+  EXPECT_EQ(plan.count(FaultKind::kReportLoss), 1u);
+  // Recoveries are a random subset of the crashes.
+  EXPECT_LE(plan.count(FaultKind::kRecover), 3u);
+}
+
+TEST(FaultPlan, ChaosSparesNodeZero) {
+  const FaultPlan plan = FaultPlan::chaos(4, ChaosOptions{}, 7);
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kFlap) {
+      EXPECT_NE(e.node.value, 0u);
+    }
+  }
+}
+
+TEST(FaultPlan, ChaosIsDeterministicInSeed) {
+  const FaultPlan a = FaultPlan::chaos(8, ChaosOptions{}, 99);
+  const FaultPlan b = FaultPlan::chaos(8, ChaosOptions{}, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node.value, b.events()[i].node.value);
+    EXPECT_DOUBLE_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_DOUBLE_EQ(a.events()[i].until, b.events()[i].until);
+    EXPECT_DOUBLE_EQ(a.events()[i].magnitude, b.events()[i].magnitude);
+  }
+}
+
+// -------------------------------------------------------------- injector ---
+
+TEST(FaultInjector, CrashAndRecoverWindows) {
+  const ClusterTopology topo = make_flat(4);
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{1}, 50.0});
+  plan.add({FaultKind::kRecover, NodeId{1}, 120.0});
+  plan.add({FaultKind::kCrash, NodeId{2}, 80.0});  // never recovers
+  const FaultInjector inj(topo, plan, 1);
+  EXPECT_FALSE(inj.is_down(NodeId{1}, 49.9));
+  EXPECT_TRUE(inj.is_down(NodeId{1}, 50.0));
+  EXPECT_TRUE(inj.is_down(NodeId{1}, 119.9));
+  EXPECT_FALSE(inj.is_down(NodeId{1}, 120.0));
+  EXPECT_TRUE(inj.is_down(NodeId{2}, 1000.0));
+  EXPECT_FALSE(inj.is_down(NodeId{0}, 1000.0));
+  EXPECT_EQ(inj.down_count(90.0), 2u);
+  EXPECT_EQ(inj.down_count(130.0), 1u);
+  EXPECT_EQ(inj.down_count(0.0), 0u);
+}
+
+TEST(FaultInjector, FlapCyclesDownThenUp) {
+  const ClusterTopology topo = make_flat(2);
+  FaultPlan plan;
+  FaultEvent flap;
+  flap.kind = FaultKind::kFlap;
+  flap.node = NodeId{1};
+  flap.at = 100.0;
+  flap.until = 200.0;
+  flap.period = 20.0;
+  plan.add(flap);
+  const FaultInjector inj(topo, plan, 1);
+  EXPECT_FALSE(inj.is_down(NodeId{1}, 99.0));
+  EXPECT_TRUE(inj.is_down(NodeId{1}, 105.0));   // first down half-cycle
+  EXPECT_FALSE(inj.is_down(NodeId{1}, 115.0));  // first up half-cycle
+  EXPECT_TRUE(inj.is_down(NodeId{1}, 125.0));
+  EXPECT_FALSE(inj.is_down(NodeId{1}, 205.0));  // window over
+}
+
+TEST(FaultInjector, SlowdownAndNicDegradeStack) {
+  const ClusterTopology topo = make_flat(2);
+  FaultPlan plan;
+  plan.add({FaultKind::kCpuSlowdown, NodeId{1}, 10.0, 20.0, 0.5});
+  plan.add({FaultKind::kCpuSlowdown, NodeId{1}, 15.0, 20.0, 0.5});
+  plan.add({FaultKind::kNicDegrade, NodeId{1}, 10.0, 20.0, 0.3});
+  const FaultInjector inj(topo, plan, 1);
+  EXPECT_DOUBLE_EQ(inj.cpu_factor(NodeId{1}, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.cpu_factor(NodeId{1}, 12.0), 0.5);
+  EXPECT_DOUBLE_EQ(inj.cpu_factor(NodeId{1}, 17.0), 0.25);  // multiplicative
+  EXPECT_DOUBLE_EQ(inj.nic_extra(NodeId{1}, 12.0), 0.3);
+  EXPECT_DOUBLE_EQ(inj.nic_extra(NodeId{1}, 25.0), 0.0);
+}
+
+TEST(FaultInjector, ReportLossIsDeterministicAndTotalWhenDown) {
+  const ClusterTopology topo = make_flat(4);
+  FaultPlan plan;
+  FaultEvent loss;
+  loss.kind = FaultKind::kReportLoss;
+  loss.at = 0.0;
+  loss.until = 1000.0;
+  loss.magnitude = 0.5;
+  plan.add(loss);  // cluster-wide (invalid node)
+  plan.add({FaultKind::kCrash, NodeId{3}, 100.0});
+  const FaultInjector a(topo, plan, 77);
+  const FaultInjector b(topo, plan, 77);
+  std::size_t lost = 0;
+  for (std::uint64_t tick = 0; tick < 100; ++tick) {
+    const Seconds t = static_cast<double>(tick) * 10.0;
+    for (std::uint32_t node = 0; node < 3; ++node) {
+      const bool la = a.report_lost(NodeId{node}, tick, t);
+      EXPECT_EQ(la, b.report_lost(NodeId{node}, tick, t));
+      if (la) ++lost;
+    }
+  }
+  // 300 draws at p = 0.5: statistically impossible to land outside this.
+  EXPECT_GT(lost, 100u);
+  EXPECT_LT(lost, 200u);
+  // A down node's reports are always lost, regardless of the loss draw.
+  for (std::uint64_t tick = 11; tick < 30; ++tick) {
+    EXPECT_TRUE(a.report_lost(NodeId{3}, tick, static_cast<double>(tick) * 10));
+  }
+}
+
+TEST(FaultyLoad, DecoratesTheBaseModel) {
+  const ClusterTopology topo = make_flat(2);
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{1}, 50.0});
+  plan.add({FaultKind::kCpuSlowdown, NodeId{0}, 0.0, 100.0, 0.25});
+  const FaultInjector inj(topo, plan, 1);
+  NoLoad idle;
+  const FaultyLoad load(idle, inj);
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{0}, 10.0), 0.75);
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{1}, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(load.cpu_avail(NodeId{1}, 60.0), fault::kDeadCpuAvail);
+  EXPECT_DOUBLE_EQ(load.nic_util(NodeId{1}, 60.0), fault::kDeadNicUtil);
+}
+
+// -------------------------------------------------------- health machine ---
+
+MonitorConfig health_cfg() {
+  MonitorConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.period = 10.0;
+  cfg.suspect_after = 2;
+  cfg.dead_after = 4;
+  return cfg;
+}
+
+TEST(HealthMachine, SuspectThenDeadAfterExactlyKMisses) {
+  const ClusterTopology topo = make_flat(4);
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{2}, 25.0});
+  const FaultInjector inj(topo, plan, 1);
+  NoLoad idle;
+  const FaultyLoad load(idle, inj);
+  SystemMonitor mon(topo, load, health_cfg());
+  mon.set_fault_injector(&inj);
+  const NodeId victim{2};
+  // Ticks 0, 10, 20 arrive; 30, 40, ... are lost. One miss at t=30 is not
+  // enough; the second miss (t=40) makes it suspect; the fourth (t=60) dead.
+  EXPECT_EQ(mon.snapshot(20.0).health_of(victim), NodeHealth::kHealthy);
+  EXPECT_EQ(mon.snapshot(30.0).health_of(victim), NodeHealth::kHealthy);
+  EXPECT_EQ(mon.snapshot(39.9).health_of(victim), NodeHealth::kHealthy);
+  EXPECT_EQ(mon.snapshot(40.0).health_of(victim), NodeHealth::kSuspect);
+  EXPECT_EQ(mon.snapshot(50.0).health_of(victim), NodeHealth::kSuspect);
+  EXPECT_EQ(mon.snapshot(60.0).health_of(victim), NodeHealth::kDead);
+  // Dead nodes report the pessimal picture and drop out of alive().
+  const LoadSnapshot snap = mon.snapshot(80.0);
+  EXPECT_FALSE(snap.alive(victim));
+  EXPECT_DOUBLE_EQ(snap.cpu(victim), fault::kDeadCpuAvail);
+  EXPECT_DOUBLE_EQ(snap.nic(victim), fault::kDeadNicUtil);
+  EXPECT_EQ(snap.alive_count(), 3u);
+}
+
+TEST(HealthMachine, RecoveredNodeIsRedetectedWithinTheWindow) {
+  const ClusterTopology topo = make_flat(4);
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{1}, 25.0});
+  plan.add({FaultKind::kRecover, NodeId{1}, 95.0});
+  const FaultInjector inj(topo, plan, 1);
+  NoLoad idle;
+  const FaultyLoad load(idle, inj);
+  SystemMonitor mon(topo, load, health_cfg());
+  mon.set_fault_injector(&inj);
+  EXPECT_EQ(mon.snapshot(80.0).health_of(NodeId{1}), NodeHealth::kDead);
+  // After recovery, reports flow again; within a couple of backoff re-polls
+  // the streak resets and the node is healthy once more.
+  EXPECT_EQ(mon.snapshot(200.0).health_of(NodeId{1}), NodeHealth::kHealthy);
+}
+
+TEST(HealthMachine, WithoutInjectorEveryNodeStaysHealthy) {
+  const ClusterTopology topo = make_flat(3);
+  NoLoad idle;
+  SystemMonitor mon(topo, idle, health_cfg());
+  const LoadSnapshot snap = mon.snapshot(500.0);
+  for (const Node& n : topo.nodes()) {
+    EXPECT_EQ(snap.health_of(n.id), NodeHealth::kHealthy);
+    EXPECT_FALSE(snap.was_backfilled(n.id));
+  }
+  EXPECT_EQ(snap.alive_count(), 3u);
+}
+
+TEST(HealthMachine, ThresholdConfigIsValidated) {
+  const ClusterTopology topo = make_flat(2);
+  NoLoad idle;
+  MonitorConfig cfg = health_cfg();
+  cfg.suspect_after = 0;
+  EXPECT_THROW(SystemMonitor(topo, idle, cfg), ContractError);
+  cfg = health_cfg();
+  cfg.dead_after = cfg.suspect_after;
+  EXPECT_THROW(SystemMonitor(topo, idle, cfg), ContractError);
+  cfg = health_cfg();
+  cfg.dead_after = cfg.history;  // must fit inside the retained window
+  EXPECT_THROW(SystemMonitor(topo, idle, cfg), ContractError);
+}
+
+TEST(HealthMachine, TruthSnapshotCarriesOracleHealth) {
+  const ClusterTopology topo = make_flat(3);
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{2}, 50.0});
+  const FaultInjector inj(topo, plan, 1);
+  NoLoad idle;
+  const FaultyLoad load(idle, inj);
+  SystemMonitor mon(topo, load, health_cfg());
+  mon.set_fault_injector(&inj);
+  // The oracle sees the crash immediately — no miss-counting delay.
+  EXPECT_TRUE(mon.truth_snapshot(49.0).alive(NodeId{2}));
+  EXPECT_FALSE(mon.truth_snapshot(51.0).alive(NodeId{2}));
+}
+
+// -------------------------------------------------------------- back-fill ---
+
+/// Constant nontrivial load so class means are distinguishable from idle.
+class ConstantLoad final : public LoadModel {
+ public:
+  [[nodiscard]] double cpu_avail(NodeId, Seconds) const override {
+    return 0.6;
+  }
+  [[nodiscard]] double nic_util(NodeId, Seconds) const override { return 0.2; }
+};
+
+TEST(Backfill, SilentNodeBorrowsItsClassAverage) {
+  const ClusterTopology topo = make_flat(4);
+  FaultPlan plan;
+  FaultEvent loss;  // node 3 never reports, but is not down
+  loss.kind = FaultKind::kReportLoss;
+  loss.node = NodeId{3};
+  loss.magnitude = 1.0;
+  plan.add(loss);
+  const FaultInjector inj(topo, plan, 1);
+  ConstantLoad busy;
+  const FaultyLoad load(busy, inj);
+  SystemMonitor mon(topo, load, health_cfg());
+  mon.set_fault_injector(&inj);
+  // Early enough that the streak is below dead_after: suspect, not dead.
+  const LoadSnapshot snap = mon.snapshot(20.0);
+  EXPECT_EQ(snap.health_of(NodeId{3}), NodeHealth::kSuspect);
+  EXPECT_TRUE(snap.was_backfilled(NodeId{3}));
+  // The class mean over the three reporting identical nodes is exact.
+  EXPECT_NEAR(snap.cpu(NodeId{3}), 0.6, 1e-9);
+  EXPECT_NEAR(snap.nic(NodeId{3}), 0.2, 1e-9);
+  EXPECT_FALSE(snap.was_backfilled(NodeId{0}));
+}
+
+TEST(Backfill, FallsBackToIdleWhenTheWholeClassIsSilent) {
+  const ClusterTopology topo = make_flat(3);
+  FaultPlan plan;
+  FaultEvent loss;  // cluster-wide total report loss
+  loss.kind = FaultKind::kReportLoss;
+  loss.magnitude = 1.0;
+  plan.add(loss);
+  const FaultInjector inj(topo, plan, 1);
+  ConstantLoad busy;
+  const FaultyLoad load(busy, inj);
+  SystemMonitor mon(topo, load, health_cfg());
+  mon.set_fault_injector(&inj);
+  const LoadSnapshot snap = mon.snapshot(20.0);
+  for (const Node& n : topo.nodes()) {
+    EXPECT_TRUE(snap.was_backfilled(n.id));
+    EXPECT_DOUBLE_EQ(snap.cpu(n.id), 1.0);  // last rung: assume idle
+    EXPECT_DOUBLE_EQ(snap.nic(n.id), 0.0);
+  }
+}
+
+// ---------------------------------------------------- partial calibration ---
+
+TEST(PartialCalibration, UnmeasuredClassesRunOnFallbackCoefficients) {
+  const ClusterTopology topo = make_federation(2, 3);
+  SimNetConfig hw;
+  hw.jitter_sigma = 0.0;
+  CalibrationOptions opt;
+  opt.repeats = 3;
+  opt.calibrate_fraction = 0.5;
+  CalibrationReport report;
+  const LatencyModel model = calibrate(topo, hw, opt, &report);
+  EXPECT_LT(report.classes_measured, report.classes);
+  EXPECT_GE(report.classes_measured, 1u);
+  EXPECT_EQ(model.fallback_class_count(),
+            report.classes - report.classes_measured);
+  // Fallback pairs still answer with finite positive latencies.
+  std::size_t fallback_pairs = 0;
+  for (const Node& a : topo.nodes()) {
+    for (const Node& b : topo.nodes()) {
+      if (a.id.value == b.id.value) continue;
+      const Seconds l = model.no_load(a.id, b.id, 4096);
+      EXPECT_GT(l, 0.0);
+      EXPECT_TRUE(l < kNever);
+      if (model.is_fallback(a.id, b.id)) ++fallback_pairs;
+    }
+  }
+  EXPECT_GT(fallback_pairs, 0u);
+}
+
+TEST(PartialCalibration, FullFractionMeasuresEveryClass) {
+  const ClusterTopology topo = make_two_switch(2);
+  SimNetConfig hw;
+  hw.jitter_sigma = 0.0;
+  CalibrationOptions opt;
+  opt.repeats = 3;
+  CalibrationReport report;
+  const LatencyModel model = calibrate(topo, hw, opt, &report);
+  EXPECT_EQ(report.classes_measured, report.classes);
+  EXPECT_EQ(model.fallback_class_count(), 0u);
+}
+
+TEST(PartialCalibration, FractionOutOfRangeIsRejected) {
+  const ClusterTopology topo = make_flat(2);
+  SimNetConfig hw;
+  CalibrationOptions opt;
+  opt.calibrate_fraction = 0.0;
+  EXPECT_THROW((void)calibrate(topo, hw, opt), ContractError);
+  opt.calibrate_fraction = 1.5;
+  EXPECT_THROW((void)calibrate(topo, hw, opt), ContractError);
+}
+
+// ----------------------------------------------------------- alive_only ----
+
+TEST(NodePoolAlive, FiltersDeadNodesAndKeepsTheRest) {
+  const ClusterTopology topo = make_flat(4);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  LoadSnapshot snap = LoadSnapshot::idle(4);
+  snap.health.assign(4, NodeHealth::kHealthy);
+  snap.health[1] = NodeHealth::kDead;
+  snap.health[2] = NodeHealth::kSuspect;  // suspect stays schedulable
+  const NodePool alive = pool.alive_only(snap);
+  ASSERT_EQ(alive.nodes().size(), 3u);
+  for (NodeId n : alive.nodes()) EXPECT_NE(n.value, 1u);
+}
+
+TEST(NodePoolAlive, ThrowsWhenEveryNodeIsDead) {
+  const ClusterTopology topo = make_flat(2);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  LoadSnapshot snap = LoadSnapshot::idle(2);
+  snap.health.assign(2, NodeHealth::kDead);
+  EXPECT_THROW((void)pool.alive_only(snap), ContractError);
+}
+
+// ------------------------------------------------------ cache invalidation --
+
+TEST(EvalCacheFault, InvalidateNodeDropsOnlyTouchingEntries) {
+  server::EvalCache cache(server::EvalCacheConfig{});
+  LoadSnapshot snap = LoadSnapshot::idle(4);
+  Prediction pred;
+  pred.time = 12.0;
+  const Mapping uses1({NodeId{0}, NodeId{1}});
+  const Mapping avoids1({NodeId{2}, NodeId{3}});
+  cache.insert("app", uses1, snap, pred);
+  cache.insert("app", avoids1, snap, pred);
+  ASSERT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.invalidate_node(NodeId{1}), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup("app", uses1, snap).has_value());
+  EXPECT_TRUE(cache.lookup("app", avoids1, snap).has_value());
+  // Nothing left touches node 1.
+  EXPECT_EQ(cache.invalidate_node(NodeId{1}), 0u);
+}
+
+}  // namespace
+}  // namespace cbes

@@ -343,5 +343,84 @@ TEST(Profiler, RejectsMismatchedMapping) {
                ContractError);
 }
 
+// -------------------------------------------------- malformed inputs -------
+
+/// A minimal well-formed profile text; tests corrupt one field at a time.
+std::string valid_profile_text() {
+  return "cbes-profile 1\n"
+         "name a\n"
+         "phase 0\n"
+         "arch_speed 1 1 1 1\n"
+         "mapping 2 0 1\n"
+         "procs 2\n"
+         "proc 1.5 0.2 0.3 0 1.0\n"
+         "recv 1 1 256 3\n"
+         "send 0\n"
+         "proc 1.5 0.2 0.3 0 1.0\n"
+         "recv 0\n"
+         "send 1 0 256 3\n";
+}
+
+void expect_profile_rejected(const std::string& text) {
+  std::stringstream in(text);
+  EXPECT_THROW((void)load_profile(in), ContractError) << text;
+}
+
+TEST(SerializeMalformed, ValidBaselineLoads) {
+  std::stringstream in(valid_profile_text());
+  const AppProfile p = load_profile(in);
+  EXPECT_EQ(p.nranks(), 2u);
+}
+
+TEST(SerializeMalformed, TruncatedStreamsThrow) {
+  const std::string text = valid_profile_text();
+  // Cut the stream at several byte lengths; every prefix must throw, never
+  // crash or silently yield a partial profile.
+  for (const std::size_t cut :
+       {std::size_t{10}, std::size_t{40}, std::size_t{80}, std::size_t{120},
+        text.size() - 5}) {
+    expect_profile_rejected(text.substr(0, cut));
+  }
+}
+
+TEST(SerializeMalformed, NonFiniteAndNegativeFieldsThrow) {
+  expect_profile_rejected(  // NaN execution time
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 1\nproc nan 0 0 0 1.0\nrecv 0\nsend 0\n");
+  expect_profile_rejected(  // negative blocked time
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 1\nproc 1 0 -2 0 1.0\nrecv 0\nsend 0\n");
+  expect_profile_rejected(  // infinite lambda
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 1\nproc 1 0 0 0 inf\nrecv 0\nsend 0\n");
+  expect_profile_rejected(  // NaN architecture speed
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 nan 1 1\nmapping 1 0\n"
+      "procs 1\nproc 1 0 0 0 1.0\nrecv 0\nsend 0\n");
+}
+
+TEST(SerializeMalformed, OutOfRangeIndicesThrow) {
+  expect_profile_rejected(  // arch index past the enum
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 1\nproc 1 0 0 9 1.0\nrecv 0\nsend 0\n");
+  expect_profile_rejected(  // message-group peer >= nprocs
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 1\nproc 1 0 0 0 1.0\nrecv 1 7 256 3\nsend 0\n");
+  expect_profile_rejected(  // invalid node id sentinel in the mapping
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\n"
+      "mapping 1 4294967295\nprocs 1\nproc 1 0 0 0 1.0\nrecv 0\nsend 0\n");
+}
+
+TEST(SerializeMalformed, AbsurdCountsThrowInsteadOfAllocating) {
+  expect_profile_rejected(  // proc count far past any real cluster
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 99999999999\n");
+  expect_profile_rejected(  // ditto for a message-group count
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\nmapping 1 0\n"
+      "procs 1\nproc 1 0 0 0 1.0\nrecv 99999999999\nsend 0\n");
+  expect_profile_rejected(  // ditto for the mapping length
+      "cbes-profile 1\nname a\nphase 0\narch_speed 1 1 1 1\n"
+      "mapping 99999999999\n");
+}
+
 }  // namespace
 }  // namespace cbes

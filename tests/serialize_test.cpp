@@ -82,6 +82,41 @@ TEST(TopologyParser, RejectsMalformedInput) {
                ContractError);
 }
 
+TEST(TopologyParser, RejectsNonFiniteAndJunkNumbers) {
+  // NaN bandwidth: strtod parses "nan", and NaN slips through ordering
+  // comparisons, so the parser must check finiteness explicitly.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A switch=s bw=nan "
+                   "lat=1us\n"),
+               ContractError);
+  // NaN / infinite latency.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A switch=s bw=1M "
+                   "lat=nanus\n"),
+               ContractError);
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A switch=s bw=1M "
+                   "lat=infs\n"),
+               ContractError);
+  // Non-numeric cpus must throw ContractError, not std::invalid_argument.
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A cpus=abc switch=s "
+                   "bw=1M lat=1us\n"),
+               ContractError);
+  // Trailing garbage on an integer ("4x" silently read as 4 is a mis-parse).
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnode n arch=A cpus=4x switch=s "
+                   "bw=1M lat=1us\n"),
+               ContractError);
+}
+
+TEST(TopologyParser, RejectsAbsurdNodeCounts) {
+  EXPECT_THROW(parse_topology_string(
+                   "cluster c\nswitch s\nnodes 99999999999 prefix=n arch=A "
+                   "switch=s bw=1M lat=1us\n"),
+               ContractError);
+}
+
 TEST(TopologyParser, ErrorsCarryLineNumbers) {
   try {
     (void)parse_topology_string("cluster c\nswitch s\nbogus x\n");
@@ -189,6 +224,75 @@ TEST(TraceSerialize, AppNameWithSpacesSurvives) {
 TEST(TraceSerialize, RejectsGarbage) {
   std::stringstream garbage("definitely not a trace");
   EXPECT_THROW(load_trace(garbage), ContractError);
+}
+
+/// A minimal well-formed trace text; malformed-input tests corrupt one field
+/// at a time.
+std::string valid_trace_text() {
+  return "cbes-trace 1\n"
+         "app 1 t\n"
+         "makespan 5.0\n"
+         "max_phase 0\n"
+         "mapping 2 0 1\n"
+         "ranks 2\n"
+         "rank 5.0 1 1\n"
+         "i 0 0.0 5.0 0\n"
+         "m 1 256 1 0\n"
+         "rank 4.0 0 1\n"
+         "m 0 256 0 0\n";
+}
+
+void expect_trace_rejected(const std::string& text) {
+  std::stringstream in(text);
+  EXPECT_THROW((void)load_trace(in), ContractError) << text;
+}
+
+TEST(TraceSerialize, ValidBaselineLoads) {
+  std::stringstream in(valid_trace_text());
+  const Trace t = load_trace(in);
+  EXPECT_EQ(t.nranks(), 2u);
+  EXPECT_EQ(t.ranks[0].messages[0].peer.value, 1u);
+}
+
+TEST(TraceSerialize, TruncatedStreamsThrow) {
+  const std::string text = valid_trace_text();
+  for (const std::size_t cut :
+       {std::size_t{5}, std::size_t{20}, std::size_t{50}, std::size_t{70},
+        text.size() - 4}) {
+    expect_trace_rejected(text.substr(0, cut));
+  }
+}
+
+TEST(TraceSerialize, RejectsNonFiniteAndNegativeTimes) {
+  std::string t = valid_trace_text();
+  expect_trace_rejected(  // NaN makespan
+      std::string(t).replace(t.find("makespan 5.0"), 12, "makespan nan"));
+  expect_trace_rejected(  // negative finish
+      std::string(t).replace(t.find("rank 5.0"), 8, "rank -50"));
+  expect_trace_rejected(  // infinite interval duration
+      std::string(t).replace(t.find("i 0 0.0 5.0"), 11, "i 0 0.0 inf"));
+}
+
+TEST(TraceSerialize, RejectsOutOfRangeIndices) {
+  std::string t = valid_trace_text();
+  expect_trace_rejected(  // message peer >= nranks
+      std::string(t).replace(t.find("m 1 256 1 0"), 11, "m 9 256 1 0"));
+  expect_trace_rejected(  // interval kind past the enum
+      std::string(t).replace(t.find("i 0 0.0"), 7, "i 7 0.0"));
+  expect_trace_rejected(  // invalid node id sentinel in the mapping
+      std::string(t).replace(t.find("mapping 2 0 1"), 13,
+                             "mapping 1 4294967295"));
+}
+
+TEST(TraceSerialize, RejectsAbsurdCounts) {
+  std::string t = valid_trace_text();
+  expect_trace_rejected(  // rank count
+      std::string(t).replace(t.find("ranks 2"), 7, "ranks 99999999999"));
+  expect_trace_rejected(  // app-name length prefix
+      std::string(t).replace(t.find("app 1 t"), 7, "app 99999 t"));
+  expect_trace_rejected(  // per-rank message count
+      std::string(t).replace(t.find("rank 5.0 1 1"), 12,
+                             "rank 5.0 1 99999999999"));
 }
 
 TEST(TraceSerialize, FileRoundTrip) {

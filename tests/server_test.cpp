@@ -10,6 +10,8 @@
 
 #include "common/check.h"
 #include "core/service.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
 #include "sched/annealing.h"
 #include "sched/pool.h"
 #include "server/server.h"
@@ -537,6 +539,291 @@ TEST_F(ServerTest, CompareMatchesServiceAndUsesCache) {
 
   const JobResult second = server.submit(CompareRequest(req)).wait();
   EXPECT_TRUE(second.cache_hit);  // both candidates now memoized
+}
+
+// ----------------------------------------------- CbesServer: resilience ----
+
+TEST_F(ServerTest, TransientFailureRetriesThenSucceeds) {
+  obs::MetricsRegistry registry;
+  CbesService svc(topo_, idle_, service_config(&registry));
+  svc.register_profile(tiny_profile());
+
+  std::atomic<std::size_t> attempts{0};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics = &registry;
+  cfg.retry_backoff = std::chrono::milliseconds(1);
+  cfg.max_retries = 2;
+  // First attempt of every job hits a transient monitor outage.
+  cfg.fault_hook = [&attempts](const Job&) {
+    if (attempts.fetch_add(1) == 0) {
+      throw fault::TransientError("monitor briefly unreachable");
+    }
+  };
+  CbesServer server(svc, cfg);
+
+  PredictRequest req;
+  req.app = "tiny";
+  req.mapping = Mapping({NodeId{0}, NodeId{1}});
+  const JobResult result = server.submit(std::move(req)).wait();
+  EXPECT_EQ(result.state, JobState::kDone);
+  EXPECT_EQ(attempts.load(), 2u);
+  EXPECT_EQ(registry.counter("cbes_server_retries_total").value(), 1u);
+}
+
+TEST_F(ServerTest, TransientFailureExhaustsRetriesAndFails) {
+  std::atomic<std::size_t> attempts{0};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.retry_backoff = std::chrono::milliseconds(1);
+  cfg.max_retries = 2;
+  cfg.fault_hook = [&attempts](const Job&) {
+    attempts.fetch_add(1);
+    throw fault::TransientError("monitor down hard");
+  };
+  CbesServer server(svc_, cfg);
+
+  PredictRequest req;
+  req.app = "tiny";
+  req.mapping = Mapping({NodeId{0}, NodeId{1}});
+  const JobResult result = server.submit(std::move(req)).wait();
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_NE(result.detail.find("monitor down hard"), std::string::npos);
+  EXPECT_EQ(attempts.load(), 3u);  // initial attempt + max_retries
+}
+
+/// Service wired through a fault injector: the monitor sees lost reports and
+/// the load model reflects crashed nodes.
+struct FaultyService {
+  explicit FaultyService(fault::FaultPlan plan,
+                         obs::MetricsRegistry* metrics = nullptr,
+                         std::size_t nodes = 4)
+      : topo(make_flat(nodes, Arch::kAlpha533)),
+        injector(topo, std::move(plan), 0xFA11),
+        load(idle, injector),
+        svc(topo, load, config_with_health(metrics)) {
+    svc.monitor().set_fault_injector(&injector);
+    svc.register_profile(tiny_profile());
+  }
+
+  static CbesService::Config config_with_health(obs::MetricsRegistry* metrics) {
+    CbesService::Config cfg = service_config(metrics);
+    cfg.monitor.period = 10.0;
+    cfg.monitor.suspect_after = 2;
+    cfg.monitor.dead_after = 4;
+    return cfg;
+  }
+
+  ClusterTopology topo;
+  NoLoad idle;
+  fault::FaultInjector injector;
+  fault::FaultyLoad load;
+  CbesService svc;
+};
+
+TEST(ServerFault, DeadNodeRefusedAndHealthChangeInvalidatesCache) {
+  obs::MetricsRegistry registry;
+  fault::FaultPlan plan;
+  plan.add({fault::FaultKind::kCrash, NodeId{3}, 25.0});
+  FaultyService f(std::move(plan), &registry);
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics = &registry;
+  CbesServer server(f.svc, cfg);
+
+  const Mapping on_victim({NodeId{2}, NodeId{3}});
+  const Mapping safe({NodeId{0}, NodeId{1}});
+
+  // While everything is healthy both mappings answer and get cached.
+  PredictRequest req;
+  req.app = "tiny";
+  req.mapping = on_victim;
+  req.now = 0.0;
+  EXPECT_EQ(server.submit(PredictRequest(req)).wait().state, JobState::kDone);
+  req.mapping = safe;
+  EXPECT_EQ(server.submit(PredictRequest(req)).wait().state, JobState::kDone);
+  ASSERT_EQ(server.cache().size(), 2u);
+
+  // Once node 3 is declared dead, the health diff must drop the entry that
+  // touches it (and only that entry), and the job must be refused.
+  req.mapping = on_victim;
+  req.now = 80.0;
+  const JobResult refused = server.submit(PredictRequest(req)).wait();
+  EXPECT_EQ(refused.state, JobState::kFailed);
+  EXPECT_NE(refused.detail.find("dead node"), std::string::npos);
+  EXPECT_GE(registry.counter("cbes_server_health_invalidations_total").value(),
+            1u);
+  EXPECT_EQ(registry.counter("cbes_server_dead_node_refusals_total").value(),
+            1u);
+  EXPECT_EQ(server.cache().size(), 1u);
+
+  // The safe mapping still answers (possibly flagged degraded: the picture
+  // now includes a suspect/back-filled neighbourhood).
+  req.mapping = safe;
+  const JobResult ok = server.submit(PredictRequest(req)).wait();
+  EXPECT_EQ(ok.state, JobState::kDone);
+  EXPECT_TRUE(ok.prediction.time < kNever);
+}
+
+TEST(ServerFault, RemapOnFailureAdvisesLeavingTheDeadNode) {
+  fault::FaultPlan plan;
+  plan.add({fault::FaultKind::kCrash, NodeId{3}, 25.0});
+  FaultyService f(std::move(plan));
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  CbesServer server(f.svc, cfg);
+
+  RemapRequest req;
+  req.app = "tiny";
+  req.current = Mapping({NodeId{2}, NodeId{3}});  // rank 1 is on the corpse
+  req.progress = 0.3;
+  req.sa = small_sa();
+  req.seed = 11;
+  req.now = 100.0;  // well past dead_after
+  const JobResult result = server.submit(std::move(req)).wait();
+  ASSERT_EQ(result.state, JobState::kDone);
+  // Staying costs infinity, so any finite candidate wins.
+  EXPECT_EQ(result.remap.remaining_current, kNever);
+  EXPECT_TRUE(result.remap.beneficial);
+  EXPECT_GT(result.remap.moved_ranks, 0u);
+  const LoadSnapshot ref = f.svc.monitor().snapshot(100.0);
+  for (NodeId node : result.remap_candidate.assignment()) {
+    EXPECT_TRUE(ref.alive(node));
+  }
+}
+
+// ------------------------------------------------- CbesServer: chaos run ---
+
+/// Outcome fingerprint of one chaos job, comparable across same-seed runs.
+struct ChaosOutcome {
+  JobState state = JobState::kQueued;
+  std::vector<NodeId> nodes;  // mapped nodes of a done schedule/remap answer
+  bool operator==(const ChaosOutcome& other) const {
+    return state == other.state && nodes == other.nodes;
+  }
+};
+
+/// The acceptance chaos scenario: two crashes (one recovers), one flapping
+/// node, 15% cluster-wide report loss. Runs `kClients` concurrent clients
+/// over a simulated 300 s horizon and returns every job's outcome.
+std::vector<ChaosOutcome> run_chaos_round(std::size_t* violations) {
+  fault::FaultPlan plan;
+  plan.add({fault::FaultKind::kCrash, NodeId{1}, 30.0});
+  plan.add({fault::FaultKind::kRecover, NodeId{1}, 200.0});
+  plan.add({fault::FaultKind::kCrash, NodeId{2}, 50.0});  // stays down
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kFlap;
+  flap.node = NodeId{3};
+  flap.at = 20.0;
+  flap.until = 150.0;
+  flap.period = 20.0;
+  plan.add(flap);
+  fault::FaultEvent loss;
+  loss.kind = fault::FaultKind::kReportLoss;
+  loss.at = 0.0;
+  loss.until = 300.0;
+  loss.magnitude = 0.15;
+  plan.add(loss);
+  FaultyService f(std::move(plan), nullptr, 8);
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.max_queue_depth = 256;
+  CbesServer server(f.svc, cfg);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 18;
+  std::vector<ChaosOutcome> outcomes(kClients * kPerClient);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t k = 0; k < kPerClient; ++k) {
+        const std::size_t slot = c * kPerClient + k;
+        const Seconds now =
+            300.0 * static_cast<double>(slot) /
+            static_cast<double>(kClients * kPerClient);
+        JobHandle handle;
+        switch (slot % 3) {
+          case 0: {
+            PredictRequest req;
+            req.app = "tiny";
+            req.mapping = Mapping({NodeId{4}, NodeId{slot % 2 == 0 ? 5u : 1u}});
+            req.now = now;
+            handle = server.submit(std::move(req));
+            break;
+          }
+          case 1: {
+            ScheduleRequest req;
+            req.app = "tiny";
+            req.nranks = 2;
+            req.algo = Algo::kRandom;
+            req.seed = 1000 + slot;
+            req.now = now;
+            handle = server.submit(std::move(req));
+            break;
+          }
+          default: {
+            RemapRequest req;
+            req.app = "tiny";
+            req.current = Mapping({NodeId{1}, NodeId{2}});
+            req.progress = 0.25;
+            req.sa = small_sa();
+            req.seed = 2000 + slot;
+            req.now = now;
+            handle = server.submit(std::move(req));
+            break;
+          }
+        }
+        const JobResult result = handle.wait();
+        ChaosOutcome& out = outcomes[slot];
+        out.state = result.state;
+        if (result.state != JobState::kDone) continue;
+        if (slot % 3 == 1) {
+          out.nodes = result.schedule.mapping.assignment();
+        } else if (slot % 3 == 2) {
+          out.nodes = result.remap_candidate.assignment();
+        } else {
+          out.nodes = {NodeId{4}, NodeId{slot % 2 == 0 ? 5u : 1u}};
+        }
+        const LoadSnapshot ref = f.svc.monitor().snapshot(now);
+        for (NodeId node : out.nodes) {
+          if (!ref.alive(node)) ++*violations;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.shutdown(/*drain=*/true);
+  return outcomes;
+}
+
+TEST(ServerChaos, AllJobsCompleteAndNeverLandOnDeadNodes) {
+  std::size_t violations = 0;
+  const std::vector<ChaosOutcome> outcomes = run_chaos_round(&violations);
+  EXPECT_EQ(violations, 0u);
+  std::size_t done = 0;
+  for (const ChaosOutcome& out : outcomes) {
+    // Every job reached a terminal state — nothing hung or was dropped.
+    EXPECT_TRUE(is_terminal(out.state));
+    if (out.state == JobState::kDone) ++done;
+  }
+  // Chaos fails some jobs (mappings onto corpses), but most must succeed.
+  EXPECT_GT(done, outcomes.size() / 2);
+}
+
+TEST(ServerChaos, SameSeedRunsAreDeterministic) {
+  std::size_t violations_a = 0;
+  std::size_t violations_b = 0;
+  const std::vector<ChaosOutcome> a = run_chaos_round(&violations_a);
+  const std::vector<ChaosOutcome> b = run_chaos_round(&violations_b);
+  EXPECT_EQ(violations_a, violations_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << "job " << i << " diverged between runs";
+  }
 }
 
 }  // namespace
