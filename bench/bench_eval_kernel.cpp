@@ -1,0 +1,143 @@
+// Microbenchmark for the compiled incremental evaluation engine: throughput
+// of scheduler moves (reassign one rank, re-score the mapping) through the
+// legacy full-evaluation path vs the delta-evaluation session, at 8/32/128
+// ranks on the Centurion cluster. Both paths score the same move sequence and
+// must land on bit-identical final costs — the bench doubles as an end-to-end
+// cross-check. Emits BENCH_eval_kernel.json so the speedup is tracked across
+// PRs.
+//
+// Move targets are drawn uniformly over all nodes without capacity checks:
+// the evaluation kernel is indifferent to slot limits, and the point is to
+// time scoring, not pool bookkeeping.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/compiled_profile.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+
+namespace {
+
+using namespace cbes;
+using namespace cbes::bench;
+
+/// Synthetic profile with a ring-plus-skips pattern: every rank exchanges
+/// with 4 receive and 4 send peers, enough communication structure that the
+/// C term dominates evaluation time (the regime the delta path targets).
+AppProfile ring_profile(std::size_t nranks) {
+  AppProfile prof;
+  prof.app_name = "eval-kernel-ring";
+  prof.procs.resize(nranks);
+  for (std::size_t i = 0; i < nranks; ++i) {
+    auto& p = prof.procs[i];
+    p.x = 50.0;
+    p.o = 5.0;
+    p.b = 10.0;
+    p.lambda = 1.0;
+    p.profiled_arch = Arch::kAlpha533;
+    for (std::size_t g = 1; g <= 4; ++g) {
+      const std::size_t stride = g * g;  // 1, 4, 9, 16 — ring plus skips
+      p.recv_groups.push_back(
+          MessageGroup{RankId{(i + nranks - stride % nranks) % nranks},
+                       2048 * g, 8 + g});
+      p.send_groups.push_back(
+          MessageGroup{RankId{(i + stride) % nranks}, 2048 * g, 8 + g});
+    }
+  }
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct KernelResult {
+  double full_rate = 0.0;   ///< full-path moves/sec
+  double delta_rate = 0.0;  ///< session moves/sec
+};
+
+KernelResult run_kernel(const Env& env, std::size_t nranks) {
+  const AppProfile prof = ring_profile(nranks);
+  const LoadSnapshot snapshot = LoadSnapshot::idle(env.topology().node_count());
+  const NodePool pool = NodePool::whole_cluster(env.topology());
+  Rng map_rng(0xEE1);
+  const Mapping initial = pool.random_mapping(nranks, map_rng);
+  const std::size_t nnodes = env.topology().node_count();
+  const std::size_t moves = 2'000'000 / nranks;
+
+  const CbesCost full_cost(env.svc->evaluator(), prof, snapshot, EvalOptions{},
+                           /*guidance=*/1e-3, EvalEngine::kFull);
+  const CbesCost delta_cost(env.svc->evaluator(), prof, snapshot,
+                            EvalOptions{}, /*guidance=*/1e-3,
+                            EvalEngine::kIncremental);
+
+  // Full path: mutate a mapping and re-score it from scratch each move.
+  Mapping working = initial;
+  Rng full_rng(0x5EED);
+  double full_final = 0.0;
+  const auto full_start = std::chrono::steady_clock::now();
+  for (std::size_t m = 0; m < moves; ++m) {
+    const RankId rank{full_rng.index(nranks)};
+    const NodeId node{full_rng.index(nnodes)};
+    working.reassign(rank, node);
+    full_final = full_cost(working);
+  }
+  const double full_seconds = seconds_since(full_start);
+
+  // Delta path: the identical move sequence through a session (every move
+  // accepted, so each step is one apply + one incremental re-score).
+  const auto session = delta_cost.session(initial);
+  CBES_CHECK_MSG(session != nullptr, "incremental engine must offer sessions");
+  Rng delta_rng(0x5EED);
+  double delta_final = 0.0;
+  const auto delta_start = std::chrono::steady_clock::now();
+  for (std::size_t m = 0; m < moves; ++m) {
+    const RankId rank{delta_rng.index(nranks)};
+    const NodeId node{delta_rng.index(nnodes)};
+    session->apply(rank, node);
+    session->commit();
+    delta_final = session->cost();
+  }
+  const double delta_seconds = seconds_since(delta_start);
+
+  CBES_CHECK_MSG(full_final == delta_final,
+                 "delta evaluation diverged from the full path");
+
+  KernelResult result;
+  result.full_rate = static_cast<double>(moves) / full_seconds;
+  result.delta_rate = static_cast<double>(moves) / delta_seconds;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Env env = make_centurion_env();
+
+  std::printf("eval kernel: scheduler-move throughput, full vs delta\n");
+  std::printf("%8s %16s %16s %10s\n", "ranks", "full moves/s", "delta moves/s",
+              "speedup");
+  for (const std::size_t nranks : {std::size_t{8}, std::size_t{32},
+                                   std::size_t{128}}) {
+    const KernelResult r = run_kernel(env, nranks);
+    const double speedup = r.delta_rate / r.full_rate;
+    std::printf("%8zu %16.0f %16.0f %9.1fx\n", nranks, r.full_rate,
+                r.delta_rate, speedup);
+    const std::string suffix = "_" + std::to_string(nranks) + "ranks";
+    record_metric("eval_kernel_full_moves_per_sec" + suffix, r.full_rate,
+                  "moves/s");
+    record_metric("eval_kernel_delta_moves_per_sec" + suffix, r.delta_rate,
+                  "moves/s");
+    record_metric("eval_kernel_speedup" + suffix, speedup, "x");
+  }
+  const std::string path = write_bench_json("eval_kernel");
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -9,6 +9,7 @@
 //   cbes_cli predict <cluster> <app> <ranks> --map n0,n1,...
 //   cbes_cli compare <cluster> <app> <ranks> --map a0,a1,.. --map b0,b1,..
 //   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
+//       [--eval-engine full|incremental]
 //   cbes_cli serve <cluster> <app> <ranks> [--workers N] [--clients M]
 //                  [--requests K] [--deadline-ms D]
 //   cbes_cli chaos <cluster> <app> <ranks> [--seed S] [--requests K]
@@ -257,11 +258,24 @@ int cmd_predict_or_compare(const std::string& cluster, const std::string& app,
 
 int cmd_schedule(const std::string& cluster, const std::string& app,
                  std::size_t ranks, const std::string& arch_filter,
-                 const std::string& algo) {
+                 const std::string& algo, const std::string& engine_name) {
   if (!arch_filter.empty() && arch_filter != "A" && arch_filter != "I" &&
       arch_filter != "S") {
     std::fprintf(stderr, "error: --arch must be A, I, or S (got '%s')\n",
                  arch_filter.c_str());
+    return 2;
+  }
+  // A/B switch for the two evaluation engines; both return the same mapping
+  // for a fixed seed (they are bit-identical), so this is a throughput knob
+  // and a cross-check, not a quality choice.
+  EvalEngine engine = EvalEngine::kIncremental;
+  if (engine_name == "full") {
+    engine = EvalEngine::kFull;
+  } else if (!engine_name.empty() && engine_name != "incremental") {
+    std::fprintf(stderr,
+                 "error: --eval-engine must be full or incremental (got "
+                 "'%s')\n",
+                 engine_name.c_str());
     return 2;
   }
   Session s(cluster, app, ranks);
@@ -272,7 +286,8 @@ int cmd_schedule(const std::string& cluster, const std::string& app,
 
   const AppProfile& profile = s.svc.profile_of(s.program.name);
   const LoadSnapshot snapshot = s.svc.monitor().snapshot(0.0);
-  const CbesCost cost(s.svc.evaluator(), profile, snapshot);
+  const CbesCost cost(s.svc.evaluator(), profile, snapshot, EvalOptions{},
+                      /*guidance=*/1e-3, engine);
 
   CliSchedulerObserver observer;
   ScheduleResult result;
@@ -548,18 +563,23 @@ int dispatch(const std::vector<std::string>& args) {
   if (cmd == "schedule") {
     std::string arch;
     std::string algo = "--sa";
+    std::string engine;
     for (std::size_t i = 4; i < args.size(); ++i) {
       if (args[i] == "--arch" && i + 1 < args.size()) {
         arch = args[++i];
       } else if (args[i] == "--sa" || args[i] == "--ga" || args[i] == "--rs") {
         algo = args[i];
+      } else if (args[i] == "--eval-engine" && i + 1 < args.size()) {
+        engine = args[++i];
+      } else if (args[i].rfind("--eval-engine=", 0) == 0) {
+        engine = args[i].substr(std::string("--eval-engine=").size());
       } else {
         std::fprintf(stderr, "error: unknown schedule option '%s'\n",
                      args[i].c_str());
         return usage();
       }
     }
-    return cmd_schedule(cluster, app, ranks, arch, algo);
+    return cmd_schedule(cluster, app, ranks, arch, algo, engine);
   }
   if (cmd == "serve") {
     ServeOptions opt;

@@ -7,7 +7,9 @@
 #   3. with CBES_SANITIZE=thread in the environment, also rebuild under
 #      ThreadSanitizer and run the concurrent suites (test_server and
 #      test_fault), which exercise the request broker's queue/cache/worker
-#      locking and the monitor/injector interplay under chaos plans.
+#      locking and the monitor/injector interplay under chaos plans, plus
+#      test_property, whose delta-vs-full evaluation sweeps also cover the
+#      compiled-profile cache sharing immutable artifacts across workers.
 #
 # Usage: scripts/check.sh [--no-asan]
 #        CBES_SANITIZE=thread scripts/check.sh
@@ -35,9 +37,11 @@ if [[ "${CBES_SANITIZE:-}" == "thread" ]]; then
   echo "== TSan pass: rebuild with -DCBES_SANITIZE=thread, run server tests =="
   cmake -B build-tsan -S . -DCBES_SANITIZE=thread \
     -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_server --target test_fault
+  cmake --build build-tsan -j "$jobs" \
+    --target test_server --target test_fault --target test_property
   ./build-tsan/tests/test_server
   ./build-tsan/tests/test_fault
+  ./build-tsan/tests/test_property
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,327 @@
+#include "core/compiled_profile.h"
+
+#include "common/check.h"
+
+namespace cbes {
+
+namespace {
+
+std::uint32_t u32(std::size_t v) { return static_cast<std::uint32_t>(v); }
+
+}  // namespace
+
+CompiledProfile::CompiledProfile(const AppProfile& profile,
+                                 const LatencyModel& model,
+                                 const LoadSnapshot& snapshot,
+                                 const EvalOptions& options,
+                                 EngineMetrics metrics)
+    : nranks_(profile.nranks()),
+      nnodes_(model.topology().node_count()),
+      options_(options),
+      snapshot_epoch_(snapshot.epoch),
+      metrics_(metrics) {
+  CBES_CHECK_MSG(snapshot.cpu_avail.size() >= nnodes_ &&
+                     snapshot.nic_util.size() >= nnodes_,
+                 "snapshot does not cover the topology");
+
+  xo_.resize(nranks_);
+  speed_profiled_.resize(nranks_);
+  lambda_.resize(nranks_);
+  for (std::size_t i = 0; i < nranks_; ++i) {
+    const ProcessProfile& proc = profile.procs[i];
+    xo_[i] = proc.x + proc.o;
+    speed_profiled_[i] = profile.speed_of(proc.profiled_arch);
+    lambda_[i] = proc.lambda;
+  }
+
+  node_speed_.resize(nnodes_);
+  cpu_.resize(nnodes_);
+  inv_cpu_.resize(nnodes_);
+  nic_inv_.resize(nnodes_);
+  alive_.resize(nnodes_);
+  for (std::size_t j = 0; j < nnodes_; ++j) {
+    const NodeId node{j};
+    node_speed_[j] = profile.speed_of(model.topology().node(node).arch);
+    cpu_[j] = snapshot.cpu_avail[j];
+    inv_cpu_[j] = 1.0 / snapshot.cpu_avail[j];
+    nic_inv_[j] = 1.0 / (1.0 - snapshot.nic_util[j]);
+    alive_[j] = snapshot.alive(node) ? 1 : 0;
+  }
+
+  coeffs_.reserve(model.class_table_size());
+  for (std::size_t k = 0; k < model.class_table_size(); ++k) {
+    coeffs_.push_back(model.class_coeffs(k));
+  }
+  pair_class_.resize(nnodes_ * nnodes_);
+  for (std::size_t a = 0; a < nnodes_; ++a) {
+    for (std::size_t b = 0; b < nnodes_; ++b) {
+      pair_class_[a * nnodes_ + b] =
+          static_cast<std::uint16_t>(model.pair_class(NodeId{a}, NodeId{b}));
+    }
+  }
+
+  // Flatten message groups, preserving theta()'s per-rank recv-then-send
+  // summation order (the FP-identity contract).
+  g_begin_.resize(nranks_ + 1, 0);
+  std::size_t total_groups = 0;
+  for (std::size_t i = 0; i < nranks_; ++i) {
+    g_begin_[i] = u32(total_groups);
+    total_groups +=
+        profile.procs[i].recv_groups.size() + profile.procs[i].send_groups.size();
+  }
+  g_begin_[nranks_] = u32(total_groups);
+  g_peer_.reserve(total_groups);
+  g_count_.reserve(total_groups);
+  g_size_.reserve(total_groups);
+  g_is_send_.reserve(total_groups);
+  const auto flatten = [this](const MessageGroup& g, bool is_send) {
+    CBES_CHECK_MSG(g.peer.valid() && g.peer.index() < nranks_,
+                   "message-group peer out of rank range");
+    g_peer_.push_back(g.peer.value);
+    g_count_.push_back(static_cast<double>(g.count));
+    g_size_.push_back(static_cast<double>(g.size));
+    g_is_send_.push_back(is_send ? 1 : 0);
+  };
+  for (std::size_t i = 0; i < nranks_; ++i) {
+    for (const MessageGroup& g : profile.procs[i].recv_groups) {
+      flatten(g, false);
+    }
+    for (const MessageGroup& g : profile.procs[i].send_groups) {
+      flatten(g, true);
+    }
+  }
+
+  // Reverse peer index: which ranks' C terms read rank q's node? Each
+  // mentioning rank appears once per mentioned rank (dedup via stamp),
+  // self-mentions excluded — a moved rank recomputes its own C anyway.
+  std::vector<std::uint32_t> counts(nranks_, 0);
+  std::vector<std::uint32_t> stamp(nranks_, 0xFFFFFFFFu);
+  for (std::size_t p = 0; p < nranks_; ++p) {
+    for (std::uint32_t g = g_begin_[p]; g < g_begin_[p + 1]; ++g) {
+      const std::uint32_t q = g_peer_[g];
+      if (q == p || stamp[q] == p) continue;
+      stamp[q] = u32(p);
+      ++counts[q];
+    }
+  }
+  touch_begin_.resize(nranks_ + 1, 0);
+  for (std::size_t q = 0; q < nranks_; ++q) {
+    touch_begin_[q + 1] = touch_begin_[q] + counts[q];
+  }
+  touched_by_.resize(touch_begin_[nranks_]);
+  std::vector<std::uint32_t> cursor(touch_begin_.begin(),
+                                    touch_begin_.end() - 1);
+  stamp.assign(nranks_, 0xFFFFFFFFu);
+  for (std::size_t p = 0; p < nranks_; ++p) {
+    for (std::uint32_t g = g_begin_[p]; g < g_begin_[p + 1]; ++g) {
+      const std::uint32_t q = g_peer_[g];
+      if (q == p || stamp[q] == p) continue;
+      stamp[q] = u32(p);
+      touched_by_[cursor[q]++] = u32(p);
+    }
+  }
+}
+
+template <class NodesFn>
+double CompiledProfile::rank_c_impl(std::size_t i, NodesFn&& node_of) const {
+  if (!options_.comm_term) return 0.0;
+  double total = 0.0;
+  const std::uint32_t me = node_of(u32(i));
+  const std::uint32_t end = g_begin_[i + 1];
+  for (std::uint32_t g = g_begin_[i]; g < end; ++g) {
+    const std::uint32_t peer = node_of(g_peer_[g]);
+    const std::uint32_t src = g_is_send_[g] ? me : peer;
+    const std::uint32_t dst = g_is_send_[g] ? peer : me;
+    total += g_count_[g] * group_latency(g, src, dst);
+  }
+  if (options_.lambda_correction) total *= lambda_[i];
+  return total;
+}
+
+Seconds CompiledProfile::evaluate(const Mapping& mapping,
+                                  double* mean_sum) const {
+  CBES_CHECK_MSG(mapping.nranks() == nranks_,
+                 "mapping/profile rank count mismatch");
+  if (metrics_.full_evals != nullptr) metrics_.full_evals->inc();
+  const std::vector<NodeId>& assignment = mapping.assignment();
+  const auto node_of = [&assignment](std::uint32_t r) {
+    return assignment[r].value;
+  };
+  Seconds worst = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nranks_; ++i) {
+    const std::uint32_t me = assignment[i].value;
+    CBES_ASSERT(me < nnodes_);
+    if (alive_[me] == 0) {
+      // Same semantics as the legacy sweep: a dead node means the mapping
+      // never finishes. With a mean requested the sweep continues (matching
+      // predict(), whose mean also diverges to infinity).
+      if (mean_sum == nullptr) return kNever;
+      worst = kNever;
+      sum += kNever;
+      continue;
+    }
+    const double r = rank_r(i, me);
+    const double c = rank_c_impl(i, node_of);
+    const double total = r + c;
+    sum += total;
+    if (total > worst) worst = total;
+  }
+  if (mean_sum != nullptr) *mean_sum = sum;
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// EvalState
+
+EvalState::EvalState(const CompiledProfile& compiled) : cp_(&compiled) {
+  const std::size_t n = cp_->nranks_;
+  nodes_.assign(n, 0);
+  r_.assign(n, 0.0);
+  c_.assign(n, 0.0);
+  total_.assign(n, 0.0);
+  saved_.reserve(64);
+  frames_.reserve(16);
+}
+
+void EvalState::reset(const Mapping& mapping) {
+  CBES_CHECK_MSG(mapping.nranks() == cp_->nranks_,
+                 "mapping/profile rank count mismatch");
+  frames_.clear();
+  saved_.clear();
+  const std::vector<NodeId>& assignment = mapping.assignment();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    CBES_CHECK_MSG(assignment[i].valid() &&
+                       assignment[i].index() < cp_->nnodes_,
+                   "mapping node out of topology range");
+    nodes_[i] = assignment[i].value;
+  }
+  if (cp_->metrics_.full_evals != nullptr) cp_->metrics_.full_evals->inc();
+  max_ = 0.0;
+  critical_ = kNoCritical;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    recompute_rank(i);
+    if (total_[i] > max_) {
+      max_ = total_[i];
+      critical_ = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+void EvalState::recompute_rank(std::size_t i) {
+  const std::uint32_t node = nodes_[i];
+  if (cp_->alive_[node] == 0) {
+    // Mirrors predict(): R = kNever, C untouched at zero, total infinite.
+    r_[i] = kNever;
+    c_[i] = 0.0;
+    total_[i] = kNever;
+    return;
+  }
+  const std::uint32_t* nodes = nodes_.data();
+  r_[i] = cp_->rank_r(i, node);
+  c_[i] = cp_->rank_c_impl(i, [nodes](std::uint32_t r) { return nodes[r]; });
+  total_[i] = r_[i] + c_[i];
+}
+
+void EvalState::apply(RankId rank, NodeId node) {
+  const std::size_t i = rank.index();
+  CBES_CHECK_MSG(i < nodes_.size(), "rank out of range");
+  CBES_CHECK_MSG(node.valid() && node.index() < cp_->nnodes_,
+                 "node out of topology range");
+  Frame frame;
+  frame.rank = static_cast<std::uint32_t>(i);
+  frame.from = nodes_[i];
+  frame.saved_begin = static_cast<std::uint32_t>(saved_.size());
+  frame.max = max_;
+  frame.critical = critical_;
+
+  if (cp_->metrics_.delta_evals != nullptr) cp_->metrics_.delta_evals->inc();
+
+  saved_.push_back(Saved{frame.rank, r_[i], c_[i], total_[i]});
+  nodes_[i] = node.value;
+  recompute_rank(i);
+  double updated_max = total_[i];
+  std::uint32_t updated_arg = frame.rank;
+  bool critical_touched = (critical_ == frame.rank);
+  std::size_t touched = 1;
+
+  // The moved rank's node feeds the C term of every rank that exchanges
+  // messages with it. With the comm term ablated no C term exists; ranks on
+  // dead nodes keep their kNever total no matter where their peers sit.
+  if (cp_->options_.comm_term) {
+    const std::uint32_t end = cp_->touch_begin_[i + 1];
+    for (std::uint32_t t = cp_->touch_begin_[i]; t < end; ++t) {
+      const std::uint32_t p = cp_->touched_by_[t];
+      if (cp_->alive_[nodes_[p]] == 0) continue;
+      saved_.push_back(Saved{p, r_[p], c_[p], total_[p]});
+      if (critical_ == p) critical_touched = true;
+      const std::uint32_t* nodes = nodes_.data();
+      c_[p] =
+          cp_->rank_c_impl(p, [nodes](std::uint32_t r) { return nodes[r]; });
+      total_[p] = r_[p] + c_[p];
+      ++touched;
+      if (total_[p] > updated_max) {
+        updated_max = total_[p];
+        updated_arg = p;
+      }
+    }
+  }
+  if (cp_->metrics_.touched_ranks != nullptr) {
+    cp_->metrics_.touched_ranks->observe(static_cast<double>(touched));
+  }
+
+  // Max maintenance. Untouched totals are all <= the previous max, so:
+  //   * critical untouched: its total still stands — max = max(old, updated);
+  //   * critical touched and some updated total >= old max: that total
+  //     dominates everything untouched too;
+  //   * critical touched and all updated totals dropped below the old max:
+  //     the new max may hide anywhere — full rescan (the only O(n) case).
+  if (!critical_touched) {
+    if (updated_max > max_) {
+      max_ = updated_max;
+      critical_ = updated_arg;
+    }
+  } else if (updated_max >= frame.max) {
+    max_ = updated_max;
+    critical_ = updated_arg;
+  } else {
+    rescan_max();
+  }
+
+  frames_.push_back(frame);
+}
+
+void EvalState::undo() {
+  CBES_CHECK_MSG(!frames_.empty(), "undo without a matching apply");
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  nodes_[frame.rank] = frame.from;
+  for (std::size_t k = saved_.size(); k > frame.saved_begin; --k) {
+    const Saved& s = saved_[k - 1];
+    r_[s.rank] = s.r;
+    c_[s.rank] = s.c;
+    total_[s.rank] = s.total;
+  }
+  saved_.resize(frame.saved_begin);
+  max_ = frame.max;
+  critical_ = frame.critical;
+}
+
+void EvalState::rescan_max() {
+  max_ = 0.0;
+  critical_ = kNoCritical;
+  for (std::size_t i = 0; i < total_.size(); ++i) {
+    if (total_[i] > max_) {
+      max_ = total_[i];
+      critical_ = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+double EvalState::mean_sum() const {
+  double sum = 0.0;
+  for (const double t : total_) sum += t;
+  return sum;
+}
+
+}  // namespace cbes

@@ -1,0 +1,221 @@
+// The compiled incremental evaluation engine — the scheduler hot path.
+//
+// Evaluating equations (4)-(8) through MappingEvaluator::evaluate walks the
+// AppProfile's pointer-rich message-group vectors and re-resolves latency
+// classes and snapshot loads on every call, even though an annealing move
+// reassigns one or two ranks and leaves everything else untouched. This
+// module splits the work:
+//
+//   * CompiledProfile — an immutable flattening of (profile, latency model,
+//     snapshot, options) into contiguous SoA arrays: per-rank compute
+//     constants, per-node reciprocal loads, the dense pair->class table, and
+//     all message groups in one block with a reverse peer index. A full
+//     evaluation is then a single allocation-free sweep. Once built, a
+//     CompiledProfile is self-contained (it copies everything it reads), so
+//     the server can share one instance across worker threads for as long as
+//     the (profile, snapshot-epoch) pair stays current.
+//
+//   * EvalState — a mutable working mapping over a CompiledProfile with
+//     apply()/undo(): a move recomputes only the moved rank's R+C and the C
+//     terms of the ranks that exchange messages with it, via the reverse peer
+//     index. Every affected term is recomputed *in full and in the same
+//     operation order* as the full sweep — never adjusted by adding or
+//     subtracting deltas — so delta and full results are bit-identical, and
+//     a scheduler driven through EvalState walks the exact trajectory it
+//     would on the full path (FP-identity; see DESIGN.md).
+//
+// Max tracking: S_M is a max, so a move that lowers the critical rank's total
+// may hand the max to any untouched rank. EvalState rescans all totals only
+// in that case (critical rank touched AND its replacement candidate is below
+// the previous max); every other move updates the max in O(touched).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/evaluator.h"
+#include "monitor/snapshot.h"
+#include "netmodel/latency_model.h"
+#include "obs/metrics.h"
+#include "profile/app_profile.h"
+#include "topology/mapping.h"
+
+namespace cbes {
+
+/// Optional instrumentation shared by every EvalState over one profile.
+/// Wired by MappingEvaluator::compile when the evaluator has metrics.
+struct EngineMetrics {
+  obs::Counter* full_evals = nullptr;    ///< cbes_eval_full_total
+  obs::Counter* delta_evals = nullptr;   ///< cbes_eval_delta_total
+  obs::Histogram* touched_ranks = nullptr;
+};
+
+class CompiledProfile {
+ public:
+  /// Flattens `profile` against `model` and `snapshot`. Copies everything it
+  /// needs — the references may die immediately after construction.
+  CompiledProfile(const AppProfile& profile, const LatencyModel& model,
+                  const LoadSnapshot& snapshot, const EvalOptions& options = {},
+                  EngineMetrics metrics = {});
+
+  [[nodiscard]] std::size_t nranks() const noexcept { return nranks_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nnodes_; }
+  [[nodiscard]] const EvalOptions& options() const noexcept { return options_; }
+  /// Epoch of the snapshot the profile was compiled against.
+  [[nodiscard]] std::uint64_t snapshot_epoch() const noexcept {
+    return snapshot_epoch_;
+  }
+  [[nodiscard]] bool alive(NodeId node) const {
+    return alive_[node.index()] != 0;
+  }
+
+  /// Scalar S_M — one allocation-free sweep, bit-identical to
+  /// MappingEvaluator::evaluate over the bound snapshot and options. When
+  /// `mean_sum` is non-null it receives sum_i(R_i + C_i) (the guidance term's
+  /// numerator, matching the predict() path) and dead nodes no longer
+  /// short-circuit the sweep.
+  [[nodiscard]] Seconds evaluate(const Mapping& mapping,
+                                 double* mean_sum = nullptr) const;
+
+ private:
+  friend class EvalState;
+
+  /// R_i for rank `i` hosted on `node` — equation 5, same operation order as
+  /// MappingEvaluator::term_r.
+  [[nodiscard]] double rank_r(std::size_t i, std::uint32_t node) const {
+    const double ratio = speed_profiled_[i] / node_speed_[node];
+    double r = xo_[i] * ratio;
+    if (options_.load_term) r /= cpu_[node];
+    return r;
+  }
+
+  /// L_c for one message group — same operation order as
+  /// LatencyModel::current over the bound snapshot.
+  [[nodiscard]] double group_latency(std::size_t g, std::uint32_t src,
+                                     std::uint32_t dst) const {
+    const LatencyCoeffs& c = coeffs_[pair_class_[src * nnodes_ + dst]];
+    const double g_cpu = 0.5 * (inv_cpu_[src] + inv_cpu_[dst]) - 1.0;
+    const double g_nic = 0.5 * (nic_inv_[src] + nic_inv_[dst]) - 1.0;
+    return c.alpha * (1.0 + c.k_alpha_cpu * g_cpu) +
+           c.beta * g_size_[g] *
+               (1.0 + c.k_beta_cpu * g_cpu + c.k_beta_nic * g_nic);
+  }
+
+  /// Theta_i over the flattened groups (recv then send, profile order), with
+  /// the lambda correction applied — the full C_i of equation 8. `node_of(r)`
+  /// returns the hosting node of rank r; instantiated only inside
+  /// compiled_profile.cpp (for Mapping and raw-array views).
+  template <class NodesFn>
+  [[nodiscard]] double rank_c_impl(std::size_t i, NodesFn&& node_of) const;
+
+  std::size_t nranks_ = 0;
+  std::size_t nnodes_ = 0;
+  EvalOptions options_;
+  std::uint64_t snapshot_epoch_ = 0;
+  EngineMetrics metrics_;
+
+  // Per rank (equations 5, 7).
+  std::vector<double> xo_;              ///< X_i + O_i
+  std::vector<double> speed_profiled_;  ///< Speed_profile_i
+  std::vector<double> lambda_;
+
+  // Per node, bound to the snapshot.
+  std::vector<double> node_speed_;  ///< Speed_j for this application
+  std::vector<double> cpu_;         ///< ACPU_j (divisor of equation 5)
+  std::vector<double> inv_cpu_;     ///< 1/ACPU_j (latency g_cpu input)
+  std::vector<double> nic_inv_;     ///< 1/(1 - NIC_j) (latency g_nic input)
+  std::vector<std::uint8_t> alive_;
+
+  // Latency table copied out of the model: dense pair->class plus coeffs.
+  std::vector<LatencyCoeffs> coeffs_;
+  std::vector<std::uint16_t> pair_class_;  ///< nnodes_ x nnodes_
+
+  // Message groups of every rank flattened into one block, preserving the
+  // per-rank recv-then-send order theta() sums in. g_begin_[i]..g_begin_[i+1]
+  // are rank i's groups.
+  std::vector<std::uint32_t> g_begin_;  ///< nranks_+1 offsets
+  std::vector<std::uint32_t> g_peer_;
+  std::vector<double> g_count_;
+  std::vector<double> g_size_;
+  std::vector<std::uint8_t> g_is_send_;
+
+  // Reverse peer index: peers_of(i) = ranks (!= i) holding a group whose
+  // peer is i — exactly the C terms a move of rank i invalidates.
+  std::vector<std::uint32_t> touch_begin_;  ///< nranks_+1 offsets
+  std::vector<std::uint32_t> touched_by_;
+};
+
+/// Mutable evaluation state over one CompiledProfile (single-threaded; the
+/// profile itself may be shared). reset() performs a full sweep; apply()/
+/// undo() maintain S_M incrementally with bit-identical results.
+class EvalState {
+ public:
+  /// `compiled` must outlive the state (hold it via shared_ptr at the owner).
+  explicit EvalState(const CompiledProfile& compiled);
+
+  /// Reinitializes from `mapping` with one full sweep.
+  void reset(const Mapping& mapping);
+
+  /// Reassigns `rank` to `node`, recomputing the touched terms; pushes an
+  /// undo frame.
+  void apply(RankId rank, NodeId node);
+
+  /// Reverts the most recent apply(). Frames unwind strictly LIFO.
+  void undo();
+
+  /// Drops all undo frames (the working mapping stays). Called when a
+  /// scheduler accepts a move — accepted moves are never unwound, so their
+  /// frames would otherwise pile up across a long anneal.
+  void commit() {
+    frames_.clear();
+    saved_.clear();
+  }
+
+  /// S_M of the working mapping (kNever while any rank sits on a dead node).
+  [[nodiscard]] Seconds s() const noexcept { return max_; }
+  /// sum_i(R_i + C_i), accumulated in rank order — the guidance-term
+  /// numerator, bit-identical to summing a predict() breakdown.
+  [[nodiscard]] double mean_sum() const;
+
+  [[nodiscard]] NodeId node_of(RankId rank) const {
+    return NodeId{nodes_[rank.index()]};
+  }
+  /// Number of undo frames held (applied moves not yet undone).
+  [[nodiscard]] std::size_t depth() const noexcept { return frames_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNoCritical = 0xFFFFFFFFu;
+
+  /// Recomputes r_/c_/total_ for rank `i` from nodes_ (the same three stores
+  /// the full sweep performs for that rank).
+  void recompute_rank(std::size_t i);
+  /// Full "worst over totals from 0.0" rescan — the fallback when the
+  /// critical rank's total dropped.
+  void rescan_max();
+
+  const CompiledProfile* cp_;
+  std::vector<std::uint32_t> nodes_;  ///< working assignment
+  std::vector<double> r_;
+  std::vector<double> c_;
+  std::vector<double> total_;  ///< r_ + c_; kNever on a dead node
+  double max_ = 0.0;
+  std::uint32_t critical_ = kNoCritical;
+
+  struct Saved {
+    std::uint32_t rank;
+    double r, c, total;
+  };
+  struct Frame {
+    std::uint32_t rank;
+    std::uint32_t from;
+    std::uint32_t saved_begin;  ///< index into saved_
+    double max;
+    std::uint32_t critical;
+  };
+  std::vector<Saved> saved_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace cbes

@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include "common/check.h"
+#include "core/compiled_profile.h"
 #include "obs/timer.h"
 #include "profile/theta.h"
 
@@ -24,6 +25,9 @@ void MappingEvaluator::set_metrics(obs::MetricsRegistry* registry) {
     degraded_predictions_ = nullptr;
     dead_node_evals_ = nullptr;
     eval_seconds_ = nullptr;
+    full_evals_ = nullptr;
+    delta_evals_ = nullptr;
+    touched_ranks_ = nullptr;
     return;
   }
   predictions_ = &registry->counter(
@@ -45,6 +49,28 @@ void MappingEvaluator::set_metrics(obs::MetricsRegistry* registry) {
       "cbes_evaluator_eval_seconds",
       obs::Histogram::exponential(1e-7, 4.0, 10),
       "Latency of one scalar mapping evaluation, in seconds");
+  full_evals_ = &registry->counter(
+      "cbes_eval_full_total",
+      "Full sweeps by the compiled engine (EvalState resets, batch sweeps)");
+  delta_evals_ = &registry->counter(
+      "cbes_eval_delta_total",
+      "Incremental (delta) move evaluations by the compiled engine");
+  // 1 .. 512 ranks recomputed per delta move; dense profiles (all-to-all)
+  // touch every rank, sparse stencils only a handful.
+  touched_ranks_ = &registry->histogram(
+      "cbes_eval_touched_ranks", obs::Histogram::exponential(1.0, 2.0, 10),
+      "Ranks recomputed per delta move (moved rank + message peers)");
+}
+
+std::shared_ptr<const CompiledProfile> MappingEvaluator::compile(
+    const AppProfile& profile, const LoadSnapshot& snapshot,
+    const EvalOptions& options) const {
+  EngineMetrics metrics;
+  metrics.full_evals = full_evals_;
+  metrics.delta_evals = delta_evals_;
+  metrics.touched_ranks = touched_ranks_;
+  return std::make_shared<const CompiledProfile>(profile, *model_, snapshot,
+                                                 options, metrics);
 }
 
 Seconds MappingEvaluator::term_r(const ProcessProfile& proc, NodeId node,

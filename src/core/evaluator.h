@@ -10,6 +10,7 @@
 // the predictor the validation experiments (Fig. 5) measure against reality.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "topology/mapping.h"
 
 namespace cbes {
+
+class CompiledProfile;
 
 /// Per-process and aggregate outcome of one mapping evaluation.
 struct Prediction {
@@ -76,6 +79,15 @@ class MappingEvaluator {
 
   [[nodiscard]] const LatencyModel& model() const noexcept { return *model_; }
 
+  /// Flattens (profile, snapshot, options) against the evaluator's latency
+  /// model into an immutable CompiledProfile — the compiled incremental
+  /// engine's artifact (see core/compiled_profile.h). The result is
+  /// self-contained and safely shared across threads; it carries the
+  /// evaluator's engine counters when metrics are wired.
+  [[nodiscard]] std::shared_ptr<const CompiledProfile> compile(
+      const AppProfile& profile, const LoadSnapshot& snapshot,
+      const EvalOptions& options = {}) const;
+
   /// Wires prediction counters and the evaluation-latency histogram into
   /// `registry` (nullptr turns instrumentation back off — the default, and
   /// the zero-cost path: one branch per call). `registry` must outlive the
@@ -99,6 +111,10 @@ class MappingEvaluator {
   obs::Counter* degraded_predictions_ = nullptr;
   obs::Counter* dead_node_evals_ = nullptr;
   obs::Histogram* eval_seconds_ = nullptr;
+  // Compiled-engine instruments, shared by every CompiledProfile built here.
+  obs::Counter* full_evals_ = nullptr;
+  obs::Counter* delta_evals_ = nullptr;
+  obs::Histogram* touched_ranks_ = nullptr;
 };
 
 }  // namespace cbes

@@ -1,6 +1,7 @@
 #include "core/remap.h"
 
 #include "common/check.h"
+#include "core/compiled_profile.h"
 
 namespace cbes {
 
@@ -23,32 +24,52 @@ Seconds migration_cost(const ClusterTopology& topology, const Mapping& current,
   return total;
 }
 
+RemapRound::RemapRound(const MappingEvaluator& evaluator,
+                       const AppProfile& profile, const Mapping& current,
+                       double progress, const LoadSnapshot& snapshot,
+                       const RemapCostModel& cost)
+    : RemapRound(evaluator, evaluator.compile(profile, snapshot), current,
+                 progress, cost) {}
+
+RemapRound::RemapRound(const MappingEvaluator& evaluator,
+                       std::shared_ptr<const CompiledProfile> compiled,
+                       const Mapping& current, double progress,
+                       const RemapCostModel& cost)
+    : evaluator_(&evaluator),
+      compiled_(std::move(compiled)),
+      current_(&current),
+      remaining_(1.0 - progress),
+      cost_(cost) {
+  CBES_CHECK_MSG(progress >= 0.0 && progress < 1.0,
+                 "progress must be in [0, 1)");
+  CBES_CHECK_MSG(compiled_ != nullptr, "compiled profile required");
+  remaining_current_ = remaining_ * compiled_->evaluate(current);
+}
+
+RemapDecision RemapRound::consider(const Mapping& candidate) const {
+  CBES_CHECK_MSG(current_->nranks() == candidate.nranks(),
+                 "mappings must cover the same ranks");
+  RemapDecision decision;
+  decision.remaining_current = remaining_current_;
+  decision.remaining_candidate = remaining_ * compiled_->evaluate(candidate);
+  for (std::size_t r = 0; r < candidate.nranks(); ++r) {
+    if (current_->node_of(RankId{r}) != candidate.node_of(RankId{r})) {
+      ++decision.moved_ranks;
+    }
+  }
+  decision.migration_cost = migration_cost(evaluator_->model().topology(),
+                                           *current_, candidate, cost_);
+  decision.beneficial = decision.gain() > 0.0;
+  return decision;
+}
+
 RemapDecision evaluate_remap(const MappingEvaluator& evaluator,
                              const AppProfile& profile, const Mapping& current,
                              const Mapping& candidate, double progress,
                              const LoadSnapshot& snapshot,
                              const RemapCostModel& cost) {
-  CBES_CHECK_MSG(progress >= 0.0 && progress < 1.0,
-                 "progress must be in [0, 1)");
-  CBES_CHECK_MSG(current.nranks() == candidate.nranks(),
-                 "mappings must cover the same ranks");
-
-  const double remaining = 1.0 - progress;
-  RemapDecision decision;
-  decision.remaining_current =
-      remaining * evaluator.evaluate(profile, current, snapshot);
-  decision.remaining_candidate =
-      remaining * evaluator.evaluate(profile, candidate, snapshot);
-
-  for (std::size_t r = 0; r < current.nranks(); ++r) {
-    if (current.node_of(RankId{r}) != candidate.node_of(RankId{r})) {
-      ++decision.moved_ranks;
-    }
-  }
-  decision.migration_cost = migration_cost(evaluator.model().topology(),
-                                           current, candidate, cost);
-  decision.beneficial = decision.gain() > 0.0;
-  return decision;
+  return RemapRound(evaluator, profile, current, progress, snapshot, cost)
+      .consider(candidate);
 }
 
 }  // namespace cbes

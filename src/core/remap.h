@@ -9,6 +9,8 @@
 // overhead (paper §2: "taking into account the task remapping costs").
 #pragma once
 
+#include <memory>
+
 #include "core/evaluator.h"
 #include "topology/mapping.h"
 
@@ -52,9 +54,47 @@ struct RemapDecision {
                                      const Mapping& candidate,
                                      const RemapCostModel& cost = {});
 
+/// One remap decision round. The stay cost (`remaining_current`) depends only
+/// on the current mapping, the progress, and the snapshot — none of which
+/// change while candidates are tried — so the round evaluates it once at
+/// construction and shares it across every consider() call: a round weighing
+/// N candidates pays N+1 evaluations instead of 2N. Evaluation runs over a
+/// compiled profile (core/compiled_profile.h), built once per round or handed
+/// in from a cache. References must outlive the round.
+class RemapRound {
+ public:
+  /// Compiles `profile` against `snapshot` and prices staying on `current`.
+  RemapRound(const MappingEvaluator& evaluator, const AppProfile& profile,
+             const Mapping& current, double progress,
+             const LoadSnapshot& snapshot, const RemapCostModel& cost = {});
+  /// Over a pre-compiled artifact (server workers reusing a cached one).
+  /// `evaluator` still supplies the cluster topology for migration pricing.
+  RemapRound(const MappingEvaluator& evaluator,
+             std::shared_ptr<const CompiledProfile> compiled,
+             const Mapping& current, double progress,
+             const RemapCostModel& cost = {});
+
+  /// Prices moving to `candidate` against the cached stay cost.
+  [[nodiscard]] RemapDecision consider(const Mapping& candidate) const;
+
+  /// Predicted time to finish on the current mapping (the cached stay cost).
+  [[nodiscard]] Seconds remaining_current() const noexcept {
+    return remaining_current_;
+  }
+
+ private:
+  const MappingEvaluator* evaluator_;
+  std::shared_ptr<const CompiledProfile> compiled_;
+  const Mapping* current_;
+  double remaining_;
+  Seconds remaining_current_ = 0.0;
+  RemapCostModel cost_;
+};
+
 /// Evaluates remapping a run that has completed `progress` (fraction in
 /// [0, 1)) of its profiled work from `current` to `candidate`, under the
-/// availability picture in `snapshot`.
+/// availability picture in `snapshot`. One-shot convenience over RemapRound;
+/// callers weighing several candidates should hold a round instead.
 [[nodiscard]] RemapDecision evaluate_remap(const MappingEvaluator& evaluator,
                                            const AppProfile& profile,
                                            const Mapping& current,

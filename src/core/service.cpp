@@ -1,6 +1,7 @@
 #include "core/service.h"
 
 #include "common/check.h"
+#include "core/compiled_profile.h"
 #include "obs/timer.h"
 
 namespace cbes {
@@ -123,9 +124,12 @@ CbesService::ComparisonResult CbesService::compare_under(
 
   ComparisonResult result;
   result.predicted.reserve(candidates.size());
+  // The profile and snapshot are invariant across the round: compile once and
+  // sweep each candidate (bit-identical to per-candidate evaluation; see
+  // core/compiled_profile.h).
+  const auto compiled = evaluator_->compile(profile, snapshot);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    result.predicted.push_back(
-        evaluator_->evaluate(profile, candidates[i], snapshot));
+    result.predicted.push_back(compiled->evaluate(candidates[i]));
     if (result.predicted[i] < result.predicted[result.best]) result.best = i;
   }
   return result;

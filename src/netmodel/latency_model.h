@@ -80,6 +80,21 @@ class LatencyModel {
   /// Coefficients backing the (a, b) pair; for introspection and tests.
   [[nodiscard]] const LatencyCoeffs& coeffs(NodeId a, NodeId b) const;
 
+  /// Index of the path class serving (a, b); 0 = loopback. Stable for the
+  /// model's lifetime — lets consumers (core::CompiledProfile) copy the dense
+  /// pair->class table out through the public API.
+  [[nodiscard]] std::size_t pair_class(NodeId a, NodeId b) const {
+    return class_index(a, b);
+  }
+  /// Coefficients of path class `idx`; valid for idx < class_table_size().
+  [[nodiscard]] const LatencyCoeffs& class_coeffs(std::size_t idx) const {
+    return coeffs_[idx];
+  }
+  /// Number of classes including loopback — the range of pair_class().
+  [[nodiscard]] std::size_t class_table_size() const noexcept {
+    return coeffs_.size();
+  }
+
   [[nodiscard]] const ClusterTopology& topology() const noexcept {
     return *topology_;
   }

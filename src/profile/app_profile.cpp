@@ -1,6 +1,23 @@
 #include "profile/app_profile.h"
 
+#include <bit>
+
 namespace cbes {
+
+namespace {
+
+/// FNV-1a accumulator over 64-bit words; doubles are folded by bit pattern so
+/// the hash distinguishes every value evaluation could distinguish.
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) noexcept {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  void mix(double v) noexcept { mix(std::bit_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
 
 double AppProfile::computation_fraction() const {
   Seconds x = 0.0;
@@ -11,6 +28,28 @@ double AppProfile::computation_fraction() const {
   }
   const Seconds total = x + b;
   return total > 0.0 ? x / total : 1.0;
+}
+
+std::size_t AppProfile::hash() const noexcept {
+  Fnv fnv;
+  fnv.mix(static_cast<std::uint64_t>(procs.size()));
+  for (const double s : arch_speed) fnv.mix(s);
+  for (const ProcessProfile& p : procs) {
+    fnv.mix(p.x);
+    fnv.mix(p.o);
+    fnv.mix(p.b);
+    fnv.mix(static_cast<std::uint64_t>(p.profiled_arch));
+    fnv.mix(p.lambda);
+    for (const auto* groups : {&p.recv_groups, &p.send_groups}) {
+      fnv.mix(static_cast<std::uint64_t>(groups->size()));
+      for (const MessageGroup& g : *groups) {
+        fnv.mix(static_cast<std::uint64_t>(g.peer.value));
+        fnv.mix(static_cast<std::uint64_t>(g.size));
+        fnv.mix(static_cast<std::uint64_t>(g.count));
+      }
+    }
+  }
+  return static_cast<std::size_t>(fnv.h);
 }
 
 std::size_t AppProfile::total_groups() const {

@@ -69,6 +69,14 @@ struct AppProfile {
   /// Total message-group count across processes — the profile-complexity
   /// measure that drives mapping-evaluation (and hence scheduler) cost.
   [[nodiscard]] std::size_t total_groups() const;
+
+  /// Order-sensitive content hash (FNV-1a over every field evaluation reads:
+  /// per-process times, arch, groups, lambda, and the arch-speed table).
+  /// Equal profiles hash equal; used with the snapshot epoch as the
+  /// compiled-profile cache key in server::CompiledProfileCache, whose hits
+  /// only ever reuse an artifact — a collision between two *live* profiles
+  /// of the same app name cannot occur since re-registration replaces.
+  [[nodiscard]] std::size_t hash() const noexcept;
 };
 
 }  // namespace cbes

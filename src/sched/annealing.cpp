@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -163,6 +164,12 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
   // granularity of one cost evaluation), so a fired deadline stops the anneal
   // within microseconds without a partial move applied.
   bool cancelled = false;
+  // Incremental engine: when the cost offers a session, every proposed move
+  // is mirrored into it and scored by delta evaluation. Session and full
+  // evaluation are bit-identical (see core/compiled_profile.h), so the
+  // annealing trajectory is the same either way — only cheaper.
+  std::unique_ptr<CostFunction::Session> session;
+  bool session_probed = false;
 
   for (std::size_t restart = 0;
        restart < params_.restarts && evaluations < params_.max_evaluations &&
@@ -170,7 +177,22 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
        ++restart) {
     SaState state(pool, warm_start(pool, nranks, restart, rng,
                                    params_.structured_warm_start));
-    double current = cost(state.mapping());
+    if (!session_probed) {
+      session = cost.session(state.mapping());
+      session_probed = true;
+    } else if (session != nullptr) {
+      session->reset(state.mapping());
+    }
+    const auto score = [&]() {
+      return session != nullptr ? session->cost() : cost(state.mapping());
+    };
+    const auto mirror = [&](const SaState::Move& move) {
+      if (session == nullptr) return;
+      for (const SaState::Action& action : move) {
+        session->apply(action.rank, action.to);
+      }
+    };
+    double current = score();
     ++evaluations;
     if (current < best.cost) {
       best.cost = current;
@@ -190,13 +212,15 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
         break;
       }
       const SaState::Move move = state.propose(rng, allow_relocate);
-      const double trial = cost(state.mapping());
+      mirror(move);
+      const double trial = score();
       ++evaluations;
       if (trial > current) {
         mean_uphill += trial - current;
         ++uphill;
       }
       state.undo(move);
+      if (session != nullptr) session->undo(move.size());
     }
     double t0 = 1.0;
     if (uphill > 0) {
@@ -220,13 +244,15 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
           break;
         }
         const SaState::Move move = state.propose(rng, allow_relocate);
-        const double trial = cost(state.mapping());
+        mirror(move);
+        const double trial = score();
         ++evaluations;
         ++attempted;
         const double delta = trial - current;
         if (delta <= 0.0 || rng.chance(std::exp(-delta / t))) {
           current = trial;
           ++accepted;
+          if (session != nullptr) session->commit();
           // "<=" so that on plateaus (NCS inside an equal-speed pool, where
           // the cost cannot distinguish mappings) the walk endpoint is kept —
           // the paper's observation that NCS then "behaves like RS".
@@ -236,6 +262,7 @@ ScheduleResult SimulatedAnnealingScheduler::schedule(std::size_t nranks,
           }
         } else {
           state.undo(move);
+          if (session != nullptr) session->undo(move.size());
         }
       }
       if (observer_ != nullptr) {

@@ -1,29 +1,159 @@
 #include "sched/cost.h"
 
+#include "common/check.h"
+
 namespace cbes {
+
+// ---------------------------------------------------------------------------
+// CbesCost
+
+/// Session over one EvalState; shares the parent's evaluation counter so
+/// schedulers see identical evaluations() totals on either engine.
+class CbesCost::IncrementalSession final : public CostFunction::Session {
+ public:
+  IncrementalSession(const CbesCost& parent, const Mapping& initial)
+      : parent_(&parent), state_(*parent.compiled()) {
+    state_.reset(initial);
+  }
+
+  double cost() override {
+    ++parent_->evaluations_;
+    if (parent_->guidance_ == 0.0) return state_.s();
+    const double mean =
+        state_.mean_sum() /
+        static_cast<double>(parent_->compiled()->nranks());
+    return state_.s() + parent_->guidance_ * mean;
+  }
+  void apply(RankId rank, NodeId node) override { state_.apply(rank, node); }
+  void undo(std::size_t moves) override {
+    for (; moves > 0; --moves) state_.undo();
+  }
+  void commit() override { state_.commit(); }
+  void reset(const Mapping& mapping) override { state_.reset(mapping); }
+
+ private:
+  const CbesCost* parent_;
+  EvalState state_;
+};
 
 CbesCost::CbesCost(const MappingEvaluator& evaluator, const AppProfile& profile,
                    const LoadSnapshot& snapshot, EvalOptions options,
-                   double guidance)
+                   double guidance, EvalEngine engine)
     : evaluator_(&evaluator),
       profile_(&profile),
       snapshot_(&snapshot),
       options_(options),
-      guidance_(guidance) {}
+      guidance_(guidance),
+      engine_(engine) {}
+
+CbesCost::CbesCost(std::shared_ptr<const CompiledProfile> compiled,
+                   double guidance)
+    : options_(compiled->options()),
+      guidance_(guidance),
+      engine_(EvalEngine::kIncremental),
+      compiled_(std::move(compiled)) {
+  CBES_CHECK_MSG(compiled_ != nullptr, "compiled profile required");
+}
+
+const std::shared_ptr<const CompiledProfile>& CbesCost::compiled() const {
+  if (compiled_ == nullptr) {
+    compiled_ = evaluator_->compile(*profile_, *snapshot_, options_);
+  }
+  return compiled_;
+}
 
 double CbesCost::operator()(const Mapping& mapping) const {
   ++evaluations_;
-  if (guidance_ == 0.0) {
-    return evaluator_->evaluate(*profile_, mapping, *snapshot_, options_);
+  if (evaluator_ != nullptr) {
+    // Reference-backed construction: per-mapping calls stay on the legacy
+    // evaluator path (same instruments, same answers) on either engine — the
+    // compiled artifact pays off through session(), not here.
+    if (guidance_ == 0.0) {
+      return evaluator_->evaluate(*profile_, mapping, *snapshot_, options_);
+    }
+    const Prediction pred =
+        evaluator_->predict(*profile_, mapping, *snapshot_, options_);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < pred.compute.size(); ++i) {
+      mean += pred.compute[i] + pred.comm[i];
+    }
+    mean /= static_cast<double>(pred.compute.size());
+    return pred.time + guidance_ * mean;
   }
-  const Prediction pred =
-      evaluator_->predict(*profile_, mapping, *snapshot_, options_);
-  double mean = 0.0;
-  for (std::size_t i = 0; i < pred.compute.size(); ++i) {
-    mean += pred.compute[i] + pred.comm[i];
+  // Compiled-only construction: one flattened sweep.
+  if (guidance_ == 0.0) return compiled_->evaluate(mapping);
+  double sum = 0.0;
+  const Seconds time = compiled_->evaluate(mapping, &sum);
+  const double mean = sum / static_cast<double>(compiled_->nranks());
+  return time + guidance_ * mean;
+}
+
+std::unique_ptr<CostFunction::Session> CbesCost::session(
+    const Mapping& initial) const {
+  if (engine_ == EvalEngine::kFull) return nullptr;
+  return std::make_unique<IncrementalSession>(*this, initial);
+}
+
+// ---------------------------------------------------------------------------
+// BatchCost
+
+/// One EvalState per phase; every move is mirrored into each, and the cost
+/// sums per-phase S_M in phase order (bit-identical to the summed full
+/// sweeps of operator()).
+class BatchCost::BatchSession final : public CostFunction::Session {
+ public:
+  BatchSession(const BatchCost& parent, const Mapping& initial)
+      : parent_(&parent) {
+    states_.reserve(parent.phases_.size());
+    for (const auto& phase : parent.phases_) {
+      states_.emplace_back(*phase);
+      states_.back().reset(initial);
+    }
   }
-  mean /= static_cast<double>(pred.compute.size());
-  return pred.time + guidance_ * mean;
+
+  double cost() override {
+    ++parent_->evaluations_;
+    Seconds total = 0.0;
+    for (const EvalState& state : states_) total += state.s();
+    return total;
+  }
+  void apply(RankId rank, NodeId node) override {
+    for (EvalState& state : states_) state.apply(rank, node);
+  }
+  void undo(std::size_t moves) override {
+    for (; moves > 0; --moves) {
+      for (EvalState& state : states_) state.undo();
+    }
+  }
+  void commit() override {
+    for (EvalState& state : states_) state.commit();
+  }
+  void reset(const Mapping& mapping) override {
+    for (EvalState& state : states_) state.reset(mapping);
+  }
+
+ private:
+  const BatchCost* parent_;
+  std::vector<EvalState> states_;
+};
+
+BatchCost::BatchCost(std::vector<std::shared_ptr<const CompiledProfile>> phases)
+    : phases_(std::move(phases)) {
+  for (const auto& phase : phases_) {
+    CBES_CHECK_MSG(phase != nullptr, "null compiled phase profile");
+  }
+}
+
+double BatchCost::operator()(const Mapping& mapping) const {
+  ++evaluations_;
+  Seconds total = 0.0;
+  for (const auto& phase : phases_) total += phase->evaluate(mapping);
+  return total;
+}
+
+std::unique_ptr<CostFunction::Session> BatchCost::session(
+    const Mapping& initial) const {
+  return std::make_unique<BatchSession>(*this, initial);
 }
 
 EvalOptions ncs_options() noexcept {

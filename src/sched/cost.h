@@ -2,10 +2,23 @@
 // (equation 4) is the default energy function; dropping its communication term
 // yields the paper's NCS comparison scheduler, whose score "cannot predict
 // execution times" but still ranks mappings by compute speed and load.
+//
+// Two evaluation engines back CbesCost:
+//   * kFull — every call re-evaluates through MappingEvaluator (the legacy
+//     path, kept for A/B comparison and as the reference the property tests
+//     pin the compiled engine against);
+//   * kIncremental — evaluation runs over a CompiledProfile, and schedulers
+//     that mutate a working mapping move-by-move drive a Session, which
+//     recomputes only the terms a move touches (core/compiled_profile.h).
+// The engines are bit-identical by construction, so selecting one is purely a
+// throughput choice: a fixed-seed anneal returns the same mapping either way.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
+#include "core/compiled_profile.h"
 #include "core/evaluator.h"
 #include "monitor/snapshot.h"
 #include "profile/app_profile.h"
@@ -13,12 +26,43 @@
 
 namespace cbes {
 
+/// Selects CbesCost's evaluation engine.
+enum class EvalEngine : unsigned char { kFull, kIncremental };
+
 /// Scalar objective over mappings (lower is better). Implementations must be
 /// cheap: the SA scheduler calls this tens of thousands of times.
 class CostFunction {
  public:
+  /// Move-by-move evaluation over a working mapping. A session holds its own
+  /// copy of the assignment: callers mirror every reassignment through
+  /// apply()/undo() and read cost() instead of calling operator() — each
+  /// cost() counts one evaluation, like one operator() call. Single-threaded.
+  class Session {
+   public:
+    virtual ~Session() = default;
+    /// Cost of the working mapping.
+    [[nodiscard]] virtual double cost() = 0;
+    /// Reassigns one rank (half an SA swap; a relocation is one call).
+    virtual void apply(RankId rank, NodeId node) = 0;
+    /// Reverts the last `moves` apply() calls, newest first.
+    virtual void undo(std::size_t moves) = 0;
+    /// Declares every applied move permanent, releasing its undo history.
+    virtual void commit() = 0;
+    /// Reinitializes the working mapping (restart / next GA individual).
+    virtual void reset(const Mapping& mapping) = 0;
+  };
+
   virtual ~CostFunction() = default;
   [[nodiscard]] virtual double operator()(const Mapping& mapping) const = 0;
+  /// Opens a move-by-move session starting from `initial`, or nullptr when
+  /// this cost has no incremental path (schedulers then fall back to
+  /// operator() per candidate). A session's cost() calls share the
+  /// evaluations() counter with operator().
+  [[nodiscard]] virtual std::unique_ptr<Session> session(
+      const Mapping& initial) const {
+    (void)initial;
+    return nullptr;
+  }
   /// True when the score is an execution-time prediction in seconds
   /// (CS yes, NCS no — paper §6).
   [[nodiscard]] virtual bool predicts_time() const noexcept { return true; }
@@ -42,24 +86,59 @@ class CbesCost final : public CostFunction {
   /// plateaus. A small mean term (default 0.1% of the energy scale) gives
   /// those plateaus a slope without disturbing the ranking of mappings whose
   /// S_M actually differ. Set 0 for the strict paper formulation.
+  /// `engine` selects the evaluation path; results are identical, and
+  /// kIncremental compiles the profile lazily on first use.
   CbesCost(const MappingEvaluator& evaluator, const AppProfile& profile,
            const LoadSnapshot& snapshot, EvalOptions options = {},
-           double guidance = 1e-3);
+           double guidance = 1e-3, EvalEngine engine = EvalEngine::kIncremental);
+
+  /// Over a pre-compiled profile (server workers sharing one artifact across
+  /// jobs of the same snapshot epoch). Always incremental-engined.
+  explicit CbesCost(std::shared_ptr<const CompiledProfile> compiled,
+                    double guidance = 1e-3);
 
   [[nodiscard]] double operator()(const Mapping& mapping) const override;
+  [[nodiscard]] std::unique_ptr<Session> session(
+      const Mapping& initial) const override;
   [[nodiscard]] bool predicts_time() const noexcept override {
     return options_.comm_term;
   }
   [[nodiscard]] const EvalOptions& options() const noexcept {
     return options_;
   }
+  [[nodiscard]] EvalEngine engine() const noexcept { return engine_; }
 
  private:
-  const MappingEvaluator* evaluator_;
-  const AppProfile* profile_;
-  const LoadSnapshot* snapshot_;
+  class IncrementalSession;
+
+  /// The compiled artifact, building it on first demand (kIncremental only).
+  [[nodiscard]] const std::shared_ptr<const CompiledProfile>& compiled() const;
+
+  const MappingEvaluator* evaluator_ = nullptr;
+  const AppProfile* profile_ = nullptr;
+  const LoadSnapshot* snapshot_ = nullptr;
   EvalOptions options_;
   double guidance_;
+  EvalEngine engine_;
+  mutable std::shared_ptr<const CompiledProfile> compiled_;
+};
+
+/// Sum of S_M over several compiled profiles — the phased runner's
+/// remaining-time objective (one addend per remaining phase, summed in phase
+/// order so the total matches a sequence of per-phase evaluations
+/// bit-for-bit). Sessions drive one EvalState per phase.
+class BatchCost final : public CostFunction {
+ public:
+  explicit BatchCost(std::vector<std::shared_ptr<const CompiledProfile>> phases);
+
+  [[nodiscard]] double operator()(const Mapping& mapping) const override;
+  [[nodiscard]] std::unique_ptr<Session> session(
+      const Mapping& initial) const override;
+
+ private:
+  class BatchSession;
+
+  std::vector<std::shared_ptr<const CompiledProfile>> phases_;
 };
 
 /// NCS convenience: CbesCost with the communication term disabled.

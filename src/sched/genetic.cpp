@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -90,10 +91,25 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
   // Cooperative cancellation: polled once per cost evaluation, like the
   // annealer, so a request broker's deadline stops the search promptly.
   bool cancelled = false;
+  // GA individuals are whole fresh mappings, so the incremental engine's
+  // delta path never applies; a session still pays off because its reset()
+  // is the compiled engine's flattened full sweep (bit-identical to the
+  // legacy evaluator, just faster).
+  std::unique_ptr<CostFunction::Session> session;
+  bool session_probed = false;
+  const auto evaluate = [&](const Mapping& m) {
+    if (!session_probed) {
+      session_probed = true;
+      session = cost.session(m);
+    } else if (session != nullptr) {
+      session->reset(m);
+    }
+    return session != nullptr ? session->cost() : cost(m);
+  };
   for (std::size_t i = 0; i < params_.population; ++i) {
     Individual ind;
     ind.mapping = pool.random_mapping(nranks, rng);
-    ind.cost = cost(ind.mapping);
+    ind.cost = evaluate(ind.mapping);
     ++evaluations;
     population.push_back(std::move(ind));
     if (stop_requested()) {
@@ -133,7 +149,7 @@ ScheduleResult GeneticScheduler::schedule(std::size_t nranks,
       child.mapping = crossover(tournament_pick().mapping,
                                 tournament_pick().mapping, pool, rng);
       mutate(child.mapping, pool, params_.mutation_rate, rng);
-      child.cost = cost(child.mapping);
+      child.cost = evaluate(child.mapping);
       ++evaluations;
       next.push_back(std::move(child));
     }

@@ -1,8 +1,7 @@
 #include "sched/phased.h"
 
-#include <span>
-
 #include "common/check.h"
+#include "core/compiled_profile.h"
 #include "profile/profiler.h"
 #include "sched/cost.h"
 
@@ -10,29 +9,14 @@ namespace cbes {
 
 namespace {
 
-/// Sum of predicted times of the remaining phases — the between-phase
-/// search's objective.
-class RemainingCost final : public CostFunction {
- public:
-  RemainingCost(const MappingEvaluator& evaluator,
-                std::span<const AppProfile> remaining,
-                const LoadSnapshot& snapshot)
-      : evaluator_(&evaluator), remaining_(remaining), snapshot_(&snapshot) {}
-
-  double operator()(const Mapping& mapping) const override {
-    ++evaluations_;
-    Seconds total = 0.0;
-    for (const AppProfile& profile : remaining_) {
-      total += evaluator_->evaluate(profile, mapping, *snapshot_);
-    }
-    return total;
-  }
-
- private:
-  const MappingEvaluator* evaluator_;
-  std::span<const AppProfile> remaining_;
-  const LoadSnapshot* snapshot_;
-};
+/// Per-phase predictions over pre-compiled artifacts, into a reused buffer.
+void predict_into(
+    const std::vector<std::shared_ptr<const CompiledProfile>>& compiled,
+    const Mapping& mapping, std::vector<Seconds>& out) {
+  out.clear();
+  out.reserve(compiled.size());
+  for (const auto& phase : compiled) out.push_back(phase->evaluate(mapping));
+}
 
 }  // namespace
 
@@ -54,15 +38,33 @@ void PhasedRunner::prepare(const Program& program,
   }
 }
 
+std::vector<std::shared_ptr<const CompiledProfile>>
+PhasedRunner::compile_remaining(std::size_t first_phase,
+                                const LoadSnapshot& snapshot) const {
+  CBES_CHECK_MSG(first_phase <= profiles_.size(), "phase index out of range");
+  std::vector<std::shared_ptr<const CompiledProfile>> compiled;
+  compiled.reserve(profiles_.size() - first_phase);
+  for (std::size_t s = first_phase; s < profiles_.size(); ++s) {
+    compiled.push_back(service_->evaluator().compile(profiles_[s], snapshot));
+  }
+  return compiled;
+}
+
 Seconds PhasedRunner::predict_remaining(std::size_t first_phase,
                                         const Mapping& mapping,
                                         const LoadSnapshot& snapshot) const {
-  CBES_CHECK_MSG(first_phase <= profiles_.size(), "phase index out of range");
   Seconds total = 0.0;
-  for (std::size_t s = first_phase; s < profiles_.size(); ++s) {
-    total += service_->evaluator().evaluate(profiles_[s], mapping, snapshot);
+  for (const auto& phase : compile_remaining(first_phase, snapshot)) {
+    total += phase->evaluate(mapping);
   }
   return total;
+}
+
+void PhasedRunner::predict_phases(std::size_t first_phase,
+                                  const Mapping& mapping,
+                                  const LoadSnapshot& snapshot,
+                                  std::vector<Seconds>& out) const {
+  predict_into(compile_remaining(first_phase, snapshot), mapping, out);
 }
 
 PhasedRunReport PhasedRunner::run(const Mapping& initial,
@@ -77,16 +79,9 @@ PhasedRunReport PhasedRunner::run(const Mapping& initial,
 
   // Per-phase predictions for the starting mapping feed the application
   // monitor (drift-triggered policy).
-  auto predict_phases = [&](const Mapping& m, std::size_t first) {
-    const LoadSnapshot snapshot = service_->monitor().snapshot(now);
-    std::vector<Seconds> predicted;
-    for (std::size_t k = first; k < profiles_.size(); ++k) {
-      predicted.push_back(
-          service_->evaluator().evaluate(profiles_[k], m, snapshot));
-    }
-    return predicted;
-  };
-  AppMonitor drift(predict_phases(current, 0), options_.monitor);
+  predict_phases(0, current, service_->monitor().snapshot(now),
+                 phase_predictions_);
+  AppMonitor drift(phase_predictions_, options_.monitor);
 
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     PhaseRecord record;
@@ -96,26 +91,30 @@ PhasedRunReport PhasedRunner::run(const Mapping& initial,
         options_.adaptive && s > 0 &&
         (options_.policy == RemapPolicy::kEveryBoundary ||
          drift.state() == RemapTrigger::kExternal);
+    // One snapshot per boundary serves the live-slot probe, the search
+    // objective, the stay cost, and the monitor rebase: the monitor publishes
+    // per sensor tick, so re-taking it within a boundary only costs copies.
+    LoadSnapshot snapshot;
     // Dead nodes are not remap candidates; when too few live slots remain to
     // host the application, stay on the current mapping rather than search an
     // infeasible pool.
     std::size_t live_slots = 0;
     if (consult) {
-      const LoadSnapshot probe = service_->monitor().snapshot(now);
+      snapshot = service_->monitor().snapshot(now);
       for (NodeId node : pool_.nodes()) {
-        if (probe.alive(node)) {
+        if (snapshot.alive(node)) {
           live_slots += static_cast<std::size_t>(pool_.slots_of(node));
         }
       }
     }
     if (consult && live_slots >= current.nranks()) {
       // Consult the monitor and search for a better mapping for the rest of
-      // the run.
-      const LoadSnapshot snapshot = service_->monitor().snapshot(now);
+      // the run. The remaining phases are compiled once against the boundary
+      // snapshot and shared by the search, the stay cost, and the rebase
+      // predictions.
       const NodePool search_pool = pool_.alive_only(snapshot);
-      const RemainingCost cost(
-          service_->evaluator(),
-          std::span<const AppProfile>(profiles_).subspan(s), snapshot);
+      const auto compiled = compile_remaining(s, snapshot);
+      const BatchCost cost(compiled);
       SaParams params = options_.sa;
       params.seed = derive_seed(options_.sa.seed, s);
       SimulatedAnnealingScheduler scheduler(params);
@@ -133,11 +132,13 @@ PhasedRunReport PhasedRunner::run(const Mapping& initial,
         now += migration;
         ++report.remaps;
         report.total_migration += migration;
-        drift.rebase(predict_phases(current, s));
+        predict_into(compiled, current, phase_predictions_);
+        drift.rebase(phase_predictions_);
       } else if (drift.state() == RemapTrigger::kExternal) {
         // Nothing better exists under current conditions: re-arm against the
         // refreshed predictions so the monitor doesn't fire every boundary.
-        drift.rebase(predict_phases(current, s));
+        predict_into(compiled, current, phase_predictions_);
+        drift.rebase(phase_predictions_);
       }
     }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "apps/program.h"
@@ -90,17 +91,34 @@ class PhasedRunner {
     return segments_.size();
   }
   /// Predicted time of the phases in [first_phase, end) under `mapping`,
-  /// given `snapshot` — the objective of the between-phase search.
+  /// given `snapshot` — the objective of the between-phase search. Batch
+  /// evaluation over compiled phase profiles (core/compiled_profile.h);
+  /// bit-identical to summing per-phase evaluator calls.
   [[nodiscard]] Seconds predict_remaining(std::size_t first_phase,
                                           const Mapping& mapping,
                                           const LoadSnapshot& snapshot) const;
+  /// Per-phase predictions for phases [first_phase, end) under `mapping` and
+  /// `snapshot`, written into `out` (cleared first) so callers can reuse one
+  /// buffer across boundaries.
+  void predict_phases(std::size_t first_phase, const Mapping& mapping,
+                      const LoadSnapshot& snapshot,
+                      std::vector<Seconds>& out) const;
 
  private:
+  /// One compiled artifact per remaining phase, bound to `snapshot` — shared
+  /// by everything a boundary consults (search objective, stay cost, monitor
+  /// rebase).
+  [[nodiscard]] std::vector<std::shared_ptr<const CompiledProfile>>
+  compile_remaining(std::size_t first_phase,
+                    const LoadSnapshot& snapshot) const;
+
   CbesService* service_;
   NodePool pool_;
   PhasedOptions options_;
   std::vector<Program> segments_;
   std::vector<AppProfile> profiles_;
+  /// Boundary scratch for predict_phases results fed to the app monitor.
+  std::vector<Seconds> phase_predictions_;
 };
 
 }  // namespace cbes

@@ -175,4 +175,82 @@ std::uint64_t EvalCache::evictions() const {
   return evictions_;
 }
 
+// ---------------------------------------------------------------------------
+// CompiledProfileCache
+
+CompiledProfileCache::CompiledProfileCache(std::size_t capacity)
+    : capacity_(capacity) {
+  CBES_CHECK_MSG(capacity_ >= 1, "cache capacity must be at least 1");
+}
+
+void CompiledProfileCache::set_metrics(obs::MetricsRegistry* registry) {
+  const std::lock_guard lock(mu_);
+  if (registry == nullptr) {
+    hits_metric_ = nullptr;
+    misses_metric_ = nullptr;
+    return;
+  }
+  hits_metric_ = &registry->counter(
+      "cbes_server_compiled_cache_hits_total",
+      "Jobs that reused a cached CompiledProfile artifact");
+  misses_metric_ = &registry->counter(
+      "cbes_server_compiled_cache_misses_total",
+      "Jobs that had to flatten a profile (cold or retired epoch)");
+}
+
+std::shared_ptr<const CompiledProfile> CompiledProfileCache::get_or_build(
+    std::size_t profile_hash, std::uint64_t epoch, bool degraded,
+    const std::function<std::shared_ptr<const CompiledProfile>()>& build) {
+  const Key key{profile_hash, epoch, degraded};
+  {
+    const std::lock_guard lock(mu_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+      ++hits_;
+      if (hits_metric_ != nullptr) hits_metric_->inc();
+      lru_.splice(lru_.begin(), lru_, found->second);  // touch
+      return lru_.front().artifact;
+    }
+  }
+  std::shared_ptr<const CompiledProfile> artifact = build();
+  const std::lock_guard lock(mu_);
+  ++misses_;
+  if (misses_metric_ != nullptr) misses_metric_->inc();
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    // A concurrent worker built the same artifact first; adopt its copy so
+    // every job of the epoch shares one allocation.
+    lru_.splice(lru_.begin(), lru_, found->second);
+    return lru_.front().artifact;
+  }
+  lru_.push_front(Entry{key, std::move(artifact)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(std::prev(lru_.end())->key);
+    lru_.pop_back();
+  }
+  return lru_.front().artifact;
+}
+
+void CompiledProfileCache::clear() {
+  const std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t CompiledProfileCache::size() const {
+  const std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t CompiledProfileCache::hits() const {
+  const std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t CompiledProfileCache::misses() const {
+  const std::lock_guard lock(mu_);
+  return misses_;
+}
+
 }  // namespace cbes::server

@@ -14,7 +14,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -105,6 +107,65 @@ class EvalCache {
   obs::Counter* invalidations_metric_ = nullptr;
   obs::Counter* evictions_metric_ = nullptr;
   obs::Gauge* entries_metric_ = nullptr;
+};
+
+/// LRU cache of compiled evaluation artifacts (core/compiled_profile.h):
+/// schedule and remap jobs hitting the same application under the same
+/// snapshot epoch share one flattened CompiledProfile instead of each worker
+/// re-flattening per job. Keyed by (AppProfile::hash(), snapshot epoch,
+/// degraded flag) — the degraded no-load substitute *shares* the real
+/// snapshot's epoch, so the flag must disambiguate. Epoch bumps (every sensor
+/// tick) naturally retire stale artifacts through LRU pressure.
+class CompiledProfileCache {
+ public:
+  explicit CompiledProfileCache(std::size_t capacity = 32);
+
+  /// The cached artifact for the key, or the result of `build()` after a
+  /// miss. `build` runs outside the lock (compiling is the expensive part);
+  /// when two workers race on the same key, the first insertion wins and the
+  /// loser adopts it.
+  [[nodiscard]] std::shared_ptr<const CompiledProfile> get_or_build(
+      std::size_t profile_hash, std::uint64_t epoch, bool degraded,
+      const std::function<std::shared_ptr<const CompiledProfile>()>& build);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+  /// Wires hit/miss counters into `registry` (nullptr disables; the
+  /// default). Must outlive the cache.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Key {
+    std::size_t profile_hash = 0;
+    std::uint64_t epoch = 0;
+    bool degraded = false;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::size_t h = key.profile_hash;
+      h ^= static_cast<std::size_t>(key.epoch) + 0x9E3779B97F4A7C15ULL +
+           (h << 6) + (h >> 2);
+      return key.degraded ? ~h : h;
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const CompiledProfile> artifact;
+  };
+  using Lru = std::list<Entry>;
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<Key, Lru::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
 };
 
 }  // namespace cbes::server

@@ -55,6 +55,7 @@ CbesServer::CbesServer(CbesService& service, ServerConfig config)
     obs::MetricsRegistry& reg = *config_.metrics;
     queue_.set_metrics(&reg);
     cache_.set_metrics(&reg);
+    compiled_cache_.set_metrics(&reg);
     reg.gauge("cbes_server_workers", "Executor threads serving jobs")
         .set(static_cast<double>(config_.workers));
     jobs_done_ =
@@ -322,6 +323,13 @@ LoadSnapshot CbesServer::snapshot_for(Seconds now, bool& degraded) {
   return idle;
 }
 
+std::shared_ptr<const CompiledProfile> CbesServer::compiled_for(
+    const AppProfile& profile, const LoadSnapshot& snapshot, bool degraded) {
+  return compiled_cache_.get_or_build(
+      profile.hash(), snapshot.epoch, degraded,
+      [&] { return service_->evaluator().compile(profile, snapshot); });
+}
+
 Prediction CbesServer::cached_predict(const std::string& app,
                                       const Mapping& mapping,
                                       const LoadSnapshot& snapshot,
@@ -434,7 +442,7 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
                     " ranks";
     return;
   }
-  const CbesCost cost(service_->evaluator(), profile, snapshot);
+  const CbesCost cost(compiled_for(profile, snapshot, result.degraded));
   const JobStopToken token(job);
 
   ScheduleResult search;
@@ -496,7 +504,9 @@ void CbesServer::run_remap(Job& job, JobResult& result) {
     return;
   }
 
-  const CbesCost cost(service_->evaluator(), profile, snapshot);
+  const std::shared_ptr<const CompiledProfile> compiled =
+      compiled_for(profile, snapshot, result.degraded);
+  const CbesCost cost(compiled);
   const JobStopToken token(job);
   SaParams params = request.sa;
   params.seed = request.seed;
@@ -511,9 +521,11 @@ void CbesServer::run_remap(Job& job, JobResult& result) {
   }
 
   result.remap_candidate = search.mapping;
-  result.remap = evaluate_remap(service_->evaluator(), profile,
-                                request.current, result.remap_candidate,
-                                request.progress, snapshot, request.cost);
+  // The decision round reuses the search's compiled artifact: the stay cost
+  // is evaluated once and the candidate priced against it.
+  const RemapRound round(service_->evaluator(), compiled, request.current,
+                         request.progress, request.cost);
+  result.remap = round.consider(result.remap_candidate);
 }
 
 }  // namespace cbes::server

@@ -106,6 +106,9 @@ class CbesServer {
   }
   [[nodiscard]] EvalCache& cache() noexcept { return cache_; }
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const CompiledProfileCache& compiled_cache() const noexcept {
+    return compiled_cache_;
+  }
   [[nodiscard]] CbesService& service() noexcept { return *service_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
@@ -124,6 +127,12 @@ class CbesServer {
   void run_compare(Job& job, JobResult& result);
   void run_schedule(Job& job, JobResult& result);
   void run_remap(Job& job, JobResult& result);
+
+  /// The shared CompiledProfile for `profile` under `snapshot`, from the
+  /// compiled-artifact cache (keyed by profile hash, snapshot epoch, and the
+  /// degraded flag — see CompiledProfileCache).
+  [[nodiscard]] std::shared_ptr<const CompiledProfile> compiled_for(
+      const AppProfile& profile, const LoadSnapshot& snapshot, bool degraded);
 
   /// The availability picture for a request at simulated time `now`; flips
   /// `degraded` and substitutes the no-load picture when the monitor is
@@ -144,6 +153,8 @@ class CbesServer {
   ServerConfig config_;
   RequestQueue queue_;
   EvalCache cache_;
+  /// Compiled artifacts shared across workers and jobs of one snapshot epoch.
+  CompiledProfileCache compiled_cache_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};

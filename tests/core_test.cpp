@@ -368,5 +368,53 @@ TEST(Remap, RejectsBadProgress) {
   EXPECT_THROW((void)evaluate_remap(ev, prof, m, m, -0.1, idle), ContractError);
 }
 
+TEST(Remap, RoundMatchesOneShotAcrossCandidates) {
+  // A round prices the stay cost once; every consider() must agree exactly
+  // with the one-shot evaluate_remap for the same candidate.
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  AppProfile prof = tiny_profile();
+  prof.procs[0].x = 500.0;
+  LoadSnapshot snap = LoadSnapshot::idle(4);
+  snap.cpu_avail[0] = 0.4;
+  const Mapping current = identity_mapping(2);
+
+  const RemapRound round(ev, prof, current, 0.25, snap);
+  EXPECT_DOUBLE_EQ(round.remaining_current(),
+                   0.75 * ev.evaluate(prof, current, snap));
+  for (const Mapping& candidate :
+       {Mapping({NodeId{2}, NodeId{1}}), Mapping({NodeId{2}, NodeId{3}}),
+        Mapping({NodeId{1}, NodeId{0}}), current}) {
+    const RemapDecision via_round = round.consider(candidate);
+    const RemapDecision one_shot =
+        evaluate_remap(ev, prof, current, candidate, 0.25, snap);
+    EXPECT_EQ(via_round.beneficial, one_shot.beneficial);
+    EXPECT_EQ(via_round.moved_ranks, one_shot.moved_ranks);
+    EXPECT_EQ(via_round.remaining_current, one_shot.remaining_current);
+    EXPECT_EQ(via_round.remaining_candidate, one_shot.remaining_candidate);
+    EXPECT_EQ(via_round.migration_cost, one_shot.migration_cost);
+  }
+}
+
+TEST(Remap, RoundAcceptsPrecompiledArtifact) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const MappingEvaluator ev(model);
+  const AppProfile prof = tiny_profile();
+  const LoadSnapshot idle = LoadSnapshot::idle(4);
+  const Mapping current = identity_mapping(2);
+  const Mapping candidate({NodeId{2}, NodeId{3}});
+
+  const RemapRound round(ev, ev.compile(prof, idle), current, 0.5);
+  const RemapDecision d = round.consider(candidate);
+  const RemapDecision reference =
+      evaluate_remap(ev, prof, current, candidate, 0.5, idle);
+  EXPECT_EQ(d.remaining_current, reference.remaining_current);
+  EXPECT_EQ(d.remaining_candidate, reference.remaining_candidate);
+  EXPECT_EQ(d.migration_cost, reference.migration_cost);
+  EXPECT_EQ(d.beneficial, reference.beneficial);
+}
+
 }  // namespace
 }  // namespace cbes

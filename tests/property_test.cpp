@@ -7,10 +7,12 @@
 #include "apps/registry.h"
 #include "apps/synthetic.h"
 #include "common/check.h"
+#include "core/compiled_profile.h"
 #include "core/evaluator.h"
 #include "netmodel/calibrate.h"
 #include "profile/profiler.h"
 #include "sched/annealing.h"
+#include "sched/cost.h"
 #include "sched/pool.h"
 #include "simmpi/simulator.h"
 #include "simnet/load.h"
@@ -292,6 +294,203 @@ TEST_P(SegmentCounts, PhasedExecutionConservesWork) {
 
 INSTANTIATE_TEST_SUITE_P(Counts, SegmentCounts,
                          ::testing::Values(1, 2, 3, 4, 6, 12));
+
+// ------------------------------------------- compiled-engine identity ------
+//
+// The compiled incremental engine (core/compiled_profile.h) promises BIT
+// identity with the legacy evaluator: same doubles, not merely close ones.
+// These sweeps drive randomized move/undo/commit sequences over randomized
+// profiles and snapshots — including dead, suspect, and back-filled nodes —
+// across every EvalOptions ablation, comparing exactly at every step.
+
+/// Hand-built randomized profile: mixed work, lambda factors, and up to four
+/// message groups per direction per rank (never to self).
+AppProfile random_profile(std::size_t nranks, Rng& rng) {
+  AppProfile prof;
+  prof.app_name = "delta-prop";
+  prof.procs.resize(nranks);
+  for (std::size_t i = 0; i < nranks; ++i) {
+    auto& p = prof.procs[i];
+    p.x = rng.uniform(1.0, 50.0);
+    p.o = rng.uniform(0.0, 5.0);
+    p.b = rng.uniform(0.0, 10.0);
+    p.lambda = rng.uniform(0.5, 2.0);
+    p.profiled_arch = Arch::kAlpha533;
+    for (std::size_t g = rng.index(5); g > 0; --g) {
+      std::size_t peer = rng.index(nranks);
+      if (peer == i) peer = (peer + 1) % nranks;
+      const MessageGroup mg{RankId{peer}, 256 * (1 + rng.index(64)),
+                            1 + rng.index(200)};
+      if (rng.chance(0.5)) {
+        p.recv_groups.push_back(mg);
+      } else {
+        p.send_groups.push_back(mg);
+      }
+    }
+  }
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+/// Randomized availability picture; with_health additionally deals dead and
+/// suspect verdicts and back-fills some nodes to idle estimates.
+LoadSnapshot random_snapshot(std::size_t nnodes, Rng& rng, bool with_health) {
+  LoadSnapshot snap = LoadSnapshot::idle(nnodes);
+  for (std::size_t n = 0; n < nnodes; ++n) {
+    snap.cpu_avail[n] = rng.uniform(0.2, 1.0);
+    snap.nic_util[n] = rng.uniform(0.0, 0.7);
+  }
+  if (with_health) {
+    snap.health.assign(nnodes, NodeHealth::kHealthy);
+    snap.backfilled.assign(nnodes, 0);
+    for (std::size_t n = 0; n < nnodes; ++n) {
+      const double u = rng.uniform();
+      if (u < 0.1) {
+        snap.health[n] = NodeHealth::kDead;
+      } else if (u < 0.2) {
+        snap.health[n] = NodeHealth::kSuspect;
+      }
+      if (rng.chance(0.15)) {
+        snap.backfilled[n] = 1;
+        snap.cpu_avail[n] = 1.0;
+        snap.nic_util[n] = 0.0;
+      }
+    }
+  }
+  return snap;
+}
+
+Mapping random_any_node_mapping(std::size_t nranks, std::size_t nnodes,
+                                Rng& rng) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(nranks);
+  for (std::size_t i = 0; i < nranks; ++i) nodes.emplace_back(rng.index(nnodes));
+  return Mapping(std::move(nodes));
+}
+
+class DeltaEval : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaEval, BitIdenticalToFullEvalOverMoveUndoSequences) {
+  World& w = world();
+  Rng rng(0xD017 + 997 * static_cast<std::uint64_t>(GetParam()));
+  const std::size_t nranks = 2 + rng.index(11);
+  const std::size_t nnodes = w.topo.node_count();
+  const AppProfile prof = random_profile(nranks, rng);
+  const LoadSnapshot snap =
+      random_snapshot(nnodes, rng, /*with_health=*/GetParam() % 2 == 0);
+  const MappingEvaluator ev(w.model);
+
+  for (int mask = 0; mask < 8; ++mask) {
+    EvalOptions options;
+    options.lambda_correction = (mask & 1) != 0;
+    options.load_term = (mask & 2) != 0;
+    options.comm_term = (mask & 4) != 0;
+    const auto compiled = ev.compile(prof, snap, options);
+    EvalState state(*compiled);
+
+    Mapping mirror = random_any_node_mapping(nranks, nnodes, rng);
+    state.reset(mirror);
+    EXPECT_EQ(state.s(), ev.evaluate(prof, mirror, snap, options));
+
+    // Unclosed moves (rank, previous node) since the last commit.
+    std::vector<std::pair<RankId, NodeId>> open;
+    for (std::size_t step = 0; step < 60; ++step) {
+      const double u = rng.uniform();
+      if (u < 0.55 || open.empty()) {
+        const RankId rank{rng.index(nranks)};
+        const NodeId node{rng.index(nnodes)};
+        open.emplace_back(rank, mirror.node_of(rank));
+        mirror.reassign(rank, node);
+        state.apply(rank, node);
+      } else if (u < 0.85) {
+        const auto [rank, prev] = open.back();
+        open.pop_back();
+        mirror.reassign(rank, prev);
+        state.undo();
+      } else {
+        open.clear();
+        state.commit();
+      }
+      const Seconds full = ev.evaluate(prof, mirror, snap, options);
+      EXPECT_EQ(state.s(), full)
+          << "ablation mask " << mask << ", step " << step;
+      EXPECT_EQ(compiled->evaluate(mirror), full)
+          << "compiled sweep diverged, ablation mask " << mask;
+    }
+  }
+}
+
+TEST_P(DeltaEval, SessionCostMatchesLegacyEngineIncludingGuidance) {
+  World& w = world();
+  Rng rng(0xC057 + 131 * static_cast<std::uint64_t>(GetParam()));
+  const std::size_t nranks = 2 + rng.index(7);
+  const std::size_t nnodes = w.topo.node_count();
+  const AppProfile prof = random_profile(nranks, rng);
+  const LoadSnapshot snap = random_snapshot(nnodes, rng, /*with_health=*/true);
+  const MappingEvaluator ev(w.model);
+
+  for (const double guidance : {0.0, 1e-3}) {
+    const CbesCost full(ev, prof, snap, EvalOptions{}, guidance,
+                        EvalEngine::kFull);
+    const CbesCost incremental(ev, prof, snap, EvalOptions{}, guidance,
+                               EvalEngine::kIncremental);
+    Mapping m = random_any_node_mapping(nranks, nnodes, rng);
+    EXPECT_EQ(full.session(m), nullptr);
+    const auto session = incremental.session(m);
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->cost(), full(m));
+    // Both engines' per-mapping operator() agree too.
+    EXPECT_EQ(incremental(m), full(m));
+    for (std::size_t step = 0; step < 30; ++step) {
+      const RankId rank{rng.index(nranks)};
+      const NodeId node{rng.index(nnodes)};
+      m.reassign(rank, node);
+      session->apply(rank, node);
+      session->commit();
+      EXPECT_EQ(session->cost(), full(m)) << "guidance " << guidance
+                                          << ", step " << step;
+    }
+    session->reset(m);
+    EXPECT_EQ(session->cost(), full(m));
+  }
+}
+
+TEST_P(DeltaEval, BatchCostMatchesSummedFullEvaluations) {
+  World& w = world();
+  Rng rng(0xBA7C + 613 * static_cast<std::uint64_t>(GetParam()));
+  const std::size_t nranks = 2 + rng.index(7);
+  const std::size_t nnodes = w.topo.node_count();
+  const AppProfile first = random_profile(nranks, rng);
+  const AppProfile second = random_profile(nranks, rng);
+  const LoadSnapshot snap =
+      random_snapshot(nnodes, rng, /*with_health=*/GetParam() % 2 != 0);
+  const MappingEvaluator ev(w.model);
+
+  const BatchCost batch({ev.compile(first, snap), ev.compile(second, snap)});
+  Mapping m = random_any_node_mapping(nranks, nnodes, rng);
+  const auto session = batch.session(m);
+  ASSERT_NE(session, nullptr);
+  for (std::size_t step = 0; step < 25; ++step) {
+    const RankId rank{rng.index(nranks)};
+    const NodeId node{rng.index(nnodes)};
+    m.reassign(rank, node);
+    session->apply(rank, node);
+    if (rng.chance(0.3)) {
+      // Revert: the batch undoes every per-phase state in lockstep.
+      session->undo(1);
+      m.reassign(rank, node);  // re-apply to keep the mirror in sync
+      session->apply(rank, node);
+    }
+    session->commit();
+    const Seconds summed = ev.evaluate(first, m, snap) +
+                           ev.evaluate(second, m, snap);
+    EXPECT_EQ(session->cost(), summed) << "step " << step;
+    EXPECT_EQ(batch(m), summed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaEval, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace cbes

@@ -279,5 +279,95 @@ TEST(CbesCostFunctions, CsSeesLatencyNcsDoesNot) {
   EXPECT_EQ(cs.evaluations(), 2u);
 }
 
+// ------------------------------------------------------- engine parity -----
+//
+// The two CbesCost engines must be interchangeable: a fixed-seed search
+// returns the very same mapping and cost whether every move re-evaluates from
+// scratch (kFull) or rides the delta-evaluation session (kIncremental).
+
+/// Shared setup for the engine-parity tests: a mixed cluster and a profile
+/// with enough communication that the C terms matter.
+struct EngineParityWorld {
+  ClusterTopology topo = make_orange_grove();
+  LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  MappingEvaluator ev{model};
+  AppProfile prof = [] {
+    AppProfile p;
+    p.app_name = "parity";
+    p.procs.resize(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      auto& proc = p.procs[i];
+      proc.x = 10.0 + static_cast<double>(i);
+      proc.o = 1.0;
+      proc.lambda = 1.0 + 0.05 * static_cast<double>(i);
+      proc.profiled_arch = Arch::kAlpha533;
+      proc.recv_groups.push_back({RankId{(i + 7) % 8}, 4096, 200});
+      proc.send_groups.push_back({RankId{(i + 1) % 8}, 4096, 200});
+    }
+    for (Arch a : kAllArchs)
+      p.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+    return p;
+  }();
+  LoadSnapshot snap = [this] {
+    LoadSnapshot s = LoadSnapshot::idle(topo.node_count());
+    s.cpu_avail[1] = 0.6;  // some load so R terms differ across nodes
+    s.cpu_avail[9] = 0.4;
+    return s;
+  }();
+};
+
+TEST(EngineParity, SaReturnsIdenticalResultOnBothEngines) {
+  EngineParityWorld w;
+  const CbesCost full(w.ev, w.prof, w.snap, EvalOptions{}, 1e-3,
+                      EvalEngine::kFull);
+  const CbesCost incremental(w.ev, w.prof, w.snap, EvalOptions{}, 1e-3,
+                             EvalEngine::kIncremental);
+  const NodePool pool = NodePool::whole_cluster(w.topo);
+
+  SaParams params;
+  params.seed = 0x5EED;
+  const ScheduleResult a =
+      SimulatedAnnealingScheduler(params).schedule(8, pool, full);
+  const ScheduleResult b =
+      SimulatedAnnealingScheduler(params).schedule(8, pool, incremental);
+  EXPECT_EQ(a.mapping.assignment(), b.mapping.assignment());
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(EngineParity, GaReturnsIdenticalResultOnBothEngines) {
+  EngineParityWorld w;
+  const CbesCost full(w.ev, w.prof, w.snap, EvalOptions{}, 1e-3,
+                      EvalEngine::kFull);
+  const CbesCost incremental(w.ev, w.prof, w.snap, EvalOptions{}, 1e-3,
+                             EvalEngine::kIncremental);
+  const NodePool pool = NodePool::whole_cluster(w.topo);
+
+  GaParams params;
+  params.seed = 0x6EED;
+  params.generations = 12;
+  const ScheduleResult a = GeneticScheduler(params).schedule(8, pool, full);
+  const ScheduleResult b =
+      GeneticScheduler(params).schedule(8, pool, incremental);
+  EXPECT_EQ(a.mapping.assignment(), b.mapping.assignment());
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(EngineParity, SessionEvaluationCountMatchesOperatorCalls) {
+  // Schedulers count one evaluation per scored mapping on either engine;
+  // the session shares the parent cost's counter.
+  EngineParityWorld w;
+  const CbesCost cost(w.ev, w.prof, w.snap);
+  const Mapping m({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4},
+                   NodeId{5}, NodeId{6}, NodeId{7}});
+  const auto session = cost.session(m);
+  ASSERT_NE(session, nullptr);
+  (void)session->cost();
+  (void)cost(m);
+  (void)session->cost();
+  EXPECT_EQ(cost.evaluations(), 3u);
+}
+
 }  // namespace
 }  // namespace cbes
