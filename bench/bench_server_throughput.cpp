@@ -3,6 +3,13 @@
 // cbes_cli `serve` demo: concurrent synthetic clients submitting a mixed
 // stream of predict and compare requests against a small shared mapping set
 // (so the cache sees realistic repetition).
+//
+// A second experiment overloads a 2-worker broker with open-loop bursts at 1x
+// and 2x of a measured baseline, with brown-out shedding enabled: it records
+// the shed rate, the goodput (completed requests/sec), and the p50/p99
+// served latency — the numbers that show overload costing batch work its
+// freshness instead of costing everyone their latency.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -83,6 +90,119 @@ Throughput run_once(CbesService& svc, const Workload& load,
   return out;
 }
 
+struct OverloadResult {
+  double offered_rps = 0.0;
+  double goodput = 0.0;    ///< completed requests / sec
+  double shed_rate = 0.0;  ///< shed (cached-only miss or refused) / submitted
+  double p50_ms = 0.0;     ///< served latency (queue + run), completed jobs
+  double p99_ms = 0.0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+};
+
+double percentile_ms(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+/// Fresh-evaluation capacity of a 2-worker broker (req/s), measured with a
+/// closed-loop drain so the overload sweep's "1x" is host-calibrated.
+double measure_capacity(cbes::CbesService& svc, const Workload& load) {
+  server::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth = 1000;
+  cfg.enable_cache = false;
+  server::CbesServer srv(svc, cfg);
+  std::vector<server::JobHandle> handles;
+  handles.reserve(1000);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < 1000; ++i) {
+    server::PredictRequest req;
+    req.app = load.app;
+    req.mapping = load.mappings[i % load.mappings.size()];
+    handles.push_back(srv.submit(std::move(req)));
+  }
+  for (server::JobHandle& h : handles) (void)h.wait();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  srv.shutdown();
+  return 1000.0 / elapsed;
+}
+
+/// Paced open-loop arrivals at `rate` req/s for `duration` seconds
+/// (alternating normal/batch priority) against a 2-worker broker with
+/// brown-out shedding on and the cache off — every admitted request is fresh
+/// evaluation work, so the cached-only brown-out level genuinely sheds batch
+/// traffic instead of serving it from memoized answers.
+OverloadResult run_overload(cbes::CbesService& svc, const Workload& load,
+                            double rate, double duration) {
+  server::ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth =
+      static_cast<std::size_t>(rate * duration) + 16;  // never queue-reject
+  cfg.enable_cache = false;
+  cfg.enable_shedding = true;
+  cfg.shedder.target = 0.005;
+  cfg.shedder.interval = 0.010;
+  cfg.shedder.cool_down = 30.0;  // no de-escalation within one run
+  server::CbesServer srv(svc, cfg);
+
+  std::vector<server::JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(rate * duration) + 16);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t submitted = 0;
+  for (;;) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed >= duration) break;
+    const auto due = static_cast<std::size_t>(rate * elapsed);
+    while (submitted < due) {
+      server::PredictRequest req;
+      req.app = load.app;
+      req.mapping = load.mappings[submitted % load.mappings.size()];
+      server::SubmitOptions opt;
+      opt.priority = submitted % 2 == 0 ? server::Priority::kNormal
+                                        : server::Priority::kBatch;
+      handles.push_back(srv.submit(std::move(req), opt));
+      ++submitted;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  OverloadResult out;
+  out.submitted = submitted;
+  std::vector<double> latency_ms;
+  latency_ms.reserve(submitted);
+  for (server::JobHandle& h : handles) {
+    const server::JobResult r = h.wait();
+    if (r.state == server::JobState::kDone) {
+      ++out.completed;
+      latency_ms.push_back((r.queue_seconds + r.run_seconds) * 1e3);
+    } else if (r.state == server::JobState::kRejected ||
+               r.fail_reason == server::FailReason::kShed) {
+      ++out.shed;
+    }
+  }
+  const double drained =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  srv.shutdown();
+
+  out.offered_rps = static_cast<double>(submitted) / duration;
+  out.goodput = static_cast<double>(out.completed) / drained;
+  out.shed_rate =
+      static_cast<double>(out.shed) / static_cast<double>(submitted);
+  std::sort(latency_ms.begin(), latency_ms.end());
+  out.p50_ms = percentile_ms(latency_ms, 0.50);
+  out.p99_ms = percentile_ms(latency_ms, 0.99);
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -129,6 +249,35 @@ int main() {
     }
   }
   t.print(std::cout);
+
+  // Overload sweep: paced open-loop arrivals at 1x and 2x of this host's
+  // measured 2-worker capacity, shedding enabled. At 1x the broker keeps up
+  // and serves everything; at 2x the brown-out must shed batch traffic so
+  // goodput and normal-priority latency survive the overload.
+  const double capacity = measure_capacity(env.service(), load);
+  std::printf("\n=== Brown-out overload sweep: paced arrivals, 2 workers, "
+              "shedding on (capacity %.0f req/s) ===\n", capacity);
+  TextTable o({"load", "offered req/s", "goodput req/s", "shed rate", "p50 ms",
+               "p99 ms"});
+  for (const int factor : {1, 2}) {
+    const OverloadResult r =
+        run_overload(env.service(), load, capacity * factor, 0.25);
+    o.row()
+        .cell(std::to_string(factor) + "x")
+        .cell(r.offered_rps, 0)
+        .cell(r.goodput, 0)
+        .cell(format_percent(r.shed_rate))
+        .cell(r.p50_ms, 2)
+        .cell(r.p99_ms, 2);
+    const std::string tag = std::to_string(factor) + "x";
+    bench::record_metric("server_overload_goodput_" + tag, r.goodput,
+                         "req/s");
+    bench::record_metric("server_overload_shed_rate_" + tag,
+                         r.shed_rate * 100.0, "%");
+    bench::record_metric("server_overload_p50_" + tag, r.p50_ms, "ms");
+    bench::record_metric("server_overload_p99_" + tag, r.p99_ms, "ms");
+  }
+  o.print(std::cout);
   const std::string path = bench::write_bench_json("server_throughput");
   std::printf("wrote %s\n", path.c_str());
   return 0;

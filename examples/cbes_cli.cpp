@@ -11,19 +11,31 @@
 //   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
 //       [--eval-engine full|incremental]
 //   cbes_cli serve <cluster> <app> <ranks> [--workers N] [--clients M]
-//                  [--requests K] [--deadline-ms D]
+//                  [--requests K] [--deadline-ms D] [--shed-target-ms T]
+//                  [--watchdog-ms W] [--checkpoint file.ckpt]
 //   cbes_cli chaos <cluster> <app> <ranks> [--seed S] [--requests K]
-//                  [--horizon T]
+//                  [--horizon T] [--worker-stalls N] [--monitor-outages N]
+//                  [--slow-calibrations N]
 //
 // `serve` runs the CBES daemon in-process: a CbesServer broker over the
 // service, fed by M concurrent synthetic clients submitting K mixed
 // predict/compare/schedule requests each; prints per-state totals, cache
-// hits, and requests/sec.
+// hits, and requests/sec. Resilience flags:
+//   --shed-target-ms T   enable CoDel-style brown-out shedding with a queue
+//                        sojourn target of T ms (batch work is shed first)
+//   --watchdog-ms W      run the worker watchdog every W ms (kills jobs past
+//                        their deadline grace and replaces wedged workers)
+//   --checkpoint FILE    restore calibration + health + cache-warmup hints
+//                        from FILE when it exists (skipping calibration,
+//                        bit-identical predictions) and write a fresh
+//                        checkpoint there on exit
 //
 // `chaos` runs the same daemon under a seeded fault plan (crashes, flapping,
-// report loss): prints the plan, the health transitions the monitor infers,
-// and a request summary. Exits nonzero if any completed request placed ranks
-// on a node that was dead at its request time.
+// report loss — plus server-side worker stalls, monitor outages, and slow
+// calibration when requested): prints the plan, the health transitions the
+// monitor infers, and a request summary including last-known-good serves and
+// watchdog kills. Exits nonzero if any completed request placed ranks on a
+// node that was dead at its request time.
 //
 // Observability flags (accepted anywhere on the command line):
 //   --metrics-out <file>   write Prometheus-format metrics on exit
@@ -38,6 +50,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +63,9 @@
 #include "obs/observer.h"
 #include "obs/tracer.h"
 #include "profile/serialize.h"
+#include "resilience/breaker.h"
+#include "resilience/shedder.h"
+#include "server/checkpoint.h"
 #include "server/server.h"
 #include "topology/parser.h"
 #include "sched/annealing.h"
@@ -201,9 +217,9 @@ struct Session {
   }
 
   Session(const std::string& cluster_name, const std::string& app,
-          std::size_t ranks)
+          std::size_t ranks, CbesService::Config cfg = observed_config())
       : topo(make_cluster(cluster_name)),
-        svc(topo, idle, observed_config()),
+        svc(topo, idle, std::move(cfg)),
         program(find_app(app).make(ranks)) {
     std::fprintf(stderr, "[calibrated %zu path classes]\n",
                  svc.calibration_report().classes);
@@ -328,17 +344,44 @@ struct ServeOptions {
   std::size_t clients = 4;
   std::size_t requests = 32;  ///< per client
   std::size_t deadline_ms = 0;
+  std::size_t shed_target_ms = 0;  ///< 0 = brown-out shedding off
+  std::size_t watchdog_ms = 0;     ///< 0 = watchdog off
+  std::string checkpoint;          ///< empty = crash-safe state off
 };
 
 int cmd_serve(const std::string& cluster, const std::string& app,
               std::size_t ranks, const ServeOptions& opt) {
-  Session s(cluster, app, ranks);
+  // With --checkpoint, a previous life's state skips calibration entirely and
+  // reproduces its coefficients bit for bit.
+  std::optional<server::ServerCheckpoint> restored;
+  CbesService::Config svc_cfg = Session::observed_config();
+  if (!opt.checkpoint.empty() && std::ifstream(opt.checkpoint).good()) {
+    restored = server::load_checkpoint(opt.checkpoint);
+    svc_cfg.restored_calibration = restored->calibration;
+    std::fprintf(stderr, "[restoring %zu path classes + %zu warm hints from "
+                 "%s]\n",
+                 restored->calibration.classes.size(),
+                 restored->warm_hints.size(), opt.checkpoint.c_str());
+  }
+  Session s(cluster, app, ranks, std::move(svc_cfg));
 
   server::ServerConfig cfg;
   cfg.workers = opt.workers;
   cfg.max_queue_depth = std::max<std::size_t>(64, opt.clients * opt.requests);
   cfg.metrics = g_metrics.get();
+  if (opt.shed_target_ms > 0) {
+    cfg.enable_shedding = true;
+    cfg.shedder.target = static_cast<double>(opt.shed_target_ms) / 1e3;
+  }
+  if (opt.watchdog_ms > 0) {
+    cfg.watchdog_poll = std::chrono::milliseconds(opt.watchdog_ms);
+  }
   server::CbesServer srv(s.svc, cfg);
+  if (restored.has_value()) {
+    const std::size_t warmed = server::restore_server_state(srv, *restored,
+                                                            /*now=*/0.0);
+    std::fprintf(stderr, "[pre-heated %zu cache entries]\n", warmed);
+  }
 
   // A small shared pool of candidate mappings so concurrent clients repeat
   // each other's predict requests — that repetition is what the EvalCache
@@ -355,6 +398,7 @@ int cmd_serve(const std::string& cluster, const std::string& app,
   std::atomic<std::size_t> cancelled{0};
   std::atomic<std::size_t> rejected{0};
   std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> shed{0};
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> degraded{0};
 
@@ -367,6 +411,11 @@ int cmd_serve(const std::string& cluster, const std::string& app,
         server::SubmitOptions submit;
         if (opt.deadline_ms > 0) {
           submit.deadline = std::chrono::milliseconds(opt.deadline_ms);
+        }
+        // Under brown-out shedding, half the clients are speculative batch
+        // traffic — the class overload is allowed to cost.
+        if (opt.shed_target_ms > 0 && c % 2 == 1) {
+          submit.priority = server::Priority::kBatch;
         }
         server::JobHandle handle;
         switch ((c + k) % 3) {
@@ -407,7 +456,11 @@ int cmd_serve(const std::string& cluster, const std::string& app,
             rejected.fetch_add(1);
             break;
           default:
-            failed.fetch_add(1);
+            if (result.fail_reason == server::FailReason::kShed) {
+              shed.fetch_add(1);  // intentional brown-out, not an error
+            } else {
+              failed.fetch_add(1);
+            }
             break;
         }
         if (result.cache_hit) cache_hits.fetch_add(1);
@@ -435,6 +488,22 @@ int cmd_serve(const std::string& cluster, const std::string& app,
               static_cast<unsigned long long>(srv.cache().misses()));
   if (degraded.load() > 0) {
     std::printf("  degraded (stale-monitor) answers: %zu\n", degraded.load());
+  }
+  if (opt.shed_target_ms > 0) {
+    std::printf("  brown-out: level=%s, %zu batch jobs shed (%llu refused at "
+                "admission), %llu escalations\n",
+                resilience::brownout_name(srv.shedder().level()), shed.load(),
+                static_cast<unsigned long long>(srv.shed_count()),
+                static_cast<unsigned long long>(srv.shedder().escalations()));
+  }
+  if (opt.watchdog_ms > 0) {
+    std::printf("  watchdog: %llu kills, %llu workers replaced\n",
+                static_cast<unsigned long long>(srv.watchdog_kills()),
+                static_cast<unsigned long long>(srv.workers_replaced()));
+  }
+  if (!opt.checkpoint.empty()) {
+    server::save_checkpoint(server::take_checkpoint(srv), opt.checkpoint);
+    std::printf("  wrote checkpoint %s\n", opt.checkpoint.c_str());
   }
   // Failures mean a request violated a contract mid-run — a broken demo.
   return failed.load() == 0 ? 0 : 1;
@@ -490,11 +559,19 @@ int cmd_chaos(const std::string& cluster, const std::string& app,
   }
 
   // Drive the request broker across the horizon; every completed answer must
-  // avoid nodes the monitor considers dead at its request time.
+  // avoid nodes the monitor considers dead at its request time. The injector
+  // also feeds the server-side fault seams (worker stalls, monitor outages,
+  // slow calibration), so the breakers, LKG serving, and the watchdog are all
+  // in play when the plan carries those events.
   server::ServerConfig cfg;
   cfg.workers = 2;
   cfg.max_queue_depth = std::max<std::size_t>(64, opt.requests);
   cfg.metrics = g_metrics.get();
+  cfg.chaos = &injector;
+  if (opt.chaos.worker_stalls > 0) {
+    cfg.watchdog_poll = std::chrono::milliseconds(25);
+    cfg.watchdog_stall_bound = std::chrono::milliseconds(100);
+  }
   server::CbesServer srv(svc, cfg);
   std::size_t done = 0;
   std::size_t failed = 0;
@@ -529,6 +606,14 @@ int cmd_chaos(const std::string& cluster, const std::string& app,
   std::printf("chaos summary: %zu requests -> done=%zu failed=%zu "
               "degraded=%zu violations=%zu\n",
               opt.requests, done, failed, degraded, violations);
+  std::printf("  resilience: monitor breaker %s (%llu trips), %llu "
+              "last-known-good serves, %llu watchdog kills, %llu workers "
+              "replaced\n",
+              resilience::breaker_state_name(srv.monitor_breaker().state()),
+              static_cast<unsigned long long>(srv.monitor_breaker().trips()),
+              static_cast<unsigned long long>(srv.lkg_snapshots_served()),
+              static_cast<unsigned long long>(srv.watchdog_kills()),
+              static_cast<unsigned long long>(srv.workers_replaced()));
   return violations == 0 ? 0 : 1;
 }
 
@@ -592,6 +677,12 @@ int dispatch(const std::vector<std::string>& args) {
         opt.requests = parse_count(args[++i], "--requests");
       } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
         opt.deadline_ms = parse_count(args[++i], "--deadline-ms");
+      } else if (args[i] == "--shed-target-ms" && i + 1 < args.size()) {
+        opt.shed_target_ms = parse_count(args[++i], "--shed-target-ms");
+      } else if (args[i] == "--watchdog-ms" && i + 1 < args.size()) {
+        opt.watchdog_ms = parse_count(args[++i], "--watchdog-ms");
+      } else if (args[i] == "--checkpoint" && i + 1 < args.size()) {
+        opt.checkpoint = args[++i];
       } else {
         std::fprintf(stderr, "error: unknown serve option '%s'\n",
                      args[i].c_str());
@@ -610,6 +701,14 @@ int dispatch(const std::vector<std::string>& args) {
       } else if (args[i] == "--horizon" && i + 1 < args.size()) {
         opt.chaos.horizon =
             static_cast<Seconds>(parse_count(args[++i], "--horizon"));
+      } else if (args[i] == "--worker-stalls" && i + 1 < args.size()) {
+        opt.chaos.worker_stalls = parse_count(args[++i], "--worker-stalls");
+      } else if (args[i] == "--monitor-outages" && i + 1 < args.size()) {
+        opt.chaos.monitor_outages =
+            parse_count(args[++i], "--monitor-outages");
+      } else if (args[i] == "--slow-calibrations" && i + 1 < args.size()) {
+        opt.chaos.slow_calibrations =
+            parse_count(args[++i], "--slow-calibrations");
       } else {
         std::fprintf(stderr, "error: unknown chaos option '%s'\n",
                      args[i].c_str());

@@ -9,10 +9,16 @@
 #      test_fault), which exercise the request broker's queue/cache/worker
 #      locking and the monitor/injector interplay under chaos plans, plus
 #      test_property, whose delta-vs-full evaluation sweeps also cover the
-#      compiled-profile cache sharing immutable artifacts across workers.
+#      compiled-profile cache sharing immutable artifacts across workers;
+#   4. with CBES_SANITIZE=undefined, rebuild under UndefinedBehaviorSanitizer
+#      (-fno-sanitize-recover=all: any UB aborts the test) and run the core
+#      and resilience suites — the checkpoint text codec, retry/backoff
+#      arithmetic, and breaker/shedder state machines are exactly the kind of
+#      casting- and float-heavy code UBSan is built for.
 #
 # Usage: scripts/check.sh [--no-asan]
 #        CBES_SANITIZE=thread scripts/check.sh
+#        CBES_SANITIZE=undefined scripts/check.sh --no-asan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +48,19 @@ if [[ "${CBES_SANITIZE:-}" == "thread" ]]; then
   ./build-tsan/tests/test_server
   ./build-tsan/tests/test_fault
   ./build-tsan/tests/test_property
+fi
+
+if [[ "${CBES_SANITIZE:-}" == "undefined" ]]; then
+  echo "== UBSan pass: rebuild with -DCBES_SANITIZE=undefined, run core + resilience =="
+  cmake -B build-ubsan -S . -DCBES_SANITIZE=undefined \
+    -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-ubsan -j "$jobs" \
+    --target test_core --target test_resilience --target test_server \
+    --target test_fault
+  ./build-ubsan/tests/test_core
+  ./build-ubsan/tests/test_resilience
+  ./build-ubsan/tests/test_server
+  ./build-ubsan/tests/test_fault
 fi
 
 echo "== all checks passed =="

@@ -15,7 +15,18 @@ CbesService::CbesService(const ClusterTopology& topology,
   // Offline calibration (paper §2) — timed and traced so deployments can see
   // what the "lengthy and expensive" one-time phase actually cost.
   double calibration_seconds = 0.0;
-  {
+  if (config_.restored_calibration.has_value()) {
+    // Crash recovery: rebuild the model from checkpointed state instead of
+    // re-running the "lengthy and expensive" calibration sweep. The restored
+    // coefficients are bit-identical to the exported ones, so every
+    // prediction matches the pre-crash service exactly.
+    const obs::TraceSpan span(config_.trace, "service/restore-calibration");
+    model_ = std::make_unique<LatencyModel>(topology,
+                                            *config_.restored_calibration);
+    calibration_report_.classes = model_->class_count();
+    calibration_report_.classes_measured =
+        config_.restored_calibration->classes.size();
+  } else {
     const obs::ScopedTimer timer(&calibration_seconds);
     const obs::TraceSpan span(config_.trace, "service/calibrate");
     model_ = std::make_unique<LatencyModel>(

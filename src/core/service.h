@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -27,6 +28,13 @@ class CbesService {
     /// Ground-truth hardware description (shared with the simulator).
     SimNetConfig hardware;
     CalibrationOptions calibration;
+    /// Checkpointed calibration state (server/checkpoint.h). When set,
+    /// construction skips the offline calibration phase entirely and rebuilds
+    /// the latency model from this state — the crash-recovery path. The
+    /// restored model is bit-identical to the one the state was exported
+    /// from, so predictions resume exactly where the crashed process left
+    /// off. `calibration` options are ignored in this mode.
+    std::optional<CalibrationState> restored_calibration;
     MonitorConfig monitor;
     ProfilerOptions profiler;
     /// Observability sinks; both optional and disabled by default. When set

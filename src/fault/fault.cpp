@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -22,8 +25,72 @@ const char* fault_kind_name(FaultKind kind) noexcept {
       return "report-loss";
     case FaultKind::kFlap:
       return "flap";
+    case FaultKind::kWorkerStall:
+      return "worker-stall";
+    case FaultKind::kMonitorOutage:
+      return "monitor-outage";
+    case FaultKind::kSlowCalibration:
+      return "slow-calibration";
   }
   return "?";
+}
+
+namespace {
+
+/// True for kinds that change a node's up/down state: two of these on the
+/// same node at the same instant leave the resulting state dependent on
+/// insertion order, which a deterministic plan cannot tolerate.
+bool is_state_event(FaultKind kind) noexcept {
+  return kind == FaultKind::kCrash || kind == FaultKind::kRecover ||
+         kind == FaultKind::kFlap;
+}
+
+[[noreturn]] void timeline_error(const FaultEvent& e, const char* why) {
+  std::ostringstream msg;
+  msg << "fault plan timeline error: " << fault_kind_name(e.kind);
+  if (e.node.valid()) msg << " on node " << e.node.value;
+  msg << " at t=" << e.at << ": " << why;
+  throw FaultPlanError(msg.str());
+}
+
+}  // namespace
+
+void FaultPlan::validate_timeline() const {
+  // Duplicate / ambiguous-ordering detection. For node-targeted events the
+  // key is (node, at): two state events (or two of the same kind) colliding
+  // there have order-dependent meaning. Node-less events (cluster-wide
+  // report-loss and the server-side kinds) conflict only with their own kind.
+  for (std::size_t i = 0; i + 1 < events_.size(); ++i) {
+    const FaultEvent& a = events_[i];
+    // events_ is sorted by `at`, so collisions are adjacent-ish: scan forward
+    // while start times match.
+    for (std::size_t j = i + 1;
+         j < events_.size() && events_[j].at == a.at; ++j) {
+      const FaultEvent& b = events_[j];
+      if (a.node != b.node) continue;
+      const bool same_kind = a.kind == b.kind;
+      const bool ambiguous_state =
+          a.node.valid() && is_state_event(a.kind) && is_state_event(b.kind);
+      if (same_kind || ambiguous_state) {
+        timeline_error(b, same_kind
+                              ? "duplicate event for the same target and time"
+                              : "conflicting state events at the same time");
+      }
+    }
+  }
+  // Crash/recover pairing: replay each node's state sequence in time order.
+  std::map<std::uint64_t, bool> down;  // node id -> currently down
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kCrash) {
+      bool& is_down = down[e.node.value];
+      if (is_down) timeline_error(e, "node is already down (missing recover)");
+      is_down = true;
+    } else if (e.kind == FaultKind::kRecover) {
+      bool& is_down = down[e.node.value];
+      if (!is_down) timeline_error(e, "recover without a preceding crash");
+      is_down = false;
+    }
+  }
 }
 
 void FaultPlan::add(FaultEvent event) {
@@ -55,6 +122,23 @@ void FaultPlan::add(FaultEvent event) {
       CBES_CHECK_MSG(std::isfinite(event.period) && event.period > 0.0,
                      "flap period must be positive");
       break;
+    case FaultKind::kWorkerStall:
+      CBES_CHECK_MSG(!event.node.valid(),
+                     "worker-stall is server-side and takes no target node");
+      CBES_CHECK_MSG(std::isfinite(event.magnitude) && event.magnitude > 0.0,
+                     "worker-stall duration must be positive seconds");
+      break;
+    case FaultKind::kMonitorOutage:
+      CBES_CHECK_MSG(!event.node.valid(),
+                     "monitor-outage is server-side and takes no target node");
+      break;
+    case FaultKind::kSlowCalibration:
+      CBES_CHECK_MSG(
+          !event.node.valid(),
+          "slow-calibration is server-side and takes no target node");
+      CBES_CHECK_MSG(std::isfinite(event.magnitude) && event.magnitude > 0.0,
+                     "slow-calibration delay must be positive seconds");
+      break;
   }
   events_.push_back(event);
   // Keep events ordered by start time so interpreters can scan forward.
@@ -62,6 +146,14 @@ void FaultPlan::add(FaultEvent event) {
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
                    });
+  try {
+    validate_timeline();
+  } catch (...) {
+    // Strong guarantee: a rejected event leaves the plan as it was.
+    const auto it = std::find(events_.begin(), events_.end(), event);
+    if (it != events_.end()) events_.erase(it);
+    throw;
+  }
 }
 
 std::size_t FaultPlan::count(FaultKind kind) const noexcept {
@@ -74,6 +166,9 @@ FaultPlan FaultPlan::chaos(std::size_t node_count, const ChaosOptions& options,
                            std::uint64_t seed) {
   CBES_CHECK_MSG(node_count >= 2,
                  "chaos plan needs at least two nodes (node 0 is spared)");
+  CBES_CHECK_MSG(options.crashes < node_count,
+                 "chaos plan cannot crash more distinct nodes than exist "
+                 "(node 0 is spared)");
   Rng rng(derive_seed(seed, 0xC4A05));
   FaultPlan plan;
   // Victims are drawn from [1, n): node 0 stays up so the cluster always has
@@ -81,8 +176,13 @@ FaultPlan FaultPlan::chaos(std::size_t node_count, const ChaosOptions& options,
   const auto victim = [&]() -> NodeId {
     return NodeId{1 + rng.below(node_count - 1)};
   };
-  for (std::size_t i = 0; i < options.crashes; ++i) {
-    const NodeId node = victim();
+  // Crash victims are *distinct* (a node cannot crash while already down, and
+  // the generator must always emit a valid plan), so they are sampled without
+  // replacement rather than drawn independently.
+  const std::vector<std::size_t> crash_victims =
+      rng.sample_indices(node_count - 1, options.crashes);
+  for (const std::size_t v : crash_victims) {
+    const NodeId node{1 + v};
     const Seconds at = rng.uniform(0.0, 0.5 * options.horizon);
     plan.add({FaultKind::kCrash, node, at});
     if (rng.chance(options.recovery_fraction)) {
@@ -124,6 +224,29 @@ FaultPlan FaultPlan::chaos(std::size_t node_count, const ChaosOptions& options,
     e.at = 0.0;
     e.until = options.horizon;
     e.magnitude = options.report_loss;
+    plan.add(e);
+  }
+  for (std::size_t i = 0; i < options.worker_stalls; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kWorkerStall;
+    e.at = rng.uniform(0.0, 0.6 * options.horizon);
+    e.until = rng.uniform(e.at + 0.05 * options.horizon, options.horizon);
+    e.magnitude = options.stall_seconds;
+    plan.add(e);
+  }
+  for (std::size_t i = 0; i < options.monitor_outages; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kMonitorOutage;
+    e.at = rng.uniform(0.0, 0.6 * options.horizon);
+    e.until = rng.uniform(e.at + 0.05 * options.horizon, options.horizon);
+    plan.add(e);
+  }
+  for (std::size_t i = 0; i < options.slow_calibrations; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSlowCalibration;
+    e.at = rng.uniform(0.0, 0.6 * options.horizon);
+    e.until = rng.uniform(e.at + 0.05 * options.horizon, options.horizon);
+    e.magnitude = options.stall_seconds;
     plan.add(e);
   }
   return plan;

@@ -1,11 +1,14 @@
-// Declarative fault plans for chaos-testing CBES (ISSUE 4 tentpole).
+// Declarative fault plans for chaos-testing CBES (ISSUE 4 tentpole,
+// extended by ISSUE 6 with server-side faults).
 //
-// A FaultPlan is a list of timed fault events against cluster nodes: crashes
+// A FaultPlan is a list of timed fault events against cluster nodes — crashes
 // and recoveries, sustained CPU slowdowns, NIC degradation, monitor-report
-// loss, and flapping (a node cycling up/down). Plans are pure data — the
-// FaultInjector (injector.h) interprets them deterministically, so the same
-// (plan, seed) always produces the same failure history, which is what makes
-// chaos tests reproducible and bisectable.
+// loss, flapping — plus *server-side* faults against the serving
+// infrastructure itself: worker stalls, monitor outages, and slow
+// calibration. Plans are pure data — the FaultInjector (injector.h)
+// interprets them deterministically, so the same (plan, seed) always produces
+// the same failure history, which is what makes chaos tests reproducible and
+// bisectable.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace cbes::fault {
@@ -26,6 +30,16 @@ class TransientError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown when a plan's *timeline* is inconsistent: duplicate or overlapping
+/// events for the same (node, time), or out-of-order crash/recover pairs.
+/// Typed so chaos harnesses can distinguish "this plan is malformed" from a
+/// generic contract violation — malformed plans are rejected loudly instead
+/// of the last write silently winning.
+class FaultPlanError : public ContractError {
+ public:
+  explicit FaultPlanError(const std::string& what) : ContractError(what) {}
+};
+
 enum class FaultKind : unsigned char {
   kCrash,        ///< node goes down at `at` and stays down until recovered
   kRecover,      ///< node comes back up at `at`
@@ -33,9 +47,21 @@ enum class FaultKind : unsigned char {
   kNicDegrade,   ///< background traffic adds `magnitude` NIC util in [at, until)
   kReportLoss,   ///< monitor reports lost with probability `magnitude` in [at, until)
   kFlap,         ///< node cycles down/up with cycle length `period` in [at, until)
+  // ---- server-side faults (no target node; hit the serving layer itself) --
+  kWorkerStall,      ///< executor attempts stall `magnitude` wall-seconds in [at, until)
+  kMonitorOutage,    ///< monitor snapshots fail in [at, until)
+  kSlowCalibration,  ///< profile compilation takes `magnitude` extra wall-seconds in [at, until)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// True for faults against the serving infrastructure rather than a cluster
+/// node (kWorkerStall / kMonitorOutage / kSlowCalibration).
+[[nodiscard]] constexpr bool is_server_fault(FaultKind kind) noexcept {
+  return kind == FaultKind::kWorkerStall ||
+         kind == FaultKind::kMonitorOutage ||
+         kind == FaultKind::kSlowCalibration;
+}
 
 /// One fault event. Which fields matter depends on `kind`:
 ///   kCrash / kRecover:  node, at
@@ -45,14 +71,21 @@ enum class FaultKind : unsigned char {
 ///                       magnitude = per-tick loss probability in [0, 1]
 ///   kFlap:              node, at, until, period > 0 (down the first half of
 ///                       each cycle, up the second)
+///   kWorkerStall:       at, until, magnitude = stall wall-seconds > 0
+///   kMonitorOutage:     at, until
+///   kSlowCalibration:   at, until, magnitude = extra compile wall-seconds > 0
+/// Server-side kinds must leave `node` invalid.
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
-  /// Target node; for kReportLoss an invalid id means cluster-wide.
+  /// Target node; for kReportLoss an invalid id means cluster-wide, and
+  /// server-side kinds take no node at all.
   NodeId node;
   Seconds at = 0.0;
   Seconds until = kNever;
   double magnitude = 0.0;
   Seconds period = 0.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 /// Options for the seeded random chaos-plan generator.
@@ -65,13 +98,24 @@ struct ChaosOptions {
   /// Fraction of crashes that recover before the horizon.
   double recovery_fraction = 0.5;
   Seconds horizon = 300.0;        ///< all events land in [0, horizon)
+  // ---- server-side chaos (defaults off: pre-ISSUE-6 plans are unchanged) --
+  std::size_t worker_stalls = 0;      ///< executor-stall episodes
+  std::size_t monitor_outages = 0;    ///< monitor-unreachable episodes
+  std::size_t slow_calibrations = 0;  ///< slow-compile episodes
+  /// Wall-seconds a stalled worker attempt hangs (kept small: the watchdog
+  /// must notice, but CI must not crawl).
+  double stall_seconds = 0.2;
 };
 
 /// Ordered, validated collection of fault events.
 class FaultPlan {
  public:
-  /// Validates the event's per-kind invariants; throws ContractError on a
-  /// malformed event (negative times, magnitude out of range, ...).
+  /// Validates the event's per-kind invariants (throws ContractError on a
+  /// malformed event: negative times, magnitude out of range, a server-side
+  /// kind with a target node, ...) and the plan's timeline invariants
+  /// (throws FaultPlanError): no two events for the same (node, time), no
+  /// crash of an already-down node, no recover without a preceding crash.
+  /// A rejected event leaves the plan unchanged.
   void add(FaultEvent event);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
@@ -85,12 +129,17 @@ class FaultPlan {
 
   /// Generates a random-but-deterministic plan over `node_count` nodes:
   /// same (node_count, options, seed) -> same plan. Node 0 is never crashed
-  /// or flapped so the cluster always keeps at least one live node.
+  /// or flapped so the cluster always keeps at least one live node; crash
+  /// victims are distinct so the plan always passes timeline validation
+  /// (which caps crashes at node_count - 1).
   [[nodiscard]] static FaultPlan chaos(std::size_t node_count,
                                        const ChaosOptions& options,
                                        std::uint64_t seed);
 
  private:
+  /// Timeline validation over the (sorted) event list; throws FaultPlanError.
+  void validate_timeline() const;
+
   std::vector<FaultEvent> events_;
 };
 

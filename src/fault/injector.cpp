@@ -16,11 +16,18 @@ FaultInjector::FaultInjector(const ClusterTopology& topology, FaultPlan plan,
   for (std::size_t i = 0; i < events.size(); ++i) {
     const FaultEvent& e = events[i];
     if (!e.node.valid()) {
+      if (is_server_fault(e.kind)) {
+        server_events_.push_back(i);
+        continue;
+      }
       CBES_CHECK_MSG(e.kind == FaultKind::kReportLoss,
-                     "only report-loss events may be cluster-wide");
+                     "only report-loss and server-side events may omit a "
+                     "target node");
       global_loss_.push_back(i);
       continue;
     }
+    CBES_CHECK_MSG(!is_server_fault(e.kind),
+                   "server-side events take no target node");
     CBES_CHECK_MSG(e.node.index() < topology.node_count(),
                    "fault event targets a node outside the topology");
     if (e.kind == FaultKind::kReportLoss) {
@@ -113,6 +120,39 @@ std::size_t FaultInjector::down_count(Seconds now) const {
     if (is_down(NodeId{i}, now)) ++count;
   }
   return count;
+}
+
+bool FaultInjector::monitor_down(Seconds now) const {
+  for (std::size_t i : server_events_) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.at > now) break;  // time-ordered
+    if (e.kind == FaultKind::kMonitorOutage && now < e.until) return true;
+  }
+  return false;
+}
+
+double FaultInjector::worker_stall_seconds(Seconds now) const {
+  double stall = 0.0;
+  for (std::size_t i : server_events_) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.at > now) break;
+    if (e.kind == FaultKind::kWorkerStall && now < e.until) {
+      stall = std::max(stall, e.magnitude);
+    }
+  }
+  return stall;
+}
+
+double FaultInjector::calibration_slow_seconds(Seconds now) const {
+  double extra = 0.0;
+  for (std::size_t i : server_events_) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.at > now) break;
+    if (e.kind == FaultKind::kSlowCalibration && now < e.until) {
+      extra = std::max(extra, e.magnitude);
+    }
+  }
+  return extra;
 }
 
 double FaultyLoad::cpu_avail(NodeId node, Seconds now) const {

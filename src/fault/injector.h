@@ -55,6 +55,20 @@ class FaultInjector {
   /// Number of nodes down at `now`.
   [[nodiscard]] std::size_t down_count(Seconds now) const;
 
+  // ---- server-side faults (no target node) -------------------------------
+
+  /// True when a monitor-outage window is active at `now`: the monitor is
+  /// unreachable and snapshot attempts should fail as transient errors.
+  [[nodiscard]] bool monitor_down(Seconds now) const;
+
+  /// Wall-seconds a worker execution attempt should stall at `now` (the
+  /// largest active worker-stall magnitude), or 0 when none is active.
+  [[nodiscard]] double worker_stall_seconds(Seconds now) const;
+
+  /// Extra wall-seconds profile compilation should take at `now` (the
+  /// largest active slow-calibration magnitude), or 0 when none is active.
+  [[nodiscard]] double calibration_slow_seconds(Seconds now) const;
+
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] const ClusterTopology& topology() const noexcept {
     return *topology_;
@@ -68,6 +82,9 @@ class FaultInjector {
   std::vector<std::vector<std::size_t>> by_node_;
   /// Cluster-wide (invalid-node) report-loss event indices.
   std::vector<std::size_t> global_loss_;
+  /// Server-side (worker-stall / monitor-outage / slow-calibration) event
+  /// indices, in time order.
+  std::vector<std::size_t> server_events_;
 };
 
 /// LoadModel decorator: the base model's load plus the injector's faults.

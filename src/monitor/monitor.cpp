@@ -19,6 +19,19 @@ namespace {
 // periods instead of drifting towards "never asked again".
 constexpr std::uint64_t kMaxBackoffGap = 8;
 
+// The suspect re-poll schedule expressed as a RetryPolicy: backoff "seconds"
+// are measured in sensor ticks (1, 2, 4, ... up to the gap cap), jittered per
+// node. Deterministic in (monitor seed, node, backoff round).
+resilience::RetryPolicyConfig repoll_config(const MonitorConfig& config) {
+  resilience::RetryPolicyConfig rp;
+  rp.max_retries = 0;  // unused: the schedule never exhausts, it just re-polls
+  rp.initial_backoff = 1.0;
+  rp.backoff_cap = static_cast<double>(kMaxBackoffGap);
+  rp.jitter = config.repoll_jitter;
+  rp.seed = derive_seed(config.seed, 0x9E90'11ULL);
+  return rp;
+}
+
 }  // namespace
 
 SystemMonitor::SystemMonitor(const ClusterTopology& topology,
@@ -26,6 +39,7 @@ SystemMonitor::SystemMonitor(const ClusterTopology& topology,
     : topology_(&topology),
       truth_(&truth),
       config_(config),
+      repoll_(repoll_config(config)),
       forecaster_(std::make_unique<LastValueForecaster>()) {
   CBES_CHECK_MSG(config_.period > 0.0, "monitor period must be positive");
   CBES_CHECK_MSG(config_.history >= 1, "monitor must retain history");
@@ -133,7 +147,7 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
     // we *ask* (and therefore when recovery is noticed and what polling costs).
     std::uint64_t streak = 0;
     std::uint64_t skip = 0;      // ticks left before the next backoff re-poll
-    std::uint64_t gap = 1;       // current backoff gap, doubles up to the cap
+    std::size_t round = 0;       // backoff rounds since the node went suspect
     for (std::uint64_t k = first_tick; k <= last_tick; ++k) {
       const Seconds t = static_cast<double>(k) * config_.period;
       bool attempted;
@@ -141,8 +155,13 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
         attempted = true;  // normal cadence: poll every tick
       } else if (skip == 0) {
         attempted = true;  // backoff re-poll of a suspect node
-        skip = gap - 1;
-        gap = std::min(gap * 2, kMaxBackoffGap);
+        // Next gap in ticks: jittered exponential backoff, one jitter stream
+        // per node so a recovering rack is re-probed staggered.
+        const double gap = repoll_.backoff_seconds(node.value, round);
+        skip = std::max<std::uint64_t>(
+                   1, static_cast<std::uint64_t>(std::llround(gap))) -
+               1;
+        ++round;
       } else {
         attempted = false;
         --skip;
@@ -158,7 +177,7 @@ LoadSnapshot SystemMonitor::snapshot(Seconds now) const {
       if (received) {
         streak = 0;
         skip = 0;
-        gap = 1;
+        round = 0;
         cpu_hist.push_back(std::clamp(
             noisy(truth_->cpu_avail(node, t), node, k, 0), 0.02, 1.0));
         nic_hist.push_back(std::clamp(

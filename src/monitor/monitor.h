@@ -22,6 +22,7 @@
 #include "monitor/forecaster.h"
 #include "monitor/snapshot.h"
 #include "obs/metrics.h"
+#include "resilience/retry.h"
 #include "simnet/load.h"
 #include "topology/cluster.h"
 
@@ -47,6 +48,12 @@ struct MonitorConfig {
   /// Must exceed `suspect_after` and fit inside `history`, or a freshly dead
   /// node could never be observed as such.
   std::size_t dead_after = 5;
+  /// Jitter fraction on the suspect re-poll backoff gap, in [0, 1). Each
+  /// suspect node draws its own deterministic jitter stream (keyed by seed
+  /// and node), so when a rack recovers the monitor's probes arrive staggered
+  /// instead of stampeding every node on the same tick. 0 restores the exact
+  /// 1-2-4-8 doubling schedule.
+  double repoll_jitter = 0.25;
 };
 
 /// Simulated monitoring infrastructure over a cluster.
@@ -101,6 +108,9 @@ class SystemMonitor {
   const ClusterTopology* topology_;
   const LoadModel* truth_;
   MonitorConfig config_;
+  /// Suspect re-poll schedule (in ticks): exponential backoff with per-node
+  /// jitter, shared with the server's retry machinery (resilience layer).
+  resilience::RetryPolicy repoll_;
   std::unique_ptr<Forecaster> forecaster_;
   const fault::FaultInjector* injector_ = nullptr;
   obs::Counter* snapshots_ = nullptr;

@@ -1,6 +1,9 @@
 #include "netmodel/latency_model.h"
 
+#include <algorithm>
 #include <limits>
+#include <map>
+#include <utility>
 
 #include "common/check.h"
 
@@ -9,13 +12,23 @@ namespace cbes {
 namespace {
 
 /// Mean of the calibrated coefficients — what an unmeasured class is assumed
-/// to behave like when partial calibration is allowed.
+/// to behave like when partial calibration is allowed. Accumulated in sorted
+/// signature order so the result is a pure function of the *set* of fitted
+/// classes: a model restored from checkpointed state (which stores classes
+/// sorted) reproduces the same floating-point sum bit for bit.
 LatencyCoeffs class_average(
     const std::unordered_map<std::string, LatencyCoeffs>& by_signature) {
+  std::vector<const std::string*> order;
+  order.reserve(by_signature.size());
+  for (const auto& [sig, c] : by_signature) order.push_back(&sig);
+  std::sort(order.begin(), order.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
   LatencyCoeffs avg;
   avg.fit_r_squared = 0.0;  // advertises "not a fit" to introspection
   const double denom = static_cast<double>(by_signature.size());
-  for (const auto& [sig, c] : by_signature) {
+  for (const std::string* sig : order) {
+    const LatencyCoeffs& c = by_signature.at(*sig);
     avg.alpha += c.alpha / denom;
     avg.beta += c.beta / denom;
     avg.k_alpha_cpu += c.k_alpha_cpu / denom;
@@ -70,6 +83,51 @@ LatencyModel::LatencyModel(
       pair_class_[a * n_ + b] = it->second;
     }
   }
+}
+
+namespace {
+
+std::unordered_map<std::string, LatencyCoeffs> state_to_map(
+    const CalibrationState& state) {
+  std::unordered_map<std::string, LatencyCoeffs> by_signature;
+  by_signature.reserve(state.classes.size());
+  for (const auto& [sig, coeffs] : state.classes) {
+    const bool inserted = by_signature.emplace(sig, coeffs).second;
+    CBES_CHECK_MSG(inserted,
+                   "calibration state repeats path class " + sig);
+  }
+  return by_signature;
+}
+
+}  // namespace
+
+LatencyModel::LatencyModel(const ClusterTopology& topology,
+                           const CalibrationState& state)
+    : LatencyModel(topology, state_to_map(state), state.loopback,
+                   state.partial) {}
+
+CalibrationState LatencyModel::calibration_state() const {
+  CalibrationState state;
+  state.loopback = coeffs_[0];
+  state.partial = fallback_class_count() > 0;
+  // LatencyModel keeps only the dense class table; the signatures are
+  // recovered by re-deriving each pair's signature from the topology and
+  // keeping the first pair seen per measured (non-fallback) class.
+  std::map<std::string, LatencyCoeffs> measured;
+  std::vector<std::uint8_t> seen(coeffs_.size(), 0);
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (a == b) continue;
+      const std::uint16_t idx = pair_class_[a * n_ + b];
+      if (seen[idx] != 0) continue;
+      seen[idx] = 1;
+      if (fallback_[idx] != 0) continue;
+      measured.emplace(topology_->path_signature(NodeId{a}, NodeId{b}),
+                       coeffs_[idx]);
+    }
+  }
+  state.classes.assign(measured.begin(), measured.end());
+  return state;
 }
 
 std::size_t LatencyModel::class_index(NodeId a, NodeId b) const {

@@ -34,6 +34,26 @@ struct LatencyCoeffs {
   double k_beta_cpu = 0.0;  ///< CPU-load sensitivity of the per-byte cost
   double k_beta_nic = 0.0;  ///< NIC-load sensitivity of the per-byte cost
   double fit_r_squared = 1.0;  ///< quality of the no-load OLS fit
+
+  friend bool operator==(const LatencyCoeffs&, const LatencyCoeffs&) = default;
+};
+
+/// The complete fitted state of a LatencyModel, detached from any topology:
+/// the loopback class plus one (signature, coefficients) entry per *measured*
+/// path class, sorted by signature. This is what server checkpoints persist —
+/// restoring it through LatencyModel's state constructor reproduces the model
+/// bit-identically (fallback classes are re-derived from the measured set in
+/// sorted order, so even their class-average coefficients match exactly).
+struct CalibrationState {
+  LatencyCoeffs loopback;
+  /// True when some path classes were never measured and run on the
+  /// class-average fallback (partial calibration).
+  bool partial = false;
+  /// Measured classes only, sorted ascending by signature.
+  std::vector<std::pair<std::string, LatencyCoeffs>> classes;
+
+  friend bool operator==(const CalibrationState&,
+                         const CalibrationState&) = default;
 };
 
 /// Immutable latency model over a fixed topology. Lookups are O(1): the pair ->
@@ -50,6 +70,15 @@ class LatencyModel {
   LatencyModel(const ClusterTopology& topology,
                std::unordered_map<std::string, LatencyCoeffs> by_signature,
                LatencyCoeffs loopback, bool allow_partial = false);
+
+  /// Rebuilds a model from checkpointed state (skipping calibration). The
+  /// state's signatures must match `topology`'s path classes; restoring the
+  /// state exported by calibration_state() over the same topology yields a
+  /// model whose every coefficient is bit-identical to the original's.
+  LatencyModel(const ClusterTopology& topology, const CalibrationState& state);
+
+  /// Exports the measured fit for checkpointing; see CalibrationState.
+  [[nodiscard]] CalibrationState calibration_state() const;
 
   /// No-load end-to-end latency for a `size`-byte message from a to b.
   [[nodiscard]] Seconds no_load(NodeId a, NodeId b, Bytes size) const;

@@ -1,0 +1,123 @@
+#include "resilience/breaker.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cbes::resilience {
+
+CircuitBreaker::CircuitBreaker(std::string name, BreakerConfig config)
+    : name_(std::move(name)), config_(config) {
+  CBES_CHECK_MSG(!name_.empty(), "breaker needs a dependency name");
+  CBES_CHECK_MSG(config_.failure_threshold >= 1,
+                 "breaker failure threshold must be at least 1");
+  CBES_CHECK_MSG(
+      std::isfinite(config_.open_seconds) && config_.open_seconds > 0.0,
+      "breaker open window must be finite and positive");
+}
+
+void CircuitBreaker::set_metrics(obs::MetricsRegistry* registry) {
+  const std::lock_guard lock(mu_);
+  if (registry == nullptr) {
+    state_metric_ = nullptr;
+    trips_metric_ = nullptr;
+    short_circuits_metric_ = nullptr;
+    return;
+  }
+  state_metric_ = &registry->gauge(
+      "cbes_breaker_" + name_ + "_state",
+      "Circuit-breaker state (0=closed, 1=open, 2=half-open)");
+  trips_metric_ =
+      &registry->counter("cbes_breaker_" + name_ + "_trips_total",
+                         "Times the breaker tripped open");
+  short_circuits_metric_ = &registry->counter(
+      "cbes_breaker_" + name_ + "_short_circuits_total",
+      "Calls turned away while the breaker was open");
+  publish_state_locked();
+}
+
+void CircuitBreaker::publish_state_locked() {
+  if (state_metric_ != nullptr) {
+    state_metric_->set(static_cast<double>(state_));
+  }
+}
+
+void CircuitBreaker::trip_locked(Seconds now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  ++trips_;
+  if (trips_metric_ != nullptr) trips_metric_->inc();
+  publish_state_locked();
+}
+
+bool CircuitBreaker::allow(Seconds now) {
+  const std::lock_guard lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ >= config_.open_seconds) {
+        // The open window has elapsed: admit exactly one probe.
+        state_ = BreakerState::kHalfOpen;
+        probe_in_flight_ = true;
+        publish_state_locked();
+        return true;
+      }
+      ++short_circuits_;
+      if (short_circuits_metric_ != nullptr) short_circuits_metric_->inc();
+      return false;
+    case BreakerState::kHalfOpen:
+      // A probe is already in flight (or just resolved under a racing
+      // caller); everyone else keeps serving the degraded path.
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++short_circuits_;
+      if (short_circuits_metric_ != nullptr) short_circuits_metric_->inc();
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(Seconds) {
+  const std::lock_guard lock(mu_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  if (state_ != BreakerState::kClosed) {
+    state_ = BreakerState::kClosed;
+    publish_state_locked();
+  }
+}
+
+void CircuitBreaker::record_failure(Seconds now) {
+  const std::lock_guard lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: straight back to open for another window.
+    trip_locked(now);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // already open; nothing to count
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.failure_threshold) trip_locked(now);
+}
+
+BreakerState CircuitBreaker::state() const {
+  const std::lock_guard lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  const std::lock_guard lock(mu_);
+  return trips_;
+}
+
+std::uint64_t CircuitBreaker::short_circuits() const {
+  const std::lock_guard lock(mu_);
+  return short_circuits_;
+}
+
+}  // namespace cbes::resilience

@@ -1,0 +1,94 @@
+// Per-dependency circuit breakers for the CBES serve path.
+//
+// A CircuitBreaker guards calls into one dependency (the monitor, the
+// calibration/compile path). It is *closed* while the dependency answers,
+// trips *open* after `failure_threshold` consecutive failures — callers then
+// skip the dependency entirely and serve last-known-good / degraded answers
+// instead of queueing behind a corpse — and after `open_seconds` admits
+// exactly one *half-open* probe. The probe's outcome decides: success closes
+// the breaker, failure re-opens it for another window.
+//
+// Time is the caller's simulated clock (`Seconds now`), not the wall clock,
+// so breaker trajectories are deterministic under chaos plans and replayable
+// in tests. All methods are thread-safe; the half-open state admits a single
+// probe even under concurrent allow() calls.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace cbes::resilience {
+
+enum class BreakerState : unsigned char { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+[[nodiscard]] constexpr const char* breaker_state_name(
+    BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+struct BreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  std::size_t failure_threshold = 3;
+  /// How long the breaker stays open before admitting a half-open probe,
+  /// in the caller's (simulated) seconds.
+  Seconds open_seconds = 30.0;
+};
+
+class CircuitBreaker {
+ public:
+  /// `name` labels the guarded dependency in metrics
+  /// (cbes_breaker_<name>_*). Throws ContractError on a nonsense config.
+  explicit CircuitBreaker(std::string name, BreakerConfig config = {});
+
+  /// May a call into the dependency proceed at `now`? Closed: always.
+  /// Open: false until `open_seconds` have elapsed since the trip, then true
+  /// exactly once (the half-open probe); concurrent callers see false until
+  /// that probe resolves via record_success/record_failure.
+  [[nodiscard]] bool allow(Seconds now);
+
+  /// Reports the outcome of a call that allow() admitted.
+  void record_success(Seconds now);
+  void record_failure(Seconds now);
+
+  [[nodiscard]] BreakerState state() const;
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+  /// Times the breaker tripped closed->open (re-opens from half-open count).
+  [[nodiscard]] std::uint64_t trips() const;
+  /// Calls allow() turned away while open.
+  [[nodiscard]] std::uint64_t short_circuits() const;
+
+  /// Wires the state gauge and trip/short-circuit counters into `registry`
+  /// (nullptr disables; the default). Must outlive the breaker.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  void trip_locked(Seconds now);
+  void publish_state_locked();
+
+  std::string name_;
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  Seconds opened_at_ = 0.0;
+  bool probe_in_flight_ = false;
+  std::uint64_t trips_ = 0;
+  std::uint64_t short_circuits_ = 0;
+  obs::Gauge* state_metric_ = nullptr;
+  obs::Counter* trips_metric_ = nullptr;
+  obs::Counter* short_circuits_metric_ = nullptr;
+};
+
+}  // namespace cbes::resilience

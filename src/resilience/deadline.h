@@ -1,0 +1,68 @@
+// Per-request deadlines for the CBES serve path (ISSUE 6 tentpole).
+//
+// A Deadline is an absolute point on the steady clock (or "unbounded") that a
+// request carries from admission through every stage of its execution: queue
+// wait, monitor polls, profile compilation, and the SA/GA step loops (via the
+// job's StopToken). Each stage asks `expired()` before starting work and
+// sizes its own budget from `remaining()`, so no stage runs past the
+// request's overall budget — the deadline propagates instead of being
+// re-negotiated per stage.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+namespace cbes::resilience {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded: never expires.
+  constexpr Deadline() = default;
+
+  /// The deadline `budget` from now. Non-positive budgets are already
+  /// expired (a zero budget is a deadline, not "unbounded" — callers encode
+  /// "no deadline" by not constructing one).
+  [[nodiscard]] static Deadline after(Clock::duration budget) {
+    return Deadline(Clock::now() + budget);
+  }
+
+  [[nodiscard]] static Deadline at(Clock::time_point when) {
+    return Deadline(when);
+  }
+
+  [[nodiscard]] bool bounded() const noexcept { return when_.has_value(); }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return when_.has_value() && Clock::now() >= *when_;
+  }
+
+  /// Time left before expiry; zero when expired, Clock::duration::max() when
+  /// unbounded. Stages use this to bound their own waits.
+  [[nodiscard]] Clock::duration remaining() const noexcept {
+    if (!when_.has_value()) return Clock::duration::max();
+    const Clock::duration left = *when_ - Clock::now();
+    return std::max(left, Clock::duration::zero());
+  }
+
+  [[nodiscard]] std::optional<Clock::time_point> when() const noexcept {
+    return when_;
+  }
+
+  /// The tighter of two deadlines — how a stage-local budget composes with
+  /// the request deadline without ever loosening it.
+  [[nodiscard]] static Deadline earliest(Deadline a, Deadline b) noexcept {
+    if (!a.when_.has_value()) return b;
+    if (!b.when_.has_value()) return a;
+    return Deadline(std::min(*a.when_, *b.when_));
+  }
+
+ private:
+  constexpr explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  std::optional<Clock::time_point> when_;
+};
+
+}  // namespace cbes::resilience

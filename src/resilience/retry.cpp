@@ -1,0 +1,43 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cbes::resilience {
+
+RetryPolicy::RetryPolicy(RetryPolicyConfig config) : config_(config) {
+  CBES_CHECK_MSG(
+      std::isfinite(config_.initial_backoff) && config_.initial_backoff >= 0.0,
+      "initial backoff must be finite and nonnegative");
+  CBES_CHECK_MSG(
+      std::isfinite(config_.backoff_cap) &&
+          config_.backoff_cap >= config_.initial_backoff,
+      "backoff cap must be finite and at least the initial backoff");
+  CBES_CHECK_MSG(config_.jitter >= 0.0 && config_.jitter < 1.0,
+                 "jitter fraction must be in [0, 1)");
+}
+
+double RetryPolicy::base_backoff_seconds(std::size_t retry) const noexcept {
+  // ldexp instead of repeated doubling: exact powers of two, no loop, and
+  // immune to overflow for absurd retry counts (inf caps at backoff_cap).
+  const double grown =
+      std::ldexp(config_.initial_backoff,
+                 static_cast<int>(std::min<std::size_t>(retry, 1024)));
+  return std::min(grown, config_.backoff_cap);
+}
+
+double RetryPolicy::backoff_seconds(std::uint64_t stream,
+                                    std::size_t retry) const {
+  const double base = base_backoff_seconds(retry);
+  if (config_.jitter <= 0.0 || base <= 0.0) return base;
+  // One throwaway generator per (stream, retry): the draw is a pure function
+  // of the question, so replays and concurrent callers agree without state.
+  Rng rng(derive_seed(config_.seed,
+                      (stream << 16) ^ static_cast<std::uint64_t>(retry)));
+  return base * rng.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+}
+
+}  // namespace cbes::resilience

@@ -1,0 +1,80 @@
+// Seeded, jittered exponential backoff with per-request retry budgets.
+//
+// Generalizes the request broker's ad-hoc TransientError retry (PR 4) into a
+// reusable policy shared by the server's attempt loop and the monitor's
+// suspect re-poll schedule. Backoff is deterministic: the delay before retry
+// k of logical stream s is a pure function of (config, s, k), so a chaos run
+// replays bit-identically from its seed and synchronized callers *de*-
+// synchronize — each stream draws its own jitter, which is what stops retry
+// stampedes against a recovering dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbes::resilience {
+
+struct RetryPolicyConfig {
+  /// Retries allowed after the first attempt (the per-request retry budget).
+  std::size_t max_retries = 2;
+  /// Backoff before the first retry, seconds; doubles per retry.
+  double initial_backoff = 0.005;
+  /// Ceiling on the un-jittered backoff, seconds.
+  double backoff_cap = 0.05;
+  /// Jitter fraction in [0, 1): the delay is drawn uniformly from
+  /// base * [1 - jitter, 1 + jitter). Zero disables jitter.
+  double jitter = 0.25;
+  std::uint64_t seed = 0x8E772'1E5ULL;
+};
+
+class RetryPolicy {
+ public:
+  /// Validates the config (throws ContractError on nonsense: negative
+  /// backoff, jitter outside [0, 1), cap below the initial backoff).
+  explicit RetryPolicy(RetryPolicyConfig config = {});
+
+  /// Un-jittered backoff before retry `retry` (0-based):
+  /// min(initial * 2^retry, cap). Monotone non-decreasing in `retry`.
+  [[nodiscard]] double base_backoff_seconds(std::size_t retry) const noexcept;
+
+  /// Jittered backoff before retry `retry` of stream `stream`. Deterministic
+  /// in (config, stream, retry) and always within
+  /// base * [1 - jitter, 1 + jitter).
+  [[nodiscard]] double backoff_seconds(std::uint64_t stream,
+                                       std::size_t retry) const;
+
+  /// True once `retries_done` has consumed the budget — the caller must fail
+  /// rather than retry again.
+  [[nodiscard]] bool exhausted(std::size_t retries_done) const noexcept {
+    return retries_done >= config_.max_retries;
+  }
+
+  [[nodiscard]] const RetryPolicyConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RetryPolicyConfig config_;
+};
+
+/// Countdown of one request's retry allowance, shared by every stage the
+/// request flows through so retries across stages draw from one budget
+/// instead of multiplying per stage.
+class RetryBudget {
+ public:
+  explicit RetryBudget(std::size_t retries) noexcept : left_(retries) {}
+
+  /// Consumes one retry; false when the budget is spent (do not retry).
+  [[nodiscard]] bool consume() noexcept {
+    if (left_ == 0) return false;
+    --left_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return left_; }
+
+ private:
+  std::size_t left_;
+};
+
+}  // namespace cbes::resilience

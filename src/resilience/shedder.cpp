@@ -1,0 +1,76 @@
+#include "resilience/shedder.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cbes::resilience {
+
+LoadShedder::LoadShedder(ShedderConfig config) : config_(config) {
+  CBES_CHECK_MSG(std::isfinite(config_.target) && config_.target > 0.0,
+                 "shedder delay target must be finite and positive");
+  CBES_CHECK_MSG(std::isfinite(config_.interval) && config_.interval > 0.0,
+                 "shedder escalation interval must be finite and positive");
+  CBES_CHECK_MSG(std::isfinite(config_.cool_down) && config_.cool_down > 0.0,
+                 "shedder cool-down must be finite and positive");
+}
+
+void LoadShedder::set_metrics(obs::MetricsRegistry* registry) {
+  const std::lock_guard lock(mu_);
+  if (registry == nullptr) {
+    level_metric_ = nullptr;
+    escalations_metric_ = nullptr;
+    return;
+  }
+  level_metric_ = &registry->gauge(
+      "cbes_server_brownout_level",
+      "Brown-out level (0=full, 1=cached-only, 2=refuse-low-priority)");
+  escalations_metric_ =
+      &registry->counter("cbes_server_brownout_escalations_total",
+                         "Brown-out level escalations under sustained "
+                         "queue-delay pressure");
+  level_metric_->set(static_cast<double>(
+      level_.load(std::memory_order_relaxed)));
+}
+
+void LoadShedder::set_level_locked(BrownoutLevel level) {
+  level_.store(static_cast<unsigned char>(level), std::memory_order_relaxed);
+  if (level_metric_ != nullptr) {
+    level_metric_->set(static_cast<double>(level));
+  }
+}
+
+void LoadShedder::observe(double sojourn_seconds, double now) {
+  if (!std::isfinite(sojourn_seconds) || !std::isfinite(now)) return;
+  const std::lock_guard lock(mu_);
+  const auto current =
+      static_cast<unsigned char>(level_.load(std::memory_order_relaxed));
+  if (sojourn_seconds > config_.target) {
+    below_since_ = -1.0;
+    if (above_since_ < 0.0) above_since_ = now;
+    if (now - above_since_ >= config_.interval &&
+        current < static_cast<unsigned char>(
+                      BrownoutLevel::kRefuseLowPriority)) {
+      set_level_locked(static_cast<BrownoutLevel>(current + 1));
+      ++escalations_;
+      if (escalations_metric_ != nullptr) escalations_metric_->inc();
+      // Restart the streak: each further escalation needs its own full
+      // interval of sustained pressure (CoDel's successive-drop spacing).
+      above_since_ = now;
+    }
+  } else {
+    above_since_ = -1.0;
+    if (below_since_ < 0.0) below_since_ = now;
+    if (now - below_since_ >= config_.cool_down && current > 0) {
+      set_level_locked(static_cast<BrownoutLevel>(current - 1));
+      below_since_ = now;  // symmetric: one level per sustained cool-down
+    }
+  }
+}
+
+std::uint64_t LoadShedder::escalations() const {
+  const std::lock_guard lock(mu_);
+  return escalations_;
+}
+
+}  // namespace cbes::resilience

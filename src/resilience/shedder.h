@@ -1,0 +1,101 @@
+// Adaptive load shedding for the request queue (CoDel-style).
+//
+// Bounded queue depth alone rejects only at the cliff edge; latency has
+// already collapsed by then. The LoadShedder instead watches queue *sojourn
+// time* (submit -> dispatch delay) the way CoDel watches packet delay: when
+// the delay stays above `target` for a full `interval`, the service steps
+// down one brown-out level; when it stays below target for `cool_down`, it
+// steps back up. The levels trade work for latency explicitly:
+//
+//   kFull              serve everything;
+//   kCachedOnly        low-priority (batch) requests are served only from
+//                      the prediction cache — fresh evaluation work for them
+//                      is shed;
+//   kRefuseLowPriority batch requests are refused at admission outright.
+//
+// Interactive and normal-priority traffic is never shed — overload costs the
+// speculative what-if queries first, exactly the work whose loss is cheapest
+// (the paper's service is consulted both at launch time and speculatively).
+//
+// The shedder is a pure state machine over (sojourn, now) observations: fed
+// wall-clock times by the queue in production, synthetic times in tests, so
+// every trajectory is deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace cbes::resilience {
+
+enum class BrownoutLevel : unsigned char {
+  kFull = 0,
+  kCachedOnly = 1,
+  kRefuseLowPriority = 2,
+};
+
+[[nodiscard]] constexpr const char* brownout_name(BrownoutLevel l) noexcept {
+  switch (l) {
+    case BrownoutLevel::kFull:
+      return "full";
+    case BrownoutLevel::kCachedOnly:
+      return "cached-only";
+    case BrownoutLevel::kRefuseLowPriority:
+      return "refuse-low-priority";
+  }
+  return "?";
+}
+
+struct ShedderConfig {
+  /// Queue-delay target, seconds. Sojourn above this is overload pressure.
+  double target = 0.010;
+  /// Pressure must persist this long (seconds) to escalate one level.
+  double interval = 0.100;
+  /// Relief must persist this long (seconds) to de-escalate one level.
+  double cool_down = 0.250;
+};
+
+class LoadShedder {
+ public:
+  /// Throws ContractError on a nonsense config (non-positive windows, ...).
+  explicit LoadShedder(ShedderConfig config = {});
+
+  /// Feeds one dequeued job's sojourn time, observed at time `now` (any
+  /// monotone clock; seconds). Observations must be fed with non-decreasing
+  /// `now` per caller; concurrent callers are serialized internally.
+  void observe(double sojourn_seconds, double now);
+
+  /// Current brown-out level (cheap; callable from admission control).
+  [[nodiscard]] BrownoutLevel level() const noexcept {
+    return static_cast<BrownoutLevel>(
+        level_.load(std::memory_order_relaxed));
+  }
+
+  /// Level escalations since construction (for tests and reporting).
+  [[nodiscard]] std::uint64_t escalations() const;
+
+  [[nodiscard]] const ShedderConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Wires the brown-out-level gauge and the escalation counter into
+  /// `registry` (nullptr disables; the default). Must outlive the shedder.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  void set_level_locked(BrownoutLevel level);
+
+  ShedderConfig config_;
+  mutable std::mutex mu_;
+  std::atomic<unsigned char> level_{0};
+  /// Start of the current above-target streak; negative = no streak.
+  double above_since_ = -1.0;
+  /// Start of the current below-target streak; negative = no streak.
+  double below_since_ = -1.0;
+  std::uint64_t escalations_ = 0;
+  obs::Gauge* level_metric_ = nullptr;
+  obs::Counter* escalations_metric_ = nullptr;
+};
+
+}  // namespace cbes::resilience

@@ -1,0 +1,346 @@
+#include "server/checkpoint.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "server/server.h"
+
+namespace cbes::server {
+
+namespace {
+
+constexpr const char* kMagic = "CBESCKPT";
+constexpr int kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw CheckpointError("malformed checkpoint: " + what);
+}
+
+/// %.17g round-trips IEEE-754 binary64: strtod(fmt(x)) == x bit for bit.
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+void append_coeffs(std::string& out, const LatencyCoeffs& c) {
+  const double fields[] = {c.alpha,      c.beta,       c.k_alpha_cpu,
+                           c.k_beta_cpu, c.k_beta_nic, c.fit_r_squared};
+  for (double f : fields) {
+    out += ' ';
+    append_double(out, f);
+  }
+}
+
+/// Whitespace-token cursor over one checkpoint line.
+class LineParser {
+ public:
+  LineParser(const std::string& line, std::size_t number)
+      : line_(line), number_(number) {}
+
+  [[nodiscard]] std::string token(const char* what) {
+    skip_spaces();
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] != ' ') ++pos_;
+    if (start == pos_) fail(std::string("missing ") + what);
+    return line_.substr(start, pos_ - start);
+  }
+
+  void expect(const char* keyword) {
+    if (token(keyword) != keyword) {
+      fail(std::string("expected '") + keyword + '\'');
+    }
+  }
+
+  [[nodiscard]] double number(const char* what) {
+    const std::string tok = token(what);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(tok.c_str(), &end);
+    // ERANGE with a finite result is subnormal underflow — a value %.17g
+    // legitimately emits (it still round-trips exactly); only overflow to
+    // ±HUGE_VAL is corrupt.
+    const bool overflow = errno == ERANGE && (value == HUGE_VAL ||
+                                              value == -HUGE_VAL);
+    if (end != tok.c_str() + tok.size() || overflow) {
+      fail(std::string("bad number for ") + what + ": '" + tok + '\'');
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t count(const char* what) {
+    const std::string tok = token(what);
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || errno == ERANGE ||
+        tok.front() == '-') {
+      fail(std::string("bad count for ") + what + ": '" + tok + '\'');
+    }
+    return value;
+  }
+
+  /// Everything after the current position (one leading space stripped);
+  /// used for the fields that may themselves contain spaces and therefore
+  /// come last on their line (path signatures, app names).
+  [[nodiscard]] std::string rest(const char* what) {
+    skip_spaces();
+    if (pos_ >= line_.size()) fail(std::string("missing ") + what);
+    return line_.substr(pos_);
+  }
+
+  void done() {
+    skip_spaces();
+    if (pos_ < line_.size()) fail("trailing garbage");
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << what << " (line " << number_ << ": '" << line_ << "')";
+    malformed(os.str());
+  }
+
+  const std::string& line_;
+  std::size_t number_;
+  std::size_t pos_ = 0;
+};
+
+/// Line cursor over the whole checkpoint text.
+class TextParser {
+ public:
+  explicit TextParser(const std::string& text) {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) {
+        if (start < text.size()) lines_.push_back(text.substr(start));
+        break;
+      }
+      lines_.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  [[nodiscard]] LineParser next(const char* what) {
+    if (pos_ >= lines_.size()) {
+      malformed(std::string("truncated before ") + what);
+    }
+    ++pos_;
+    return LineParser{lines_[pos_ - 1], pos_};
+  }
+
+  void at_end() const {
+    if (pos_ < lines_.size()) {
+      malformed("content after 'end' (line " + std::to_string(pos_ + 1) + ")");
+    }
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t pos_ = 0;
+};
+
+LatencyCoeffs parse_coeffs(LineParser& line) {
+  LatencyCoeffs c;
+  c.alpha = line.number("alpha");
+  c.beta = line.number("beta");
+  c.k_alpha_cpu = line.number("k_alpha_cpu");
+  c.k_beta_cpu = line.number("k_beta_cpu");
+  c.k_beta_nic = line.number("k_beta_nic");
+  c.fit_r_squared = line.number("fit_r_squared");
+  return c;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const ServerCheckpoint& checkpoint) {
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  out += std::to_string(kVersion);
+  out += '\n';
+
+  out += "loopback";
+  append_coeffs(out, checkpoint.calibration.loopback);
+  out += '\n';
+  out += "partial ";
+  out += checkpoint.calibration.partial ? '1' : '0';
+  out += '\n';
+  out += "classes " + std::to_string(checkpoint.calibration.classes.size());
+  out += '\n';
+  for (const auto& [sig, coeffs] : checkpoint.calibration.classes) {
+    out += "class";
+    append_coeffs(out, coeffs);
+    out += ' ';
+    out += sig;  // may contain spaces: last field on the line
+    out += '\n';
+  }
+
+  out += "health " + std::to_string(checkpoint.health.size());
+  for (NodeHealth h : checkpoint.health) {
+    out += ' ';
+    out += std::to_string(static_cast<unsigned>(h));
+  }
+  out += '\n';
+
+  out += "hints " + std::to_string(checkpoint.warm_hints.size());
+  out += '\n';
+  for (const WarmHint& hint : checkpoint.warm_hints) {
+    out += "hint " + std::to_string(hint.assignment.size());
+    for (std::uint32_t node : hint.assignment) {
+      out += ' ';
+      out += std::to_string(node);
+    }
+    out += ' ';
+    out += hint.app;  // may contain spaces: last field on the line
+    out += '\n';
+  }
+
+  out += "end\n";
+  return out;
+}
+
+ServerCheckpoint decode_checkpoint(const std::string& text) {
+  TextParser parser(text);
+  ServerCheckpoint checkpoint;
+
+  {
+    LineParser line = parser.next("header");
+    line.expect(kMagic);
+    const std::uint64_t version = line.count("version");
+    if (version != static_cast<std::uint64_t>(kVersion)) {
+      malformed("unsupported version " + std::to_string(version));
+    }
+    line.done();
+  }
+  {
+    LineParser line = parser.next("loopback");
+    line.expect("loopback");
+    checkpoint.calibration.loopback = parse_coeffs(line);
+    line.done();
+  }
+  {
+    LineParser line = parser.next("partial");
+    line.expect("partial");
+    const std::uint64_t flag = line.count("partial flag");
+    if (flag > 1) malformed("partial flag must be 0 or 1");
+    checkpoint.calibration.partial = flag == 1;
+    line.done();
+  }
+  std::uint64_t class_count = 0;
+  {
+    LineParser line = parser.next("classes");
+    line.expect("classes");
+    class_count = line.count("class count");
+    line.done();
+  }
+  checkpoint.calibration.classes.reserve(class_count);
+  for (std::uint64_t i = 0; i < class_count; ++i) {
+    LineParser line = parser.next("class");
+    line.expect("class");
+    const LatencyCoeffs coeffs = parse_coeffs(line);
+    std::string sig = line.rest("path signature");
+    if (!checkpoint.calibration.classes.empty() &&
+        sig <= checkpoint.calibration.classes.back().first) {
+      malformed("path classes out of order at '" + sig + '\'');
+    }
+    checkpoint.calibration.classes.emplace_back(std::move(sig), coeffs);
+  }
+  {
+    LineParser line = parser.next("health");
+    line.expect("health");
+    const std::uint64_t n = line.count("health count");
+    checkpoint.health.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t verdict = line.count("health verdict");
+      if (verdict > static_cast<std::uint64_t>(NodeHealth::kDead)) {
+        malformed("health verdict out of range: " + std::to_string(verdict));
+      }
+      checkpoint.health.push_back(static_cast<NodeHealth>(verdict));
+    }
+    line.done();
+  }
+  std::uint64_t hint_count = 0;
+  {
+    LineParser line = parser.next("hints");
+    line.expect("hints");
+    hint_count = line.count("hint count");
+    line.done();
+  }
+  checkpoint.warm_hints.reserve(hint_count);
+  for (std::uint64_t i = 0; i < hint_count; ++i) {
+    LineParser line = parser.next("hint");
+    line.expect("hint");
+    WarmHint hint;
+    const std::uint64_t ranks = line.count("rank count");
+    hint.assignment.reserve(ranks);
+    for (std::uint64_t r = 0; r < ranks; ++r) {
+      const std::uint64_t node = line.count("node index");
+      if (node > std::numeric_limits<std::uint32_t>::max()) {
+        malformed("node index out of range: " + std::to_string(node));
+      }
+      hint.assignment.push_back(static_cast<std::uint32_t>(node));
+    }
+    hint.app = line.rest("app name");
+    checkpoint.warm_hints.push_back(std::move(hint));
+  }
+  {
+    LineParser line = parser.next("end");
+    line.expect("end");
+    line.done();
+  }
+  parser.at_end();
+  return checkpoint;
+}
+
+void save_checkpoint(const ServerCheckpoint& checkpoint,
+                     const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw CheckpointError("cannot open for writing: " + tmp);
+    out << encode_checkpoint(checkpoint);
+    out.flush();
+    if (!out) throw CheckpointError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("cannot replace checkpoint: " + path);
+  }
+}
+
+ServerCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot open checkpoint: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw CheckpointError("read failed: " + path);
+  return decode_checkpoint(buffer.str());
+}
+
+ServerCheckpoint take_checkpoint(const CbesServer& server,
+                                 std::size_t max_hints) {
+  ServerCheckpoint checkpoint;
+  checkpoint.calibration = server.service().latency_model().calibration_state();
+  checkpoint.health = server.health_state();
+  checkpoint.warm_hints = server.warm_hints(max_hints);
+  return checkpoint;
+}
+
+std::size_t restore_server_state(CbesServer& server,
+                                 const ServerCheckpoint& checkpoint,
+                                 Seconds now) {
+  server.restore_health(checkpoint.health);
+  return server.warm(checkpoint.warm_hints, now);
+}
+
+}  // namespace cbes::server

@@ -1,0 +1,92 @@
+// Crash-safe server state: versioned checkpoint/restore of everything the
+// serving layer cannot cheaply rebuild after a crash.
+//
+// A checkpoint carries three things (ISSUE 6 tentpole, part f):
+//   * the calibration state — the fitted latency-model coefficients, the
+//     product of the paper's "lengthy and expensive" offline phase. Restoring
+//     it through CbesService::Config::restored_calibration skips
+//     recalibration and reproduces every prediction bit-identically;
+//   * the node-health picture — the last verdict per node, so the restarted
+//     server diffs its first snapshot against the pre-crash picture instead
+//     of treating every verdict as fresh;
+//   * cache-warmup hints — the (app, mapping) pairs most recently memoized,
+//     worth re-evaluating to pre-heat the EvalCache.
+//
+// The on-disk format is versioned line-oriented text ("CBESCKPT 1"). Doubles
+// are printed with %.17g, which round-trips IEEE-754 binary64 exactly — the
+// restore path decodes the very bits the crashed process computed with.
+// save_checkpoint() writes via a temp file + rename so a crash mid-save
+// leaves the previous checkpoint intact. Malformed or truncated input decodes
+// to a typed CheckpointError, never a partial state.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "monitor/snapshot.h"
+#include "netmodel/latency_model.h"
+#include "server/eval_cache.h"
+
+namespace cbes::server {
+
+class CbesServer;
+
+/// Thrown when checkpoint text is malformed, truncated, or carries an
+/// unsupported version. Distinct from ContractError: this is bad *data*
+/// (a corrupt file), not a caller bug.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Everything a server checkpoint persists. Decoding the encoding of a
+/// checkpoint yields an equal value (round-trip identity, bit-exact doubles).
+struct ServerCheckpoint {
+  CalibrationState calibration;
+  /// Last health verdict per node; index = NodeId::index(). May be empty
+  /// (checkpoint taken before the first snapshot).
+  std::vector<NodeHealth> health;
+  /// Most-recently-used first, as exported by EvalCache::warm_hints().
+  std::vector<WarmHint> warm_hints;
+
+  friend bool operator==(const ServerCheckpoint&,
+                         const ServerCheckpoint&) = default;
+};
+
+/// Serializes `checkpoint` to the versioned text format.
+[[nodiscard]] std::string encode_checkpoint(const ServerCheckpoint& checkpoint);
+
+/// Parses checkpoint text; throws CheckpointError on any malformation
+/// (wrong magic/version, count mismatch, non-numeric field, truncation,
+/// trailing garbage).
+[[nodiscard]] ServerCheckpoint decode_checkpoint(const std::string& text);
+
+/// Writes `checkpoint` to `path` atomically (temp file + rename): a crash
+/// mid-save never clobbers an existing good checkpoint. Throws
+/// CheckpointError when the file cannot be written.
+void save_checkpoint(const ServerCheckpoint& checkpoint,
+                     const std::string& path);
+
+/// Reads and decodes the checkpoint at `path`; throws CheckpointError when
+/// the file is missing, unreadable, or malformed.
+[[nodiscard]] ServerCheckpoint load_checkpoint(const std::string& path);
+
+/// Snapshots the server's crash-safe state: its service's calibration, the
+/// health picture, and up to `max_hints` cache-warmup hints.
+[[nodiscard]] ServerCheckpoint take_checkpoint(const CbesServer& server,
+                                               std::size_t max_hints = 64);
+
+/// Applies the restorable parts of `checkpoint` to a freshly constructed
+/// server: seeds the health diff state and re-warms the cache at simulated
+/// time `now`. (The calibration part must be applied earlier, at service
+/// construction, via CbesService::Config::restored_calibration.) Returns the
+/// number of cache entries warmed.
+std::size_t restore_server_state(CbesServer& server,
+                                 const ServerCheckpoint& checkpoint,
+                                 Seconds now);
+
+}  // namespace cbes::server

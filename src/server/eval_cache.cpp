@@ -97,6 +97,7 @@ void EvalCache::insert(const std::string& app, const Mapping& mapping,
                        const Prediction& prediction) {
   Entry entry;
   entry.key = key_of(app, mapping);
+  entry.app = app;
   entry.assignment = mapping.assignment();
   entry.epoch = snapshot.epoch;
   // Distinct mapped nodes with their current ACPU as the drift baseline.
@@ -141,6 +142,23 @@ std::size_t EvalCache::invalidate_node(NodeId node) {
     it = next;
   }
   return dropped;
+}
+
+std::vector<WarmHint> EvalCache::warm_hints(std::size_t max_hints) const {
+  const std::lock_guard lock(mu_);
+  std::vector<WarmHint> hints;
+  hints.reserve(std::min(max_hints, lru_.size()));
+  for (const Entry& entry : lru_) {  // front = most recently used
+    if (hints.size() >= max_hints) break;
+    WarmHint hint;
+    hint.app = entry.app;
+    hint.assignment.reserve(entry.assignment.size());
+    for (NodeId node : entry.assignment) {
+      hint.assignment.push_back(static_cast<std::uint32_t>(node.index()));
+    }
+    hints.push_back(std::move(hint));
+  }
+  return hints;
 }
 
 void EvalCache::clear() {

@@ -38,6 +38,16 @@ struct EvalCacheConfig {
   double drift_threshold = 0.10;
 };
 
+/// A cache warm-up hint: an (app, mapping assignment) pair worth
+/// re-evaluating after a restart to pre-heat the cache (server checkpoints
+/// carry these — see server/checkpoint.h).
+struct WarmHint {
+  std::string app;
+  std::vector<std::uint32_t> assignment;  ///< rank -> node index
+
+  friend bool operator==(const WarmHint&, const WarmHint&) = default;
+};
+
 /// Thread-safe (single-mutex) LRU cache of Predictions.
 class EvalCache {
  public:
@@ -65,6 +75,10 @@ class EvalCache {
 
   void clear();
 
+  /// Up to `max_hints` warm-up hints, most-recently-used first — the entries
+  /// most worth re-evaluating after a restart.
+  [[nodiscard]] std::vector<WarmHint> warm_hints(std::size_t max_hints) const;
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
@@ -78,6 +92,7 @@ class EvalCache {
  private:
   struct Entry {
     std::string key;
+    std::string app;                    ///< for warm-hint export
     std::vector<NodeId> assignment;     ///< full equality check on lookup
     std::uint64_t epoch = 0;            ///< newest epoch the entry was valid at
     std::vector<NodeId> mapped_nodes;   ///< distinct nodes of the mapping

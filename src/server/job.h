@@ -23,6 +23,7 @@
 
 #include "core/remap.h"
 #include "core/service.h"
+#include "resilience/deadline.h"
 #include "sched/annealing.h"
 #include "sched/genetic.h"
 #include "sched/scheduler.h"
@@ -84,6 +85,36 @@ enum class JobState : unsigned char {
 
 [[nodiscard]] constexpr bool is_terminal(JobState s) noexcept {
   return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+/// Why a job reached kFailed (machine-readable companion to result.detail);
+/// kNone for every other terminal state.
+enum class FailReason : unsigned char {
+  kNone,       ///< not failed
+  kContract,   ///< the request violated a contract; retrying cannot help
+  kTransient,  ///< transient dependency failure and the retry budget ran out
+  kDeadNode,   ///< the answer would require a dead node (or lost capacity)
+  kShed,       ///< refused under brown-out (load shedding)
+  kWatchdog,   ///< the watchdog killed an overdue or wedged execution
+};
+
+[[nodiscard]] constexpr std::string_view fail_reason_name(
+    FailReason r) noexcept {
+  switch (r) {
+    case FailReason::kNone:
+      return "none";
+    case FailReason::kContract:
+      return "contract";
+    case FailReason::kTransient:
+      return "transient";
+    case FailReason::kDeadNode:
+      return "dead-node";
+    case FailReason::kShed:
+      return "shed";
+    case FailReason::kWatchdog:
+      return "watchdog";
+  }
+  return "?";
 }
 
 // ---- request payloads ------------------------------------------------------
@@ -171,6 +202,8 @@ struct JobResult {
   bool cache_hit = false;
   /// Rejection reason / failure message; empty for kDone.
   std::string detail;
+  /// Why the job failed (kNone unless state == kFailed).
+  FailReason fail_reason = FailReason::kNone;
   /// Wall time spent queued / executing.
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
@@ -194,8 +227,9 @@ struct Job {
   ScheduleRequest schedule;
   RemapRequest remap;
   Clock::time_point submitted{};
-  /// Absolute deadline; unset = unbounded.
-  std::optional<Clock::time_point> deadline;
+  /// Request deadline, carried from admission through every execution stage
+  /// (queue wait, monitor polls, compile, search loops). Default = unbounded.
+  resilience::Deadline deadline;
   /// Set by JobHandle::cancel(); polled by the worker and, through the
   /// scheduler StopToken, by the SA/GA step loops.
   std::atomic<bool> cancel_requested{false};
@@ -203,17 +237,20 @@ struct Job {
   /// True once the deadline has passed or cancellation was requested.
   [[nodiscard]] bool should_stop() const noexcept {
     if (cancel_requested.load(std::memory_order_relaxed)) return true;
-    return deadline.has_value() && Clock::now() >= *deadline;
+    return deadline.expired();
   }
 
   /// Moves the job to a terminal state and wakes waiters. `outcome.state`
   /// must be terminal; the first finish wins, later calls are ignored.
-  void finish(JobResult outcome) {
+  /// Returns true when this call won (the watchdog uses this to know whether
+  /// its kill landed before the worker's own completion).
+  bool finish(JobResult outcome) {
     const std::lock_guard lock(mu);
-    if (is_terminal(state)) return;
+    if (is_terminal(state)) return false;
     state = outcome.state;
     result = std::move(outcome);
     done.notify_all();
+    return true;
   }
 
   void mark_running() {

@@ -25,6 +25,19 @@ void RequestQueue::set_metrics(obs::MetricsRegistry* registry) {
                                  "Jobs accepted by admission control");
   rejected_ = &registry->counter("cbes_server_rejected_total",
                                  "Jobs refused by admission control");
+  shed_metric_ = &registry->counter(
+      "cbes_server_shed_total",
+      "Jobs refused at admission by brown-out load shedding");
+}
+
+void RequestQueue::set_shedder(resilience::LoadShedder* shedder) {
+  const std::lock_guard lock(mu_);
+  shedder_ = shedder;
+}
+
+std::uint64_t RequestQueue::shed_count() const {
+  const std::lock_guard lock(mu_);
+  return shed_;
 }
 
 void RequestQueue::publish_depth_locked() {
@@ -41,9 +54,18 @@ RequestQueue::Admission RequestQueue::offer(std::shared_ptr<Job> job) {
       if (rejected_ != nullptr) rejected_->inc();
       return {false, "server is shutting down"};
     }
-    if (job->deadline.has_value() && Job::Clock::now() >= *job->deadline) {
+    if (job->deadline.expired()) {
       if (rejected_ != nullptr) rejected_->inc();
       return {false, "deadline expired before admission"};
+    }
+    if (shedder_ != nullptr && job->priority == Priority::kBatch &&
+        shedder_->level() >= resilience::BrownoutLevel::kRefuseLowPriority) {
+      ++shed_;
+      if (rejected_ != nullptr) rejected_->inc();
+      if (shed_metric_ != nullptr) shed_metric_->inc();
+      return {false,
+              "shed under brown-out (refuse-low-priority): queue delay over "
+              "target"};
     }
     if (depth_ >= max_depth_) {
       if (rejected_ != nullptr) rejected_->inc();
@@ -68,6 +90,16 @@ std::shared_ptr<Job> RequestQueue::take() {
     cls.pop_front();
     --depth_;
     publish_depth_locked();
+    if (shedder_ != nullptr) {
+      // Feed the CoDel signal: how long this job waited for a worker. The
+      // shedder's clock is seconds on the jobs' steady clock.
+      const auto now = Job::Clock::now();
+      const double sojourn =
+          std::chrono::duration<double>(now - job->submitted).count();
+      const double now_s =
+          std::chrono::duration<double>(now.time_since_epoch()).count();
+      shedder_->observe(sojourn, now_s);
+    }
     return job;
   }
   return nullptr;  // closed and drained

@@ -11,6 +11,7 @@
 #include <array>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "resilience/shedder.h"
 #include "server/job.h"
 
 namespace cbes::server {
@@ -35,12 +37,15 @@ class RequestQueue {
   explicit RequestQueue(std::size_t max_depth);
 
   /// Offers a job. Rejects (without queuing) when the queue is full, closed,
-  /// or the job's deadline has already expired — overload produces fast
-  /// explicit feedback, not unbounded latency.
+  /// the job's deadline has already expired, or the load shedder's brown-out
+  /// level refuses its priority class — overload produces fast explicit
+  /// feedback, not unbounded latency.
   [[nodiscard]] Admission offer(std::shared_ptr<Job> job);
 
   /// Blocks until a job is available or the queue is closed and drained;
-  /// returns nullptr in the latter case (worker shutdown signal).
+  /// returns nullptr in the latter case (worker shutdown signal). Feeds each
+  /// dequeued job's queue-sojourn time to the shedder (when attached), which
+  /// is what drives brown-out escalation under sustained overload.
   [[nodiscard]] std::shared_ptr<Job> take();
 
   /// Stops admission. Workers drain what is already queued.
@@ -58,6 +63,13 @@ class RequestQueue {
   /// `registry` (nullptr disables; the default). Must outlive the queue.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches the CoDel-style load shedder consulted at admission and fed at
+  /// dispatch (nullptr detaches; the default). Must outlive the queue.
+  void set_shedder(resilience::LoadShedder* shedder);
+
+  /// Jobs refused at admission because of brown-out shedding.
+  [[nodiscard]] std::uint64_t shed_count() const;
+
  private:
   void publish_depth_locked();
 
@@ -67,9 +79,12 @@ class RequestQueue {
   std::size_t depth_ = 0;
   std::size_t max_depth_;
   bool closed_ = false;
+  resilience::LoadShedder* shedder_ = nullptr;
+  std::uint64_t shed_ = 0;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Counter* admitted_ = nullptr;
   obs::Counter* rejected_ = nullptr;
+  obs::Counter* shed_metric_ = nullptr;
 };
 
 }  // namespace cbes::server

@@ -27,6 +27,17 @@ class JobStopToken final : public StopToken {
   const Job* job_;
 };
 
+/// Internal signal: the job's deadline expired (or the caller cancelled)
+/// between execution stages. Caught in execute(), reported as kCancelled.
+struct JobCancelled {};
+
+/// Deadline propagation: every stage boundary asks this before starting
+/// work, so an expired request never pays for a snapshot, a compile, or a
+/// search it can no longer use.
+void throw_if_stopping(const Job& job) {
+  if (job.should_stop()) throw JobCancelled{};
+}
+
 [[nodiscard]] double seconds_between(Job::Clock::time_point from,
                                      Job::Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
@@ -43,19 +54,64 @@ class JobStopToken final : public StopToken {
   return NodePool(topology, request.pool_nodes, request.max_slots_per_node);
 }
 
+/// First dead node a mapping touches, or an invalid id when none.
+[[nodiscard]] NodeId first_dead_node(const Mapping& mapping,
+                                     const LoadSnapshot& snapshot) {
+  for (std::size_t i = 0; i < mapping.nranks(); ++i) {
+    const NodeId node = mapping.node_of(RankId{i});
+    if (!snapshot.alive(node)) return node;
+  }
+  return NodeId{};
+}
+
+[[nodiscard]] resilience::RetryPolicyConfig retry_config_of(
+    const ServerConfig& config) {
+  resilience::RetryPolicyConfig retry;
+  retry.max_retries = config.max_retries;
+  retry.initial_backoff =
+      std::chrono::duration<double>(config.retry_backoff).count();
+  retry.backoff_cap = std::max(
+      retry.initial_backoff,
+      std::chrono::duration<double>(config.retry_backoff_cap).count());
+  retry.jitter = config.retry_jitter;
+  retry.seed = config.retry_seed;
+  return retry;
+}
+
 }  // namespace
+
+Seconds CbesServer::request_now(const Job& job) noexcept {
+  switch (job.kind) {
+    case JobKind::kPredict:
+      return job.predict.now;
+    case JobKind::kCompare:
+      return job.compare.now;
+    case JobKind::kSchedule:
+      return job.schedule.now;
+    case JobKind::kRemap:
+      return job.remap.now;
+  }
+  return 0.0;
+}
 
 CbesServer::CbesServer(CbesService& service, ServerConfig config)
     : service_(&service),
       config_(config),
       queue_(config.max_queue_depth),
-      cache_(config.cache) {
+      cache_(config.cache),
+      retry_policy_(retry_config_of(config)),
+      monitor_breaker_("monitor", config.monitor_breaker),
+      calibration_breaker_("calibration", config.calibration_breaker),
+      shedder_(config.shedder) {
   CBES_CHECK_MSG(config_.workers >= 1, "need at least one worker thread");
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config_.metrics;
     queue_.set_metrics(&reg);
     cache_.set_metrics(&reg);
     compiled_cache_.set_metrics(&reg);
+    monitor_breaker_.set_metrics(&reg);
+    calibration_breaker_.set_metrics(&reg);
+    shedder_.set_metrics(&reg);
     reg.gauge("cbes_server_workers", "Executor threads serving jobs")
         .set(static_cast<double>(config_.workers));
     jobs_done_ =
@@ -77,6 +133,19 @@ CbesServer::CbesServer(CbesService& service, ServerConfig config)
         "cbes_server_dead_node_refusals_total",
         "Jobs refused an answer because the requested mapping touches a dead "
         "node");
+    watchdog_kills_metric_ = &reg.counter(
+        "cbes_server_watchdog_kills_total",
+        "Jobs the watchdog killed as overdue or wedged");
+    workers_replaced_metric_ = &reg.counter(
+        "cbes_server_workers_replaced_total",
+        "Worker threads replaced after a watchdog kill");
+    lkg_served_metric_ = &reg.counter(
+        "cbes_server_lkg_snapshots_total",
+        "Requests answered from the last-known-good snapshot while the "
+        "monitor was unavailable");
+    cache_only_shed_ = &reg.counter(
+        "cbes_server_cache_only_shed_total",
+        "Batch jobs shed under brown-out (cached-only level, cache miss)");
     queue_seconds_ =
         &reg.histogram("cbes_server_queue_seconds",
                        obs::Histogram::exponential(1e-6, 4.0, 12),
@@ -86,13 +155,49 @@ CbesServer::CbesServer(CbesService& service, ServerConfig config)
                        obs::Histogram::exponential(1e-6, 4.0, 12),
                        "Wall time jobs spent executing");
   }
-  workers_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  if (config_.enable_shedding) queue_.set_shedder(&shedder_);
+  {
+    const std::lock_guard lock(workers_mu_);
+    workers_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) spawn_worker_locked();
+  }
+  if (config_.watchdog_poll.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
 CbesServer::~CbesServer() { shutdown(/*drain=*/true); }
+
+void CbesServer::spawn_worker_locked() {
+  auto slot = std::make_unique<WorkerSlot>();
+  WorkerSlot* raw = slot.get();
+  workers_.push_back(std::move(slot));
+  raw->thread = std::thread([this, raw] { worker_loop(raw); });
+}
+
+std::size_t CbesServer::worker_count() const {
+  const std::lock_guard lock(workers_mu_);
+  std::size_t active = 0;
+  for (const auto& slot : workers_) {
+    if (!slot->replaced.load(std::memory_order_relaxed)) ++active;
+  }
+  return active;
+}
+
+std::uint64_t CbesServer::watchdog_kills() const {
+  const std::lock_guard lock(workers_mu_);
+  return watchdog_kills_;
+}
+
+std::uint64_t CbesServer::workers_replaced() const {
+  const std::lock_guard lock(workers_mu_);
+  return workers_replaced_;
+}
+
+std::uint64_t CbesServer::lkg_snapshots_served() const {
+  const std::lock_guard lock(lkg_mu_);
+  return lkg_served_;
+}
 
 std::shared_ptr<Job> CbesServer::make_job(JobKind kind,
                                           const SubmitOptions& options) {
@@ -104,7 +209,9 @@ std::shared_ptr<Job> CbesServer::make_job(JobKind kind,
   const std::chrono::milliseconds budget =
       options.deadline.count() > 0 ? options.deadline
                                    : config_.default_deadline;
-  if (budget.count() > 0) job->deadline = job->submitted + budget;
+  if (budget.count() > 0) {
+    job->deadline = resilience::Deadline::at(job->submitted + budget);
+  }
   return job;
 }
 
@@ -200,25 +307,107 @@ JobHandle CbesServer::submit(ScheduleRequest request, SubmitOptions options) {
 
 void CbesServer::shutdown(bool drain) {
   shut_down_.store(true, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   queue_.close();
   if (!drain) {
     for (const std::shared_ptr<Job>& job : queue_.drain()) {
       JobResult result;
       result.state = JobState::kCancelled;
       result.detail = "server shutdown";
-      job->finish(std::move(result));
       if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
+      job->finish(std::move(result));
     }
   }
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  // Join every worker ever spawned — including wedged ones the watchdog
+  // replaced; they exit once their stalled call returns. No thread is ever
+  // detached, so shutdown leaves no stragglers behind (TSan-clean).
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+  {
+    const std::lock_guard lock(workers_mu_);
+    slots.swap(workers_);
   }
-  workers_.clear();
+  for (const auto& slot : slots) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
 }
 
-void CbesServer::worker_loop() {
-  while (std::shared_ptr<Job> job = queue_.take()) {
+void CbesServer::worker_loop(WorkerSlot* slot) {
+  while (!slot->replaced.load(std::memory_order_acquire)) {
+    std::shared_ptr<Job> job = queue_.take();
+    if (job == nullptr) break;
+    {
+      const std::lock_guard lock(slot->mu);
+      slot->current = job;
+      slot->started = Job::Clock::now();
+    }
     execute(*job);
+    {
+      const std::lock_guard lock(slot->mu);
+      slot->current.reset();
+    }
+  }
+}
+
+void CbesServer::watchdog_loop() {
+  std::unique_lock lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_poll,
+                          [&] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    lock.unlock();
+    const Job::Clock::time_point now = Job::Clock::now();
+    {
+      const std::lock_guard workers_lock(workers_mu_);
+      // Index loop on purpose: a replacement appends to workers_ mid-scan.
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        WorkerSlot* slot = workers_[i].get();
+        if (slot->replaced.load(std::memory_order_relaxed)) continue;
+        std::shared_ptr<Job> job;
+        Job::Clock::time_point started;
+        {
+          const std::lock_guard slot_lock(slot->mu);
+          job = slot->current;
+          started = slot->started;
+        }
+        if (job == nullptr) continue;
+        const bool overdue =
+            job->deadline.bounded() &&
+            now >= *job->deadline.when() + config_.watchdog_grace;
+        const bool wedged =
+            config_.watchdog_stall_bound.count() > 0 &&
+            now - started >= config_.watchdog_stall_bound;
+        if (!overdue && !wedged) continue;
+        // Ask nicely first (the cooperative token), then fail the job with a
+        // typed reason — first finish wins, so a worker that completes in
+        // the same instant keeps its answer.
+        job->cancel_requested.store(true, std::memory_order_relaxed);
+        JobResult result;
+        result.state = JobState::kFailed;
+        result.fail_reason = FailReason::kWatchdog;
+        result.detail =
+            overdue ? "watchdog: job ran past its deadline grace; worker "
+                      "presumed wedged"
+                    : "watchdog: execution stalled past the stall bound";
+        if (!job->finish(std::move(result))) continue;
+        ++watchdog_kills_;
+        if (watchdog_kills_metric_ != nullptr) watchdog_kills_metric_->inc();
+        // The worker is presumed wedged inside the job: retire its slot and
+        // bring a replacement up so pool capacity survives the stall. The
+        // wedged thread exits its loop when the stalled call returns.
+        slot->replaced.store(true, std::memory_order_release);
+        ++workers_replaced_;
+        if (workers_replaced_metric_ != nullptr) {
+          workers_replaced_metric_->inc();
+        }
+        spawn_worker_locked();
+      }
+    }
+    lock.lock();
   }
 }
 
@@ -239,38 +428,86 @@ void CbesServer::execute(Job& job) {
   }
 
   job.mark_running();
-  // Transient failures (injected or real) retry with capped exponential
-  // backoff; each attempt starts from a fresh result so a half-computed
-  // answer never leaks. Contract violations fail immediately — retrying a
-  // malformed request cannot succeed.
-  std::chrono::milliseconds backoff = config_.retry_backoff;
+
+  // Brown-out dispatch policy for batch work: at cached-only level, batch
+  // predictions may only probe the cache; batch search/compare work (always
+  // fresh evaluation) is shed outright. Interactive/normal jobs never shed.
+  bool cache_only = false;
+  if (config_.enable_shedding && job.priority == Priority::kBatch &&
+      shedder_.level() >= resilience::BrownoutLevel::kCachedOnly) {
+    if (job.kind == JobKind::kPredict) {
+      cache_only = true;
+    } else {
+      result.state = JobState::kFailed;
+      result.fail_reason = FailReason::kShed;
+      result.detail =
+          "shed under brown-out (cached-only): fresh evaluation refused for "
+          "batch work";
+      if (cache_only_shed_ != nullptr) cache_only_shed_->inc();
+      if (jobs_failed_ != nullptr) jobs_failed_->inc();
+      job.finish(std::move(result));
+      return;
+    }
+  }
+
+  // Server-side chaos: an active worker-stall window wedges this execution
+  // attempt for its magnitude in wall seconds — exactly what the watchdog
+  // exists to notice.
+  if (config_.chaos != nullptr) {
+    const double stall = config_.chaos->worker_stall_seconds(request_now(job));
+    if (stall > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+    }
+  }
+
+  // Transient failures (injected or real) retry under the RetryPolicy:
+  // seeded, jittered exponential backoff keyed by job id, bounded by the
+  // request deadline. Each attempt starts from a fresh result so a
+  // half-computed answer never leaks. Contract violations fail immediately —
+  // retrying a malformed request cannot succeed.
   for (std::size_t attempt = 0;; ++attempt) {
     JobResult fresh;
     fresh.state = JobState::kDone;
     fresh.queue_seconds = result.queue_seconds;
     try {
       if (config_.fault_hook) config_.fault_hook(job);
-      run_attempt(job, fresh);
+      throw_if_stopping(job);
+      run_attempt(job, fresh, cache_only);
       result = std::move(fresh);
       break;
+    } catch (const JobCancelled&) {
+      result.state = JobState::kCancelled;
+      result.detail = "cancelled mid-execution (deadline or caller)";
+      break;
     } catch (const fault::TransientError& e) {
-      if (attempt >= config_.max_retries || job.should_stop()) {
+      if (retry_policy_.exhausted(attempt) || job.should_stop()) {
         result.state = JobState::kFailed;
+        result.fail_reason = FailReason::kTransient;
         result.detail = std::string("transient failure (retries exhausted): ") +
                         e.what();
         break;
       }
       if (retries_ != nullptr) retries_->inc();
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, config_.retry_backoff_cap);
+      // Never sleep past the deadline: the backoff is clipped to what is
+      // left of the request's budget.
+      const auto backoff = std::chrono::duration_cast<Job::Clock::duration>(
+          std::chrono::duration<double>(
+              retry_policy_.backoff_seconds(job.id, attempt)));
+      std::this_thread::sleep_for(
+          std::min(backoff, job.deadline.remaining()));
     } catch (const std::exception& e) {
       result.state = JobState::kFailed;
+      result.fail_reason = FailReason::kContract;
       result.detail = e.what();
       break;
     }
   }
   result.run_seconds = seconds_between(started, Job::Clock::now());
   if (run_seconds_ != nullptr) run_seconds_->observe(result.run_seconds);
+  // Counters update before finish() so a client woken by wait() observes
+  // them. Each job is metered exactly once — here, by its worker; a watchdog
+  // kill only bumps the watchdog's own counters (the worker's eventual
+  // losing finish still accounts for the work it actually did).
   if (result.degraded && jobs_degraded_ != nullptr) jobs_degraded_->inc();
   switch (result.state) {
     case JobState::kDone:
@@ -299,35 +536,157 @@ void CbesServer::note_health(const LoadSnapshot& snapshot) {
   last_health_ = snapshot.health;
 }
 
-LoadSnapshot CbesServer::snapshot_for(Seconds now, bool& degraded) {
-  const SystemMonitor& monitor = service_->monitor();
-  degraded = config_.max_snapshot_age != kNever &&
-             monitor.staleness(now) > config_.max_snapshot_age;
-  LoadSnapshot snap = monitor.snapshot(now);
-  note_health(snap);
-  if (!degraded) return snap;
-  // Stale picture: serve from no-load latencies instead of blocking on the
-  // monitoring subsystem — flagged so clients can weigh the answer. Health
-  // verdicts are kept: degraded service still never uses a dead node, and
-  // dead nodes keep their pessimal availability values.
-  LoadSnapshot idle = LoadSnapshot::idle(service_->topology().node_count());
-  idle.taken_at = now;
-  idle.epoch = snap.epoch;
-  idle.health = snap.health;
-  for (std::size_t i = 0; i < idle.health.size(); ++i) {
-    if (idle.health[i] == NodeHealth::kDead) {
-      idle.cpu_avail[i] = snap.cpu_avail[i];
-      idle.nic_util[i] = snap.nic_util[i];
+std::vector<NodeHealth> CbesServer::health_state() const {
+  const std::lock_guard lock(health_mu_);
+  return last_health_;
+}
+
+void CbesServer::restore_health(std::vector<NodeHealth> health) {
+  const std::lock_guard lock(health_mu_);
+  last_health_ = std::move(health);
+}
+
+std::vector<WarmHint> CbesServer::warm_hints(std::size_t max_hints) const {
+  return cache_.warm_hints(max_hints);
+}
+
+std::size_t CbesServer::warm(const std::vector<WarmHint>& hints, Seconds now) {
+  bool degraded = false;
+  const LoadSnapshot snapshot = snapshot_for(now, degraded);
+  if (degraded) return 0;  // never warm the cache from a degraded picture
+  const std::size_t nodes = service_->topology().node_count();
+  std::size_t warmed = 0;
+  for (const WarmHint& hint : hints) {
+    if (!service_->has_profile(hint.app) || hint.assignment.empty()) continue;
+    std::vector<NodeId> assignment;
+    assignment.reserve(hint.assignment.size());
+    bool valid = true;
+    for (const std::uint32_t index : hint.assignment) {
+      if (index >= nodes) {
+        valid = false;
+        break;
+      }
+      assignment.emplace_back(NodeId{index});
+    }
+    if (!valid) continue;
+    const Mapping mapping(std::move(assignment));
+    if (!mapping.fits(service_->topology()) ||
+        first_dead_node(mapping, snapshot).valid()) {
+      continue;
+    }
+    try {
+      bool cache_hit = false;
+      (void)cached_predict(hint.app, mapping, snapshot, /*degraded=*/false,
+                           cache_hit);
+      ++warmed;
+    } catch (const std::exception&) {
+      // A hint from a previous life may no longer evaluate; warming is
+      // best-effort by definition.
     }
   }
+  return warmed;
+}
+
+LoadSnapshot CbesServer::snapshot_for(Seconds now, bool& degraded) {
+  const SystemMonitor& monitor = service_->monitor();
+  const bool outage =
+      config_.chaos != nullptr && config_.chaos->monitor_down(now);
+  if (monitor_breaker_.allow(now)) {
+    if (outage) {
+      monitor_breaker_.record_failure(now);
+    } else {
+      monitor_breaker_.record_success(now);
+      const bool stale = config_.max_snapshot_age != kNever &&
+                         monitor.staleness(now) > config_.max_snapshot_age;
+      LoadSnapshot snap = monitor.snapshot(now);
+      note_health(snap);
+      if (!stale) {
+        {
+          const std::lock_guard lock(lkg_mu_);
+          lkg_snapshot_ = snap;
+        }
+        degraded = false;
+        return snap;
+      }
+      // Stale picture: serve from no-load latencies instead of blocking on
+      // the monitoring subsystem — flagged so clients can weigh the answer.
+      // Health verdicts are kept: degraded service still never uses a dead
+      // node, and dead nodes keep their pessimal availability values.
+      degraded = true;
+      LoadSnapshot idle = LoadSnapshot::idle(service_->topology().node_count());
+      idle.taken_at = now;
+      idle.epoch = snap.epoch;
+      idle.health = snap.health;
+      for (std::size_t i = 0; i < idle.health.size(); ++i) {
+        if (idle.health[i] == NodeHealth::kDead) {
+          idle.cpu_avail[i] = snap.cpu_avail[i];
+          idle.nic_util[i] = snap.nic_util[i];
+        }
+      }
+      return idle;
+    }
+  }
+  // The monitor is unavailable (outage mid-window, or the breaker is open
+  // and short-circuiting): serve the last-known-good picture, degraded.
+  // Health verdicts ride along, so dead nodes stay fenced even now.
+  degraded = true;
+  {
+    const std::lock_guard lock(lkg_mu_);
+    if (lkg_snapshot_.has_value()) {
+      ++lkg_served_;
+      if (lkg_served_metric_ != nullptr) lkg_served_metric_->inc();
+      LoadSnapshot snap = *lkg_snapshot_;
+      snap.taken_at = now;
+      return snap;
+    }
+  }
+  // No good picture was ever captured: the no-load idle picture is all
+  // there is.
+  LoadSnapshot idle = LoadSnapshot::idle(service_->topology().node_count());
+  idle.taken_at = now;
   return idle;
 }
 
 std::shared_ptr<const CompiledProfile> CbesServer::compiled_for(
-    const AppProfile& profile, const LoadSnapshot& snapshot, bool degraded) {
-  return compiled_cache_.get_or_build(
-      profile.hash(), snapshot.epoch, degraded,
-      [&] { return service_->evaluator().compile(profile, snapshot); });
+    const AppProfile& profile, const LoadSnapshot& snapshot, Seconds now,
+    bool& degraded) {
+  const double extra = config_.chaos != nullptr
+                           ? config_.chaos->calibration_slow_seconds(now)
+                           : 0.0;
+  const bool allowed = calibration_breaker_.allow(now);
+  if (!allowed) {
+    const std::lock_guard lock(lkg_compiled_mu_);
+    const auto found = lkg_compiled_.find(profile.hash());
+    if (found != lkg_compiled_.end()) {
+      degraded = true;
+      return found->second;
+    }
+    // Nothing last-known-good for this profile: fall through and pay for a
+    // fresh compile — a slow answer beats none.
+  }
+  std::shared_ptr<const CompiledProfile> artifact = compiled_cache_.get_or_build(
+      profile.hash(), snapshot.epoch, degraded, [&] {
+        if (extra > 0.0) {
+          // Server-side chaos: compilation crawls for `extra` wall seconds.
+          std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+        }
+        return service_->evaluator().compile(profile, snapshot);
+      });
+  if (allowed) {
+    // A compile requested during a slow-calibration window counts against
+    // the breaker even when the artifact came from cache: the dependency is
+    // unhealthy, and pretending otherwise just delays the trip.
+    if (extra > 0.0) {
+      calibration_breaker_.record_failure(now);
+    } else {
+      calibration_breaker_.record_success(now);
+    }
+  }
+  {
+    const std::lock_guard lock(lkg_compiled_mu_);
+    lkg_compiled_[profile.hash()] = artifact;
+  }
+  return artifact;
 }
 
 Prediction CbesServer::cached_predict(const std::string& app,
@@ -346,10 +705,10 @@ Prediction CbesServer::cached_predict(const std::string& app,
   return prediction;
 }
 
-void CbesServer::run_attempt(Job& job, JobResult& result) {
+void CbesServer::run_attempt(Job& job, JobResult& result, bool cache_only) {
   switch (job.kind) {
     case JobKind::kPredict:
-      run_predict(job, result);
+      run_predict(job, result, cache_only);
       break;
     case JobKind::kCompare:
       run_compare(job, result);
@@ -363,21 +722,7 @@ void CbesServer::run_attempt(Job& job, JobResult& result) {
   }
 }
 
-namespace {
-
-/// First dead node a mapping touches, or an invalid id when none.
-[[nodiscard]] NodeId first_dead_node(const Mapping& mapping,
-                                     const LoadSnapshot& snapshot) {
-  for (std::size_t i = 0; i < mapping.nranks(); ++i) {
-    const NodeId node = mapping.node_of(RankId{i});
-    if (!snapshot.alive(node)) return node;
-  }
-  return NodeId{};
-}
-
-}  // namespace
-
-void CbesServer::run_predict(Job& job, JobResult& result) {
+void CbesServer::run_predict(Job& job, JobResult& result, bool cache_only) {
   const PredictRequest& request = job.predict;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
   const NodeId dead = first_dead_node(request.mapping, snapshot);
@@ -385,10 +730,28 @@ void CbesServer::run_predict(Job& job, JobResult& result) {
     // No finite answer exists; refusing beats serving "infinity" as a number.
     if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
     result.state = JobState::kFailed;
+    result.fail_reason = FailReason::kDeadNode;
     result.detail =
         "mapping places ranks on dead node " + std::to_string(dead.value);
     return;
   }
+  if (cache_only) {
+    // Brown-out (cached-only level): a batch prediction may only probe the
+    // cache; evaluating fresh is exactly the work being shed.
+    if (std::optional<Prediction> hit =
+            cache_.lookup(request.app, request.mapping, snapshot)) {
+      result.prediction = *std::move(hit);
+      result.cache_hit = true;
+      return;
+    }
+    if (cache_only_shed_ != nullptr) cache_only_shed_->inc();
+    result.state = JobState::kFailed;
+    result.fail_reason = FailReason::kShed;
+    result.detail =
+        "shed under brown-out (cached-only): prediction not in cache";
+    return;
+  }
+  throw_if_stopping(job);
   result.prediction = cached_predict(request.app, request.mapping, snapshot,
                                      result.degraded, result.cache_hit);
   result.degraded = result.degraded || result.prediction.degraded;
@@ -400,6 +763,7 @@ void CbesServer::run_compare(Job& job, JobResult& result) {
   result.comparison.predicted.reserve(request.candidates.size());
   bool any_alive = false;
   for (std::size_t i = 0; i < request.candidates.size(); ++i) {
+    throw_if_stopping(job);
     // Candidates on dead nodes stay in the answer — position matters to the
     // client — but score infinity and never win.
     if (first_dead_node(request.candidates[i], snapshot).valid()) {
@@ -420,6 +784,7 @@ void CbesServer::run_compare(Job& job, JobResult& result) {
   if (!any_alive) {
     if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
     result.state = JobState::kFailed;
+    result.fail_reason = FailReason::kDeadNode;
     result.detail = "every candidate mapping touches a dead node";
   }
 }
@@ -437,12 +802,15 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
   if (request.nranks > pool.total_slots()) {
     if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
     result.state = JobState::kFailed;
+    result.fail_reason = FailReason::kDeadNode;
     result.detail = "only " + std::to_string(pool.total_slots()) +
                     " slots remain alive for " + std::to_string(request.nranks) +
                     " ranks";
     return;
   }
-  const CbesCost cost(compiled_for(profile, snapshot, result.degraded));
+  throw_if_stopping(job);  // compile can be slow; don't start it past deadline
+  const CbesCost cost(
+      compiled_for(profile, snapshot, request.now, result.degraded));
   const JobStopToken token(job);
 
   ScheduleResult search;
@@ -498,14 +866,16 @@ void CbesServer::run_remap(Job& job, JobResult& result) {
   if (request.current.nranks() > pool.total_slots()) {
     if (dead_node_refusals_ != nullptr) dead_node_refusals_->inc();
     result.state = JobState::kFailed;
+    result.fail_reason = FailReason::kDeadNode;
     result.detail = "only " + std::to_string(pool.total_slots()) +
                     " slots remain alive for " +
                     std::to_string(request.current.nranks()) + " ranks";
     return;
   }
 
+  throw_if_stopping(job);
   const std::shared_ptr<const CompiledProfile> compiled =
-      compiled_for(profile, snapshot, result.degraded);
+      compiled_for(profile, snapshot, request.now, result.degraded);
   const CbesCost cost(compiled);
   const JobStopToken token(job);
   SaParams params = request.sa;
@@ -521,6 +891,7 @@ void CbesServer::run_remap(Job& job, JobResult& result) {
   }
 
   result.remap_candidate = search.mapping;
+  throw_if_stopping(job);
   // The decision round reuses the search's compiled artifact: the stay cost
   // is evaluated once and the candidate priced against it.
   const RemapRound round(service_->evaluator(), compiled, request.current,

@@ -18,19 +18,41 @@
 //   * graceful degradation: when the monitor picture is stale past a bound,
 //     answers are computed from no-load latencies and flagged `degraded`
 //     rather than blocking on fresh telemetry.
+//
+// Self-resilience (ISSUE 6 tentpole) — the server defends its own latency:
+//   * deadline propagation: a request's Deadline is checked between every
+//     execution stage (snapshot, compile, search), not only in step loops;
+//   * RetryPolicy: transient failures retry with seeded, jittered exponential
+//     backoff bounded by the request deadline;
+//   * circuit breakers on the monitor and compile paths: while open, answers
+//     come from the last-known-good picture / artifact, flagged degraded;
+//   * CoDel-style load shedding: sustained queue delay escalates brown-out
+//     levels that shed batch work (cached-only, then refuse-at-admission);
+//   * a watchdog that kills overdue or wedged executions with a typed
+//     failure and replaces the wedged worker thread;
+//   * crash-safe state: calibration, node health, and cache-warmup hints
+//     checkpoint to disk and restore bit-identically (server/checkpoint.h).
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/service.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
+#include "resilience/breaker.h"
+#include "resilience/retry.h"
+#include "resilience/shedder.h"
 #include "server/eval_cache.h"
 #include "server/job.h"
 #include "server/request_queue.h"
@@ -57,6 +79,37 @@ struct ServerConfig {
   /// Backoff before the first retry; doubles per attempt up to the cap.
   std::chrono::milliseconds retry_backoff{5};
   std::chrono::milliseconds retry_backoff_cap{50};
+  /// Jitter fraction on retry backoff in [0, 1); each job draws its own
+  /// deterministic jitter stream (keyed by job id) so synchronized retries
+  /// de-synchronize instead of stampeding a recovering dependency.
+  double retry_jitter = 0.25;
+  std::uint64_t retry_seed = 0x8E7721E5ULL;
+  /// Circuit breaker guarding monitor snapshots: after this many consecutive
+  /// snapshot failures the server stops asking the monitor and serves the
+  /// last-known-good picture (degraded) until a half-open probe succeeds.
+  resilience::BreakerConfig monitor_breaker;
+  /// Circuit breaker guarding profile compilation: while open, schedule and
+  /// remap jobs reuse the last-known-good compiled artifact for the profile.
+  resilience::BreakerConfig calibration_breaker;
+  /// CoDel-style load shedding (opt-in): when queue sojourn exceeds the
+  /// shedder target for a sustained interval, batch work is shed — first
+  /// served cached-only, then refused at admission. Interactive and normal
+  /// traffic is never shed.
+  bool enable_shedding = false;
+  resilience::ShedderConfig shedder;
+  /// Watchdog poll period; zero disables the watchdog thread.
+  std::chrono::milliseconds watchdog_poll{0};
+  /// A running job whose deadline expired at least this long ago is killed
+  /// by the watchdog (typed kWatchdog failure) and its worker replaced. The
+  /// grace keeps the cooperative step-loop cancellation path first in line.
+  std::chrono::milliseconds watchdog_grace{200};
+  /// A running job older than this is considered wedged regardless of
+  /// deadline; zero disables the stall bound.
+  std::chrono::milliseconds watchdog_stall_bound{0};
+  /// Server-side chaos seam: when set, worker stalls, monitor outages, and
+  /// slow calibration from the injector's plan hit the serve path at each
+  /// request's simulated `now`. Must outlive the server. Optional.
+  const fault::FaultInjector* chaos = nullptr;
   /// Test/chaos seam invoked at the start of every execution attempt; may
   /// throw fault::TransientError to exercise the retry path. Optional.
   std::function<void(const Job&)> fault_hook;
@@ -89,7 +142,7 @@ class CbesServer {
   /// All submit() overloads apply admission control synchronously: the
   /// returned handle is either queued or already terminal-kRejected with
   /// result().detail explaining why (queue full, unknown app, malformed
-  /// request, expired deadline, shutdown).
+  /// request, expired deadline, brown-out shed, shutdown).
   JobHandle submit(PredictRequest request, SubmitOptions options = {});
   JobHandle submit(CompareRequest request, SubmitOptions options = {});
   JobHandle submit(ScheduleRequest request, SubmitOptions options = {});
@@ -100,19 +153,69 @@ class CbesServer {
   /// deadlines still apply). Idempotent; joins the worker threads.
   void shutdown(bool drain = true);
 
+  // ---- crash-safe state ----------------------------------------------------
+  /// Node-health state for checkpointing (the last health verdict observed
+  /// per node; empty before the first snapshot).
+  [[nodiscard]] std::vector<NodeHealth> health_state() const;
+  /// Pre-seeds the health diff state from a checkpoint so the first
+  /// post-restart snapshot diffs against the pre-crash picture instead of
+  /// treating every verdict as fresh.
+  void restore_health(std::vector<NodeHealth> health);
+  /// Cache-warmup hints: the apps+mappings currently memoized, most useful
+  /// first (LRU order). Feed to warm() after a restart.
+  [[nodiscard]] std::vector<WarmHint> warm_hints(std::size_t max_hints) const;
+  /// Re-evaluates each hint at simulated time `now` to pre-heat the cache;
+  /// invalid hints (stale apps, missing nodes) are skipped, not errors.
+  /// Returns the number of entries warmed.
+  std::size_t warm(const std::vector<WarmHint>& hints, Seconds now);
+
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
-  [[nodiscard]] std::size_t worker_count() const noexcept {
-    return workers_.size();
-  }
+  /// Active (non-replaced) worker threads.
+  [[nodiscard]] std::size_t worker_count() const;
   [[nodiscard]] EvalCache& cache() noexcept { return cache_; }
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const CompiledProfileCache& compiled_cache() const noexcept {
     return compiled_cache_;
   }
   [[nodiscard]] CbesService& service() noexcept { return *service_; }
+  [[nodiscard]] const CbesService& service() const noexcept {
+    return *service_;
+  }
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
+  // ---- resilience introspection (tests, CLI reporting) ---------------------
+  [[nodiscard]] const resilience::CircuitBreaker& monitor_breaker() const
+      noexcept {
+    return monitor_breaker_;
+  }
+  [[nodiscard]] const resilience::CircuitBreaker& calibration_breaker() const
+      noexcept {
+    return calibration_breaker_;
+  }
+  [[nodiscard]] const resilience::LoadShedder& shedder() const noexcept {
+    return shedder_;
+  }
+  [[nodiscard]] std::uint64_t shed_count() const { return queue_.shed_count(); }
+  /// Jobs the watchdog killed (overdue or wedged).
+  [[nodiscard]] std::uint64_t watchdog_kills() const;
+  /// Worker threads replaced after a watchdog kill.
+  [[nodiscard]] std::uint64_t workers_replaced() const;
+  /// Requests answered from the last-known-good snapshot while the monitor
+  /// breaker refused the monitor.
+  [[nodiscard]] std::uint64_t lkg_snapshots_served() const;
+
  private:
+  /// One worker thread and the state the watchdog needs to supervise it.
+  struct WorkerSlot {
+    std::thread thread;
+    /// Set when the watchdog replaced this worker; the (possibly wedged)
+    /// thread exits its loop at the next opportunity.
+    std::atomic<bool> replaced{false};
+    std::mutex mu;
+    std::shared_ptr<Job> current;       // guarded by mu
+    Job::Clock::time_point started{};   // guarded by mu
+  };
+
   [[nodiscard]] std::shared_ptr<Job> make_job(JobKind kind,
                                               const SubmitOptions& options);
   /// Shared tail of every submit(): reject with `reason` when non-empty,
@@ -120,25 +223,32 @@ class CbesServer {
   JobHandle admit(std::shared_ptr<Job> job, const std::string& reason);
   void reject(Job& job, const std::string& reason);
 
-  void worker_loop();
+  void worker_loop(WorkerSlot* slot);
+  void watchdog_loop();
+  void spawn_worker_locked();
   void execute(Job& job);
-  void run_attempt(Job& job, JobResult& result);
-  void run_predict(Job& job, JobResult& result);
+  void run_attempt(Job& job, JobResult& result, bool cache_only);
+  void run_predict(Job& job, JobResult& result, bool cache_only);
   void run_compare(Job& job, JobResult& result);
   void run_schedule(Job& job, JobResult& result);
   void run_remap(Job& job, JobResult& result);
 
   /// The shared CompiledProfile for `profile` under `snapshot`, from the
   /// compiled-artifact cache (keyed by profile hash, snapshot epoch, and the
-  /// degraded flag — see CompiledProfileCache).
+  /// degraded flag — see CompiledProfileCache). Guarded by the calibration
+  /// breaker: while open (after repeated slow compiles), the last-known-good
+  /// artifact for the profile is served instead and `degraded` is flipped.
   [[nodiscard]] std::shared_ptr<const CompiledProfile> compiled_for(
-      const AppProfile& profile, const LoadSnapshot& snapshot, bool degraded);
+      const AppProfile& profile, const LoadSnapshot& snapshot, Seconds now,
+      bool& degraded);
 
-  /// The availability picture for a request at simulated time `now`; flips
-  /// `degraded` and substitutes the no-load picture when the monitor is
-  /// stale past config_.max_snapshot_age. Health verdicts survive degradation
-  /// — even a stale answer never places ranks on a dead node — and health
-  /// *changes* observed here invalidate the affected cache entries.
+  /// The availability picture for a request at simulated time `now`,
+  /// guarded by the monitor breaker. On a healthy monitor this is the
+  /// monitor's snapshot (possibly staleness-degraded to the no-load picture,
+  /// as before); during a monitor outage — or while the breaker is open —
+  /// it is the last-known-good snapshot, flagged degraded. Health verdicts
+  /// survive every fallback: even a degraded answer never places ranks on a
+  /// dead node, and health *changes* invalidate affected cache entries.
   [[nodiscard]] LoadSnapshot snapshot_for(Seconds now, bool& degraded);
   /// Diffs `snapshot`'s health against the last observed picture and drops
   /// cache entries touching any node whose verdict changed.
@@ -149,18 +259,46 @@ class CbesServer {
                                           const LoadSnapshot& snapshot,
                                           bool degraded, bool& cache_hit);
 
+  /// The simulated time a job's request refers to (its payload's `now`).
+  [[nodiscard]] static Seconds request_now(const Job& job) noexcept;
+
   CbesService* service_;
   ServerConfig config_;
   RequestQueue queue_;
   EvalCache cache_;
   /// Compiled artifacts shared across workers and jobs of one snapshot epoch.
   CompiledProfileCache compiled_cache_;
-  std::vector<std::thread> workers_;
+  resilience::RetryPolicy retry_policy_;
+  resilience::CircuitBreaker monitor_breaker_;
+  resilience::CircuitBreaker calibration_breaker_;
+  resilience::LoadShedder shedder_;
+
+  mutable std::mutex workers_mu_;
+  /// Grows when the watchdog replaces a wedged worker; joined at shutdown.
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::uint64_t watchdog_kills_ = 0;      // guarded by workers_mu_
+  std::uint64_t workers_replaced_ = 0;    // guarded by workers_mu_
+
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
   /// Last health verdict seen per node; guards the cache-invalidation diff.
-  std::mutex health_mu_;
+  mutable std::mutex health_mu_;
   std::vector<NodeHealth> last_health_;
+  /// Last-known-good (fresh, non-degraded) monitor snapshot, served while
+  /// the monitor breaker is open or a snapshot attempt fails.
+  mutable std::mutex lkg_mu_;
+  std::optional<LoadSnapshot> lkg_snapshot_;
+  std::uint64_t lkg_served_ = 0;  // guarded by lkg_mu_
+  /// Last-known-good compiled artifact per profile hash, served while the
+  /// calibration breaker is open.
+  std::mutex lkg_compiled_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledProfile>>
+      lkg_compiled_;
+
   // Cached instruments (null when config_.metrics is null).
   obs::Counter* jobs_done_ = nullptr;
   obs::Counter* jobs_cancelled_ = nullptr;
@@ -169,6 +307,10 @@ class CbesServer {
   obs::Counter* retries_ = nullptr;
   obs::Counter* health_invalidations_ = nullptr;
   obs::Counter* dead_node_refusals_ = nullptr;
+  obs::Counter* watchdog_kills_metric_ = nullptr;
+  obs::Counter* workers_replaced_metric_ = nullptr;
+  obs::Counter* lkg_served_metric_ = nullptr;
+  obs::Counter* cache_only_shed_ = nullptr;
   obs::Histogram* queue_seconds_ = nullptr;
   obs::Histogram* run_seconds_ = nullptr;
 };

@@ -107,6 +107,152 @@ TEST(FaultPlan, ChaosIsDeterministicInSeed) {
   }
 }
 
+// ------------------------------------------------- timeline hardening -------
+
+TEST(FaultPlanTimeline, RejectsDuplicateEventForSameNodeAndTime) {
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{1}, 50.0});
+  EXPECT_THROW(plan.add({FaultKind::kCrash, NodeId{1}, 50.0}),
+               fault::FaultPlanError);
+  // A different node at the same time is fine.
+  plan.add({FaultKind::kCrash, NodeId{2}, 50.0});
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(FaultPlanTimeline, RejectsConflictingStateEventsAtTheSameInstant) {
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{1}, 50.0});
+  // Crash and recover of the same node at the same instant is ambiguous.
+  EXPECT_THROW(plan.add({FaultKind::kRecover, NodeId{1}, 50.0}),
+               fault::FaultPlanError);
+}
+
+TEST(FaultPlanTimeline, RejectsOutOfOrderCrashRecoverPairs) {
+  FaultPlan plan;
+  // Recover without a preceding crash.
+  EXPECT_THROW(plan.add({FaultKind::kRecover, NodeId{1}, 10.0}),
+               fault::FaultPlanError);
+  // Crash of an already-down node.
+  plan.add({FaultKind::kCrash, NodeId{1}, 20.0});
+  EXPECT_THROW(plan.add({FaultKind::kCrash, NodeId{1}, 40.0}),
+               fault::FaultPlanError);
+  // Crash -> recover -> crash is a legal timeline.
+  plan.add({FaultKind::kRecover, NodeId{1}, 60.0});
+  plan.add({FaultKind::kCrash, NodeId{1}, 80.0});
+  EXPECT_EQ(plan.size(), 3u);
+}
+
+TEST(FaultPlanTimeline, RejectedEventLeavesThePlanUnchanged) {
+  FaultPlan plan;
+  plan.add({FaultKind::kCrash, NodeId{1}, 20.0});
+  plan.add({FaultKind::kRecover, NodeId{1}, 60.0});
+  const std::vector<FaultEvent> before = plan.events();
+  // This recover would be valid by itself but lands while node 1 is up —
+  // the strong guarantee: the plan must be exactly as it was.
+  EXPECT_THROW(plan.add({FaultKind::kRecover, NodeId{1}, 70.0}),
+               fault::FaultPlanError);
+  EXPECT_EQ(plan.events(), before);
+}
+
+TEST(FaultPlanTimeline, NodelessKindsOnlyConflictWithThemselves) {
+  FaultPlan plan;
+  FaultEvent loss;
+  loss.kind = FaultKind::kReportLoss;
+  loss.at = 10.0;
+  loss.until = 50.0;
+  loss.magnitude = 0.2;
+  plan.add(loss);
+  // A monitor outage starting at the same instant is a different concern.
+  FaultEvent outage;
+  outage.kind = FaultKind::kMonitorOutage;
+  outage.at = 10.0;
+  outage.until = 30.0;
+  plan.add(outage);
+  EXPECT_EQ(plan.size(), 2u);
+  // But a second report-loss window at the same instant is a duplicate.
+  EXPECT_THROW(plan.add(loss), fault::FaultPlanError);
+}
+
+// ------------------------------------------------- server-side faults -------
+
+TEST(FaultPlanServer, ValidatesServerEventShapes) {
+  FaultPlan plan;
+  // Server-side kinds must not name a node.
+  FaultEvent bad;
+  bad.kind = FaultKind::kWorkerStall;
+  bad.node = NodeId{1};
+  bad.at = 1.0;
+  bad.until = 2.0;
+  bad.magnitude = 0.1;
+  EXPECT_THROW(plan.add(bad), ContractError);
+  // Worker stalls and slow calibration need a positive magnitude.
+  FaultEvent zero;
+  zero.kind = FaultKind::kSlowCalibration;
+  zero.at = 1.0;
+  zero.until = 2.0;
+  zero.magnitude = 0.0;
+  EXPECT_THROW(plan.add(zero), ContractError);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanServer, ChaosGeneratesRequestedServerFaults) {
+  ChaosOptions opt;
+  opt.worker_stalls = 2;
+  opt.monitor_outages = 1;
+  opt.slow_calibrations = 1;
+  const FaultPlan plan = FaultPlan::chaos(8, opt, 11);
+  EXPECT_EQ(plan.count(FaultKind::kWorkerStall), 2u);
+  EXPECT_EQ(plan.count(FaultKind::kMonitorOutage), 1u);
+  EXPECT_EQ(plan.count(FaultKind::kSlowCalibration), 1u);
+  for (const FaultEvent& e : plan.events()) {
+    if (fault::is_server_fault(e.kind)) {
+      EXPECT_FALSE(e.node.valid());
+      EXPECT_LT(e.at, e.until);
+    }
+  }
+}
+
+TEST(FaultInjectorServer, ServerFaultWindowsAnswerQueries) {
+  const ClusterTopology topo = make_flat(4);
+  FaultPlan plan;
+  FaultEvent stall;
+  stall.kind = FaultKind::kWorkerStall;
+  stall.at = 10.0;
+  stall.until = 20.0;
+  stall.magnitude = 0.05;
+  plan.add(stall);
+  FaultEvent outage;
+  outage.kind = FaultKind::kMonitorOutage;
+  outage.at = 15.0;
+  outage.until = 25.0;
+  plan.add(outage);
+  FaultEvent slow;
+  slow.kind = FaultKind::kSlowCalibration;
+  slow.at = 30.0;
+  slow.until = 40.0;
+  slow.magnitude = 0.02;
+  plan.add(slow);
+  const FaultInjector inj(topo, plan, 1);
+
+  EXPECT_DOUBLE_EQ(inj.worker_stall_seconds(9.9), 0.0);
+  EXPECT_DOUBLE_EQ(inj.worker_stall_seconds(10.0), 0.05);
+  EXPECT_DOUBLE_EQ(inj.worker_stall_seconds(19.9), 0.05);
+  EXPECT_DOUBLE_EQ(inj.worker_stall_seconds(20.0), 0.0);
+
+  EXPECT_FALSE(inj.monitor_down(14.9));
+  EXPECT_TRUE(inj.monitor_down(15.0));
+  EXPECT_TRUE(inj.monitor_down(24.9));
+  EXPECT_FALSE(inj.monitor_down(25.0));
+
+  EXPECT_DOUBLE_EQ(inj.calibration_slow_seconds(29.0), 0.0);
+  EXPECT_DOUBLE_EQ(inj.calibration_slow_seconds(35.0), 0.02);
+  EXPECT_DOUBLE_EQ(inj.calibration_slow_seconds(40.0), 0.0);
+  // Server-side faults never touch node availability.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(inj.is_down(NodeId{i}, 17.0));
+  }
+}
+
 // -------------------------------------------------------------- injector ---
 
 TEST(FaultInjector, CrashAndRecoverWindows) {

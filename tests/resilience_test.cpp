@@ -1,0 +1,412 @@
+// Property tests for the resilience primitives (ISSUE 6): RetryPolicy
+// (seeded determinism, monotone backoff, jitter bounds), CircuitBreaker
+// (trip threshold, half-open single-probe invariant, re-open on probe
+// failure), LoadShedder (escalation/de-escalation trajectories), Deadline
+// (propagation algebra), and the checkpoint codec round-trip.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "resilience/breaker.h"
+#include "resilience/deadline.h"
+#include "resilience/retry.h"
+#include "resilience/shedder.h"
+#include "server/checkpoint.h"
+
+namespace cbes::resilience {
+namespace {
+
+// ------------------------------------------------------------ RetryPolicy ---
+
+TEST(RetryPolicy, BaseBackoffDoublesUpToTheCap) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff = 0.010;
+  cfg.backoff_cap = 0.050;
+  cfg.jitter = 0.0;
+  const RetryPolicy policy(cfg);
+  EXPECT_DOUBLE_EQ(policy.base_backoff_seconds(0), 0.010);
+  EXPECT_DOUBLE_EQ(policy.base_backoff_seconds(1), 0.020);
+  EXPECT_DOUBLE_EQ(policy.base_backoff_seconds(2), 0.040);
+  EXPECT_DOUBLE_EQ(policy.base_backoff_seconds(3), 0.050);  // capped
+  EXPECT_DOUBLE_EQ(policy.base_backoff_seconds(60), 0.050); // no overflow
+}
+
+TEST(RetryPolicy, BackoffIsMonotoneNonDecreasing) {
+  const RetryPolicy policy;
+  for (std::size_t k = 0; k + 1 < 20; ++k) {
+    EXPECT_LE(policy.base_backoff_seconds(k), policy.base_backoff_seconds(k + 1))
+        << "retry " << k;
+  }
+}
+
+TEST(RetryPolicy, JitteredBackoffIsDeterministicInStreamAndRetry) {
+  RetryPolicyConfig cfg;
+  cfg.jitter = 0.4;
+  const RetryPolicy a(cfg);
+  const RetryPolicy b(cfg);
+  for (std::uint64_t stream : {0ULL, 1ULL, 17ULL, 0xFFFF'FFFFULL}) {
+    for (std::size_t retry = 0; retry < 6; ++retry) {
+      EXPECT_EQ(a.backoff_seconds(stream, retry),
+                b.backoff_seconds(stream, retry))
+          << "stream " << stream << " retry " << retry;
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterStaysWithinTheConfiguredBand) {
+  RetryPolicyConfig cfg;
+  cfg.initial_backoff = 0.008;
+  cfg.backoff_cap = 0.064;
+  cfg.jitter = 0.25;
+  const RetryPolicy policy(cfg);
+  for (std::uint64_t stream = 0; stream < 200; ++stream) {
+    for (std::size_t retry = 0; retry < 5; ++retry) {
+      const double base = policy.base_backoff_seconds(retry);
+      const double jittered = policy.backoff_seconds(stream, retry);
+      EXPECT_GE(jittered, base * (1.0 - cfg.jitter));
+      EXPECT_LT(jittered, base * (1.0 + cfg.jitter));
+    }
+  }
+}
+
+TEST(RetryPolicy, DistinctStreamsDesynchronize) {
+  RetryPolicyConfig cfg;
+  cfg.jitter = 0.25;
+  const RetryPolicy policy(cfg);
+  // Not a tautology: if jitter ignored the stream, every delay would match.
+  bool any_difference = false;
+  for (std::uint64_t stream = 1; stream < 50 && !any_difference; ++stream) {
+    any_difference =
+        policy.backoff_seconds(0, 1) != policy.backoff_seconds(stream, 1);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryPolicy, DifferentSeedsGiveDifferentJitter) {
+  RetryPolicyConfig a_cfg;
+  a_cfg.jitter = 0.25;
+  a_cfg.seed = 1;
+  RetryPolicyConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const RetryPolicy a(a_cfg);
+  const RetryPolicy b(b_cfg);
+  bool any_difference = false;
+  for (std::uint64_t stream = 0; stream < 50 && !any_difference; ++stream) {
+    any_difference =
+        a.backoff_seconds(stream, 0) != b.backoff_seconds(stream, 0);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryPolicy, ZeroJitterReproducesTheBaseExactly) {
+  RetryPolicyConfig cfg;
+  cfg.jitter = 0.0;
+  const RetryPolicy policy(cfg);
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    for (std::size_t retry = 0; retry < 8; ++retry) {
+      EXPECT_EQ(policy.backoff_seconds(stream, retry),
+                policy.base_backoff_seconds(retry));
+    }
+  }
+}
+
+TEST(RetryPolicy, ExhaustionMatchesTheBudget) {
+  RetryPolicyConfig cfg;
+  cfg.max_retries = 2;
+  const RetryPolicy policy(cfg);
+  EXPECT_FALSE(policy.exhausted(0));
+  EXPECT_FALSE(policy.exhausted(1));
+  EXPECT_TRUE(policy.exhausted(2));
+  EXPECT_TRUE(policy.exhausted(3));
+}
+
+TEST(RetryPolicy, RejectsNonsenseConfig) {
+  RetryPolicyConfig cfg;
+  cfg.jitter = 1.0;  // must be < 1
+  EXPECT_THROW(RetryPolicy{cfg}, ContractError);
+  cfg = {};
+  cfg.initial_backoff = -0.001;
+  EXPECT_THROW(RetryPolicy{cfg}, ContractError);
+}
+
+TEST(RetryBudget, SharedCountdownAcrossStages) {
+  RetryBudget budget(2);
+  EXPECT_TRUE(budget.consume());   // stage A retries
+  EXPECT_TRUE(budget.consume());   // stage B retries
+  EXPECT_FALSE(budget.consume());  // budget spent: no stage may retry again
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+// --------------------------------------------------------- CircuitBreaker ---
+
+BreakerConfig fast_breaker() {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_seconds = 10.0;
+  return cfg;
+}
+
+TEST(CircuitBreaker, TripsAfterExactlyThresholdConsecutiveFailures) {
+  CircuitBreaker breaker("dep", fast_breaker());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.allow(1.0));
+    breaker.record_failure(1.0);
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  }
+  ASSERT_TRUE(breaker.allow(2.0));
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.allow(3.0));  // short-circuited while open
+  EXPECT_EQ(breaker.short_circuits(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker("dep", fast_breaker());
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(breaker.allow(1.0));
+    breaker.record_failure(1.0);
+    ASSERT_TRUE(breaker.allow(1.0));
+    breaker.record_failure(1.0);
+    ASSERT_TRUE(breaker.allow(1.0));
+    breaker.record_success(1.0);  // streak broken: never reaches 3
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+void trip(CircuitBreaker& breaker) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allow(0.0));
+    breaker.record_failure(0.0);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker("dep", fast_breaker());
+  trip(breaker);
+  EXPECT_FALSE(breaker.allow(9.9));       // still open
+  EXPECT_TRUE(breaker.allow(10.0));       // the half-open probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(10.0));      // second caller waits on the probe
+  EXPECT_FALSE(breaker.allow(11.0));
+  breaker.record_success(11.0);           // probe verdict: dependency is back
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(11.0));
+}
+
+TEST(CircuitBreaker, FailedProbeReopensForAnotherWindow) {
+  CircuitBreaker breaker("dep", fast_breaker());
+  trip(breaker);
+  ASSERT_TRUE(breaker.allow(10.0));
+  breaker.record_failure(10.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow(19.9));  // new window counts from the re-open
+  EXPECT_TRUE(breaker.allow(20.0));
+}
+
+TEST(CircuitBreaker, HalfOpenSingleProbeHoldsUnderConcurrentCallers) {
+  CircuitBreaker breaker("dep", fast_breaker());
+  trip(breaker);
+  constexpr int kThreads = 8;
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      if (breaker.allow(10.0)) admitted.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 1) << "half-open must admit exactly one probe";
+}
+
+// ------------------------------------------------------------- LoadShedder ---
+
+ShedderConfig fast_shedder() {
+  ShedderConfig cfg;
+  cfg.target = 0.010;
+  cfg.interval = 0.100;
+  cfg.cool_down = 0.200;
+  return cfg;
+}
+
+TEST(LoadShedder, SustainedPressureEscalatesOneLevelPerInterval) {
+  LoadShedder shedder(fast_shedder());
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kFull);
+  shedder.observe(0.020, 0.000);  // streak starts
+  shedder.observe(0.020, 0.050);
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kFull);  // not a full interval yet
+  shedder.observe(0.020, 0.101);
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kCachedOnly);
+  shedder.observe(0.020, 0.150);  // new streak measured from the escalation
+  shedder.observe(0.020, 0.202);
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kRefuseLowPriority);
+  EXPECT_EQ(shedder.escalations(), 2u);
+  // Saturates at the top level.
+  shedder.observe(0.020, 0.400);
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kRefuseLowPriority);
+}
+
+TEST(LoadShedder, BriefSpikesDoNotEscalate) {
+  LoadShedder shedder(fast_shedder());
+  for (int k = 0; k < 50; ++k) {
+    const double now = 0.010 * k;
+    // Alternating over/under target: no sustained streak forms.
+    shedder.observe(k % 2 == 0 ? 0.050 : 0.001, now);
+  }
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kFull);
+  EXPECT_EQ(shedder.escalations(), 0u);
+}
+
+TEST(LoadShedder, ReliefDeEscalatesAfterTheCoolDown) {
+  LoadShedder shedder(fast_shedder());
+  shedder.observe(0.020, 0.000);
+  shedder.observe(0.020, 0.101);
+  ASSERT_EQ(shedder.level(), BrownoutLevel::kCachedOnly);
+  shedder.observe(0.001, 0.200);  // below-target streak starts
+  shedder.observe(0.001, 0.300);
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kCachedOnly);  // 0.1 < cool_down
+  shedder.observe(0.001, 0.401);
+  EXPECT_EQ(shedder.level(), BrownoutLevel::kFull);
+}
+
+TEST(LoadShedder, RejectsNonsenseConfig) {
+  ShedderConfig cfg;
+  cfg.target = 0.0;
+  EXPECT_THROW(LoadShedder{cfg}, ContractError);
+  cfg = {};
+  cfg.interval = -1.0;
+  EXPECT_THROW(LoadShedder{cfg}, ContractError);
+}
+
+// ---------------------------------------------------------------- Deadline ---
+
+TEST(Deadline, DefaultIsUnbounded) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.bounded());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), Deadline::Clock::duration::max());
+}
+
+TEST(Deadline, AfterBudgetExpiresAndClampsRemaining) {
+  const Deadline past = Deadline::after(std::chrono::milliseconds(-5));
+  EXPECT_TRUE(past.bounded());
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining(), Deadline::Clock::duration::zero());
+
+  const Deadline future = Deadline::after(std::chrono::hours(1));
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining(), std::chrono::minutes(59));
+}
+
+TEST(Deadline, EarliestNeverLoosens) {
+  const Deadline unbounded;
+  const Deadline tight = Deadline::after(std::chrono::milliseconds(10));
+  const Deadline loose = Deadline::after(std::chrono::hours(1));
+  EXPECT_EQ(Deadline::earliest(unbounded, tight).when(), tight.when());
+  EXPECT_EQ(Deadline::earliest(tight, unbounded).when(), tight.when());
+  EXPECT_EQ(Deadline::earliest(tight, loose).when(), tight.when());
+  EXPECT_FALSE(Deadline::earliest(unbounded, unbounded).bounded());
+}
+
+}  // namespace
+}  // namespace cbes::resilience
+
+// ------------------------------------------------------- checkpoint codec ---
+
+namespace cbes::server {
+namespace {
+
+ServerCheckpoint sample_checkpoint() {
+  ServerCheckpoint ckpt;
+  ckpt.calibration.loopback = {1.25e-6, 3.1e-10, 0.0, 0.0, 0.0, 1.0};
+  ckpt.calibration.partial = true;
+  // Awkward doubles on purpose: %.17g must round-trip them bit for bit.
+  ckpt.calibration.classes = {
+      {"eth1g|x86", {0.1 + 0.2, 1.0 / 3.0, 0.017, -0.25, 5e-324, 0.999}},
+      {"ib40g|x86 ib40g|x86",
+       {6.25e-05, 2.0e-10, 1.1754943508222875e-38, 0.5, 0.0625, 1.0}},
+  };
+  ckpt.health = {NodeHealth::kHealthy, NodeHealth::kSuspect, NodeHealth::kDead};
+  ckpt.warm_hints = {{"lu decomposition", {0, 1, 2, 1}}, {"towhee", {}}};
+  return ckpt;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTripsBitExactly) {
+  const ServerCheckpoint original = sample_checkpoint();
+  const ServerCheckpoint restored =
+      decode_checkpoint(encode_checkpoint(original));
+  EXPECT_EQ(restored, original);  // LatencyCoeffs == is bit-exact on doubles
+}
+
+TEST(Checkpoint, EncodingIsDeterministic) {
+  EXPECT_EQ(encode_checkpoint(sample_checkpoint()),
+            encode_checkpoint(sample_checkpoint()));
+}
+
+TEST(Checkpoint, EmptyCheckpointRoundTrips) {
+  ServerCheckpoint empty;
+  const ServerCheckpoint restored =
+      decode_checkpoint(encode_checkpoint(empty));
+  EXPECT_EQ(restored, empty);
+}
+
+TEST(Checkpoint, RejectsMalformedInput) {
+  const std::string good = encode_checkpoint(sample_checkpoint());
+  // Wrong magic.
+  EXPECT_THROW(decode_checkpoint("NOTCKPT 1\nend\n"), CheckpointError);
+  // Unsupported version.
+  EXPECT_THROW(decode_checkpoint("CBESCKPT 99\nend\n"), CheckpointError);
+  // Truncation anywhere must throw, never yield a partial state.
+  for (std::size_t cut : {std::size_t{5}, good.size() / 2, good.size() - 3}) {
+    EXPECT_THROW(decode_checkpoint(good.substr(0, cut)), CheckpointError)
+        << "cut at " << cut;
+  }
+  // Trailing garbage after 'end'.
+  EXPECT_THROW(decode_checkpoint(good + "extra\n"), CheckpointError);
+  // Non-numeric coefficient.
+  std::string corrupt = good;
+  corrupt.replace(corrupt.find("loopback ") + 9, 1, "x");
+  EXPECT_THROW(decode_checkpoint(corrupt), CheckpointError);
+  // Health verdict out of range.
+  ServerCheckpoint bad_health = sample_checkpoint();
+  std::string text = encode_checkpoint(bad_health);
+  const std::size_t pos = text.find("health 3 0 1 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 14, "health 3 0 1 7");
+  EXPECT_THROW(decode_checkpoint(text), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsOutOfOrderPathClasses) {
+  ServerCheckpoint ckpt = sample_checkpoint();
+  std::swap(ckpt.calibration.classes[0], ckpt.calibration.classes[1]);
+  const std::string text = encode_checkpoint(ckpt);  // encoder writes as-is
+  EXPECT_THROW(decode_checkpoint(text), CheckpointError);
+}
+
+TEST(Checkpoint, SaveThenLoadThroughAFile) {
+  const std::string path =
+      (::testing::TempDir().empty() ? std::string{"."}
+                                    : ::testing::TempDir()) +
+      "/cbes_ckpt_test.txt";
+  const ServerCheckpoint original = sample_checkpoint();
+  save_checkpoint(original, path);
+  EXPECT_EQ(load_checkpoint(path), original);
+  // Overwrite is atomic: a second save replaces, not appends.
+  save_checkpoint(original, path);
+  EXPECT_EQ(load_checkpoint(path), original);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+}
+
+}  // namespace
+}  // namespace cbes::server

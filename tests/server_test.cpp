@@ -12,8 +12,11 @@
 #include "core/service.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
+#include "resilience/breaker.h"
+#include "resilience/shedder.h"
 #include "sched/annealing.h"
 #include "sched/pool.h"
+#include "server/checkpoint.h"
 #include "server/server.h"
 #include "simnet/load.h"
 #include "topology/builders.h"
@@ -124,7 +127,8 @@ TEST(RequestQueue, RejectsWhenFullWithReason) {
 TEST(RequestQueue, RejectsExpiredDeadline) {
   RequestQueue q(4);
   auto job = queued_job(Priority::kNormal);
-  job->deadline = Job::Clock::now() - std::chrono::milliseconds(1);
+  job->deadline = cbes::resilience::Deadline::at(Job::Clock::now() -
+                                                 std::chrono::milliseconds(1));
   const RequestQueue::Admission verdict = q.offer(job);
   EXPECT_FALSE(verdict.admitted);
   EXPECT_NE(verdict.reason.find("deadline"), std::string::npos);
@@ -812,6 +816,306 @@ TEST(ServerChaos, AllJobsCompleteAndNeverLandOnDeadNodes) {
   }
   // Chaos fails some jobs (mappings onto corpses), but most must succeed.
   EXPECT_GT(done, outcomes.size() / 2);
+}
+
+// ------------------------------------------------ resilience: watchdog -----
+
+/// The ISSUE 6 acceptance chaos shape: a worker-stall window wedges the
+/// executions it catches; the watchdog must kill them with a typed failure,
+/// replace the wedged workers, and the pool must keep serving — all without
+/// deadlocking (this test is part of the TSan suite).
+TEST(ServerResilience, WatchdogKillsStalledWorkersAndReplacesThem) {
+  fault::FaultPlan plan;
+  fault::FaultEvent stall;
+  stall.kind = fault::FaultKind::kWorkerStall;
+  stall.at = 0.0;
+  stall.until = 100.0;
+  stall.magnitude = 0.6;  // wall-seconds each caught attempt hangs
+  plan.add(stall);
+  FaultyService f(std::move(plan));
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.chaos = &f.injector;
+  cfg.watchdog_poll = std::chrono::milliseconds(20);
+  cfg.watchdog_stall_bound = std::chrono::milliseconds(150);
+  CbesServer server(f.svc, cfg);
+
+  // Two requests land inside the stall window (their workers wedge), two
+  // outside it (they must keep completing on the remaining workers).
+  std::vector<JobHandle> wedged;
+  std::vector<JobHandle> healthy;
+  for (int i = 0; i < 2; ++i) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = Mapping({NodeId{0}, NodeId{1}});
+    req.now = 50.0;  // inside [0, 100): the injector stalls this attempt
+    wedged.push_back(server.submit(std::move(req)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = i == 0 ? Mapping({NodeId{1}, NodeId{3}})
+                         : Mapping({NodeId{2}, NodeId{3}});
+    req.now = 200.0;  // outside the stall window
+    healthy.push_back(server.submit(std::move(req)));
+  }
+
+  for (JobHandle& h : healthy) {
+    EXPECT_EQ(h.wait().state, JobState::kDone);
+  }
+  for (JobHandle& h : wedged) {
+    const JobResult result = h.wait();
+    EXPECT_EQ(result.state, JobState::kFailed);
+    EXPECT_EQ(result.fail_reason, FailReason::kWatchdog);
+    EXPECT_NE(result.detail.find("watchdog"), std::string::npos);
+  }
+  EXPECT_EQ(server.watchdog_kills(), 2u);
+  EXPECT_EQ(server.workers_replaced(), 2u);
+  EXPECT_EQ(server.worker_count(), 4u);  // replacements joined the pool
+
+  // The replaced pool still serves new work.
+  PredictRequest after;
+  after.app = "tiny";
+  after.mapping = Mapping({NodeId{2}, NodeId{3}});
+  after.now = 250.0;
+  EXPECT_EQ(server.submit(std::move(after)).wait().state, JobState::kDone);
+  server.shutdown(/*drain=*/true);  // must not deadlock on wedged threads
+}
+
+// -------------------------------------- resilience: monitor breaker / LKG ---
+
+TEST(ServerResilience, MonitorOutageServesLastKnownGoodAndOpensBreaker) {
+  fault::FaultPlan plan;
+  fault::FaultEvent outage;
+  outage.kind = fault::FaultKind::kMonitorOutage;
+  outage.at = 100.0;
+  outage.until = 10000.0;
+  plan.add(outage);
+  FaultyService f(std::move(plan));
+
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.chaos = &f.injector;
+  cfg.monitor_breaker.failure_threshold = 2;
+  cfg.monitor_breaker.open_seconds = 1e6;  // stays open for the whole test
+  CbesServer server(f.svc, cfg);
+
+  const Mapping mapping({NodeId{0}, NodeId{1}});
+  auto predict_at = [&](Seconds now) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = mapping;
+    req.now = now;
+    return server.submit(std::move(req)).wait();
+  };
+
+  // Healthy monitor: fresh answer, and the snapshot becomes last-known-good.
+  const JobResult fresh = predict_at(50.0);
+  ASSERT_EQ(fresh.state, JobState::kDone);
+  EXPECT_FALSE(fresh.degraded);
+
+  // During the outage every answer must still arrive — served from the LKG
+  // picture and flagged degraded — while the breaker counts failures.
+  const JobResult first = predict_at(110.0);
+  ASSERT_EQ(first.state, JobState::kDone);
+  EXPECT_TRUE(first.degraded);
+  const JobResult second = predict_at(120.0);
+  ASSERT_EQ(second.state, JobState::kDone);
+  EXPECT_TRUE(second.degraded);
+  EXPECT_EQ(server.monitor_breaker().state(),
+            resilience::BreakerState::kOpen);
+
+  // Breaker open: the monitor is not even asked; LKG short-circuits.
+  const JobResult third = predict_at(130.0);
+  ASSERT_EQ(third.state, JobState::kDone);
+  EXPECT_TRUE(third.degraded);
+  EXPECT_GE(server.lkg_snapshots_served(), 3u);
+  // LKG answers rest on the pre-outage picture, so they match the fresh one.
+  EXPECT_EQ(third.prediction.time, fresh.prediction.time);
+  server.shutdown(/*drain=*/true);
+}
+
+// ----------------------------------------- resilience: brown-out shedding ---
+
+TEST(ServerResilience, BrownOutShedsOnlyBatchWork) {
+  FaultyService f(fault::FaultPlan{});
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.enable_shedding = true;
+  cfg.shedder.target = 0.002;
+  cfg.shedder.interval = 0.030;
+  cfg.shedder.cool_down = 60.0;  // never de-escalates within this test
+  // Every attempt takes ~15 ms, so a 1-worker queue builds sustained delay.
+  cfg.fault_hook = [](const Job&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  };
+  CbesServer server(f.svc, cfg);
+
+  auto make_predict = [&](std::size_t a, std::size_t b) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = Mapping({NodeId{a % 4}, NodeId{b % 4}});
+    req.now = 10.0;
+    return req;
+  };
+
+  std::vector<JobHandle> normal;
+  std::vector<JobHandle> batch;
+  for (std::size_t i = 0; i < 12; ++i) {
+    normal.push_back(server.submit(make_predict(i, i + 1)));
+  }
+  SubmitOptions batch_opts;
+  batch_opts.priority = Priority::kBatch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Reversed pairs: mappings the normals never cached, so a cached-only
+    // batch job must miss and be shed rather than silently served.
+    batch.push_back(server.submit(make_predict(i + 1, i), batch_opts));
+  }
+
+  // Normal traffic is never shed, whatever the brown-out level.
+  for (JobHandle& h : normal) {
+    EXPECT_EQ(h.wait().state, JobState::kDone);
+  }
+  // The queue delay those 12 jobs built must have escalated the shedder.
+  EXPECT_GT(server.shedder().escalations(), 0u);
+  EXPECT_NE(server.shedder().level(), resilience::BrownoutLevel::kFull);
+  // Batch work drained after the normals: by then the brown-out was active,
+  // so every batch job was either served cached-only (miss -> typed shed
+  // failure) or refused — none got fresh evaluation work.
+  std::size_t shed = 0;
+  for (JobHandle& h : batch) {
+    const JobResult result = h.wait();
+    if (result.state == JobState::kFailed) {
+      EXPECT_EQ(result.fail_reason, FailReason::kShed);
+      ++shed;
+    } else {
+      EXPECT_EQ(result.state, JobState::kDone);
+    }
+  }
+  EXPECT_GT(shed, 0u);
+
+  // At the top level, batch submissions are refused at admission outright.
+  if (server.shedder().level() ==
+      resilience::BrownoutLevel::kRefuseLowPriority) {
+    JobHandle refused = server.submit(make_predict(2, 0), batch_opts);
+    EXPECT_EQ(refused.state(), JobState::kRejected);
+    EXPECT_NE(refused.wait().detail.find("brown-out"), std::string::npos);
+    EXPECT_GT(server.shed_count(), 0u);
+  }
+  server.shutdown(/*drain=*/true);
+}
+
+// ------------------------------------------- crash-safe state recovery -----
+
+/// Kill-and-restart: everything flows through the on-disk text format
+/// (encode -> decode) and the restarted server must answer bit-identically.
+TEST(ServerCheckpoint, KillAndRestartRestoresBitIdenticalPredictions) {
+  auto make_plan = [] {
+    fault::FaultPlan plan;
+    plan.add({fault::FaultKind::kCrash, NodeId{3}, 25.0});
+    return plan;
+  };
+  const std::vector<Mapping> mappings = {
+      Mapping({NodeId{0}, NodeId{1}}),
+      Mapping({NodeId{1}, NodeId{2}}),
+      Mapping({NodeId{0}, NodeId{2}}),
+  };
+  const Seconds now = 50.0;
+
+  // ---- first life: serve, then checkpoint ----
+  FaultyService first(make_plan());
+  std::vector<Prediction> before;
+  ServerCheckpoint ckpt;
+  {
+    CbesServer server(first.svc, ServerConfig{});
+    for (const Mapping& m : mappings) {
+      PredictRequest req;
+      req.app = "tiny";
+      req.mapping = m;
+      req.now = now;
+      const JobResult result = server.submit(std::move(req)).wait();
+      ASSERT_EQ(result.state, JobState::kDone);
+      before.push_back(result.prediction);
+    }
+    ckpt = decode_checkpoint(encode_checkpoint(take_checkpoint(server)));
+    server.shutdown(/*drain=*/true);
+  }  // the process "dies" here
+  ASSERT_FALSE(ckpt.calibration.classes.empty());
+  ASSERT_FALSE(ckpt.warm_hints.empty());
+  // The crash of node 3 had been noticed (suspect by t=50).
+  ASSERT_EQ(ckpt.health.size(), 4u);
+  EXPECT_NE(ckpt.health[3], NodeHealth::kHealthy);
+
+  // ---- second life: rebuild from the checkpoint, skip calibration ----
+  ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  NoLoad idle;
+  fault::FaultInjector injector(topo, make_plan(), 0xFA11);
+  fault::FaultyLoad load(idle, injector);
+  CbesService::Config cfg = FaultyService::config_with_health(nullptr);
+  cfg.restored_calibration = ckpt.calibration;
+  CbesService restored(topo, load, cfg);
+  restored.monitor().set_fault_injector(&injector);
+  restored.register_profile(tiny_profile());
+
+  // The restored model is the checkpointed one, bit for bit.
+  EXPECT_EQ(restored.latency_model().calibration_state(), ckpt.calibration);
+
+  CbesServer server(restored, ServerConfig{});
+  const std::size_t warmed = restore_server_state(server, ckpt, now);
+  EXPECT_GT(warmed, 0u);
+  EXPECT_EQ(server.health_state(), ckpt.health);
+
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = mappings[i];
+    req.now = now;
+    const JobResult result = server.submit(std::move(req)).wait();
+    ASSERT_EQ(result.state, JobState::kDone);
+    // Bit-identical, not approximately equal: the restored calibration and
+    // the deterministic monitor reproduce the first life's answers exactly.
+    EXPECT_EQ(result.prediction.time, before[i].time);
+    EXPECT_EQ(result.prediction.compute, before[i].compute);
+    EXPECT_EQ(result.prediction.comm, before[i].comm);
+    // And the warm-up pre-heated the cache for the checkpointed mappings.
+    EXPECT_TRUE(result.cache_hit);
+  }
+  server.shutdown(/*drain=*/true);
+}
+
+/// Partial calibration is the hard case for bit-identity: unmeasured classes
+/// run on the class-average of the measured ones, so the restore path must
+/// reproduce that floating-point average exactly (sorted-signature sums).
+TEST(ServerCheckpoint, PartialCalibrationRestoresFallbackBitIdentically) {
+  const ClusterTopology topo = make_centurion();
+  NoLoad idle;
+  CbesService::Config cfg = service_config();
+  cfg.calibration.calibrate_fraction = 0.5;
+  const CbesService original(topo, idle, cfg);
+  const CalibrationState state =
+      original.latency_model().calibration_state();
+  EXPECT_TRUE(state.partial);
+
+  CbesService::Config restored_cfg = service_config();
+  restored_cfg.restored_calibration =
+      decode_checkpoint(encode_checkpoint({state, {}, {}})).calibration;
+  const CbesService restored(topo, idle, restored_cfg);
+
+  const LatencyModel& a = original.latency_model();
+  const LatencyModel& b = restored.latency_model();
+  ASSERT_EQ(a.class_table_size(), b.class_table_size());
+  for (const Node& na : topo.nodes()) {
+    for (const Node& nb : topo.nodes()) {
+      EXPECT_EQ(a.pair_class(na.id, nb.id), b.pair_class(na.id, nb.id));
+      EXPECT_EQ(a.is_fallback(na.id, nb.id), b.is_fallback(na.id, nb.id));
+      const LatencyCoeffs& ca = a.coeffs(na.id, nb.id);
+      const LatencyCoeffs& cb = b.coeffs(na.id, nb.id);
+      EXPECT_TRUE(ca == cb)
+          << "coefficients diverged for pair (" << na.id.value << ", "
+          << nb.id.value << ")";
+    }
+  }
 }
 
 TEST(ServerChaos, SameSeedRunsAreDeterministic) {
