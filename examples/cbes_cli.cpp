@@ -13,9 +13,11 @@
 //   cbes_cli serve <cluster> <app> <ranks> [--workers N] [--clients M]
 //                  [--requests K] [--deadline-ms D] [--shed-target-ms T]
 //                  [--watchdog-ms W] [--checkpoint file.ckpt]
+//                  [--status-out file.txt|file.json]
 //   cbes_cli chaos <cluster> <app> <ranks> [--seed S] [--requests K]
 //                  [--horizon T] [--worker-stalls N] [--monitor-outages N]
-//                  [--slow-calibrations N]
+//                  [--slow-calibrations N] [--status-out file.txt|file.json]
+//   cbes_cli audit <cluster> <app> <ranks> [--mappings K] [--seed S]
 //
 // `serve` runs the CBES daemon in-process: a CbesServer broker over the
 // service, fed by M concurrent synthetic clients submitting K mixed
@@ -29,6 +31,15 @@
 //                        from FILE when it exists (skipping calibration,
 //                        bit-identical predictions) and write a fresh
 //                        checkpoint there on exit
+//   --status-out FILE    dump the server's flight-recorder statusz surface on
+//                        exit (JSON when FILE ends in .json, text otherwise);
+//                        the same file doubles as the watchdog postmortem
+//                        path, auto-dumped whenever a kill fires
+//
+// `audit` measures prediction accuracy: it samples K candidate mappings,
+// predicts each through the service, simulates the same run under the
+// ground-truth load, and prints predicted vs simulated times with relative
+// errors (plus the `cbes_prediction_rel_error` histogram when --metrics-out).
 //
 // `chaos` runs the same daemon under a seeded fault plan (crashes, flapping,
 // report loss — plus server-side worker stalls, monitor outages, and slow
@@ -40,7 +51,13 @@
 // Observability flags (accepted anywhere on the command line):
 //   --metrics-out <file>   write Prometheus-format metrics on exit
 //   --trace-out <file>     write a Chrome trace-event JSON (chrome://tracing
-//                          or ui.perfetto.dev) on exit
+//                          or ui.perfetto.dev) on exit; serve/chaos requests
+//                          render as one async track each (queue -> exec ->
+//                          eval/compile/search)
+//   --log-out <file>       write the structured log on exit (text key=value
+//                          lines; --log-json switches to a JSON array);
+//                          deterministic order, so same-seed runs diff clean
+//   --log-json             emit --log-out as JSON instead of text
 //   --verbose              print annealing convergence (one line per
 //                          temperature step) to stderr
 //
@@ -56,9 +73,11 @@
 #include <vector>
 
 #include "apps/registry.h"
+#include "core/audit.h"
 #include "core/service.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/tracer.h"
@@ -67,6 +86,7 @@
 #include "resilience/shedder.h"
 #include "server/checkpoint.h"
 #include "server/server.h"
+#include "server/status.h"
 #include "topology/parser.h"
 #include "sched/annealing.h"
 #include "sched/cost.h"
@@ -83,12 +103,15 @@ using namespace cbes;
 /// default run stays uninstrumented.
 std::unique_ptr<obs::MetricsRegistry> g_metrics;
 std::unique_ptr<obs::TraceSession> g_trace;
+std::unique_ptr<obs::Logger> g_log;
+bool g_log_json = false;
 bool g_verbose = false;
 
 int usage() {
   std::fprintf(stderr,
                "usage: cbes_cli <topo|apps|profile|predict|compare|schedule"
-               "|serve|chaos> ... [--metrics-out m.txt] [--trace-out t.json] "
+               "|serve|chaos|audit> ... [--metrics-out m.txt] "
+               "[--trace-out t.json] [--log-out l.txt] [--log-json] "
                "[--verbose]\n"
                "(see the header of examples/cbes_cli.cpp)\n");
   return 2;
@@ -347,6 +370,7 @@ struct ServeOptions {
   std::size_t shed_target_ms = 0;  ///< 0 = brown-out shedding off
   std::size_t watchdog_ms = 0;     ///< 0 = watchdog off
   std::string checkpoint;          ///< empty = crash-safe state off
+  std::string status_out;          ///< empty = no statusz dump
 };
 
 int cmd_serve(const std::string& cluster, const std::string& app,
@@ -356,7 +380,7 @@ int cmd_serve(const std::string& cluster, const std::string& app,
   std::optional<server::ServerCheckpoint> restored;
   CbesService::Config svc_cfg = Session::observed_config();
   if (!opt.checkpoint.empty() && std::ifstream(opt.checkpoint).good()) {
-    restored = server::load_checkpoint(opt.checkpoint);
+    restored = server::load_checkpoint(opt.checkpoint, g_log.get());
     svc_cfg.restored_calibration = restored->calibration;
     std::fprintf(stderr, "[restoring %zu path classes + %zu warm hints from "
                  "%s]\n",
@@ -369,6 +393,9 @@ int cmd_serve(const std::string& cluster, const std::string& app,
   cfg.workers = opt.workers;
   cfg.max_queue_depth = std::max<std::size_t>(64, opt.clients * opt.requests);
   cfg.metrics = g_metrics.get();
+  cfg.trace = g_trace.get();
+  cfg.log = g_log.get();
+  cfg.postmortem_path = opt.status_out;
   if (opt.shed_target_ms > 0) {
     cfg.enable_shedding = true;
     cfg.shedder.target = static_cast<double>(opt.shed_target_ms) / 1e3;
@@ -502,8 +529,18 @@ int cmd_serve(const std::string& cluster, const std::string& app,
                 static_cast<unsigned long long>(srv.workers_replaced()));
   }
   if (!opt.checkpoint.empty()) {
-    server::save_checkpoint(server::take_checkpoint(srv), opt.checkpoint);
+    server::save_checkpoint(server::take_checkpoint(srv), opt.checkpoint,
+                            g_log.get());
     std::printf("  wrote checkpoint %s\n", opt.checkpoint.c_str());
+  }
+  if (!opt.status_out.empty()) {
+    if (server::write_status_file(srv.status(), opt.status_out)) {
+      std::printf("  wrote status %s\n", opt.status_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write status to %s\n",
+                   opt.status_out.c_str());
+      return 1;
+    }
   }
   // Failures mean a request violated a contract mid-run — a broken demo.
   return failed.load() == 0 ? 0 : 1;
@@ -514,6 +551,7 @@ struct ChaosCliOptions {
   std::uint64_t seed = 0xC4A05;
   std::size_t requests = 24;
   fault::ChaosOptions chaos;
+  std::string status_out;  ///< empty = no statusz dump
 };
 
 int cmd_chaos(const std::string& cluster, const std::string& app,
@@ -567,6 +605,9 @@ int cmd_chaos(const std::string& cluster, const std::string& app,
   cfg.workers = 2;
   cfg.max_queue_depth = std::max<std::size_t>(64, opt.requests);
   cfg.metrics = g_metrics.get();
+  cfg.trace = g_trace.get();
+  cfg.log = g_log.get();
+  cfg.postmortem_path = opt.status_out;
   cfg.chaos = &injector;
   if (opt.chaos.worker_stalls > 0) {
     cfg.watchdog_poll = std::chrono::milliseconds(25);
@@ -603,6 +644,15 @@ int cmd_chaos(const std::string& cluster, const std::string& app,
     }
   }
   srv.shutdown(/*drain=*/true);
+  if (!opt.status_out.empty()) {
+    if (server::write_status_file(srv.status(), opt.status_out)) {
+      std::printf("  wrote status %s\n", opt.status_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write status to %s\n",
+                   opt.status_out.c_str());
+      return 1;
+    }
+  }
   std::printf("chaos summary: %zu requests -> done=%zu failed=%zu "
               "degraded=%zu violations=%zu\n",
               opt.requests, done, failed, degraded, violations);
@@ -615,6 +665,27 @@ int cmd_chaos(const std::string& cluster, const std::string& app,
               static_cast<unsigned long long>(srv.watchdog_kills()),
               static_cast<unsigned long long>(srv.workers_replaced()));
   return violations == 0 ? 0 : 1;
+}
+
+int cmd_audit(const std::string& cluster, const std::string& app,
+              std::size_t ranks, std::size_t mappings, std::uint64_t seed) {
+  Session s(cluster, app, ranks);
+  AuditOptions opt;
+  opt.mappings = mappings;
+  opt.seed = seed;
+  const AuditReport report = audit_predictions(
+      s.svc, s.program, s.idle, opt, g_metrics.get(), g_log.get());
+  std::printf("prediction accuracy over %zu mappings (seed %llu):\n",
+              report.rows.size(), static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const AuditRow& row = report.rows[i];
+    std::printf("  mapping %2zu: predicted %8.2f s  simulated %8.2f s  "
+                "rel-error %6.2f%%\n",
+                i, row.predicted, row.simulated, 100.0 * row.rel_error);
+  }
+  std::printf("mean rel-error %.2f%%, max %.2f%%\n",
+              100.0 * report.mean_rel_error, 100.0 * report.max_rel_error);
+  return 0;
 }
 
 int dispatch(const std::vector<std::string>& args) {
@@ -683,6 +754,8 @@ int dispatch(const std::vector<std::string>& args) {
         opt.watchdog_ms = parse_count(args[++i], "--watchdog-ms");
       } else if (args[i] == "--checkpoint" && i + 1 < args.size()) {
         opt.checkpoint = args[++i];
+      } else if (args[i] == "--status-out" && i + 1 < args.size()) {
+        opt.status_out = args[++i];
       } else {
         std::fprintf(stderr, "error: unknown serve option '%s'\n",
                      args[i].c_str());
@@ -690,6 +763,23 @@ int dispatch(const std::vector<std::string>& args) {
       }
     }
     return cmd_serve(cluster, app, ranks, opt);
+  }
+  if (cmd == "audit") {
+    std::size_t mappings = 8;
+    std::uint64_t seed = 0xAD17;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--mappings" && i + 1 < args.size()) {
+        mappings = parse_count(args[++i], "--mappings");
+      } else if (args[i] == "--seed" && i + 1 < args.size()) {
+        seed = parse_count(args[++i], "--seed");
+      } else {
+        std::fprintf(stderr, "error: unknown audit option '%s'\n",
+                     args[i].c_str());
+        return usage();
+      }
+    }
+    CBES_CHECK_MSG(mappings > 0, "--mappings must be positive");
+    return cmd_audit(cluster, app, ranks, mappings, seed);
   }
   if (cmd == "chaos") {
     ChaosCliOptions opt;
@@ -709,6 +799,8 @@ int dispatch(const std::vector<std::string>& args) {
       } else if (args[i] == "--slow-calibrations" && i + 1 < args.size()) {
         opt.chaos.slow_calibrations =
             parse_count(args[++i], "--slow-calibrations");
+      } else if (args[i] == "--status-out" && i + 1 < args.size()) {
+        opt.status_out = args[++i];
       } else {
         std::fprintf(stderr, "error: unknown chaos option '%s'\n",
                      args[i].c_str());
@@ -726,7 +818,8 @@ int dispatch(const std::vector<std::string>& args) {
 /// Returns false when a requested file could not be written — which must
 /// surface in the exit code, not just on stderr.
 [[nodiscard]] bool flush_observability(const std::string& metrics_path,
-                                       const std::string& trace_path) {
+                                       const std::string& trace_path,
+                                       const std::string& log_path) {
   bool ok = true;
   if (g_metrics != nullptr && !metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -751,6 +844,22 @@ int dispatch(const std::vector<std::string>& args) {
       ok = false;
     }
   }
+  if (g_log != nullptr && !log_path.empty()) {
+    std::ofstream out(log_path);
+    if (g_log_json) {
+      g_log->format_json(out);
+    } else {
+      g_log->format_text(out);
+    }
+    if (out) {
+      std::fprintf(stderr, "[wrote %zu log records to %s]\n", g_log->size(),
+                   log_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write log to %s\n",
+                   log_path.c_str());
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -759,17 +868,23 @@ int dispatch(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
+  std::string log_path;
   try {
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (arg == "--metrics-out" || arg == "--trace-out" ||
+          arg == "--log-out") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s requires a file argument\n",
                        arg.c_str());
           return 2;
         }
-        (arg == "--metrics-out" ? metrics_path : trace_path) = argv[++i];
+        (arg == "--metrics-out"  ? metrics_path
+         : arg == "--trace-out" ? trace_path
+                                : log_path) = argv[++i];
+      } else if (arg == "--log-json") {
+        g_log_json = true;
       } else if (arg == "--verbose") {
         g_verbose = true;
       } else {
@@ -780,21 +895,30 @@ int main(int argc, char** argv) {
       g_metrics = std::make_unique<obs::MetricsRegistry>();
     }
     if (!trace_path.empty()) g_trace = std::make_unique<obs::TraceSession>();
+    if (!log_path.empty()) g_log = std::make_unique<obs::Logger>();
+    // Cross-wire the sinks: the trace and log export their own throughput
+    // counters, and a dropped trace event warns into the log.
+    if (g_trace != nullptr) {
+      g_trace->set_metrics(g_metrics.get());
+      g_trace->set_logger(g_log.get());
+    }
+    if (g_log != nullptr) g_log->set_metrics(g_metrics.get());
 
     const int rc = dispatch(args);
-    const bool flushed = flush_observability(metrics_path, trace_path);
+    const bool flushed =
+        flush_observability(metrics_path, trace_path, log_path);
     // A command that succeeded but failed to write its requested artifacts
     // is still a failure.
     return rc != 0 ? rc : (flushed ? 0 : 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    static_cast<void>(flush_observability(metrics_path, trace_path));
+    static_cast<void>(flush_observability(metrics_path, trace_path, log_path));
     return 1;
   } catch (...) {
     // Nothing in the codebase throws non-std exceptions, but a CLI must
     // never die with "terminate called" on any input.
     std::fprintf(stderr, "error: unknown exception\n");
-    static_cast<void>(flush_observability(metrics_path, trace_path));
+    static_cast<void>(flush_observability(metrics_path, trace_path, log_path));
     return 1;
   }
 }

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json reports against committed baselines.
+
+Each bench binary writes `BENCH_<name>.json` as a flat list of
+`{"metric": ..., "value": ..., "unit": ...}` rows (see bench/bench_util.h).
+This script diffs freshly produced reports against the committed snapshots in
+`bench/baselines/` and flags any metric whose relative deviation exceeds its
+tolerance.
+
+Intended for the warn-only CI bench-smoke step: by default every violation is
+printed as a warning and the exit code stays 0 (bench numbers on shared
+runners are noisy); pass --strict to turn violations into a non-zero exit for
+local perf work on a quiet machine.
+
+Usage:
+    scripts/compare_bench.py build-release/BENCH_eval_kernel.json
+    scripts/compare_bench.py --fresh-dir build-release
+    scripts/compare_bench.py --strict --tolerance 0.10 BENCH_eval_kernel.json
+
+Per-metric tolerances override the global one, widest-match last wins:
+    scripts/compare_bench.py --metric-tolerance eval_kernel_speedup=0.5 ...
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path):
+    """Returns {metric: (value, unit)} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        rows = json.load(fh)
+    report = {}
+    for row in rows:
+        report[row["metric"]] = (float(row["value"]), row.get("unit", ""))
+    return report
+
+
+def relative_deviation(fresh, base):
+    if base == 0.0:
+        return 0.0 if fresh == 0.0 else float("inf")
+    return abs(fresh - base) / abs(base)
+
+
+def compare_one(fresh_path, baseline_path, tolerance, metric_tolerances):
+    """Compares one report pair; returns (warnings, checked_count)."""
+    fresh = load_report(fresh_path)
+    base = load_report(baseline_path)
+    warnings = []
+    checked = 0
+    for metric in sorted(set(fresh) | set(base)):
+        if metric not in base:
+            warnings.append(f"{metric}: new metric (no baseline value)")
+            continue
+        if metric not in fresh:
+            warnings.append(f"{metric}: missing from fresh report")
+            continue
+        checked += 1
+        fresh_value, unit = fresh[metric]
+        base_value, _ = base[metric]
+        tol = metric_tolerances.get(metric, tolerance)
+        dev = relative_deviation(fresh_value, base_value)
+        if dev > tol:
+            direction = "down" if fresh_value < base_value else "up"
+            warnings.append(
+                f"{metric}: {base_value:g} -> {fresh_value:g} {unit} "
+                f"({direction} {dev * 100.0:.1f}%, tolerance "
+                f"{tol * 100.0:.0f}%)"
+            )
+    return warnings, checked
+
+
+def parse_metric_tolerance(spec):
+    name, _, frac = spec.partition("=")
+    if not name or not frac:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=FRACTION, got {spec!r}"
+        )
+    return name, float(frac)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json files against bench/baselines/."
+    )
+    parser.add_argument(
+        "fresh", nargs="*", help="fresh BENCH_*.json files to compare"
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        help="scan this directory for BENCH_*.json instead of listing files",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "bench",
+            "baselines",
+        ),
+        help="directory of committed baseline reports "
+        "(default: <repo>/bench/baselines)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="default relative tolerance per metric (default: 0.25)",
+    )
+    parser.add_argument(
+        "--metric-tolerance",
+        action="append",
+        default=[],
+        type=parse_metric_tolerance,
+        metavar="NAME=FRACTION",
+        help="override the tolerance for one metric (repeatable)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any metric exceeds its tolerance "
+        "(default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_paths = list(args.fresh)
+    if args.fresh_dir:
+        for entry in sorted(os.listdir(args.fresh_dir)):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                fresh_paths.append(os.path.join(args.fresh_dir, entry))
+    if not fresh_paths:
+        print("compare_bench: no fresh BENCH_*.json files given", file=sys.stderr)
+        return 2
+
+    metric_tolerances = dict(args.metric_tolerance)
+    total_warnings = 0
+    total_checked = 0
+    for fresh_path in fresh_paths:
+        name = os.path.basename(fresh_path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"{name}: no committed baseline, skipping")
+            continue
+        warnings, checked = compare_one(
+            fresh_path, baseline_path, args.tolerance, metric_tolerances
+        )
+        total_checked += checked
+        total_warnings += len(warnings)
+        status = "OK" if not warnings else f"{len(warnings)} warning(s)"
+        print(f"{name}: {checked} metric(s) checked, {status}")
+        for warning in warnings:
+            print(f"  warning: {warning}")
+
+    print(
+        f"compare_bench: {total_checked} metric(s) checked, "
+        f"{total_warnings} warning(s)"
+    )
+    if total_warnings and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

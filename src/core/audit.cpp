@@ -1,0 +1,107 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "apps/program.h"
+#include "common/rng.h"
+#include "core/service.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "simmpi/simulator.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+namespace {
+
+/// Uniform sample over valid placements: pick nranks distinct CPU slots, so
+/// the result always fits (each slot hosts at most one rank). Mirrors
+/// NodePool::random_mapping without pulling the scheduler layer into core.
+Mapping sample_mapping(const ClusterTopology& topology, std::size_t nranks,
+                       Rng& rng) {
+  std::vector<NodeId> slots;
+  slots.reserve(topology.total_slots());
+  for (const Node& node : topology.nodes()) {
+    for (int s = 0; s < node.cpus; ++s) slots.push_back(node.id);
+  }
+  CBES_CHECK_MSG(nranks <= slots.size(),
+                 "audit: more ranks than cluster CPU slots");
+  const std::vector<std::size_t> picks =
+      rng.sample_indices(slots.size(), nranks);
+  std::vector<NodeId> assignment;
+  assignment.reserve(nranks);
+  for (const std::size_t pick : picks) assignment.push_back(slots[pick]);
+  return Mapping(std::move(assignment));
+}
+
+}  // namespace
+
+AuditReport audit_predictions(CbesService& svc, const Program& program,
+                              const LoadModel& truth,
+                              const AuditOptions& options,
+                              obs::MetricsRegistry* metrics,
+                              obs::Logger* log) {
+  CBES_CHECK_MSG(options.mappings > 0, "audit: need at least one mapping");
+  obs::Histogram* errors = nullptr;
+  if (metrics != nullptr) {
+    errors = &metrics->histogram(
+        "cbes_prediction_rel_error",
+        obs::Histogram::exponential(1e-3, 2.0, 12),
+        "Relative error of predicted vs simulated execution time");
+  }
+
+  // Round-robin first (the paper's naive baseline placement), then random
+  // samples — all deterministic in options.seed.
+  Rng rng(options.seed);
+  std::vector<Mapping> candidates;
+  candidates.reserve(options.mappings);
+  candidates.push_back(Mapping::round_robin(svc.topology(), program.nranks()));
+  while (candidates.size() < options.mappings) {
+    candidates.push_back(sample_mapping(svc.topology(), program.nranks(), rng));
+  }
+
+  AuditReport report;
+  report.rows.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    AuditRow row;
+    row.mapping = std::move(candidates[i]);
+    row.predicted = svc.predict(program.name, row.mapping, options.now).time;
+
+    SimOptions sim;
+    sim.net = svc.config().hardware;
+    sim.seed = derive_seed(options.seed, 1000 + i);
+    sim.start_time = options.now;
+    row.simulated =
+        svc.simulator().run(program, row.mapping, truth, sim).makespan;
+
+    row.rel_error = row.simulated > 0.0
+                        ? std::abs(row.predicted - row.simulated) /
+                              row.simulated
+                        : 0.0;
+    if (errors != nullptr) errors->observe(row.rel_error);
+    if (log != nullptr) {
+      log->info("audit/row", options.now,
+                {{"app", program.name},
+                 {"mapping", i},
+                 {"predicted", row.predicted},
+                 {"simulated", row.simulated},
+                 {"rel_error", row.rel_error}});
+    }
+    report.mean_rel_error += row.rel_error;
+    report.max_rel_error = std::max(report.max_rel_error, row.rel_error);
+    report.rows.push_back(std::move(row));
+  }
+  report.mean_rel_error /= static_cast<double>(report.rows.size());
+  if (log != nullptr) {
+    log->info("audit/summary", options.now,
+              {{"app", program.name},
+               {"mappings", report.rows.size()},
+               {"mean_rel_error", report.mean_rel_error},
+               {"max_rel_error", report.max_rel_error}});
+  }
+  return report;
+}
+
+}  // namespace cbes

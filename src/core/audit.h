@@ -1,0 +1,74 @@
+// Prediction-accuracy audit: how close is the estimating service to the
+// "truth"?
+//
+// The paper validates its cost model by comparing predicted execution times
+// against measured runs (Figure 5). This module reproduces that loop
+// offline: it samples candidate mappings, asks the service for its
+// prediction of each, runs the same (program, mapping) pair through the MPI
+// simulator under the ground-truth load model, and records the relative
+// error |predicted - simulated| / simulated per mapping.
+//
+// The audit is the calibration feedback surface for the serving stack: the
+// per-mapping errors land in the `cbes_prediction_rel_error` histogram when
+// a registry is supplied, and each row plus the summary is logged, so a
+// fleet operator can watch model drift the same way they watch latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/mapping.h"
+
+namespace cbes::obs {
+class Logger;
+class MetricsRegistry;
+}  // namespace cbes::obs
+
+namespace cbes {
+
+class CbesService;
+class LoadModel;
+struct Program;
+
+struct AuditOptions {
+  /// Candidate mappings audited: the round-robin placement plus
+  /// `mappings - 1` random samples over the whole cluster.
+  std::size_t mappings = 8;
+  /// Seed for the random mapping samples and the simulator jitter stream.
+  std::uint64_t seed = 0xAD17;
+  /// Simulated time of the audit; selects the monitor epoch the predictions
+  /// are computed against and the simulator start time.
+  Seconds now = 0.0;
+};
+
+/// One audited mapping: the service's answer next to the simulator's.
+struct AuditRow {
+  Mapping mapping;
+  Seconds predicted = 0.0;
+  Seconds simulated = 0.0;
+  /// |predicted - simulated| / simulated; 0 when simulated is 0.
+  double rel_error = 0.0;
+};
+
+struct AuditReport {
+  std::vector<AuditRow> rows;
+  double mean_rel_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Audits `svc`'s predictions for `program` against simulator ground truth
+/// under `truth`. `program` must already be registered with the service
+/// under its own name. When non-null, `metrics` receives every relative
+/// error in the `cbes_prediction_rel_error` histogram and `log` one
+/// "audit/row" record per mapping plus an "audit/summary" record.
+[[nodiscard]] AuditReport audit_predictions(CbesService& svc,
+                                            const Program& program,
+                                            const LoadModel& truth,
+                                            const AuditOptions& options = {},
+                                            obs::MetricsRegistry* metrics =
+                                                nullptr,
+                                            obs::Logger* log = nullptr);
+
+}  // namespace cbes

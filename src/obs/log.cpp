@@ -1,0 +1,246 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace cbes::obs {
+
+namespace {
+
+[[nodiscard]] std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Sink order: simulated time, then severity, then event, then the rendered
+/// fields; `seq` breaks exact ties only (identical lines either way).
+[[nodiscard]] bool sink_less(const LogRecord& a, const LogRecord& b) {
+  const auto key = [](const LogRecord& r) {
+    return std::tuple<double, unsigned char, const std::string&>(
+        r.sim_time, static_cast<unsigned char>(r.level), r.event);
+  };
+  if (key(a) != key(b)) return key(a) < key(b);
+  const std::size_t n = std::min(a.fields.size(), b.fields.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.fields[i].key != b.fields[i].key) {
+      return a.fields[i].key < b.fields[i].key;
+    }
+    if (a.fields[i].value != b.fields[i].value) {
+      return a.fields[i].value < b.fields[i].value;
+    }
+  }
+  if (a.fields.size() != b.fields.size()) {
+    return a.fields.size() < b.fields.size();
+  }
+  return a.seq < b.seq;
+}
+
+/// Text-sink value quoting: bare when the value is a simple token, otherwise
+/// double-quoted with backslash escapes.
+void append_text_value(std::string& out, const std::string& value) {
+  const bool bare =
+      !value.empty() &&
+      value.find_first_of(" \t\n\"=\\") == std::string::npos;
+  if (bare) {
+    out += value;
+    return;
+  }
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+LogField::LogField(std::string_view k, double v)
+    : key(k), value(format_double(v)) {}
+LogField::LogField(std::string_view k, std::uint64_t v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, std::int64_t v)
+    : key(k), value(std::to_string(v)) {}
+
+Logger::Logger(LoggerConfig config) : config_(config) {
+  CBES_CHECK_MSG(config_.capacity >= 2, "log ring too small to be useful");
+  const std::size_t capacity = round_up_pow2(config_.capacity);
+  config_.capacity = capacity;
+  mask_ = capacity - 1;
+  cells_.reset(new Cell[capacity]);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    cells_[i].stamp.store(i, std::memory_order_relaxed);
+  }
+}
+
+void Logger::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    records_metric_.store(nullptr, std::memory_order_relaxed);
+    dropped_metric_.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  records_metric_.store(&registry->counter("cbes_log_records_total",
+                                           "Structured log records accepted"),
+                        std::memory_order_relaxed);
+  dropped_metric_.store(
+      &registry->counter(
+          "cbes_log_dropped_total",
+          "Structured log records dropped because the ring buffer was full"),
+      std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view event, Seconds sim_time,
+                 std::vector<LogField> fields) {
+  if (!enabled(level)) return;
+  // Vyukov MPMC enqueue: claim a cell whose stamp matches the position, fill
+  // it, publish by bumping the stamp. A cell still owned by a slow reader
+  // round means the ring is full — drop rather than wait.
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  Cell* cell = nullptr;
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const std::uint64_t stamp = cell->stamp.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::int64_t>(stamp) -
+                     static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (Counter* c = dropped_metric_.load(std::memory_order_relaxed)) {
+        c->inc();
+      }
+      return;
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+  cell->record.seq = pos;
+  cell->record.level = level;
+  cell->record.sim_time = sim_time;
+  cell->record.event.assign(event);
+  cell->record.fields = std::move(fields);
+  cell->stamp.store(pos + 1, std::memory_order_release);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (Counter* c = records_metric_.load(std::memory_order_relaxed)) {
+    c->inc();
+  }
+}
+
+void Logger::collect_locked() const {
+  const std::size_t capacity = mask_ + 1;
+  while (true) {
+    Cell& cell = cells_[dequeue_pos_ & mask_];
+    const std::uint64_t stamp = cell.stamp.load(std::memory_order_acquire);
+    if (stamp != dequeue_pos_ + 1) break;  // next cell not yet published
+    archive_.push_back(std::move(cell.record));
+    cell.record = LogRecord{};
+    // Free the cell for the producer lap `capacity` ahead.
+    cell.stamp.store(dequeue_pos_ + capacity, std::memory_order_release);
+    ++dequeue_pos_;
+  }
+}
+
+std::size_t Logger::size() const {
+  return accepted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Logger::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<LogRecord> Logger::records() const {
+  const std::lock_guard lock(mu_);
+  collect_locked();
+  std::vector<LogRecord> out = archive_;
+  std::stable_sort(out.begin(), out.end(), sink_less);
+  return out;
+}
+
+void Logger::format_text(std::ostream& os) const {
+  std::string line;
+  for (const LogRecord& r : records()) {
+    line.clear();
+    line += "level=";
+    line += log_level_name(r.level);
+    line += " t=";
+    line += format_double(r.sim_time);
+    line += " event=";
+    append_text_value(line, r.event);
+    for (const LogField& f : r.fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      append_text_value(line, f.value);
+    }
+    line += '\n';
+    os << line;
+  }
+}
+
+void Logger::format_json(std::ostream& os) const {
+  std::string out = "[";
+  bool first = true;
+  for (const LogRecord& r : records()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"level\":";
+    append_json_string(out, log_level_name(r.level));
+    out += ",\"t\":";
+    out += format_double(r.sim_time);
+    out += ",\"event\":";
+    append_json_string(out, r.event);
+    out += ",\"fields\":{";
+    bool first_field = true;
+    for (const LogField& f : r.fields) {
+      if (!first_field) out += ',';
+      first_field = false;
+      append_json_string(out, f.key);
+      out += ':';
+      append_json_string(out, f.value);
+    }
+    out += "}}";
+  }
+  out += "]";
+  os << out;
+}
+
+}  // namespace cbes::obs

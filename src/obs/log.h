@@ -1,0 +1,176 @@
+// Structured, leveled logging for the CBES serve path.
+//
+// A Logger accepts key-value records ("events") from any thread through a
+// bounded lock-free MPMC ring buffer (Vyukov-style sequence-stamped cells):
+// the hot path pays one fetch_add plus a cell write, never a mutex, and a
+// full buffer drops the record (counted) instead of blocking a worker.
+// Readers collect the ring into an archive under a mutex — only sinks and
+// tests pay that cost.
+//
+// Determinism contract: the text/JSON sinks emit records sorted by
+// (simulated time, level, event, fields), with the arrival sequence used only
+// to break exact ties. Two runs that produce the same *multiset* of records
+// therefore serialize byte-identically, however their threads interleaved —
+// which is what lets fixed-seed chaos runs diff their logs. Call sites keep
+// that property by logging simulated time and stable facts, never wall-clock
+// durations.
+//
+// A Logger pointer of nullptr means "logging off"; call sites short-circuit
+// on the null check before formatting anything, so disabled logging costs
+// one branch (same contract as TraceSession / MetricsRegistry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace cbes::obs {
+
+enum class LogLevel : unsigned char {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+[[nodiscard]] constexpr const char* log_level_name(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+/// One key-value pair of a structured record. Numeric constructors format
+/// deterministically (%.6g for doubles), so a field renders identically
+/// across runs and platforms for the same value.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, double v);
+  LogField(std::string_view k, std::uint64_t v);
+  LogField(std::string_view k, std::int64_t v);
+  LogField(std::string_view k, int v) : LogField(k, std::int64_t{v}) {}
+  // No std::size_t constructor: on LP64 it IS std::uint64_t.
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false") {}
+
+  friend bool operator==(const LogField&, const LogField&) = default;
+};
+
+/// One structured record: what happened (`event`), when in simulated time,
+/// how severe, and the facts (`fields`).
+struct LogRecord {
+  std::uint64_t seq = 0;  ///< arrival order; tie-breaker only, see header
+  LogLevel level = LogLevel::kInfo;
+  Seconds sim_time = 0.0;
+  std::string event;
+  std::vector<LogField> fields;
+};
+
+struct LoggerConfig {
+  /// Ring capacity (records buffered between collections); rounded up to a
+  /// power of two. Once full, further records are dropped and counted.
+  std::size_t capacity = 1 << 12;
+  /// Records below this level are discarded at the call site.
+  LogLevel min_level = LogLevel::kInfo;
+};
+
+class Logger {
+ public:
+  explicit Logger(LoggerConfig config = {});
+
+  /// True when `level` passes the configured floor — callers building
+  /// expensive field sets may gate on it; log() re-checks regardless.
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= config_.min_level;
+  }
+
+  void log(LogLevel level, std::string_view event, Seconds sim_time,
+           std::vector<LogField> fields = {});
+  void debug(std::string_view event, Seconds sim_time,
+             std::vector<LogField> fields = {}) {
+    log(LogLevel::kDebug, event, sim_time, std::move(fields));
+  }
+  void info(std::string_view event, Seconds sim_time,
+            std::vector<LogField> fields = {}) {
+    log(LogLevel::kInfo, event, sim_time, std::move(fields));
+  }
+  void warn(std::string_view event, Seconds sim_time,
+            std::vector<LogField> fields = {}) {
+    log(LogLevel::kWarn, event, sim_time, std::move(fields));
+  }
+  void error(std::string_view event, Seconds sim_time,
+             std::vector<LogField> fields = {}) {
+    log(LogLevel::kError, event, sim_time, std::move(fields));
+  }
+
+  /// Records accepted so far (archived plus still in the ring).
+  [[nodiscard]] std::size_t size() const;
+  /// Records dropped because the ring was full at the call site.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Snapshot of every record, in the deterministic sink order (see header).
+  /// Non-consuming: repeated calls return the same records plus any new ones.
+  [[nodiscard]] std::vector<LogRecord> records() const;
+
+  /// `level=<l> t=<sim> event=<e> k=v ...` lines, one per record, in
+  /// deterministic order. Values containing spaces, quotes, or '=' are
+  /// double-quoted with backslash escapes.
+  void format_text(std::ostream& os) const;
+  /// JSON array of `{"level":...,"t":...,"event":...,"fields":{...}}`
+  /// objects, same order as format_text.
+  void format_json(std::ostream& os) const;
+
+  /// Wires `cbes_log_records_total` / `cbes_log_dropped_total` into
+  /// `registry` (nullptr disables; the default). Must outlive the logger.
+  void set_metrics(MetricsRegistry* registry);
+
+  [[nodiscard]] const LoggerConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One ring cell; `stamp` is the Vyukov sequence: == pos means free for the
+  /// producer claiming pos, == pos + 1 means occupied and readable.
+  struct Cell {
+    std::atomic<std::uint64_t> stamp{0};
+    LogRecord record;
+  };
+
+  /// Moves every published ring record into archive_. Caller holds mu_.
+  void collect_locked() const;
+
+  LoggerConfig config_;
+  std::size_t mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> enqueue_pos_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+
+  mutable std::mutex mu_;                     // readers / archive only
+  mutable std::uint64_t dequeue_pos_ = 0;     // guarded by mu_
+  mutable std::vector<LogRecord> archive_;    // guarded by mu_
+
+  // Atomic so the lock-free log() path can read them without mu_.
+  std::atomic<Counter*> records_metric_{nullptr};
+  std::atomic<Counter*> dropped_metric_{nullptr};
+};
+
+}  // namespace cbes::obs

@@ -43,12 +43,14 @@ double Histogram::quantile(double q) const {
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
     const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;  // the quantile cannot fall in empty mass
     if (static_cast<double>(cumulative + in_bucket) >= target) {
       const double lo = i == 0 ? 0.0 : bounds_[i - 1];
       const double hi = bounds_[i];
-      if (in_bucket == 0) return hi;
-      const double frac = (target - static_cast<double>(cumulative)) /
-                          static_cast<double>(in_bucket);
+      // q == 0 (target <= cumulative) pins to the bucket's lower edge.
+      const double frac = std::max(
+          0.0, (target - static_cast<double>(cumulative)) /
+                   static_cast<double>(in_bucket));
       return lo + frac * (hi - lo);
     }
     cumulative += in_bucket;
@@ -67,46 +69,84 @@ std::vector<double> Histogram::exponential(double first, double factor,
   return bounds;
 }
 
-MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name,
-                                                   const std::string& help) {
-  CBES_CHECK_MSG(!name.empty(), "metric name must not be empty");
-  Entry& e = entries_[name];
-  if (e.help.empty()) e.help = help;
-  return e;
-}
-
-Counter& MetricsRegistry::counter(const std::string& name,
-                                  const std::string& help) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entry_for(name, help);
-  CBES_CHECK_MSG(!e.gauge && !e.histogram,
-                 "metric already registered with a different kind: " + name);
-  if (!e.counter) e.counter = std::make_unique<Counter>();
-  return *e.counter;
-}
-
-Gauge& MetricsRegistry::gauge(const std::string& name,
-                              const std::string& help) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entry_for(name, help);
-  CBES_CHECK_MSG(!e.counter && !e.histogram,
-                 "metric already registered with a different kind: " + name);
-  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
-  return *e.gauge;
-}
-
-Histogram& MetricsRegistry::histogram(const std::string& name,
-                                      std::vector<double> bounds,
-                                      const std::string& help) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entry_for(name, help);
-  CBES_CHECK_MSG(!e.counter && !e.gauge,
-                 "metric already registered with a different kind: " + name);
-  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
-  return *e.histogram;
-}
-
 namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+[[nodiscard]] bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto ok = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':') {
+      return true;
+    }
+    return !first && c >= '0' && c <= '9';
+  };
+  if (!ok(name[0], true)) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!ok(name[i], false)) return false;
+  }
+  return true;
+}
+
+/// Prometheus label names: [a-zA-Z_][a-zA-Z0-9_]*, "__" prefix reserved.
+[[nodiscard]] bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.size() >= 2 && name[0] == '_' && name[1] == '_') return false;
+  const auto ok = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+      return true;
+    }
+    return !first && c >= '0' && c <= '9';
+  };
+  if (!ok(name[0], true)) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!ok(name[i], false)) return false;
+  }
+  return true;
+}
+
+/// Escaping for label values: backslash, double-quote, newline.
+void append_label_value(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Escaping for HELP text: backslash and newline (quotes are legal there).
+[[nodiscard]] std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `k="v",k2="v2"` with names sorted and values escaped; empty for an
+/// empty label set. Doubles as the series map key, so label order at the call
+/// site does not create duplicate instruments.
+[[nodiscard]] std::string render_label_block(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    append_label_value(out, v);
+    out += '"';
+  }
+  return out;
+}
 
 /// Prometheus sample values: integers stay integral, everything else %g.
 void append_value(std::ostringstream& os, double v) {
@@ -117,33 +157,124 @@ void append_value(std::ostringstream& os, double v) {
   }
 }
 
+/// `name{block}` or bare `name` when the block is empty; `extra` appends one
+/// more label (`le` for histogram buckets) inside the braces.
+void append_series_name(std::ostringstream& os, const std::string& name,
+                        const std::string& block,
+                        const std::string& extra = "") {
+  os << name;
+  if (block.empty() && extra.empty()) return;
+  os << '{' << block;
+  if (!extra.empty()) {
+    if (!block.empty()) os << ',';
+    os << extra;
+  }
+  os << '}';
+}
+
 }  // namespace
+
+MetricsRegistry::Instrument& MetricsRegistry::series_for(
+    const std::string& name, const Labels& labels, Kind kind,
+    const std::string& help) {
+  CBES_CHECK_MSG(valid_metric_name(name),
+                 "invalid Prometheus metric name: '" + name + "'");
+  for (const auto& [k, v] : labels) {
+    CBES_CHECK_MSG(valid_label_name(k),
+                   "invalid Prometheus label name: '" + k + "' on " + name);
+  }
+  Family& fam = families_[name];
+  if (fam.series.empty()) {
+    fam.kind = kind;
+  } else {
+    CBES_CHECK_MSG(fam.kind == kind,
+                   "metric already registered with a different kind: " + name);
+  }
+  if (fam.help.empty()) fam.help = help;
+  return fam.series[render_label_block(labels)];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return counter(name, Labels{}, help);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument& s = series_for(name, labels, Kind::kCounter, help);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return gauge(name, Labels{}, help);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument& s = series_for(name, labels, Kind::kGauge, help);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  return histogram(name, Labels{}, std::move(bounds), help);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Instrument& s = series_for(name, labels, Kind::kHistogram, help);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *s.histogram;
+}
 
 std::string MetricsRegistry::expose_text() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
-  for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) os << "# HELP " << name << ' ' << e.help << '\n';
-    if (e.counter) {
-      os << "# TYPE " << name << " counter\n" << name << ' '
-         << e.counter->value() << '\n';
-    } else if (e.gauge) {
-      os << "# TYPE " << name << " gauge\n" << name << ' ';
-      append_value(os, e.gauge->value());
-      os << '\n';
-    } else if (e.histogram) {
-      os << "# TYPE " << name << " histogram\n";
-      std::uint64_t cumulative = 0;
-      const auto& bounds = e.histogram->bounds();
-      for (std::size_t i = 0; i < bounds.size(); ++i) {
-        cumulative += e.histogram->bucket(i);
-        os << name << "_bucket{le=\"" << bounds[i] << "\"} " << cumulative
-           << '\n';
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      os << "# HELP " << name << ' ' << escape_help(fam.help) << '\n';
+    }
+    switch (fam.kind) {
+      case Kind::kCounter: os << "# TYPE " << name << " counter\n"; break;
+      case Kind::kGauge: os << "# TYPE " << name << " gauge\n"; break;
+      case Kind::kHistogram: os << "# TYPE " << name << " histogram\n"; break;
+    }
+    for (const auto& [block, s] : fam.series) {
+      if (s.counter) {
+        append_series_name(os, name, block);
+        os << ' ' << s.counter->value() << '\n';
+      } else if (s.gauge) {
+        append_series_name(os, name, block);
+        os << ' ';
+        append_value(os, s.gauge->value());
+        os << '\n';
+      } else if (s.histogram) {
+        std::uint64_t cumulative = 0;
+        const auto& bounds = s.histogram->bounds();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += s.histogram->bucket(i);
+          std::ostringstream le;
+          le << "le=\"" << bounds[i] << '"';
+          append_series_name(os, name + "_bucket", block, le.str());
+          os << ' ' << cumulative << '\n';
+        }
+        append_series_name(os, name + "_bucket", block, "le=\"+Inf\"");
+        os << ' ' << s.histogram->count() << '\n';
+        append_series_name(os, name + "_sum", block);
+        os << ' ';
+        append_value(os, s.histogram->sum());
+        os << '\n';
+        append_series_name(os, name + "_count", block);
+        os << ' ' << s.histogram->count() << '\n';
       }
-      os << name << "_bucket{le=\"+Inf\"} " << e.histogram->count() << '\n';
-      os << name << "_sum ";
-      append_value(os, e.histogram->sum());
-      os << '\n' << name << "_count " << e.histogram->count() << '\n';
     }
   }
   return os.str();
@@ -152,16 +283,24 @@ std::string MetricsRegistry::expose_text() const {
 std::vector<MetricsRegistry::Sample> MetricsRegistry::samples() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<Sample> out;
-  out.reserve(entries_.size());
-  for (const auto& [name, e] : entries_) {
-    if (e.counter) {
-      out.push_back({name, static_cast<double>(e.counter->value()), e.help});
-    } else if (e.gauge) {
-      out.push_back({name, e.gauge->value(), e.help});
-    } else if (e.histogram) {
-      out.push_back({name + "_count",
-                     static_cast<double>(e.histogram->count()), e.help});
-      out.push_back({name + "_sum", e.histogram->sum(), e.help});
+  out.reserve(families_.size());
+  const auto series_name = [](const std::string& name,
+                              const std::string& block) {
+    return block.empty() ? name : name + '{' + block + '}';
+  };
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [block, s] : fam.series) {
+      if (s.counter) {
+        out.push_back({series_name(name, block),
+                       static_cast<double>(s.counter->value()), fam.help});
+      } else if (s.gauge) {
+        out.push_back({series_name(name, block), s.gauge->value(), fam.help});
+      } else if (s.histogram) {
+        out.push_back({series_name(name + "_count", block),
+                       static_cast<double>(s.histogram->count()), fam.help});
+        out.push_back({series_name(name + "_sum", block),
+                       s.histogram->sum(), fam.help});
+      }
     }
   }
   return out;

@@ -5,6 +5,13 @@
 // paths pay one atomic RMW per event; only instrument *registration* and text
 // exposition take the registry mutex. Instruments are owned by the registry
 // and live as long as it does, so callers cache the returned references.
+//
+// Instruments may carry labels (`{priority="hi",outcome="done"}`): a family
+// name maps to one kind + help text, and each distinct label set gets its own
+// instrument. Family and label names are validated against the Prometheus
+// charset at registration; help text and label values are escaped on
+// exposition. The unlabeled overloads are the empty-label-set member of the
+// family, so existing call sites are unchanged.
 #pragma once
 
 #include <atomic>
@@ -13,9 +20,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cbes::obs {
+
+/// Label set for one instrument: (name, value) pairs. Order does not matter;
+/// the registry sorts by label name so equal sets are one instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing event count.
 class Counter {
@@ -72,7 +84,10 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
 
   /// Quantile estimate (q in [0, 1]) by linear interpolation within the
-  /// containing bucket; the overflow bucket reports the largest bound.
+  /// containing bucket. Empty buckets are skipped, so q=0 reports the lower
+  /// edge of the first occupied bucket; mass past the last bound (the
+  /// overflow bucket) reports the largest bound — the histogram cannot see
+  /// further. An empty histogram reports 0.
   [[nodiscard]] double quantile(double q) const;
 
   /// Exponential bucket ladder: `first, first*factor, ...` (`n` bounds).
@@ -90,19 +105,32 @@ class Histogram {
 /// Named instrument store with Prometheus text-format exposition.
 class MetricsRegistry {
  public:
-  /// Returns the instrument registered under `name`, creating it on first
-  /// use. Re-requesting a name with a different instrument kind throws.
+  /// Returns the instrument registered under `name` (+ optional labels),
+  /// creating it on first use. Re-requesting a family with a different
+  /// instrument kind throws, as does a name or label name outside the
+  /// Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]* for metric names,
+  /// [a-zA-Z_][a-zA-Z0-9_]* and no "__" prefix for label names).
   Counter& counter(const std::string& name, const std::string& help = "");
+  Counter& counter(const std::string& name, Labels labels,
+                   const std::string& help = "");
   Gauge& gauge(const std::string& name, const std::string& help = "");
-  /// First registration fixes the bucket bounds; later calls ignore them.
+  Gauge& gauge(const std::string& name, Labels labels,
+               const std::string& help = "");
+  /// First registration fixes the family's bucket bounds; later calls (any
+  /// label set) ignore them.
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const std::string& help = "");
+  Histogram& histogram(const std::string& name, Labels labels,
+                       std::vector<double> bounds,
+                       const std::string& help = "");
 
-  /// Prometheus text exposition format (# HELP / # TYPE / samples).
+  /// Prometheus text exposition format (# HELP / # TYPE once per family,
+  /// then one sample block per label set; help and label values escaped).
   [[nodiscard]] std::string expose_text() const;
 
   /// Flat scalar view for machine-readable reports: counters and gauges by
-  /// name, histograms as `<name>_count` / `<name>_sum`.
+  /// name (labeled instruments as `name{k="v",...}`), histograms as
+  /// `<name>_count` / `<name>_sum`.
   struct Sample {
     std::string name;
     double value = 0.0;
@@ -111,16 +139,30 @@ class MetricsRegistry {
   [[nodiscard]] std::vector<Sample> samples() const;
 
  private:
-  struct Entry {
-    std::string help;
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// One (family, label set) instrument; exactly one pointer is set,
+  /// matching the family kind.
+  struct Instrument {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry& entry_for(const std::string& name, const std::string& help);
+
+  /// One metric family: a kind, help text, and an instrument per label set.
+  /// Keys of `series` are the rendered label block (`k="v",k2="v2"` with
+  /// names sorted, values escaped) — empty for the unlabeled instrument.
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::map<std::string, Instrument> series;
+  };
+
+  Instrument& series_for(const std::string& name, const Labels& labels,
+                         Kind kind, const std::string& help);
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Family> families_;
 };
 
 }  // namespace cbes::obs

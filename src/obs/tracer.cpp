@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace cbes::obs {
 
@@ -37,27 +39,120 @@ void append_escaped(std::string& out, std::string_view s) {
   }
 }
 
+[[nodiscard]] bool is_async_phase(char phase) noexcept {
+  return phase == 'b' || phase == 'e' || phase == 'n';
+}
+
 }  // namespace
+
+TraceArgs& TraceArgs::add(std::string_view key, std::string_view value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":\"";
+  append_escaped(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":";
+  body_ += buf;
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, std::uint64_t value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, std::int64_t value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+TraceArgs& TraceArgs::add(std::string_view key, bool value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":";
+  body_ += value ? "true" : "false";
+  return *this;
+}
 
 TraceSession::TraceSession(std::size_t capacity) : capacity_(capacity) {
   CBES_CHECK_MSG(capacity >= 2, "trace buffer too small to hold one span");
   events_.reserve(capacity < 1024 ? capacity : 1024);
 }
 
-void TraceSession::record(std::string_view name, char phase) {
+void TraceSession::record(std::string_view name, char phase, std::uint64_t id,
+                          std::string args) {
   const double ts = now_us();
   const std::uint32_t tid = current_tid();
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+  bool dropped = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      dropped = true;
+    } else {
+      events_.push_back(
+          Event{std::string(name), phase, ts, tid, id, std::move(args)});
+    }
+  }
+  if (dropped) {
+    if (Counter* c = dropped_metric_.load(std::memory_order_relaxed)) {
+      c->inc();
+    }
+    // Warn exactly once per session: the count lives in dropped()/metrics,
+    // and a per-drop log would itself flood the log ring.
+    if (Logger* log = log_.load(std::memory_order_relaxed)) {
+      if (!drop_warned_.exchange(true, std::memory_order_relaxed)) {
+        log->warn("trace/drop", 0.0,
+                  {{"capacity", capacity_}, {"event", std::string(name)}});
+      }
+    }
     return;
   }
-  events_.push_back(Event{std::string(name), phase, ts, tid});
+  if (Counter* c = events_metric_.load(std::memory_order_relaxed)) {
+    c->inc();
+  }
 }
 
 void TraceSession::begin(std::string_view name) { record(name, 'B'); }
 void TraceSession::end(std::string_view name) { record(name, 'E'); }
 void TraceSession::instant(std::string_view name) { record(name, 'i'); }
+void TraceSession::instant(std::string_view name, TraceArgs args) {
+  record(name, 'i', 0, std::move(args.body_));
+}
+
+void TraceSession::async_begin(std::string_view name, std::uint64_t id,
+                               TraceArgs args) {
+  record(name, 'b', id, std::move(args.body_));
+}
+
+void TraceSession::async_end(std::string_view name, std::uint64_t id,
+                             TraceArgs args) {
+  record(name, 'e', id, std::move(args.body_));
+}
+
+void TraceSession::async_instant(std::string_view name, std::uint64_t id,
+                                 TraceArgs args) {
+  record(name, 'n', id, std::move(args.body_));
+}
 
 std::size_t TraceSession::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -67,6 +162,26 @@ std::size_t TraceSession::size() const {
 std::size_t TraceSession::dropped() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+void TraceSession::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    events_metric_.store(nullptr, std::memory_order_relaxed);
+    dropped_metric_.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  events_metric_.store(
+      &registry->counter("cbes_trace_events_total", "Trace events recorded"),
+      std::memory_order_relaxed);
+  dropped_metric_.store(
+      &registry->counter(
+          "cbes_trace_dropped_total",
+          "Trace events dropped because the session buffer was full"),
+      std::memory_order_relaxed);
+}
+
+void TraceSession::set_logger(Logger* log) {
+  log_.store(log, std::memory_order_relaxed);
 }
 
 void TraceSession::export_chrome_json(std::ostream& os) const {
@@ -81,8 +196,11 @@ void TraceSession::export_chrome_json(std::ostream& os) const {
     append_escaped(name, e.name);
     os << "{\"name\":\"" << name << "\",\"cat\":\"cbes\",\"ph\":\"" << e.phase
        << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
+    // Async events are correlated by (cat, id) across threads.
+    if (is_async_phase(e.phase)) os << ",\"id\":\"" << e.id << '"';
     // Instant events need a scope; thread scope keeps them on their row.
     if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (!e.args.empty()) os << ",\"args\":{" << e.args << '}';
     os << '}';
   }
   os << "],\"displayTimeUnit\":\"ms\"}";

@@ -2,11 +2,21 @@
 // bounded in-memory buffer and exports Chrome trace-event JSON, loadable in
 // chrome://tracing or https://ui.perfetto.dev.
 //
+// Two families of events:
+//  - Duration events (begin/end, phases B/E) nest stack-wise per thread and
+//    show *where a thread spent its time*.
+//  - Async events (async_begin/async_end/async_instant, phases b/e/n) are
+//    keyed by an id and stitch one logical request into a single track even
+//    as it hops threads: submitter -> queue -> worker -> eval. All events
+//    with the same id render as one row in Perfetto.
+// Events may carry an args object (TraceArgs) of key-value annotations.
+//
 // A TraceSession pointer of nullptr means "tracing off": TraceSpan and the
 // instrumented call sites short-circuit on the null check before doing any
 // clock reads or string formatting, so disabled tracing costs one branch.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -16,6 +26,40 @@
 #include <vector>
 
 namespace cbes::obs {
+
+class Counter;
+class Logger;
+class MetricsRegistry;
+
+/// Builder for a Chrome trace `args` object: deterministic key order (the
+/// order of add() calls), values pre-escaped at add time so export is a
+/// straight copy. Cheap to pass by value into record().
+class TraceArgs {
+ public:
+  TraceArgs& add(std::string_view key, std::string_view value);
+  TraceArgs& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  TraceArgs& add(std::string_view key, const std::string& value) {
+    return add(key, std::string_view(value));
+  }
+  TraceArgs& add(std::string_view key, double value);
+  TraceArgs& add(std::string_view key, std::uint64_t value);
+  TraceArgs& add(std::string_view key, std::int64_t value);
+  TraceArgs& add(std::string_view key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  // No std::size_t overload: on LP64 it IS std::uint64_t.
+  TraceArgs& add(std::string_view key, bool value);
+
+  /// The rendered object body (`"k":"v","n":3`), without the braces.
+  [[nodiscard]] const std::string& body() const noexcept { return body_; }
+  [[nodiscard]] bool empty() const noexcept { return body_.empty(); }
+
+ private:
+  friend class TraceSession;  // moves body_ out in record()
+  std::string body_;
+};
 
 class TraceSession {
  public:
@@ -29,23 +73,44 @@ class TraceSession {
   void end(std::string_view name);
   /// Zero-duration marker.
   void instant(std::string_view name);
+  void instant(std::string_view name, TraceArgs args);
+
+  /// Async span start / end / point, keyed by `id` (one track per id in
+  /// Perfetto). Begin and end may come from different threads; nesting under
+  /// one id follows the b/e stack for that id.
+  void async_begin(std::string_view name, std::uint64_t id,
+                   TraceArgs args = {});
+  void async_end(std::string_view name, std::uint64_t id, TraceArgs args = {});
+  void async_instant(std::string_view name, std::uint64_t id,
+                     TraceArgs args = {});
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t dropped() const;
 
-  /// Chrome trace-event JSON ("traceEvents" array of B/E/i phase records).
+  /// Chrome trace-event JSON ("traceEvents" array of B/E/i/b/e/n phase
+  /// records; async records carry cat+id, any record may carry args).
   void export_chrome_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
+
+  /// Wires `cbes_trace_events_total` / `cbes_trace_dropped_total` into
+  /// `registry` (nullptr disables; the default). Must outlive the session.
+  void set_metrics(MetricsRegistry* registry);
+  /// One-shot "trace/drop" warning to `log` the first time an event is
+  /// dropped (nullptr disables; the default). Must outlive the session.
+  void set_logger(Logger* log);
 
  private:
   struct Event {
     std::string name;
-    char phase;       // 'B', 'E', or 'i'
-    double ts_us;     // microseconds since session start
+    char phase;        // 'B', 'E', 'i' (duration/instant); 'b', 'e', 'n' (async)
+    double ts_us;      // microseconds since session start
     std::uint32_t tid;
+    std::uint64_t id;  // async track id; meaningful for b/e/n only
+    std::string args;  // pre-rendered args object body; empty = no args
   };
 
-  void record(std::string_view name, char phase);
+  void record(std::string_view name, char phase, std::uint64_t id = 0,
+              std::string args = {});
   [[nodiscard]] double now_us() const {
     return std::chrono::duration<double, std::micro>(
                std::chrono::steady_clock::now() - epoch_)
@@ -58,6 +123,11 @@ class TraceSession {
   mutable std::mutex mu_;
   std::vector<Event> events_;
   std::size_t dropped_ = 0;
+
+  std::atomic<Counter*> events_metric_{nullptr};
+  std::atomic<Counter*> dropped_metric_{nullptr};
+  std::atomic<Logger*> log_{nullptr};
+  std::atomic<bool> drop_warned_{false};
 };
 
 /// RAII span: begin at construction, end at destruction. A null session makes
@@ -89,6 +159,31 @@ class TraceSpan {
 
  private:
   TraceSession* session_;
+  std::string name_;
+};
+
+/// RAII async span: async_begin at construction, async_end at destruction —
+/// exception-safe stage spans inside an id-keyed request track. A null
+/// session makes both ends no-ops.
+class AsyncTraceSpan {
+ public:
+  AsyncTraceSpan(TraceSession* session, std::string_view name,
+                 std::uint64_t id, TraceArgs args = {})
+      : session_(session), id_(id) {
+    if (session_ != nullptr) {
+      name_.assign(name);
+      session_->async_begin(name_, id_, std::move(args));
+    }
+  }
+  AsyncTraceSpan(const AsyncTraceSpan&) = delete;
+  AsyncTraceSpan& operator=(const AsyncTraceSpan&) = delete;
+  ~AsyncTraceSpan() {
+    if (session_ != nullptr) session_->async_end(name_, id_);
+  }
+
+ private:
+  TraceSession* session_;
+  std::uint64_t id_;
   std::string name_;
 };
 

@@ -37,6 +37,11 @@ void CircuitBreaker::set_metrics(obs::MetricsRegistry* registry) {
   publish_state_locked();
 }
 
+void CircuitBreaker::set_logger(obs::Logger* log) {
+  const std::lock_guard lock(mu_);
+  log_ = log;
+}
+
 void CircuitBreaker::publish_state_locked() {
   if (state_metric_ != nullptr) {
     state_metric_->set(static_cast<double>(state_));
@@ -50,6 +55,10 @@ void CircuitBreaker::trip_locked(Seconds now) {
   consecutive_failures_ = 0;
   ++trips_;
   if (trips_metric_ != nullptr) trips_metric_->inc();
+  if (log_ != nullptr) {
+    log_->warn("breaker/trip", now,
+               {{"breaker", name_}, {"trips", trips_}});
+  }
   publish_state_locked();
 }
 
@@ -63,6 +72,9 @@ bool CircuitBreaker::allow(Seconds now) {
         // The open window has elapsed: admit exactly one probe.
         state_ = BreakerState::kHalfOpen;
         probe_in_flight_ = true;
+        if (log_ != nullptr) {
+          log_->info("breaker/half_open", now, {{"breaker", name_}});
+        }
         publish_state_locked();
         return true;
       }
@@ -83,12 +95,15 @@ bool CircuitBreaker::allow(Seconds now) {
   return false;
 }
 
-void CircuitBreaker::record_success(Seconds) {
+void CircuitBreaker::record_success(Seconds now) {
   const std::lock_guard lock(mu_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
   if (state_ != BreakerState::kClosed) {
     state_ = BreakerState::kClosed;
+    if (log_ != nullptr) {
+      log_->info("breaker/close", now, {{"breaker", name_}});
+    }
     publish_state_locked();
   }
 }

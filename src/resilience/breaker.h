@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace cbes::resilience {
@@ -72,6 +73,9 @@ class CircuitBreaker {
   /// Wires the state gauge and trip/short-circuit counters into `registry`
   /// (nullptr disables; the default). Must outlive the breaker.
   void set_metrics(obs::MetricsRegistry* registry);
+  /// Logs state transitions (warn on trip, info on close/half-open) to `log`
+  /// (nullptr disables; the default). Must outlive the breaker.
+  void set_logger(obs::Logger* log);
 
  private:
   void trip_locked(Seconds now);
@@ -89,6 +93,7 @@ class CircuitBreaker {
   obs::Gauge* state_metric_ = nullptr;
   obs::Counter* trips_metric_ = nullptr;
   obs::Counter* short_circuits_metric_ = nullptr;
+  obs::Logger* log_ = nullptr;
 };
 
 }  // namespace cbes::resilience

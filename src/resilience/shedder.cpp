@@ -33,10 +33,22 @@ void LoadShedder::set_metrics(obs::MetricsRegistry* registry) {
       level_.load(std::memory_order_relaxed)));
 }
 
-void LoadShedder::set_level_locked(BrownoutLevel level) {
+void LoadShedder::set_logger(obs::Logger* log) {
+  const std::lock_guard lock(mu_);
+  log_ = log;
+}
+
+void LoadShedder::set_level_locked(BrownoutLevel level, double now,
+                                   bool escalation) {
   level_.store(static_cast<unsigned char>(level), std::memory_order_relaxed);
   if (level_metric_ != nullptr) {
     level_metric_->set(static_cast<double>(level));
+  }
+  if (log_ != nullptr) {
+    log_->log(escalation ? obs::LogLevel::kWarn : obs::LogLevel::kInfo,
+              "brownout/level", now,
+              {{"level", brownout_name(level)},
+               {"direction", escalation ? "escalate" : "recover"}});
   }
 }
 
@@ -51,7 +63,8 @@ void LoadShedder::observe(double sojourn_seconds, double now) {
     if (now - above_since_ >= config_.interval &&
         current < static_cast<unsigned char>(
                       BrownoutLevel::kRefuseLowPriority)) {
-      set_level_locked(static_cast<BrownoutLevel>(current + 1));
+      set_level_locked(static_cast<BrownoutLevel>(current + 1), now,
+                       /*escalation=*/true);
       ++escalations_;
       if (escalations_metric_ != nullptr) escalations_metric_->inc();
       // Restart the streak: each further escalation needs its own full
@@ -62,7 +75,8 @@ void LoadShedder::observe(double sojourn_seconds, double now) {
     above_since_ = -1.0;
     if (below_since_ < 0.0) below_since_ = now;
     if (now - below_since_ >= config_.cool_down && current > 0) {
-      set_level_locked(static_cast<BrownoutLevel>(current - 1));
+      set_level_locked(static_cast<BrownoutLevel>(current - 1), now,
+                       /*escalation=*/false);
       below_since_ = now;  // symmetric: one level per sustained cool-down
     }
   }

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace cbes::resilience {
@@ -82,9 +83,12 @@ class LoadShedder {
   /// Wires the brown-out-level gauge and the escalation counter into
   /// `registry` (nullptr disables; the default). Must outlive the shedder.
   void set_metrics(obs::MetricsRegistry* registry);
+  /// Logs brown-out level changes (warn on escalation, info on recovery) to
+  /// `log` (nullptr disables; the default). Must outlive the shedder.
+  void set_logger(obs::Logger* log);
 
  private:
-  void set_level_locked(BrownoutLevel level);
+  void set_level_locked(BrownoutLevel level, double now, bool escalation);
 
   ShedderConfig config_;
   mutable std::mutex mu_;
@@ -96,6 +100,7 @@ class LoadShedder {
   std::uint64_t escalations_ = 0;
   obs::Gauge* level_metric_ = nullptr;
   obs::Counter* escalations_metric_ = nullptr;
+  obs::Logger* log_ = nullptr;
 };
 
 }  // namespace cbes::resilience

@@ -8,6 +8,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/log.h"
 #include "server/server.h"
 
 namespace cbes::server {
@@ -303,7 +304,7 @@ ServerCheckpoint decode_checkpoint(const std::string& text) {
 }
 
 void save_checkpoint(const ServerCheckpoint& checkpoint,
-                     const std::string& path) {
+                     const std::string& path, obs::Logger* log) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -316,15 +317,28 @@ void save_checkpoint(const ServerCheckpoint& checkpoint,
     std::remove(tmp.c_str());
     throw CheckpointError("cannot replace checkpoint: " + path);
   }
+  if (log != nullptr) {
+    log->info("checkpoint/save", 0.0,
+              {{"path", path},
+               {"nodes", checkpoint.health.size()},
+               {"hints", checkpoint.warm_hints.size()}});
+  }
 }
 
-ServerCheckpoint load_checkpoint(const std::string& path) {
+ServerCheckpoint load_checkpoint(const std::string& path, obs::Logger* log) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw CheckpointError("cannot open checkpoint: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) throw CheckpointError("read failed: " + path);
-  return decode_checkpoint(buffer.str());
+  ServerCheckpoint checkpoint = decode_checkpoint(buffer.str());
+  if (log != nullptr) {
+    log->info("checkpoint/load", 0.0,
+              {{"path", path},
+               {"nodes", checkpoint.health.size()},
+               {"hints", checkpoint.warm_hints.size()}});
+  }
+  return checkpoint;
 }
 
 ServerCheckpoint take_checkpoint(const CbesServer& server,

@@ -30,6 +30,10 @@
 #include "netmodel/latency_model.h"
 #include "server/eval_cache.h"
 
+namespace cbes::obs {
+class Logger;
+}  // namespace cbes::obs
+
 namespace cbes::server {
 
 class CbesServer;
@@ -67,13 +71,16 @@ struct ServerCheckpoint {
 
 /// Writes `checkpoint` to `path` atomically (temp file + rename): a crash
 /// mid-save never clobbers an existing good checkpoint. Throws
-/// CheckpointError when the file cannot be written.
+/// CheckpointError when the file cannot be written. A non-null `log` gets an
+/// info "checkpoint/save" record on success.
 void save_checkpoint(const ServerCheckpoint& checkpoint,
-                     const std::string& path);
+                     const std::string& path, obs::Logger* log = nullptr);
 
 /// Reads and decodes the checkpoint at `path`; throws CheckpointError when
-/// the file is missing, unreadable, or malformed.
-[[nodiscard]] ServerCheckpoint load_checkpoint(const std::string& path);
+/// the file is missing, unreadable, or malformed. A non-null `log` gets an
+/// info "checkpoint/load" record on success.
+[[nodiscard]] ServerCheckpoint load_checkpoint(const std::string& path,
+                                               obs::Logger* log = nullptr);
 
 /// Snapshots the server's crash-safe state: its service's calibration, the
 /// health picture, and up to `max_hints` cache-warmup hints.

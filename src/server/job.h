@@ -137,6 +137,18 @@ struct CompareRequest {
 /// Which search algorithm a schedule job runs.
 enum class Algo : unsigned char { kSa, kGa, kRandom };
 
+[[nodiscard]] constexpr std::string_view algo_name(Algo a) noexcept {
+  switch (a) {
+    case Algo::kSa:
+      return "sa";
+    case Algo::kGa:
+      return "ga";
+    case Algo::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
 /// Find a good mapping with a scheduler run (the expensive, cancellable job).
 struct ScheduleRequest {
   std::string app;
@@ -204,6 +216,9 @@ struct JobResult {
   std::string detail;
   /// Why the job failed (kNone unless state == kFailed).
   FailReason fail_reason = FailReason::kNone;
+  /// Monitor epoch of the snapshot the answer was computed against (0 when
+  /// the job never reached evaluation).
+  std::uint64_t snapshot_epoch = 0;
   /// Wall time spent queued / executing.
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
@@ -212,6 +227,20 @@ struct JobResult {
 // ---- the job itself --------------------------------------------------------
 
 enum class JobKind : unsigned char { kPredict, kCompare, kSchedule, kRemap };
+
+[[nodiscard]] constexpr std::string_view job_kind_name(JobKind k) noexcept {
+  switch (k) {
+    case JobKind::kPredict:
+      return "predict";
+    case JobKind::kCompare:
+      return "compare";
+    case JobKind::kSchedule:
+      return "schedule";
+    case JobKind::kRemap:
+      return "remap";
+  }
+  return "?";
+}
 
 /// Shared state of one in-flight request. Internal to the server layer:
 /// constructed by CbesServer::submit(), referenced by the queue, one worker,

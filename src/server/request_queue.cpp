@@ -118,6 +118,16 @@ std::size_t RequestQueue::depth() const {
   return depth_;
 }
 
+std::array<std::size_t, kPriorityClasses> RequestQueue::depth_by_class()
+    const {
+  const std::lock_guard lock(mu_);
+  std::array<std::size_t, kPriorityClasses> out{};
+  for (std::size_t i = 0; i < kPriorityClasses; ++i) {
+    out[i] = classes_[i].size();
+  }
+  return out;
+}
+
 bool RequestQueue::closed() const {
   const std::lock_guard lock(mu_);
   return closed_;

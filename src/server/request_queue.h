@@ -56,6 +56,9 @@ class RequestQueue {
   [[nodiscard]] std::vector<std::shared_ptr<Job>> drain();
 
   [[nodiscard]] std::size_t depth() const;
+  /// Queued-job count per priority class (index = Priority value).
+  [[nodiscard]] std::array<std::size_t, kPriorityClasses> depth_by_class()
+      const;
   [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
   [[nodiscard]] bool closed() const;
 

@@ -99,11 +99,17 @@ CbesServer::CbesServer(CbesService& service, ServerConfig config)
       config_(config),
       queue_(config.max_queue_depth),
       cache_(config.cache),
+      recorder_(config.flight_recorder_depth),
       retry_policy_(retry_config_of(config)),
       monitor_breaker_("monitor", config.monitor_breaker),
       calibration_breaker_("calibration", config.calibration_breaker),
       shedder_(config.shedder) {
   CBES_CHECK_MSG(config_.workers >= 1, "need at least one worker thread");
+  if (config_.log != nullptr) {
+    monitor_breaker_.set_logger(config_.log);
+    calibration_breaker_.set_logger(config_.log);
+    shedder_.set_logger(config_.log);
+  }
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config_.metrics;
     queue_.set_metrics(&reg);
@@ -154,6 +160,28 @@ CbesServer::CbesServer(CbesService& service, ServerConfig config)
         &reg.histogram("cbes_server_run_seconds",
                        obs::Histogram::exponential(1e-6, 4.0, 12),
                        "Wall time jobs spent executing");
+    // Per-stage SLO histograms labeled by priority class and (for the total)
+    // by outcome. The unlabeled queue/run histograms above stay for
+    // back-compat with existing dashboards and tests.
+    const std::vector<double> slo_bounds =
+        obs::Histogram::exponential(1e-6, 4.0, 12);
+    constexpr std::array<std::string_view, 3> kOutcomes = {"done", "cancelled",
+                                                           "failed"};
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+      const std::string priority(priority_name(static_cast<Priority>(c)));
+      queue_wait_by_class_[c] = &reg.histogram(
+          "cbes_server_queue_wait_seconds", {{"priority", priority}},
+          slo_bounds, "Queue wait by priority class");
+      exec_by_class_[c] = &reg.histogram(
+          "cbes_server_exec_seconds", {{"priority", priority}}, slo_bounds,
+          "Execution time by priority class");
+      for (std::size_t o = 0; o < kOutcomes.size(); ++o) {
+        total_by_class_outcome_[c][o] = &reg.histogram(
+            "cbes_server_total_seconds",
+            {{"priority", priority}, {"outcome", std::string(kOutcomes[o])}},
+            slo_bounds, "Submit-to-terminal latency by priority and outcome");
+      }
+    }
   }
   if (config_.enable_shedding) queue_.set_shedder(&shedder_);
   {
@@ -215,11 +243,64 @@ std::shared_ptr<Job> CbesServer::make_job(JobKind kind,
   return job;
 }
 
+bool CbesServer::complete(Job& job, JobResult result, bool end_queue,
+                          bool end_exec) {
+  JobTrail trail;
+  trail.id = job.id;
+  trail.kind = job.kind;
+  trail.priority = job.priority;
+  trail.state = result.state;
+  trail.fail_reason = result.fail_reason;
+  trail.degraded = result.degraded;
+  trail.cache_hit = result.cache_hit;
+  trail.queue_seconds = result.queue_seconds;
+  trail.run_seconds = result.run_seconds;
+  trail.now = request_now(job);
+  trail.snapshot_epoch = result.snapshot_epoch;
+  trail.detail = result.detail;
+  // First finish wins: a losing path (worker racing the watchdog, or vice
+  // versa) must not close trace spans or record a second trail.
+  if (!job.finish(std::move(result))) return false;
+  if (config_.trace != nullptr) {
+    if (end_exec) config_.trace->async_end("exec", job.id);
+    if (end_queue) config_.trace->async_end("queue", job.id);
+    obs::TraceArgs args;
+    args.add("outcome", job_state_name(trail.state));
+    if (trail.fail_reason != FailReason::kNone) {
+      args.add("fail", fail_reason_name(trail.fail_reason));
+    }
+    args.add("epoch", trail.snapshot_epoch)
+        .add("degraded", trail.degraded)
+        .add("cache_hit", trail.cache_hit);
+    config_.trace->async_end("request", job.id, std::move(args));
+  }
+  if (config_.log != nullptr) {
+    // Deterministic payload: the request's simulated time and stable facts
+    // only — never wall-clock durations (see obs/log.h's contract).
+    const obs::LogLevel level = trail.state == JobState::kDone ||
+                                        trail.state == JobState::kCancelled
+                                    ? obs::LogLevel::kInfo
+                                    : obs::LogLevel::kWarn;
+    config_.log->log(level, "job/finish", trail.now,
+                     {{"job", trail.id},
+                      {"kind", job_kind_name(trail.kind)},
+                      {"priority", priority_name(trail.priority)},
+                      {"outcome", job_state_name(trail.state)},
+                      {"fail", fail_reason_name(trail.fail_reason)},
+                      {"degraded", trail.degraded},
+                      {"cache_hit", trail.cache_hit},
+                      {"epoch", trail.snapshot_epoch},
+                      {"detail", trail.detail}});
+  }
+  recorder_.record(std::move(trail));
+  return true;
+}
+
 void CbesServer::reject(Job& job, const std::string& reason) {
   JobResult result;
   result.state = JobState::kRejected;
   result.detail = reason;
-  job.finish(std::move(result));
+  complete(job, std::move(result), /*end_queue=*/false, /*end_exec=*/false);
 }
 
 JobHandle CbesServer::admit(std::shared_ptr<Job> job,
@@ -229,9 +310,38 @@ JobHandle CbesServer::admit(std::shared_ptr<Job> job,
     reject(*job, reason);
     return handle;
   }
+  // Open the queue span before offering: once offered, a worker may dequeue
+  // (and close the span) immediately.
+  if (config_.trace != nullptr) {
+    config_.trace->async_begin("queue", job->id);
+  }
   const RequestQueue::Admission admission = queue_.offer(job);
-  if (!admission.admitted) reject(*job, admission.reason);
+  if (!admission.admitted) {
+    JobResult result;
+    result.state = JobState::kRejected;
+    result.detail = admission.reason;
+    complete(*job, std::move(result), /*end_queue=*/true,
+             /*end_exec=*/false);
+  }
   return handle;
+}
+
+void CbesServer::trace_submit(const Job& job, const std::string& app) {
+  if (config_.trace != nullptr) {
+    obs::TraceArgs args;
+    args.add("kind", job_kind_name(job.kind))
+        .add("priority", priority_name(job.priority))
+        .add("app", app)
+        .add("now", request_now(job));
+    config_.trace->async_begin("request", job.id, std::move(args));
+  }
+  if (config_.log != nullptr && config_.log->enabled(obs::LogLevel::kDebug)) {
+    config_.log->debug("job/submit", request_now(job),
+                       {{"job", job.id},
+                        {"kind", job_kind_name(job.kind)},
+                        {"priority", priority_name(job.priority)},
+                        {"app", app}});
+  }
 }
 
 JobHandle CbesServer::submit(PredictRequest request, SubmitOptions options) {
@@ -245,6 +355,7 @@ JobHandle CbesServer::submit(PredictRequest request, SubmitOptions options) {
     reason = "mapping does not fit the cluster";
   }
   job->predict = std::move(request);
+  trace_submit(*job, job->predict.app);
   return admit(std::move(job), reason);
 }
 
@@ -264,6 +375,7 @@ JobHandle CbesServer::submit(CompareRequest request, SubmitOptions options) {
     }
   }
   job->compare = std::move(request);
+  trace_submit(*job, job->compare.app);
   return admit(std::move(job), reason);
 }
 
@@ -280,6 +392,7 @@ JobHandle CbesServer::submit(RemapRequest request, SubmitOptions options) {
     reason = "progress must be in [0, 1)";
   }
   job->remap = std::move(request);
+  trace_submit(*job, job->remap.app);
   return admit(std::move(job), reason);
 }
 
@@ -302,6 +415,7 @@ JobHandle CbesServer::submit(ScheduleRequest request, SubmitOptions options) {
     }
   }
   job->schedule = std::move(request);
+  trace_submit(*job, job->schedule.app);
   return admit(std::move(job), reason);
 }
 
@@ -320,7 +434,9 @@ void CbesServer::shutdown(bool drain) {
       result.state = JobState::kCancelled;
       result.detail = "server shutdown";
       if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
-      job->finish(std::move(result));
+      cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+      complete(*job, std::move(result), /*end_queue=*/true,
+               /*end_exec=*/false);
     }
   }
   // Join every worker ever spawned — including wedged ones the watchdog
@@ -361,6 +477,7 @@ void CbesServer::watchdog_loop() {
     if (watchdog_stop_) break;
     lock.unlock();
     const Job::Clock::time_point now = Job::Clock::now();
+    bool killed_any = false;
     {
       const std::lock_guard workers_lock(workers_mu_);
       // Index loop on purpose: a replacement appends to workers_ mid-scan.
@@ -393,7 +510,20 @@ void CbesServer::watchdog_loop() {
             overdue ? "watchdog: job ran past its deadline grace; worker "
                       "presumed wedged"
                     : "watchdog: execution stalled past the stall bound";
-        if (!job->finish(std::move(result))) continue;
+        // The worker opened this job's exec span; if the watchdog wins the
+        // finish, closing the request's trace track falls to it too.
+        if (!complete(*job, std::move(result), /*end_queue=*/false,
+                      /*end_exec=*/true)) {
+          continue;
+        }
+        killed_any = true;
+        if (config_.log != nullptr) {
+          config_.log->error("watchdog/kill", request_now(*job),
+                             {{"job", job->id},
+                              {"kind", job_kind_name(job->kind)},
+                              {"priority", priority_name(job->priority)},
+                              {"reason", overdue ? "overdue" : "stalled"}});
+        }
         ++watchdog_kills_;
         if (watchdog_kills_metric_ != nullptr) watchdog_kills_metric_->inc();
         // The worker is presumed wedged inside the job: retire its slot and
@@ -407,15 +537,79 @@ void CbesServer::watchdog_loop() {
         spawn_worker_locked();
       }
     }
+    // Postmortem: a kill means something wedged; snapshot the whole broker
+    // while the evidence is fresh. Outside workers_mu_ — status() retakes it.
+    if (killed_any && !config_.postmortem_path.empty()) {
+      (void)write_status_file(status(), config_.postmortem_path);
+    }
     lock.lock();
   }
 }
 
+ServerStatus CbesServer::status() const {
+  ServerStatus s;
+  s.queue_depth = queue_.depth();
+  s.queue_max_depth = queue_.max_depth();
+  s.queue_by_class = queue_.depth_by_class();
+  {
+    const Job::Clock::time_point now = Job::Clock::now();
+    const std::lock_guard lock(workers_mu_);
+    s.workers.reserve(workers_.size());
+    for (const auto& slot : workers_) {
+      WorkerStatus w;
+      w.replaced = slot->replaced.load(std::memory_order_relaxed);
+      {
+        const std::lock_guard slot_lock(slot->mu);
+        if (slot->current != nullptr) {
+          w.busy = true;
+          w.job_id = slot->current->id;
+          w.busy_seconds = seconds_between(slot->started, now);
+        }
+      }
+      s.workers.push_back(w);
+    }
+    s.watchdog_kills = watchdog_kills_;
+    s.workers_replaced = workers_replaced_;
+  }
+  for (const resilience::CircuitBreaker* b :
+       {&monitor_breaker_, &calibration_breaker_}) {
+    BreakerStatus bs;
+    bs.name = b->name();
+    bs.state = b->state();
+    bs.trips = b->trips();
+    bs.short_circuits = b->short_circuits();
+    s.breakers.push_back(std::move(bs));
+  }
+  s.shed_level = shedder_.level();
+  s.shed_count = queue_.shed_count();
+  s.lkg_snapshots = lkg_snapshots_served();
+  s.jobs_done = done_count_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = cancelled_count_.load(std::memory_order_relaxed);
+  s.jobs_failed = failed_count_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_invalidations = cache_.invalidations();
+  s.cache_evictions = cache_.evictions();
+  s.cache_entries = cache_.size();
+  s.compiled_hits = compiled_cache_.hits();
+  s.compiled_misses = compiled_cache_.misses();
+  s.health = health_state();
+  s.jobs_recorded = recorder_.total();
+  s.recent = recorder_.last();
+  return s;
+}
+
 void CbesServer::execute(Job& job) {
   const Job::Clock::time_point started = Job::Clock::now();
+  const auto klass = static_cast<std::size_t>(job.priority);
   JobResult result;
   result.queue_seconds = seconds_between(job.submitted, started);
   if (queue_seconds_ != nullptr) queue_seconds_->observe(result.queue_seconds);
+  if (queue_wait_by_class_[klass] != nullptr) {
+    queue_wait_by_class_[klass]->observe(result.queue_seconds);
+  }
+  // The queue sojourn ends at dispatch whatever happens next.
+  if (config_.trace != nullptr) config_.trace->async_end("queue", job.id);
 
   if (job.should_stop()) {
     result.state = JobState::kCancelled;
@@ -423,11 +617,16 @@ void CbesServer::execute(Job& job) {
                         ? "cancelled while queued"
                         : "deadline expired while queued";
     if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
-    job.finish(std::move(result));
+    cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+    if (total_by_class_outcome_[klass][1] != nullptr) {
+      total_by_class_outcome_[klass][1]->observe(result.queue_seconds);
+    }
+    complete(job, std::move(result), /*end_queue=*/false, /*end_exec=*/false);
     return;
   }
 
   job.mark_running();
+  if (config_.trace != nullptr) config_.trace->async_begin("exec", job.id);
 
   // Brown-out dispatch policy for batch work: at cached-only level, batch
   // predictions may only probe the cache; batch search/compare work (always
@@ -445,7 +644,12 @@ void CbesServer::execute(Job& job) {
           "batch work";
       if (cache_only_shed_ != nullptr) cache_only_shed_->inc();
       if (jobs_failed_ != nullptr) jobs_failed_->inc();
-      job.finish(std::move(result));
+      failed_count_.fetch_add(1, std::memory_order_relaxed);
+      if (total_by_class_outcome_[klass][2] != nullptr) {
+        total_by_class_outcome_[klass][2]->observe(result.queue_seconds);
+      }
+      complete(job, std::move(result), /*end_queue=*/false,
+               /*end_exec=*/true);
       return;
     }
   }
@@ -488,6 +692,11 @@ void CbesServer::execute(Job& job) {
         break;
       }
       if (retries_ != nullptr) retries_->inc();
+      if (config_.trace != nullptr) {
+        obs::TraceArgs args;
+        args.add("attempt", attempt + 1);
+        config_.trace->async_instant("retry", job.id, std::move(args));
+      }
       // Never sleep past the deadline: the backoff is clipped to what is
       // left of the request's budget.
       const auto backoff = std::chrono::duration_cast<Job::Clock::duration>(
@@ -504,23 +713,36 @@ void CbesServer::execute(Job& job) {
   }
   result.run_seconds = seconds_between(started, Job::Clock::now());
   if (run_seconds_ != nullptr) run_seconds_->observe(result.run_seconds);
+  if (exec_by_class_[klass] != nullptr) {
+    exec_by_class_[klass]->observe(result.run_seconds);
+  }
   // Counters update before finish() so a client woken by wait() observes
   // them. Each job is metered exactly once — here, by its worker; a watchdog
   // kill only bumps the watchdog's own counters (the worker's eventual
   // losing finish still accounts for the work it actually did).
   if (result.degraded && jobs_degraded_ != nullptr) jobs_degraded_->inc();
+  std::size_t outcome = 2;
   switch (result.state) {
     case JobState::kDone:
       if (jobs_done_ != nullptr) jobs_done_->inc();
+      done_count_.fetch_add(1, std::memory_order_relaxed);
+      outcome = 0;
       break;
     case JobState::kCancelled:
       if (jobs_cancelled_ != nullptr) jobs_cancelled_->inc();
+      cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+      outcome = 1;
       break;
     default:
       if (jobs_failed_ != nullptr) jobs_failed_->inc();
+      failed_count_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-  job.finish(std::move(result));
+  if (total_by_class_outcome_[klass][outcome] != nullptr) {
+    total_by_class_outcome_[klass][outcome]->observe(result.queue_seconds +
+                                                     result.run_seconds);
+  }
+  complete(job, std::move(result), /*end_queue=*/false, /*end_exec=*/true);
 }
 
 void CbesServer::note_health(const LoadSnapshot& snapshot) {
@@ -531,6 +753,17 @@ void CbesServer::note_health(const LoadSnapshot& snapshot) {
       if (last_health_[i] == snapshot.health[i]) continue;
       cache_.invalidate_node(NodeId{i});
       if (health_invalidations_ != nullptr) health_invalidations_->inc();
+      if (config_.log != nullptr) {
+        // Worsening health is warn-worthy; recovery is informational.
+        const bool worse = snapshot.health[i] > last_health_[i];
+        config_.log->log(
+            worse ? obs::LogLevel::kWarn : obs::LogLevel::kInfo,
+            "health/transition", snapshot.taken_at,
+            {{"node", i},
+             {"from", health_name(last_health_[i])},
+             {"to", health_name(snapshot.health[i])},
+             {"epoch", snapshot.epoch}});
+      }
     }
   }
   last_health_ = snapshot.health;
@@ -722,9 +955,25 @@ void CbesServer::run_attempt(Job& job, JobResult& result, bool cache_only) {
   }
 }
 
+namespace {
+
+/// One "snapshot" point on the request's async track: which epoch the answer
+/// will be computed against, and whether the picture is already degraded.
+void trace_snapshot(obs::TraceSession* trace, const Job& job,
+                    const LoadSnapshot& snapshot, bool degraded) {
+  if (trace == nullptr) return;
+  obs::TraceArgs args;
+  args.add("epoch", snapshot.epoch).add("degraded", degraded);
+  trace->async_instant("snapshot", job.id, std::move(args));
+}
+
+}  // namespace
+
 void CbesServer::run_predict(Job& job, JobResult& result, bool cache_only) {
   const PredictRequest& request = job.predict;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  result.snapshot_epoch = snapshot.epoch;
+  trace_snapshot(config_.trace, job, snapshot, result.degraded);
   const NodeId dead = first_dead_node(request.mapping, snapshot);
   if (dead.valid()) {
     // No finite answer exists; refusing beats serving "infinity" as a number.
@@ -752,14 +1001,20 @@ void CbesServer::run_predict(Job& job, JobResult& result, bool cache_only) {
     return;
   }
   throw_if_stopping(job);
-  result.prediction = cached_predict(request.app, request.mapping, snapshot,
-                                     result.degraded, result.cache_hit);
+  {
+    const obs::AsyncTraceSpan eval(config_.trace, "eval", job.id);
+    result.prediction = cached_predict(request.app, request.mapping, snapshot,
+                                       result.degraded, result.cache_hit);
+  }
   result.degraded = result.degraded || result.prediction.degraded;
 }
 
 void CbesServer::run_compare(Job& job, JobResult& result) {
   const CompareRequest& request = job.compare;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  result.snapshot_epoch = snapshot.epoch;
+  trace_snapshot(config_.trace, job, snapshot, result.degraded);
+  const obs::AsyncTraceSpan eval(config_.trace, "eval", job.id);
   result.comparison.predicted.reserve(request.candidates.size());
   bool any_alive = false;
   for (std::size_t i = 0; i < request.candidates.size(); ++i) {
@@ -792,6 +1047,8 @@ void CbesServer::run_compare(Job& job, JobResult& result) {
 void CbesServer::run_schedule(Job& job, JobResult& result) {
   const ScheduleRequest& request = job.schedule;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  result.snapshot_epoch = snapshot.epoch;
+  trace_snapshot(config_.trace, job, snapshot, result.degraded);
   // Copy the profile under the service lock: the search may outlive many
   // profile re-registrations.
   const AppProfile profile = service_->profile_copy(request.app);
@@ -809,10 +1066,22 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
     return;
   }
   throw_if_stopping(job);  // compile can be slow; don't start it past deadline
-  const CbesCost cost(
-      compiled_for(profile, snapshot, request.now, result.degraded));
+  std::shared_ptr<const CompiledProfile> compiled;
+  {
+    obs::TraceArgs args;
+    args.add("profile_hash", static_cast<std::uint64_t>(profile.hash()));
+    const obs::AsyncTraceSpan span(config_.trace, "compile", job.id,
+                                   std::move(args));
+    compiled = compiled_for(profile, snapshot, request.now, result.degraded);
+  }
+  const CbesCost cost(std::move(compiled));
   const JobStopToken token(job);
 
+  obs::TraceArgs search_args;
+  search_args.add("algo", algo_name(request.algo))
+      .add("nranks", request.nranks);
+  const obs::AsyncTraceSpan search_span(config_.trace, "search", job.id,
+                                        std::move(search_args));
   ScheduleResult search;
   switch (request.algo) {
     case Algo::kSa: {
@@ -853,6 +1122,8 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
 void CbesServer::run_remap(Job& job, JobResult& result) {
   const RemapRequest& request = job.remap;
   const LoadSnapshot snapshot = snapshot_for(request.now, result.degraded);
+  result.snapshot_epoch = snapshot.epoch;
+  trace_snapshot(config_.trace, job, snapshot, result.degraded);
   const AppProfile profile = service_->profile_copy(request.app);
 
   // Candidate search over the *alive* pool — remap-on-failure exists exactly
@@ -874,16 +1145,28 @@ void CbesServer::run_remap(Job& job, JobResult& result) {
   }
 
   throw_if_stopping(job);
-  const std::shared_ptr<const CompiledProfile> compiled =
-      compiled_for(profile, snapshot, request.now, result.degraded);
+  std::shared_ptr<const CompiledProfile> compiled;
+  {
+    obs::TraceArgs args;
+    args.add("profile_hash", static_cast<std::uint64_t>(profile.hash()));
+    const obs::AsyncTraceSpan span(config_.trace, "compile", job.id,
+                                   std::move(args));
+    compiled = compiled_for(profile, snapshot, request.now, result.degraded);
+  }
   const CbesCost cost(compiled);
   const JobStopToken token(job);
   SaParams params = request.sa;
   params.seed = request.seed;
   SimulatedAnnealingScheduler scheduler(params);
   scheduler.set_stop_token(&token);
-  const ScheduleResult search =
-      scheduler.schedule(request.current.nranks(), pool, cost);
+  ScheduleResult search;
+  {
+    obs::TraceArgs args;
+    args.add("algo", "sa").add("nranks", request.current.nranks());
+    const obs::AsyncTraceSpan span(config_.trace, "search", job.id,
+                                   std::move(args));
+    search = scheduler.schedule(request.current.nranks(), pool, cost);
+  }
   if (search.cancelled) {
     result.state = JobState::kCancelled;
     result.detail = "cancelled mid-search (deadline or caller)";

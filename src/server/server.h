@@ -34,6 +34,7 @@
 //     checkpoint to disk and restore bit-identically (server/checkpoint.h).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -49,13 +50,16 @@
 
 #include "core/service.h"
 #include "fault/injector.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "resilience/breaker.h"
 #include "resilience/retry.h"
 #include "resilience/shedder.h"
 #include "server/eval_cache.h"
 #include "server/job.h"
 #include "server/request_queue.h"
+#include "server/status.h"
 
 namespace cbes::server {
 
@@ -113,8 +117,20 @@ struct ServerConfig {
   /// Test/chaos seam invoked at the start of every execution attempt; may
   /// throw fault::TransientError to exercise the retry path. Optional.
   std::function<void(const Job&)> fault_hook;
-  /// Observability sink; optional. Must outlive the server when set.
+  /// Observability sinks; all optional (null = off, costing one branch per
+  /// site). Each must outlive the server when set.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Causal request tracing: every job becomes one async track (id = job id)
+  /// spanning request { queue } { exec { snapshot, compile, search } }.
+  obs::TraceSession* trace = nullptr;
+  /// Structured logging: job completions, health transitions, breaker and
+  /// brown-out transitions, watchdog kills.
+  obs::Logger* log = nullptr;
+  /// Completed jobs retained by the flight recorder (statusz `recent`).
+  std::size_t flight_recorder_depth = 32;
+  /// When non-empty, the watchdog dumps a statusz snapshot here after a kill
+  /// (postmortem; ".json" suffix selects JSON).
+  std::string postmortem_path;
 };
 
 /// Per-submission knobs.
@@ -169,6 +185,14 @@ class CbesServer {
   /// Returns the number of entries warmed.
   std::size_t warm(const std::vector<WarmHint>& hints, Seconds now);
 
+  /// Point-in-time statusz snapshot (short per-component locks, safe to call
+  /// from any thread — including while workers run).
+  [[nodiscard]] ServerStatus status() const;
+  /// The flight recorder behind statusz `recent` (tests, CLI reporting).
+  [[nodiscard]] const FlightRecorder& flight_recorder() const noexcept {
+    return recorder_;
+  }
+
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   /// Active (non-replaced) worker threads.
   [[nodiscard]] std::size_t worker_count() const;
@@ -218,6 +242,9 @@ class CbesServer {
 
   [[nodiscard]] std::shared_ptr<Job> make_job(JobKind kind,
                                               const SubmitOptions& options);
+  /// Opens the job's async "request" span (and logs the submission at debug)
+  /// before admission — every job, admitted or rejected, gets one track.
+  void trace_submit(const Job& job, const std::string& app);
   /// Shared tail of every submit(): reject with `reason` when non-empty,
   /// otherwise run the job through queue admission.
   JobHandle admit(std::shared_ptr<Job> job, const std::string& reason);
@@ -227,6 +254,12 @@ class CbesServer {
   void watchdog_loop();
   void spawn_worker_locked();
   void execute(Job& job);
+  /// Single completion funnel: moves the job terminal (first finish wins) and
+  /// — only when this call won — closes the job's async trace spans, records
+  /// its flight-recorder trail, and logs the completion. `end_queue` /
+  /// `end_exec` say which spans are still open on this path. Returns whether
+  /// this call won the finish (the watchdog keys its kill bookkeeping on it).
+  bool complete(Job& job, JobResult result, bool end_queue, bool end_exec);
   void run_attempt(Job& job, JobResult& result, bool cache_only);
   void run_predict(Job& job, JobResult& result, bool cache_only);
   void run_compare(Job& job, JobResult& result);
@@ -266,6 +299,7 @@ class CbesServer {
   ServerConfig config_;
   RequestQueue queue_;
   EvalCache cache_;
+  FlightRecorder recorder_;
   /// Compiled artifacts shared across workers and jobs of one snapshot epoch.
   CompiledProfileCache compiled_cache_;
   resilience::RetryPolicy retry_policy_;
@@ -285,6 +319,10 @@ class CbesServer {
 
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
+  /// Outcome counts for statusz, independent of the metrics registry.
+  std::atomic<std::uint64_t> done_count_{0};
+  std::atomic<std::uint64_t> cancelled_count_{0};
+  std::atomic<std::uint64_t> failed_count_{0};
   /// Last health verdict seen per node; guards the cache-invalidation diff.
   mutable std::mutex health_mu_;
   std::vector<NodeHealth> last_health_;
@@ -313,6 +351,12 @@ class CbesServer {
   obs::Counter* cache_only_shed_ = nullptr;
   obs::Histogram* queue_seconds_ = nullptr;
   obs::Histogram* run_seconds_ = nullptr;
+  /// SLO histograms labeled by priority class (index = Priority value) and,
+  /// for total latency, by outcome (0=done, 1=cancelled, 2=failed).
+  std::array<obs::Histogram*, kPriorityClasses> queue_wait_by_class_{};
+  std::array<obs::Histogram*, kPriorityClasses> exec_by_class_{};
+  std::array<std::array<obs::Histogram*, 3>, kPriorityClasses>
+      total_by_class_outcome_{};
 };
 
 }  // namespace cbes::server

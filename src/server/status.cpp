@@ -1,0 +1,225 @@
+#include "server/status.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cbes::server {
+
+namespace {
+
+[[nodiscard]] std::string format_seconds(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void append_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+[[nodiscard]] double hit_ratio(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t depth) : depth_(depth) {
+  CBES_CHECK_MSG(depth_ >= 1, "flight recorder needs room for one job");
+}
+
+void FlightRecorder::record(JobTrail trail) {
+  const std::lock_guard lock(mu_);
+  ++total_;
+  ring_.push_back(std::move(trail));
+  while (ring_.size() > depth_) ring_.pop_front();
+}
+
+std::vector<JobTrail> FlightRecorder::last() const {
+  const std::lock_guard lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t FlightRecorder::total() const {
+  const std::lock_guard lock(mu_);
+  return total_;
+}
+
+void format_status_text(const ServerStatus& status, std::ostream& os) {
+  os << "=== cbes server status ===\n";
+  os << "queue: " << status.queue_depth << "/" << status.queue_max_depth
+     << " (interactive " << status.queue_by_class[0] << ", normal "
+     << status.queue_by_class[1] << ", batch " << status.queue_by_class[2]
+     << ")\n";
+  os << "jobs: done " << status.jobs_done << ", cancelled "
+     << status.jobs_cancelled << ", failed " << status.jobs_failed << "\n";
+  os << "workers (" << status.workers.size() << "):\n";
+  for (std::size_t i = 0; i < status.workers.size(); ++i) {
+    const WorkerStatus& w = status.workers[i];
+    os << "  [" << i << "] "
+       << (w.replaced ? "replaced" : (w.busy ? "busy" : "idle"));
+    if (w.busy) {
+      os << " job=" << w.job_id << " for " << format_seconds(w.busy_seconds)
+         << "s";
+    }
+    os << "\n";
+  }
+  os << "breakers:\n";
+  for (const BreakerStatus& b : status.breakers) {
+    os << "  " << b.name << ": " << resilience::breaker_state_name(b.state)
+       << " (trips " << b.trips << ", short-circuits " << b.short_circuits
+       << ")\n";
+  }
+  os << "shedding: level " << resilience::brownout_name(status.shed_level)
+     << ", shed " << status.shed_count << "\n";
+  os << "watchdog: kills " << status.watchdog_kills << ", workers replaced "
+     << status.workers_replaced << "\n";
+  os << "lkg snapshots served: " << status.lkg_snapshots << "\n";
+  os << "eval cache: " << status.cache_entries << " entries, hits "
+     << status.cache_hits << ", misses " << status.cache_misses << " (ratio "
+     << format_seconds(hit_ratio(status.cache_hits, status.cache_misses))
+     << "), invalidations " << status.cache_invalidations << ", evictions "
+     << status.cache_evictions << "\n";
+  os << "compiled cache: hits " << status.compiled_hits << ", misses "
+     << status.compiled_misses << " (ratio "
+     << format_seconds(hit_ratio(status.compiled_hits, status.compiled_misses))
+     << ")\n";
+  os << "node health:";
+  if (status.health.empty()) {
+    os << " (no snapshot yet)";
+  } else {
+    for (std::size_t i = 0; i < status.health.size(); ++i) {
+      os << " " << i << "=" << health_name(status.health[i]);
+    }
+  }
+  os << "\n";
+  os << "recent jobs (" << status.recent.size() << " of "
+     << status.jobs_recorded << " recorded):\n";
+  for (const JobTrail& t : status.recent) {
+    os << "  #" << t.id << " " << job_kind_name(t.kind) << "/"
+       << priority_name(t.priority) << " -> " << job_state_name(t.state);
+    if (t.fail_reason != FailReason::kNone) {
+      os << " (" << fail_reason_name(t.fail_reason) << ")";
+    }
+    os << " queue=" << format_seconds(t.queue_seconds)
+       << "s run=" << format_seconds(t.run_seconds) << "s epoch="
+       << t.snapshot_epoch;
+    if (t.degraded) os << " degraded";
+    if (t.cache_hit) os << " cache-hit";
+    if (!t.detail.empty()) {
+      os << " detail=\"" << t.detail << "\"";
+    }
+    os << "\n";
+  }
+}
+
+void format_status_json(const ServerStatus& status, std::ostream& os) {
+  os << "{\"queue\":{\"depth\":" << status.queue_depth << ",\"max_depth\":"
+     << status.queue_max_depth << ",\"by_class\":{\"interactive\":"
+     << status.queue_by_class[0] << ",\"normal\":" << status.queue_by_class[1]
+     << ",\"batch\":" << status.queue_by_class[2] << "}}";
+  os << ",\"jobs\":{\"done\":" << status.jobs_done << ",\"cancelled\":"
+     << status.jobs_cancelled << ",\"failed\":" << status.jobs_failed << "}";
+  os << ",\"workers\":[";
+  for (std::size_t i = 0; i < status.workers.size(); ++i) {
+    const WorkerStatus& w = status.workers[i];
+    if (i != 0) os << ',';
+    os << "{\"busy\":" << (w.busy ? "true" : "false") << ",\"replaced\":"
+       << (w.replaced ? "true" : "false");
+    if (w.busy) {
+      os << ",\"job_id\":" << w.job_id << ",\"busy_seconds\":"
+         << format_seconds(w.busy_seconds);
+    }
+    os << '}';
+  }
+  os << "],\"breakers\":[";
+  for (std::size_t i = 0; i < status.breakers.size(); ++i) {
+    const BreakerStatus& b = status.breakers[i];
+    if (i != 0) os << ',';
+    os << "{\"name\":";
+    append_json_string(os, b.name);
+    os << ",\"state\":";
+    append_json_string(os, resilience::breaker_state_name(b.state));
+    os << ",\"trips\":" << b.trips << ",\"short_circuits\":"
+       << b.short_circuits << '}';
+  }
+  os << "],\"shedding\":{\"level\":";
+  append_json_string(os, resilience::brownout_name(status.shed_level));
+  os << ",\"shed\":" << status.shed_count << "}";
+  os << ",\"watchdog\":{\"kills\":" << status.watchdog_kills
+     << ",\"workers_replaced\":" << status.workers_replaced << "}";
+  os << ",\"lkg_snapshots\":" << status.lkg_snapshots;
+  os << ",\"eval_cache\":{\"entries\":" << status.cache_entries
+     << ",\"hits\":" << status.cache_hits << ",\"misses\":"
+     << status.cache_misses << ",\"invalidations\":"
+     << status.cache_invalidations << ",\"evictions\":"
+     << status.cache_evictions << "}";
+  os << ",\"compiled_cache\":{\"hits\":" << status.compiled_hits
+     << ",\"misses\":" << status.compiled_misses << "}";
+  os << ",\"health\":[";
+  for (std::size_t i = 0; i < status.health.size(); ++i) {
+    if (i != 0) os << ',';
+    append_json_string(os, health_name(status.health[i]));
+  }
+  os << "],\"jobs_recorded\":" << status.jobs_recorded;
+  os << ",\"recent\":[";
+  for (std::size_t i = 0; i < status.recent.size(); ++i) {
+    const JobTrail& t = status.recent[i];
+    if (i != 0) os << ',';
+    os << "{\"id\":" << t.id << ",\"kind\":";
+    append_json_string(os, job_kind_name(t.kind));
+    os << ",\"priority\":";
+    append_json_string(os, priority_name(t.priority));
+    os << ",\"state\":";
+    append_json_string(os, job_state_name(t.state));
+    os << ",\"fail_reason\":";
+    append_json_string(os, fail_reason_name(t.fail_reason));
+    os << ",\"degraded\":" << (t.degraded ? "true" : "false")
+       << ",\"cache_hit\":" << (t.cache_hit ? "true" : "false")
+       << ",\"queue_seconds\":" << format_seconds(t.queue_seconds)
+       << ",\"run_seconds\":" << format_seconds(t.run_seconds)
+       << ",\"now\":" << format_seconds(t.now)
+       << ",\"snapshot_epoch\":" << t.snapshot_epoch << ",\"detail\":";
+    append_json_string(os, t.detail);
+    os << '}';
+  }
+  os << "]}";
+}
+
+bool write_status_file(const ServerStatus& status, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    format_status_json(status, out);
+    out << '\n';
+  } else {
+    format_status_text(status, out);
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace cbes::server

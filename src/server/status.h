@@ -1,0 +1,131 @@
+// Flight recorder + statusz surface for the CBES request broker.
+//
+// The FlightRecorder keeps the last N completed jobs (a JobTrail each: who,
+// what, outcome, per-stage timings) in a small mutex-guarded ring — cheap
+// enough to run always-on, rich enough to explain "what was the server doing
+// just before X" after the fact.
+//
+// ServerStatus is a point-in-time snapshot of everything an operator asks
+// first: queue depths per priority class, worker states, breaker and
+// brown-out state, cache hit ratios, node health, and the recorder's recent
+// trails. CbesServer::status() assembles one with short, per-component locks
+// (no stop-the-world), and the format_status_* functions render it as
+// human-readable text or JSON. write_status_file picks the format from the
+// path suffix (".json" = JSON) — the CLI's `serve --status-out` and the
+// watchdog's postmortem dump both land here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "monitor/snapshot.h"
+#include "resilience/breaker.h"
+#include "resilience/shedder.h"
+#include "server/job.h"
+
+namespace cbes::server {
+
+/// What the flight recorder remembers about one completed job.
+struct JobTrail {
+  std::uint64_t id = 0;
+  JobKind kind = JobKind::kPredict;
+  Priority priority = Priority::kNormal;
+  JobState state = JobState::kQueued;
+  FailReason fail_reason = FailReason::kNone;
+  bool degraded = false;
+  bool cache_hit = false;
+  /// Per-stage wall timings (as reported in the JobResult).
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// The request's simulated time and the snapshot epoch it was answered
+  /// against (0 when it never reached evaluation).
+  Seconds now = 0.0;
+  std::uint64_t snapshot_epoch = 0;
+  /// Rejection / failure detail; empty for clean completions.
+  std::string detail;
+};
+
+/// Bounded ring of the last N JobTrails. All methods are thread-safe; the
+/// mutex is held only for a push or a copy, never across a job.
+class FlightRecorder {
+ public:
+  /// Throws ContractError when `depth` is zero.
+  explicit FlightRecorder(std::size_t depth);
+
+  void record(JobTrail trail);
+  /// The retained trails, oldest first.
+  [[nodiscard]] std::vector<JobTrail> last() const;
+  /// Jobs recorded over the recorder's lifetime (retained or evicted).
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mu_;
+  std::uint64_t total_ = 0;    // guarded by mu_
+  std::deque<JobTrail> ring_;  // guarded by mu_
+};
+
+struct WorkerStatus {
+  bool busy = false;
+  std::uint64_t job_id = 0;     ///< meaningful when busy
+  double busy_seconds = 0.0;    ///< how long the current job has run
+  bool replaced = false;        ///< retired by the watchdog
+};
+
+struct BreakerStatus {
+  std::string name;
+  resilience::BreakerState state = resilience::BreakerState::kClosed;
+  std::uint64_t trips = 0;
+  std::uint64_t short_circuits = 0;
+};
+
+/// Point-in-time picture of the whole broker (see CbesServer::status()).
+struct ServerStatus {
+  // Queue.
+  std::size_t queue_depth = 0;
+  std::size_t queue_max_depth = 0;
+  std::array<std::size_t, kPriorityClasses> queue_by_class{};
+  // Workers.
+  std::vector<WorkerStatus> workers;
+  // Resilience.
+  std::vector<BreakerStatus> breakers;
+  resilience::BrownoutLevel shed_level = resilience::BrownoutLevel::kFull;
+  std::uint64_t shed_count = 0;
+  std::uint64_t watchdog_kills = 0;
+  std::uint64_t workers_replaced = 0;
+  std::uint64_t lkg_snapshots = 0;
+  // Outcome counters.
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_failed = 0;
+  // Caches.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;
+  std::uint64_t compiled_hits = 0;
+  std::uint64_t compiled_misses = 0;
+  // Node health (index = node id; empty before the first snapshot).
+  std::vector<NodeHealth> health;
+  // Flight recorder.
+  std::uint64_t jobs_recorded = 0;
+  std::vector<JobTrail> recent;  ///< oldest first
+};
+
+/// Human-readable statusz page.
+void format_status_text(const ServerStatus& status, std::ostream& os);
+/// Machine-readable statusz (one JSON object mirroring ServerStatus).
+void format_status_json(const ServerStatus& status, std::ostream& os);
+/// Writes text, or JSON when `path` ends in ".json". Returns false when the
+/// file could not be written (statusz is best-effort; never throws).
+bool write_status_file(const ServerStatus& status, const std::string& path);
+
+}  // namespace cbes::server

@@ -4,9 +4,12 @@
 
 #include "apps/npb.h"
 #include "common/check.h"
+#include "core/audit.h"
 #include "core/evaluator.h"
 #include "core/remap.h"
 #include "core/service.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "netmodel/calibrate.h"
 #include "simnet/load.h"
 #include "topology/builders.h"
@@ -414,6 +417,88 @@ TEST(Remap, RoundAcceptsPrecompiledArtifact) {
   EXPECT_EQ(d.remaining_candidate, reference.remaining_candidate);
   EXPECT_EQ(d.migration_cost, reference.migration_cost);
   EXPECT_EQ(d.beneficial, reference.beneficial);
+}
+
+// ---------------------------------------------------------------- audit ----
+
+TEST(Audit, PredictionsTrackSimulatorGroundTruth) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  svc.register_application(p, identity_mapping(4));
+
+  AuditOptions opt;
+  opt.mappings = 4;
+  opt.seed = 7;
+  const AuditReport report = audit_predictions(svc, p, idle, opt);
+
+  ASSERT_EQ(report.rows.size(), 4u);
+  for (const AuditRow& row : report.rows) {
+    EXPECT_EQ(row.mapping.nranks(), 4u);
+    EXPECT_GT(row.predicted, 0.0);
+    EXPECT_GT(row.simulated, 0.0);
+    EXPECT_GE(row.rel_error, 0.0);
+    // The paper's validation band (Figure 5): the model tracks measured runs
+    // to within a few percent on an otherwise idle homogeneous cluster.
+    EXPECT_LT(row.rel_error, 0.10);
+  }
+  EXPECT_LE(report.mean_rel_error, report.max_rel_error);
+  EXPECT_GE(report.max_rel_error,
+            report.rows.front().rel_error);  // max covers every row
+}
+
+TEST(Audit, IsDeterministicForAFixedSeed) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  svc.register_application(p, identity_mapping(4));
+
+  AuditOptions opt;
+  opt.mappings = 5;
+  opt.seed = 42;
+  const AuditReport a = audit_predictions(svc, p, idle, opt);
+  const AuditReport b = audit_predictions(svc, p, idle, opt);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].mapping, b.rows[i].mapping);
+    EXPECT_EQ(a.rows[i].predicted, b.rows[i].predicted);
+    EXPECT_EQ(a.rows[i].simulated, b.rows[i].simulated);
+  }
+  EXPECT_EQ(a.mean_rel_error, b.mean_rel_error);
+}
+
+TEST(Audit, FeedsHistogramAndLog) {
+  const ClusterTopology topo = make_flat(4, Arch::kAlpha533);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  const Program p = make_npb_lu(4, NpbClass::kS);
+  svc.register_application(p, identity_mapping(4));
+
+  obs::MetricsRegistry registry;
+  obs::Logger log;
+  AuditOptions opt;
+  opt.mappings = 3;
+  const AuditReport report =
+      audit_predictions(svc, p, idle, opt, &registry, &log);
+  ASSERT_EQ(report.rows.size(), 3u);
+
+  // Every relative error lands in the audit histogram.
+  const auto& errors = registry.histogram(
+      "cbes_prediction_rel_error",
+      obs::Histogram::exponential(1e-3, 2.0, 12),
+      "Relative error of predicted vs simulated execution time");
+  EXPECT_EQ(errors.count(), 3u);
+
+  std::size_t rows = 0;
+  std::size_t summaries = 0;
+  for (const obs::LogRecord& rec : log.records()) {
+    if (rec.event == "audit/row") ++rows;
+    if (rec.event == "audit/summary") ++summaries;
+  }
+  EXPECT_EQ(rows, 3u);
+  EXPECT_EQ(summaries, 1u);
 }
 
 }  // namespace

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/timer.h"
@@ -275,6 +277,290 @@ TEST(Tracer, SpanRaiiBalancesEvents) {
   EXPECT_EQ(events[0].phase, 'B');
   EXPECT_EQ(events[3].phase, 'E');
   EXPECT_EQ(events[3].name, "a");
+}
+
+TEST(Tracer, AsyncEventsCarryIdAndArgs) {
+  obs::TraceSession session;
+  obs::TraceArgs args;
+  args.add("kind", "predict").add("n", std::uint64_t{3}).add("hot", true);
+  session.async_begin("request", 7, std::move(args));
+  session.async_instant("snapshot", 7);
+  session.async_end("request", 7);
+
+  const std::string json = session.to_json();
+  // Async phases b/n/e, each keyed by the decimal-string id — that key is
+  // what makes Perfetto render all three as one track.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"n\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"B\""), std::string::npos);
+  std::size_t ids = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"id\":\"7\"", pos)) != std::string::npos; ++pos) {
+    ++ids;
+  }
+  EXPECT_EQ(ids, 3u);
+  // Args object rendered inline on the begin record.
+  EXPECT_NE(json.find("\"args\":{\"kind\":\"predict\",\"n\":3,\"hot\":true}"),
+            std::string::npos);
+}
+
+TEST(Tracer, AsyncSpanRaiiBalancesAndNullSessionIsNoOp) {
+  {
+    const obs::AsyncTraceSpan none(nullptr, "never", 1);
+  }
+  obs::TraceSession session;
+  {
+    obs::TraceArgs args;
+    args.add("algo", "sa");
+    const obs::AsyncTraceSpan span(&session, "search", 9, std::move(args));
+  }
+  const std::string json = session.to_json();
+  EXPECT_EQ(session.size(), 2u);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"algo\":\"sa\"}"), std::string::npos);
+}
+
+TEST(Tracer, DropExportsMetricAndWarnsOnce) {
+  obs::MetricsRegistry reg;
+  obs::Logger log;
+  obs::TraceSession session(/*capacity=*/2);
+  session.set_metrics(&reg);
+  session.set_logger(&log);
+  for (int i = 0; i < 6; ++i) session.instant("e");
+
+  EXPECT_EQ(session.dropped(), 4u);
+  EXPECT_EQ(reg.counter("cbes_trace_dropped_total").value(), 4u);
+  EXPECT_EQ(reg.counter("cbes_trace_events_total").value(), 2u);
+  // Four drops, ONE warning — the first drop is news, the rest is noise.
+  std::size_t warns = 0;
+  for (const obs::LogRecord& r : log.records()) {
+    if (r.event == "trace/drop") {
+      ++warns;
+      EXPECT_EQ(r.level, obs::LogLevel::kWarn);
+    }
+  }
+  EXPECT_EQ(warns, 1u);
+}
+
+// --------------------------------------------------------------- logger ----
+
+TEST(Logger, RecordsFieldsAndFormatsText) {
+  obs::Logger log;
+  log.info("job/finish", 1.5, {{"job", 3}, {"outcome", "done"}});
+  log.warn("breaker/trip", 2.0, {{"breaker", "monitor"}});
+
+  const auto records = log.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "job/finish");
+  EXPECT_EQ(records[0].fields[0].key, "job");
+  EXPECT_EQ(records[0].fields[0].value, "3");
+
+  std::ostringstream os;
+  log.format_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("level=info t=1.5 event=job/finish job=3 outcome=done"),
+            std::string::npos);
+  EXPECT_NE(text.find("level=warn t=2 event=breaker/trip breaker=monitor"),
+            std::string::npos);
+}
+
+TEST(Logger, MinLevelFiltersAtCallSite) {
+  obs::LoggerConfig cfg;
+  cfg.min_level = obs::LogLevel::kWarn;
+  obs::Logger log(cfg);
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::kWarn));
+  log.debug("quiet", 0.0);
+  log.info("quiet", 0.0);
+  log.warn("loud", 0.0);
+  log.error("loud", 0.0);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);  // filtered, not dropped
+}
+
+TEST(Logger, RingFullDropsAndCountsInsteadOfBlocking) {
+  obs::LoggerConfig cfg;
+  cfg.capacity = 4;
+  obs::Logger log(cfg);
+  for (int i = 0; i < 10; ++i) log.info("e", static_cast<double>(i));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+}
+
+TEST(Logger, SinkOrderIsDeterministicAcrossArrivalOrder) {
+  // Same multiset of records, opposite arrival orders: the sinks must
+  // serialize them identically — that is the whole same-seed-diff contract.
+  obs::Logger a;
+  a.info("x", 2.0, {{"k", 1}});
+  a.warn("y", 1.0);
+  a.info("z", 2.0, {{"k", 0}});
+
+  obs::Logger b;
+  b.info("z", 2.0, {{"k", 0}});
+  b.info("x", 2.0, {{"k", 1}});
+  b.warn("y", 1.0);
+
+  std::ostringstream text_a;
+  std::ostringstream text_b;
+  a.format_text(text_a);
+  b.format_text(text_b);
+  EXPECT_EQ(text_a.str(), text_b.str());
+  // Sorted by sim time first: the t=1 warn leads.
+  EXPECT_EQ(text_a.str().rfind("level=warn t=1 event=y", 0), 0u);
+}
+
+TEST(Logger, JsonEscapesAndStructures) {
+  obs::Logger log;
+  log.info("note", 0.5, {{"msg", "say \"hi\"\\now"}});
+  std::ostringstream os;
+  log.format_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"event\":\"note\""), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\\\now"), std::string::npos);
+}
+
+TEST(Logger, ConcurrentProducersLoseNothingBelowCapacity) {
+  obs::LoggerConfig cfg;
+  cfg.capacity = 1 << 12;
+  obs::Logger log(cfg);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.info("tick", static_cast<double>(i), {{"thread", t}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(Logger, MetricsWiringCountsRecordsAndDrops) {
+  obs::MetricsRegistry reg;
+  obs::LoggerConfig cfg;
+  cfg.capacity = 2;
+  obs::Logger log(cfg);
+  log.set_metrics(&reg);
+  for (int i = 0; i < 5; ++i) log.info("e", 0.0);
+  EXPECT_EQ(reg.counter("cbes_log_records_total").value(), 2u);
+  EXPECT_EQ(reg.counter("cbes_log_dropped_total").value(), 3u);
+}
+
+// ------------------------------------------------------ labeled metrics ----
+
+TEST(Registry, LabeledSeriesAreDistinctAndSorted) {
+  obs::MetricsRegistry reg;
+  obs::Counter& hi = reg.counter("jobs_total", {{"priority", "hi"}}, "jobs");
+  obs::Counter& lo = reg.counter("jobs_total", {{"priority", "lo"}});
+  EXPECT_NE(&hi, &lo);
+  // Label order does not matter: sorted block keys the series.
+  obs::Counter& ab =
+      reg.counter("pair_total", {{"b", "2"}, {"a", "1"}});
+  obs::Counter& ba =
+      reg.counter("pair_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&ab, &ba);
+
+  hi.inc(3);
+  lo.inc(1);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("jobs_total{priority=\"hi\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total{priority=\"lo\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("pair_total{a=\"1\",b=\"2\"} 0"), std::string::npos);
+  // HELP/TYPE once per family, not per series.
+  EXPECT_EQ(text.find("# TYPE jobs_total counter"),
+            text.rfind("# TYPE jobs_total counter"));
+}
+
+TEST(Registry, EscapesLabelValuesAndHelp) {
+  obs::MetricsRegistry reg;
+  reg.counter("esc_total", {{"path", "a\\b\"c\nd"}}, "line one\nline two")
+      .inc();
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("# HELP esc_total line one\\nline two"),
+            std::string::npos);
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Registry, RejectsInvalidMetricAndLabelNames) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("9starts_with_digit"), ContractError);
+  EXPECT_THROW(reg.counter("has-dash"), ContractError);
+  EXPECT_THROW(reg.counter("ok_total", {{"bad-label", "v"}}), ContractError);
+  EXPECT_THROW(reg.counter("ok_total", {{"__reserved", "v"}}), ContractError);
+  EXPECT_THROW(reg.counter("ok_total", {{"9digit", "v"}}), ContractError);
+  // Colons are legal in metric names (recording-rule convention).
+  EXPECT_NO_THROW(reg.counter("ns:ok_total"));
+}
+
+TEST(Registry, LabeledHistogramMergesLabelBlockWithLe) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h =
+      reg.histogram("wait_seconds", {{"priority", "batch"}}, {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("wait_seconds_bucket{priority=\"batch\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("wait_seconds_bucket{priority=\"batch\",le=\"+Inf\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_count{priority=\"batch\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("wait_seconds_sum{priority=\"batch\"} 2"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- histogram edge cases ----
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  obs::Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSkipsEmptyLeadingBuckets) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  // All mass in (2, 4]: every quantile, including q=0, lives there.
+  for (int i = 0; i < 10; ++i) h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);  // lower edge of occupied bucket
+  EXPECT_GT(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileAllOverflowReportsLastBound) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(Gauge, ConcurrentAddConverges) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("level");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // CAS loop: no lost updates even under contention.
+  EXPECT_DOUBLE_EQ(g.value(),
+                   static_cast<double>(kThreads) * kPerThread);
 }
 
 // ------------------------------------------------------------- observer ----

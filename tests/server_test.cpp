@@ -5,6 +5,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -12,6 +16,8 @@
 #include "core/service.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
+#include "obs/log.h"
+#include "obs/tracer.h"
 #include "resilience/breaker.h"
 #include "resilience/shedder.h"
 #include "sched/annealing.h"
@@ -1128,6 +1134,272 @@ TEST(ServerChaos, SameSeedRunsAreDeterministic) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_TRUE(a[i] == b[i]) << "job " << i << " diverged between runs";
   }
+}
+
+// -------------------------------------------- CbesServer: observability ----
+
+/// One parsed async trace event (phases b/e/n only).
+struct AsyncEvent {
+  std::uint64_t id = 0;
+  char phase = '?';
+  std::string name;
+};
+
+/// Extracts async events from Chrome trace JSON in record order.
+std::vector<AsyncEvent> parse_async_events(const std::string& json) {
+  std::vector<AsyncEvent> events;
+  std::size_t pos = 0;
+  while ((pos = json.find('{', pos + 1)) != std::string::npos) {
+    const std::size_t end = json.find('}', json.find("\"ph\"", pos));
+    const std::string obj = json.substr(pos, end - pos + 1);
+    const std::size_t ph = obj.find("\"ph\":\"");
+    if (ph == std::string::npos) break;
+    const char phase = obj[ph + 6];
+    if (phase == 'b' || phase == 'e' || phase == 'n') {
+      AsyncEvent e;
+      e.phase = phase;
+      const std::size_t name = obj.find("\"name\":\"");
+      e.name = obj.substr(name + 8, obj.find('"', name + 8) - name - 8);
+      const std::size_t id = obj.find("\"id\":\"");
+      e.id = std::stoull(obj.substr(id + 6));
+      events.push_back(std::move(e));
+    }
+    pos = json.find('}', pos);
+  }
+  return events;
+}
+
+TEST_F(ServerTest, RequestsRenderAsOneAsyncTrackEach) {
+  obs::TraceSession trace;
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.trace = &trace;
+  CbesServer server(svc_, cfg);
+
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = Mapping({NodeId{0}, NodeId{static_cast<std::uint32_t>(
+                                          1 + (i % 3))}});
+    handles.push_back(server.submit(std::move(req)));
+  }
+  ScheduleRequest sched;
+  sched.app = "tiny";
+  sched.nranks = 2;
+  sched.algo = Algo::kRandom;
+  handles.push_back(server.submit(std::move(sched)));
+  for (JobHandle& h : handles) {
+    EXPECT_EQ(h.wait().state, JobState::kDone);
+  }
+  server.shutdown(/*drain=*/true);
+
+  // Group by id and stack-check: each request id is one well-nested track
+  // whose outermost span is "request" — exactly what Perfetto renders.
+  const auto events = parse_async_events(trace.to_json());
+  ASSERT_FALSE(events.empty());
+  std::map<std::uint64_t, std::vector<const AsyncEvent*>> tracks;
+  for (const AsyncEvent& e : events) tracks[e.id].push_back(&e);
+  EXPECT_EQ(tracks.size(), 5u);  // one track per submitted request
+  for (const auto& [id, track] : tracks) {
+    std::vector<std::string> stack;
+    std::size_t begins = 0;
+    for (const AsyncEvent* e : track) {
+      if (e->phase == 'b') {
+        if (stack.empty()) {
+          EXPECT_EQ(e->name, "request") << "track " << id;
+        }
+        stack.push_back(e->name);
+        ++begins;
+      } else if (e->phase == 'e') {
+        ASSERT_FALSE(stack.empty()) << "track " << id;
+        EXPECT_EQ(stack.back(), e->name) << "track " << id;
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "unbalanced spans on track " << id;
+    EXPECT_GE(begins, 3u) << "expected request/queue/exec spans, track "
+                          << id;
+  }
+  // The schedule request carries compile and search stage spans.
+  bool saw_search = false;
+  for (const AsyncEvent& e : events) {
+    if (e.name == "search" && e.phase == 'b') saw_search = true;
+  }
+  EXPECT_TRUE(saw_search);
+}
+
+TEST_F(ServerTest, StatusMatchesMetricsAndFlightRecorder) {
+  obs::MetricsRegistry registry;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics = &registry;
+  cfg.flight_recorder_depth = 3;
+  CbesServer server(svc_, cfg);
+
+  for (int i = 0; i < 5; ++i) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = Mapping({NodeId{0}, NodeId{static_cast<std::uint32_t>(
+                                          1 + (i % 3))}});
+    ASSERT_EQ(server.submit(std::move(req)).wait().state, JobState::kDone);
+  }
+  // The live view lists the worker pool; post-shutdown it is empty.
+  ASSERT_EQ(server.status().workers.size(), 1u);
+  // Drain-shutdown joins the workers: the snapshot below must not race the
+  // post-publication bookkeeping (flight-recorder append, busy flag).
+  server.shutdown(/*drain=*/true);
+
+  const ServerStatus status = server.status();
+  EXPECT_EQ(status.jobs_done, 5u);
+  EXPECT_EQ(status.jobs_cancelled, 0u);
+  EXPECT_EQ(status.jobs_failed, 0u);
+  // The statusz surface and the Prometheus counters must agree — they are
+  // two views of the same completions.
+  EXPECT_EQ(status.jobs_done,
+            registry.counter("cbes_server_jobs_done_total").value());
+  EXPECT_EQ(status.cache_hits, server.cache().hits());
+  EXPECT_EQ(status.queue_depth, 0u);
+  EXPECT_TRUE(status.workers.empty());
+  ASSERT_EQ(status.breakers.size(), 2u);
+  EXPECT_EQ(status.breakers[0].trips, 0u);
+
+  // Flight recorder: 5 recorded, last 3 retained, oldest first.
+  EXPECT_EQ(status.jobs_recorded, 5u);
+  ASSERT_EQ(status.recent.size(), 3u);
+  EXPECT_EQ(status.recent.front().id, 3u);
+  EXPECT_EQ(status.recent.back().id, 5u);
+  for (const JobTrail& trail : status.recent) {
+    EXPECT_EQ(trail.state, JobState::kDone);
+    EXPECT_EQ(trail.kind, JobKind::kPredict);
+    EXPECT_GE(trail.run_seconds, 0.0);
+  }
+
+  // Both renderers accept the snapshot.
+  std::ostringstream text;
+  format_status_text(status, text);
+  EXPECT_NE(text.str().find("jobs: done 5"), std::string::npos);
+  std::ostringstream json;
+  format_status_json(status, json);
+  EXPECT_NE(json.str().find("\"jobs\":{\"done\":5"), std::string::npos);
+}
+
+TEST_F(ServerTest, SloHistogramsLabelPriorityAndOutcome) {
+  obs::MetricsRegistry registry;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.metrics = &registry;
+  CbesServer server(svc_, cfg);
+
+  SubmitOptions batch;
+  batch.priority = Priority::kBatch;
+  for (int i = 0; i < 3; ++i) {
+    PredictRequest req;
+    req.app = "tiny";
+    req.mapping = Mapping({NodeId{0}, NodeId{1}});
+    ASSERT_EQ(server.submit(std::move(req), i == 0 ? SubmitOptions{} : batch)
+                  .wait()
+                  .state,
+              JobState::kDone);
+  }
+  server.shutdown(/*drain=*/true);
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(
+      text.find("cbes_server_total_seconds_count{outcome=\"done\","
+                "priority=\"batch\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("cbes_server_total_seconds_count{outcome=\"done\","
+                "priority=\"normal\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("cbes_server_queue_wait_seconds_count{"
+                      "priority=\"batch\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cbes_server_exec_seconds_count{"
+                      "priority=\"normal\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, SameSeedSequentialRunsSerializeIdenticalLogs) {
+  const auto run_once = [this] {
+    obs::Logger log;
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.log = &log;
+    CbesServer server(svc_, cfg);
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 6; ++i) {
+      ScheduleRequest req;
+      req.app = "tiny";
+      req.nranks = 2;
+      req.algo = Algo::kRandom;
+      req.seed = 41 + static_cast<std::uint64_t>(i);
+      req.now = static_cast<double>(i);
+      handles.push_back(server.submit(std::move(req)));
+    }
+    for (JobHandle& h : handles) static_cast<void>(h.wait());
+    server.shutdown(/*drain=*/true);
+    std::ostringstream os;
+    log.format_text(os);
+    return os.str();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  // Byte-identical despite two workers racing: the sink order depends only
+  // on the record multiset, and the records carry simulated time, never
+  // wall-clock durations.
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("event=job/finish"), std::string::npos);
+}
+
+TEST(ServerObservability, WatchdogPostmortemDumpsStatusFile) {
+  fault::FaultPlan plan;
+  fault::FaultEvent stall;
+  stall.kind = fault::FaultKind::kWorkerStall;
+  stall.at = 0.0;
+  stall.until = 100.0;
+  stall.magnitude = 0.6;  // wall-seconds the caught attempt hangs
+  plan.add(stall);
+  FaultyService f(std::move(plan));
+
+  const std::string path =
+      ::testing::TempDir() + "cbes_postmortem_test.json";
+  std::remove(path.c_str());
+
+  obs::Logger log;
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.chaos = &f.injector;
+  cfg.log = &log;
+  cfg.postmortem_path = path;
+  cfg.watchdog_poll = std::chrono::milliseconds(20);
+  cfg.watchdog_stall_bound = std::chrono::milliseconds(150);
+  CbesServer server(f.svc, cfg);
+
+  PredictRequest req;
+  req.app = "tiny";
+  req.mapping = Mapping({NodeId{0}, NodeId{1}});
+  req.now = 50.0;  // inside the stall window: the worker wedges
+  const JobResult result = server.submit(std::move(req)).wait();
+  EXPECT_EQ(result.fail_reason, FailReason::kWatchdog);
+  server.shutdown(/*drain=*/true);
+
+  // The kill must have flushed a statusz postmortem to the configured path.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no postmortem at " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"watchdog\":{\"kills\":1"), std::string::npos);
+  // And logged the kill with its reason.
+  bool saw_kill = false;
+  for (const obs::LogRecord& r : log.records()) {
+    if (r.event == "watchdog/kill") saw_kill = true;
+  }
+  EXPECT_TRUE(saw_kill);
+  std::remove(path.c_str());
 }
 
 }  // namespace
