@@ -1,0 +1,155 @@
+// Wire front-end throughput — the loadgen harness driving a NetServer to
+// saturation over loopback. Two experiments:
+//
+//   1. Closed-ish-loop scaling: 1/4/8 pipelined connections of mixed-priority
+//      predict/compare traffic against a 4-worker broker with the EvalCache
+//      on. Reports offered vs goodput req/s, client-observed p50/p99, and
+//      the coalesce rate (identical in-flight predictions folded into one
+//      job — the wire layer's own request-level dedup, upstream of the
+//      cache).
+//
+//   2. Saturation with brown-out shedding: a 2-worker broker with the cache
+//      off (every admitted request is fresh evaluation work) and CoDel-style
+//      shedding on, hammered by 8 deep-pipelined connections. Reports the
+//      shed rate alongside goodput and latency — overload costing batch
+//      traffic its answers instead of costing everyone their latency, now
+//      measured through the socket.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "net/loadgen.h"
+#include "net/net_server.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace cbes;
+
+net::LoadGenOptions base_load(std::uint16_t port, const std::string& app,
+                              std::vector<Mapping> mappings) {
+  net::LoadGenOptions opt;
+  opt.port = port;
+  opt.app = app;
+  opt.mappings = std::move(mappings);
+  opt.pipeline = 8;
+  opt.duration_s = 1.0;
+  opt.compare_fraction = 0.25;
+  opt.seed = 0xBE7;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  bench::Env env = bench::make_orange_grove_env();
+  const LuParams lu = bench::orange_grove_lu_params();
+  const Program program = make_lu(lu);
+  const std::size_t nranks = program.nranks();
+  env.svc->register_application(
+      program, Mapping::round_robin(env.topology(), nranks));
+
+  std::vector<Mapping> mappings;
+  mappings.push_back(Mapping::round_robin(env.topology(), nranks));
+  const NodePool pool = NodePool::whole_cluster(env.topology());
+  Rng rng(0xBE9C);
+  for (int i = 0; i < 7; ++i) {
+    mappings.push_back(pool.random_mapping(nranks, rng));
+  }
+
+  std::printf("=== wire throughput: pipelined connections over loopback, "
+              "4 workers, cache on ===\n");
+  TextTable t({"connections", "offered req/s", "goodput req/s", "p50 ms",
+               "p99 ms", "coalesced", "shed"});
+  for (const std::size_t connections :
+       {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    server::ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.max_queue_depth = 4096;
+    server::CbesServer srv(env.service(), cfg);
+    net::NetConfig net_cfg;
+    net::NetServer netsrv(srv, net_cfg);
+
+    net::LoadGenOptions opt =
+        base_load(netsrv.port(), program.name, mappings);
+    opt.connections = connections;
+    const net::LoadGenReport r = net::run_loadgen(opt);
+    netsrv.stop();
+    srv.shutdown(/*drain=*/true);
+
+    const double coalesce_rate =
+        r.submitted > 0 ? static_cast<double>(r.coalesced) /
+                              static_cast<double>(r.submitted)
+                        : 0.0;
+    t.row()
+        .cell(static_cast<double>(connections), 0)
+        .cell(r.offered_rps, 0)
+        .cell(r.goodput_rps, 0)
+        .cell(r.p50_ms, 3)
+        .cell(r.p99_ms, 3)
+        .cell(format_percent(coalesce_rate))
+        .cell(static_cast<double>(r.shed), 0);
+    const std::string tag = std::to_string(connections) + "c";
+    bench::record_metric("net_goodput_rps_" + tag, r.goodput_rps, "req/s");
+    bench::record_metric("net_offered_rps_" + tag, r.offered_rps, "req/s");
+    bench::record_metric("net_p50_ms_" + tag, r.p50_ms, "ms");
+    bench::record_metric("net_p99_ms_" + tag, r.p99_ms, "ms");
+    bench::record_metric("net_coalesce_rate_pct_" + tag,
+                         100.0 * coalesce_rate, "%");
+  }
+  t.print(std::cout);
+
+  std::printf("\n=== wire saturation: 8 connections, 1 worker, cache off, "
+              "brown-out shedding on ===\n");
+  {
+    // A wider candidate set makes every compare frame carry ~32 evaluations:
+    // the broker (one worker) is the bottleneck, not the event loop, so the
+    // queue genuinely overloads and the shedder has something to shed.
+    std::vector<Mapping> wide = mappings;
+    while (wide.size() < 32) wide.push_back(pool.random_mapping(nranks, rng));
+
+    server::ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.max_queue_depth = 4096;
+    cfg.enable_cache = false;
+    cfg.enable_shedding = true;
+    cfg.shedder.target = 0.005;
+    cfg.shedder.interval = 0.010;
+    cfg.shedder.cool_down = 30.0;  // no de-escalation within the run
+    server::CbesServer srv(env.service(), cfg);
+    net::NetConfig net_cfg;
+    net::NetServer netsrv(srv, net_cfg);
+
+    net::LoadGenOptions opt =
+        base_load(netsrv.port(), program.name, wide);
+    opt.connections = 8;
+    opt.pipeline = 64;
+    opt.duration_s = 1.5;
+    opt.compare_fraction = 1.0;  // every frame is a 32-candidate compare
+    const net::LoadGenReport r = net::run_loadgen(opt);
+    netsrv.stop();
+    srv.shutdown(/*drain=*/true);
+
+    const double shed_rate =
+        r.submitted > 0 ? static_cast<double>(r.shed + r.rejected) /
+                              static_cast<double>(r.submitted)
+                        : 0.0;
+    std::printf("offered %.0f req/s, goodput %.0f req/s, shed %.1f%%, "
+                "p50 %.3f ms, p99 %.3f ms\n",
+                r.offered_rps, r.goodput_rps, 100.0 * shed_rate, r.p50_ms,
+                r.p99_ms);
+    bench::record_metric("net_sat_offered_rps", r.offered_rps, "req/s");
+    bench::record_metric("net_sat_goodput_rps", r.goodput_rps, "req/s");
+    bench::record_metric("net_sat_shed_rate_pct", 100.0 * shed_rate, "%");
+    bench::record_metric("net_sat_p50_ms", r.p50_ms, "ms");
+    bench::record_metric("net_sat_p99_ms", r.p99_ms, "ms");
+  }
+
+  const std::string path = bench::write_bench_json("net_throughput");
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -14,6 +14,11 @@
 //                  [--requests K] [--deadline-ms D] [--shed-target-ms T]
 //                  [--watchdog-ms W] [--checkpoint file.ckpt]
 //                  [--status-out file.txt|file.json]
+//                  [--listen HOST:PORT] [--duration-s N] [--port-file FILE]
+//   cbes_cli loadgen <cluster> <app> <ranks> --connect HOST:PORT
+//                  [--connections N] [--pipeline P] [--duration-s D]
+//                  [--requests K] [--deadline-ms D] [--seed S]
+//                  [--compare-fraction F]
 //   cbes_cli chaos <cluster> <app> <ranks> [--seed S] [--requests K]
 //                  [--horizon T] [--worker-stalls N] [--monitor-outages N]
 //                  [--slow-calibrations N] [--status-out file.txt|file.json]
@@ -35,6 +40,21 @@
 //                        exit (JSON when FILE ends in .json, text otherwise);
 //                        the same file doubles as the watchdog postmortem
 //                        path, auto-dumped whenever a kill fires
+//   --listen HOST:PORT   wire mode: instead of synthetic in-process clients,
+//                        put the broker on a TCP socket speaking the CBES
+//                        binary protocol (src/net/). Port 0 picks an
+//                        ephemeral port; exits nonzero with a clear message
+//                        when the bind or listen fails.
+//   --duration-s N       wire mode: stop after N seconds (0, the default,
+//                        serves until SIGINT/SIGTERM)
+//   --port-file FILE     wire mode: write the bound port number to FILE once
+//                        listening (how scripts find an ephemeral port)
+//
+// `loadgen` is the matching wire client: N connections pipelining mixed-
+// priority predict/compare requests at a `serve --listen` daemon until the
+// duration (or per-connection request budget) runs out, then prints offered
+// and goodput rates, latency quantiles, and per-outcome counts. Exits
+// nonzero when nothing completed or a connection was lost mid-run.
 //
 // `audit` measures prediction accuracy: it samples K candidate mappings,
 // predicts each through the service, simulates the same run under the
@@ -64,6 +84,7 @@
 // Node lists are comma-separated node indices (see `topo` for the listing).
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -77,6 +98,9 @@
 #include "core/service.h"
 #include "fault/fault.h"
 #include "fault/injector.h"
+#include "net/loadgen.h"
+#include "net/net_error.h"
+#include "net/net_server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
@@ -110,7 +134,7 @@ bool g_verbose = false;
 int usage() {
   std::fprintf(stderr,
                "usage: cbes_cli <topo|apps|profile|predict|compare|schedule"
-               "|serve|chaos|audit> ... [--metrics-out m.txt] "
+               "|serve|loadgen|chaos|audit> ... [--metrics-out m.txt] "
                "[--trace-out t.json] [--log-out l.txt] [--log-json] "
                "[--verbose]\n"
                "(see the header of examples/cbes_cli.cpp)\n");
@@ -126,6 +150,32 @@ std::size_t parse_count(const std::string& token, const char* what) {
                  std::string("bad ") + what + ": " + token);
   return static_cast<std::size_t>(value);
 }
+
+/// Strict real parse, same whole-token discipline as parse_count.
+double parse_real(const std::string& token, const char* what) {
+  std::size_t pos = 0;
+  const double value = std::stod(token, &pos);
+  CBES_CHECK_MSG(pos == token.size(),
+                 std::string("bad ") + what + ": " + token);
+  return value;
+}
+
+/// Splits "HOST:PORT" on the last colon; the port must fit a uint16.
+void split_host_port(const std::string& spec, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = spec.rfind(':');
+  CBES_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < spec.size(),
+                 "expected HOST:PORT, got '" + spec + "'");
+  host = spec.substr(0, colon);
+  const std::size_t value = parse_count(spec.substr(colon + 1), "port");
+  CBES_CHECK_MSG(value <= 65535, "port out of range: " + spec);
+  port = static_cast<std::uint16_t>(value);
+}
+
+/// Set by SIGINT/SIGTERM so `serve --listen --duration-s 0` can stop cleanly.
+volatile std::sig_atomic_t g_signal_stop = 0;
+void handle_stop_signal(int) { g_signal_stop = 1; }
 
 /// Prints convergence when --verbose and mirrors annealing telemetry into the
 /// metrics registry when --metrics-out: temperature steps, restarts, and the
@@ -371,7 +421,85 @@ struct ServeOptions {
   std::size_t watchdog_ms = 0;     ///< 0 = watchdog off
   std::string checkpoint;          ///< empty = crash-safe state off
   std::string status_out;          ///< empty = no statusz dump
+  std::string listen;              ///< HOST:PORT — wire mode over TCP
+  std::size_t duration_s = 0;      ///< wire mode: 0 = run until signal
+  std::string port_file;           ///< wire mode: write the bound port here
 };
+
+/// Wire mode for `serve --listen`: puts the broker on a TCP socket and runs
+/// until the duration elapses (or SIGINT/SIGTERM when --duration-s is 0).
+int run_wire_server(server::CbesServer& srv, const ServeOptions& opt) {
+  net::NetConfig net_cfg;
+  split_host_port(opt.listen, net_cfg.host, net_cfg.port);
+  net_cfg.metrics = g_metrics.get();
+  net_cfg.trace = g_trace.get();
+  net_cfg.log = g_log.get();
+  std::unique_ptr<net::NetServer> net;
+  try {
+    net = std::make_unique<net::NetServer>(srv, net_cfg);
+  } catch (const net::NetError& e) {
+    // A failed bind/listen must be a clean nonzero exit with the reason, not
+    // a fallthrough into a daemon that is not actually listening.
+    std::fprintf(stderr, "error: cannot serve on %s: %s\n", opt.listen.c_str(),
+                 e.what());
+    srv.shutdown(/*drain=*/false);
+    return 1;
+  }
+  if (!opt.port_file.empty()) {
+    std::ofstream out(opt.port_file);
+    out << net->port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: could not write port to %s\n",
+                   opt.port_file.c_str());
+      net->stop();
+      srv.shutdown(/*drain=*/false);
+      return 1;
+    }
+  }
+  std::printf("serving on %s%s", net->listen_address().c_str(),
+              opt.duration_s > 0 ? "" : " until SIGINT/SIGTERM");
+  if (opt.duration_s > 0) std::printf(" for %zu s", opt.duration_s);
+  std::printf("\n");
+  std::fflush(stdout);
+
+  g_signal_stop = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opt.duration_s);
+  while (g_signal_stop == 0 &&
+         (opt.duration_s == 0 ||
+          std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  net->stop();
+  srv.shutdown(/*drain=*/true);
+
+  server::ServerStatus status = srv.status();
+  net->fill_status(status);
+  std::printf("wire: %llu connections, %llu frames in / %llu out, "
+              "%llu coalesced, %llu protocol errors\n",
+              static_cast<unsigned long long>(status.net.connections_total),
+              static_cast<unsigned long long>(status.net.frames_rx),
+              static_cast<unsigned long long>(status.net.frames_tx),
+              static_cast<unsigned long long>(status.net.coalesce_hits),
+              static_cast<unsigned long long>(status.net.protocol_errors));
+  if (!opt.checkpoint.empty()) {
+    server::save_checkpoint(server::take_checkpoint(srv), opt.checkpoint,
+                            g_log.get());
+    std::printf("  wrote checkpoint %s\n", opt.checkpoint.c_str());
+  }
+  if (!opt.status_out.empty()) {
+    if (server::write_status_file(status, opt.status_out)) {
+      std::printf("  wrote status %s\n", opt.status_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write status to %s\n",
+                   opt.status_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
 
 int cmd_serve(const std::string& cluster, const std::string& app,
               std::size_t ranks, const ServeOptions& opt) {
@@ -409,6 +537,9 @@ int cmd_serve(const std::string& cluster, const std::string& app,
                                                             /*now=*/0.0);
     std::fprintf(stderr, "[pre-heated %zu cache entries]\n", warmed);
   }
+
+  // Wire mode: real clients over TCP instead of the synthetic pump below.
+  if (!opt.listen.empty()) return run_wire_server(srv, opt);
 
   // A small shared pool of candidate mappings so concurrent clients repeat
   // each other's predict requests — that repetition is what the EvalCache
@@ -544,6 +675,70 @@ int cmd_serve(const std::string& cluster, const std::string& app,
   }
   // Failures mean a request violated a contract mid-run — a broken demo.
   return failed.load() == 0 ? 0 : 1;
+}
+
+/// Wire load-generator options (see net::LoadGenOptions).
+struct LoadGenCliOptions {
+  std::string connect;  ///< HOST:PORT of a `serve --listen` daemon
+  std::size_t connections = 4;
+  std::size_t pipeline = 8;
+  double duration_s = 2.0;
+  std::size_t requests = 0;  ///< per connection; 0 = run by duration
+  std::size_t deadline_ms = 0;
+  std::uint64_t seed = 1;
+  double compare_fraction = 0.25;
+};
+
+int cmd_loadgen(const std::string& cluster, const std::string& app,
+                std::size_t ranks, const LoadGenCliOptions& opt) {
+  // The client needs the topology only to build candidate mappings — the
+  // same deterministic set `serve` uses for its demo pump, so identical
+  // requests overlap across connections and exercise coalescing.
+  const ClusterTopology topo = make_cluster(cluster);
+  const Program program = find_app(app).make(ranks);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  std::vector<Mapping> mappings;
+  mappings.push_back(Mapping::round_robin(topo, ranks));
+  Rng rng(0xCBE5);
+  for (int i = 0; i < 5; ++i) {
+    mappings.push_back(pool.random_mapping(ranks, rng));
+  }
+
+  net::LoadGenOptions lg;
+  split_host_port(opt.connect, lg.host, lg.port);
+  lg.connections = opt.connections;
+  lg.pipeline = opt.pipeline;
+  lg.duration_s = opt.duration_s;
+  lg.requests_per_connection = opt.requests;
+  lg.deadline_ms = static_cast<std::uint32_t>(opt.deadline_ms);
+  lg.seed = opt.seed;
+  lg.app = program.name;
+  lg.mappings = std::move(mappings);
+  lg.compare_fraction = opt.compare_fraction;
+
+  const net::LoadGenReport report = net::run_loadgen(lg);
+  std::printf("loadgen %s: %llu offered (%.0f req/s), %llu completed "
+              "(%.0f req/s goodput) in %.3f s\n",
+              opt.connect.c_str(),
+              static_cast<unsigned long long>(report.submitted),
+              report.offered_rps,
+              static_cast<unsigned long long>(report.completed),
+              report.goodput_rps, report.elapsed_s);
+  std::printf("  latency: p50 %.3f ms, p99 %.3f ms\n", report.p50_ms,
+              report.p99_ms);
+  std::printf("  coalesced=%llu rejected=%llu shed=%llu cancelled=%llu "
+              "failed=%llu transport-errors=%llu\n",
+              static_cast<unsigned long long>(report.coalesced),
+              static_cast<unsigned long long>(report.rejected),
+              static_cast<unsigned long long>(report.shed),
+              static_cast<unsigned long long>(report.cancelled),
+              static_cast<unsigned long long>(report.failed),
+              static_cast<unsigned long long>(report.transport_errors));
+  std::printf("  bytes: %llu tx, %llu rx; answer checksum %016llx\n",
+              static_cast<unsigned long long>(report.tx_bytes),
+              static_cast<unsigned long long>(report.rx_bytes),
+              static_cast<unsigned long long>(report.answer_checksum));
+  return (report.completed > 0 && report.transport_errors == 0) ? 0 : 1;
 }
 
 /// Chaos-demo options.
@@ -756,6 +951,12 @@ int dispatch(const std::vector<std::string>& args) {
         opt.checkpoint = args[++i];
       } else if (args[i] == "--status-out" && i + 1 < args.size()) {
         opt.status_out = args[++i];
+      } else if (args[i] == "--listen" && i + 1 < args.size()) {
+        opt.listen = args[++i];
+      } else if (args[i] == "--duration-s" && i + 1 < args.size()) {
+        opt.duration_s = parse_count(args[++i], "--duration-s");
+      } else if (args[i] == "--port-file" && i + 1 < args.size()) {
+        opt.port_file = args[++i];
       } else {
         std::fprintf(stderr, "error: unknown serve option '%s'\n",
                      args[i].c_str());
@@ -763,6 +964,37 @@ int dispatch(const std::vector<std::string>& args) {
       }
     }
     return cmd_serve(cluster, app, ranks, opt);
+  }
+  if (cmd == "loadgen") {
+    LoadGenCliOptions opt;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (args[i] == "--connect" && i + 1 < args.size()) {
+        opt.connect = args[++i];
+      } else if (args[i] == "--connections" && i + 1 < args.size()) {
+        opt.connections = parse_count(args[++i], "--connections");
+      } else if (args[i] == "--pipeline" && i + 1 < args.size()) {
+        opt.pipeline = parse_count(args[++i], "--pipeline");
+      } else if (args[i] == "--duration-s" && i + 1 < args.size()) {
+        opt.duration_s = parse_real(args[++i], "--duration-s");
+      } else if (args[i] == "--requests" && i + 1 < args.size()) {
+        opt.requests = parse_count(args[++i], "--requests");
+      } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+        opt.deadline_ms = parse_count(args[++i], "--deadline-ms");
+      } else if (args[i] == "--seed" && i + 1 < args.size()) {
+        opt.seed = parse_count(args[++i], "--seed");
+      } else if (args[i] == "--compare-fraction" && i + 1 < args.size()) {
+        opt.compare_fraction = parse_real(args[++i], "--compare-fraction");
+      } else {
+        std::fprintf(stderr, "error: unknown loadgen option '%s'\n",
+                     args[i].c_str());
+        return usage();
+      }
+    }
+    if (opt.connect.empty()) {
+      std::fprintf(stderr, "error: loadgen requires --connect HOST:PORT\n");
+      return usage();
+    }
+    return cmd_loadgen(cluster, app, ranks, opt);
   }
   if (cmd == "audit") {
     std::size_t mappings = 8;

@@ -9,12 +9,16 @@
 #      test_fault), which exercise the request broker's queue/cache/worker
 #      locking and the monitor/injector interplay under chaos plans, plus
 #      test_property, whose delta-vs-full evaluation sweeps also cover the
-#      compiled-profile cache sharing immutable artifacts across workers;
+#      compiled-profile cache sharing immutable artifacts across workers, and
+#      test_net, whose loopback clients cross the event-loop/worker boundary
+#      (completion fan-out, coalescing, shutdown) on every request;
 #   4. with CBES_SANITIZE=undefined, rebuild under UndefinedBehaviorSanitizer
 #      (-fno-sanitize-recover=all: any UB aborts the test) and run the core
 #      and resilience suites — the checkpoint text codec, retry/backoff
 #      arithmetic, and breaker/shedder state machines are exactly the kind of
-#      casting- and float-heavy code UBSan is built for.
+#      casting- and float-heavy code UBSan is built for — plus test_net,
+#      whose seeded mutation corpus hammers the wire codec's bounds-checked
+#      byte parsing.
 #
 # Usage: scripts/check.sh [--no-asan]
 #        CBES_SANITIZE=thread scripts/check.sh
@@ -44,10 +48,12 @@ if [[ "${CBES_SANITIZE:-}" == "thread" ]]; then
   cmake -B build-tsan -S . -DCBES_SANITIZE=thread \
     -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j "$jobs" \
-    --target test_server --target test_fault --target test_property
+    --target test_server --target test_fault --target test_property \
+    --target test_net
   ./build-tsan/tests/test_server
   ./build-tsan/tests/test_fault
   ./build-tsan/tests/test_property
+  ./build-tsan/tests/test_net
 fi
 
 if [[ "${CBES_SANITIZE:-}" == "undefined" ]]; then
@@ -56,11 +62,12 @@ if [[ "${CBES_SANITIZE:-}" == "undefined" ]]; then
     -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-ubsan -j "$jobs" \
     --target test_core --target test_resilience --target test_server \
-    --target test_fault
+    --target test_fault --target test_net
   ./build-ubsan/tests/test_core
   ./build-ubsan/tests/test_resilience
   ./build-ubsan/tests/test_server
   ./build-ubsan/tests/test_fault
+  ./build-ubsan/tests/test_net
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,26 @@
+#include "net/coalescer.h"
+
+#include "common/check.h"
+
+namespace cbes::net {
+
+std::uint64_t Coalescer::find(const Key& key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? 0 : it->second;
+}
+
+void Coalescer::publish(const Key& key, std::uint64_t job_id) {
+  CBES_CHECK_MSG(job_id != 0, "Coalescer: job id 0 is the sentinel");
+  const bool inserted = by_key_.emplace(key, job_id).second;
+  CBES_CHECK_MSG(inserted, "Coalescer: key already in flight");
+  by_job_.emplace(job_id, key);
+}
+
+void Coalescer::retire(std::uint64_t job_id) {
+  const auto it = by_job_.find(job_id);
+  if (it == by_job_.end()) return;
+  by_key_.erase(it->second);
+  by_job_.erase(it);
+}
+
+}  // namespace cbes::net

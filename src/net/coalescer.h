@@ -1,0 +1,70 @@
+// Request coalescing for the wire front-end: identical in-flight predictions
+// — same profile, same mapping, same monitor snapshot epoch — are folded into
+// one server job whose answer fans back out to every waiter.
+//
+// The key is (profile-hash, mapping-hash, snapshot-epoch): exactly the
+// EvalCache identity, so two coalesced requests are ones the cache would have
+// answered identically anyway — coalescing collapses the *in-flight* window
+// the cache cannot see (the duplicate arrives while the first job is still
+// computing). Only predictions coalesce: schedule/remap answers depend on the
+// request seed, and compare is a batch of predictions with its own shape.
+//
+// Single-threaded by design: every call happens on the event-loop thread
+// (submission and the posted completion fan-out both run there), so there is
+// no lock. The leader's priority and deadline govern the shared job; a
+// follower with a tighter deadline still gets the leader's answer — the
+// trade documented in DESIGN.md §6.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace cbes::net {
+
+class Coalescer {
+ public:
+  struct Key {
+    std::uint64_t profile_hash = 0;
+    std::uint64_t mapping_hash = 0;
+    std::uint64_t epoch = 0;
+
+    [[nodiscard]] bool operator==(const Key&) const noexcept = default;
+  };
+
+  /// The job currently in flight for `key`, or 0 when there is none (the
+  /// caller becomes the leader and must publish()).
+  [[nodiscard]] std::uint64_t find(const Key& key) const;
+
+  /// Registers `job_id` as the in-flight job serving `key`.
+  void publish(const Key& key, std::uint64_t job_id);
+
+  /// Removes the entry for `job_id` (its job completed); unknown ids are
+  /// fine — not every job coalesces.
+  void retire(std::uint64_t job_id);
+
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return by_key_.size();
+  }
+
+ private:
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+      // FNV-1a over the three words.
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (const std::uint64_t w :
+           {key.profile_hash, key.mapping_hash, key.epoch}) {
+        for (int i = 0; i < 8; ++i) {
+          h ^= (w >> (8 * i)) & 0xFF;
+          h *= 0x100000001b3ULL;
+        }
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::unordered_map<Key, std::uint64_t, KeyHash> by_key_;
+  std::unordered_map<std::uint64_t, Key> by_job_;
+};
+
+}  // namespace cbes::net

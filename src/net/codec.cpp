@@ -1,0 +1,696 @@
+#include "net/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace cbes::net {
+
+namespace {
+
+// ---- little-endian primitives ---------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Length-prefixed string (u16 length). Callers bound `s` beforehand; the
+/// prefix still clamps defensively so an encode can never produce a frame a
+/// peer with the same limits would refuse for length reasons.
+void put_str16(std::vector<std::uint8_t>& out, std::string_view s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+  put_u16(out, static_cast<std::uint16_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+/// Length-prefixed blob (u32 length) for payloads that may exceed 64 KiB
+/// (the statusz JSON).
+void put_str32(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_mapping(std::vector<std::uint8_t>& out,
+                 const std::vector<NodeId>& assignment) {
+  put_u32(out, static_cast<std::uint32_t>(assignment.size()));
+  for (const NodeId node : assignment) put_u32(out, node.value);
+}
+
+void put_node_list(std::vector<std::uint8_t>& out,
+                   const std::vector<NodeId>& nodes) {
+  put_mapping(out, nodes);  // same layout: u32 count + u32 per node
+}
+
+/// Bounds-checked cursor over one payload. Every accessor returns false
+/// instead of reading past `size_`; length-prefixed reads validate the
+/// prefix against the remaining bytes *and* the caller's cap before any
+/// allocation is sized from it.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) {
+    if (size_ - pos_ < 1) return false;
+    v = data_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] bool u16(std::uint16_t& v) {
+    if (size_ - pos_ < 2) return false;
+    v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data_[pos_]) |
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_ + 1])
+                                   << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    if (size_ - pos_ < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool u64(std::uint64_t& v) {
+    if (size_ - pos_ < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// u16-prefixed string, refused (without allocating) beyond `max_len`.
+  [[nodiscard]] bool str16(std::string& v, std::uint32_t max_len) {
+    std::uint16_t n = 0;
+    if (!u16(n)) return false;
+    if (n > max_len || size_ - pos_ < n) return false;
+    v.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  /// u32-prefixed blob, refused (without allocating) beyond `max_len`.
+  [[nodiscard]] bool str32(std::string& v, std::uint32_t max_len) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    if (n > max_len || size_ - pos_ < n) return false;
+    v.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  /// u32-count node list, refused beyond `max_nodes` — the count is checked
+  /// against the bytes actually present before the vector is sized.
+  [[nodiscard]] bool node_list(std::vector<NodeId>& v,
+                               std::uint32_t max_nodes) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    if (n > max_nodes || (size_ - pos_) / 4 < n) return false;
+    v.clear();
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t node = 0;
+      if (!u32(node)) return false;  // unreachable: bounded above
+      v.emplace_back(node);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Shared tail of every decode: success only when the payload was consumed
+/// exactly — trailing bytes mean a framing disagreement, not padding.
+[[nodiscard]] WireError finish(const WireReader& reader, std::string& detail) {
+  if (!reader.done()) {
+    detail = "trailing bytes after payload";
+    return WireError::kTrailingGarbage;
+  }
+  return WireError::kNone;
+}
+
+[[nodiscard]] bool read_mapping(WireReader& reader, const CodecLimits& limits,
+                                Mapping& mapping) {
+  std::vector<NodeId> assignment;
+  if (!reader.node_list(assignment, limits.max_ranks)) return false;
+  mapping = Mapping(std::move(assignment));
+  return true;
+}
+
+/// Request envelope: priority + deadline budget.
+[[nodiscard]] bool read_envelope(WireReader& reader, RequestFrame& out) {
+  std::uint8_t priority = 0;
+  if (!reader.u8(priority)) return false;
+  if (priority >= server::kPriorityClasses) return false;
+  out.priority = static_cast<server::Priority>(priority);
+  return reader.u32(out.deadline_ms);
+}
+
+[[nodiscard]] std::uint8_t result_flags(const ResponseFrame& r) {
+  std::uint8_t flags = 0;
+  if (r.degraded) flags |= 0x01;
+  if (r.cache_hit) flags |= 0x02;
+  if (r.coalesced) flags |= 0x04;
+  return flags;
+}
+
+/// Result envelope shared by all non-error responses.
+[[nodiscard]] bool read_result_envelope(WireReader& reader,
+                                        ResponseFrame& out) {
+  std::uint8_t flags = 0;
+  if (!reader.u8(flags)) return false;
+  if ((flags & ~0x07u) != 0) return false;  // unknown flag bits
+  out.degraded = (flags & 0x01) != 0;
+  out.cache_hit = (flags & 0x02) != 0;
+  out.coalesced = (flags & 0x04) != 0;
+  return reader.u64(out.snapshot_epoch);
+}
+
+void encode_header(std::vector<std::uint8_t>& out, MsgType type,
+                   std::uint64_t request_id, std::size_t payload_len) {
+  put_u32(out, kWireMagic);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload_len));
+}
+
+/// Patches the payload-length field once the payload has been appended, so
+/// encoders build frames in one pass.
+void patch_payload_len(std::vector<std::uint8_t>& out, std::size_t start) {
+  const std::size_t payload = out.size() - start - kHeaderBytes;
+  const auto len = static_cast<std::uint32_t>(payload);
+  for (int i = 0; i < 4; ++i) {
+    out[start + 16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF);
+  }
+}
+
+}  // namespace
+
+std::string_view msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kPredictRequest: return "predict-request";
+    case MsgType::kCompareRequest: return "compare-request";
+    case MsgType::kScheduleRequest: return "schedule-request";
+    case MsgType::kRemapRequest: return "remap-request";
+    case MsgType::kStatusRequest: return "status-request";
+    case MsgType::kPredictResponse: return "predict-response";
+    case MsgType::kCompareResponse: return "compare-response";
+    case MsgType::kScheduleResponse: return "schedule-response";
+    case MsgType::kRemapResponse: return "remap-response";
+    case MsgType::kStatusResponse: return "status-response";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view wire_error_name(WireError e) noexcept {
+  switch (e) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad-magic";
+    case WireError::kBadVersion: return "bad-version";
+    case WireError::kBadType: return "bad-type";
+    case WireError::kTooLarge: return "too-large";
+    case WireError::kMalformed: return "malformed";
+    case WireError::kLimit: return "limit";
+    case WireError::kTrailingGarbage: return "trailing-garbage";
+    case WireError::kRejected: return "rejected";
+    case WireError::kCancelled: return "cancelled";
+    case WireError::kFailed: return "failed";
+    case WireError::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+WireError decode_header(const std::uint8_t* data, std::size_t size,
+                        const CodecLimits& limits, FrameHeader& header) {
+  WireReader reader(data, size);
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  std::uint16_t reserved = 0;
+  if (size < kHeaderBytes || !reader.u32(magic) || !reader.u8(version) ||
+      !reader.u8(type) || !reader.u16(reserved) ||
+      !reader.u64(header.request_id) || !reader.u32(header.payload_len)) {
+    return WireError::kMalformed;  // callers buffer to kHeaderBytes first
+  }
+  if (magic != kWireMagic) return WireError::kBadMagic;
+  if (version != kWireVersion) return WireError::kBadVersion;
+  if (reserved != 0) return WireError::kMalformed;
+  const auto t = static_cast<MsgType>(type);
+  if (!is_request(t) && !is_response(t)) return WireError::kBadType;
+  header.type = t;
+  if (header.payload_len > limits.max_payload) return WireError::kTooLarge;
+  return WireError::kNone;
+}
+
+WireError decode_request(const FrameHeader& header,
+                         const std::uint8_t* payload, std::size_t size,
+                         const CodecLimits& limits, RequestFrame& out,
+                         std::string& detail) {
+  if (!is_request(header.type)) {
+    detail = "not a request frame";
+    return WireError::kBadType;
+  }
+  if (size != header.payload_len) {
+    detail = "payload size disagrees with header";
+    return WireError::kMalformed;
+  }
+  out = RequestFrame{};
+  out.type = header.type;
+  out.request_id = header.request_id;
+  WireReader reader(payload, size);
+  if (!read_envelope(reader, out)) {
+    detail = "bad request envelope";
+    return WireError::kMalformed;
+  }
+  switch (header.type) {
+    case MsgType::kPredictRequest: {
+      if (!reader.str16(out.predict.app, limits.max_name) ||
+          !reader.f64(out.predict.now) ||
+          !read_mapping(reader, limits, out.predict.mapping)) {
+        detail = "bad predict payload";
+        return WireError::kMalformed;
+      }
+      if (out.predict.mapping.nranks() == 0) {
+        detail = "predict mapping is empty";
+        return WireError::kMalformed;
+      }
+      break;
+    }
+    case MsgType::kCompareRequest: {
+      if (!reader.str16(out.compare.app, limits.max_name) ||
+          !reader.f64(out.compare.now)) {
+        detail = "bad compare payload";
+        return WireError::kMalformed;
+      }
+      std::uint16_t candidates = 0;
+      if (!reader.u16(candidates)) {
+        detail = "bad compare payload";
+        return WireError::kMalformed;
+      }
+      if (candidates == 0 || candidates > limits.max_candidates) {
+        detail = "compare candidate count out of range";
+        return WireError::kLimit;
+      }
+      out.compare.candidates.reserve(candidates);
+      for (std::uint16_t i = 0; i < candidates; ++i) {
+        Mapping mapping;
+        if (!read_mapping(reader, limits, mapping)) {
+          detail = "bad compare candidate";
+          return WireError::kMalformed;
+        }
+        out.compare.candidates.push_back(std::move(mapping));
+      }
+      break;
+    }
+    case MsgType::kScheduleRequest: {
+      std::uint32_t nranks = 0;
+      std::uint8_t algo = 0;
+      std::uint32_t max_slots = 0;
+      std::vector<NodeId> pool;
+      if (!reader.str16(out.schedule.app, limits.max_name) ||
+          !reader.f64(out.schedule.now) || !reader.u32(nranks) ||
+          !reader.u8(algo) || !reader.u64(out.schedule.seed) ||
+          !reader.u32(max_slots) ||
+          !reader.node_list(pool, limits.max_pool_nodes)) {
+        detail = "bad schedule payload";
+        return WireError::kMalformed;
+      }
+      if (nranks == 0 || nranks > limits.max_ranks) {
+        detail = "schedule rank count out of range";
+        return WireError::kLimit;
+      }
+      if (algo > static_cast<std::uint8_t>(server::Algo::kRandom)) {
+        detail = "unknown schedule algorithm";
+        return WireError::kMalformed;
+      }
+      if (max_slots == 0 || max_slots > (1u << 30)) {
+        detail = "schedule slot cap out of range";
+        return WireError::kMalformed;
+      }
+      out.schedule.nranks = nranks;
+      out.schedule.algo = static_cast<server::Algo>(algo);
+      out.schedule.max_slots_per_node = static_cast<int>(max_slots);
+      out.schedule.pool_nodes = std::move(pool);
+      break;
+    }
+    case MsgType::kRemapRequest: {
+      std::uint32_t max_slots = 0;
+      std::vector<NodeId> pool;
+      if (!reader.str16(out.remap.app, limits.max_name) ||
+          !reader.f64(out.remap.now) ||
+          !read_mapping(reader, limits, out.remap.current) ||
+          !reader.f64(out.remap.progress) || !reader.u64(out.remap.seed) ||
+          !reader.u32(max_slots) ||
+          !reader.node_list(pool, limits.max_pool_nodes) ||
+          !reader.u64(out.remap.cost.state_bytes) ||
+          !reader.f64(out.remap.cost.restart_overhead) ||
+          !reader.f64(out.remap.cost.coordination_overhead)) {
+        detail = "bad remap payload";
+        return WireError::kMalformed;
+      }
+      if (out.remap.current.nranks() == 0) {
+        detail = "remap current mapping is empty";
+        return WireError::kMalformed;
+      }
+      if (max_slots == 0 || max_slots > (1u << 30)) {
+        detail = "remap slot cap out of range";
+        return WireError::kMalformed;
+      }
+      out.remap.max_slots_per_node = static_cast<int>(max_slots);
+      out.remap.pool_nodes = std::move(pool);
+      break;
+    }
+    case MsgType::kStatusRequest:
+      break;  // empty payload
+    default:
+      detail = "not a request frame";
+      return WireError::kBadType;
+  }
+  return finish(reader, detail);
+}
+
+WireError decode_response(const FrameHeader& header,
+                          const std::uint8_t* payload, std::size_t size,
+                          const CodecLimits& limits, ResponseFrame& out,
+                          std::string& detail) {
+  if (!is_response(header.type)) {
+    detail = "not a response frame";
+    return WireError::kBadType;
+  }
+  if (size != header.payload_len) {
+    detail = "payload size disagrees with header";
+    return WireError::kMalformed;
+  }
+  out = ResponseFrame{};
+  out.type = header.type;
+  out.request_id = header.request_id;
+  WireReader reader(payload, size);
+  switch (header.type) {
+    case MsgType::kError: {
+      std::uint8_t error = 0;
+      std::uint8_t reason = 0;
+      if (!reader.u8(error) || !reader.u8(reason) ||
+          !reader.str16(out.detail, limits.max_detail)) {
+        detail = "bad error payload";
+        return WireError::kMalformed;
+      }
+      if (error == 0 || error > static_cast<std::uint8_t>(WireError::kShutdown)) {
+        detail = "unknown error code";
+        return WireError::kMalformed;
+      }
+      if (reason > static_cast<std::uint8_t>(server::FailReason::kWatchdog)) {
+        detail = "unknown fail reason";
+        return WireError::kMalformed;
+      }
+      out.error = static_cast<WireError>(error);
+      out.fail_reason = static_cast<server::FailReason>(reason);
+      break;
+    }
+    case MsgType::kPredictResponse: {
+      if (!read_result_envelope(reader, out) || !reader.f64(out.time)) {
+        detail = "bad predict response";
+        return WireError::kMalformed;
+      }
+      break;
+    }
+    case MsgType::kCompareResponse: {
+      std::uint16_t n = 0;
+      if (!read_result_envelope(reader, out) || !reader.u16(n)) {
+        detail = "bad compare response";
+        return WireError::kMalformed;
+      }
+      if (n == 0 || n > limits.max_candidates) {
+        detail = "compare response count out of range";
+        return WireError::kLimit;
+      }
+      out.predicted.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        double v = 0.0;
+        if (!reader.f64(v)) {
+          detail = "bad compare response";
+          return WireError::kMalformed;
+        }
+        out.predicted.push_back(v);
+      }
+      if (!reader.u32(out.best) || out.best >= n) {
+        detail = "bad compare response best index";
+        return WireError::kMalformed;
+      }
+      break;
+    }
+    case MsgType::kScheduleResponse: {
+      std::vector<NodeId> assignment;
+      if (!read_result_envelope(reader, out) || !reader.f64(out.cost) ||
+          !reader.u64(out.evaluations) ||
+          !reader.node_list(assignment, limits.max_ranks)) {
+        detail = "bad schedule response";
+        return WireError::kMalformed;
+      }
+      out.assignment.reserve(assignment.size());
+      for (const NodeId node : assignment) out.assignment.push_back(node.value);
+      break;
+    }
+    case MsgType::kRemapResponse: {
+      std::uint8_t beneficial = 0;
+      std::vector<NodeId> assignment;
+      if (!read_result_envelope(reader, out) || !reader.u8(beneficial) ||
+          beneficial > 1 || !reader.f64(out.remaining_current) ||
+          !reader.f64(out.remaining_candidate) ||
+          !reader.f64(out.migration_cost) || !reader.u64(out.moved_ranks) ||
+          !reader.node_list(assignment, limits.max_ranks)) {
+        detail = "bad remap response";
+        return WireError::kMalformed;
+      }
+      out.beneficial = beneficial != 0;
+      out.assignment.reserve(assignment.size());
+      for (const NodeId node : assignment) out.assignment.push_back(node.value);
+      break;
+    }
+    case MsgType::kStatusResponse: {
+      if (!read_result_envelope(reader, out) ||
+          !reader.str32(out.status_json, limits.max_payload)) {
+        detail = "bad status response";
+        return WireError::kMalformed;
+      }
+      break;
+    }
+    default:
+      detail = "not a response frame";
+      return WireError::kBadType;
+  }
+  return finish(reader, detail);
+}
+
+void encode_request(const RequestFrame& request,
+                    std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  encode_header(out, request.type, request.request_id, 0);
+  put_u8(out, static_cast<std::uint8_t>(request.priority));
+  put_u32(out, request.deadline_ms);
+  switch (request.type) {
+    case MsgType::kPredictRequest:
+      put_str16(out, request.predict.app);
+      put_f64(out, request.predict.now);
+      put_mapping(out, request.predict.mapping.assignment());
+      break;
+    case MsgType::kCompareRequest:
+      put_str16(out, request.compare.app);
+      put_f64(out, request.compare.now);
+      put_u16(out, static_cast<std::uint16_t>(request.compare.candidates.size()));
+      for (const Mapping& m : request.compare.candidates) {
+        put_mapping(out, m.assignment());
+      }
+      break;
+    case MsgType::kScheduleRequest:
+      put_str16(out, request.schedule.app);
+      put_f64(out, request.schedule.now);
+      put_u32(out, static_cast<std::uint32_t>(request.schedule.nranks));
+      put_u8(out, static_cast<std::uint8_t>(request.schedule.algo));
+      put_u64(out, request.schedule.seed);
+      put_u32(out, static_cast<std::uint32_t>(
+                       request.schedule.max_slots_per_node));
+      put_node_list(out, request.schedule.pool_nodes);
+      break;
+    case MsgType::kRemapRequest:
+      put_str16(out, request.remap.app);
+      put_f64(out, request.remap.now);
+      put_mapping(out, request.remap.current.assignment());
+      put_f64(out, request.remap.progress);
+      put_u64(out, request.remap.seed);
+      put_u32(out,
+              static_cast<std::uint32_t>(request.remap.max_slots_per_node));
+      put_node_list(out, request.remap.pool_nodes);
+      put_u64(out, request.remap.cost.state_bytes);
+      put_f64(out, request.remap.cost.restart_overhead);
+      put_f64(out, request.remap.cost.coordination_overhead);
+      break;
+    case MsgType::kStatusRequest:
+      break;  // empty payload
+    default:
+      break;  // responses are encoded by encode_response
+  }
+  patch_payload_len(out, start);
+}
+
+void encode_response(const ResponseFrame& response,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  encode_header(out, response.type, response.request_id, 0);
+  if (response.type == MsgType::kError) {
+    put_u8(out, static_cast<std::uint8_t>(response.error));
+    put_u8(out, static_cast<std::uint8_t>(response.fail_reason));
+    put_str16(out, response.detail);
+    patch_payload_len(out, start);
+    return;
+  }
+  put_u8(out, result_flags(response));
+  put_u64(out, response.snapshot_epoch);
+  switch (response.type) {
+    case MsgType::kPredictResponse:
+      put_f64(out, response.time);
+      break;
+    case MsgType::kCompareResponse:
+      put_u16(out, static_cast<std::uint16_t>(response.predicted.size()));
+      for (const double v : response.predicted) put_f64(out, v);
+      put_u32(out, response.best);
+      break;
+    case MsgType::kScheduleResponse: {
+      put_f64(out, response.cost);
+      put_u64(out, response.evaluations);
+      put_u32(out, static_cast<std::uint32_t>(response.assignment.size()));
+      for (const std::uint32_t node : response.assignment) put_u32(out, node);
+      break;
+    }
+    case MsgType::kRemapResponse: {
+      put_u8(out, response.beneficial ? 1 : 0);
+      put_f64(out, response.remaining_current);
+      put_f64(out, response.remaining_candidate);
+      put_f64(out, response.migration_cost);
+      put_u64(out, response.moved_ranks);
+      put_u32(out, static_cast<std::uint32_t>(response.assignment.size()));
+      for (const std::uint32_t node : response.assignment) put_u32(out, node);
+      break;
+    }
+    case MsgType::kStatusResponse:
+      put_str32(out, response.status_json);
+      break;
+    default:
+      break;
+  }
+  patch_payload_len(out, start);
+}
+
+ResponseFrame make_error(std::uint64_t request_id, WireError error,
+                         std::string detail, server::FailReason reason,
+                         const CodecLimits& limits) {
+  ResponseFrame response;
+  response.type = MsgType::kError;
+  response.request_id = request_id;
+  response.error = error;
+  response.fail_reason = reason;
+  if (detail.size() > limits.max_detail) detail.resize(limits.max_detail);
+  response.detail = std::move(detail);
+  return response;
+}
+
+ResponseFrame response_from_result(std::uint64_t request_id,
+                                   MsgType request_type,
+                                   const server::JobResult& result,
+                                   const CodecLimits& limits) {
+  using server::JobState;
+  if (result.state != JobState::kDone) {
+    WireError error = WireError::kFailed;
+    if (result.state == JobState::kRejected) error = WireError::kRejected;
+    if (result.state == JobState::kCancelled) error = WireError::kCancelled;
+    return make_error(request_id, error, result.detail, result.fail_reason,
+                      limits);
+  }
+  ResponseFrame response;
+  response.type = response_for(request_type);
+  response.request_id = request_id;
+  response.degraded = result.degraded;
+  response.cache_hit = result.cache_hit;
+  response.snapshot_epoch = result.snapshot_epoch;
+  switch (request_type) {
+    case MsgType::kPredictRequest:
+      response.time = result.prediction.time;
+      break;
+    case MsgType::kCompareRequest:
+      response.predicted.assign(result.comparison.predicted.begin(),
+                                result.comparison.predicted.end());
+      response.best = static_cast<std::uint32_t>(result.comparison.best);
+      break;
+    case MsgType::kScheduleRequest: {
+      response.cost = result.schedule.cost;
+      response.evaluations =
+          static_cast<std::uint64_t>(result.schedule.evaluations);
+      const std::vector<NodeId>& nodes =
+          result.schedule.mapping.assignment();
+      response.assignment.reserve(nodes.size());
+      for (const NodeId node : nodes) response.assignment.push_back(node.value);
+      break;
+    }
+    case MsgType::kRemapRequest: {
+      response.beneficial = result.remap.beneficial;
+      response.remaining_current = result.remap.remaining_current;
+      response.remaining_candidate = result.remap.remaining_candidate;
+      response.migration_cost = result.remap.migration_cost;
+      response.moved_ranks =
+          static_cast<std::uint64_t>(result.remap.moved_ranks);
+      const std::vector<NodeId>& nodes = result.remap_candidate.assignment();
+      response.assignment.reserve(nodes.size());
+      for (const NodeId node : nodes) response.assignment.push_back(node.value);
+      break;
+    }
+    default:
+      break;  // status responses are built by the net server, not from jobs
+  }
+  return response;
+}
+
+}  // namespace cbes::net

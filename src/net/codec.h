@@ -1,0 +1,205 @@
+// Wire codec for the CBES front-end: a compact, versioned, length-prefixed
+// binary protocol carrying the server's predict/compare/schedule/remap/status
+// requests and their answers over a byte stream.
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bit
+// patterns — answers decoded from the wire are bit-identical to in-process
+// results):
+//
+//   offset size field
+//   0      4    magic 0x53454243 ("CBES" as bytes on the wire)
+//   4      1    protocol version (kWireVersion)
+//   5      1    message type (MsgType)
+//   6      2    reserved, must be zero
+//   8      8    request id (client-chosen, echoed verbatim on the response)
+//   16     4    payload length in bytes
+//   20     n    payload
+//
+// Every request payload starts with a common envelope — priority (u8) and
+// deadline budget in milliseconds (u32, 0 = unbounded) — so admission
+// control, the shedder, and deadline propagation govern wire traffic exactly
+// as they govern in-process submissions.
+//
+// Parsing discipline (the PR 4 hardened-parser rules): every read is bounds-
+// checked against the remaining payload, every count/length field is checked
+// against both CodecLimits and the bytes actually present *before* any
+// allocation is sized from it, trailing garbage after a well-formed payload
+// is an error, and a malformed frame yields a typed WireError — never a
+// crash, never an unbounded allocation. The mutation-corpus test in
+// tests/net_test.cpp holds the codec to that contract under ASan/UBSan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/job.h"
+
+namespace cbes::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x53454243u;  // "CBES" on the wire
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// Message types. Requests are 0x01..0x0F; responses mirror them at +0x10;
+/// kError answers any request that could not be served.
+enum class MsgType : std::uint8_t {
+  kPredictRequest = 0x01,
+  kCompareRequest = 0x02,
+  kScheduleRequest = 0x03,
+  kRemapRequest = 0x04,
+  kStatusRequest = 0x05,
+  kPredictResponse = 0x11,
+  kCompareResponse = 0x12,
+  kScheduleResponse = 0x13,
+  kRemapResponse = 0x14,
+  kStatusResponse = 0x15,
+  kError = 0x1F,
+};
+
+[[nodiscard]] constexpr bool is_request(MsgType t) noexcept {
+  return t >= MsgType::kPredictRequest && t <= MsgType::kStatusRequest;
+}
+[[nodiscard]] constexpr bool is_response(MsgType t) noexcept {
+  return (t >= MsgType::kPredictResponse && t <= MsgType::kStatusResponse) ||
+         t == MsgType::kError;
+}
+[[nodiscard]] constexpr MsgType response_for(MsgType request) noexcept {
+  return static_cast<MsgType>(static_cast<std::uint8_t>(request) + 0x10);
+}
+
+[[nodiscard]] std::string_view msg_type_name(MsgType t) noexcept;
+
+/// Typed decode/serve errors. kNone..kTrailingGarbage describe wire damage
+/// (the decode itself failed); kRejected..kShutdown relay a job outcome.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kBadMagic = 1,        ///< frame does not start with kWireMagic
+  kBadVersion = 2,      ///< protocol version this peer does not speak
+  kBadType = 3,         ///< unknown or out-of-place message type
+  kTooLarge = 4,        ///< payload length exceeds the receiver's limit
+  kMalformed = 5,       ///< payload truncated, overran, or field out of range
+  kLimit = 6,           ///< a count field exceeds the receiver's CodecLimits
+  kTrailingGarbage = 7, ///< bytes left over after a complete payload
+  kRejected = 8,        ///< admission control refused the job
+  kCancelled = 9,       ///< the job was cancelled (deadline or caller)
+  kFailed = 10,         ///< the job failed (detail + fail_reason say why)
+  kShutdown = 11,       ///< the server is shutting down
+};
+
+[[nodiscard]] std::string_view wire_error_name(WireError e) noexcept;
+
+/// Bounds every allocation a decode may size from wire-controlled fields.
+struct CodecLimits {
+  std::uint32_t max_payload = 1u << 20;     ///< frame payload bytes
+  std::uint32_t max_ranks = 1u << 16;       ///< mapping length
+  std::uint32_t max_candidates = 64;        ///< compare candidates
+  std::uint32_t max_pool_nodes = 1u << 17;  ///< schedule/remap pool size
+  std::uint32_t max_name = 256;             ///< app-name bytes
+  std::uint32_t max_detail = 4096;          ///< error-detail / status bytes
+};
+
+/// Parsed frame header. `payload_len` has already been checked against
+/// CodecLimits::max_payload when decode_header returns kNone.
+struct FrameHeader {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// Decodes the 20-byte header at `data` (`size` must be >= kHeaderBytes;
+/// callers buffer until then). Returns kNone and fills `header`, or the
+/// specific damage. A header-level error is not recoverable mid-stream: the
+/// connection cannot re-synchronize and must close after reporting it.
+[[nodiscard]] WireError decode_header(const std::uint8_t* data,
+                                      std::size_t size,
+                                      const CodecLimits& limits,
+                                      FrameHeader& header);
+
+/// One decoded request: the envelope plus exactly one active payload member
+/// (selected by `type`).
+struct RequestFrame {
+  MsgType type = MsgType::kPredictRequest;
+  std::uint64_t request_id = 0;
+  server::Priority priority = server::Priority::kNormal;
+  std::uint32_t deadline_ms = 0;
+  server::PredictRequest predict;
+  server::CompareRequest compare;
+  server::ScheduleRequest schedule;
+  server::RemapRequest remap;
+};
+
+/// Decodes a request payload. Returns kNone on success; on error `detail`
+/// carries a human-readable reason (bounded, safe to echo into an error
+/// frame). `header.type` must be a request type.
+[[nodiscard]] WireError decode_request(const FrameHeader& header,
+                                       const std::uint8_t* payload,
+                                       std::size_t size,
+                                       const CodecLimits& limits,
+                                       RequestFrame& out, std::string& detail);
+
+/// One response (or error) frame as the client sees it.
+struct ResponseFrame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  // kError payload.
+  WireError error = WireError::kNone;
+  server::FailReason fail_reason = server::FailReason::kNone;
+  std::string detail;
+  // Common result envelope (all non-error responses).
+  bool degraded = false;
+  bool cache_hit = false;
+  bool coalesced = false;  ///< folded into another in-flight identical job
+  std::uint64_t snapshot_epoch = 0;
+  // kPredictResponse.
+  double time = 0.0;
+  // kCompareResponse.
+  std::vector<double> predicted;
+  std::uint32_t best = 0;
+  // kScheduleResponse (+ remap candidate mapping).
+  std::vector<std::uint32_t> assignment;  ///< rank -> node index
+  double cost = 0.0;
+  std::uint64_t evaluations = 0;
+  // kRemapResponse.
+  bool beneficial = false;
+  double remaining_current = 0.0;
+  double remaining_candidate = 0.0;
+  double migration_cost = 0.0;
+  std::uint64_t moved_ranks = 0;
+  // kStatusResponse.
+  std::string status_json;
+};
+
+/// Decodes a response payload (client side; same hardening rules).
+[[nodiscard]] WireError decode_response(const FrameHeader& header,
+                                        const std::uint8_t* payload,
+                                        std::size_t size,
+                                        const CodecLimits& limits,
+                                        ResponseFrame& out,
+                                        std::string& detail);
+
+// ---- encoding --------------------------------------------------------------
+// Encoders append one complete frame (header + payload) to `out`. They never
+// fail: lengths come from in-memory structures the caller already bounded.
+
+void encode_request(const RequestFrame& request, std::vector<std::uint8_t>& out);
+void encode_response(const ResponseFrame& response,
+                     std::vector<std::uint8_t>& out);
+
+/// Builds an error response for `request_id`. `detail` is truncated to
+/// `limits.max_detail` so a hostile detail string cannot balloon a frame.
+[[nodiscard]] ResponseFrame make_error(std::uint64_t request_id, WireError error,
+                                       std::string detail,
+                                       server::FailReason reason,
+                                       const CodecLimits& limits);
+
+/// Maps a terminal job result onto the wire: kDone becomes the matching
+/// response type, everything else an error frame with the job's detail.
+[[nodiscard]] ResponseFrame response_from_result(std::uint64_t request_id,
+                                                 MsgType request_type,
+                                                 const server::JobResult& result,
+                                                 const CodecLimits& limits);
+
+}  // namespace cbes::net

@@ -1,0 +1,275 @@
+#include "net/connection.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cbes::net {
+
+Connection::Connection(EventLoop& loop, int fd, std::uint64_t id,
+                       std::string peer, const ConnectionConfig& config,
+                       NetCounters& counters, Hooks hooks)
+    : loop_(loop),
+      fd_(fd),
+      id_(id),
+      peer_(std::move(peer)),
+      config_(config),
+      counters_(counters),
+      hooks_(std::move(hooks)),
+      last_activity_(std::chrono::steady_clock::now()) {
+  CBES_CHECK_MSG(fd_ >= 0, "Connection: negative fd");
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::start() {
+  interest_ = EPOLLIN;
+  loop_.add_fd(fd_, interest_,
+               [this](std::uint32_t events) { handle_io(events); });
+}
+
+void Connection::handle_io(std::uint32_t events) {
+  if (state_ == State::kClosed) return;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close("socket error/hangup");
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) on_writable();
+  if (state_ == State::kClosed) return;
+  if ((events & EPOLLIN) != 0) on_readable();
+}
+
+void Connection::on_readable() {
+  if (state_ != State::kOpen) return;
+  for (;;) {
+    const std::size_t old_size = read_buf_.size();
+    read_buf_.resize(old_size + config_.read_chunk);
+    const ssize_t n =
+        ::read(fd_, read_buf_.data() + old_size, config_.read_chunk);
+    if (n > 0) {
+      read_buf_.resize(old_size + static_cast<std::size_t>(n));
+      counters_.rx_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      last_activity_ = std::chrono::steady_clock::now();
+      parse_frames();
+      if (state_ != State::kOpen) return;
+      if (static_cast<std::size_t>(n) < config_.read_chunk) break;
+      continue;
+    }
+    read_buf_.resize(old_size);
+    if (n == 0) {
+      close("peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close("read error");
+    return;
+  }
+  update_interest();
+}
+
+void Connection::parse_frames() {
+  for (;;) {
+    if (inflight_ >= config_.max_inflight) break;  // reads pause below
+    const std::size_t buffered = read_buf_.size() - read_off_;
+    if (buffered < kHeaderBytes) break;
+    const std::uint8_t* base = read_buf_.data() + read_off_;
+    FrameHeader header;
+    const WireError header_error =
+        decode_header(base, buffered, config_.limits, header);
+    if (header_error != WireError::kNone) {
+      // A bad header means the stream cannot be re-synchronized: report,
+      // answer with a typed error frame, and close once it flushes. The
+      // request id is best-effort (parsed before validation).
+      protocol_error(header.request_id, header_error,
+                     std::string(wire_error_name(header_error)));
+      return;
+    }
+    const std::size_t frame_bytes = kHeaderBytes + header.payload_len;
+    if (buffered < frame_bytes) break;  // wait for the rest of the payload
+    RequestFrame request;
+    std::string detail;
+    const WireError body_error =
+        decode_request(header, base + kHeaderBytes, header.payload_len,
+                       config_.limits, request, detail);
+    if (body_error != WireError::kNone) {
+      protocol_error(header.request_id, body_error, std::move(detail));
+      return;
+    }
+    read_off_ += frame_bytes;
+    counters_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+    hooks_.on_request(*this, std::move(request));
+    if (state_ != State::kOpen) return;
+  }
+  // Compact the consumed prefix so the buffer never grows past one partial
+  // frame plus whatever a single read burst appended.
+  if (read_off_ > 0) {
+    read_buf_.erase(read_buf_.begin(),
+                    read_buf_.begin() + static_cast<std::ptrdiff_t>(read_off_));
+    read_off_ = 0;
+  }
+}
+
+void Connection::protocol_error(std::uint64_t request_id, WireError error,
+                                std::string detail) {
+  counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  if (hooks_.on_protocol_error) hooks_.on_protocol_error(*this, error, detail);
+  send_error(request_id, error, std::move(detail));
+  shutdown_after_flush("protocol error");
+}
+
+void Connection::send(const ResponseFrame& response) {
+  if (state_ == State::kClosed) return;
+  encode_response(response, write_buf_);
+  counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  flush();
+  if (state_ == State::kClosed) return;
+  if (write_buf_.size() - write_off_ >= config_.write_high_watermark) {
+    enter_backpressure();
+  }
+  update_interest();
+}
+
+void Connection::send_error(std::uint64_t request_id, WireError error,
+                            std::string detail, server::FailReason reason) {
+  send(make_error(request_id, error, std::move(detail), reason,
+                  config_.limits));
+}
+
+void Connection::shutdown_after_flush(const char* reason) {
+  if (state_ != State::kOpen) return;
+  state_ = State::kClosing;
+  if (write_buf_.size() == write_off_) {
+    close(reason);
+    return;
+  }
+  update_interest();
+}
+
+void Connection::close(const char* reason) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  if (backpressured_) {
+    backpressured_ = false;
+    counters_.backpressured_now.fetch_sub(1, std::memory_order_relaxed);
+  }
+  loop_.del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (hooks_.on_closed) hooks_.on_closed(*this, reason);
+}
+
+void Connection::on_writable() {
+  flush();
+  if (state_ == State::kClosed) return;
+  if (state_ == State::kClosing && write_buf_.size() == write_off_) {
+    close("flushed");
+    return;
+  }
+  maybe_exit_backpressure();
+  update_interest();
+}
+
+void Connection::flush() {
+  while (write_off_ < write_buf_.size()) {
+    const ssize_t n = ::write(fd_, write_buf_.data() + write_off_,
+                              write_buf_.size() - write_off_);
+    if (n > 0) {
+      write_off_ += static_cast<std::size_t>(n);
+      counters_.tx_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      last_activity_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close("write error");
+    return;
+  }
+  if (write_off_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_off_ = 0;
+  } else if (write_off_ >= config_.write_low_watermark) {
+    write_buf_.erase(
+        write_buf_.begin(),
+        write_buf_.begin() + static_cast<std::ptrdiff_t>(write_off_));
+    write_off_ = 0;
+  }
+}
+
+void Connection::job_started() {
+  ++inflight_;
+  if (state_ == State::kOpen) update_interest();
+}
+
+void Connection::job_finished() {
+  CBES_CHECK_MSG(inflight_ > 0, "job_finished without job_started");
+  --inflight_;
+  if (state_ == State::kOpen) {
+    schedule_parse_kick();
+    update_interest();
+  }
+}
+
+void Connection::schedule_parse_kick() {
+  if (kick_scheduled_) return;
+  if (state_ != State::kOpen) return;
+  if (inflight_ >= config_.max_inflight || backpressured_) return;
+  if (read_buf_.size() - read_off_ < kHeaderBytes) return;
+  kick_scheduled_ = true;
+  // Lifetime: connection destruction is itself a posted task queued strictly
+  // after this one (see the owner's on_closed), so `this` is valid whenever
+  // the kick runs; a kick that outlives the loop is destroyed unrun.
+  loop_.post([this] {
+    kick_scheduled_ = false;
+    if (state_ != State::kOpen) return;
+    parse_frames();
+    if (state_ == State::kOpen) update_interest();
+  });
+}
+
+bool Connection::idle_expired(
+    std::chrono::steady_clock::time_point now) const noexcept {
+  if (config_.idle_timeout.count() <= 0) return false;
+  if (state_ != State::kOpen) return false;
+  if (inflight_ > 0) return false;  // quiet is fine while work is running
+  return now - last_activity_ >= config_.idle_timeout;
+}
+
+void Connection::enter_backpressure() {
+  if (backpressured_) return;
+  backpressured_ = true;
+  counters_.backpressure_events.fetch_add(1, std::memory_order_relaxed);
+  counters_.backpressured_now.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Connection::maybe_exit_backpressure() {
+  if (!backpressured_) return;
+  if (write_buf_.size() - write_off_ > config_.write_low_watermark) return;
+  backpressured_ = false;
+  counters_.backpressured_now.fetch_sub(1, std::memory_order_relaxed);
+  schedule_parse_kick();  // frames may have buffered while reads were paused
+}
+
+void Connection::update_interest() {
+  if (state_ == State::kClosed) return;
+  std::uint32_t want = 0;
+  const bool reads_paused = backpressured_ ||
+                            inflight_ >= config_.max_inflight ||
+                            state_ != State::kOpen;
+  if (!reads_paused) want |= EPOLLIN;
+  if (write_off_ < write_buf_.size()) want |= EPOLLOUT;
+  if (want != interest_) {
+    interest_ = want;
+    loop_.mod_fd(fd_, want);
+  }
+}
+
+}  // namespace cbes::net

@@ -1,0 +1,171 @@
+// One client connection of the wire front-end: a nonblocking state machine
+// over a stream socket that buffers reads until whole frames arrive, decodes
+// them with the hardened codec, and buffers encoded responses out with
+// write-backpressure.
+//
+// State machine (all transitions on the event-loop thread):
+//
+//   kOpen ──protocol error──> kClosing (error frame queued, reads stopped,
+//     │                          │       close when the write buffer drains)
+//     │                          v
+//     └───────peer close/error──────────> kClosed (fd closed, on_closed fired)
+//
+// Flow control:
+//   * reads pause (EPOLLIN dropped) while decoded-but-unanswered requests
+//     are at max_inflight, or while the write buffer is above the high
+//     watermark — a slow reader cannot balloon server memory;
+//   * writes buffer on EAGAIN and re-arm EPOLLOUT; crossing the high
+//     watermark raises backpressure (counted + hook), dropping below the low
+//     watermark clears it;
+//   * a connection idle (no bytes, no inflight work) past idle_timeout is
+//     closed by the owner's tick sweep via idle_expired().
+//
+// Byte counters are atomics: the loop thread writes them, statusz reads them
+// from arbitrary threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/event_loop.h"
+
+namespace cbes::net {
+
+/// Per-connection tuning; embedded in NetConfig.
+struct ConnectionConfig {
+  CodecLimits limits;
+  /// Bytes per read() attempt.
+  std::size_t read_chunk = 64 * 1024;
+  /// Write buffer size that raises backpressure (pauses reads).
+  std::size_t write_high_watermark = 256 * 1024;
+  /// Write buffer size that clears backpressure again.
+  std::size_t write_low_watermark = 64 * 1024;
+  /// Decoded requests awaiting responses before reads pause.
+  std::size_t max_inflight = 128;
+  /// Close a connection with no traffic and no inflight work for this long;
+  /// zero = never.
+  std::chrono::milliseconds idle_timeout{0};
+};
+
+/// Aggregate wire counters shared by every connection of one NetServer.
+/// Atomics: written from the loop thread, read by statusz from any thread.
+struct NetCounters {
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> connections_open{0};
+  std::atomic<std::uint64_t> rx_bytes{0};
+  std::atomic<std::uint64_t> tx_bytes{0};
+  std::atomic<std::uint64_t> frames_rx{0};
+  std::atomic<std::uint64_t> frames_tx{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> backpressure_events{0};
+  std::atomic<std::uint64_t> backpressured_now{0};
+  std::atomic<std::uint64_t> idle_closed{0};
+  std::atomic<std::uint64_t> coalesce_hits{0};
+  std::atomic<std::uint64_t> coalesce_leaders{0};
+};
+
+class Connection {
+ public:
+  struct Hooks {
+    /// One decoded request (loop thread). The receiver submits the job and
+    /// calls job_started()/job_finished() around its lifetime.
+    std::function<void(Connection&, RequestFrame&&)> on_request;
+    /// The connection reached kClosed; the owner destroys it (deferred — the
+    /// call may arrive from inside another Connection callback).
+    std::function<void(Connection&, const char* reason)> on_closed;
+    /// A frame failed to decode (before the error frame is queued).
+    std::function<void(Connection&, WireError, const std::string& detail)>
+        on_protocol_error;
+  };
+
+  /// Takes ownership of `fd` (nonblocking). `counters` must outlive the
+  /// connection.
+  Connection(EventLoop& loop, int fd, std::uint64_t id, std::string peer,
+             const ConnectionConfig& config, NetCounters& counters,
+             Hooks hooks);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers with the event loop. Loop thread (or before run()).
+  void start();
+
+  // ---- response path (loop thread) ------------------------------------------
+  /// Encodes and queues one response frame, flushing opportunistically.
+  void send(const ResponseFrame& response);
+  /// Queues a typed error frame for `request_id`.
+  void send_error(std::uint64_t request_id, WireError error,
+                  std::string detail,
+                  server::FailReason reason = server::FailReason::kNone);
+  /// Stops reading and closes once the write buffer drains (error path,
+  /// server shutdown).
+  void shutdown_after_flush(const char* reason);
+  /// Closes immediately, dropping any unflushed output.
+  void close(const char* reason);
+
+  // ---- inflight accounting (loop thread) ------------------------------------
+  void job_started();
+  void job_finished();
+
+  [[nodiscard]] bool closed() const noexcept { return state_ == State::kClosed; }
+  /// True when the idle sweep should close this connection at `now`.
+  [[nodiscard]] bool idle_expired(
+      std::chrono::steady_clock::time_point now) const noexcept;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& peer() const noexcept { return peer_; }
+  [[nodiscard]] std::size_t inflight() const noexcept { return inflight_; }
+  [[nodiscard]] bool backpressured() const noexcept { return backpressured_; }
+
+ private:
+  enum class State : unsigned char { kOpen, kClosing, kClosed };
+
+  void handle_io(std::uint32_t events);
+  void on_readable();
+  void on_writable();
+  /// Decodes every complete frame in the read buffer (stopping at the
+  /// inflight cap); closes on protocol damage.
+  void parse_frames();
+  void protocol_error(std::uint64_t request_id, WireError error,
+                      std::string detail);
+  /// Writes as much buffered output as the socket accepts.
+  void flush();
+  /// Recomputes the epoll interest mask from the pause/write state.
+  void update_interest();
+  void enter_backpressure();
+  void maybe_exit_backpressure();
+  /// Frames already buffered while reads were paused (inflight cap or
+  /// backpressure) are invisible to epoll — when capacity frees up, a posted
+  /// task resumes parsing them. Deferred so completion fan-out never
+  /// re-enters parse_frames mid-iteration.
+  void schedule_parse_kick();
+
+  EventLoop& loop_;
+  int fd_;
+  const std::uint64_t id_;
+  const std::string peer_;
+  const ConnectionConfig& config_;
+  NetCounters& counters_;
+  Hooks hooks_;
+
+  State state_ = State::kOpen;
+  std::uint32_t interest_ = 0;
+
+  std::vector<std::uint8_t> read_buf_;
+  std::size_t read_off_ = 0;  ///< consumed prefix of read_buf_
+  std::vector<std::uint8_t> write_buf_;
+  std::size_t write_off_ = 0;  ///< flushed prefix of write_buf_
+
+  std::size_t inflight_ = 0;
+  bool backpressured_ = false;
+  bool kick_scheduled_ = false;  ///< a parse-resume task is already posted
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace cbes::net

@@ -1,0 +1,175 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "net/net_error.h"
+
+namespace cbes::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, IoHandler handler) {
+  CBES_CHECK_MSG(fd >= 0, "add_fd: negative fd");
+  CBES_CHECK_MSG(handlers_.find(fd) == handlers_.end(),
+                 "add_fd: fd already registered");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(add)");
+  }
+  handlers_.emplace(fd, std::make_shared<IoHandler>(std::move(handler)));
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(mod)");
+  }
+}
+
+void EventLoop::del_fd(int fd) {
+  handlers_.erase(fd);
+  // The fd may already be closed by the caller's error path; ignore ENOENT
+  // and EBADF rather than turning teardown into a throw.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    const std::lock_guard lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  {
+    const std::lock_guard lock(tasks_mu_);
+    stop_requested_ = true;
+  }
+  wake();
+}
+
+void EventLoop::set_tick(std::function<void()> tick,
+                         std::chrono::milliseconds period) {
+  tick_ = std::move(tick);
+  tick_period_ = period;
+}
+
+void EventLoop::run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  auto next_tick = std::chrono::steady_clock::now() + tick_period_;
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    {
+      const std::lock_guard lock(tasks_mu_);
+      if (stop_requested_) break;
+    }
+    int timeout_ms = -1;
+    if (tick_ && tick_period_.count() > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= next_tick) {
+        tick_();
+        next_tick = now + tick_period_;
+      }
+      const auto until =
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_tick -
+                                                                now);
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(until.count(), 0));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[static_cast<std::size_t>(i)];
+      if (ev.data.fd == wake_fd_) {
+        drain_wake();
+        continue;
+      }
+      // Fresh lookup per event: a handler earlier in this batch may have
+      // del_fd()ed this fd, in which case the event is stale and skipped.
+      const auto it = handlers_.find(ev.data.fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<IoHandler> handler = it->second;
+      (*handler)(ev.events);
+    }
+    run_posted();
+    if (n == static_cast<int>(events.size())) {
+      events.resize(events.size() * 2);
+    }
+  }
+  run_posted();  // drain tasks posted just before stop()
+  loop_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+}
+
+bool EventLoop::in_loop_thread() const noexcept {
+  return loop_thread_.load(std::memory_order_relaxed) ==
+         std::this_thread::get_id();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; short writes cannot happen
+  // for 8-byte eventfd writes.
+  (void)::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wake() const {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard lock(tasks_mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+}  // namespace cbes::net

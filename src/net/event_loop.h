@@ -1,0 +1,90 @@
+// Single-threaded epoll event loop for the wire front-end.
+//
+// Threading model: exactly one thread calls run(); every fd handler, posted
+// task, and tick callback executes on that thread, so connection state needs
+// no locks. The only cross-thread entry points are post() and stop(), which
+// enqueue under a small mutex and wake the loop through an eventfd — this is
+// how worker-thread job completions re-enter the loop.
+//
+// Handler lifetime: handlers are looked up fresh for every ready event, so a
+// handler that del_fd()s another fd (or its own) during a batch simply makes
+// the stale event a no-op — no use-after-free window across one epoll_wait
+// batch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace cbes::net {
+
+class EventLoop {
+ public:
+  /// Receives the ready EPOLL* event mask for its fd.
+  using IoHandler = std::function<void(std::uint32_t)>;
+
+  /// Throws NetError when epoll/eventfd setup fails.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // ---- fd registration (loop thread, or any thread before run()) -----------
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The loop does not
+  /// own the fd; callers close it after del_fd().
+  void add_fd(int fd, std::uint32_t events, IoHandler handler);
+  /// Changes the interest mask of a registered fd.
+  void mod_fd(int fd, std::uint32_t events);
+  /// Unregisters `fd`; pending events for it in the current batch are
+  /// dropped. The caller closes the fd.
+  void del_fd(int fd);
+
+  // ---- cross-thread entry points --------------------------------------------
+  /// Enqueues `task` to run on the loop thread (after the current event
+  /// batch) and wakes the loop. Safe from any thread, including the loop
+  /// thread itself.
+  void post(std::function<void()> task);
+  /// Makes run() return after finishing the current batch. Safe from any
+  /// thread; idempotent.
+  void stop();
+
+  // ---- loop control (loop thread / owner) -----------------------------------
+  /// Installs a periodic callback driven by the epoll_wait timeout (idle
+  /// sweeps, counter syncs). Call before run(). Zero period disables.
+  void set_tick(std::function<void()> tick, std::chrono::milliseconds period);
+  /// Runs until stop(). The calling thread becomes the loop thread.
+  void run();
+
+  /// True when called from the thread currently inside run().
+  [[nodiscard]] bool in_loop_thread() const noexcept;
+
+ private:
+  void wake();
+  void drain_wake() const;
+  void run_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  /// Registered handlers; shared_ptr so a handler erased mid-batch keeps the
+  /// currently executing callable alive. Loop thread only (after run()).
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+
+  std::function<void()> tick_;
+  std::chrono::milliseconds tick_period_{0};
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;  // guarded by tasks_mu_
+  bool stop_requested_ = false;               // guarded by tasks_mu_
+
+  std::atomic<std::thread::id> loop_thread_{};
+};
+
+}  // namespace cbes::net

@@ -1,0 +1,93 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/net_error.h"
+
+namespace cbes::net {
+
+namespace {
+
+std::string peer_name(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip)) == nullptr) {
+    return "?";
+  }
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+Listener::Listener(const std::string& host, std::uint16_t port)
+    : host_(host) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("listen " + host + ": not an IPv4 address");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw NetError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("bind " + host + ":" + std::to_string(port) + ": " +
+                   reason);
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("listen " + host + ":" + std::to_string(port) + ": " +
+                   reason);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("getsockname: " + reason);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Listener::accept_ready(
+    const std::function<void(int, std::string)>& on_accept) {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept4(fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Transient resource exhaustion (EMFILE et al.): stop the burst; the
+      // backlog keeps the connection until fds free up.
+      return;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    on_accept(fd, peer_name(peer));
+  }
+}
+
+}  // namespace cbes::net

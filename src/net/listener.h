@@ -1,0 +1,40 @@
+// Listening socket for the wire front-end: bind + listen at construction
+// (throwing NetError with a clear message on failure — the CLI turns that
+// into a nonzero exit), then nonblocking accept4 bursts driven by the event
+// loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cbes::net {
+
+class Listener {
+ public:
+  /// Binds `host:port` (IPv4 dotted quad; port 0 picks an ephemeral port)
+  /// and listens. Throws NetError on resolve/bind/listen failure.
+  Listener(const std::string& host, std::uint16_t port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// The bound port (the kernel's pick when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+
+  /// Accepts until EAGAIN; each accepted fd arrives nonblocking with
+  /// TCP_NODELAY set, together with its "ip:port" peer name. Call from the
+  /// loop thread when the listening fd is readable.
+  void accept_ready(
+      const std::function<void(int fd, std::string peer)>& on_accept);
+
+ private:
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace cbes::net

@@ -1,0 +1,309 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/net_error.h"
+
+namespace cbes::net {
+
+namespace {
+
+[[nodiscard]] double quantile_ms(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+WireClient::WireClient(const std::string& host, std::uint16_t port,
+                       CodecLimits limits)
+    : limits_(limits) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("connect " + host + ": not an IPv4 address");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw NetError("socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("connect " + host + ":" + std::to_string(port) + ": " +
+                   reason);
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+WireClient::~WireClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WireClient::send(const RequestFrame& request) {
+  std::vector<std::uint8_t> frame;
+  encode_request(request, frame);
+  send_raw(frame);
+}
+
+void WireClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw NetError("send: " + std::string(std::strerror(errno)));
+  }
+  tx_bytes_ += bytes.size();
+}
+
+ResponseFrame WireClient::recv() {
+  for (;;) {
+    const std::size_t buffered = buf_.size() - off_;
+    if (buffered >= kHeaderBytes) {
+      FrameHeader header;
+      const WireError header_error =
+          decode_header(buf_.data() + off_, buffered, limits_, header);
+      if (header_error != WireError::kNone) {
+        throw NetError("recv: bad frame header (" +
+                       std::string(wire_error_name(header_error)) + ")");
+      }
+      const std::size_t frame_bytes = kHeaderBytes + header.payload_len;
+      if (buffered >= frame_bytes) {
+        ResponseFrame response;
+        std::string detail;
+        const WireError body_error = decode_response(
+            header, buf_.data() + off_ + kHeaderBytes, header.payload_len,
+            limits_, response, detail);
+        if (body_error != WireError::kNone) {
+          throw NetError("recv: bad response payload (" + detail + ")");
+        }
+        off_ += frame_bytes;
+        if (off_ == buf_.size()) {
+          buf_.clear();
+          off_ = 0;
+        }
+        return response;
+      }
+    }
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + 64 * 1024);
+    const ssize_t n = ::read(fd_, buf_.data() + old_size, 64 * 1024);
+    if (n > 0) {
+      buf_.resize(old_size + static_cast<std::size_t>(n));
+      rx_bytes_ += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    buf_.resize(old_size);
+    if (n == 0) throw NetError("recv: connection closed by server");
+    if (errno == EINTR) continue;
+    throw NetError("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+ResponseFrame WireClient::call(const RequestFrame& request) {
+  send(request);
+  return recv();
+}
+
+namespace {
+
+/// Per-thread run state merged into the report at the end.
+struct ThreadResult {
+  LoadGenReport partial;
+  std::vector<double> latencies_ms;
+};
+
+/// Mixes one answered double into the checksum, keyed by request id (and
+/// position, for compare vectors) so identical answers cannot cancel.
+void mix_answer(std::uint64_t key, double value, LoadGenReport& report) {
+  report.answer_checksum +=
+      std::bit_cast<std::uint64_t>(value) ^ (key * 0x9E3779B97F4A7C15ULL);
+}
+
+void classify(const ResponseFrame& response, LoadGenReport& report) {
+  if (response.type != MsgType::kError) {
+    ++report.completed;
+    if (response.coalesced) ++report.coalesced;
+    if (response.type == MsgType::kPredictResponse) {
+      mix_answer(response.request_id, response.time, report);
+    }
+    if (response.type == MsgType::kCompareResponse) {
+      for (std::size_t i = 0; i < response.predicted.size(); ++i) {
+        mix_answer(response.request_id + (i + 1), response.predicted[i],
+                   report);
+      }
+    }
+    return;
+  }
+  switch (response.error) {
+    case WireError::kRejected:
+      ++report.rejected;
+      break;
+    case WireError::kCancelled:
+      ++report.cancelled;
+      break;
+    case WireError::kFailed:
+      if (response.fail_reason == server::FailReason::kShed) {
+        ++report.shed;
+      } else {
+        ++report.failed;
+      }
+      break;
+    default:
+      ++report.failed;
+      break;
+  }
+}
+
+void loadgen_thread(const LoadGenOptions& options, std::size_t index,
+                    ThreadResult& out) {
+  using Clock = std::chrono::steady_clock;
+  LoadGenReport& report = out.partial;
+  try {
+    WireClient client(options.host, options.port, options.limits);
+    Rng rng(options.seed + 0x9E3779B97F4A7C15ULL * (index + 1));
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point stop_offering =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(options.duration_s));
+    std::unordered_map<std::uint64_t, Clock::time_point> outstanding;
+    std::uint64_t next_id = 1;
+
+    const auto can_offer = [&] {
+      if (options.requests_per_connection != 0) {
+        return report.submitted < options.requests_per_connection;
+      }
+      return Clock::now() < stop_offering;
+    };
+    const auto offer_one = [&] {
+      RequestFrame request;
+      request.request_id = next_id++;
+      request.deadline_ms = options.deadline_ms;
+      request.priority =
+          options.mixed_priority
+              ? static_cast<server::Priority>(request.request_id %
+                                              server::kPriorityClasses)
+              : server::Priority::kNormal;
+      const bool compare = options.mappings.size() > 1 &&
+                           rng.uniform() < options.compare_fraction;
+      if (compare) {
+        request.type = MsgType::kCompareRequest;
+        request.compare.app = options.app;
+        request.compare.now = options.now;
+        request.compare.candidates = options.mappings;
+      } else {
+        request.type = MsgType::kPredictRequest;
+        request.predict.app = options.app;
+        request.predict.now = options.now;
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform() * static_cast<double>(options.mappings.size()));
+        request.predict.mapping =
+            options.mappings[std::min(pick, options.mappings.size() - 1)];
+      }
+      client.send(request);
+      outstanding.emplace(request.request_id, Clock::now());
+      ++report.submitted;
+    };
+    const auto settle_one = [&] {
+      const ResponseFrame response = client.recv();
+      const Clock::time_point done = Clock::now();
+      const auto it = outstanding.find(response.request_id);
+      if (it != outstanding.end()) {
+        out.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(done - it->second)
+                .count());
+        outstanding.erase(it);
+      }
+      classify(response, report);
+    };
+
+    while (can_offer()) {
+      while (outstanding.size() < options.pipeline && can_offer()) {
+        offer_one();
+      }
+      if (outstanding.empty()) break;
+      settle_one();
+    }
+    while (!outstanding.empty()) settle_one();
+    report.elapsed_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    report.tx_bytes = client.tx_bytes();
+    report.rx_bytes = client.rx_bytes();
+  } catch (const NetError&) {
+    ++report.transport_errors;
+  }
+}
+
+}  // namespace
+
+LoadGenReport run_loadgen(const LoadGenOptions& options) {
+  CBES_CHECK_MSG(!options.mappings.empty(), "loadgen needs candidate mappings");
+  CBES_CHECK_MSG(options.connections >= 1, "loadgen needs a connection");
+  CBES_CHECK_MSG(options.pipeline >= 1, "loadgen needs pipeline depth >= 1");
+  std::vector<ThreadResult> results(options.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    threads.emplace_back(
+        [&options, i, &results] { loadgen_thread(options, i, results[i]); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadGenReport report;
+  std::vector<double> latencies;
+  for (const ThreadResult& r : results) {
+    report.submitted += r.partial.submitted;
+    report.completed += r.partial.completed;
+    report.coalesced += r.partial.coalesced;
+    report.rejected += r.partial.rejected;
+    report.shed += r.partial.shed;
+    report.cancelled += r.partial.cancelled;
+    report.failed += r.partial.failed;
+    report.transport_errors += r.partial.transport_errors;
+    report.tx_bytes += r.partial.tx_bytes;
+    report.rx_bytes += r.partial.rx_bytes;
+    report.elapsed_s = std::max(report.elapsed_s, r.partial.elapsed_s);
+    report.answer_checksum += r.partial.answer_checksum;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_ms = quantile_ms(latencies, 0.50);
+  report.p99_ms = quantile_ms(latencies, 0.99);
+  if (report.elapsed_s > 0.0) {
+    report.offered_rps =
+        static_cast<double>(report.submitted) / report.elapsed_s;
+    report.goodput_rps =
+        static_cast<double>(report.completed) / report.elapsed_s;
+  }
+  return report;
+}
+
+}  // namespace cbes::net

@@ -1,0 +1,112 @@
+// Load-generator client for the wire front-end: N blocking-socket client
+// threads, each pipelining mixed-priority predict/compare requests at one
+// NetServer until a duration or request budget runs out, measuring per-
+// request latency at the client. Drives the server to saturation over
+// loopback — the harness behind bench_net_throughput and the CI net-smoke
+// step (`cbes_cli loadgen`).
+//
+// WireClient is the minimal synchronous client the loadgen threads (and the
+// e2e tests) are built from: one connection, blocking call() round-trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+
+namespace cbes::net {
+
+/// One blocking client connection. Not thread-safe; one per thread.
+class WireClient {
+ public:
+  /// Connects (throws NetError on failure).
+  WireClient(const std::string& host, std::uint16_t port,
+             CodecLimits limits = {});
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Encodes and writes one request frame (blocking).
+  void send(const RequestFrame& request);
+  /// Writes raw bytes as-is — how the hardening tests deliver frames no
+  /// encoder would produce.
+  void send_raw(const std::vector<std::uint8_t>& bytes);
+  /// Blocks until one whole response frame arrives and decodes it. Throws
+  /// NetError on connection loss or an undecodable response.
+  [[nodiscard]] ResponseFrame recv();
+  /// send() + recv() — valid only with no other requests outstanding.
+  [[nodiscard]] ResponseFrame call(const RequestFrame& request);
+
+  [[nodiscard]] std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
+
+ private:
+  int fd_ = -1;
+  CodecLimits limits_;
+  std::vector<std::uint8_t> buf_;  ///< bytes received, not yet decoded
+  std::size_t off_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Client threads, one connection each.
+  std::size_t connections = 4;
+  /// Outstanding (pipelined) requests per connection.
+  std::size_t pipeline = 8;
+  /// Stop offering new requests after this long; outstanding ones drain.
+  double duration_s = 2.0;
+  /// When nonzero, each connection offers exactly this many requests and
+  /// `duration_s` is ignored.
+  std::uint64_t requests_per_connection = 0;
+  /// Deadline stamped on every request envelope; 0 = unbounded.
+  std::uint32_t deadline_ms = 0;
+  /// Seed for the per-thread request mix streams.
+  std::uint64_t seed = 1;
+  std::string app;
+  /// Candidate mappings requests draw from (must be non-empty).
+  std::vector<Mapping> mappings;
+  /// Fraction of requests that are compares over all mappings (rest are
+  /// single predictions).
+  double compare_fraction = 0.0;
+  /// Rotate priorities interactive/normal/batch per request; false = all
+  /// normal.
+  bool mixed_priority = true;
+  /// Simulated request time stamped on every payload.
+  double now = 0.0;
+  CodecLimits limits;
+};
+
+struct LoadGenReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< answered with a result frame
+  std::uint64_t coalesced = 0;  ///< completed answers flagged coalesced
+  std::uint64_t rejected = 0;   ///< kRejected error frames (admission)
+  std::uint64_t shed = 0;       ///< kFailed + FailReason::kShed (brown-out)
+  std::uint64_t cancelled = 0;  ///< kCancelled error frames (deadline)
+  std::uint64_t failed = 0;     ///< other error frames
+  std::uint64_t transport_errors = 0;  ///< connections lost mid-run
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+  double elapsed_s = 0.0;
+  double offered_rps = 0.0;  ///< submitted / elapsed
+  double goodput_rps = 0.0;  ///< completed / elapsed
+  double p50_ms = 0.0;       ///< completed-request latency quantiles
+  double p99_ms = 0.0;
+  /// Order-independent checksum over the answer stream: a wrapping sum of
+  /// each predicted time's IEEE-754 bit pattern mixed with its request id,
+  /// so repeated identical answers cannot cancel out. Two runs with the same
+  /// seed and request budget produce the same value iff every answer is
+  /// bit-identical.
+  std::uint64_t answer_checksum = 0;
+};
+
+/// Runs the load; blocks until every thread drains. Throws ContractError on
+/// unusable options, NetError when no connection can be established.
+[[nodiscard]] LoadGenReport run_loadgen(const LoadGenOptions& options);
+
+}  // namespace cbes::net

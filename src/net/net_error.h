@@ -1,0 +1,17 @@
+// The one exception type the wire front-end throws for socket-layer
+// failures: bind/listen/connect errors, epoll setup, resource exhaustion.
+// Protocol damage never throws — it becomes a typed WireError frame and a
+// closed connection (see codec.h).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbes::net {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace cbes::net

@@ -1,0 +1,411 @@
+#include "net/net_server.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "net/net_error.h"
+#include "server/status.h"
+
+namespace cbes::net {
+
+namespace {
+
+/// The simulated time a request frame refers to.
+[[nodiscard]] Seconds frame_now(const RequestFrame& request) noexcept {
+  switch (request.type) {
+    case MsgType::kPredictRequest: return request.predict.now;
+    case MsgType::kCompareRequest: return request.compare.now;
+    case MsgType::kScheduleRequest: return request.schedule.now;
+    case MsgType::kRemapRequest: return request.remap.now;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+NetServer::NetServer(server::CbesServer& server, NetConfig config)
+    : server_(&server),
+      config_(std::move(config)),
+      loop_(std::make_shared<EventLoop>()),
+      listener_(config_.host, config_.port) {
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m_connections_total_ = &m.counter("cbes_net_connections_total",
+                                      "wire connections accepted");
+    m_connections_open_ =
+        &m.gauge("cbes_net_connections_open", "wire connections currently open");
+    m_backpressured_ = &m.gauge("cbes_net_backpressured",
+                                "connections currently write-backpressured");
+    m_rx_bytes_ = &m.counter("cbes_net_rx_bytes_total", "wire bytes received");
+    m_tx_bytes_ = &m.counter("cbes_net_tx_bytes_total", "wire bytes sent");
+    m_frames_rx_ =
+        &m.counter("cbes_net_frames_rx_total", "request frames decoded");
+    m_frames_tx_ =
+        &m.counter("cbes_net_frames_tx_total", "response frames encoded");
+    m_coalesced_ = &m.counter(
+        "cbes_net_coalesced_total",
+        "wire predictions folded into an identical in-flight job");
+    m_protocol_errors_ = &m.counter("cbes_net_protocol_errors_total",
+                                    "frames rejected by the codec");
+    m_backpressure_events_ = &m.counter(
+        "cbes_net_backpressure_events_total",
+        "times a connection crossed the write high watermark");
+    m_idle_closed_ = &m.counter("cbes_net_idle_closed_total",
+                                "connections closed by the idle sweep");
+  }
+  loop_->add_fd(listener_.fd(), EPOLLIN, [this](std::uint32_t) {
+    listener_.accept_ready(
+        [this](int fd, std::string peer) { on_accept(fd, std::move(peer)); });
+  });
+  loop_->set_tick(
+      [this] {
+        sweep_idle();
+        sync_metrics();
+      },
+      config_.tick);
+  if (config_.log != nullptr) {
+    config_.log->info("net/listen", last_now_,
+                      {{"address", listen_address()}});
+  }
+  loop_thread_ = std::thread([loop = loop_] { loop->run(); });
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::stop() {
+  if (!stop_started_.exchange(true)) {
+    loop_->post([this] { shutdown_on_loop(); });
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void NetServer::shutdown_on_loop() {
+  stopping_ = true;
+  loop_->del_fd(listener_.fd());
+  // Answer every unanswered wire request, then cancel the job behind it (the
+  // job still runs to its own terminal state; its completion task finds
+  // pending_ empty and does nothing).
+  for (auto& [job_id, pending] : pending_) {
+    for (const Waiter& waiter : pending.waiters) {
+      const auto it = connections_.find(waiter.conn_id);
+      if (it == connections_.end()) continue;
+      it->second->send_error(waiter.request_id, WireError::kShutdown,
+                             "server stopping");
+    }
+    if (pending.handle.valid()) pending.handle.cancel();
+    if (config_.trace != nullptr) {
+      config_.trace->async_end("net/wire", job_id);
+    }
+  }
+  pending_.clear();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = connections_.find(id);
+    if (it != connections_.end()) it->second->close("server stopping");
+  }
+  sync_metrics();
+  if (config_.log != nullptr) {
+    config_.log->info("net/stop", last_now_,
+                      {{"address", listen_address()}});
+  }
+  loop_->stop();
+}
+
+void NetServer::on_accept(int fd, std::string peer) {
+  if (stopping_ || connections_.size() >= config_.max_connections) {
+    ::close(fd);
+    if (config_.log != nullptr) {
+      config_.log->warn("net/accept-refused", last_now_,
+                        {{"peer", peer},
+                         {"reason", stopping_ ? "stopping" : "max-connections"}});
+    }
+    return;
+  }
+  const std::uint64_t id = next_conn_id_++;
+  counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
+  counters_.connections_open.fetch_add(1, std::memory_order_relaxed);
+  Connection::Hooks hooks;
+  hooks.on_request = [this](Connection& conn, RequestFrame&& request) {
+    on_request(conn, std::move(request));
+  };
+  hooks.on_closed = [this](Connection& conn, const char* reason) {
+    on_closed(conn, reason);
+  };
+  hooks.on_protocol_error = [this](Connection& conn, WireError error,
+                                   const std::string& detail) {
+    if (config_.log != nullptr) {
+      config_.log->warn("net/protocol-error", last_now_,
+                        {{"conn", conn.id()},
+                         {"peer", conn.peer()},
+                         {"error", wire_error_name(error)},
+                         {"detail", detail}});
+    }
+  };
+  auto conn = std::make_unique<Connection>(*loop_, fd, id, std::move(peer),
+                                           config_.connection, counters_,
+                                           std::move(hooks));
+  Connection& ref = *conn;
+  connections_.emplace(id, std::move(conn));
+  ref.start();
+  if (config_.log != nullptr && config_.log->enabled(obs::LogLevel::kDebug)) {
+    config_.log->debug("net/accept", last_now_,
+                       {{"conn", id}, {"peer", ref.peer()}});
+  }
+}
+
+void NetServer::on_closed(Connection& conn, const char* reason) {
+  counters_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  if (config_.log != nullptr && config_.log->enabled(obs::LogLevel::kDebug)) {
+    config_.log->debug("net/close", last_now_,
+                       {{"conn", conn.id()},
+                        {"peer", conn.peer()},
+                        {"reason", reason}});
+  }
+  const auto it = connections_.find(conn.id());
+  if (it == connections_.end()) return;
+  // The close may have been triggered from inside one of this connection's
+  // own callbacks; defer destruction until the stack unwinds (shared_ptr
+  // because std::function needs a copyable callable). A task left unrun at
+  // loop teardown still destroys its captures.
+  loop_->post([dying = std::shared_ptr<Connection>(std::move(it->second))] {});
+  connections_.erase(it);
+}
+
+void NetServer::on_request(Connection& conn, RequestFrame&& request) {
+  last_now_ = std::max(last_now_, frame_now(request));
+  if (request.type == MsgType::kStatusRequest) {
+    handle_status(conn, request);
+    return;
+  }
+  submit_request(conn, std::move(request));
+}
+
+void NetServer::handle_status(Connection& conn, const RequestFrame& request) {
+  server::ServerStatus status = server_->status();
+  fill_status(status);
+  std::ostringstream json;
+  server::format_status_json(status, json);
+  ResponseFrame response;
+  response.type = MsgType::kStatusResponse;
+  response.request_id = request.request_id;
+  response.snapshot_epoch =
+      server_->service().monitor().epoch_at(last_now_);
+  response.status_json = json.str();
+  conn.send(response);
+}
+
+std::uint64_t NetServer::app_profile_hash(const std::string& app) {
+  const auto it = profile_hashes_.find(app);
+  if (it != profile_hashes_.end()) return it->second;
+  const std::uint64_t hash =
+      static_cast<std::uint64_t>(server_->service().profile_copy(app).hash());
+  profile_hashes_.emplace(app, hash);
+  return hash;
+}
+
+void NetServer::submit_request(Connection& conn, RequestFrame&& request) {
+  server::SubmitOptions options;
+  options.priority = request.priority;
+  options.deadline = std::chrono::milliseconds(request.deadline_ms);
+
+  // Coalesce predictions whose (profile, mapping, epoch) identity matches an
+  // in-flight job — the duplicate rides that job instead of queuing its own.
+  if (request.type == MsgType::kPredictRequest && config_.coalesce_predicts &&
+      server_->service().has_profile(request.predict.app)) {
+    const Coalescer::Key key{
+        app_profile_hash(request.predict.app),
+        static_cast<std::uint64_t>(request.predict.mapping.hash()),
+        server_->service().monitor().epoch_at(request.predict.now)};
+    const std::uint64_t in_flight = coalescer_.find(key);
+    if (in_flight != 0) {
+      const auto pending = pending_.find(in_flight);
+      CBES_CHECK_MSG(pending != pending_.end(),
+                     "coalescer references unknown job");
+      pending->second.waiters.push_back(
+          Waiter{conn.id(), request.request_id, true});
+      conn.job_started();
+      counters_.coalesce_hits.fetch_add(1, std::memory_order_relaxed);
+      if (config_.trace != nullptr) {
+        obs::TraceArgs args;
+        args.add("conn", conn.id()).add("request_id", request.request_id);
+        config_.trace->async_instant("net/coalesced", in_flight,
+                                     std::move(args));
+      }
+      if (config_.log != nullptr &&
+          config_.log->enabled(obs::LogLevel::kDebug)) {
+        config_.log->debug("net/coalesce", last_now_,
+                           {{"conn", conn.id()},
+                            {"job", in_flight},
+                            {"app", request.predict.app}});
+      }
+      return;
+    }
+    server::JobHandle handle =
+        server_->submit(std::move(request.predict), options);
+    // Publish before tracking: a rejected job is already terminal and
+    // track_job's completion hook fires inline, retiring the key again.
+    coalescer_.publish(key, handle.id());
+    track_job(conn, request, std::move(handle));
+    return;
+  }
+
+  switch (request.type) {
+    case MsgType::kPredictRequest:
+      track_job(conn, request,
+                server_->submit(std::move(request.predict), options));
+      break;
+    case MsgType::kCompareRequest:
+      track_job(conn, request,
+                server_->submit(std::move(request.compare), options));
+      break;
+    case MsgType::kScheduleRequest:
+      track_job(conn, request,
+                server_->submit(std::move(request.schedule), options));
+      break;
+    case MsgType::kRemapRequest:
+      track_job(conn, request,
+                server_->submit(std::move(request.remap), options));
+      break;
+    default:
+      conn.send_error(request.request_id, WireError::kBadType,
+                      "unsupported request type");
+      break;
+  }
+}
+
+void NetServer::track_job(Connection& conn, const RequestFrame& request,
+                          server::JobHandle handle) {
+  const std::uint64_t job_id = handle.id();
+  PendingJob pending;
+  pending.request_type = request.type;
+  pending.waiters.push_back(Waiter{conn.id(), request.request_id, false});
+  pending.handle = handle;
+  pending_.emplace(job_id, std::move(pending));
+  conn.job_started();
+  if (config_.trace != nullptr) {
+    obs::TraceArgs args;
+    args.add("conn", conn.id())
+        .add("request_id", request.request_id)
+        .add("priority",
+             std::string(server::priority_name(request.priority)));
+    config_.trace->async_begin("net/wire", job_id, std::move(args));
+  }
+  // The callback runs on whichever thread finishes the job; it posts the
+  // fan-out back to the loop. Capturing the loop by shared_ptr keeps the
+  // post target alive even if the NetServer is gone (the task then simply
+  // never runs — see shutdown_on_loop()).
+  handle.set_on_complete([this, loop = loop_, job_id](const server::Job& job) {
+    loop->post([this, job_id, result = job.result]() mutable {
+      on_job_complete(job_id, std::move(result));
+    });
+  });
+}
+
+void NetServer::on_job_complete(std::uint64_t job_id,
+                                server::JobResult result) {
+  coalescer_.retire(job_id);
+  const auto it = pending_.find(job_id);
+  if (it == pending_.end()) return;  // stop() already answered the waiters
+  PendingJob pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.waiters.size() > 1) {
+    counters_.coalesce_leaders.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const Waiter& waiter : pending.waiters) {
+    const auto conn_it = connections_.find(waiter.conn_id);
+    if (conn_it == connections_.end()) continue;  // client went away
+    Connection& conn = *conn_it->second;
+    ResponseFrame response = response_from_result(
+        waiter.request_id, pending.request_type, result,
+        config_.connection.limits);
+    response.coalesced = waiter.coalesced;
+    conn.send(response);
+    if (!conn.closed()) conn.job_finished();
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->async_end("net/wire", job_id);
+  }
+}
+
+void NetServer::sweep_idle() {
+  std::vector<std::uint64_t> expired;
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [id, conn] : connections_) {
+    if (conn->idle_expired(now)) expired.push_back(id);
+  }
+  for (const std::uint64_t id : expired) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    if (config_.log != nullptr) {
+      config_.log->info("net/idle-close", last_now_,
+                        {{"conn", id}, {"peer", it->second->peer()}});
+    }
+    it->second->close("idle timeout");
+  }
+}
+
+void NetServer::sync_metrics() {
+  if (config_.metrics == nullptr) return;
+  const auto delta = [](obs::Counter* metric, std::uint64_t current,
+                        std::uint64_t& synced) {
+    if (current > synced) metric->inc(current - synced);
+    synced = current;
+  };
+  delta(m_connections_total_,
+        counters_.connections_total.load(std::memory_order_relaxed),
+        synced_.connections_total);
+  delta(m_rx_bytes_, counters_.rx_bytes.load(std::memory_order_relaxed),
+        synced_.rx_bytes);
+  delta(m_tx_bytes_, counters_.tx_bytes.load(std::memory_order_relaxed),
+        synced_.tx_bytes);
+  delta(m_frames_rx_, counters_.frames_rx.load(std::memory_order_relaxed),
+        synced_.frames_rx);
+  delta(m_frames_tx_, counters_.frames_tx.load(std::memory_order_relaxed),
+        synced_.frames_tx);
+  delta(m_coalesced_, counters_.coalesce_hits.load(std::memory_order_relaxed),
+        synced_.coalesce_hits);
+  delta(m_protocol_errors_,
+        counters_.protocol_errors.load(std::memory_order_relaxed),
+        synced_.protocol_errors);
+  delta(m_backpressure_events_,
+        counters_.backpressure_events.load(std::memory_order_relaxed),
+        synced_.backpressure_events);
+  delta(m_idle_closed_, counters_.idle_closed.load(std::memory_order_relaxed),
+        synced_.idle_closed);
+  m_connections_open_->set(static_cast<double>(
+      counters_.connections_open.load(std::memory_order_relaxed)));
+  m_backpressured_->set(static_cast<double>(
+      counters_.backpressured_now.load(std::memory_order_relaxed)));
+}
+
+void NetServer::fill_status(server::ServerStatus& status) const {
+  server::NetSection& net = status.net;
+  net.present = true;
+  net.listen = listen_address();
+  net.connections_open =
+      counters_.connections_open.load(std::memory_order_relaxed);
+  net.connections_total =
+      counters_.connections_total.load(std::memory_order_relaxed);
+  net.backpressured =
+      counters_.backpressured_now.load(std::memory_order_relaxed);
+  net.rx_bytes = counters_.rx_bytes.load(std::memory_order_relaxed);
+  net.tx_bytes = counters_.tx_bytes.load(std::memory_order_relaxed);
+  net.frames_rx = counters_.frames_rx.load(std::memory_order_relaxed);
+  net.frames_tx = counters_.frames_tx.load(std::memory_order_relaxed);
+  net.coalesce_hits = counters_.coalesce_hits.load(std::memory_order_relaxed);
+  net.coalesce_leaders =
+      counters_.coalesce_leaders.load(std::memory_order_relaxed);
+  net.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  net.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
+}
+
+}  // namespace cbes::net

@@ -1,0 +1,180 @@
+// NetServer — the wire front-end that puts a CbesServer on a TCP socket.
+//
+//   Listener ──accept──> Connection (epoll state machine, hardened codec)
+//        frames ──> NetServer::handle_request ──> Coalescer / CbesServer::submit
+//        job completion (worker thread) ──post──> event loop ──> fan out
+//
+// One event-loop thread owns every connection; decoded requests enter the
+// broker through the same submit() path as in-process callers, carrying the
+// wire envelope's priority and deadline — admission control, the shedder,
+// breakers, and the watchdog govern wire traffic with no special cases.
+// Worker-thread job completions re-enter the loop via EventLoop::post and
+// fan back out to every waiter (coalesced followers included), so answers on
+// the wire are bit-identical to what JobHandle::wait() returns in process.
+//
+// Lifetime: job-completion callbacks capture the event loop by shared_ptr,
+// so a job that outlives the NetServer still has a valid loop to post into
+// (the task is simply never run once the loop has stopped). stop() answers
+// every unanswered wire request with a kShutdown error frame and cancels the
+// underlying jobs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/coalescer.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/listener.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "server/server.h"
+
+namespace cbes::net {
+
+struct NetConfig {
+  /// IPv4 address to bind; port 0 picks an ephemeral port (see port()).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  ConnectionConfig connection;
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 1024;
+  /// Idle-sweep / metrics-sync period for the loop tick.
+  std::chrono::milliseconds tick{50};
+  /// Fold identical in-flight predictions into one job (see Coalescer).
+  bool coalesce_predicts = true;
+  /// Observability sinks; all optional, must outlive the server when set.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
+  obs::Logger* log = nullptr;
+};
+
+class NetServer {
+ public:
+  /// Binds and listens (throws NetError with a clear message on failure),
+  /// then starts the event-loop thread. `server` must outlive the NetServer.
+  NetServer(server::CbesServer& server, NetConfig config);
+  /// stop()s if still running.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Stops accepting, answers every unanswered wire request with a kShutdown
+  /// error frame, closes every connection, and joins the loop thread.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (the kernel's pick when configured with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+  [[nodiscard]] std::string listen_address() const {
+    return listener_.host() + ":" + std::to_string(listener_.port());
+  }
+
+  /// Fills `status.net` from the wire counters. Safe from any thread.
+  void fill_status(server::ServerStatus& status) const;
+
+  // ---- counters (tests, bench) ----------------------------------------------
+  [[nodiscard]] std::uint64_t coalesce_hits() const noexcept {
+    return counters_.coalesce_hits.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_total() const noexcept {
+    return counters_.connections_total.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t protocol_errors() const noexcept {
+    return counters_.protocol_errors.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One wire request whose job is in flight: where to send the answer.
+  struct Waiter {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    bool coalesced = false;  ///< joined another request's job
+  };
+  /// All waiters of one submitted job (waiters[0] is the leader, whose
+  /// priority and deadline govern the job).
+  struct PendingJob {
+    MsgType request_type = MsgType::kPredictRequest;
+    std::vector<Waiter> waiters;
+    server::JobHandle handle;
+  };
+  /// Counter values last mirrored into the metrics registry (loop thread).
+  struct SyncedCounters {
+    std::uint64_t connections_total = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t frames_rx = 0;
+    std::uint64_t frames_tx = 0;
+    std::uint64_t coalesce_hits = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t backpressure_events = 0;
+    std::uint64_t idle_closed = 0;
+  };
+
+  // All private methods run on the loop thread.
+  void on_accept(int fd, std::string peer);
+  void on_request(Connection& conn, RequestFrame&& request);
+  void on_closed(Connection& conn, const char* reason);
+  void handle_status(Connection& conn, const RequestFrame& request);
+  /// Submits (or coalesces) one decoded request; registers the waiter.
+  void submit_request(Connection& conn, RequestFrame&& request);
+  /// Registers `handle` (just submitted for `request`) and hooks completion.
+  void track_job(Connection& conn, const RequestFrame& request,
+                 server::JobHandle handle);
+  /// Completion fan-out: runs as a posted task once the job finishes.
+  void on_job_complete(std::uint64_t job_id, server::JobResult result);
+  void shutdown_on_loop();
+  void sweep_idle();
+  void sync_metrics();
+  /// Registration-time profile hash for `app`, cached per name (the server
+  /// contract submits jobs only after the app's profile registration).
+  [[nodiscard]] std::uint64_t app_profile_hash(const std::string& app);
+
+  server::CbesServer* server_;
+  NetConfig config_;
+  /// shared_ptr: job-completion callbacks co-own the loop (see header).
+  std::shared_ptr<EventLoop> loop_;
+  Listener listener_;
+  NetCounters counters_;
+
+  // Loop-thread state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  Coalescer coalescer_;
+  std::unordered_map<std::uint64_t, PendingJob> pending_;
+  std::unordered_map<std::string, std::uint64_t> profile_hashes_;
+  /// Latest request `now` seen; stamps wire log events with a simulated time
+  /// so log order stays deterministic.
+  Seconds last_now_ = 0.0;
+  bool stopping_ = false;
+  SyncedCounters synced_;
+
+  std::thread loop_thread_;
+  std::atomic<bool> stop_started_{false};
+
+  // Cached instruments (null when config_.metrics is null); synced from
+  // counters_ on every tick and at stop().
+  obs::Counter* m_connections_total_ = nullptr;
+  obs::Gauge* m_connections_open_ = nullptr;
+  obs::Gauge* m_backpressured_ = nullptr;
+  obs::Counter* m_rx_bytes_ = nullptr;
+  obs::Counter* m_tx_bytes_ = nullptr;
+  obs::Counter* m_frames_rx_ = nullptr;
+  obs::Counter* m_frames_tx_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_protocol_errors_ = nullptr;
+  obs::Counter* m_backpressure_events_ = nullptr;
+  obs::Counter* m_idle_closed_ = nullptr;
+};
+
+}  // namespace cbes::net

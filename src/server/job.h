@@ -13,6 +13,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -274,12 +275,36 @@ struct Job {
   /// Returns true when this call won (the watchdog uses this to know whether
   /// its kill landed before the worker's own completion).
   bool finish(JobResult outcome) {
-    const std::lock_guard lock(mu);
-    if (is_terminal(state)) return false;
-    state = outcome.state;
-    result = std::move(outcome);
-    done.notify_all();
+    std::function<void(const Job&)> callback;
+    {
+      const std::lock_guard lock(mu);
+      if (is_terminal(state)) return false;
+      state = outcome.state;
+      result = std::move(outcome);
+      callback = std::move(on_complete_);
+      done.notify_all();
+    }
+    // Invoked outside the lock: the callback may wait on the job or inspect
+    // `result`, which no longer changes (first finish wins). Runs on
+    // whichever thread won the finish — callbacks must be cheap or reroute
+    // (the wire front-end posts back to its event loop).
+    if (callback) callback(*this);
     return true;
+  }
+
+  /// Registers a one-shot completion callback. If the job is already
+  /// terminal, the callback runs immediately on the calling thread;
+  /// otherwise it runs exactly once from the thread that wins finish().
+  /// At most one callback may be registered per job.
+  void set_on_complete(std::function<void(const Job&)> callback) {
+    {
+      const std::lock_guard lock(mu);
+      if (!is_terminal(state)) {
+        on_complete_ = std::move(callback);
+        return;
+      }
+    }
+    callback(*this);
   }
 
   void mark_running() {
@@ -304,6 +329,9 @@ struct Job {
   mutable std::condition_variable done;
   JobState state = JobState::kQueued;  // guarded by mu
   JobResult result;                    // guarded by mu
+
+ private:
+  std::function<void(const Job&)> on_complete_;  // guarded by mu
 };
 
 /// The client's view of a submitted job.
@@ -324,6 +352,11 @@ class JobHandle {
 
   /// Blocks until terminal; returns the result by value.
   [[nodiscard]] JobResult wait() const { return job_->wait(); }
+
+  /// Forwards to Job::set_on_complete (see there for the threading contract).
+  void set_on_complete(std::function<void(const server::Job&)> callback) {
+    job_->set_on_complete(std::move(callback));
+  }
 
  private:
   std::shared_ptr<Job> job_;

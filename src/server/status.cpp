@@ -114,6 +114,19 @@ void format_status_text(const ServerStatus& status, std::ostream& os) {
     }
   }
   os << "\n";
+  if (status.net.present) {
+    os << "net: listening on " << status.net.listen << "\n";
+    os << "  connections: open " << status.net.connections_open << ", total "
+       << status.net.connections_total << ", backpressured "
+       << status.net.backpressured << ", idle-closed "
+       << status.net.idle_closed << "\n";
+    os << "  bytes: rx " << status.net.rx_bytes << ", tx "
+       << status.net.tx_bytes << " (frames rx " << status.net.frames_rx
+       << ", tx " << status.net.frames_tx << ")\n";
+    os << "  coalesce: hits " << status.net.coalesce_hits << ", leaders "
+       << status.net.coalesce_leaders << "\n";
+    os << "  protocol errors: " << status.net.protocol_errors << "\n";
+  }
   os << "recent jobs (" << status.recent.size() << " of "
      << status.jobs_recorded << " recorded):\n";
   for (const JobTrail& t : status.recent) {
@@ -182,7 +195,23 @@ void format_status_json(const ServerStatus& status, std::ostream& os) {
     if (i != 0) os << ',';
     append_json_string(os, health_name(status.health[i]));
   }
-  os << "],\"jobs_recorded\":" << status.jobs_recorded;
+  os << "]";
+  if (status.net.present) {
+    os << ",\"net\":{\"listen\":";
+    append_json_string(os, status.net.listen);
+    os << ",\"connections_open\":" << status.net.connections_open
+       << ",\"connections_total\":" << status.net.connections_total
+       << ",\"backpressured\":" << status.net.backpressured
+       << ",\"rx_bytes\":" << status.net.rx_bytes
+       << ",\"tx_bytes\":" << status.net.tx_bytes
+       << ",\"frames_rx\":" << status.net.frames_rx
+       << ",\"frames_tx\":" << status.net.frames_tx
+       << ",\"coalesce_hits\":" << status.net.coalesce_hits
+       << ",\"coalesce_leaders\":" << status.net.coalesce_leaders
+       << ",\"protocol_errors\":" << status.net.protocol_errors
+       << ",\"idle_closed\":" << status.net.idle_closed << "}";
+  }
+  os << ",\"jobs_recorded\":" << status.jobs_recorded;
   os << ",\"recent\":[";
   for (std::size_t i = 0; i < status.recent.size(); ++i) {
     const JobTrail& t = status.recent[i];

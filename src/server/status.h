@@ -86,6 +86,24 @@ struct BreakerStatus {
   std::uint64_t short_circuits = 0;
 };
 
+/// Wire front-end picture (filled by net::NetServer::fill_status when the
+/// server is listening; `present` stays false for in-process-only brokers).
+struct NetSection {
+  bool present = false;
+  std::string listen;  ///< "host:port" actually bound
+  std::uint64_t connections_open = 0;
+  std::uint64_t connections_total = 0;
+  std::uint64_t backpressured = 0;  ///< connections currently backpressured
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t coalesce_hits = 0;    ///< requests folded into another job
+  std::uint64_t coalesce_leaders = 0; ///< jobs that carried coalesced waiters
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t idle_closed = 0;
+};
+
 /// Point-in-time picture of the whole broker (see CbesServer::status()).
 struct ServerStatus {
   // Queue.
@@ -118,6 +136,8 @@ struct ServerStatus {
   // Flight recorder.
   std::uint64_t jobs_recorded = 0;
   std::vector<JobTrail> recent;  ///< oldest first
+  // Wire front-end (present only when a NetServer is attached).
+  NetSection net;
 };
 
 /// Human-readable statusz page.

@@ -1,0 +1,805 @@
+// Tests for the wire front-end: codec round-trips and hardening (truncation,
+// tampered headers, lying counts, a seeded mutation corpus), the epoll event
+// loop, and NetServer end to end over loopback — including the bit-identity
+// contract (answers on the wire equal JobHandle::wait() in process), request
+// coalescing, idle sweeping, typed protocol errors, and shutdown fan-out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/service.h"
+#include "net/codec.h"
+#include "net/event_loop.h"
+#include "net/loadgen.h"
+#include "net/net_error.h"
+#include "net/net_server.h"
+#include "server/server.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes::net {
+namespace {
+
+using server::Algo;
+using server::CbesServer;
+using server::FailReason;
+using server::JobResult;
+using server::JobState;
+using server::Priority;
+using server::ServerConfig;
+
+// ------------------------------------------------------------ test rig ----
+
+/// Hand-built two-process profile (same shape as server_test's): 10 s of
+/// work per rank, one message group each way, profiled on Alpha nodes.
+AppProfile tiny_profile() {
+  AppProfile prof;
+  prof.app_name = "tiny";
+  prof.procs.resize(2);
+  for (auto& p : prof.procs) {
+    p.x = 8.0;
+    p.o = 2.0;
+    p.profiled_arch = Arch::kAlpha533;
+    p.lambda = 1.0;
+  }
+  prof.procs[0].recv_groups.push_back({RankId{std::size_t{1}}, 4096, 100});
+  prof.procs[0].send_groups.push_back({RankId{std::size_t{1}}, 4096, 100});
+  prof.procs[1].recv_groups.push_back({RankId{std::size_t{0}}, 4096, 100});
+  prof.procs[1].send_groups.push_back({RankId{std::size_t{0}}, 4096, 100});
+  prof.profiling_mapping = {NodeId{0}, NodeId{1}};
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+CbesService::Config service_config() {
+  CbesService::Config cfg;
+  SimNetConfig hw;
+  hw.jitter_sigma = 0.0;
+  cfg.hardware = hw;
+  CalibrationOptions cal;
+  cal.repeats = 3;
+  cfg.calibration = cal;
+  cfg.monitor.noise_sigma = 0.0;
+  return cfg;
+}
+
+RequestFrame predict_frame(std::uint64_t id, const Mapping& mapping) {
+  RequestFrame frame;
+  frame.type = MsgType::kPredictRequest;
+  frame.request_id = id;
+  frame.predict.app = "tiny";
+  frame.predict.mapping = mapping;
+  frame.predict.now = 0.0;
+  return frame;
+}
+
+/// Encodes `frame`, then decodes header + payload back out. Returns the
+/// payload-decode error (header must decode clean for a frame we built).
+WireError round_trip(const RequestFrame& frame, RequestFrame& out,
+                     const CodecLimits& limits = {}) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(frame, bytes);
+  FrameHeader header;
+  EXPECT_EQ(decode_header(bytes.data(), bytes.size(), limits, header),
+            WireError::kNone);
+  std::string detail;
+  return decode_request(header, bytes.data() + kHeaderBytes,
+                        header.payload_len, limits, out, detail);
+}
+
+WireError round_trip(const ResponseFrame& frame, ResponseFrame& out,
+                     const CodecLimits& limits = {}) {
+  std::vector<std::uint8_t> bytes;
+  encode_response(frame, bytes);
+  FrameHeader header;
+  EXPECT_EQ(decode_header(bytes.data(), bytes.size(), limits, header),
+            WireError::kNone);
+  std::string detail;
+  return decode_response(header, bytes.data() + kHeaderBytes,
+                         header.payload_len, limits, out, detail);
+}
+
+// --------------------------------------------------- codec: round trips ----
+
+TEST(Codec, PredictRequestRoundTrips) {
+  RequestFrame in = predict_frame(42, Mapping({NodeId{3}, NodeId{1}}));
+  in.priority = Priority::kInteractive;
+  in.deadline_ms = 1500;
+  in.predict.now = 12.5;
+
+  RequestFrame out;
+  ASSERT_EQ(round_trip(in, out), WireError::kNone);
+  EXPECT_EQ(out.type, MsgType::kPredictRequest);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.priority, Priority::kInteractive);
+  EXPECT_EQ(out.deadline_ms, 1500u);
+  EXPECT_EQ(out.predict.app, "tiny");
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.predict.now),
+            std::bit_cast<std::uint64_t>(12.5));
+  EXPECT_EQ(out.predict.mapping.assignment(),
+            (std::vector<NodeId>{NodeId{3}, NodeId{1}}));
+}
+
+TEST(Codec, CompareRequestRoundTrips) {
+  RequestFrame in;
+  in.type = MsgType::kCompareRequest;
+  in.request_id = 7;
+  in.compare.app = "tiny";
+  in.compare.now = 3.25;
+  in.compare.candidates = {Mapping({NodeId{0}, NodeId{1}}),
+                           Mapping({NodeId{2}, NodeId{3}})};
+
+  RequestFrame out;
+  ASSERT_EQ(round_trip(in, out), WireError::kNone);
+  ASSERT_EQ(out.compare.candidates.size(), 2u);
+  EXPECT_EQ(out.compare.candidates[1].assignment(),
+            (std::vector<NodeId>{NodeId{2}, NodeId{3}}));
+}
+
+TEST(Codec, ScheduleRequestRoundTrips) {
+  RequestFrame in;
+  in.type = MsgType::kScheduleRequest;
+  in.request_id = 9;
+  in.schedule.app = "tiny";
+  in.schedule.nranks = 2;
+  in.schedule.algo = Algo::kRandom;
+  in.schedule.seed = 0xFEEDu;
+  in.schedule.max_slots_per_node = 4;
+  in.schedule.pool_nodes = {NodeId{1}, NodeId{2}};
+  in.schedule.now = 1.0;
+
+  RequestFrame out;
+  ASSERT_EQ(round_trip(in, out), WireError::kNone);
+  EXPECT_EQ(out.schedule.nranks, 2u);
+  EXPECT_EQ(out.schedule.algo, Algo::kRandom);
+  EXPECT_EQ(out.schedule.seed, 0xFEEDu);
+  EXPECT_EQ(out.schedule.max_slots_per_node, 4);
+  EXPECT_EQ(out.schedule.pool_nodes,
+            (std::vector<NodeId>{NodeId{1}, NodeId{2}}));
+}
+
+TEST(Codec, RemapRequestRoundTrips) {
+  RequestFrame in;
+  in.type = MsgType::kRemapRequest;
+  in.request_id = 11;
+  in.remap.app = "tiny";
+  in.remap.current = Mapping({NodeId{0}, NodeId{1}});
+  in.remap.progress = 0.375;
+  in.remap.seed = 5;
+  in.remap.cost.state_bytes = 1234567;
+  in.remap.cost.restart_overhead = 2.5;
+  in.remap.cost.coordination_overhead = 0.75;
+
+  RequestFrame out;
+  ASSERT_EQ(round_trip(in, out), WireError::kNone);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.remap.progress),
+            std::bit_cast<std::uint64_t>(0.375));
+  EXPECT_EQ(out.remap.cost.state_bytes, 1234567u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.remap.cost.restart_overhead),
+            std::bit_cast<std::uint64_t>(2.5));
+}
+
+TEST(Codec, ResponsesRoundTripBitIdentically) {
+  ResponseFrame predict;
+  predict.type = MsgType::kPredictResponse;
+  predict.request_id = 1;
+  predict.time = 123.4567891234;
+  predict.cache_hit = true;
+  predict.snapshot_epoch = 17;
+  ResponseFrame out;
+  ASSERT_EQ(round_trip(predict, out), WireError::kNone);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.time),
+            std::bit_cast<std::uint64_t>(predict.time));
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_FALSE(out.coalesced);
+  EXPECT_EQ(out.snapshot_epoch, 17u);
+
+  ResponseFrame compare;
+  compare.type = MsgType::kCompareResponse;
+  compare.request_id = 2;
+  compare.predicted = {1.5, 2.5, 0.25};
+  compare.best = 2;
+  compare.coalesced = true;
+  ASSERT_EQ(round_trip(compare, out), WireError::kNone);
+  EXPECT_EQ(out.predicted, compare.predicted);
+  EXPECT_EQ(out.best, 2u);
+  EXPECT_TRUE(out.coalesced);
+
+  ResponseFrame schedule;
+  schedule.type = MsgType::kScheduleResponse;
+  schedule.request_id = 3;
+  schedule.assignment = {3, 0, 1};
+  schedule.cost = 9.75;
+  schedule.evaluations = 512;
+  ASSERT_EQ(round_trip(schedule, out), WireError::kNone);
+  EXPECT_EQ(out.assignment, schedule.assignment);
+  EXPECT_EQ(out.evaluations, 512u);
+
+  ResponseFrame remap;
+  remap.type = MsgType::kRemapResponse;
+  remap.request_id = 4;
+  remap.beneficial = true;
+  remap.remaining_current = 80.0;
+  remap.remaining_candidate = 50.0;
+  remap.migration_cost = 6.0;
+  remap.moved_ranks = 2;
+  remap.assignment = {2, 3};
+  ASSERT_EQ(round_trip(remap, out), WireError::kNone);
+  EXPECT_TRUE(out.beneficial);
+  EXPECT_EQ(out.moved_ranks, 2u);
+  EXPECT_EQ(out.assignment, remap.assignment);
+
+  ResponseFrame status;
+  status.type = MsgType::kStatusResponse;
+  status.request_id = 5;
+  status.status_json = "{\"x\":1}";
+  ASSERT_EQ(round_trip(status, out), WireError::kNone);
+  EXPECT_EQ(out.status_json, status.status_json);
+
+  const ResponseFrame error = make_error(6, WireError::kRejected,
+                                         "queue full", FailReason::kNone, {});
+  ASSERT_EQ(round_trip(error, out), WireError::kNone);
+  EXPECT_EQ(out.type, MsgType::kError);
+  EXPECT_EQ(out.error, WireError::kRejected);
+  EXPECT_EQ(out.detail, "queue full");
+}
+
+// ----------------------------------------------------- codec: hardening ----
+
+TEST(Codec, HeaderRejectsTamperedFields) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})), bytes);
+  const CodecLimits limits;
+  FrameHeader header;
+
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), limits, header),
+            WireError::kBadMagic);
+
+  bad = bytes;
+  bad[4] = kWireVersion + 1;  // version
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), limits, header),
+            WireError::kBadVersion);
+
+  bad = bytes;
+  bad[5] = 0x7E;  // unknown message type
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), limits, header),
+            WireError::kBadType);
+
+  bad = bytes;
+  bad[6] = 1;  // reserved must be zero
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), limits, header),
+            WireError::kMalformed);
+
+  bad = bytes;
+  bad[16] = 0xFF;  // payload_len beyond max_payload
+  bad[17] = 0xFF;
+  bad[18] = 0xFF;
+  bad[19] = 0x7F;
+  EXPECT_EQ(decode_header(bad.data(), bad.size(), limits, header),
+            WireError::kTooLarge);
+}
+
+TEST(Codec, PayloadTruncatedAtEveryBoundaryIsRejected) {
+  // One frame of each request type; every strict prefix of every payload
+  // must come back as a typed error, never a crash or an over-read.
+  std::vector<RequestFrame> frames;
+  frames.push_back(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  {
+    RequestFrame f;
+    f.type = MsgType::kCompareRequest;
+    f.compare.app = "tiny";
+    f.compare.candidates = {Mapping({NodeId{0}, NodeId{1}}),
+                            Mapping({NodeId{2}, NodeId{3}})};
+    frames.push_back(f);
+  }
+  {
+    RequestFrame f;
+    f.type = MsgType::kScheduleRequest;
+    f.schedule.app = "tiny";
+    f.schedule.nranks = 2;
+    f.schedule.pool_nodes = {NodeId{0}, NodeId{1}};
+    frames.push_back(f);
+  }
+  {
+    RequestFrame f;
+    f.type = MsgType::kRemapRequest;
+    f.remap.app = "tiny";
+    f.remap.current = Mapping({NodeId{0}, NodeId{1}});
+    frames.push_back(f);
+  }
+  const CodecLimits limits;
+  for (const RequestFrame& frame : frames) {
+    std::vector<std::uint8_t> bytes;
+    encode_request(frame, bytes);
+    FrameHeader header;
+    ASSERT_EQ(decode_header(bytes.data(), bytes.size(), limits, header),
+              WireError::kNone);
+    for (std::size_t len = 0; len < header.payload_len; ++len) {
+      RequestFrame out;
+      std::string detail;
+      EXPECT_NE(decode_request(header, bytes.data() + kHeaderBytes, len,
+                               limits, out, detail),
+                WireError::kNone)
+          << "type " << static_cast<int>(frame.type) << " prefix " << len;
+    }
+  }
+}
+
+TEST(Codec, TrailingGarbageIsRejected) {
+  // A frame whose header claims one byte more than the fields consume: the
+  // decoder must flag the leftover byte, not silently accept padding.
+  std::vector<std::uint8_t> bytes;
+  encode_request(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})), bytes);
+  bytes.push_back(0xAB);
+  const std::uint32_t grown =
+      static_cast<std::uint32_t>(bytes.size() - kHeaderBytes);
+  bytes[16] = static_cast<std::uint8_t>(grown & 0xFF);
+  bytes[17] = static_cast<std::uint8_t>((grown >> 8) & 0xFF);
+  bytes[18] = static_cast<std::uint8_t>((grown >> 16) & 0xFF);
+  bytes[19] = static_cast<std::uint8_t>((grown >> 24) & 0xFF);
+  FrameHeader header;
+  const CodecLimits limits;
+  ASSERT_EQ(decode_header(bytes.data(), bytes.size(), limits, header),
+            WireError::kNone);
+  RequestFrame out;
+  std::string detail;
+  EXPECT_EQ(decode_request(header, bytes.data() + kHeaderBytes,
+                           header.payload_len, limits, out, detail),
+            WireError::kTrailingGarbage);
+}
+
+TEST(Codec, LyingRankCountCannotSizeAllocation) {
+  // A predict payload whose mapping count claims 2^32-1 ranks with 8 bytes
+  // behind it: the count must be validated against the bytes present before
+  // any allocation, so this fails fast with a typed error.
+  std::vector<std::uint8_t> bytes;
+  encode_request(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})), bytes);
+  // Payload layout: u8 priority, u32 deadline, u16 len + "tiny", f64 now,
+  // u32 rank count, then count * u32.
+  const std::size_t count_off = kHeaderBytes + 1 + 4 + 2 + 4 + 8;
+  ASSERT_LT(count_off + 4, bytes.size());
+  bytes[count_off] = 0xFF;
+  bytes[count_off + 1] = 0xFF;
+  bytes[count_off + 2] = 0xFF;
+  bytes[count_off + 3] = 0xFF;
+  FrameHeader header;
+  const CodecLimits limits;
+  ASSERT_EQ(decode_header(bytes.data(), bytes.size(), limits, header),
+            WireError::kNone);
+  RequestFrame out;
+  std::string detail;
+  const WireError error =
+      decode_request(header, bytes.data() + kHeaderBytes, header.payload_len,
+                     limits, out, detail);
+  EXPECT_TRUE(error == WireError::kMalformed || error == WireError::kLimit);
+}
+
+TEST(Codec, CountLimitsAreEnforced) {
+  RequestFrame in;
+  in.type = MsgType::kCompareRequest;
+  in.compare.app = "tiny";
+  in.compare.candidates = {Mapping({NodeId{0}}), Mapping({NodeId{1}}),
+                           Mapping({NodeId{2}})};
+  CodecLimits tight;
+  tight.max_candidates = 2;
+  RequestFrame out;
+  EXPECT_EQ(round_trip(in, out, tight), WireError::kLimit);
+}
+
+TEST(Codec, ErrorDetailIsTruncatedToLimit) {
+  const CodecLimits limits;
+  const ResponseFrame error =
+      make_error(1, WireError::kFailed, std::string(100000, 'x'),
+                 FailReason::kNone, limits);
+  EXPECT_EQ(error.detail.size(), limits.max_detail);
+}
+
+TEST(Codec, MutationCorpusNeverCrashes) {
+  // Seeded single/multi-byte mutations over valid frames of every type:
+  // decode must always return (kNone or a typed error) with no crash and no
+  // unbounded allocation — ASan/UBSan hold it to that.
+  std::vector<std::vector<std::uint8_t>> corpus;
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_request(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})), bytes);
+    corpus.push_back(bytes);
+    bytes.clear();
+    RequestFrame f;
+    f.type = MsgType::kCompareRequest;
+    f.compare.app = "tiny";
+    f.compare.candidates = {Mapping({NodeId{0}, NodeId{1}}),
+                            Mapping({NodeId{2}, NodeId{3}})};
+    encode_request(f, bytes);
+    corpus.push_back(bytes);
+    bytes.clear();
+    RequestFrame g;
+    g.type = MsgType::kScheduleRequest;
+    g.schedule.app = "tiny";
+    g.schedule.nranks = 2;
+    g.schedule.pool_nodes = {NodeId{0}, NodeId{1}, NodeId{2}};
+    encode_request(g, bytes);
+    corpus.push_back(bytes);
+    bytes.clear();
+    ResponseFrame r;
+    r.type = MsgType::kCompareResponse;
+    r.predicted = {1.0, 2.0};
+    encode_response(r, bytes);
+    corpus.push_back(bytes);
+  }
+  Rng rng(0xF422);
+  const CodecLimits limits;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::uint8_t> bytes =
+        corpus[static_cast<std::size_t>(rng.uniform() *
+                                        static_cast<double>(corpus.size())) %
+               corpus.size()];
+    const int flips = 1 + static_cast<int>(rng.uniform() * 4.0);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = static_cast<std::size_t>(
+          rng.uniform() * static_cast<double>(bytes.size()));
+      bytes[at % bytes.size()] = static_cast<std::uint8_t>(
+          rng.uniform() * 256.0);
+    }
+    FrameHeader header;
+    if (decode_header(bytes.data(), bytes.size(), limits, header) !=
+        WireError::kNone) {
+      continue;
+    }
+    const std::size_t have =
+        std::min<std::size_t>(header.payload_len, bytes.size() - kHeaderBytes);
+    std::string detail;
+    if (is_request(header.type)) {
+      RequestFrame out;
+      (void)decode_request(header, bytes.data() + kHeaderBytes, have, limits,
+                           out, detail);
+    } else {
+      ResponseFrame out;
+      (void)decode_response(header, bytes.data() + kHeaderBytes, have, limits,
+                            out, detail);
+    }
+  }
+}
+
+// ------------------------------------------------------------ event loop ----
+
+TEST(EventLoop, PostedTasksRunOnTheLoopThread) {
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread::id loop_id;
+  std::thread t([&] {
+    loop_id = std::this_thread::get_id();
+    loop.run();
+  });
+  std::atomic<bool> on_loop{false};
+  loop.post([&] {
+    on_loop = std::this_thread::get_id() == loop_id;
+    ran.fetch_add(1);
+  });
+  while (ran.load() == 0) std::this_thread::yield();
+  EXPECT_TRUE(on_loop.load());
+  loop.stop();
+  t.join();
+}
+
+TEST(EventLoop, TickFiresPeriodically) {
+  EventLoop loop;
+  std::atomic<int> ticks{0};
+  loop.set_tick([&] { ticks.fetch_add(1); }, std::chrono::milliseconds(1));
+  std::thread t([&] { loop.run(); });
+  while (ticks.load() < 3) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  loop.stop();
+  t.join();
+  EXPECT_GE(ticks.load(), 3);
+}
+
+// -------------------------------------------------------- loopback e2e ----
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest()
+      : topo_(make_flat(4, Arch::kAlpha533)),
+        svc_(topo_, idle_, service_config()) {
+    svc_.register_profile(tiny_profile());
+  }
+
+  NetConfig loop_config() {
+    NetConfig cfg;
+    cfg.host = "127.0.0.1";
+    cfg.port = 0;
+    return cfg;
+  }
+
+  ClusterTopology topo_;
+  NoLoad idle_;
+  CbesService svc_;
+};
+
+TEST_F(NetTest, PredictOverWireIsBitIdenticalToInProcess) {
+  CbesServer srv(svc_, ServerConfig{});
+  const Mapping mapping({NodeId{2}, NodeId{3}});
+
+  server::PredictRequest req;
+  req.app = "tiny";
+  req.mapping = mapping;
+  const JobResult in_process = srv.submit(std::move(req)).wait();
+  ASSERT_EQ(in_process.state, JobState::kDone);
+
+  NetServer net(srv, loop_config());
+  WireClient client("127.0.0.1", net.port());
+  const ResponseFrame wire = client.call(predict_frame(1, mapping));
+  ASSERT_EQ(wire.type, MsgType::kPredictResponse);
+  EXPECT_EQ(wire.request_id, 1u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.time),
+            std::bit_cast<std::uint64_t>(in_process.prediction.time));
+  EXPECT_TRUE(wire.cache_hit);  // the in-process predict warmed the cache
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, CompareAndScheduleAndRemapOverWire) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+  WireClient client("127.0.0.1", net.port());
+
+  const std::vector<Mapping> candidates = {Mapping({NodeId{0}, NodeId{1}}),
+                                           Mapping({NodeId{2}, NodeId{3}})};
+  {
+    server::CompareRequest req;
+    req.app = "tiny";
+    req.candidates = candidates;
+    const JobResult in_process = srv.submit(std::move(req)).wait();
+    ASSERT_EQ(in_process.state, JobState::kDone);
+
+    RequestFrame frame;
+    frame.type = MsgType::kCompareRequest;
+    frame.request_id = 2;
+    frame.compare.app = "tiny";
+    frame.compare.candidates = candidates;
+    const ResponseFrame wire = client.call(frame);
+    ASSERT_EQ(wire.type, MsgType::kCompareResponse);
+    ASSERT_EQ(wire.predicted.size(), in_process.comparison.predicted.size());
+    for (std::size_t i = 0; i < wire.predicted.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.predicted[i]),
+                std::bit_cast<std::uint64_t>(in_process.comparison.predicted[i]));
+    }
+    EXPECT_EQ(wire.best, in_process.comparison.best);
+  }
+  {
+    server::ScheduleRequest req;
+    req.app = "tiny";
+    req.nranks = 2;
+    req.algo = Algo::kRandom;
+    req.seed = 0xFEED;
+    const JobResult in_process = srv.submit(std::move(req)).wait();
+    ASSERT_EQ(in_process.state, JobState::kDone);
+
+    RequestFrame frame;
+    frame.type = MsgType::kScheduleRequest;
+    frame.request_id = 3;
+    frame.schedule.app = "tiny";
+    frame.schedule.nranks = 2;
+    frame.schedule.algo = Algo::kRandom;
+    frame.schedule.seed = 0xFEED;
+    const ResponseFrame wire = client.call(frame);
+    ASSERT_EQ(wire.type, MsgType::kScheduleResponse);
+    const std::vector<NodeId>& expect =
+        in_process.schedule.mapping.assignment();
+    ASSERT_EQ(wire.assignment.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(wire.assignment[i],
+                static_cast<std::uint32_t>(expect[i].index()));
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.cost),
+              std::bit_cast<std::uint64_t>(in_process.schedule.cost));
+  }
+  {
+    server::RemapRequest req;
+    req.app = "tiny";
+    req.current = Mapping({NodeId{0}, NodeId{1}});
+    req.progress = 0.25;
+    req.seed = 7;
+    const JobResult in_process = srv.submit(std::move(req)).wait();
+    ASSERT_EQ(in_process.state, JobState::kDone);
+
+    RequestFrame frame;
+    frame.type = MsgType::kRemapRequest;
+    frame.request_id = 4;
+    frame.remap.app = "tiny";
+    frame.remap.current = Mapping({NodeId{0}, NodeId{1}});
+    frame.remap.progress = 0.25;
+    frame.remap.seed = 7;
+    const ResponseFrame wire = client.call(frame);
+    ASSERT_EQ(wire.type, MsgType::kRemapResponse);
+    EXPECT_EQ(wire.beneficial, in_process.remap.beneficial);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.remaining_current),
+              std::bit_cast<std::uint64_t>(in_process.remap.remaining_current));
+  }
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, StatusOverWireCarriesTheNetSection) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+  WireClient client("127.0.0.1", net.port());
+  RequestFrame frame;
+  frame.type = MsgType::kStatusRequest;
+  frame.request_id = 5;
+  const ResponseFrame wire = client.call(frame);
+  ASSERT_EQ(wire.type, MsgType::kStatusResponse);
+  EXPECT_NE(wire.status_json.find("\"net\""), std::string::npos);
+  EXPECT_NE(wire.status_json.find("\"connections_open\":1"),
+            std::string::npos);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, IdenticalInFlightPredictsCoalesce) {
+  // Gate the single worker so the first predict blocks mid-execution; an
+  // identical second predict must then fold into the same job and both
+  // clients get bit-identical answers, the follower flagged coalesced.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.fault_hook = [&](const server::Job&) {
+    entered.fetch_add(1);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  };
+  CbesServer srv(svc_, cfg);
+  NetServer net(srv, loop_config());
+  WireClient leader("127.0.0.1", net.port());
+  WireClient follower("127.0.0.1", net.port());
+
+  const Mapping mapping({NodeId{1}, NodeId{2}});
+  leader.send(predict_frame(10, mapping));
+  while (entered.load() == 0) std::this_thread::yield();  // job is executing
+  follower.send(predict_frame(20, mapping));
+  while (net.coalesce_hits() == 0) std::this_thread::yield();
+  {
+    const std::lock_guard lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+
+  const ResponseFrame a = leader.recv();
+  const ResponseFrame b = follower.recv();
+  ASSERT_EQ(a.type, MsgType::kPredictResponse);
+  ASSERT_EQ(b.type, MsgType::kPredictResponse);
+  EXPECT_EQ(a.request_id, 10u);
+  EXPECT_EQ(b.request_id, 20u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.time),
+            std::bit_cast<std::uint64_t>(b.time));
+  EXPECT_FALSE(a.coalesced);
+  EXPECT_TRUE(b.coalesced);
+  EXPECT_EQ(net.coalesce_hits(), 1u);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, MalformedFrameGetsTypedErrorThenClose) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+  WireClient client("127.0.0.1", net.port());
+
+  // A well-formed frame followed by garbage: the first answer arrives, then
+  // the server reports the damage and closes (no resync on a byte stream).
+  const ResponseFrame ok =
+      client.call(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  ASSERT_EQ(ok.type, MsgType::kPredictResponse);
+
+  std::vector<std::uint8_t> bytes;
+  encode_request(predict_frame(2, Mapping({NodeId{0}, NodeId{1}})), bytes);
+  bytes[0] ^= 0xFF;  // break the magic
+  WireClient attacker("127.0.0.1", net.port());
+  attacker.send_raw(bytes);
+  const ResponseFrame error = attacker.recv();
+  ASSERT_EQ(error.type, MsgType::kError);
+  EXPECT_EQ(error.error, WireError::kBadMagic);
+  EXPECT_THROW((void)attacker.recv(), NetError);  // server closed it
+  EXPECT_GE(net.protocol_errors(), 1u);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, IdleConnectionsAreSwept) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(5);
+  cfg.connection.idle_timeout = std::chrono::milliseconds(30);
+  NetServer net(srv, cfg);
+  WireClient client("127.0.0.1", net.port());
+  EXPECT_THROW((void)client.recv(), NetError);  // closed by the idle sweep
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, BindFailureThrowsNetError) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer first(srv, loop_config());
+  NetConfig clash = loop_config();
+  clash.port = first.port();
+  EXPECT_THROW(NetServer(srv, clash), NetError);
+  first.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, ShutdownAnswersPendingRequestsWithShutdownError) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.fault_hook = [&](const server::Job&) {
+    entered.fetch_add(1);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  };
+  CbesServer srv(svc_, cfg);
+  auto net = std::make_unique<NetServer>(srv, loop_config());
+  WireClient client("127.0.0.1", net->port());
+  client.send(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  while (entered.load() == 0) std::this_thread::yield();
+
+  net->stop();  // answers the pending wire request with kShutdown
+  {
+    const std::lock_guard lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  const ResponseFrame response = client.recv();
+  ASSERT_EQ(response.type, MsgType::kError);
+  EXPECT_EQ(response.error, WireError::kShutdown);
+  net.reset();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetTest, LoadgenIsDeterministicAcrossRuns) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+
+  LoadGenOptions opt;
+  opt.port = net.port();
+  opt.connections = 2;
+  opt.pipeline = 4;
+  opt.requests_per_connection = 25;
+  opt.seed = 3;
+  opt.app = "tiny";
+  opt.mappings = {Mapping({NodeId{0}, NodeId{1}}),
+                  Mapping({NodeId{2}, NodeId{3}}),
+                  Mapping({NodeId{1}, NodeId{3}})};
+  opt.compare_fraction = 0.3;
+
+  const LoadGenReport first = run_loadgen(opt);
+  EXPECT_EQ(first.submitted, 50u);
+  EXPECT_EQ(first.completed, 50u);
+  EXPECT_EQ(first.transport_errors, 0u);
+  EXPECT_NE(first.answer_checksum, 0u);
+  EXPECT_GT(first.goodput_rps, 0.0);
+
+  // Same seed, same server: the answer stream is bit-identical (the second
+  // run is served from cache, which must not change a single bit).
+  const LoadGenReport second = run_loadgen(opt);
+  EXPECT_EQ(second.answer_checksum, first.answer_checksum);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace cbes::net
