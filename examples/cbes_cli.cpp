@@ -15,10 +15,13 @@
 //                  [--watchdog-ms W] [--checkpoint file.ckpt]
 //                  [--status-out file.txt|file.json]
 //                  [--listen HOST:PORT] [--duration-s N] [--port-file FILE]
-//   cbes_cli loadgen <cluster> <app> <ranks> --connect HOST:PORT
+//   cbes_cli loadgen <cluster> <app> <ranks> --connect HOST:PORT[,HOST:PORT..]
 //                  [--connections N] [--pipeline P] [--duration-s D]
 //                  [--requests K] [--deadline-ms D] [--seed S]
 //                  [--compare-fraction F]
+//                  [--adversarial dribble|stall|garbage|disconnect|mix]
+//                  [--adversarial-connections N] [--chaos-partial P]
+//                  [--chaos-eagain P] [--chaos-reset P] [--chaos-max-resets N]
 //   cbes_cli chaos <cluster> <app> <ranks> [--seed S] [--requests K]
 //                  [--horizon T] [--worker-stalls N] [--monitor-outages N]
 //                  [--slow-calibrations N] [--status-out file.txt|file.json]
@@ -50,11 +53,17 @@
 //   --port-file FILE     wire mode: write the bound port number to FILE once
 //                        listening (how scripts find an ephemeral port)
 //
-// `loadgen` is the matching wire client: N connections pipelining mixed-
-// priority predict/compare requests at a `serve --listen` daemon until the
-// duration (or per-connection request budget) runs out, then prints offered
-// and goodput rates, latency quantiles, and per-outcome counts. Exits
-// nonzero when nothing completed or a connection was lost mid-run.
+// `loadgen` is the matching wire client: N resilient connections (reconnect,
+// failover across the comma-separated --connect endpoints, idempotent-read
+// replay) pipelining mixed-priority predict/compare requests at a
+// `serve --listen` daemon until the duration (or per-connection request
+// budget) runs out, then prints offered and goodput rates, latency
+// quantiles, and per-outcome counts. --chaos-* inject seeded socket faults
+// (partial I/O, EAGAIN storms, mid-frame resets) into the well-behaved
+// connections' transports; --adversarial adds hostile connections (dribble /
+// stall / garbage / disconnect-mid-frame / mix) the server must defend
+// against while goodput continues. Exits nonzero when nothing completed or
+// a connection was lost for good mid-run.
 //
 // `audit` measures prediction accuracy: it samples K candidate mappings,
 // predicts each through the service, simulates the same run under the
@@ -465,6 +474,9 @@ int run_wire_server(server::CbesServer& srv, const ServeOptions& opt) {
   g_signal_stop = 0;
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  // Transport writes use MSG_NOSIGNAL, but belt-and-braces: a client closing
+  // mid-response must never kill the daemon with an unhandled SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::seconds(opt.duration_s);
   while (g_signal_stop == 0 &&
@@ -472,18 +484,23 @@ int run_wire_server(server::CbesServer& srv, const ServeOptions& opt) {
           std::chrono::steady_clock::now() < deadline)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  net->stop();
+  // Graceful drain: every request already read off the wire gets an answer
+  // (typed kShutdown at worst) before the sockets close.
+  net->drain();
   srv.shutdown(/*drain=*/true);
 
   server::ServerStatus status = srv.status();
   net->fill_status(status);
   std::printf("wire: %llu connections, %llu frames in / %llu out, "
-              "%llu coalesced, %llu protocol errors\n",
+              "%llu coalesced, %llu protocol errors, "
+              "%llu drain-shutdown answers\n",
               static_cast<unsigned long long>(status.net.connections_total),
               static_cast<unsigned long long>(status.net.frames_rx),
               static_cast<unsigned long long>(status.net.frames_tx),
               static_cast<unsigned long long>(status.net.coalesce_hits),
-              static_cast<unsigned long long>(status.net.protocol_errors));
+              static_cast<unsigned long long>(status.net.protocol_errors),
+              static_cast<unsigned long long>(
+                  status.net.drain_shutdown_answered));
   if (!opt.checkpoint.empty()) {
     server::save_checkpoint(server::take_checkpoint(srv), opt.checkpoint,
                             g_log.get());
@@ -679,7 +696,7 @@ int cmd_serve(const std::string& cluster, const std::string& app,
 
 /// Wire load-generator options (see net::LoadGenOptions).
 struct LoadGenCliOptions {
-  std::string connect;  ///< HOST:PORT of a `serve --listen` daemon
+  std::string connect;  ///< HOST:PORT[,HOST:PORT...] of serve daemons
   std::size_t connections = 4;
   std::size_t pipeline = 8;
   double duration_s = 2.0;
@@ -687,6 +704,12 @@ struct LoadGenCliOptions {
   std::size_t deadline_ms = 0;
   std::uint64_t seed = 1;
   double compare_fraction = 0.25;
+  std::string adversarial = "none";  ///< hostile-connection mode
+  std::size_t adversarial_connections = 0;
+  double chaos_partial = 0.0;  ///< socket-chaos injection probabilities
+  double chaos_eagain = 0.0;
+  double chaos_reset = 0.0;
+  std::size_t chaos_max_resets = 0;
 };
 
 int cmd_loadgen(const std::string& cluster, const std::string& app,
@@ -705,7 +728,9 @@ int cmd_loadgen(const std::string& cluster, const std::string& app,
   }
 
   net::LoadGenOptions lg;
-  split_host_port(opt.connect, lg.host, lg.port);
+  lg.endpoints = net::parse_endpoints(opt.connect);
+  lg.host = lg.endpoints.front().host;
+  lg.port = lg.endpoints.front().port;
   lg.connections = opt.connections;
   lg.pipeline = opt.pipeline;
   lg.duration_s = opt.duration_s;
@@ -715,6 +740,12 @@ int cmd_loadgen(const std::string& cluster, const std::string& app,
   lg.app = program.name;
   lg.mappings = std::move(mappings);
   lg.compare_fraction = opt.compare_fraction;
+  lg.adversary = net::parse_adversary(opt.adversarial);
+  lg.adversarial_connections = opt.adversarial_connections;
+  lg.chaos_partial = opt.chaos_partial;
+  lg.chaos_eagain = opt.chaos_eagain;
+  lg.chaos_reset = opt.chaos_reset;
+  lg.chaos_max_resets = opt.chaos_max_resets;
 
   const net::LoadGenReport report = net::run_loadgen(lg);
   std::printf("loadgen %s: %llu offered (%.0f req/s), %llu completed "
@@ -727,13 +758,27 @@ int cmd_loadgen(const std::string& cluster, const std::string& app,
   std::printf("  latency: p50 %.3f ms, p99 %.3f ms\n", report.p50_ms,
               report.p99_ms);
   std::printf("  coalesced=%llu rejected=%llu shed=%llu cancelled=%llu "
-              "failed=%llu transport-errors=%llu\n",
+              "rate-limited=%llu shutdown=%llu failed=%llu "
+              "transport-errors=%llu\n",
               static_cast<unsigned long long>(report.coalesced),
               static_cast<unsigned long long>(report.rejected),
               static_cast<unsigned long long>(report.shed),
               static_cast<unsigned long long>(report.cancelled),
+              static_cast<unsigned long long>(report.rate_limited),
+              static_cast<unsigned long long>(report.shutdown),
               static_cast<unsigned long long>(report.failed),
               static_cast<unsigned long long>(report.transport_errors));
+  if (report.reconnects > 0 || report.replays > 0) {
+    std::printf("  resilience: %llu reconnects, %llu replays\n",
+                static_cast<unsigned long long>(report.reconnects),
+                static_cast<unsigned long long>(report.replays));
+  }
+  if (lg.adversary != net::Adversary::kNone) {
+    std::printf("  adversarial(%s): %llu rounds, %llu pushed back\n",
+                net::adversary_name(lg.adversary),
+                static_cast<unsigned long long>(report.attacker_rounds),
+                static_cast<unsigned long long>(report.attacker_errors));
+  }
   std::printf("  bytes: %llu tx, %llu rx; answer checksum %016llx\n",
               static_cast<unsigned long long>(report.tx_bytes),
               static_cast<unsigned long long>(report.rx_bytes),
@@ -984,6 +1029,20 @@ int dispatch(const std::vector<std::string>& args) {
         opt.seed = parse_count(args[++i], "--seed");
       } else if (args[i] == "--compare-fraction" && i + 1 < args.size()) {
         opt.compare_fraction = parse_real(args[++i], "--compare-fraction");
+      } else if (args[i] == "--adversarial" && i + 1 < args.size()) {
+        opt.adversarial = args[++i];
+      } else if (args[i] == "--adversarial-connections" &&
+                 i + 1 < args.size()) {
+        opt.adversarial_connections =
+            parse_count(args[++i], "--adversarial-connections");
+      } else if (args[i] == "--chaos-partial" && i + 1 < args.size()) {
+        opt.chaos_partial = parse_real(args[++i], "--chaos-partial");
+      } else if (args[i] == "--chaos-eagain" && i + 1 < args.size()) {
+        opt.chaos_eagain = parse_real(args[++i], "--chaos-eagain");
+      } else if (args[i] == "--chaos-reset" && i + 1 < args.size()) {
+        opt.chaos_reset = parse_real(args[++i], "--chaos-reset");
+      } else if (args[i] == "--chaos-max-resets" && i + 1 < args.size()) {
+        opt.chaos_max_resets = parse_count(args[++i], "--chaos-max-resets");
       } else {
         std::fprintf(stderr, "error: unknown loadgen option '%s'\n",
                      args[i].c_str());

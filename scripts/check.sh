@@ -11,7 +11,9 @@
 #      test_property, whose delta-vs-full evaluation sweeps also cover the
 #      compiled-profile cache sharing immutable artifacts across workers, and
 #      test_net, whose loopback clients cross the event-loop/worker boundary
-#      (completion fan-out, coalescing, shutdown) on every request;
+#      (completion fan-out, coalescing, shutdown) on every request, and
+#      test_net_resilience, whose graceful-drain and chaos-loadgen scenarios
+#      race client threads, the event loop, and workers on purpose;
 #   4. with CBES_SANITIZE=undefined, rebuild under UndefinedBehaviorSanitizer
 #      (-fno-sanitize-recover=all: any UB aborts the test) and run the core
 #      and resilience suites — the checkpoint text codec, retry/backoff
@@ -49,11 +51,12 @@ if [[ "${CBES_SANITIZE:-}" == "thread" ]]; then
     -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j "$jobs" \
     --target test_server --target test_fault --target test_property \
-    --target test_net
+    --target test_net --target test_net_resilience
   ./build-tsan/tests/test_server
   ./build-tsan/tests/test_fault
   ./build-tsan/tests/test_property
   ./build-tsan/tests/test_net
+  ./build-tsan/tests/test_net_resilience
 fi
 
 if [[ "${CBES_SANITIZE:-}" == "undefined" ]]; then
@@ -62,12 +65,13 @@ if [[ "${CBES_SANITIZE:-}" == "undefined" ]]; then
     -DCBES_BUILD_BENCH=OFF -DCBES_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-ubsan -j "$jobs" \
     --target test_core --target test_resilience --target test_server \
-    --target test_fault --target test_net
+    --target test_fault --target test_net --target test_net_resilience
   ./build-ubsan/tests/test_core
   ./build-ubsan/tests/test_resilience
   ./build-ubsan/tests/test_server
   ./build-ubsan/tests/test_fault
   ./build-ubsan/tests/test_net
+  ./build-ubsan/tests/test_net_resilience
 fi
 
 echo "== all checks passed =="

@@ -31,6 +31,14 @@ const char* fault_kind_name(FaultKind kind) noexcept {
       return "monitor-outage";
     case FaultKind::kSlowCalibration:
       return "slow-calibration";
+    case FaultKind::kSocketPartialIo:
+      return "socket-partial-io";
+    case FaultKind::kSocketEagain:
+      return "socket-eagain";
+    case FaultKind::kSocketReset:
+      return "socket-reset";
+    case FaultKind::kSocketStall:
+      return "socket-stall";
   }
   return "?";
 }
@@ -138,6 +146,22 @@ void FaultPlan::add(FaultEvent event) {
           "slow-calibration is server-side and takes no target node");
       CBES_CHECK_MSG(std::isfinite(event.magnitude) && event.magnitude > 0.0,
                      "slow-calibration delay must be positive seconds");
+      break;
+    case FaultKind::kSocketPartialIo:
+    case FaultKind::kSocketEagain:
+    case FaultKind::kSocketReset:
+      CBES_CHECK_MSG(!event.node.valid(),
+                     "socket faults hit the transport and take no target node");
+      CBES_CHECK_MSG(
+          std::isfinite(event.magnitude) && event.magnitude >= 0.0 &&
+              event.magnitude <= 1.0,
+          "socket fault probability must be in [0, 1]");
+      break;
+    case FaultKind::kSocketStall:
+      CBES_CHECK_MSG(!event.node.valid(),
+                     "socket faults hit the transport and take no target node");
+      CBES_CHECK_MSG(std::isfinite(event.magnitude) && event.magnitude > 0.0,
+                     "socket stall must be positive seconds");
       break;
   }
   events_.push_back(event);
@@ -248,6 +272,27 @@ FaultPlan FaultPlan::chaos(std::size_t node_count, const ChaosOptions& options,
     e.until = rng.uniform(e.at + 0.05 * options.horizon, options.horizon);
     e.magnitude = options.stall_seconds;
     plan.add(e);
+  }
+  const auto socket_episode = [&](FaultKind kind, double magnitude) {
+    FaultEvent e;
+    e.kind = kind;
+    e.at = rng.uniform(0.0, 0.6 * options.horizon);
+    e.until = rng.uniform(e.at + 0.05 * options.horizon, options.horizon);
+    e.magnitude = magnitude;
+    plan.add(e);
+  };
+  for (std::size_t i = 0; i < options.socket_partials; ++i) {
+    socket_episode(FaultKind::kSocketPartialIo,
+                   options.socket_fault_probability);
+  }
+  for (std::size_t i = 0; i < options.socket_eagains; ++i) {
+    socket_episode(FaultKind::kSocketEagain, options.socket_fault_probability);
+  }
+  for (std::size_t i = 0; i < options.socket_resets; ++i) {
+    socket_episode(FaultKind::kSocketReset, options.socket_fault_probability);
+  }
+  for (std::size_t i = 0; i < options.socket_stalls; ++i) {
+    socket_episode(FaultKind::kSocketStall, options.stall_seconds);
   }
   return plan;
 }

@@ -51,16 +51,30 @@ enum class FaultKind : unsigned char {
   kWorkerStall,      ///< executor attempts stall `magnitude` wall-seconds in [at, until)
   kMonitorOutage,    ///< monitor snapshots fail in [at, until)
   kSlowCalibration,  ///< profile compilation takes `magnitude` extra wall-seconds in [at, until)
+  // ---- socket faults (no target node; hit the wire front-end's transport) --
+  kSocketPartialIo,  ///< reads/writes truncate with probability `magnitude`
+  kSocketEagain,     ///< EAGAIN storms with per-op probability `magnitude`
+  kSocketReset,      ///< mid-frame ECONNRESET with probability `magnitude`
+  kSocketStall,      ///< peer stalls `magnitude` wall-seconds per stall
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
 
+/// True for faults against the wire front-end's byte transport
+/// (net::FaultyTransport interprets these; see net/transport.h).
+[[nodiscard]] constexpr bool is_socket_fault(FaultKind kind) noexcept {
+  return kind == FaultKind::kSocketPartialIo ||
+         kind == FaultKind::kSocketEagain ||
+         kind == FaultKind::kSocketReset || kind == FaultKind::kSocketStall;
+}
+
 /// True for faults against the serving infrastructure rather than a cluster
-/// node (kWorkerStall / kMonitorOutage / kSlowCalibration).
+/// node (kWorkerStall / kMonitorOutage / kSlowCalibration, plus the socket
+/// kinds — none of them take a target node).
 [[nodiscard]] constexpr bool is_server_fault(FaultKind kind) noexcept {
   return kind == FaultKind::kWorkerStall ||
          kind == FaultKind::kMonitorOutage ||
-         kind == FaultKind::kSlowCalibration;
+         kind == FaultKind::kSlowCalibration || is_socket_fault(kind);
 }
 
 /// One fault event. Which fields matter depends on `kind`:
@@ -74,7 +88,11 @@ enum class FaultKind : unsigned char {
 ///   kWorkerStall:       at, until, magnitude = stall wall-seconds > 0
 ///   kMonitorOutage:     at, until
 ///   kSlowCalibration:   at, until, magnitude = extra compile wall-seconds > 0
-/// Server-side kinds must leave `node` invalid.
+///   kSocketPartialIo:   at, until, magnitude = per-op probability in [0, 1]
+///   kSocketEagain:      at, until, magnitude = per-op probability in [0, 1]
+///   kSocketReset:       at, until, magnitude = per-op probability in [0, 1]
+///   kSocketStall:       at, until, magnitude = stall wall-seconds > 0
+/// Server-side and socket kinds must leave `node` invalid.
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   /// Target node; for kReportLoss an invalid id means cluster-wide, and
@@ -105,6 +123,13 @@ struct ChaosOptions {
   /// Wall-seconds a stalled worker attempt hangs (kept small: the watchdog
   /// must notice, but CI must not crawl).
   double stall_seconds = 0.2;
+  // ---- socket chaos (defaults off: pre-ISSUE-9 plans are unchanged) -------
+  std::size_t socket_partials = 0;  ///< partial read/write episodes
+  std::size_t socket_eagains = 0;   ///< EAGAIN-storm episodes
+  std::size_t socket_resets = 0;    ///< mid-frame connection-reset episodes
+  std::size_t socket_stalls = 0;    ///< peer-stall episodes
+  /// Per-operation probability each socket episode injects with.
+  double socket_fault_probability = 0.2;
 };
 
 /// Ordered, validated collection of fault events.

@@ -261,6 +261,7 @@ std::string_view wire_error_name(WireError e) noexcept {
     case WireError::kCancelled: return "cancelled";
     case WireError::kFailed: return "failed";
     case WireError::kShutdown: return "shutdown";
+    case WireError::kRateLimited: return "rate-limited";
   }
   return "?";
 }
@@ -439,7 +440,8 @@ WireError decode_response(const FrameHeader& header,
         detail = "bad error payload";
         return WireError::kMalformed;
       }
-      if (error == 0 || error > static_cast<std::uint8_t>(WireError::kShutdown)) {
+      if (error == 0 ||
+          error > static_cast<std::uint8_t>(WireError::kRateLimited)) {
         detail = "unknown error code";
         return WireError::kMalformed;
       }

@@ -73,7 +73,7 @@ enum class MsgType : std::uint8_t {
 [[nodiscard]] std::string_view msg_type_name(MsgType t) noexcept;
 
 /// Typed decode/serve errors. kNone..kTrailingGarbage describe wire damage
-/// (the decode itself failed); kRejected..kShutdown relay a job outcome.
+/// (the decode itself failed); kRejected..kRateLimited relay a serve outcome.
 enum class WireError : std::uint8_t {
   kNone = 0,
   kBadMagic = 1,        ///< frame does not start with kWireMagic
@@ -87,6 +87,7 @@ enum class WireError : std::uint8_t {
   kCancelled = 9,       ///< the job was cancelled (deadline or caller)
   kFailed = 10,         ///< the job failed (detail + fail_reason say why)
   kShutdown = 11,       ///< the server is shutting down
+  kRateLimited = 12,    ///< per-connection rate limit exceeded; back off
 };
 
 [[nodiscard]] std::string_view wire_error_name(WireError e) noexcept;

@@ -3,10 +3,12 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 
 #include "common/check.h"
+#include "net/transport.h"
 
 namespace cbes::net {
 
@@ -18,9 +20,15 @@ Connection::Connection(EventLoop& loop, int fd, std::uint64_t id,
       id_(id),
       peer_(std::move(peer)),
       config_(config),
+      transport_(config.transport != nullptr ? *config.transport
+                                             : SocketTransport::instance()),
       counters_(counters),
       hooks_(std::move(hooks)),
-      last_activity_(std::chrono::steady_clock::now()) {
+      created_(std::chrono::steady_clock::now()),
+      last_activity_(created_),
+      rate_tokens_(config.rate_limit_burst),
+      rate_refilled_(created_),
+      last_write_progress_(created_) {
   CBES_CHECK_MSG(fd_ >= 0, "Connection: negative fd");
 }
 
@@ -51,7 +59,7 @@ void Connection::on_readable() {
     const std::size_t old_size = read_buf_.size();
     read_buf_.resize(old_size + config_.read_chunk);
     const ssize_t n =
-        ::read(fd_, read_buf_.data() + old_size, config_.read_chunk);
+        transport_.read(fd_, read_buf_.data() + old_size, config_.read_chunk);
     if (n > 0) {
       read_buf_.resize(old_size + static_cast<std::size_t>(n));
       counters_.rx_bytes.fetch_add(static_cast<std::uint64_t>(n),
@@ -76,6 +84,7 @@ void Connection::on_readable() {
 }
 
 void Connection::parse_frames() {
+  bool consumed_frame = false;
   for (;;) {
     if (inflight_ >= config_.max_inflight) break;  // reads pause below
     const std::size_t buffered = read_buf_.size() - read_off_;
@@ -104,9 +113,28 @@ void Connection::parse_frames() {
       return;
     }
     read_off_ += frame_bytes;
+    consumed_frame = true;
     counters_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+    if (!take_rate_token()) {
+      // Over the per-connection budget: the frame is consumed and answered
+      // with a typed error so a well-behaved client can back off, but it
+      // never reaches the job broker.
+      counters_.rate_limited.fetch_add(1, std::memory_order_relaxed);
+      send_error(request.request_id, WireError::kRateLimited,
+                 "per-connection rate limit exceeded");
+      if (state_ != State::kOpen) return;
+      continue;
+    }
     hooks_.on_request(*this, std::move(request));
     if (state_ != State::kOpen) return;
+  }
+  // Slowloris timer: a partial frame sitting in the buffer is only suspect
+  // while no complete frame lands — every consumed frame is progress.
+  if (read_buf_.size() == read_off_) {
+    partial_frame_pending_ = false;
+  } else if (consumed_frame || !partial_frame_pending_) {
+    partial_frame_pending_ = true;
+    partial_frame_since_ = std::chrono::steady_clock::now();
   }
   // Compact the consumed prefix so the buffer never grows past one partial
   // frame plus whatever a single read burst appended.
@@ -115,6 +143,19 @@ void Connection::parse_frames() {
                     read_buf_.begin() + static_cast<std::ptrdiff_t>(read_off_));
     read_off_ = 0;
   }
+}
+
+bool Connection::take_rate_token() {
+  if (config_.rate_limit_rps <= 0.0) return true;
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - rate_refilled_).count();
+  rate_refilled_ = now;
+  rate_tokens_ = std::min(config_.rate_limit_burst,
+                          rate_tokens_ + elapsed * config_.rate_limit_rps);
+  if (rate_tokens_ < 1.0) return false;
+  rate_tokens_ -= 1.0;
+  return true;
 }
 
 void Connection::protocol_error(std::uint64_t request_id, WireError error,
@@ -127,6 +168,10 @@ void Connection::protocol_error(std::uint64_t request_id, WireError error,
 
 void Connection::send(const ResponseFrame& response) {
   if (state_ == State::kClosed) return;
+  if (write_buf_.size() == write_off_) {
+    // Write-stall timer starts when the buffer goes nonempty.
+    last_write_progress_ = std::chrono::steady_clock::now();
+  }
   encode_response(response, write_buf_);
   counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
   flush();
@@ -179,13 +224,14 @@ void Connection::on_writable() {
 
 void Connection::flush() {
   while (write_off_ < write_buf_.size()) {
-    const ssize_t n = ::write(fd_, write_buf_.data() + write_off_,
-                              write_buf_.size() - write_off_);
+    const ssize_t n = transport_.write(fd_, write_buf_.data() + write_off_,
+                                       write_buf_.size() - write_off_);
     if (n > 0) {
       write_off_ += static_cast<std::size_t>(n);
       counters_.tx_bytes.fetch_add(static_cast<std::uint64_t>(n),
                                    std::memory_order_relaxed);
       last_activity_ = std::chrono::steady_clock::now();
+      last_write_progress_ = last_activity_;
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -241,6 +287,21 @@ bool Connection::idle_expired(
   if (state_ != State::kOpen) return false;
   if (inflight_ > 0) return false;  // quiet is fine while work is running
   return now - last_activity_ >= config_.idle_timeout;
+}
+
+const char* Connection::slow_expired(
+    std::chrono::steady_clock::time_point now) const noexcept {
+  if (state_ == State::kClosed) return nullptr;
+  if (config_.write_stall_timeout.count() > 0 &&
+      write_off_ < write_buf_.size() &&
+      now - last_write_progress_ >= config_.write_stall_timeout) {
+    return "write stall";
+  }
+  if (config_.header_timeout.count() > 0 && partial_frame_pending_ &&
+      now - partial_frame_since_ >= config_.header_timeout) {
+    return "header dribble";
+  }
+  return nullptr;
 }
 
 void Connection::enter_backpressure() {

@@ -36,6 +36,8 @@
 
 namespace cbes::net {
 
+class Transport;
+
 /// Per-connection tuning; embedded in NetConfig.
 struct ConnectionConfig {
   CodecLimits limits;
@@ -50,6 +52,22 @@ struct ConnectionConfig {
   /// Close a connection with no traffic and no inflight work for this long;
   /// zero = never.
   std::chrono::milliseconds idle_timeout{0};
+  /// Byte I/O seam; null = the real socket (transport.h). Tests and the
+  /// chaos harness interpose a FaultyTransport here.
+  Transport* transport = nullptr;
+  /// Token-bucket rate limit: sustained requests/second per connection;
+  /// zero = unlimited. Over-limit requests get typed kRateLimited frames.
+  double rate_limit_rps = 0.0;
+  /// Token-bucket depth: how many requests may burst above the sustained
+  /// rate before kRateLimited frames start.
+  double rate_limit_burst = 32.0;
+  /// Evict a connection whose write buffer has made no progress for this
+  /// long (slow reader holding server memory); zero = never.
+  std::chrono::milliseconds write_stall_timeout{0};
+  /// Evict a connection dribbling a frame byte-by-byte (slowloris): a
+  /// partial frame older than this with no complete frame consumed since is
+  /// hostile; zero = never.
+  std::chrono::milliseconds header_timeout{0};
 };
 
 /// Aggregate wire counters shared by every connection of one NetServer.
@@ -67,6 +85,10 @@ struct NetCounters {
   std::atomic<std::uint64_t> idle_closed{0};
   std::atomic<std::uint64_t> coalesce_hits{0};
   std::atomic<std::uint64_t> coalesce_leaders{0};
+  std::atomic<std::uint64_t> rate_limited{0};
+  std::atomic<std::uint64_t> slow_evicted{0};
+  std::atomic<std::uint64_t> accepts_refused{0};
+  std::atomic<std::uint64_t> drain_shutdown_answered{0};
 };
 
 class Connection {
@@ -117,11 +139,19 @@ class Connection {
   /// True when the idle sweep should close this connection at `now`.
   [[nodiscard]] bool idle_expired(
       std::chrono::steady_clock::time_point now) const noexcept;
+  /// Non-null when the slow-client sweep should evict this connection at
+  /// `now`: the eviction reason ("write stall" or "header dribble").
+  [[nodiscard]] const char* slow_expired(
+      std::chrono::steady_clock::time_point now) const noexcept;
 
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
   [[nodiscard]] const std::string& peer() const noexcept { return peer_; }
   [[nodiscard]] std::size_t inflight() const noexcept { return inflight_; }
   [[nodiscard]] bool backpressured() const noexcept { return backpressured_; }
+  [[nodiscard]] std::chrono::steady_clock::time_point created_at()
+      const noexcept {
+    return created_;
+  }
 
  private:
   enum class State : unsigned char { kOpen, kClosing, kClosed };
@@ -134,6 +164,8 @@ class Connection {
   void parse_frames();
   void protocol_error(std::uint64_t request_id, WireError error,
                       std::string detail);
+  /// Refills and draws from the token bucket; false = over the rate limit.
+  [[nodiscard]] bool take_rate_token();
   /// Writes as much buffered output as the socket accepts.
   void flush();
   /// Recomputes the epoll interest mask from the pause/write state.
@@ -151,6 +183,7 @@ class Connection {
   const std::uint64_t id_;
   const std::string peer_;
   const ConnectionConfig& config_;
+  Transport& transport_;
   NetCounters& counters_;
   Hooks hooks_;
 
@@ -165,7 +198,19 @@ class Connection {
   std::size_t inflight_ = 0;
   bool backpressured_ = false;
   bool kick_scheduled_ = false;  ///< a parse-resume task is already posted
+  std::chrono::steady_clock::time_point created_;
   std::chrono::steady_clock::time_point last_activity_;
+
+  // ---- server defense (loop thread) -----------------------------------------
+  double rate_tokens_ = 0.0;  ///< token bucket for rate_limit_rps
+  std::chrono::steady_clock::time_point rate_refilled_;
+  /// Last instant flush() moved bytes (write-stall detection baseline).
+  std::chrono::steady_clock::time_point last_write_progress_;
+  /// When the read buffer started holding an incomplete frame with no
+  /// complete frame consumed since — the slowloris timer. Reset on every
+  /// consumed frame; cleared when the buffer drains.
+  std::chrono::steady_clock::time_point partial_frame_since_;
+  bool partial_frame_pending_ = false;
 };
 
 }  // namespace cbes::net

@@ -153,13 +153,19 @@ bool EventLoop::in_loop_thread() const noexcept {
 void EventLoop::wake() {
   const std::uint64_t one = 1;
   // A full eventfd counter still wakes the loop; short writes cannot happen
-  // for 8-byte eventfd writes.
-  (void)::write(wake_fd_, &one, sizeof(one));
+  // for 8-byte eventfd writes. A signal landing mid-write must not eat the
+  // wakeup — a lost wake() is a stuck posted task or a hung stop().
+  while (::write(wake_fd_, &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
 }
 
 void EventLoop::drain_wake() const {
   std::uint64_t count = 0;
-  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  for (;;) {
+    const ssize_t n = ::read(wake_fd_, &count, sizeof(count));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;  // signal storm: keep draining
+    break;  // EAGAIN: counter is empty
   }
 }
 

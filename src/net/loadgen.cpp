@@ -11,13 +11,16 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "net/net_client.h"
 #include "net/net_error.h"
+#include "net/transport.h"
 
 namespace cbes::net {
 
@@ -34,9 +37,34 @@ namespace {
 
 }  // namespace
 
+Adversary parse_adversary(const std::string& name) {
+  if (name == "dribble") return Adversary::kDribble;
+  if (name == "stall") return Adversary::kStall;
+  if (name == "garbage") return Adversary::kGarbage;
+  if (name == "disconnect") return Adversary::kDisconnect;
+  if (name == "mix") return Adversary::kMix;
+  if (name == "none") return Adversary::kNone;
+  throw ContractError("unknown adversarial mode '" + name +
+                      "' (want dribble|stall|garbage|disconnect|mix)");
+}
+
+const char* adversary_name(Adversary a) noexcept {
+  switch (a) {
+    case Adversary::kNone: return "none";
+    case Adversary::kDribble: return "dribble";
+    case Adversary::kStall: return "stall";
+    case Adversary::kGarbage: return "garbage";
+    case Adversary::kDisconnect: return "disconnect";
+    case Adversary::kMix: return "mix";
+  }
+  return "?";
+}
+
 WireClient::WireClient(const std::string& host, std::uint16_t port,
-                       CodecLimits limits)
-    : limits_(limits) {
+                       CodecLimits limits, Transport* transport)
+    : limits_(limits),
+      transport_(transport != nullptr ? transport
+                                      : &SocketTransport::instance()) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -72,12 +100,16 @@ void WireClient::send(const RequestFrame& request) {
 void WireClient::send_raw(const std::vector<std::uint8_t>& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    const ssize_t n =
+        transport_->write(fd_, bytes.data() + sent, bytes.size() - sent);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
-    if (errno == EINTR) continue;
+    // Blocking socket: EAGAIN only arrives from an injected chaos storm.
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     throw NetError("send: " + std::string(std::strerror(errno)));
   }
   tx_bytes_ += bytes.size();
@@ -114,7 +146,7 @@ ResponseFrame WireClient::recv() {
     }
     const std::size_t old_size = buf_.size();
     buf_.resize(old_size + 64 * 1024);
-    const ssize_t n = ::read(fd_, buf_.data() + old_size, 64 * 1024);
+    const ssize_t n = transport_->read(fd_, buf_.data() + old_size, 64 * 1024);
     if (n > 0) {
       buf_.resize(old_size + static_cast<std::size_t>(n));
       rx_bytes_ += static_cast<std::uint64_t>(n);
@@ -122,7 +154,7 @@ ResponseFrame WireClient::recv() {
     }
     buf_.resize(old_size);
     if (n == 0) throw NetError("recv: connection closed by server");
-    if (errno == EINTR) continue;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     throw NetError("recv: " + std::string(std::strerror(errno)));
   }
 }
@@ -169,6 +201,12 @@ void classify(const ResponseFrame& response, LoadGenReport& report) {
     case WireError::kCancelled:
       ++report.cancelled;
       break;
+    case WireError::kRateLimited:
+      ++report.rate_limited;
+      break;
+    case WireError::kShutdown:
+      ++report.shutdown;
+      break;
     case WireError::kFailed:
       if (response.fail_reason == server::FailReason::kShed) {
         ++report.shed;
@@ -187,7 +225,30 @@ void loadgen_thread(const LoadGenOptions& options, std::size_t index,
   using Clock = std::chrono::steady_clock;
   LoadGenReport& report = out.partial;
   try {
-    WireClient client(options.host, options.port, options.limits);
+    // Per-thread chaos transport: seeded independently so N connections see
+    // N independent fault streams, all replayable from options.seed.
+    std::unique_ptr<FaultyTransport> chaos;
+    if (options.chaos_partial > 0.0 || options.chaos_eagain > 0.0 ||
+        options.chaos_reset > 0.0) {
+      FaultyTransportConfig fault_config;
+      fault_config.seed = derive_seed(options.seed, 0xC7A05 + index);
+      fault_config.partial_read = options.chaos_partial;
+      fault_config.partial_write = options.chaos_partial;
+      fault_config.eagain_read = options.chaos_eagain;
+      fault_config.eagain_write = options.chaos_eagain;
+      fault_config.reset = options.chaos_reset;
+      fault_config.max_resets = options.chaos_max_resets;
+      chaos = std::make_unique<FaultyTransport>(fault_config);
+    }
+    NetClientConfig client_config;
+    client_config.endpoints =
+        options.endpoints.empty()
+            ? std::vector<Endpoint>{{options.host, options.port}}
+            : options.endpoints;
+    client_config.limits = options.limits;
+    client_config.seed = derive_seed(options.seed, 0xC11E27 + index);
+    client_config.transport = chaos.get();
+    NetClient client(client_config);
     Rng rng(options.seed + 0x9E3779B97F4A7C15ULL * (index + 1));
     const Clock::time_point start = Clock::now();
     const Clock::time_point stop_offering =
@@ -227,12 +288,12 @@ void loadgen_thread(const LoadGenOptions& options, std::size_t index,
         request.predict.mapping =
             options.mappings[std::min(pick, options.mappings.size() - 1)];
       }
-      client.send(request);
+      client.start(request);
       outstanding.emplace(request.request_id, Clock::now());
       ++report.submitted;
     };
     const auto settle_one = [&] {
-      const ResponseFrame response = client.recv();
+      const ResponseFrame response = client.next();
       const Clock::time_point done = Clock::now();
       const auto it = outstanding.find(response.request_id);
       if (it != outstanding.end()) {
@@ -256,8 +317,101 @@ void loadgen_thread(const LoadGenOptions& options, std::size_t index,
         std::chrono::duration<double>(Clock::now() - start).count();
     report.tx_bytes = client.tx_bytes();
     report.rx_bytes = client.rx_bytes();
+    report.reconnects = client.stats().reconnects;
+    report.replays = client.stats().replays;
   } catch (const NetError&) {
     ++report.transport_errors;
+  }
+}
+
+/// One hostile connection: each round opens a fresh connection, misbehaves
+/// in its mode, and records whether the server pushed back. The server is
+/// expected to survive every mode; the well-behaved threads measure whether
+/// it also kept serving.
+void adversary_thread(const LoadGenOptions& options, std::size_t index,
+                      ThreadResult& out) {
+  using Clock = std::chrono::steady_clock;
+  LoadGenReport& report = out.partial;
+  // Attackers hit the primary endpoint only; failover is the victims' trick.
+  const std::string& host =
+      options.endpoints.empty() ? options.host : options.endpoints.front().host;
+  const std::uint16_t port =
+      options.endpoints.empty() ? options.port : options.endpoints.front().port;
+  Rng rng(derive_seed(options.seed, 0xADD00 + index));
+  const Clock::time_point stop =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(options.duration_s));
+  static constexpr Adversary kRotation[] = {
+      Adversary::kDribble, Adversary::kStall, Adversary::kGarbage,
+      Adversary::kDisconnect};
+  std::uint64_t round = 0;
+  while (Clock::now() < stop) {
+    const Adversary mode = options.adversary == Adversary::kMix
+                               ? kRotation[round % 4]
+                               : options.adversary;
+    RequestFrame request;
+    request.type = MsgType::kPredictRequest;
+    request.request_id = 0xAD000000ULL + round * 131 + index;
+    request.predict.app = options.app;
+    request.predict.now = options.now;
+    request.predict.mapping = options.mappings[round % options.mappings.size()];
+    std::vector<std::uint8_t> frame;
+    encode_request(request, frame);
+    try {
+      switch (mode) {
+        case Adversary::kDribble: {
+          // A whole valid request, one byte per write with a stall before
+          // each: legitimate traffic at slowloris pace, via the chaos seam.
+          FaultyTransportConfig fault_config;
+          fault_config.seed = derive_seed(options.seed, 0xD81B + round);
+          fault_config.short_write_cap = 1;
+          fault_config.stall = 1.0;
+          fault_config.stall_ms = 1;
+          FaultyTransport dribble(fault_config);
+          WireClient client(host, port, options.limits,
+                            &dribble);
+          client.send(request);
+          (void)client.recv();  // answered, or evicted for header dribble
+          break;
+        }
+        case Adversary::kStall: {
+          WireClient client(host, port, options.limits);
+          const std::vector<std::uint8_t> half_header(
+              frame.begin(),
+              frame.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes / 2));
+          client.send_raw(half_header);
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              50 + static_cast<int>(rng.below(50))));
+          break;  // close with the header forever unfinished
+        }
+        case Adversary::kGarbage: {
+          WireClient client(host, port, options.limits);
+          std::vector<std::uint8_t> junk(32 + rng.below(64));
+          for (std::uint8_t& b : junk) {
+            b = static_cast<std::uint8_t>(rng.below(256));
+          }
+          junk[0] = 0xFF;  // never a valid magic byte
+          client.send_raw(junk);
+          (void)client.recv();  // typed malformed-frame error, then close
+          break;
+        }
+        case Adversary::kDisconnect: {
+          WireClient client(host, port, options.limits);
+          const std::vector<std::uint8_t> half_frame(
+              frame.begin(),
+              frame.begin() + static_cast<std::ptrdiff_t>(frame.size() / 2));
+          client.send_raw(half_frame);
+          break;  // destructor closes mid-frame
+        }
+        case Adversary::kNone:
+        case Adversary::kMix:
+          return;  // unreachable: kMix resolves to a concrete mode above
+      }
+    } catch (const NetError&) {
+      ++report.attacker_errors;  // refused, evicted, or reset by the server
+    }
+    ++report.attacker_rounds;
+    ++round;
   }
 }
 
@@ -267,12 +421,28 @@ LoadGenReport run_loadgen(const LoadGenOptions& options) {
   CBES_CHECK_MSG(!options.mappings.empty(), "loadgen needs candidate mappings");
   CBES_CHECK_MSG(options.connections >= 1, "loadgen needs a connection");
   CBES_CHECK_MSG(options.pipeline >= 1, "loadgen needs pipeline depth >= 1");
-  std::vector<ThreadResult> results(options.connections);
+  CBES_CHECK_MSG(options.chaos_partial >= 0.0 && options.chaos_partial <= 1.0,
+                 "chaos_partial must be a probability");
+  CBES_CHECK_MSG(options.chaos_eagain >= 0.0 && options.chaos_eagain <= 1.0,
+                 "chaos_eagain must be a probability");
+  CBES_CHECK_MSG(options.chaos_reset >= 0.0 && options.chaos_reset <= 1.0,
+                 "chaos_reset must be a probability");
+  const std::size_t attackers =
+      options.adversary == Adversary::kNone
+          ? 0
+          : std::max<std::size_t>(1, options.adversarial_connections);
+  std::vector<ThreadResult> results(options.connections + attackers);
   std::vector<std::thread> threads;
-  threads.reserve(options.connections);
+  threads.reserve(results.size());
   for (std::size_t i = 0; i < options.connections; ++i) {
     threads.emplace_back(
         [&options, i, &results] { loadgen_thread(options, i, results[i]); });
+  }
+  for (std::size_t i = 0; i < attackers; ++i) {
+    const std::size_t slot = options.connections + i;
+    threads.emplace_back([&options, i, slot, &results] {
+      adversary_thread(options, i, results[slot]);
+    });
   }
   for (std::thread& t : threads) t.join();
 
@@ -285,8 +455,14 @@ LoadGenReport run_loadgen(const LoadGenOptions& options) {
     report.rejected += r.partial.rejected;
     report.shed += r.partial.shed;
     report.cancelled += r.partial.cancelled;
+    report.rate_limited += r.partial.rate_limited;
+    report.shutdown += r.partial.shutdown;
     report.failed += r.partial.failed;
     report.transport_errors += r.partial.transport_errors;
+    report.reconnects += r.partial.reconnects;
+    report.replays += r.partial.replays;
+    report.attacker_rounds += r.partial.attacker_rounds;
+    report.attacker_errors += r.partial.attacker_errors;
     report.tx_bytes += r.partial.tx_bytes;
     report.rx_bytes += r.partial.rx_bytes;
     report.elapsed_s = std::max(report.elapsed_s, r.partial.elapsed_s);

@@ -1,12 +1,21 @@
-// Load-generator client for the wire front-end: N blocking-socket client
-// threads, each pipelining mixed-priority predict/compare requests at one
-// NetServer until a duration or request budget runs out, measuring per-
-// request latency at the client. Drives the server to saturation over
-// loopback — the harness behind bench_net_throughput and the CI net-smoke
-// step (`cbes_cli loadgen`).
+// Load-generator client for the wire front-end: N resilient client threads
+// (net::NetClient — reconnect, failover, idempotent-read replay), each
+// pipelining mixed-priority predict/compare requests at one NetServer until
+// a duration or request budget runs out, measuring per-request latency at
+// the client. Drives the server to saturation over loopback — the harness
+// behind bench_net_throughput and the CI net-smoke / net-chaos steps
+// (`cbes_cli loadgen`).
 //
-// WireClient is the minimal synchronous client the loadgen threads (and the
-// e2e tests) are built from: one connection, blocking call() round-trips.
+// WireClient is the minimal synchronous client the e2e tests are built from:
+// one connection, blocking call() round-trips, no retry. An optional
+// Transport lets tests and the adversarial modes inject socket chaos
+// (net/transport.h).
+//
+// Adversarial modes (`--adversarial`) turn some connections hostile:
+// dribble (1 byte per write through a FaultyTransport), stall (half a
+// header, then silence — slowloris), garbage (random bytes), and
+// disconnect-mid-frame. The server must defend (evict, answer typed errors)
+// while the well-behaved connections keep making progress.
 #pragma once
 
 #include <cstdint>
@@ -14,15 +23,19 @@
 #include <vector>
 
 #include "net/codec.h"
+#include "net/net_client.h"
 
 namespace cbes::net {
+
+class Transport;
 
 /// One blocking client connection. Not thread-safe; one per thread.
 class WireClient {
  public:
-  /// Connects (throws NetError on failure).
+  /// Connects (throws NetError on failure). `transport` (optional) carries
+  /// the byte I/O; it must outlive the client.
   WireClient(const std::string& host, std::uint16_t port,
-             CodecLimits limits = {});
+             CodecLimits limits = {}, Transport* transport = nullptr);
   ~WireClient();
 
   WireClient(const WireClient&) = delete;
@@ -45,15 +58,34 @@ class WireClient {
  private:
   int fd_ = -1;
   CodecLimits limits_;
+  Transport* transport_;           ///< never null after construction
   std::vector<std::uint8_t> buf_;  ///< bytes received, not yet decoded
   std::size_t off_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_bytes_ = 0;
 };
 
+/// Hostile-client behavior for `--adversarial` loadgen connections.
+enum class Adversary : unsigned char {
+  kNone = 0,
+  kDribble,     ///< whole valid requests, one byte per write
+  kStall,       ///< half a frame header, then silence (slowloris)
+  kGarbage,     ///< random bytes that decode to nothing
+  kDisconnect,  ///< half a frame, then an abrupt close
+  kMix,         ///< rotate through the four modes per round
+};
+
+/// Parses "dribble" / "stall" / "garbage" / "disconnect" / "mix"; throws
+/// ContractError on anything else.
+[[nodiscard]] Adversary parse_adversary(const std::string& name);
+[[nodiscard]] const char* adversary_name(Adversary a) noexcept;
+
 struct LoadGenOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Failover set for the resilient client threads (the `--connect a,b,...`
+  /// syntax); empty = the single {host, port} endpoint above.
+  std::vector<Endpoint> endpoints;
   /// Client threads, one connection each.
   std::size_t connections = 4;
   /// Outstanding (pipelined) requests per connection.
@@ -79,6 +111,22 @@ struct LoadGenOptions {
   /// Simulated request time stamped on every payload.
   double now = 0.0;
   CodecLimits limits;
+  /// Hostile-client mode for the adversarial connections (kNone = all
+  /// connections are well-behaved).
+  Adversary adversary = Adversary::kNone;
+  /// Extra hostile connections run *alongside* `connections`; 0 with a
+  /// non-kNone adversary means one hostile connection.
+  std::size_t adversarial_connections = 0;
+  /// Socket-chaos injection on the well-behaved connections' transports
+  /// (0 disables): probability of partial writes / EAGAIN storms per op,
+  /// applied through a per-thread seeded FaultyTransport.
+  double chaos_partial = 0.0;
+  double chaos_eagain = 0.0;
+  /// Probability of a mid-stream connection reset per op (the resilient
+  /// client reconnects and replays).
+  double chaos_reset = 0.0;
+  /// Cap on injected resets per connection (0 = unlimited).
+  std::size_t chaos_max_resets = 0;
 };
 
 struct LoadGenReport {
@@ -88,8 +136,14 @@ struct LoadGenReport {
   std::uint64_t rejected = 0;   ///< kRejected error frames (admission)
   std::uint64_t shed = 0;       ///< kFailed + FailReason::kShed (brown-out)
   std::uint64_t cancelled = 0;  ///< kCancelled error frames (deadline)
+  std::uint64_t rate_limited = 0;  ///< kRateLimited error frames
+  std::uint64_t shutdown = 0;   ///< kShutdown error frames (drain)
   std::uint64_t failed = 0;     ///< other error frames
   std::uint64_t transport_errors = 0;  ///< connections lost mid-run
+  std::uint64_t reconnects = 0;   ///< resilient-client reconnects
+  std::uint64_t replays = 0;      ///< idempotent requests replayed
+  std::uint64_t attacker_rounds = 0;  ///< hostile rounds completed
+  std::uint64_t attacker_errors = 0;  ///< hostile connections refused/killed
   std::uint64_t tx_bytes = 0;
   std::uint64_t rx_bytes = 0;
   double elapsed_s = 0.0;

@@ -1,0 +1,295 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "net/net_error.h"
+#include "net/transport.h"
+
+namespace cbes::net {
+
+std::vector<Endpoint> parse_endpoints(const std::string& spec) {
+  std::vector<Endpoint> endpoints;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string part = spec.substr(begin, end - begin);
+    const std::size_t colon = part.rfind(':');
+    if (part.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 == part.size()) {
+      throw NetError("endpoint spec '" + part + "': want host:port");
+    }
+    const std::string port_str = part.substr(colon + 1);
+    char* parse_end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &parse_end, 10);
+    if (parse_end == nullptr || *parse_end != '\0' || port < 1 ||
+        port > 65535) {
+      throw NetError("endpoint spec '" + part + "': bad port");
+    }
+    endpoints.push_back(
+        {part.substr(0, colon), static_cast<std::uint16_t>(port)});
+    begin = end + 1;
+  }
+  return endpoints;
+}
+
+NetClient::NetClient(NetClientConfig config)
+    : config_(std::move(config)),
+      transport_(config_.transport != nullptr ? config_.transport
+                                              : &SocketTransport::instance()),
+      faulty_(dynamic_cast<FaultyTransport*>(config_.transport)),
+      policy_(config_.retry) {
+  CBES_CHECK_MSG(!config_.endpoints.empty(), "NetClient needs an endpoint");
+  CBES_CHECK_MSG(config_.max_attempts >= 1,
+                 "NetClient needs at least one attempt");
+  breakers_.reserve(config_.endpoints.size());
+  for (std::size_t i = 0; i < config_.endpoints.size(); ++i) {
+    breakers_.push_back(std::make_unique<resilience::CircuitBreaker>(
+        "client_endpoint" + std::to_string(i), config_.breaker));
+  }
+}
+
+NetClient::~NetClient() { disconnect(); }
+
+int NetClient::try_connect(const Endpoint& endpoint, std::string& reason) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    reason = endpoint.host + ": not an IPv4 address";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    reason = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    reason = endpoint.host + ":" + std::to_string(endpoint.port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void NetClient::disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+  off_ = 0;
+}
+
+void NetClient::backoff(std::size_t retry) {
+  const double delay = policy_.backoff_seconds(config_.seed, retry);
+  vnow_ += delay;
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+void NetClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  const bool first = stats_.connects == 0;
+  std::string last_reason = "no endpoint admitted a connect";
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    // Find the next endpoint whose breaker admits a probe, starting from the
+    // current one so a healthy endpoint keeps the traffic.
+    std::size_t tried = 0;
+    bool admitted = false;
+    while (tried < config_.endpoints.size()) {
+      const std::size_t idx =
+          (endpoint_ + tried) % config_.endpoints.size();
+      if (breakers_[idx]->allow(vnow_)) {
+        if (idx != endpoint_) ++stats_.failovers;
+        endpoint_ = idx;
+        admitted = true;
+        break;
+      }
+      ++stats_.short_circuits;
+      ++tried;
+    }
+    if (admitted) {
+      const int fd = try_connect(config_.endpoints[endpoint_], last_reason);
+      if (fd >= 0) {
+        fd_ = fd;
+        breakers_[endpoint_]->record_success(vnow_);
+        // A fresh socket is not poisoned: re-arm a chaos transport so the
+        // reconnect actually gets to speak.
+        if (faulty_ != nullptr) faulty_->heal();
+        ++stats_.connects;
+        if (!first) ++stats_.reconnects;
+        replay_pending();
+        // The replay itself may lose the connection (chaos transport):
+        // only a replay that leaves the socket alive counts as connected.
+        if (fd_ >= 0) return;
+      }
+      breakers_[endpoint_]->record_failure(vnow_);
+      if (config_.endpoints.size() > 1) ++stats_.failovers;
+      endpoint_ = (endpoint_ + 1) % config_.endpoints.size();
+    }
+    backoff(attempt);
+  }
+  throw NetError("NetClient: every endpoint failed (" + last_reason + ")");
+}
+
+void NetClient::replay_pending() {
+  // Iterate over a copy of the ids: send_bytes may disconnect mid-replay and
+  // the retry of ensure_connected restarts the replay from scratch.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, pending] : pending_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    if (config_.retry_reads && it->second.idempotent) {
+      // Replay verbatim: same request id, same payload — the coalescing-safe
+      // dedup key. The server folds the replay into any still-running job
+      // for the same work, so the answer matches the one the lost
+      // connection would have carried.
+      std::vector<std::uint8_t> frame;
+      encode_request(it->second.request, frame);
+      ++stats_.replays;
+      if (!send_bytes(frame.data(), frame.size())) return;  // retried upstack
+      continue;
+    }
+    // Mutating (or replay-disabled) requests must not be double-applied:
+    // answer the caller with a typed transient failure instead.
+    ResponseFrame synthetic;
+    synthetic.type = MsgType::kError;
+    synthetic.request_id = id;
+    synthetic.error = WireError::kFailed;
+    synthetic.fail_reason = server::FailReason::kTransient;
+    synthetic.detail = "connection lost before the answer arrived";
+    ready_.push_back(std::move(synthetic));
+    ++stats_.give_ups;
+    pending_.erase(it);
+  }
+}
+
+bool NetClient::send_bytes(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = transport_->write(fd_, data + sent, len - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      tx_bytes_ += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;  // blocking socket: EAGAIN only from an injected storm
+    }
+    breakers_[endpoint_]->record_failure(vnow_);
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::read_frame(ResponseFrame& out) {
+  for (;;) {
+    const std::size_t buffered = buf_.size() - off_;
+    if (buffered >= kHeaderBytes) {
+      FrameHeader header;
+      const WireError header_error =
+          decode_header(buf_.data() + off_, buffered, config_.limits, header);
+      if (header_error != WireError::kNone) {
+        throw NetError("recv: bad frame header (" +
+                       std::string(wire_error_name(header_error)) + ")");
+      }
+      const std::size_t frame_bytes = kHeaderBytes + header.payload_len;
+      if (buffered >= frame_bytes) {
+        std::string detail;
+        const WireError body_error = decode_response(
+            header, buf_.data() + off_ + kHeaderBytes, header.payload_len,
+            config_.limits, out, detail);
+        if (body_error != WireError::kNone) {
+          throw NetError("recv: bad response payload (" + detail + ")");
+        }
+        off_ += frame_bytes;
+        if (off_ == buf_.size()) {
+          buf_.clear();
+          off_ = 0;
+        }
+        return true;
+      }
+    }
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + 64 * 1024);
+    const ssize_t n = transport_->read(fd_, buf_.data() + old_size, 64 * 1024);
+    if (n > 0) {
+      buf_.resize(old_size + static_cast<std::size_t>(n));
+      rx_bytes_ += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    buf_.resize(old_size);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    breakers_[endpoint_]->record_failure(vnow_);
+    disconnect();
+    return false;
+  }
+}
+
+void NetClient::start(const RequestFrame& request) {
+  CBES_CHECK_MSG(is_request(request.type), "start() wants a request frame");
+  CBES_CHECK_MSG(pending_.find(request.request_id) == pending_.end(),
+                 "request id already outstanding");
+  ensure_connected();
+  Pending pending;
+  pending.request = request;
+  pending.idempotent = is_idempotent(request.type);
+  pending_.emplace(request.request_id, std::move(pending));
+  std::vector<std::uint8_t> frame;
+  encode_request(request, frame);
+  if (!send_bytes(frame.data(), frame.size())) {
+    // The connection died under the send. ensure_connected() replays every
+    // pending request — this one included — or synthesizes its answer, so
+    // returning from it means the request is on the wire or answered.
+    ensure_connected();
+  }
+}
+
+ResponseFrame NetClient::next() {
+  for (;;) {
+    if (!ready_.empty()) {
+      ResponseFrame response = std::move(ready_.front());
+      ready_.pop_front();
+      return response;
+    }
+    CBES_CHECK_MSG(!pending_.empty(), "next() with nothing outstanding");
+    ensure_connected();
+    ResponseFrame response;
+    if (!read_frame(response)) continue;  // reconnect + replay, then retry
+    pending_.erase(response.request_id);
+    return response;
+  }
+}
+
+ResponseFrame NetClient::call(const RequestFrame& request) {
+  CBES_CHECK_MSG(pending_.empty() && ready_.empty(),
+                 "call() wants no other requests outstanding");
+  start(request);
+  for (;;) {
+    ResponseFrame response = next();
+    if (response.request_id == request.request_id) return response;
+  }
+}
+
+}  // namespace cbes::net

@@ -1,0 +1,170 @@
+// Resilient client for the wire front-end: reconnect, failover, and retry
+// on top of the blocking-socket protocol that WireClient speaks.
+//
+// A NetClient owns one logical connection to a *set* of endpoints. When the
+// connection dies (reset mid-frame, refused connect, poisoned chaos
+// transport) it reconnects with seeded jittered backoff (resilience::
+// RetryPolicy), fails over across endpoints, and consults a per-endpoint
+// CircuitBreaker so a dead endpoint is skipped instead of hammered.
+//
+// Retry semantics are type-aware. Predict / compare / status requests are
+// idempotent reads: after a reconnect they are *replayed verbatim* — same
+// request id, same payload bytes — so the server's request coalescer folds a
+// replay into any still-running job for the same work (the request id and
+// canonical payload are the coalescing-safe dedup key) and the answer stream
+// stays bit-identical across same-seed runs. Schedule / remap requests
+// mutate scheduler state and are never replayed: a loss before the answer
+// yields a synthetic kFailed/kTransient error frame, so the caller always
+// gets exactly one response per request — nothing is silently dropped and
+// nothing mutating is double-applied.
+//
+// Determinism: backoff delays come from RetryPolicy (pure function of seed,
+// stream, retry index) and breakers run on a virtual clock advanced by those
+// same delays, so a chaos run's failover trajectory replays from its seed.
+// Not thread-safe: one owner thread, like WireClient.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "resilience/breaker.h"
+#include "resilience/retry.h"
+
+namespace cbes::net {
+
+class Transport;
+class FaultyTransport;
+
+/// One "host:port" the client may connect to.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port[,host:port...]" (the `--connect` syntax). Throws
+/// NetError on a malformed spec.
+[[nodiscard]] std::vector<Endpoint> parse_endpoints(const std::string& spec);
+
+struct NetClientConfig {
+  /// Failover set, tried in order starting from the first. Must be
+  /// non-empty.
+  std::vector<Endpoint> endpoints;
+  CodecLimits limits;
+  /// Backoff schedule between reconnect attempts.
+  resilience::RetryPolicyConfig retry;
+  /// Per-endpoint breaker tuning (open_seconds runs on the client's virtual
+  /// clock, which advances by the backoff delays).
+  resilience::BreakerConfig breaker;
+  /// Total connect attempts one operation may spend before NetError.
+  std::size_t max_attempts = 6;
+  /// Seed for the jittered-backoff stream.
+  std::uint64_t seed = 1;
+  /// Byte I/O seam; null = the real socket. A FaultyTransport here is healed
+  /// on every reconnect (a fresh socket is not poisoned).
+  Transport* transport = nullptr;
+  /// Replay idempotent reads after a reconnect (false = every lost request
+  /// gets a synthetic error frame).
+  bool retry_reads = true;
+};
+
+/// What the client has done so far (monotone).
+struct NetClientStats {
+  std::uint64_t connects = 0;    ///< successful connects, first included
+  std::uint64_t reconnects = 0;  ///< successful connects after a loss
+  std::uint64_t replays = 0;     ///< idempotent requests re-sent verbatim
+  std::uint64_t failovers = 0;   ///< endpoint switches on connect failure
+  std::uint64_t short_circuits = 0;  ///< endpoints skipped by an open breaker
+  std::uint64_t give_ups = 0;  ///< lost requests answered with synthetic errors
+};
+
+/// True for request types safe to replay after a reconnect.
+[[nodiscard]] constexpr bool is_idempotent(MsgType t) noexcept {
+  return t == MsgType::kPredictRequest || t == MsgType::kCompareRequest ||
+         t == MsgType::kStatusRequest;
+}
+
+class NetClient {
+ public:
+  /// Validates the config; does not connect (the first operation does).
+  explicit NetClient(NetClientConfig config);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Queues and writes one request (pipelining: any number may be
+  /// outstanding). Connects / reconnects as needed; throws NetError once
+  /// every endpoint and the attempt budget are exhausted.
+  void start(const RequestFrame& request);
+  /// Blocks for the next response frame, in arrival order. Connection loss
+  /// is handled transparently: reconnect, replay idempotent outstanding
+  /// requests, synthesize kFailed/kTransient frames for the rest — every
+  /// start() is answered by exactly one next().
+  [[nodiscard]] ResponseFrame next();
+  /// Single round-trip; requires no other requests outstanding.
+  [[nodiscard]] ResponseFrame call(const RequestFrame& request);
+
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return pending_.size() + ready_.size();
+  }
+  [[nodiscard]] const NetClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
+  /// Index into config().endpoints of the live (or next-tried) endpoint.
+  [[nodiscard]] std::size_t endpoint_index() const noexcept {
+    return endpoint_;
+  }
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const NetClientConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Pending {
+    RequestFrame request;  ///< kept verbatim for replay
+    bool idempotent = false;
+  };
+
+  /// Connects if disconnected: failover loop over endpoints honoring
+  /// breakers, backoff between attempts, replay of outstanding work once a
+  /// connection lands. Throws NetError when the attempt budget runs out.
+  void ensure_connected();
+  /// One endpoint connect attempt; returns the fd or -1 (reason filled).
+  [[nodiscard]] int try_connect(const Endpoint& endpoint, std::string& reason);
+  void disconnect() noexcept;
+  /// Re-sends idempotent pending requests on a fresh connection and
+  /// synthesizes error frames for the rest.
+  void replay_pending();
+  /// Writes all of `bytes`; false on connection loss.
+  [[nodiscard]] bool send_bytes(const std::uint8_t* data, std::size_t len);
+  /// Reads one whole response frame; false on connection loss. Throws
+  /// NetError on an undecodable response (protocol damage, not weather).
+  [[nodiscard]] bool read_frame(ResponseFrame& out);
+  /// Sleeps the jittered backoff for `retry` and advances the virtual clock.
+  void backoff(std::size_t retry);
+
+  NetClientConfig config_;
+  Transport* transport_;           ///< never null after construction
+  FaultyTransport* faulty_;        ///< config transport when it is one (heal)
+  resilience::RetryPolicy policy_;
+  std::vector<std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+  int fd_ = -1;
+  std::size_t endpoint_ = 0;
+  double vnow_ = 0.0;  ///< virtual seconds driving the breakers
+
+  std::map<std::uint64_t, Pending> pending_;  ///< sent, not yet answered
+  std::deque<ResponseFrame> ready_;  ///< synthesized answers awaiting next()
+  std::vector<std::uint8_t> buf_;    ///< received bytes not yet decoded
+  std::size_t off_ = 0;
+
+  NetClientStats stats_;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace cbes::net

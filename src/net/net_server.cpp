@@ -57,6 +57,19 @@ NetServer::NetServer(server::CbesServer& server, NetConfig config)
         "times a connection crossed the write high watermark");
     m_idle_closed_ = &m.counter("cbes_net_idle_closed_total",
                                 "connections closed by the idle sweep");
+    m_rate_limited_ = &m.counter("cbes_net_rate_limited_total",
+                                 "requests answered with kRateLimited");
+    m_slow_evicted_ = &m.counter(
+        "cbes_net_slow_evicted_total",
+        "connections evicted as slow clients (write stall / header dribble)");
+    m_accepts_refused_ =
+        &m.counter("cbes_net_accepts_refused_total",
+                   "connections refused (storm guard, capacity, stopping)");
+    m_drain_answered_ = &m.counter(
+        "cbes_net_drain_shutdown_total",
+        "requests answered with kShutdown during a graceful drain");
+    m_drain_state_ = &m.gauge("cbes_net_drain_state",
+                              "0 serving, 1 draining, 2 flushing, 3 stopped");
   }
   loop_->add_fd(listener_.fd(), EPOLLIN, [this](std::uint32_t) {
     listener_.accept_ready(
@@ -64,7 +77,10 @@ NetServer::NetServer(server::CbesServer& server, NetConfig config)
   });
   loop_->set_tick(
       [this] {
+        accepts_this_tick_ = 0;
         sweep_idle();
+        check_drain();
+        refresh_conn_table();
         sync_metrics();
       },
       config_.tick);
@@ -82,6 +98,113 @@ void NetServer::stop() {
     loop_->post([this] { shutdown_on_loop(); });
   }
   if (loop_thread_.joinable()) loop_thread_.join();
+  drain_state_.store(DrainState::kStopped, std::memory_order_relaxed);
+}
+
+void NetServer::drain() {
+  if (!stop_started_.exchange(true)) {
+    loop_->post([this] { drain_on_loop(); });
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  drain_state_.store(DrainState::kStopped, std::memory_order_relaxed);
+}
+
+void NetServer::drain_on_loop() {
+  if (draining_ || stopping_) return;
+  draining_ = true;
+  drain_state_.store(DrainState::kDraining, std::memory_order_relaxed);
+  loop_->del_fd(listener_.fd());
+  drain_deadline_at_ = std::chrono::steady_clock::now() + config_.drain_deadline;
+  if (config_.log != nullptr) {
+    config_.log->info("net/drain-begin", last_now_,
+                      {{"address", listen_address()},
+                       {"pending_jobs", pending_.size()},
+                       {"connections", connections_.size()}});
+  }
+  // Queued-but-unstarted jobs are shed now with typed kShutdown frames —
+  // they would only delay the drain, and the client's typed error tells it
+  // exactly what happened. Running jobs keep their workers and answer
+  // normally (bounded by the drain deadline in check_drain()).
+  std::vector<std::uint64_t> queued;
+  for (const auto& [job_id, pending] : pending_) {
+    if (!pending.handle.valid() ||
+        pending.handle.state() == server::JobState::kQueued) {
+      queued.push_back(job_id);
+    }
+  }
+  for (const std::uint64_t job_id : queued) {
+    const auto it = pending_.find(job_id);
+    if (it == pending_.end()) continue;
+    shed_pending(job_id, it->second, "server draining: job not started");
+    pending_.erase(it);
+  }
+  check_drain();
+}
+
+void NetServer::shed_pending(std::uint64_t job_id, PendingJob& pending,
+                             const char* detail) {
+  for (const Waiter& waiter : pending.waiters) {
+    const auto it = connections_.find(waiter.conn_id);
+    if (it == connections_.end()) continue;
+    counters_.drain_shutdown_answered.fetch_add(1, std::memory_order_relaxed);
+    it->second->send_error(waiter.request_id, WireError::kShutdown, detail);
+    if (!it->second->closed()) it->second->job_finished();
+  }
+  if (pending.handle.valid()) pending.handle.cancel();
+  if (config_.trace != nullptr) {
+    config_.trace->async_end("net/wire", job_id);
+  }
+}
+
+void NetServer::check_drain() {
+  if (!draining_ || stopping_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (!flushing_) {
+    if (!pending_.empty() && now < drain_deadline_at_) return;
+    if (!pending_.empty()) {
+      // Deadline: the remaining in-flight jobs lose their answer slot; the
+      // waiters still get typed frames, never silence.
+      for (auto& [job_id, pending] : pending_) {
+        shed_pending(job_id, pending, "server draining: deadline exceeded");
+      }
+      pending_.clear();
+    }
+    flushing_ = true;
+    drain_state_.store(DrainState::kFlushing, std::memory_order_relaxed);
+    // Another full drain_deadline for the flush phase.
+    drain_deadline_at_ = now + config_.drain_deadline;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      const auto it = connections_.find(id);
+      if (it != connections_.end()) {
+        it->second->shutdown_after_flush("server drained");
+      }
+    }
+  }
+  if (connections_.empty() || now >= drain_deadline_at_) finish_drain();
+}
+
+void NetServer::finish_drain() {
+  stopping_ = true;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const auto it = connections_.find(id);
+    if (it != connections_.end()) it->second->close("drain flush deadline");
+  }
+  refresh_conn_table();
+  sync_metrics();
+  if (config_.log != nullptr) {
+    config_.log->info(
+        "net/drain-end", last_now_,
+        {{"address", listen_address()},
+         {"shutdown_answered",
+          counters_.drain_shutdown_answered.load(std::memory_order_relaxed)}});
+  }
+  loop_->stop();
 }
 
 void NetServer::shutdown_on_loop() {
@@ -119,15 +242,22 @@ void NetServer::shutdown_on_loop() {
 }
 
 void NetServer::on_accept(int fd, std::string peer) {
-  if (stopping_ || connections_.size() >= config_.max_connections) {
+  const bool storm = config_.accept_burst > 0 &&
+                     accepts_this_tick_ >= config_.accept_burst;
+  if (stopping_ || draining_ || storm ||
+      connections_.size() >= config_.max_connections) {
     ::close(fd);
+    counters_.accepts_refused.fetch_add(1, std::memory_order_relaxed);
     if (config_.log != nullptr) {
+      const char* reason = (stopping_ || draining_) ? "stopping"
+                           : storm                  ? "accept-storm"
+                                                    : "max-connections";
       config_.log->warn("net/accept-refused", last_now_,
-                        {{"peer", peer},
-                         {"reason", stopping_ ? "stopping" : "max-connections"}});
+                        {{"peer", peer}, {"reason", reason}});
     }
     return;
   }
+  ++accepts_this_tick_;
   const std::uint64_t id = next_conn_id_++;
   counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
   counters_.connections_open.fetch_add(1, std::memory_order_relaxed);
@@ -180,6 +310,14 @@ void NetServer::on_closed(Connection& conn, const char* reason) {
 
 void NetServer::on_request(Connection& conn, RequestFrame&& request) {
   last_now_ = std::max(last_now_, frame_now(request));
+  if (draining_) {
+    // The drain keeps reading: requests already pipelined into socket
+    // buffers are answered with typed kShutdown frames, never left hanging.
+    counters_.drain_shutdown_answered.fetch_add(1, std::memory_order_relaxed);
+    conn.send_error(request.request_id, WireError::kShutdown,
+                    "server draining");
+    return;
+  }
   if (request.type == MsgType::kStatusRequest) {
     handle_status(conn, request);
     return;
@@ -332,13 +470,31 @@ void NetServer::on_job_complete(std::uint64_t job_id,
   if (config_.trace != nullptr) {
     config_.trace->async_end("net/wire", job_id);
   }
+  if (draining_) check_drain();
 }
 
 void NetServer::sweep_idle() {
   std::vector<std::uint64_t> expired;
+  std::vector<std::pair<std::uint64_t, const char*>> slow;
   const auto now = std::chrono::steady_clock::now();
   for (const auto& [id, conn] : connections_) {
-    if (conn->idle_expired(now)) expired.push_back(id);
+    if (const char* reason = conn->slow_expired(now); reason != nullptr) {
+      slow.emplace_back(id, reason);
+    } else if (conn->idle_expired(now)) {
+      expired.push_back(id);
+    }
+  }
+  for (const auto& [id, reason] : slow) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    counters_.slow_evicted.fetch_add(1, std::memory_order_relaxed);
+    if (config_.log != nullptr) {
+      config_.log->warn("net/evict", last_now_,
+                        {{"conn", id},
+                         {"peer", it->second->peer()},
+                         {"reason", reason}});
+    }
+    it->second->close(reason);
   }
   for (const std::uint64_t id : expired) {
     const auto it = connections_.find(id);
@@ -350,6 +506,24 @@ void NetServer::sweep_idle() {
     }
     it->second->close("idle timeout");
   }
+}
+
+void NetServer::refresh_conn_table() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<server::NetConnEntry> table;
+  table.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) {
+    server::NetConnEntry entry;
+    entry.id = id;
+    entry.peer = conn->peer();
+    entry.inflight = conn->inflight();
+    entry.backpressured = conn->backpressured();
+    entry.age_seconds =
+        std::chrono::duration<double>(now - conn->created_at()).count();
+    table.push_back(std::move(entry));
+  }
+  const std::lock_guard<std::mutex> lock(conn_table_mu_);
+  conn_table_ = std::move(table);
 }
 
 void NetServer::sync_metrics() {
@@ -380,10 +554,24 @@ void NetServer::sync_metrics() {
         synced_.backpressure_events);
   delta(m_idle_closed_, counters_.idle_closed.load(std::memory_order_relaxed),
         synced_.idle_closed);
+  delta(m_rate_limited_,
+        counters_.rate_limited.load(std::memory_order_relaxed),
+        synced_.rate_limited);
+  delta(m_slow_evicted_,
+        counters_.slow_evicted.load(std::memory_order_relaxed),
+        synced_.slow_evicted);
+  delta(m_accepts_refused_,
+        counters_.accepts_refused.load(std::memory_order_relaxed),
+        synced_.accepts_refused);
+  delta(m_drain_answered_,
+        counters_.drain_shutdown_answered.load(std::memory_order_relaxed),
+        synced_.drain_shutdown_answered);
   m_connections_open_->set(static_cast<double>(
       counters_.connections_open.load(std::memory_order_relaxed)));
   m_backpressured_->set(static_cast<double>(
       counters_.backpressured_now.load(std::memory_order_relaxed)));
+  m_drain_state_->set(static_cast<double>(
+      drain_state_.load(std::memory_order_relaxed)));
 }
 
 void NetServer::fill_status(server::ServerStatus& status) const {
@@ -406,6 +594,18 @@ void NetServer::fill_status(server::ServerStatus& status) const {
   net.protocol_errors =
       counters_.protocol_errors.load(std::memory_order_relaxed);
   net.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
+  net.rate_limited = counters_.rate_limited.load(std::memory_order_relaxed);
+  net.slow_evicted = counters_.slow_evicted.load(std::memory_order_relaxed);
+  net.accepts_refused =
+      counters_.accepts_refused.load(std::memory_order_relaxed);
+  net.drain_shutdown_answered =
+      counters_.drain_shutdown_answered.load(std::memory_order_relaxed);
+  net.drain_state =
+      drain_state_name(drain_state_.load(std::memory_order_relaxed));
+  {
+    const std::lock_guard<std::mutex> lock(conn_table_mu_);
+    net.conns = conn_table_;
+  }
 }
 
 }  // namespace cbes::net

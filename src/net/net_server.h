@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -46,6 +47,12 @@ struct NetConfig {
   ConnectionConfig connection;
   /// Accepted connections beyond this are closed immediately.
   std::size_t max_connections = 1024;
+  /// Connection-storm guard: accepts admitted per tick window beyond which
+  /// new connections are refused; 0 = unlimited.
+  std::size_t accept_burst = 0;
+  /// Graceful drain budget: in-flight jobs get this long to finish, then the
+  /// same again for response flushing, before connections are closed hard.
+  std::chrono::milliseconds drain_deadline{2000};
   /// Idle-sweep / metrics-sync period for the loop tick.
   std::chrono::milliseconds tick{50};
   /// Fold identical in-flight predictions into one job (see Coalescer).
@@ -55,6 +62,28 @@ struct NetConfig {
   obs::TraceSession* trace = nullptr;
   obs::Logger* log = nullptr;
 };
+
+/// Where the server is in its shutdown lifecycle (see drain()).
+enum class DrainState : unsigned char {
+  kServing = 0,   ///< accepting and answering
+  kDraining = 1,  ///< not accepting; in-flight jobs finishing
+  kFlushing = 2,  ///< jobs done; response buffers flushing out
+  kStopped = 3,   ///< loop stopped
+};
+
+[[nodiscard]] constexpr const char* drain_state_name(DrainState s) noexcept {
+  switch (s) {
+    case DrainState::kServing:
+      return "serving";
+    case DrainState::kDraining:
+      return "draining";
+    case DrainState::kFlushing:
+      return "flushing";
+    case DrainState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
 
 class NetServer {
  public:
@@ -71,6 +100,18 @@ class NetServer {
   /// error frame, closes every connection, and joins the loop thread.
   /// Idempotent.
   void stop();
+
+  /// Graceful shutdown: stops accepting, answers queued-but-unstarted work
+  /// with typed kShutdown, lets running jobs finish (bounded by
+  /// drain_deadline), flushes every response buffer, then closes and joins.
+  /// Every request read off the wire is answered — with its result or a
+  /// typed kShutdown frame — never silently dropped. Idempotent; a
+  /// concurrent or subsequent stop()/drain() just joins.
+  void drain();
+
+  [[nodiscard]] DrainState drain_state() const noexcept {
+    return drain_state_.load(std::memory_order_relaxed);
+  }
 
   /// The bound port (the kernel's pick when configured with port 0).
   [[nodiscard]] std::uint16_t port() const noexcept {
@@ -92,6 +133,18 @@ class NetServer {
   }
   [[nodiscard]] std::uint64_t protocol_errors() const noexcept {
     return counters_.protocol_errors.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rate_limited() const noexcept {
+    return counters_.rate_limited.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t slow_evicted() const noexcept {
+    return counters_.slow_evicted.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t accepts_refused() const noexcept {
+    return counters_.accepts_refused.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t drain_shutdown_answered() const noexcept {
+    return counters_.drain_shutdown_answered.load(std::memory_order_relaxed);
   }
 
  private:
@@ -119,6 +172,10 @@ class NetServer {
     std::uint64_t protocol_errors = 0;
     std::uint64_t backpressure_events = 0;
     std::uint64_t idle_closed = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t slow_evicted = 0;
+    std::uint64_t accepts_refused = 0;
+    std::uint64_t drain_shutdown_answered = 0;
   };
 
   // All private methods run on the loop thread.
@@ -134,7 +191,22 @@ class NetServer {
   /// Completion fan-out: runs as a posted task once the job finishes.
   void on_job_complete(std::uint64_t job_id, server::JobResult result);
   void shutdown_on_loop();
+  /// Drain phase 1: stop accepting, shed queued-but-unstarted work with
+  /// typed kShutdown, start the drain-deadline clock.
+  void drain_on_loop();
+  /// Drain progress: advances kDraining -> kFlushing once pending_ empties
+  /// (or the deadline passes), kFlushing -> kStopped once every connection
+  /// has flushed and closed (or the flush deadline passes).
+  void check_drain();
+  /// Answers every waiter of `pending` with a typed kShutdown frame and
+  /// cancels the job.
+  void shed_pending(std::uint64_t job_id, PendingJob& pending,
+                    const char* detail);
+  void finish_drain();
   void sweep_idle();
+  /// Mirrors the live connection set for statusz (loop thread; readers take
+  /// the table mutex).
+  void refresh_conn_table();
   void sync_metrics();
   /// Registration-time profile hash for `app`, cached per name (the server
   /// contract submits jobs only after the app's profile registration).
@@ -157,10 +229,20 @@ class NetServer {
   /// so log order stays deterministic.
   Seconds last_now_ = 0.0;
   bool stopping_ = false;
+  bool draining_ = false;
+  bool flushing_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_at_;
+  std::size_t accepts_this_tick_ = 0;
   SyncedCounters synced_;
 
   std::thread loop_thread_;
   std::atomic<bool> stop_started_{false};
+  std::atomic<DrainState> drain_state_{DrainState::kServing};
+
+  /// statusz mirror of connections_ (refreshed each tick on the loop thread;
+  /// fill_status reads it from arbitrary threads).
+  mutable std::mutex conn_table_mu_;
+  std::vector<server::NetConnEntry> conn_table_;
 
   // Cached instruments (null when config_.metrics is null); synced from
   // counters_ on every tick and at stop().
@@ -175,6 +257,11 @@ class NetServer {
   obs::Counter* m_protocol_errors_ = nullptr;
   obs::Counter* m_backpressure_events_ = nullptr;
   obs::Counter* m_idle_closed_ = nullptr;
+  obs::Counter* m_rate_limited_ = nullptr;
+  obs::Counter* m_slow_evicted_ = nullptr;
+  obs::Counter* m_accepts_refused_ = nullptr;
+  obs::Counter* m_drain_answered_ = nullptr;
+  obs::Gauge* m_drain_state_ = nullptr;
 };
 
 }  // namespace cbes::net

@@ -1,0 +1,173 @@
+#include "net/transport.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+
+namespace cbes::net {
+
+ssize_t SocketTransport::read(int fd, void* buf, std::size_t len) {
+  return ::recv(fd, buf, len, 0);
+}
+
+ssize_t SocketTransport::write(int fd, const void* buf, std::size_t len) {
+  // MSG_NOSIGNAL: a peer gone mid-write is EPIPE, never SIGPIPE — the state
+  // machines above treat it like any other dead-socket errno.
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+SocketTransport& SocketTransport::instance() noexcept {
+  static SocketTransport transport;
+  return transport;
+}
+
+FaultyTransportConfig FaultyTransportConfig::from_plan(
+    const fault::FaultPlan& plan, std::uint64_t seed) {
+  FaultyTransportConfig config;
+  config.seed = seed;
+  for (const fault::FaultEvent& e : plan.events()) {
+    switch (e.kind) {
+      case fault::FaultKind::kSocketPartialIo:
+        config.partial_read = std::max(config.partial_read, e.magnitude);
+        config.partial_write = std::max(config.partial_write, e.magnitude);
+        break;
+      case fault::FaultKind::kSocketEagain:
+        config.eagain_read = std::max(config.eagain_read, e.magnitude);
+        config.eagain_write = std::max(config.eagain_write, e.magnitude);
+        break;
+      case fault::FaultKind::kSocketReset:
+        config.reset = std::max(config.reset, e.magnitude);
+        break;
+      case fault::FaultKind::kSocketStall:
+        config.stall = std::max(config.stall, 0.05);
+        config.stall_ms = std::max(
+            config.stall_ms, static_cast<std::uint32_t>(e.magnitude * 1e3));
+        break;
+      default:
+        break;
+    }
+  }
+  return config;
+}
+
+FaultyTransport::FaultyTransport(FaultyTransportConfig config, Transport* base)
+    : config_(config),
+      base_(base != nullptr ? base : &SocketTransport::instance()),
+      state_(derive_seed(config.seed, 0x50C4E7)) {
+  const auto probability = [](double p) {
+    CBES_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                   "fault probability must be in [0, 1]");
+  };
+  probability(config_.partial_read);
+  probability(config_.partial_write);
+  probability(config_.eagain_read);
+  probability(config_.eagain_write);
+  probability(config_.reset);
+  probability(config_.stall);
+  CBES_CHECK_MSG(config_.eagain_burst >= 1, "eagain burst must be >= 1");
+}
+
+double FaultyTransport::draw() noexcept {
+  // splitmix64 output scaled to [0, 1): one draw per decision keeps the
+  // schedule a pure function of (seed, draw index).
+  return static_cast<double>(splitmix64(state_) >> 11) * 0x1.0p-53;
+}
+
+ssize_t FaultyTransport::read(int fd, void* buf, std::size_t len) {
+  ++stats_.reads;
+  if (poisoned_) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (config_.stall > 0.0 && draw() < config_.stall) {
+    ++stats_.stalls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.stall_ms));
+  }
+  if (config_.reset > 0.0 &&
+      (config_.max_resets == 0 || stats_.resets < config_.max_resets) &&
+      draw() < config_.reset) {
+    ++stats_.resets;
+    poisoned_ = true;
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (eagain_reads_left_ > 0) {
+    --eagain_reads_left_;
+    ++stats_.eagains;
+    errno = EAGAIN;
+    return -1;
+  }
+  if (config_.eagain_read > 0.0 && draw() < config_.eagain_read) {
+    eagain_reads_left_ = config_.eagain_burst - 1;
+    ++stats_.eagains;
+    errno = EAGAIN;
+    return -1;
+  }
+  std::size_t ask = len;
+  bool truncated = false;
+  if (config_.partial_read > 0.0 && len > 1 &&
+      draw() < config_.partial_read) {
+    // Truncate the *request*, not the result: the kernel then delivers a
+    // short read exactly as a slow network would.
+    ask = 1 + static_cast<std::size_t>(draw() * static_cast<double>(len - 1));
+    truncated = true;
+  }
+  const ssize_t n = base_->read(fd, buf, ask);
+  if (truncated && n > 0) ++stats_.partial_reads;
+  return n;
+}
+
+ssize_t FaultyTransport::write(int fd, const void* buf, std::size_t len) {
+  ++stats_.writes;
+  if (poisoned_) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (config_.stall > 0.0 && draw() < config_.stall) {
+    ++stats_.stalls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.stall_ms));
+  }
+  if (config_.reset > 0.0 &&
+      (config_.max_resets == 0 || stats_.resets < config_.max_resets) &&
+      draw() < config_.reset) {
+    ++stats_.resets;
+    poisoned_ = true;
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (eagain_writes_left_ > 0) {
+    --eagain_writes_left_;
+    ++stats_.eagains;
+    errno = EAGAIN;
+    return -1;
+  }
+  if (config_.eagain_write > 0.0 && draw() < config_.eagain_write) {
+    eagain_writes_left_ = config_.eagain_burst - 1;
+    ++stats_.eagains;
+    errno = EAGAIN;
+    return -1;
+  }
+  std::size_t ask = len;
+  bool truncated = false;
+  if (config_.short_write_cap > 0 && ask > config_.short_write_cap) {
+    ask = config_.short_write_cap;
+    truncated = true;
+  }
+  if (config_.partial_write > 0.0 && ask > 1 &&
+      draw() < config_.partial_write) {
+    ask = 1 + static_cast<std::size_t>(draw() * static_cast<double>(ask - 1));
+    truncated = true;
+  }
+  const ssize_t n = base_->write(fd, buf, ask);
+  if (truncated && n > 0) ++stats_.partial_writes;
+  return n;
+}
+
+}  // namespace cbes::net

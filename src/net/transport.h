@@ -1,0 +1,143 @@
+// The byte-level seam between the wire front-end and the socket.
+//
+// Connection (server side) and WireClient (client side) never call
+// ::read/::write directly; they go through a Transport, so a test — or an
+// adversarial load generator — can interpose a FaultyTransport that injects
+// the whole bestiary of hostile-network behavior *deterministically*:
+// partial reads/writes, EAGAIN storms, mid-frame connection resets, stalls,
+// and short-write flushes. The real SocketTransport sends with MSG_NOSIGNAL,
+// so a peer that closes mid-write yields EPIPE (an errno the caller handles)
+// instead of a process-killing SIGPIPE.
+//
+// Determinism contract: every FaultyTransport decision is a pure function of
+// (seed, operation index). Two transports with the same seed fed the same
+// operation sequence inject byte-identical fault histories, which is what
+// lets a socket-chaos run replay bit-for-bit and a failing run bisect by
+// seed. The injected errno values are exactly the ones a real kernel
+// produces, so the calling state machines cannot tell chaos from weather.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbes::fault {
+class FaultPlan;
+}  // namespace cbes::fault
+
+namespace cbes::net {
+
+/// Byte I/O over an fd with the kernel's contract: > 0 bytes moved, 0 = peer
+/// closed (reads only), -1 with errno set. Implementations must be usable
+/// from one thread at a time per fd but may be shared across fds (the
+/// stateless SocketTransport is; a FaultyTransport's op counter is shared
+/// state, so give each connection-under-test its own or accept that the
+/// fault schedule interleaves).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual ssize_t read(int fd, void* buf, std::size_t len) = 0;
+  [[nodiscard]] virtual ssize_t write(int fd, const void* buf,
+                                      std::size_t len) = 0;
+};
+
+/// The real socket: ::recv / ::send(MSG_NOSIGNAL). Stateless — use the
+/// shared instance().
+class SocketTransport final : public Transport {
+ public:
+  [[nodiscard]] ssize_t read(int fd, void* buf, std::size_t len) override;
+  [[nodiscard]] ssize_t write(int fd, const void* buf,
+                              std::size_t len) override;
+
+  [[nodiscard]] static SocketTransport& instance() noexcept;
+};
+
+/// Tuning for one FaultyTransport. All probabilities are per operation and
+/// default to zero, so a default-constructed config is a transparent
+/// pass-through.
+struct FaultyTransportConfig {
+  std::uint64_t seed = 1;
+  /// P(truncate a read to a random prefix of what the kernel returned).
+  double partial_read = 0.0;
+  /// P(truncate a write to a random prefix of what was offered).
+  double partial_write = 0.0;
+  /// P(start an EAGAIN storm instead of a read/write): the operation and the
+  /// next `eagain_burst - 1` of the same kind fail with EAGAIN.
+  double eagain_read = 0.0;
+  double eagain_write = 0.0;
+  std::size_t eagain_burst = 3;
+  /// P(inject ECONNRESET): the fd is poisoned — every later operation on
+  /// this transport also fails with ECONNRESET, like a real dead socket.
+  double reset = 0.0;
+  /// Injected resets allowed in total (0 = unlimited). Lets a chaos run mix
+  /// "one mid-frame reset" into otherwise-recoverable noise.
+  std::size_t max_resets = 0;
+  /// P(sleep `stall_ms` before the operation proceeds) — a slow peer. Only
+  /// for *client-side* transports: never stall an event-loop thread.
+  double stall = 0.0;
+  std::uint32_t stall_ms = 20;
+  /// Nonzero: no write moves more than this many bytes per call (dribble /
+  /// short-write flushes), independent of partial_write.
+  std::size_t short_write_cap = 0;
+
+  /// Derives a config from the socket-fault events of a chaos plan: each
+  /// kSocket* event contributes its magnitude as the matching probability
+  /// (max over events of the kind); kSocketStall magnitude is seconds.
+  [[nodiscard]] static FaultyTransportConfig from_plan(
+      const fault::FaultPlan& plan, std::uint64_t seed);
+};
+
+/// What a FaultyTransport did so far (monotone; same-seed runs match).
+struct TransportFaultStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t partial_reads = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t eagains = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t stalls = 0;
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return partial_reads + partial_writes + eagains + resets + stalls;
+  }
+  friend bool operator==(const TransportFaultStats&,
+                         const TransportFaultStats&) = default;
+};
+
+/// Seeded fault-injecting decorator over another Transport (default: the
+/// real socket). Not thread-safe: one owner at a time, like the connection
+/// state machines it feeds.
+class FaultyTransport final : public Transport {
+ public:
+  explicit FaultyTransport(FaultyTransportConfig config,
+                           Transport* base = nullptr);
+
+  [[nodiscard]] ssize_t read(int fd, void* buf, std::size_t len) override;
+  [[nodiscard]] ssize_t write(int fd, const void* buf,
+                              std::size_t len) override;
+
+  [[nodiscard]] const TransportFaultStats& stats() const noexcept {
+    return stats_;
+  }
+  /// Re-arms a poisoned (reset-injected) transport — a reconnecting client
+  /// reuses one transport across its connection attempts.
+  void heal() noexcept { poisoned_ = false; }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  /// Next uniform double in [0, 1) of the decision stream (splitmix64-fed
+  /// xoshiro is overkill here; one splitmix64 stream is plenty and keeps the
+  /// decision history a pure function of seed and draw index).
+  [[nodiscard]] double draw() noexcept;
+
+  FaultyTransportConfig config_;
+  Transport* base_;
+  std::uint64_t state_;
+  TransportFaultStats stats_;
+  std::size_t eagain_reads_left_ = 0;
+  std::size_t eagain_writes_left_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace cbes::net

@@ -115,7 +115,11 @@ void format_status_text(const ServerStatus& status, std::ostream& os) {
   }
   os << "\n";
   if (status.net.present) {
-    os << "net: listening on " << status.net.listen << "\n";
+    os << "net: listening on " << status.net.listen;
+    if (!status.net.drain_state.empty()) {
+      os << " (" << status.net.drain_state << ")";
+    }
+    os << "\n";
     os << "  connections: open " << status.net.connections_open << ", total "
        << status.net.connections_total << ", backpressured "
        << status.net.backpressured << ", idle-closed "
@@ -126,6 +130,16 @@ void format_status_text(const ServerStatus& status, std::ostream& os) {
     os << "  coalesce: hits " << status.net.coalesce_hits << ", leaders "
        << status.net.coalesce_leaders << "\n";
     os << "  protocol errors: " << status.net.protocol_errors << "\n";
+    os << "  defense: rate-limited " << status.net.rate_limited
+       << ", slow-evicted " << status.net.slow_evicted
+       << ", accepts-refused " << status.net.accepts_refused
+       << ", drain-shutdown " << status.net.drain_shutdown_answered << "\n";
+    for (const NetConnEntry& c : status.net.conns) {
+      os << "  conn #" << c.id << " peer=" << c.peer << " inflight="
+         << c.inflight << " age=" << format_seconds(c.age_seconds) << "s";
+      if (c.backpressured) os << " backpressured";
+      os << "\n";
+    }
   }
   os << "recent jobs (" << status.recent.size() << " of "
      << status.jobs_recorded << " recorded):\n";
@@ -209,7 +223,24 @@ void format_status_json(const ServerStatus& status, std::ostream& os) {
        << ",\"coalesce_hits\":" << status.net.coalesce_hits
        << ",\"coalesce_leaders\":" << status.net.coalesce_leaders
        << ",\"protocol_errors\":" << status.net.protocol_errors
-       << ",\"idle_closed\":" << status.net.idle_closed << "}";
+       << ",\"idle_closed\":" << status.net.idle_closed
+       << ",\"rate_limited\":" << status.net.rate_limited
+       << ",\"slow_evicted\":" << status.net.slow_evicted
+       << ",\"accepts_refused\":" << status.net.accepts_refused
+       << ",\"drain_shutdown_answered\":"
+       << status.net.drain_shutdown_answered << ",\"drain_state\":";
+    append_json_string(os, status.net.drain_state);
+    os << ",\"conns\":[";
+    for (std::size_t i = 0; i < status.net.conns.size(); ++i) {
+      const NetConnEntry& c = status.net.conns[i];
+      if (i != 0) os << ',';
+      os << "{\"id\":" << c.id << ",\"peer\":";
+      append_json_string(os, c.peer);
+      os << ",\"inflight\":" << c.inflight << ",\"backpressured\":"
+         << (c.backpressured ? "true" : "false") << ",\"age_seconds\":"
+         << format_seconds(c.age_seconds) << '}';
+    }
+    os << "]}";
   }
   os << ",\"jobs_recorded\":" << status.jobs_recorded;
   os << ",\"recent\":[";

@@ -86,11 +86,21 @@ struct BreakerStatus {
   std::uint64_t short_circuits = 0;
 };
 
+/// One open wire connection as shown on statusz.
+struct NetConnEntry {
+  std::uint64_t id = 0;
+  std::string peer;
+  std::size_t inflight = 0;  ///< decoded requests awaiting answers
+  bool backpressured = false;
+  double age_seconds = 0.0;
+};
+
 /// Wire front-end picture (filled by net::NetServer::fill_status when the
 /// server is listening; `present` stays false for in-process-only brokers).
 struct NetSection {
   bool present = false;
   std::string listen;  ///< "host:port" actually bound
+  std::string drain_state;  ///< serving / draining / flushing / stopped
   std::uint64_t connections_open = 0;
   std::uint64_t connections_total = 0;
   std::uint64_t backpressured = 0;  ///< connections currently backpressured
@@ -102,6 +112,12 @@ struct NetSection {
   std::uint64_t coalesce_leaders = 0; ///< jobs that carried coalesced waiters
   std::uint64_t protocol_errors = 0;
   std::uint64_t idle_closed = 0;
+  std::uint64_t rate_limited = 0;     ///< requests answered kRateLimited
+  std::uint64_t slow_evicted = 0;     ///< slow-client evictions
+  std::uint64_t accepts_refused = 0;  ///< storm-guard / capacity refusals
+  std::uint64_t drain_shutdown_answered = 0;  ///< kShutdown frames on drain
+  /// Open connections (refreshed once per server tick).
+  std::vector<NetConnEntry> conns;
 };
 
 /// Point-in-time picture of the whole broker (see CbesServer::status()).

@@ -1,0 +1,746 @@
+// Tests for the hostile-network resilience layer: the FaultyTransport chaos
+// seam (deterministic seeded socket faults), server-side defense (per-
+// connection rate limiting, slow-client eviction, accept-storm guard,
+// SIGPIPE-safe writes), graceful drain (every request read off the wire
+// answered, never silently dropped), the resilient NetClient (reconnect,
+// failover, idempotent replay, synthetic errors for lost mutating work),
+// and EINTR hardening of the event loop under a signal storm.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/service.h"
+#include "fault/fault.h"
+#include "net/codec.h"
+#include "net/event_loop.h"
+#include "net/loadgen.h"
+#include "net/net_client.h"
+#include "net/net_error.h"
+#include "net/net_server.h"
+#include "net/transport.h"
+#include "server/server.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace cbes::net {
+namespace {
+
+using server::Algo;
+using server::CbesServer;
+using server::FailReason;
+using server::JobState;
+using server::ServerConfig;
+
+// ------------------------------------------------------------ test rig ----
+
+/// Hand-built two-process profile (same shape as net_test's): 10 s of work
+/// per rank, one message group each way, profiled on Alpha nodes.
+AppProfile tiny_profile() {
+  AppProfile prof;
+  prof.app_name = "tiny";
+  prof.procs.resize(2);
+  for (auto& p : prof.procs) {
+    p.x = 8.0;
+    p.o = 2.0;
+    p.profiled_arch = Arch::kAlpha533;
+    p.lambda = 1.0;
+  }
+  prof.procs[0].recv_groups.push_back({RankId{std::size_t{1}}, 4096, 100});
+  prof.procs[0].send_groups.push_back({RankId{std::size_t{1}}, 4096, 100});
+  prof.procs[1].recv_groups.push_back({RankId{std::size_t{0}}, 4096, 100});
+  prof.procs[1].send_groups.push_back({RankId{std::size_t{0}}, 4096, 100});
+  prof.profiling_mapping = {NodeId{0}, NodeId{1}};
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+CbesService::Config service_config() {
+  CbesService::Config cfg;
+  SimNetConfig hw;
+  hw.jitter_sigma = 0.0;
+  cfg.hardware = hw;
+  CalibrationOptions cal;
+  cal.repeats = 3;
+  cfg.calibration = cal;
+  cfg.monitor.noise_sigma = 0.0;
+  return cfg;
+}
+
+RequestFrame predict_frame(std::uint64_t id, const Mapping& mapping) {
+  RequestFrame frame;
+  frame.type = MsgType::kPredictRequest;
+  frame.request_id = id;
+  frame.predict.app = "tiny";
+  frame.predict.mapping = mapping;
+  frame.predict.now = 0.0;
+  return frame;
+}
+
+/// A TCP port with nothing listening on it: bind an ephemeral port, note it,
+/// close it. Connects to it are refused (racy in theory, reliable in a test).
+std::uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+class NetResilienceTest : public ::testing::Test {
+ protected:
+  NetResilienceTest()
+      : topo_(make_flat(4, Arch::kAlpha533)),
+        svc_(topo_, idle_, service_config()) {
+    svc_.register_profile(tiny_profile());
+  }
+
+  NetConfig loop_config() {
+    NetConfig cfg;
+    cfg.host = "127.0.0.1";
+    cfg.port = 0;
+    return cfg;
+  }
+
+  ClusterTopology topo_;
+  NoLoad idle_;
+  CbesService svc_;
+};
+
+// ------------------------------------------------- chaos seam: transport ----
+
+TEST(FaultyTransport, SameSeedSameFaultStream) {
+  // Push the same byte pattern through two same-seeded FaultyTransports over
+  // a socketpair: the injected fault stream must be identical.
+  TransportFaultStats stats[2];
+  for (int run = 0; run < 2; ++run) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FaultyTransportConfig cfg;
+    cfg.seed = 0xF00D;
+    cfg.partial_read = 0.5;
+    cfg.partial_write = 0.5;
+    cfg.eagain_read = 0.3;
+    cfg.eagain_write = 0.3;
+    cfg.eagain_burst = 2;
+    FaultyTransport faulty(cfg);
+    std::uint8_t chunk[64];
+    std::memset(chunk, 0xAB, sizeof chunk);
+    std::size_t total = 0;
+    for (int i = 0; i < 50; ++i) {
+      std::size_t sent = 0;
+      while (sent < sizeof chunk) {
+        const ssize_t n = faulty.write(fds[0], chunk + sent,
+                                       sizeof chunk - sent);
+        if (n > 0) {
+          sent += static_cast<std::size_t>(n);
+          continue;
+        }
+        ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+      }
+      total += sent;
+    }
+    std::size_t got = 0;
+    std::uint8_t buf[256];
+    while (got < total) {
+      const ssize_t n = faulty.read(fds[1], buf, sizeof buf);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+        continue;
+      }
+      ASSERT_TRUE(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+    }
+    stats[run] = faulty.stats();
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  EXPECT_EQ(stats[0].reads, stats[1].reads);
+  EXPECT_EQ(stats[0].writes, stats[1].writes);
+  EXPECT_EQ(stats[0].partial_reads, stats[1].partial_reads);
+  EXPECT_EQ(stats[0].partial_writes, stats[1].partial_writes);
+  EXPECT_EQ(stats[0].eagains, stats[1].eagains);
+  EXPECT_GT(stats[0].partial_writes + stats[0].partial_reads, 0u);
+  EXPECT_GT(stats[0].eagains, 0u);
+}
+
+TEST(FaultyTransport, ShortWriteCapDribbles) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FaultyTransportConfig cfg;
+  cfg.short_write_cap = 1;
+  FaultyTransport faulty(cfg);
+  const std::uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (const std::uint8_t b : bytes) {
+    ASSERT_EQ(faulty.write(fds[0], &b, 1), 1);
+  }
+  std::uint8_t out[8];
+  ASSERT_EQ(::read(fds[1], out, sizeof out), 8);
+  EXPECT_EQ(std::memcmp(out, bytes, 8), 0);
+  // A multi-byte write through the cap moves exactly one byte.
+  EXPECT_EQ(faulty.write(fds[0], bytes, sizeof bytes), 1);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --------------------------------------------- chaos generator: plans ----
+
+TEST(FaultPlanChaos, GeneratesClusterWideSocketEpisodes) {
+  fault::ChaosOptions opt;
+  opt.crashes = 0;
+  opt.flaps = 0;
+  opt.socket_partials = 2;
+  opt.socket_eagains = 1;
+  opt.socket_resets = 1;
+  opt.socket_stalls = 1;
+  const fault::FaultPlan plan = fault::FaultPlan::chaos(4, opt, 42);
+  std::size_t socket_events = 0;
+  for (const fault::FaultEvent& e : plan.events()) {
+    if (!fault::is_socket_fault(e.kind)) continue;
+    ++socket_events;
+    EXPECT_FALSE(e.node.valid());  // socket chaos is cluster-wide
+    EXPECT_GT(e.magnitude, 0.0);
+    EXPECT_LE(e.at, opt.horizon);
+  }
+  EXPECT_EQ(socket_events, 5u);
+
+  // The transport seam picks the probabilities straight off the plan.
+  const FaultyTransportConfig cfg = FaultyTransportConfig::from_plan(plan, 7);
+  EXPECT_GT(cfg.partial_read, 0.0);
+  EXPECT_GT(cfg.eagain_read, 0.0);
+  EXPECT_GT(cfg.reset, 0.0);
+  EXPECT_GT(cfg.stall, 0.0);
+
+  // Same options + seed => same plan (the whole point of seeded chaos).
+  const fault::FaultPlan again = fault::FaultPlan::chaos(4, opt, 42);
+  ASSERT_EQ(again.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan.events()[i].kind, again.events()[i].kind);
+    EXPECT_EQ(plan.events()[i].at, again.events()[i].at);
+    EXPECT_EQ(plan.events()[i].magnitude, again.events()[i].magnitude);
+  }
+}
+
+// ------------------------------------------------------- codec: new error ----
+
+TEST(Codec, RateLimitedErrorRoundTrips) {
+  ResponseFrame in;
+  in.type = MsgType::kError;
+  in.request_id = 99;
+  in.error = WireError::kRateLimited;
+  in.detail = "per-connection rate limit exceeded";
+  std::vector<std::uint8_t> bytes;
+  encode_response(in, bytes);
+  FrameHeader header;
+  ASSERT_EQ(decode_header(bytes.data(), bytes.size(), {}, header),
+            WireError::kNone);
+  ResponseFrame out;
+  std::string detail;
+  ASSERT_EQ(decode_response(header, bytes.data() + kHeaderBytes,
+                            header.payload_len, {}, out, detail),
+            WireError::kNone);
+  EXPECT_EQ(out.error, WireError::kRateLimited);
+  EXPECT_EQ(out.detail, in.detail);
+  EXPECT_EQ(wire_error_name(WireError::kRateLimited),
+            std::string_view("rate-limited"));
+}
+
+TEST(NetClientApi, ParseEndpointsAndIdempotence) {
+  const std::vector<Endpoint> one = parse_endpoints("127.0.0.1:8080");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].host, "127.0.0.1");
+  EXPECT_EQ(one[0].port, 8080);
+  const std::vector<Endpoint> two = parse_endpoints("10.0.0.1:1,10.0.0.2:2");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[1].host, "10.0.0.2");
+  EXPECT_EQ(two[1].port, 2);
+  EXPECT_THROW((void)parse_endpoints("no-port"), NetError);
+  EXPECT_THROW((void)parse_endpoints("h:99999"), NetError);
+
+  EXPECT_TRUE(is_idempotent(MsgType::kPredictRequest));
+  EXPECT_TRUE(is_idempotent(MsgType::kCompareRequest));
+  EXPECT_TRUE(is_idempotent(MsgType::kStatusRequest));
+  EXPECT_FALSE(is_idempotent(MsgType::kScheduleRequest));
+  EXPECT_FALSE(is_idempotent(MsgType::kRemapRequest));
+}
+
+// ----------------------------------------------- event loop: EINTR storm ----
+
+TEST(EventLoopResilience, SurvivesSignalStorm) {
+  // Install a do-nothing SIGUSR1 handler *without* SA_RESTART so every
+  // blocking syscall on the loop thread returns EINTR, then storm it while
+  // posting work: nothing may be lost and the loop must stop cleanly.
+  struct sigaction sa{};
+  struct sigaction old{};
+  sa.sa_handler = +[](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread t([&] { loop.run(); });
+  int posted = 0;
+  for (int i = 0; i < 200; ++i) {
+    pthread_kill(t.native_handle(), SIGUSR1);
+    if (i % 10 == 0) {
+      loop.post([&] { ran.fetch_add(1); });
+      ++posted;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() < posted && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), posted);
+  loop.stop();
+  t.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old, nullptr), 0);
+}
+
+// -------------------------------------------------- server-side defense ----
+
+TEST_F(NetResilienceTest, OverBudgetRequestsGetRateLimitedFrames) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.connection.rate_limit_rps = 0.5;
+  cfg.connection.rate_limit_burst = 2.0;
+  NetServer net(srv, cfg);
+  WireClient client("127.0.0.1", net.port());
+
+  constexpr std::uint64_t kRequests = 8;
+  const Mapping mapping({NodeId{0}, NodeId{1}});
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    client.send(predict_frame(id, mapping));
+  }
+  std::uint64_t ok = 0;
+  std::uint64_t limited = 0;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const ResponseFrame r = client.recv();
+    if (r.type == MsgType::kError) {
+      ASSERT_EQ(r.error, WireError::kRateLimited);
+      ++limited;
+    } else {
+      ASSERT_EQ(r.type, MsgType::kPredictResponse);
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 1u);       // the burst allowance passed
+  EXPECT_GE(limited, 1u);  // the flood was told to back off, typed
+  EXPECT_EQ(net.rate_limited(), limited);
+
+  // The connection survives rate limiting: back off and it serves again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2100));
+  const ResponseFrame after = client.call(predict_frame(100, mapping));
+  EXPECT_EQ(after.type, MsgType::kPredictResponse);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, HeaderDribblerIsEvicted) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(5);
+  cfg.connection.header_timeout = std::chrono::milliseconds(25);
+  NetServer net(srv, cfg);
+
+  WireClient slowloris("127.0.0.1", net.port());
+  std::vector<std::uint8_t> frame;
+  encode_request(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})), frame);
+  slowloris.send_raw({frame.begin(), frame.begin() + 8});  // half a header
+  EXPECT_THROW((void)slowloris.recv(), NetError);  // evicted, not served
+  EXPECT_GE(net.slow_evicted(), 1u);
+
+  // A whole frame is progress — the same server still serves honest clients.
+  WireClient honest("127.0.0.1", net.port());
+  const ResponseFrame r =
+      honest.call(predict_frame(2, Mapping({NodeId{0}, NodeId{1}})));
+  EXPECT_EQ(r.type, MsgType::kPredictResponse);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, WriteStalledClientIsEvicted) {
+  // Server-side chaos transport that never completes a write: the response
+  // sits in the connection's buffer making no progress until the write-stall
+  // timer evicts the peer.
+  FaultyTransportConfig fault_config;
+  fault_config.eagain_write = 1.0;
+  fault_config.eagain_burst = 1;
+  FaultyTransport stuck(fault_config);
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(5);
+  cfg.connection.transport = &stuck;
+  cfg.connection.write_stall_timeout = std::chrono::milliseconds(25);
+  NetServer net(srv, cfg);
+
+  WireClient client("127.0.0.1", net.port());
+  client.send(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  EXPECT_THROW((void)client.recv(), NetError);  // stalled write => eviction
+  EXPECT_GE(net.slow_evicted(), 1u);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, AcceptStormIsRefusedButServingContinues) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(100);
+  cfg.accept_burst = 1;
+  NetServer net(srv, cfg);
+
+  // First in wins the tick's accept budget; the storm behind it is refused.
+  WireClient first("127.0.0.1", net.port());
+  std::vector<std::unique_ptr<WireClient>> storm;
+  for (int i = 0; i < 4; ++i) {
+    storm.push_back(
+        std::make_unique<WireClient>("127.0.0.1", net.port()));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (net.accepts_refused() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(net.accepts_refused(), 1u);
+
+  // The admitted connection is unaffected by the storm.
+  const ResponseFrame r =
+      first.call(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  EXPECT_EQ(r.type, MsgType::kPredictResponse);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, PeerClosingMidWriteDoesNotKillTheServer) {
+  // Gate the worker so the answer is written only after the client has
+  // closed: the write hits a dead socket (EPIPE, not SIGPIPE — transport
+  // writes use MSG_NOSIGNAL) and the server shrugs it off.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.fault_hook = [&](const server::Job&) {
+    entered.fetch_add(1);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  };
+  CbesServer srv(svc_, cfg);
+  NetServer net(srv, loop_config());
+
+  auto doomed = std::make_unique<WireClient>("127.0.0.1", net.port());
+  doomed->send(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  while (entered.load() == 0) std::this_thread::yield();
+  doomed.reset();  // peer gone before the answer exists
+  {
+    const std::lock_guard lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+
+  // The server survives and keeps serving new clients.
+  WireClient alive("127.0.0.1", net.port());
+  const ResponseFrame r =
+      alive.call(predict_frame(2, Mapping({NodeId{2}, NodeId{3}})));
+  EXPECT_EQ(r.type, MsgType::kPredictResponse);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, StatusCarriesDefenseCountersAndConnTable) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(5);
+  NetServer net(srv, cfg);
+  WireClient client("127.0.0.1", net.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));  // >1 tick
+
+  RequestFrame frame;
+  frame.type = MsgType::kStatusRequest;
+  frame.request_id = 1;
+  const ResponseFrame wire = client.call(frame);
+  ASSERT_EQ(wire.type, MsgType::kStatusResponse);
+  EXPECT_NE(wire.status_json.find("\"drain_state\":\"serving\""),
+            std::string::npos);
+  EXPECT_NE(wire.status_json.find("\"rate_limited\":"), std::string::npos);
+  EXPECT_NE(wire.status_json.find("\"conns\":[{"), std::string::npos);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+// ------------------------------------------------------- graceful drain ----
+
+TEST_F(NetResilienceTest, DrainAnswersEveryPipelinedRequest) {
+  // One worker, gated: the first job wedges mid-execution with more requests
+  // pipelined behind it. drain() must answer every single one — the running
+  // job with its real result, the queued ones with typed kShutdown — and
+  // only then close the connection. Nothing is silently dropped.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.fault_hook = [&](const server::Job&) {
+    entered.fetch_add(1);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  };
+  CbesServer srv(svc_, cfg);
+  NetConfig ncfg = loop_config();
+  ncfg.tick = std::chrono::milliseconds(5);
+  NetServer net(srv, ncfg);
+  WireClient client("127.0.0.1", net.port());
+
+  const Mapping maps[3] = {Mapping({NodeId{0}, NodeId{1}}),
+                           Mapping({NodeId{2}, NodeId{3}}),
+                           Mapping({NodeId{1}, NodeId{2}})};
+  constexpr std::uint64_t kRequests = 6;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    client.send(predict_frame(100 + i, maps[i % 3]));
+  }
+  while (entered.load() == 0) std::this_thread::yield();
+
+  std::thread drainer([&] { net.drain(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    const std::lock_guard lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+
+  std::uint64_t results = 0;
+  std::uint64_t shutdowns = 0;
+  std::vector<bool> seen(kRequests, false);
+  try {
+    while (results + shutdowns < kRequests) {
+      const ResponseFrame r = client.recv();
+      ASSERT_GE(r.request_id, 100u);
+      const std::uint64_t idx = r.request_id - 100;
+      ASSERT_LT(idx, kRequests);
+      EXPECT_FALSE(seen[idx]) << "request answered twice";
+      seen[idx] = true;
+      if (r.type == MsgType::kError) {
+        EXPECT_EQ(r.error, WireError::kShutdown);
+        ++shutdowns;
+      } else {
+        EXPECT_EQ(r.type, MsgType::kPredictResponse);
+        ++results;
+      }
+    }
+  } catch (const NetError& e) {
+    ADD_FAILURE() << "connection closed before every request was answered: "
+                  << e.what();
+  }
+  drainer.join();
+  EXPECT_EQ(results + shutdowns, kRequests);  // all answered, none dropped
+  EXPECT_GE(results, 1u);                     // the running job finished
+  EXPECT_GE(shutdowns, 1u);                   // queued work got typed frames
+  EXPECT_EQ(net.drain_state(), DrainState::kStopped);
+  EXPECT_EQ(net.drain_shutdown_answered(), shutdowns);
+  // After drain the connection is gone for good.
+  EXPECT_THROW((void)client.recv(), NetError);
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, DrainWithNoTrafficStopsPromptly) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(5);
+  NetServer net(srv, cfg);
+  EXPECT_EQ(net.drain_state(), DrainState::kServing);
+  net.drain();
+  EXPECT_EQ(net.drain_state(), DrainState::kStopped);
+  net.drain();  // idempotent
+  net.stop();   // and compatible with stop()
+  srv.shutdown(/*drain=*/true);
+}
+
+// ----------------------------------------------------- resilient client ----
+
+TEST_F(NetResilienceTest, NetClientFailsOverPastDeadEndpoint) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+
+  NetClientConfig cc;
+  cc.endpoints = {{"127.0.0.1", dead_port()}, {"127.0.0.1", net.port()}};
+  cc.retry.initial_backoff = 0.0005;
+  cc.retry.backoff_cap = 0.002;
+  NetClient client(cc);
+  const ResponseFrame r =
+      client.call(predict_frame(1, Mapping({NodeId{0}, NodeId{1}})));
+  EXPECT_EQ(r.type, MsgType::kPredictResponse);
+  EXPECT_GE(client.stats().failovers, 1u);
+  EXPECT_EQ(client.endpoint_index(), 1u);
+  EXPECT_TRUE(client.connected());
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, NetClientReconnectsAndReplaysIdempotentReads) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+  const Mapping mapping({NodeId{0}, NodeId{1}});
+
+  // The first write hits an injected connection reset; the client must
+  // reconnect (healing the transport) and replay the predict verbatim.
+  FaultyTransportConfig fault_config;
+  fault_config.seed = 5;
+  fault_config.reset = 1.0;
+  fault_config.max_resets = 1;
+  FaultyTransport faulty(fault_config);
+  NetClientConfig cc;
+  cc.endpoints = {{"127.0.0.1", net.port()}};
+  cc.retry.initial_backoff = 0.0005;
+  cc.retry.backoff_cap = 0.002;
+  cc.transport = &faulty;
+  NetClient client(cc);
+  const ResponseFrame replayed = client.call(predict_frame(7, mapping));
+  ASSERT_EQ(replayed.type, MsgType::kPredictResponse);
+  EXPECT_EQ(replayed.request_id, 7u);
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().replays, 1u);
+  EXPECT_EQ(faulty.stats().resets, 1u);
+
+  // The replayed answer is bit-identical to a clean client's.
+  WireClient plain("127.0.0.1", net.port());
+  const ResponseFrame clean = plain.call(predict_frame(8, mapping));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(replayed.time),
+            std::bit_cast<std::uint64_t>(clean.time));
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, NetClientSynthesizesErrorForLostMutatingRequest) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+
+  FaultyTransportConfig fault_config;
+  fault_config.seed = 5;
+  fault_config.reset = 1.0;
+  fault_config.max_resets = 1;
+  FaultyTransport faulty(fault_config);
+  NetClientConfig cc;
+  cc.endpoints = {{"127.0.0.1", net.port()}};
+  cc.retry.initial_backoff = 0.0005;
+  cc.retry.backoff_cap = 0.002;
+  cc.transport = &faulty;
+  NetClient client(cc);
+
+  // A schedule mutates broker state: lost before the answer, it must NOT be
+  // replayed — the caller gets exactly one synthetic transient error.
+  RequestFrame frame;
+  frame.type = MsgType::kScheduleRequest;
+  frame.request_id = 9;
+  frame.schedule.app = "tiny";
+  frame.schedule.nranks = 2;
+  frame.schedule.algo = Algo::kRandom;
+  frame.schedule.seed = 1;
+  const ResponseFrame r = client.call(frame);
+  EXPECT_EQ(r.type, MsgType::kError);
+  EXPECT_EQ(r.request_id, 9u);
+  EXPECT_EQ(r.error, WireError::kFailed);
+  EXPECT_EQ(r.fail_reason, FailReason::kTransient);
+  EXPECT_EQ(client.stats().give_ups, 1u);
+  EXPECT_EQ(client.stats().replays, 0u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+// ------------------------------------------- chaos loadgen, end to end ----
+
+TEST_F(NetResilienceTest, ChaosLoadgenIsDeterministicAndKeepsGoodput) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetServer net(srv, loop_config());
+
+  LoadGenOptions opt;
+  opt.port = net.port();
+  opt.connections = 2;
+  opt.pipeline = 4;
+  opt.requests_per_connection = 20;
+  opt.seed = 11;
+  opt.app = "tiny";
+  opt.mappings = {Mapping({NodeId{0}, NodeId{1}}),
+                  Mapping({NodeId{2}, NodeId{3}}),
+                  Mapping({NodeId{1}, NodeId{3}})};
+  opt.compare_fraction = 0.3;
+  opt.chaos_partial = 0.2;
+  opt.chaos_eagain = 0.2;
+  opt.chaos_reset = 0.05;
+  opt.chaos_max_resets = 2;
+
+  const LoadGenReport first = run_loadgen(opt);
+  EXPECT_EQ(first.submitted, 40u);
+  EXPECT_EQ(first.completed, 40u);  // retried reads all land
+  EXPECT_EQ(first.transport_errors, 0u);
+  EXPECT_GT(first.goodput_rps, 0.0);
+  EXPECT_NE(first.answer_checksum, 0u);
+
+  // Same seed, same chaos trajectory, byte-identical answers for the
+  // retried idempotent requests: the checksum proves it.
+  const LoadGenReport second = run_loadgen(opt);
+  EXPECT_EQ(second.answer_checksum, first.answer_checksum);
+  EXPECT_EQ(second.completed, first.completed);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+TEST_F(NetResilienceTest, AdversarialLoadgenDoesNotStarveHonestClients) {
+  CbesServer srv(svc_, ServerConfig{});
+  NetConfig cfg = loop_config();
+  cfg.tick = std::chrono::milliseconds(5);
+  cfg.connection.header_timeout = std::chrono::milliseconds(50);
+  cfg.connection.write_stall_timeout = std::chrono::milliseconds(50);
+  NetServer net(srv, cfg);
+
+  LoadGenOptions opt;
+  opt.port = net.port();
+  opt.connections = 2;
+  opt.pipeline = 4;
+  opt.duration_s = 0.5;
+  opt.seed = 13;
+  opt.app = "tiny";
+  opt.mappings = {Mapping({NodeId{0}, NodeId{1}}),
+                  Mapping({NodeId{2}, NodeId{3}})};
+  opt.adversary = Adversary::kMix;
+  opt.adversarial_connections = 2;
+
+  const LoadGenReport report = run_loadgen(opt);
+  EXPECT_GT(report.completed, 0u);  // honest goodput under attack
+  EXPECT_EQ(report.transport_errors, 0u);
+  EXPECT_GT(report.attacker_rounds, 0u);
+  net.stop();
+  srv.shutdown(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace cbes::net
