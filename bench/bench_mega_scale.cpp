@@ -1,0 +1,270 @@
+// Mega-cluster scaling bench for the class-compressed representation (ROADMAP
+// item 1): builds synthetic fat trees at 1k / 10k / 100k nodes, stands up the
+// full service (calibration included) over each, and reports what the O(C^2)
+// layers cost where the dense O(N^2) design was projected to need gigabytes —
+// model build time, model bytes, path-class counts, dense-table compression,
+// incremental-evaluation move throughput, and process peak RSS. At the 1k
+// scale it also races the hierarchically sharded annealer against the plain
+// single-shard SA on identical seeds and asserts the sharded result is never
+// worse — the quality gate for scheduling partitioned mega-clusters.
+//
+// Hard assertions (the bench doubles as a scaling regression test):
+//   * the 10k-node service fits in < 1 GiB peak RSS;
+//   * sharded SA cost <= plain SA cost at every fixed seed at 1k nodes.
+//
+// `--max-nodes N` skips every scale larger than N nodes — CI smoke runs
+// `--max-nodes 12000` (1k + 10k); the unrestricted run adds the 102 400-node
+// tier and regenerates bench/baselines/BENCH_mega_scale.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/service.h"
+#include "sched/annealing.h"
+#include "sched/cost.h"
+#include "sched/pool.h"
+#include "sched/sharded.h"
+#include "simnet/load.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace cbes;
+using namespace cbes::bench;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Process high-water-mark RSS in MiB (Linux VmHWM; 0 when unavailable).
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+  }
+  return 0.0;
+}
+
+/// Ring-plus-skips workload: rank i exchanges with i±1 and i±16 — the nearest
+/// and next-cabinet neighbors of a halo exchange, so locality-aware mappings
+/// genuinely beat scattered ones and the C term has structure to exploit.
+AppProfile mega_profile(std::size_t nranks) {
+  AppProfile prof;
+  prof.app_name = "mega-ring";
+  prof.procs.resize(nranks);
+  for (std::size_t i = 0; i < nranks; ++i) {
+    auto& p = prof.procs[i];
+    p.x = 40.0;
+    p.o = 4.0;
+    p.b = 8.0;
+    p.lambda = 1.0;
+    p.profiled_arch = Arch::kAlpha533;
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{16}}) {
+      p.recv_groups.push_back(MessageGroup{
+          RankId{(i + nranks - stride % nranks) % nranks}, 4096, 12});
+      p.send_groups.push_back(
+          MessageGroup{RankId{(i + stride) % nranks}, 4096, 12});
+    }
+  }
+  for (Arch a : kAllArchs)
+    prof.arch_speed[static_cast<std::size_t>(a)] = effective_speed(a, 0.4);
+  return prof;
+}
+
+/// Calibration trimmed to what the class-compressed model needs: one
+/// representative pair per path class, a few sizes, two repeats. At 100k
+/// nodes the probe count is still only O(C · sizes · repeats).
+CbesService::Config mega_config() {
+  CbesService::Config cfg;
+  cfg.calibration.sizes = {64, 4096, 65536};
+  cfg.calibration.repeats = 2;
+  cfg.monitor.noise_sigma = 0.0;
+  return cfg;
+}
+
+struct ScaleSpec {
+  const char* label;
+  FatTreeOptions shape;
+};
+
+std::vector<ScaleSpec> scales() {
+  const std::vector<Arch> mix = {Arch::kAlpha533, Arch::kIntelPII400,
+                                 Arch::kSparc500, Arch::kGeneric};
+  // 1024 nodes sits exactly at PairClassMap's dense fast-path limit, so the
+  // 1k tier reports ~1x compression by design (the dense u16 table is kept
+  // for O(1) lookups); the climb-path compression shows from 10k up.
+  ScaleSpec one_k{"1k", {}};
+  one_k.shape.levels = 2;
+  one_k.shape.radix = 8;
+  one_k.shape.nodes_per_leaf = 16;  // 64 leaves x 16 = 1024 nodes
+  one_k.shape.arch_mix = mix;
+  ScaleSpec ten_k{"10k", {}};
+  ten_k.shape.levels = 3;
+  ten_k.shape.radix = 8;
+  ten_k.shape.nodes_per_leaf = 20;  // 512 leaves x 20 = 10 240 nodes
+  ten_k.shape.arch_mix = mix;
+  ScaleSpec hundred_k{"100k", {}};
+  hundred_k.shape.levels = 3;
+  hundred_k.shape.radix = 16;
+  hundred_k.shape.nodes_per_leaf = 25;  // 4096 leaves x 25 = 102 400 nodes
+  hundred_k.shape.arch_mix = mix;
+  return {one_k, ten_k, hundred_k};
+}
+
+void run_scale(const ScaleSpec& spec) {
+  const std::string suffix = std::string("_") + spec.label;
+  const auto build_start = std::chrono::steady_clock::now();
+  const ClusterTopology topo = make_fat_tree(spec.shape);
+  const NoLoad truth;
+  const CbesService svc(topo, truth, mega_config());
+  const double build_seconds = seconds_since(build_start);
+
+  const std::size_t n = topo.node_count();
+  const std::size_t classes = svc.latency_model().class_count();
+  const double model_bytes =
+      static_cast<double>(svc.latency_model().memory_bytes());
+  const double dense_bytes =
+      static_cast<double>(n) * static_cast<double>(n) * sizeof(std::uint16_t);
+  const double compression = dense_bytes / model_bytes;
+
+  // Move throughput through the incremental session at this node count.
+  const std::size_t nranks = 256;
+  const std::size_t moves = 200'000;
+  const AppProfile prof = mega_profile(nranks);
+  const LoadSnapshot snapshot = LoadSnapshot::idle(n);
+  const CbesCost cost(svc.evaluator(), prof, snapshot, EvalOptions{},
+                      /*guidance=*/1e-3, EvalEngine::kIncremental);
+  const NodePool pool = NodePool::whole_cluster(topo);
+  Rng rng(0xBE9A);
+  const Mapping initial = pool.random_mapping(nranks, rng);
+  const auto session = cost.session(initial);
+  CBES_CHECK_MSG(session != nullptr, "incremental engine must offer sessions");
+  const auto move_start = std::chrono::steady_clock::now();
+  for (std::size_t m = 0; m < moves; ++m) {
+    session->apply(RankId{rng.index(nranks)}, NodeId{rng.index(n)});
+    session->commit();
+    (void)session->cost();
+  }
+  const double moves_per_sec =
+      static_cast<double>(moves) / seconds_since(move_start);
+
+  const double rss = peak_rss_mib();
+  std::printf(
+      "%6s: %7zu nodes  %4zu classes  model %8.1f KiB  (dense %8.1f MiB, "
+      "%8.0fx)  build %6.2f s  %10.0f moves/s  peak RSS %7.1f MiB\n",
+      spec.label, n, classes, model_bytes / 1024.0,
+      dense_bytes / (1024.0 * 1024.0), compression, build_seconds,
+      moves_per_sec, rss);
+
+  record_metric("mega_nodes" + suffix, static_cast<double>(n), "nodes");
+  record_metric("mega_path_classes" + suffix, static_cast<double>(classes),
+                "classes");
+  record_metric("mega_model_bytes" + suffix, model_bytes, "bytes");
+  record_metric("mega_dense_compression" + suffix, compression, "x");
+  record_metric("mega_model_build_seconds" + suffix, build_seconds, "s");
+  record_metric("mega_eval_moves_per_sec" + suffix, moves_per_sec, "moves/s");
+  record_metric("mega_peak_rss_mib" + suffix, rss, "MiB");
+
+  // The scaling contract from ROADMAP item 1: a 10k-node deployment must fit
+  // comfortably in commodity memory. Peak RSS is cumulative over the process,
+  // so this also covers the smaller scales that ran before it.
+  if (n >= 10'000 && n < 100'000)
+    CBES_CHECK_MSG(rss < 1024.0,
+                   "10k-node service exceeded the 1 GiB peak-RSS budget");
+}
+
+/// Plain SA vs the hierarchically sharded annealer on identical seeds at the
+/// 1k scale; the sharded result must never be worse.
+void run_quality_gate(const ScaleSpec& spec) {
+  const ClusterTopology topo = make_fat_tree(spec.shape);
+  const NoLoad truth;
+  const CbesService svc(topo, truth, mega_config());
+  const std::size_t nranks = 64;
+  const AppProfile prof = mega_profile(nranks);
+  const LoadSnapshot snapshot = LoadSnapshot::idle(topo.node_count());
+  const NodePool pool = NodePool::whole_cluster(topo);
+
+  SaParams inner;
+  inner.max_evaluations = 40'000;
+  inner.moves_per_temperature = 100;
+  inner.restarts = 2;
+
+  std::printf("\nquality at %s nodes (%zu ranks, ring+skips):\n", spec.label,
+              nranks);
+  std::printf("%6s %14s %14s %8s\n", "seed", "single cost", "sharded cost",
+              "gain");
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const CbesCost cost(svc.evaluator(), prof, snapshot, EvalOptions{},
+                        /*guidance=*/1e-3, EvalEngine::kIncremental);
+    SaParams single = inner;
+    single.seed = seed;
+    SimulatedAnnealingScheduler plain(single);
+    const ScheduleResult lone = plain.schedule(nranks, pool, cost);
+
+    ShardedSaParams params;
+    params.inner = inner;
+    params.shards = 8;
+    params.seed = seed;
+    ShardedAnnealScheduler sharded(params);
+    const ScheduleResult split = sharded.schedule(nranks, pool, cost);
+
+    const double gain = lone.cost / split.cost;
+    std::printf("%6llu %14.6f %14.6f %7.3fx\n",
+                static_cast<unsigned long long>(seed), lone.cost, split.cost,
+                gain);
+    const std::string suffix = "_seed" + std::to_string(seed);
+    record_metric("mega_sa_single_cost" + suffix, lone.cost, "s");
+    record_metric("mega_sa_sharded_cost" + suffix, split.cost, "s");
+    record_metric("mega_sa_sharded_gain" + suffix, gain, "x");
+    CBES_CHECK_MSG(split.cost <= lone.cost,
+                   "sharded SA must not lose to single-shard SA");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_nodes = 0;  // 0 = unrestricted
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      max_nodes = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--max-nodes N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("mega scale: class-compressed model + sharded SA, 1k-100k\n");
+  for (const ScaleSpec& spec : scales()) {
+    const std::size_t n = fat_tree_node_count(spec.shape);
+    if (max_nodes != 0 && n > max_nodes) {
+      std::printf("%6s: skipped (%zu nodes > --max-nodes %zu)\n", spec.label,
+                  n, max_nodes);
+      continue;
+    }
+    run_scale(spec);
+  }
+  // The quality gate rides on the smallest (1k) scale.
+  for (const ScaleSpec& spec : scales()) {
+    const std::size_t n = fat_tree_node_count(spec.shape);
+    if (n <= 2048 && (max_nodes == 0 || n <= max_nodes)) {
+      run_quality_gate(spec);
+      break;
+    }
+  }
+
+  const std::string path = write_bench_json("mega_scale");
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

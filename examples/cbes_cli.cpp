@@ -3,13 +3,24 @@
 // requests for.
 //
 // Usage:
-//   cbes_cli topo <centurion|orange-grove|path/to/cluster.topo>
+//   cbes_cli topo <cluster>
 //   cbes_cli apps
 //   cbes_cli profile <cluster> <app> <ranks> [out.prof]
 //   cbes_cli predict <cluster> <app> <ranks> --map n0,n1,...
 //   cbes_cli compare <cluster> <app> <ranks> --map a0,a1,.. --map b0,b1,..
 //   cbes_cli schedule <cluster> <app> <ranks> [--arch A|I|S] [--sa|--ga|--rs]
-//       [--eval-engine full|incremental]
+//       [--eval-engine full|incremental] [--sa-shards N]
+//
+// <cluster> is centurion, orange-grove, a path/to/cluster.topo file, or a
+// synthetic mega-cluster spec `fat-tree:LEVELS:RADIX:LEAF[:MIX]` — MIX is a
+// string of architecture letters (A=Alpha, I=Intel, S=Sparc, G=generic)
+// assigned round-robin, default G. `topo` prints the class-compression
+// summary (node/switch/path-class counts, compression ratio, latency-model
+// memory) for any cluster, and the per-node listing for small ones.
+//
+// `schedule --sa-shards N` (N > 1) runs the hierarchically sharded annealer:
+// the pool is partitioned into N switch-subtree shards annealed concurrently
+// with cross-shard exchange rounds — the mega-cluster search path.
 //   cbes_cli serve <cluster> <app> <ranks> [--workers N] [--clients M]
 //                  [--requests K] [--deadline-ms D] [--shed-target-ms T]
 //                  [--watchdog-ms W] [--checkpoint file.ckpt]
@@ -110,6 +121,7 @@
 #include "net/loadgen.h"
 #include "net/net_error.h"
 #include "net/net_server.h"
+#include "netmodel/pair_class.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
@@ -125,6 +137,7 @@
 #include "sched/cost.h"
 #include "sched/genetic.h"
 #include "sched/pool.h"
+#include "sched/sharded.h"
 #include "simnet/load.h"
 #include "topology/builders.h"
 
@@ -239,14 +252,53 @@ class CliSchedulerObserver final : public obs::SchedulerObserver {
   obs::Gauge* best_energy_ = nullptr;
 };
 
+/// Parses `fat-tree:LEVELS:RADIX:LEAF[:MIX]` (MIX = letters A/I/S/G).
+FatTreeOptions parse_fat_tree_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t pos = std::string("fat-tree:").size();
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    parts.push_back(spec.substr(
+        pos, colon == std::string::npos ? std::string::npos : colon - pos));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  CBES_CHECK_MSG(parts.size() == 3 || parts.size() == 4,
+                 "expected fat-tree:LEVELS:RADIX:LEAF[:MIX], got '" + spec +
+                     "'");
+  FatTreeOptions opt;
+  opt.levels = static_cast<int>(parse_count(parts[0], "fat-tree levels"));
+  opt.radix = static_cast<int>(parse_count(parts[1], "fat-tree radix"));
+  opt.nodes_per_leaf = parse_count(parts[2], "fat-tree nodes per leaf");
+  if (parts.size() == 4) {
+    opt.arch_mix.clear();
+    for (const char c : parts[3]) {
+      switch (c) {
+        case 'A': opt.arch_mix.push_back(Arch::kAlpha533); break;
+        case 'I': opt.arch_mix.push_back(Arch::kIntelPII400); break;
+        case 'S': opt.arch_mix.push_back(Arch::kSparc500); break;
+        case 'G': opt.arch_mix.push_back(Arch::kGeneric); break;
+        default:
+          throw ContractError(std::string("bad fat-tree arch letter '") + c +
+                              "' (want A, I, S, or G)");
+      }
+    }
+  }
+  return opt;
+}
+
 ClusterTopology make_cluster(const std::string& name) {
   if (name == "centurion") return make_centurion();
   if (name == "orange-grove") return make_orange_grove();
+  if (name.rfind("fat-tree:", 0) == 0) {
+    return make_fat_tree(parse_fat_tree_spec(name));
+  }
   if (name.size() > 5 && name.substr(name.size() - 5) == ".topo") {
     return load_topology_file(name);  // user-supplied cluster description
   }
   throw ContractError("unknown cluster: " + name +
-                      " (try centurion, orange-grove, or a .topo file)");
+                      " (try centurion, orange-grove, fat-tree:L:R:N[:MIX], "
+                      "or a .topo file)");
 }
 
 Mapping parse_mapping(const std::string& spec) {
@@ -270,10 +322,35 @@ int cmd_topo(const std::string& cluster_name) {
   std::printf("%s: %zu nodes, %zu switches, %zu CPU slots\n",
               topo.name().c_str(), topo.node_count(), topo.switch_count(),
               topo.total_slots());
-  for (const Node& n : topo.nodes()) {
-    std::printf("  [%3u] %-12s %-12s cpus=%d  on %s\n", n.id.value,
-                n.name.c_str(), std::string(arch_name(n.arch)).c_str(),
-                n.cpus, topo.sw(n.attached).name.c_str());
+
+  // Class-compression summary: the whole point of the class-keyed latency
+  // model is that these numbers stay flat as the node count explodes.
+  const PairClassMap classes(topo);
+  const std::size_t nodes = topo.node_count();
+  const std::size_t dense_pairs = nodes * nodes;
+  const std::size_t path_classes = classes.table_size();
+  std::printf("  node classes:  %zu\n", topo.topo_class_count());
+  std::printf("  path classes:  %zu  (loopback + %zu distinct pair "
+              "signatures)\n",
+              path_classes, path_classes - 1);
+  std::printf("  compression:   %.0fx  (%zu node pairs -> %zu classes)\n",
+              static_cast<double>(dense_pairs) /
+                  static_cast<double>(path_classes),
+              dense_pairs, path_classes);
+  std::printf("  model memory:  %.1f KiB  (a dense pair table would be "
+              "%.1f MiB)\n",
+              static_cast<double>(classes.memory_bytes()) / 1024.0,
+              static_cast<double>(dense_pairs * sizeof(std::uint16_t)) /
+                  (1024.0 * 1024.0));
+
+  // The per-node listing is for eyeballing small clusters; a 100k-node dump
+  // would bury the summary above.
+  if (topo.node_count() <= 64) {
+    for (const Node& n : topo.nodes()) {
+      std::printf("  [%3u] %-12s %-12s cpus=%d  on %s\n", n.id.value,
+                  n.name.c_str(), std::string(arch_name(n.arch)).c_str(),
+                  n.cpus, topo.sw(n.attached).name.c_str());
+    }
   }
   return 0;
 }
@@ -356,7 +433,8 @@ int cmd_predict_or_compare(const std::string& cluster, const std::string& app,
 
 int cmd_schedule(const std::string& cluster, const std::string& app,
                  std::size_t ranks, const std::string& arch_filter,
-                 const std::string& algo, const std::string& engine_name) {
+                 const std::string& algo, const std::string& engine_name,
+                 std::size_t sa_shards) {
   if (!arch_filter.empty() && arch_filter != "A" && arch_filter != "I" &&
       arch_filter != "S") {
     std::fprintf(stderr, "error: --arch must be A, I, or S (got '%s')\n",
@@ -399,6 +477,12 @@ int cmd_schedule(const std::string& cluster, const std::string& app,
       RandomScheduler rs(0xC11);
       rs.set_observer(&observer);
       result = rs.schedule(ranks, pool, cost);
+    } else if (sa_shards > 1) {
+      ShardedSaParams params;
+      params.shards = sa_shards;
+      ShardedAnnealScheduler sa(params);
+      sa.set_observer(&observer);
+      result = sa.schedule(ranks, pool, cost);
     } else {
       SimulatedAnnealingScheduler sa(SaParams{});
       sa.set_observer(&observer);
@@ -960,6 +1044,7 @@ int dispatch(const std::vector<std::string>& args) {
     std::string arch;
     std::string algo = "--sa";
     std::string engine;
+    std::size_t sa_shards = 0;
     for (std::size_t i = 4; i < args.size(); ++i) {
       if (args[i] == "--arch" && i + 1 < args.size()) {
         arch = args[++i];
@@ -969,13 +1054,15 @@ int dispatch(const std::vector<std::string>& args) {
         engine = args[++i];
       } else if (args[i].rfind("--eval-engine=", 0) == 0) {
         engine = args[i].substr(std::string("--eval-engine=").size());
+      } else if (args[i] == "--sa-shards" && i + 1 < args.size()) {
+        sa_shards = parse_count(args[++i], "--sa-shards");
       } else {
         std::fprintf(stderr, "error: unknown schedule option '%s'\n",
                      args[i].c_str());
         return usage();
       }
     }
-    return cmd_schedule(cluster, app, ranks, arch, algo, engine);
+    return cmd_schedule(cluster, app, ranks, arch, algo, engine, sa_shards);
   }
   if (cmd == "serve") {
     ServeOptions opt;

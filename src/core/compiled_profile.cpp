@@ -52,13 +52,7 @@ CompiledProfile::CompiledProfile(const AppProfile& profile,
   for (std::size_t k = 0; k < model.class_table_size(); ++k) {
     coeffs_.push_back(model.class_coeffs(k));
   }
-  pair_class_.resize(nnodes_ * nnodes_);
-  for (std::size_t a = 0; a < nnodes_; ++a) {
-    for (std::size_t b = 0; b < nnodes_; ++b) {
-      pair_class_[a * nnodes_ + b] =
-          static_cast<std::uint16_t>(model.pair_class(NodeId{a}, NodeId{b}));
-    }
-  }
+  pair_classes_ = model.pair_class_map();
 
   // Flatten message groups, preserving theta()'s per-rank recv-then-send
   // summation order (the FP-identity contract).

@@ -8,8 +8,9 @@
 //
 //   * CompiledProfile — an immutable flattening of (profile, latency model,
 //     snapshot, options) into contiguous SoA arrays: per-rank compute
-//     constants, per-node reciprocal loads, the dense pair->class table, and
-//     all message groups in one block with a reverse peer index. A full
+//     constants, per-node reciprocal loads, the O(C²)+O(N) pair->class map
+//     copied from the latency model, and all message groups in one block with
+//     a reverse peer index. A full
 //     evaluation is then a single allocation-free sweep. Once built, a
 //     CompiledProfile is self-contained (it copies everything it reads), so
 //     the server can share one instance across worker threads for as long as
@@ -92,10 +93,13 @@ class CompiledProfile {
   }
 
   /// L_c for one message group — same operation order as
-  /// LatencyModel::current over the bound snapshot.
+  /// LatencyModel::current over the bound snapshot. Only the class-id lookup
+  /// mechanism differs from the historical dense matrix (same id, same
+  /// coefficients), so the arithmetic below is untouched — the FP-identity
+  /// contract holds.
   [[nodiscard]] double group_latency(std::size_t g, std::uint32_t src,
                                      std::uint32_t dst) const {
-    const LatencyCoeffs& c = coeffs_[pair_class_[src * nnodes_ + dst]];
+    const LatencyCoeffs& c = coeffs_[pair_classes_.pair_class(src, dst)];
     const double g_cpu = 0.5 * (inv_cpu_[src] + inv_cpu_[dst]) - 1.0;
     const double g_nic = 0.5 * (nic_inv_[src] + nic_inv_[dst]) - 1.0;
     return c.alpha * (1.0 + c.k_alpha_cpu * g_cpu) +
@@ -128,9 +132,10 @@ class CompiledProfile {
   std::vector<double> nic_inv_;     ///< 1/(1 - NIC_j) (latency g_nic input)
   std::vector<std::uint8_t> alive_;
 
-  // Latency table copied out of the model: dense pair->class plus coeffs.
+  // Latency table copied out of the model: class-compressed pair->class map
+  // plus per-class coeffs — O(C²)+O(N), independent of the node count.
   std::vector<LatencyCoeffs> coeffs_;
-  std::vector<std::uint16_t> pair_class_;  ///< nnodes_ x nnodes_
+  PairClassMap pair_classes_;
 
   // Message groups of every rank flattened into one block, preserving the
   // per-rank recv-then-send order theta() sums in. g_begin_[i]..g_begin_[i+1]

@@ -46,6 +46,14 @@ CbesService::CbesService(const ClusterTopology& topology,
     reg.counter("cbes_calibration_probes_total",
                 "Individual ping measurements taken during calibration")
         .inc(calibration_report_.measurements);
+    // Class-compression footprint: these stay flat as the node count grows,
+    // which is the whole claim of the O(C^2) latency representation.
+    reg.gauge("cbes_topology_path_classes",
+              "Distinct path classes in the compressed latency model")
+        .set(static_cast<double>(model_->class_count()));
+    reg.gauge("cbes_topology_model_bytes",
+              "Resident bytes of the class-compressed latency model")
+        .set(static_cast<double>(model_->memory_bytes()));
     predict_requests_ = &reg.counter("cbes_service_predict_requests_total",
                                      "predict() requests served");
     compare_requests_ = &reg.counter("cbes_service_compare_requests_total",

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "netmodel/pair_class.h"
 #include "simnet/load.h"
 
 namespace cbes {
@@ -132,17 +133,28 @@ LatencyModel calibrate(const ClusterTopology& topology,
 
   SimNetwork net(topology, hardware, derive_seed(options.seed, 1));
 
-  // Group node pairs into path-equivalence classes.
+  // Group node pairs into path-equivalence classes. The O(N) mode takes them
+  // straight from the class map — one representative pair per class, the
+  // row-major-minimal pair, which is byte-identical to what the historical
+  // dense scan kept first — so enumeration never touches node pairs. The
+  // full-pairwise validation mode still sweeps every pair (it exists to
+  // cross-check the class approximation on paper-scale clusters).
   std::unordered_map<std::string, std::vector<PairSample>> classes;
-  const std::size_t n = topology.node_count();
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = 0; b < n; ++b) {
-      if (a == b) continue;
-      const NodeId na{a}, nb{b};
-      auto& bucket = classes[topology.path_signature(na, nb)];
-      if (options.full_pairwise || bucket.empty()) {
-        bucket.push_back(PairSample{na, nb});
+  if (options.full_pairwise) {
+    const std::size_t n = topology.node_count();
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const NodeId na{a}, nb{b};
+        classes[topology.path_signature(na, nb)].push_back(
+            PairSample{na, nb});
       }
+    }
+  } else {
+    const PairClassMap class_map(topology);
+    for (std::size_t idx = 1; idx < class_map.table_size(); ++idx) {
+      const PairClassMap::ClassInfo& info = class_map.info(idx);
+      classes[info.signature].push_back(PairSample{info.rep_a, info.rep_b});
     }
   }
 

@@ -1,8 +1,6 @@
 #include "netmodel/latency_model.h"
 
 #include <algorithm>
-#include <limits>
-#include <map>
 #include <utility>
 
 #include "common/check.h"
@@ -44,7 +42,9 @@ LatencyModel::LatencyModel(
     const ClusterTopology& topology,
     std::unordered_map<std::string, LatencyCoeffs> by_signature,
     LatencyCoeffs loopback, bool allow_partial)
-    : topology_(&topology), n_(topology.node_count()) {
+    : topology_(&topology),
+      pair_classes_(topology),
+      n_(topology.node_count()) {
   coeffs_.push_back(loopback);  // class 0 = loopback
   fallback_.push_back(0);
 
@@ -55,32 +55,22 @@ LatencyModel::LatencyModel(
     average = class_average(by_signature);
   }
 
-  std::unordered_map<std::string, std::uint16_t> index_of;
-  pair_class_.assign(n_ * n_, 0);
-  for (std::size_t a = 0; a < n_; ++a) {
-    for (std::size_t b = 0; b < n_; ++b) {
-      if (a == b) continue;  // stays class 0
-      const std::string sig =
-          topology.path_signature(NodeId{a}, NodeId{b});
-      auto [it, inserted] = index_of.try_emplace(
-          sig, static_cast<std::uint16_t>(coeffs_.size()));
-      if (inserted) {
-        const auto found = by_signature.find(sig);
-        CBES_CHECK_MSG(found != by_signature.end() || allow_partial,
-                       "latency model missing coefficients for path class " +
-                           sig);
-        CBES_CHECK_MSG(coeffs_.size() <
-                           std::numeric_limits<std::uint16_t>::max(),
-                       "too many path classes");
-        if (found != by_signature.end()) {
-          coeffs_.push_back(found->second);
-          fallback_.push_back(0);
-        } else {
-          coeffs_.push_back(average);
-          fallback_.push_back(1);
-        }
-      }
-      pair_class_[a * n_ + b] = it->second;
+  // The class map already enumerated every realized path class (in canonical
+  // ascending-signature order) without touching node pairs; attach
+  // coefficients class by class.
+  coeffs_.reserve(pair_classes_.table_size());
+  fallback_.reserve(pair_classes_.table_size());
+  for (std::size_t idx = 1; idx < pair_classes_.table_size(); ++idx) {
+    const std::string& sig = pair_classes_.info(idx).signature;
+    const auto found = by_signature.find(sig);
+    CBES_CHECK_MSG(found != by_signature.end() || allow_partial,
+                   "latency model missing coefficients for path class " + sig);
+    if (found != by_signature.end()) {
+      coeffs_.push_back(found->second);
+      fallback_.push_back(0);
+    } else {
+      coeffs_.push_back(average);
+      fallback_.push_back(1);
     }
   }
 }
@@ -110,30 +100,22 @@ CalibrationState LatencyModel::calibration_state() const {
   CalibrationState state;
   state.loopback = coeffs_[0];
   state.partial = fallback_class_count() > 0;
-  // LatencyModel keeps only the dense class table; the signatures are
-  // recovered by re-deriving each pair's signature from the topology and
-  // keeping the first pair seen per measured (non-fallback) class.
-  std::map<std::string, LatencyCoeffs> measured;
-  std::vector<std::uint8_t> seen(coeffs_.size(), 0);
-  for (std::size_t a = 0; a < n_; ++a) {
-    for (std::size_t b = 0; b < n_; ++b) {
-      if (a == b) continue;
-      const std::uint16_t idx = pair_class_[a * n_ + b];
-      if (seen[idx] != 0) continue;
-      seen[idx] = 1;
-      if (fallback_[idx] != 0) continue;
-      measured.emplace(topology_->path_signature(NodeId{a}, NodeId{b}),
-                       coeffs_[idx]);
-    }
+  // Class ids ascend with signature, so walking them in order yields the
+  // sorted (signature, coefficients) list the checkpoint format requires.
+  state.classes.reserve(coeffs_.size() - 1);
+  for (std::size_t idx = 1; idx < coeffs_.size(); ++idx) {
+    if (fallback_[idx] != 0) continue;
+    state.classes.emplace_back(pair_classes_.info(idx).signature,
+                               coeffs_[idx]);
   }
-  state.classes.assign(measured.begin(), measured.end());
   return state;
 }
 
 std::size_t LatencyModel::class_index(NodeId a, NodeId b) const {
   CBES_ASSERT(a.valid() && a.index() < n_);
   CBES_ASSERT(b.valid() && b.index() < n_);
-  return pair_class_[a.index() * n_ + b.index()];
+  return pair_classes_.pair_class(static_cast<std::uint32_t>(a.index()),
+                                  static_cast<std::uint32_t>(b.index()));
 }
 
 const LatencyCoeffs& LatencyModel::coeffs(NodeId a, NodeId b) const {

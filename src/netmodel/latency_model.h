@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "monitor/snapshot.h"
+#include "netmodel/pair_class.h"
 #include "topology/cluster.h"
 
 namespace cbes {
@@ -56,9 +57,11 @@ struct CalibrationState {
                          const CalibrationState&) = default;
 };
 
-/// Immutable latency model over a fixed topology. Lookups are O(1): the pair ->
-/// class mapping is a dense matrix built at construction, sized for the SA
-/// scheduler's inner loop (millions of evaluations).
+/// Immutable latency model over a fixed topology. Storage is O(C²)+O(N)
+/// through a PairClassMap — one coefficient set per path class, never per
+/// node pair — so a 100k-node cluster's model is a few kilobytes. Lookups
+/// stay O(1) on paper-scale clusters (dense fast path) and O(tree depth) on
+/// mega clusters, sized for the SA scheduler's inner loop.
 class LatencyModel {
  public:
   /// Builds a model over `topology` from per-signature coefficients plus the
@@ -67,6 +70,8 @@ class LatencyModel {
   /// class-average of the provided coefficients (the degradation ladder's
   /// middle rung: better than refusing to answer, worse than a measured fit).
   /// Pairs served by the fallback are queryable via is_fallback().
+  /// Throws TooManyPathClassesError when the topology realizes more path
+  /// classes than the u16 class table can hold.
   LatencyModel(const ClusterTopology& topology,
                std::unordered_map<std::string, LatencyCoeffs> by_signature,
                LatencyCoeffs loopback, bool allow_partial = false);
@@ -109,9 +114,10 @@ class LatencyModel {
   /// Coefficients backing the (a, b) pair; for introspection and tests.
   [[nodiscard]] const LatencyCoeffs& coeffs(NodeId a, NodeId b) const;
 
-  /// Index of the path class serving (a, b); 0 = loopback. Stable for the
-  /// model's lifetime — lets consumers (core::CompiledProfile) copy the dense
-  /// pair->class table out through the public API.
+  /// Index of the path class serving (a, b); 0 = loopback. Canonical (ids
+  /// ascend with class signature) and stable for the model's lifetime — lets
+  /// consumers (core::CompiledProfile) copy the class map out through the
+  /// public API.
   [[nodiscard]] std::size_t pair_class(NodeId a, NodeId b) const {
     return class_index(a, b);
   }
@@ -124,6 +130,19 @@ class LatencyModel {
     return coeffs_.size();
   }
 
+  /// The underlying pair -> class index (copied by CompiledProfile so the
+  /// evaluation engine shares the O(C²) representation).
+  [[nodiscard]] const PairClassMap& pair_class_map() const noexcept {
+    return pair_classes_;
+  }
+
+  /// Bytes held by the model: class map plus coefficient tables. What the
+  /// cbes_topology_model_bytes gauge reports.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return pair_classes_.memory_bytes() +
+           coeffs_.size() * sizeof(LatencyCoeffs) + fallback_.size();
+  }
+
   [[nodiscard]] const ClusterTopology& topology() const noexcept {
     return *topology_;
   }
@@ -132,9 +151,9 @@ class LatencyModel {
   [[nodiscard]] std::size_t class_index(NodeId a, NodeId b) const;
 
   const ClusterTopology* topology_;
+  PairClassMap pair_classes_;             // O(C²)+O(N) pair -> class index
   std::vector<LatencyCoeffs> coeffs_;     // [0] = loopback
   std::vector<std::uint8_t> fallback_;    // parallel to coeffs_: 1 = class-average
-  std::vector<std::uint16_t> pair_class_; // n*n dense map into coeffs_
   std::size_t n_ = 0;
 };
 

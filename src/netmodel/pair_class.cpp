@@ -1,0 +1,173 @@
+#include "netmodel/pair_class.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cbes {
+
+TooManyPathClassesError::TooManyPathClassesError(std::size_t classes)
+    : std::runtime_error("topology realizes " + std::to_string(classes) +
+                         " path classes; the u16 class table holds at most "
+                         "65535 (use coarser link categories or fewer "
+                         "architectures)"),
+      classes_(classes) {}
+
+namespace {
+
+// (LCA depth, topo class of a, topo class of b) — the triple that fully
+// determines a pair's path signature.
+using ComboKey = std::tuple<int, std::uint32_t, std::uint32_t>;
+
+void keep_min(std::uint64_t& slot, std::uint64_t candidate) {
+  slot = std::min(slot, candidate);
+}
+
+}  // namespace
+
+PairClassMap::PairClassMap(const ClusterTopology& topology) {
+  n_ = topology.node_count();
+  const std::size_t nswitches = topology.switch_count();
+  class_stride_ = topology.topo_class_count();
+
+  node_class_.resize(n_);
+  attached_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    node_class_[i] = topology.topo_class_of(NodeId{i});
+    attached_[i] =
+        static_cast<std::uint32_t>(topology.node(NodeId{i}).attached.index());
+  }
+  parent_.resize(nswitches);
+  depth_.resize(nswitches);
+  std::vector<std::vector<std::uint32_t>> children(nswitches);
+  std::vector<std::vector<std::uint32_t>> attached_nodes(nswitches);
+  for (std::size_t s = 0; s < nswitches; ++s) {
+    const Switch& sw = topology.sw(SwitchId{s});
+    depth_[s] = static_cast<std::uint16_t>(sw.depth);
+    if (sw.parent.valid()) {
+      parent_[s] = static_cast<std::uint32_t>(sw.parent.index());
+      children[sw.parent.index()].push_back(static_cast<std::uint32_t>(s));
+    } else {
+      parent_[s] = std::numeric_limits<std::uint32_t>::max();
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i)
+    attached_nodes[attached_[i]].push_back(static_cast<std::uint32_t>(i));
+
+  // Bottom-up sweep: at each switch, the realized (class, class, LCA-depth)
+  // combos are exactly the cross products between its child groups (child
+  // subtrees plus directly attached nodes). A running union over the groups
+  // emits every combo once per switch while touching O(groups × C²) entries,
+  // never node pairs. Tracking the minimum node per class in each subtree
+  // recovers, per combo, the row-major-minimal representative pair — the same
+  // pair a dense row-major scan would have found first, which is the pair the
+  // calibration measures.
+  std::vector<std::uint32_t> order(nswitches);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return depth_[a] > depth_[b];
+                   });
+
+  // subtree[s]: topology class -> minimal node id in s's subtree.
+  std::vector<std::map<std::uint32_t, std::uint32_t>> subtree(nswitches);
+  std::map<ComboKey, std::uint64_t> combos;  // -> min (a * n + b)
+
+  for (std::uint32_t s : order) {
+    auto& acc = subtree[s];
+    const int d = depth_[s];
+    auto absorb = [&](const std::map<std::uint32_t, std::uint32_t>& group) {
+      for (const auto& [cu, au] : acc) {
+        for (const auto& [cg, ag] : group) {
+          auto [it_f, new_f] = combos.try_emplace(
+              ComboKey{d, cu, cg},
+              static_cast<std::uint64_t>(au) * n_ + ag);
+          if (!new_f)
+            keep_min(it_f->second, static_cast<std::uint64_t>(au) * n_ + ag);
+          auto [it_r, new_r] = combos.try_emplace(
+              ComboKey{d, cg, cu},
+              static_cast<std::uint64_t>(ag) * n_ + au);
+          if (!new_r)
+            keep_min(it_r->second, static_cast<std::uint64_t>(ag) * n_ + au);
+        }
+      }
+      for (const auto& [cg, ag] : group) {
+        auto [it, inserted] = acc.try_emplace(cg, ag);
+        if (!inserted) it->second = std::min(it->second, ag);
+      }
+    };
+    for (std::uint32_t node : attached_nodes[s])
+      absorb({{node_class_[node], node}});
+    for (std::uint32_t child : children[s]) {
+      absorb(subtree[child]);
+      subtree[child].clear();  // frontier memory only
+    }
+  }
+
+  // Combos sharing a signature are one class (e.g. symmetric counterparts).
+  // Ids go to signatures in ascending order — canonical across instances.
+  std::map<std::string, std::uint64_t> rep_by_sig;
+  for (const auto& [key, min_pair] : combos) {
+    const auto& [d, c1, c2] = key;
+    auto [it, inserted] = rep_by_sig.try_emplace(
+        topology.class_pair_signature(c1, c2, d), min_pair);
+    if (!inserted) keep_min(it->second, min_pair);
+  }
+  if (1 + rep_by_sig.size() > 65535)
+    throw TooManyPathClassesError(1 + rep_by_sig.size());
+
+  classes_.resize(1 + rep_by_sig.size());
+  std::map<std::string, std::uint16_t> id_of;
+  std::uint16_t next_id = 1;
+  for (const auto& [sig, min_pair] : rep_by_sig) {
+    classes_[next_id] = ClassInfo{sig, NodeId{min_pair / n_},
+                                  NodeId{min_pair % n_}};
+    id_of.emplace(sig, next_id);
+    ++next_id;
+  }
+
+  const std::size_t depth_dim =
+      static_cast<std::size_t>(topology.max_switch_depth()) + 1;
+  table_.assign(depth_dim * class_stride_ * class_stride_, 0);
+  for (const auto& [key, min_pair] : combos) {
+    (void)min_pair;
+    const auto& [d, c1, c2] = key;
+    table_[(static_cast<std::size_t>(d) * class_stride_ + c1) * class_stride_ +
+           c2] = id_of.at(topology.class_pair_signature(c1, c2, d));
+  }
+
+  if (n_ <= kDenseNodeLimit) {
+    std::vector<std::uint16_t> dense(n_ * n_, 0);
+    for (std::size_t a = 0; a < n_; ++a)
+      for (std::size_t b = 0; b < n_; ++b)
+        if (a != b)
+          dense[a * n_ + b] = pair_class(static_cast<std::uint32_t>(a),
+                                         static_cast<std::uint32_t>(b));
+    dense_ = std::move(dense);  // pair_class() climbed while dense_ was empty
+  }
+}
+
+const PairClassMap::ClassInfo& PairClassMap::info(std::size_t idx) const {
+  CBES_CHECK_MSG(idx >= 1 && idx < classes_.size(),
+                 "path class index out of range");
+  return classes_[idx];
+}
+
+std::size_t PairClassMap::memory_bytes() const noexcept {
+  std::size_t bytes = node_class_.size() * sizeof(std::uint32_t) +
+                      attached_.size() * sizeof(std::uint32_t) +
+                      parent_.size() * sizeof(std::uint32_t) +
+                      depth_.size() * sizeof(std::uint16_t) +
+                      table_.size() * sizeof(std::uint16_t) +
+                      dense_.size() * sizeof(std::uint16_t);
+  for (const ClassInfo& c : classes_)
+    bytes += sizeof(ClassInfo) + c.signature.size();
+  return bytes;
+}
+
+}  // namespace cbes

@@ -1,0 +1,117 @@
+// Class-compressed pair->path-class index: the O(C²)+O(N) representation that
+// replaces the dense N² pair_class matrix (paper §2's topology-equivalence
+// insight taken to its logical end).
+//
+// Every node pair's path signature is fully determined by the triple
+// (topo-class(a), topo-class(b), LCA depth) — the topology class already
+// encodes the architecture plus the per-level link categories, and the LCA
+// depth selects how much of each chain the path traverses. PairClassMap
+// therefore stores one u16 class id per *realized* triple (a table of
+// (max depth + 1) × C × C entries, with C = node topology classes, typically
+// single digits) plus two O(N) arrays (node -> topology class, node ->
+// attachment switch). pair_class(a, b) is an O(tree depth) LCA climb followed
+// by one table load; for small clusters (≤ kDenseNodeLimit nodes) a dense n²
+// fast path keeps the scheduler inner loop at one load, exactly as before.
+//
+// Class ids are canonical: 0 is loopback, ids 1..K are assigned in ascending
+// path-signature order, so two maps over the same topology — or over two
+// identically shaped topologies — agree id for id. Each class also records
+// the row-major-minimal representative node pair, which is byte-for-byte the
+// pair the O(N) calibration has always measured for that class (it kept the
+// first pair found by a row-major scan); keeping the representative identical
+// is what keeps fitted coefficients, and hence every downstream prediction,
+// bit-identical to the dense implementation.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/cluster.h"
+
+namespace cbes {
+
+/// Thrown when a topology realizes more path classes than the u16 class table
+/// can index. Typed (rather than a bare contract failure) so callers that
+/// generate topologies can catch it and re-shape, instead of silently
+/// truncating class ids as the pre-class-map code could.
+class TooManyPathClassesError : public std::runtime_error {
+ public:
+  explicit TooManyPathClassesError(std::size_t classes);
+  /// Number of classes the topology realizes, including loopback.
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+
+ private:
+  std::size_t classes_;
+};
+
+/// Immutable pair -> path-class index over a frozen topology; see the file
+/// comment for the representation. Copyable (CompiledProfile embeds one).
+class PairClassMap {
+ public:
+  PairClassMap() = default;
+  /// Builds the class table by one bottom-up pass over the switch tree —
+  /// O(S·C² + N·depth), never O(N²). Throws TooManyPathClassesError when the
+  /// topology realizes 65535 or more distinct non-loopback classes.
+  explicit PairClassMap(const ClusterTopology& topology);
+
+  struct ClassInfo {
+    std::string signature;  ///< ClusterTopology::path_signature byte format
+    NodeId rep_a;           ///< row-major-minimal representative pair
+    NodeId rep_b;
+  };
+
+  /// Path class of the (a, b) pair; 0 = loopback. Inline hot path: one load
+  /// on small clusters, an O(tree depth) parent climb plus one load above
+  /// kDenseNodeLimit nodes.
+  [[nodiscard]] std::uint16_t pair_class(std::uint32_t a,
+                                         std::uint32_t b) const {
+    if (a == b) return 0;
+    if (!dense_.empty()) return dense_[a * n_ + b];
+    std::uint32_t sa = attached_[a];
+    std::uint32_t sb = attached_[b];
+    while (sa != sb) {
+      if (depth_[sa] >= depth_[sb])
+        sa = parent_[sa];
+      else
+        sb = parent_[sb];
+    }
+    const std::size_t nc = class_stride_;
+    return table_[(static_cast<std::size_t>(depth_[sa]) * nc +
+                   node_class_[a]) *
+                      nc +
+                  node_class_[b]];
+  }
+
+  /// Number of path classes including loopback (class ids are
+  /// [0, table_size())).
+  [[nodiscard]] std::size_t table_size() const noexcept {
+    return classes_.size();
+  }
+  /// Signature + representative pair of class `idx`; requires
+  /// 1 <= idx < table_size() (loopback has no signature).
+  [[nodiscard]] const ClassInfo& info(std::size_t idx) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+  /// Bytes held by the index — O(C²) table + O(N) vectors (+ the dense
+  /// fast path on small clusters). What the statusz/metrics gauges report.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Clusters up to this many nodes also materialize the dense n² fast path
+  /// (≤ 2 MiB); beyond it, lookups climb the tree.
+  static constexpr std::size_t kDenseNodeLimit = 1024;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t class_stride_ = 0;  // node topology class count
+  std::vector<std::uint32_t> node_class_;  // n: node -> topology class
+  std::vector<std::uint32_t> attached_;    // n: node -> attachment switch
+  std::vector<std::uint32_t> parent_;      // S: switch -> parent switch
+  std::vector<std::uint16_t> depth_;       // S: switch -> depth
+  std::vector<std::uint16_t> table_;       // (max depth+1) * C * C -> class id
+  std::vector<std::uint16_t> dense_;       // n*n fast path; empty when large
+  std::vector<ClassInfo> classes_;         // [0] = loopback
+};
+
+}  // namespace cbes

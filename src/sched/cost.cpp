@@ -17,7 +17,7 @@ class CbesCost::IncrementalSession final : public CostFunction::Session {
   }
 
   double cost() override {
-    ++parent_->evaluations_;
+    parent_->evaluations_.fetch_add(1, std::memory_order_relaxed);
     if (parent_->guidance_ == 0.0) return state_.s();
     const double mean =
         state_.mean_sum() /
@@ -56,6 +56,9 @@ CbesCost::CbesCost(std::shared_ptr<const CompiledProfile> compiled,
 }
 
 const std::shared_ptr<const CompiledProfile>& CbesCost::compiled() const {
+  // Lazy build is single-threaded; concurrent users (the sharded annealer)
+  // must open one session on the spawning thread first, after which the
+  // artifact is immutable and freely shared.
   if (compiled_ == nullptr) {
     compiled_ = evaluator_->compile(*profile_, *snapshot_, options_);
   }
@@ -63,7 +66,7 @@ const std::shared_ptr<const CompiledProfile>& CbesCost::compiled() const {
 }
 
 double CbesCost::operator()(const Mapping& mapping) const {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   if (evaluator_ != nullptr) {
     // Reference-backed construction: per-mapping calls stay on the legacy
     // evaluator path (same instruments, same answers) on either engine — the
@@ -112,7 +115,7 @@ class BatchCost::BatchSession final : public CostFunction::Session {
   }
 
   double cost() override {
-    ++parent_->evaluations_;
+    parent_->evaluations_.fetch_add(1, std::memory_order_relaxed);
     Seconds total = 0.0;
     for (const EvalState& state : states_) total += state.s();
     return total;
@@ -145,7 +148,7 @@ BatchCost::BatchCost(std::vector<std::shared_ptr<const CompiledProfile>> phases)
 }
 
 double BatchCost::operator()(const Mapping& mapping) const {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   Seconds total = 0.0;
   for (const auto& phase : phases_) total += phase->evaluate(mapping);
   return total;

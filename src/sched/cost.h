@@ -14,6 +14,7 @@
 // throughput choice: a fixed-seed anneal returns the same mapping either way.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -68,11 +69,14 @@ class CostFunction {
   [[nodiscard]] virtual bool predicts_time() const noexcept { return true; }
   /// Cumulative number of evaluations served (scheduler-overhead metric).
   [[nodiscard]] std::size_t evaluations() const noexcept {
-    return evaluations_;
+    return evaluations_.load(std::memory_order_relaxed);
   }
 
  protected:
-  mutable std::size_t evaluations_ = 0;
+  // Atomic (relaxed — it is a statistic, not a synchronization point) so the
+  // sharded annealer's concurrent per-shard sessions can count against one
+  // cost function without racing.
+  mutable std::atomic<std::size_t> evaluations_{0};
 };
 
 /// The CBES cost: S_M from the mapping evaluator under a fixed availability

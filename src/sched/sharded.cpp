@@ -1,0 +1,436 @@
+#include "sched/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/timer.h"
+
+namespace cbes {
+
+namespace {
+
+/// Work item for one shard: the ranks currently living on the shard's nodes
+/// (every rank on a shard node belongs to the shard, so shard anneals touch
+/// disjoint ranks and disjoint node capacity by construction).
+struct ShardTask {
+  std::vector<std::uint32_t> ranks;
+  std::vector<NodeId> nodes;
+};
+
+struct ShardOutcome {
+  /// Best node (value) per task rank, parallel to ShardTask::ranks.
+  std::vector<std::uint32_t> assignment;
+  std::size_t evaluations = 0;
+};
+
+/// One shard's anneal: a restricted Metropolis walk moving only the shard's
+/// ranks among the shard's nodes, scored through its own session over the
+/// shared compiled profile. Deterministic for a fixed seed; the shared abort
+/// flag is sticky (set on stop-token fire) and only ever read otherwise.
+ShardOutcome anneal_shard(const CostFunction& cost, const Mapping& start,
+                          const ShardTask& task, const NodePool& pool,
+                          const SaParams& p, std::uint64_t seed,
+                          const StopToken* stop, std::atomic<bool>& abort) {
+  ShardOutcome out;
+  out.assignment.reserve(task.ranks.size());
+  for (std::uint32_t r : task.ranks)
+    out.assignment.push_back(start.node_of(RankId{r}).value);
+  if (task.ranks.empty()) return out;
+
+  // Occupancy over shard nodes. Only shard ranks can sit on them (the
+  // partition invariant), so local counts are exact.
+  std::map<std::uint32_t, int> used;
+  for (std::uint32_t node : out.assignment) ++used[node];
+  const auto slots = [&](NodeId n) { return pool.slots_of(n); };
+  bool any_free = false;
+  for (NodeId n : task.nodes)
+    if (used[n.value] < slots(n)) any_free = true;
+  if (task.ranks.size() < 2 && !any_free) return out;
+
+  std::unique_ptr<CostFunction::Session> session = cost.session(start);
+  CBES_CHECK_MSG(session != nullptr,
+                 "sharded anneal requires a session-capable cost");
+  Rng rng(seed);
+
+  std::vector<std::uint32_t> cur = out.assignment;
+  const auto score = [&]() {
+    ++out.evaluations;
+    return session->cost();
+  };
+  double current = score();
+  double best_cost = current;
+
+  struct Action {
+    std::size_t pos;       // index into task.ranks / cur
+    std::uint32_t from, to;
+  };
+  std::vector<Action> move;
+  const auto apply_action = [&](const Action& a) {
+    --used[a.from];
+    ++used[a.to];
+    cur[a.pos] = a.to;
+    session->apply(RankId{task.ranks[a.pos]}, NodeId{a.to});
+  };
+  const auto undo_move = [&]() {
+    for (auto it = move.rbegin(); it != move.rend(); ++it) {
+      --used[it->to];
+      ++used[it->from];
+      cur[it->pos] = it->from;
+    }
+    session->undo(move.size());
+  };
+  /// Relocate a random shard rank to a free shard slot, else swap two shard
+  /// ranks — the plain annealer's move mix restricted to the shard.
+  const auto propose = [&]() {
+    move.clear();
+    const std::size_t n = task.ranks.size();
+    if (any_free && rng.uniform() < 0.55) {
+      const std::size_t pos = rng.index(n);
+      const std::uint32_t from = cur[pos];
+      NodeId target;
+      std::size_t seen = 0;
+      for (NodeId cand : task.nodes) {
+        if (cand.value == from) continue;
+        if (used[cand.value] >= slots(cand)) continue;
+        ++seen;  // reservoir-sample uniformly among free targets
+        if (rng.below(seen) == 0) target = cand;
+      }
+      if (target.valid()) {
+        move.push_back(Action{pos, from, target.value});
+        apply_action(move.back());
+        return;
+      }
+    }
+    if (n < 2) return;
+    const std::size_t a = rng.index(n);
+    std::size_t b = rng.index(n);
+    while (b == a) b = rng.index(n);
+    move.push_back(Action{a, cur[a], cur[b]});
+    move.push_back(Action{b, cur[b], cur[a]});
+    apply_action(move.end()[-2]);
+    apply_action(move.back());
+  };
+
+  // Initial temperature from sampled uphill deltas, as the plain annealer.
+  double mean_uphill = 0.0;
+  std::size_t uphill = 0;
+  for (std::size_t s = 0;
+       s < p.t0_samples && out.evaluations < p.max_evaluations; ++s) {
+    if (abort.load(std::memory_order_relaxed) ||
+        (stop != nullptr && stop->stop_requested())) {
+      abort.store(true, std::memory_order_relaxed);
+      return out;
+    }
+    propose();
+    if (move.empty()) break;
+    const double trial = score();
+    if (trial > current) {
+      mean_uphill += trial - current;
+      ++uphill;
+    }
+    undo_move();
+  }
+  double t0 = 1.0;
+  if (uphill > 0) {
+    mean_uphill /= static_cast<double>(uphill);
+    t0 = -mean_uphill / std::log(p.t0_acceptance);
+  }
+  const double t_min = t0 * p.t_min_factor;
+
+  for (double t = t0; t > t_min && out.evaluations < p.max_evaluations;
+       t *= p.cooling) {
+    for (std::size_t m = 0;
+         m < p.moves_per_temperature && out.evaluations < p.max_evaluations;
+         ++m) {
+      if (abort.load(std::memory_order_relaxed) ||
+          (stop != nullptr && stop->stop_requested())) {
+        abort.store(true, std::memory_order_relaxed);
+        return out;
+      }
+      propose();
+      if (move.empty()) return out;  // single rank, no free slot left
+      const double trial = score();
+      const double delta = trial - current;
+      if (delta <= 0.0 || rng.chance(std::exp(-delta / t))) {
+        current = trial;
+        session->commit();
+        if (current <= best_cost) {
+          best_cost = current;
+          out.assignment = cur;
+        }
+      } else {
+        undo_move();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardedAnnealScheduler::ShardedAnnealScheduler(ShardedSaParams params)
+    : params_(params) {
+  CBES_CHECK_MSG(params_.rounds >= 1, "need at least one round");
+  CBES_CHECK_MSG(params_.inner.cooling > 0.0 && params_.inner.cooling < 1.0,
+                 "cooling factor must be in (0, 1)");
+  CBES_CHECK_MSG(
+      params_.inner.t0_acceptance > 0.0 && params_.inner.t0_acceptance < 1.0,
+      "t0 acceptance must be in (0, 1)");
+}
+
+std::vector<std::vector<NodeId>> ShardedAnnealScheduler::partition_nodes(
+    const NodePool& pool, std::size_t target) {
+  CBES_CHECK_MSG(target >= 1, "partition target must be positive");
+  const ClusterTopology& topo = pool.topology();
+
+  // Deepen the cut until the pool splits into at least `target` subtree
+  // groups (or the tree bottoms out at the leaf switches).
+  std::map<std::size_t, std::vector<NodeId>> groups;
+  for (int depth = 1; depth <= std::max(1, topo.max_switch_depth()); ++depth) {
+    groups.clear();
+    for (NodeId n : pool.nodes()) {
+      const int attach = topo.sw(topo.node(n).attached).depth;
+      groups[topo.ancestor_at(n, std::min(depth, attach)).index()].push_back(
+          n);
+    }
+    if (groups.size() >= target) break;
+  }
+
+  // Bin-pack consecutive subtree groups (switch-id order — deterministic)
+  // into at most `target` shards, balancing total slot count.
+  std::size_t total_slots = 0;
+  for (NodeId n : pool.nodes()) total_slots += static_cast<std::size_t>(pool.slots_of(n));
+  const std::size_t bins = std::min(target, groups.size());
+  std::vector<std::vector<NodeId>> shards;
+  shards.reserve(bins);
+  std::size_t remaining_slots = total_slots;
+  std::size_t remaining_bins = bins;
+  std::vector<NodeId> open;
+  std::size_t open_slots = 0;
+  for (auto& [sw_index, nodes] : groups) {
+    (void)sw_index;
+    std::size_t group_slots = 0;
+    for (NodeId n : nodes) group_slots += static_cast<std::size_t>(pool.slots_of(n));
+    open.insert(open.end(), nodes.begin(), nodes.end());
+    open_slots += group_slots;
+    const std::size_t quota =
+        (remaining_slots + remaining_bins - 1) / remaining_bins;
+    if (open_slots >= quota && shards.size() + 1 < bins) {
+      remaining_slots -= open_slots;
+      --remaining_bins;
+      shards.push_back(std::move(open));
+      open.clear();
+      open_slots = 0;
+    }
+  }
+  if (!open.empty()) shards.push_back(std::move(open));
+  return shards;
+}
+
+ScheduleResult ShardedAnnealScheduler::schedule(std::size_t nranks,
+                                                const NodePool& pool,
+                                                const CostFunction& cost) {
+  CBES_CHECK_MSG(nranks >= 1, "cannot schedule zero ranks");
+  CBES_CHECK_MSG(nranks <= pool.total_slots(), "pool too small for ranks");
+  const obs::ScopedTimer timer;
+
+  const auto delegate = [&]() {
+    SaParams p = params_.inner;
+    p.seed = params_.seed;
+    SimulatedAnnealingScheduler sa(p);
+    sa.set_observer(observer_);
+    sa.set_stop_token(stop_);
+    return sa.schedule(nranks, pool, cost);
+  };
+
+  std::size_t target = params_.shards;
+  if (target == 0) {
+    // Auto: one shard per populated top-level subtree, clamped to [2, 16].
+    std::map<std::size_t, int> top;
+    const ClusterTopology& topo = pool.topology();
+    for (NodeId n : pool.nodes()) {
+      const int attach = topo.sw(topo.node(n).attached).depth;
+      ++top[topo.ancestor_at(n, std::min(1, attach)).index()];
+    }
+    target = std::clamp<std::size_t>(top.size(), 2, 16);
+  }
+  if (target < 2 || nranks < 2 || pool.size() < 4) return delegate();
+
+  const std::vector<std::vector<NodeId>> shard_nodes =
+      partition_nodes(pool, target);
+  if (shard_nodes.size() < 2) return delegate();
+
+  Rng rng(derive_seed(params_.seed, 0));
+  Mapping current = pool.random_mapping(nranks, rng);
+  // Opening the first session here also builds the shared compiled artifact
+  // on this thread; worker threads then only read it.
+  std::unique_ptr<CostFunction::Session> global = cost.session(current);
+  if (global == nullptr) return delegate();  // full engine: no session path
+
+  const ClusterTopology& topo = pool.topology();
+  std::vector<std::uint32_t> shard_of(topo.node_count(),
+                                      std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t s = 0; s < shard_nodes.size(); ++s)
+    for (NodeId n : shard_nodes[s])
+      shard_of[n.index()] = static_cast<std::uint32_t>(s);
+
+  std::size_t evaluations = 1;
+  double current_cost = global->cost();
+  ScheduleResult best;
+  best.mapping = current;
+  best.cost = current_cost;
+
+  std::atomic<bool> abort{false};
+  const std::size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  const std::size_t nthreads =
+      params_.threads != 0 ? params_.threads
+                           : std::min<std::size_t>(shard_nodes.size(), hw);
+
+  for (std::size_t round = 0;
+       round < params_.rounds && !abort.load(std::memory_order_relaxed);
+       ++round) {
+    // Assign ranks to shards by their current node.
+    std::vector<ShardTask> tasks(shard_nodes.size());
+    for (std::size_t s = 0; s < shard_nodes.size(); ++s)
+      tasks[s].nodes = shard_nodes[s];
+    for (std::size_t r = 0; r < nranks; ++r) {
+      const std::uint32_t s = shard_of[current.node_of(RankId{r}).index()];
+      tasks[s].ranks.push_back(static_cast<std::uint32_t>(r));
+    }
+
+    // Concurrent shard anneals. Results land by shard index; the seed stream
+    // is (seed, round, shard) — thread interleaving cannot affect them.
+    std::vector<ShardOutcome> outcomes(tasks.size());
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= tasks.size()) break;
+        outcomes[k] = anneal_shard(
+            cost, current, tasks[k], pool, params_.inner,
+            derive_seed(params_.seed,
+                        (round + 1) * std::uint64_t{0x10000} + k + 1),
+            stop_, abort);
+      }
+    };
+    if (nthreads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(nthreads);
+      for (std::size_t t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+      for (std::thread& t : threads) t.join();
+    }
+
+    // Merge (shard order) into the global mapping and session.
+    std::size_t moved = 0;
+    for (std::size_t s = 0; s < tasks.size(); ++s) {
+      evaluations += outcomes[s].evaluations;
+      for (std::size_t i = 0; i < tasks[s].ranks.size(); ++i) {
+        const RankId rank{tasks[s].ranks[i]};
+        const NodeId node{outcomes[s].assignment[i]};
+        if (current.node_of(rank) == node) continue;
+        current.reassign(rank, node);
+        global->apply(rank, node);
+        ++moved;
+      }
+    }
+    global->commit();
+    current_cost = global->cost();
+    ++evaluations;
+    if (current_cost <= best.cost) {
+      best.cost = current_cost;
+      best.mapping = current;
+    }
+    (void)moved;
+    if (observer_ != nullptr) observer_->on_restart(round, 0.0, current_cost);
+    if (abort.load(std::memory_order_relaxed)) break;
+
+    // Boundary exchange: serial seeded pass proposing cross-shard swaps and
+    // relocations, keeping non-worsening ones. This is what repairs ranks the
+    // initial partition placed in the wrong subtree.
+    Rng ex_rng(derive_seed(params_.seed,
+                           (round + 1) * std::uint64_t{0x10000} + 0xFFFF));
+    std::vector<int> used(topo.node_count(), 0);
+    for (std::size_t r = 0; r < nranks; ++r)
+      ++used[current.node_of(RankId{r}).index()];
+    for (std::size_t m = 0; m < params_.exchange_moves; ++m) {
+      if (stop_requested()) {
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const RankId a{ex_rng.index(nranks)};
+      const NodeId na = current.node_of(a);
+      if (ex_rng.uniform() < 0.5) {
+        // Swap with a rank in another shard (a few tries, then skip).
+        RankId b;
+        for (int tries = 0; tries < 8; ++tries) {
+          const RankId cand{ex_rng.index(nranks)};
+          if (shard_of[current.node_of(cand).index()] !=
+              shard_of[na.index()]) {
+            b = cand;
+            break;
+          }
+        }
+        if (!b.valid()) continue;
+        const NodeId nb = current.node_of(b);
+        global->apply(a, nb);
+        global->apply(b, na);
+        const double trial = global->cost();
+        ++evaluations;
+        if (trial <= current_cost) {
+          current_cost = trial;
+          current.reassign(a, nb);
+          current.reassign(b, na);
+          global->commit();
+        } else {
+          global->undo(2);
+        }
+      } else {
+        // Relocate to a free slot in another shard (reservoir-sampled).
+        NodeId dest;
+        std::size_t seen = 0;
+        for (NodeId cand : pool.nodes()) {
+          if (shard_of[cand.index()] == shard_of[na.index()]) continue;
+          if (used[cand.index()] >= pool.slots_of(cand)) continue;
+          ++seen;
+          if (ex_rng.below(seen) == 0) dest = cand;
+        }
+        if (!dest.valid()) continue;
+        global->apply(a, dest);
+        const double trial = global->cost();
+        ++evaluations;
+        if (trial <= current_cost) {
+          current_cost = trial;
+          --used[na.index()];
+          ++used[dest.index()];
+          current.reassign(a, dest);
+          global->commit();
+        } else {
+          global->undo(1);
+        }
+      }
+      if (current_cost <= best.cost) {
+        best.cost = current_cost;
+        best.mapping = current;
+      }
+    }
+  }
+
+  best.evaluations = evaluations;
+  best.wall_seconds = timer.seconds();
+  best.cancelled = abort.load(std::memory_order_relaxed);
+  if (observer_ != nullptr)
+    observer_->on_finish(best.cost, best.evaluations, best.wall_seconds);
+  return best;
+}
+
+}  // namespace cbes

@@ -1,0 +1,80 @@
+// Hierarchically sharded simulated annealing for mega-scale pools.
+//
+// A single anneal over a 10k–100k-node pool wastes almost every move: a
+// uniformly random relocation crosses switch subtrees, where latency classes
+// make most placements equivalent, while the moves that matter — packing
+// communicating ranks inside a subtree — are vanishingly rare. ShardedAnneal
+// exploits the same switch-tree structure the class-compressed latency model
+// is built on:
+//
+//   1. partition the pool's nodes by switch subtree into S shards (balanced
+//      by slot count, deterministic);
+//   2. anneal each shard concurrently — a shard's ranks move only among the
+//      shard's nodes, so shard anneals touch disjoint state and their merged
+//      result is always slot-feasible;
+//   3. exchange: a serial seeded pass proposes rank moves *across* shard
+//      boundaries (swaps and relocations) and keeps the improving ones,
+//      repairing placements the partition got wrong;
+//   4. repeat for a fixed number of rounds; best full mapping wins.
+//
+// Every shard drives its own CostFunction::Session (per-shard EvalState) over
+// the shared CompiledProfile, so concurrent scoring needs no locks. All
+// randomness derives from (seed, round, shard): a fixed seed gives a fixed
+// answer regardless of thread scheduling — shard results are deposited by
+// shard index, never by completion order.
+//
+// Degenerate inputs (a pool that does not split, a cost without sessions,
+// shards <= 1) delegate to the plain SimulatedAnnealingScheduler, so callers
+// can enable sharding unconditionally.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/annealing.h"
+#include "sched/scheduler.h"
+
+namespace cbes {
+
+struct ShardedSaParams {
+  /// Per-shard annealing parameters; max_evaluations is the per-shard,
+  /// per-round budget (restarts/structured_warm_start are unused — shards
+  /// anneal from the current global state, the outer rounds play the restart
+  /// role).
+  SaParams inner;
+  /// Number of shards; 0 picks one shard per populated top-level subtree,
+  /// clamped to [2, 16].
+  std::size_t shards = 0;
+  /// Outer rounds of (shard anneals, boundary exchange).
+  std::size_t rounds = 2;
+  /// Cross-shard exchange proposals per round.
+  std::size_t exchange_moves = 512;
+  /// Worker threads for the shard anneals; 0 = min(shards, hardware).
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+class ShardedAnnealScheduler final : public Scheduler {
+ public:
+  explicit ShardedAnnealScheduler(ShardedSaParams params);
+
+  [[nodiscard]] ScheduleResult schedule(std::size_t nranks,
+                                        const NodePool& pool,
+                                        const CostFunction& cost) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "SA-sharded";
+  }
+  [[nodiscard]] const ShardedSaParams& params() const noexcept {
+    return params_;
+  }
+
+  /// The subtree partition schedule() would use: pool nodes grouped into at
+  /// most `target` shards, each a union of switch subtrees, balanced by slot
+  /// count. Exposed for tests and the topo CLI.
+  [[nodiscard]] static std::vector<std::vector<NodeId>> partition_nodes(
+      const NodePool& pool, std::size_t target);
+
+ private:
+  ShardedSaParams params_;
+};
+
+}  // namespace cbes

@@ -163,6 +163,10 @@ struct ScheduleRequest {
   /// job's RNG stream is its own — concurrent jobs are deterministic given
   /// their job seed, never coupled through a shared generator.
   SaParams sa;
+  /// SA only: >1 runs the hierarchically sharded annealer with this many
+  /// shards (0/1 = plain SA). Not carried on the wire yet — in-process and
+  /// CLI callers opt in per job.
+  std::size_t sa_shards = 0;
   GaParams ga;
   std::uint64_t seed = 1;
   Seconds now = 0.0;

@@ -9,6 +9,7 @@
 #include "fault/fault.h"
 #include "sched/cost.h"
 #include "sched/pool.h"
+#include "sched/sharded.h"
 
 namespace cbes::server {
 
@@ -594,6 +595,9 @@ ServerStatus CbesServer::status() const {
   s.compiled_hits = compiled_cache_.hits();
   s.compiled_misses = compiled_cache_.misses();
   s.health = health_state();
+  s.topology_nodes = service_->topology().node_count();
+  s.topology_path_classes = service_->latency_model().class_count();
+  s.topology_model_bytes = service_->latency_model().memory_bytes();
   s.jobs_recorded = recorder_.total();
   s.recent = recorder_.last();
   return s;
@@ -1087,6 +1091,16 @@ void CbesServer::run_schedule(Job& job, JobResult& result) {
     case Algo::kSa: {
       // Per-job RNG: the job seed replaces the params seed, so concurrent
       // jobs are deterministic in isolation and never share a stream.
+      if (request.sa_shards > 1) {
+        ShardedSaParams params;
+        params.inner = request.sa;
+        params.shards = request.sa_shards;
+        params.seed = request.seed;
+        ShardedAnnealScheduler scheduler(params);
+        scheduler.set_stop_token(&token);
+        search = scheduler.schedule(request.nranks, pool, cost);
+        break;
+      }
       SaParams params = request.sa;
       params.seed = request.seed;
       SimulatedAnnealingScheduler scheduler(params);

@@ -105,6 +105,9 @@ void format_status_text(const ServerStatus& status, std::ostream& os) {
      << status.compiled_misses << " (ratio "
      << format_seconds(hit_ratio(status.compiled_hits, status.compiled_misses))
      << ")\n";
+  os << "topology: " << status.topology_nodes << " nodes, "
+     << status.topology_path_classes << " path classes, model "
+     << status.topology_model_bytes << " bytes\n";
   os << "node health:";
   if (status.health.empty()) {
     os << " (no snapshot yet)";
@@ -204,6 +207,9 @@ void format_status_json(const ServerStatus& status, std::ostream& os) {
      << status.cache_evictions << "}";
   os << ",\"compiled_cache\":{\"hits\":" << status.compiled_hits
      << ",\"misses\":" << status.compiled_misses << "}";
+  os << ",\"topology\":{\"nodes\":" << status.topology_nodes
+     << ",\"path_classes\":" << status.topology_path_classes
+     << ",\"model_bytes\":" << status.topology_model_bytes << "}";
   os << ",\"health\":[";
   for (std::size_t i = 0; i < status.health.size(); ++i) {
     if (i != 0) os << ',';

@@ -149,6 +149,10 @@ struct ServerStatus {
   std::uint64_t compiled_misses = 0;
   // Node health (index = node id; empty before the first snapshot).
   std::vector<NodeHealth> health;
+  // Topology / latency-model footprint (class compression at a glance).
+  std::size_t topology_nodes = 0;
+  std::size_t topology_path_classes = 0;
+  std::size_t topology_model_bytes = 0;
   // Flight recorder.
   std::uint64_t jobs_recorded = 0;
   std::vector<JobTrail> recent;  ///< oldest first

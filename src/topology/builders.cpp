@@ -1,6 +1,9 @@
 #include "topology/builders.h"
 
 #include <string>
+#include <vector>
+
+#include "common/check.h"
 
 namespace cbes {
 
@@ -142,6 +145,64 @@ ClusterTopology make_two_switch(std::size_t per_switch, Arch arch) {
   for (std::size_t i = 0; i < per_switch; ++i) {
     topo.add_node("b-" + std::to_string(i), arch, 1, b, kFastEthernetBps,
                   k3ComHop, kCat3ComNode);
+  }
+  topo.freeze();
+  return topo;
+}
+
+std::size_t fat_tree_node_count(const FatTreeOptions& opt) {
+  std::size_t leaves = 1;
+  for (int l = 0; l < opt.levels; ++l) leaves *= static_cast<std::size_t>(opt.radix);
+  return leaves * opt.nodes_per_leaf;
+}
+
+ClusterTopology make_fat_tree(const FatTreeOptions& opt) {
+  CBES_CHECK_MSG(opt.levels >= 1, "fat tree needs at least one switch level");
+  CBES_CHECK_MSG(opt.radix >= 1, "fat tree radix must be positive");
+  CBES_CHECK_MSG(opt.nodes_per_leaf >= 1, "fat tree needs nodes per leaf");
+  CBES_CHECK_MSG(!opt.arch_mix.empty(), "fat tree arch mix must be nonempty");
+  CBES_CHECK_MSG(opt.cpus >= 1, "fat tree nodes need at least one CPU");
+  const std::size_t total = fat_tree_node_count(opt);
+  CBES_CHECK_MSG(total <= (std::size_t{1} << 21),
+                 "fat tree would exceed 2M nodes");
+
+  std::string name = opt.name.empty()
+                         ? "fat-tree-" + std::to_string(total)
+                         : opt.name;
+  ClusterTopology topo(std::move(name));
+  const SwitchId root = topo.add_root_switch("ft-root");
+
+  // One link category per level keeps the path-class count proportional to
+  // tree depth × |arch_mix|², independent of the node count. Trunks get
+  // faster towards the root, as real fat trees do.
+  auto level_category = [](int depth) { return 100 + depth; };
+  constexpr int kFatTreeNodeCategory = 100;
+
+  std::vector<SwitchId> frontier{root};
+  for (int depth = 1; depth <= opt.levels; ++depth) {
+    const double bw = depth == 1 ? kGigCoreBps : kTrunkBps;
+    const Seconds hop = depth == 1 ? kGigHop : k3ComTrunkHop;
+    std::vector<SwitchId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(opt.radix));
+    for (std::size_t p = 0; p < frontier.size(); ++p) {
+      for (int c = 0; c < opt.radix; ++c) {
+        next.push_back(topo.add_switch(
+            "ft-s" + std::to_string(depth) + "-" +
+                std::to_string(p * static_cast<std::size_t>(opt.radix) +
+                               static_cast<std::size_t>(c)),
+            frontier[p], bw, hop, level_category(depth)));
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::size_t node_index = 0;
+  for (SwitchId leaf : frontier) {
+    for (std::size_t i = 0; i < opt.nodes_per_leaf; ++i, ++node_index) {
+      const Arch arch = opt.arch_mix[node_index % opt.arch_mix.size()];
+      topo.add_node("ft-n" + std::to_string(node_index), arch, opt.cpus, leaf,
+                    kFastEthernetBps, k3ComHop, kFatTreeNodeCategory);
+    }
   }
   topo.freeze();
   return topo;

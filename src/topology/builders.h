@@ -48,4 +48,28 @@ enum LinkCategory : int {
                                               std::size_t per_cluster,
                                               Arch arch = Arch::kGeneric);
 
+/// Shape of a synthetic mega-cluster fat tree (see make_fat_tree).
+struct FatTreeOptions {
+  int levels = 2;              ///< switch levels below the root; leaves sit at this depth
+  int radix = 4;               ///< children per switch at every level
+  std::size_t nodes_per_leaf = 8;
+  /// Architectures assigned round-robin across nodes; must be nonempty.
+  std::vector<Arch> arch_mix = {Arch::kGeneric};
+  int cpus = 1;                ///< CPU slots per node
+  /// Optional topology name; default "fat-tree-<node count>".
+  std::string name;
+};
+
+/// Total node count a FatTreeOptions describes (radix^levels leaf switches ×
+/// nodes_per_leaf), without building anything.
+[[nodiscard]] std::size_t fat_tree_node_count(const FatTreeOptions& opt);
+
+/// Synthetic mega-cluster: a symmetric fat tree with radix^levels leaf
+/// switches, faster trunks towards the root, and a distinct link category per
+/// level — so the number of path classes grows with depth × |arch_mix|², not
+/// with the node count. This is the 10k–100k-node scaling target of ROADMAP
+/// item 1; e.g. {levels=3, radix=16, nodes_per_leaf=25} is a 102 400-node
+/// cluster whose latency model stays a few kilobytes.
+[[nodiscard]] ClusterTopology make_fat_tree(const FatTreeOptions& opt);
+
 }  // namespace cbes

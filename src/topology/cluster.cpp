@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <sstream>
 
 #include "common/check.h"
@@ -89,31 +90,33 @@ void ClusterTopology::freeze() {
   CBES_CHECK_MSG(!nodes_.empty(), "topology has no nodes");
   frozen_ = true;
 
-  // Precompute every pairwise path once; experiments route millions of messages
-  // over a fixed topology, so paying O(N^2) memory here is the right trade.
-  const std::size_t n = nodes_.size();
-  path_cache_.assign(n * n, {});
-  for (std::size_t a = 0; a < n; ++a) {
-    const auto chain_a = chain_to_root(nodes_[a].attached);
-    for (std::size_t b = 0; b < n; ++b) {
-      if (a == b) continue;
-      const auto chain_b = chain_to_root(nodes_[b].attached);
-      // Find the lowest common ancestor: strip the shared suffix of both chains.
-      std::size_t ia = chain_a.size(), ib = chain_b.size();
-      while (ia > 0 && ib > 0 && chain_a[ia - 1] == chain_b[ib - 1]) {
-        --ia;
-        --ib;
-      }
-      // LCA is the last stripped element; ia/ib now count switches strictly
-      // below the LCA on each side.
-      std::vector<LinkId>& p = path_cache_[a * n + b];
-      p.push_back(nodes_[a].uplink);
-      for (std::size_t i = 0; i < ia; ++i)
-        p.push_back(switches_[chain_a[i].index()].uplink);
-      for (std::size_t i = ib; i > 0; --i)
-        p.push_back(switches_[chain_b[i - 1].index()].uplink);
-      p.push_back(nodes_[b].uplink);
+  for (const Switch& s : switches_) max_depth_ = std::max(max_depth_, s.depth);
+
+  // Intern each node's topology class: (arch, NIC category, uplink-category
+  // chain to the root). O(N * depth); everything pairwise is derived from
+  // these ids plus the LCA depth, so no per-pair state exists anywhere.
+  node_topo_class_.resize(nodes_.size());
+  std::map<std::vector<int>, std::uint32_t> interner;
+  for (const Node& n : nodes_) {
+    TopoClass tc;
+    tc.arch = n.arch;
+    tc.nic_category = links_[n.uplink.index()].category;
+    tc.attach_depth = switches_[n.attached.index()].depth;
+    for (SwitchId s = n.attached; switches_[s.index()].parent.valid();
+         s = switches_[s.index()].parent) {
+      tc.up_categories.push_back(
+          links_[switches_[s.index()].uplink.index()].category);
     }
+    std::vector<int> key;
+    key.reserve(tc.up_categories.size() + 2);
+    key.push_back(static_cast<int>(tc.arch));
+    key.push_back(tc.nic_category);
+    key.insert(key.end(), tc.up_categories.begin(), tc.up_categories.end());
+    auto [it, inserted] =
+        interner.emplace(std::move(key),
+                         static_cast<std::uint32_t>(topo_classes_.size()));
+    if (inserted) topo_classes_.push_back(std::move(tc));
+    node_topo_class_[n.id.index()] = it->second;
   }
 }
 
@@ -153,46 +156,141 @@ std::vector<SwitchId> ClusterTopology::chain_to_root(SwitchId leaf) const {
   return chain;
 }
 
-const std::vector<LinkId>& ClusterTopology::path(NodeId a, NodeId b) const {
+SwitchId ClusterTopology::lca_switch(SwitchId a, SwitchId b) const {
+  while (a != b) {
+    if (switches_[a.index()].depth >= switches_[b.index()].depth)
+      a = switches_[a.index()].parent;
+    else
+      b = switches_[b.index()].parent;
+  }
+  return a;
+}
+
+std::vector<LinkId> ClusterTopology::path(NodeId a, NodeId b) const {
   require_frozen();
   CBES_CHECK(a.valid() && a.index() < nodes_.size());
   CBES_CHECK(b.valid() && b.index() < nodes_.size());
-  return path_cache_[a.index() * nodes_.size() + b.index()];
+  std::vector<LinkId> p;
+  if (a == b) return p;
+
+  // Climb both attachment points to the LCA, collecting the uplinks of every
+  // switch strictly below it: ascending on a's side, descending on b's.
+  SwitchId sa = nodes_[a.index()].attached;
+  SwitchId sb = nodes_[b.index()].attached;
+  std::vector<LinkId> up;    // a's side, leaf -> just below LCA
+  std::vector<LinkId> down;  // b's side, leaf -> just below LCA
+  while (sa != sb) {
+    if (switches_[sa.index()].depth >= switches_[sb.index()].depth) {
+      up.push_back(switches_[sa.index()].uplink);
+      sa = switches_[sa.index()].parent;
+    } else {
+      down.push_back(switches_[sb.index()].uplink);
+      sb = switches_[sb.index()].parent;
+    }
+  }
+
+  p.reserve(up.size() + down.size() + 2);
+  p.push_back(nodes_[a.index()].uplink);
+  p.insert(p.end(), up.begin(), up.end());
+  p.insert(p.end(), down.rbegin(), down.rend());
+  p.push_back(nodes_[b.index()].uplink);
+  return p;
 }
 
 std::size_t ClusterTopology::hops(NodeId a, NodeId b) const {
-  return path(a, b).size();
+  require_frozen();
+  if (a == b) return 0;
+  const int da = switches_[node(a).attached.index()].depth;
+  const int db = switches_[node(b).attached.index()].depth;
+  const int lca = lca_depth(a, b);
+  return static_cast<std::size_t>((da - lca) + (db - lca)) + 2;
 }
 
 double ClusterTopology::path_bandwidth(NodeId a, NodeId b) const {
-  const auto& p = path(a, b);
   double bw = std::numeric_limits<double>::infinity();
-  for (LinkId l : p) bw = std::min(bw, links_[l.index()].bandwidth_bps);
+  for (LinkId l : path(a, b)) bw = std::min(bw, links_[l.index()].bandwidth_bps);
   return bw;
 }
 
 Seconds ClusterTopology::path_latency(NodeId a, NodeId b) const {
-  const auto& p = path(a, b);
   Seconds total = 0.0;
-  for (LinkId l : p) total += links_[l.index()].hop_latency;
+  for (LinkId l : path(a, b)) total += links_[l.index()].hop_latency;
   return total;
 }
 
-std::string ClusterTopology::path_signature(NodeId a, NodeId b) const {
-  const Node& na = node(a);
-  const Node& nb = node(b);
-  auto arch_lo = static_cast<int>(na.arch);
-  auto arch_hi = static_cast<int>(nb.arch);
+int ClusterTopology::lca_depth(NodeId a, NodeId b) const {
+  require_frozen();
+  const SwitchId lca = lca_switch(node(a).attached, node(b).attached);
+  return switches_[lca.index()].depth;
+}
+
+SwitchId ClusterTopology::ancestor_at(NodeId id, int depth) const {
+  require_frozen();
+  SwitchId s = node(id).attached;
+  CBES_CHECK_MSG(depth >= 0 && depth <= switches_[s.index()].depth,
+                 "ancestor_at depth out of range");
+  while (switches_[s.index()].depth > depth) s = switches_[s.index()].parent;
+  return s;
+}
+
+std::uint32_t ClusterTopology::topo_class_of(NodeId id) const {
+  require_frozen();
+  CBES_CHECK_MSG(id.valid() && id.index() < nodes_.size(), "unknown node id");
+  return node_topo_class_[id.index()];
+}
+
+const TopoClass& ClusterTopology::topo_class(std::uint32_t cls) const {
+  require_frozen();
+  CBES_CHECK_MSG(cls < topo_classes_.size(), "unknown topology class");
+  return topo_classes_[cls];
+}
+
+namespace {
+// Shared signature formatter; the byte format is load-bearing — calibration
+// checkpoints key coefficients by it.
+std::string format_pair_signature(int arch_a, int arch_b,
+                                  std::vector<int>& cats) {
+  int arch_lo = arch_a;
+  int arch_hi = arch_b;
   if (arch_lo > arch_hi) std::swap(arch_lo, arch_hi);
-
-  std::vector<int> cats;
-  for (LinkId l : path(a, b)) cats.push_back(links_[l.index()].category);
   std::sort(cats.begin(), cats.end());
-
   std::ostringstream os;
   os << 'a' << arch_lo << ':' << arch_hi << '|';
   for (int c : cats) os << c << ',';
   return os.str();
+}
+}  // namespace
+
+std::string ClusterTopology::path_signature(NodeId a, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  std::vector<int> cats;
+  for (LinkId l : path(a, b)) cats.push_back(links_[l.index()].category);
+  return format_pair_signature(static_cast<int>(na.arch),
+                               static_cast<int>(nb.arch), cats);
+}
+
+std::string ClusterTopology::class_pair_signature(std::uint32_t ca,
+                                                  std::uint32_t cb,
+                                                  int lca) const {
+  const TopoClass& ta = topo_class(ca);
+  const TopoClass& tb = topo_class(cb);
+  CBES_CHECK_MSG(lca >= 0 && lca <= ta.attach_depth && lca <= tb.attach_depth,
+                 "class_pair_signature LCA depth out of range");
+  // The path carries each endpoint's NIC link plus the uplinks of its
+  // ancestor switches strictly below the LCA — the first (attach_depth - lca)
+  // entries of the up-category chain.
+  std::vector<int> cats;
+  cats.reserve(static_cast<std::size_t>(ta.attach_depth - lca) +
+               static_cast<std::size_t>(tb.attach_depth - lca) + 2);
+  cats.push_back(ta.nic_category);
+  for (int i = 0; i < ta.attach_depth - lca; ++i)
+    cats.push_back(ta.up_categories[static_cast<std::size_t>(i)]);
+  cats.push_back(tb.nic_category);
+  for (int i = 0; i < tb.attach_depth - lca; ++i)
+    cats.push_back(tb.up_categories[static_cast<std::size_t>(i)]);
+  return format_pair_signature(static_cast<int>(ta.arch),
+                               static_cast<int>(tb.arch), cats);
 }
 
 std::string ClusterTopology::node_signature(NodeId id) const {

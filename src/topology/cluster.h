@@ -5,6 +5,15 @@
 // federation of two elementary clusters joined by a limited-capacity link), so a
 // tree is the exact routing structure — the path between two nodes climbs to the
 // lowest common ancestor switch and descends.
+//
+// Routing queries run as LCA walks over the switch tree (O(tree depth), zero
+// per-pair state), so a topology costs O(N + S) memory no matter how many
+// nodes it has — the representation the 10k–100k-node synthetic clusters
+// need. freeze() additionally interns each node's *topology class* (its
+// architecture plus the link-category chain to the root); two nodes of the
+// same class are indistinguishable to every path query, which is what lets
+// the latency layer store coefficients per class pair instead of per node
+// pair (netmodel/pair_class.h).
 #pragma once
 
 #include <cstdint>
@@ -48,8 +57,22 @@ struct Switch {
   int depth = 0;                ///< root = 0
 };
 
+/// Interned hardware class of a node for path purposes: architecture plus the
+/// ordered chain of link categories from the node's NIC to the root. Two nodes
+/// of equal topology class produce byte-identical path signatures against any
+/// third node at the same LCA depth.
+struct TopoClass {
+  Arch arch = Arch::kGeneric;
+  int nic_category = 0;      ///< category of the node's NIC uplink
+  /// up_categories[i] = category of the uplink of the node's ancestor switch
+  /// i levels above the attachment (i = 0 is the attached switch itself).
+  /// Empty when the node hangs directly off the root.
+  std::vector<int> up_categories;
+  int attach_depth = 0;      ///< depth of the attached switch
+};
+
 /// Immutable-after-build description of a cluster: nodes, switches, links, and
-/// tree routing with cached paths.
+/// tree routing via LCA walks.
 class ClusterTopology {
  public:
   explicit ClusterTopology(std::string name);
@@ -92,10 +115,11 @@ class ClusterTopology {
 
   /// Ordered sequence of links a message from `a` to `b` traverses
   /// (a->leaf ... ->LCA-> ... leaf->b). Empty when a == b (loopback).
-  /// Requires freeze(); results are cached, lookups after the first are O(1).
-  [[nodiscard]] const std::vector<LinkId>& path(NodeId a, NodeId b) const;
+  /// Requires freeze(); built by an O(tree depth) LCA walk per call.
+  [[nodiscard]] std::vector<LinkId> path(NodeId a, NodeId b) const;
 
-  /// Number of links on the path (0 for loopback).
+  /// Number of links on the path (0 for loopback). O(tree depth), no
+  /// allocation.
   [[nodiscard]] std::size_t hops(NodeId a, NodeId b) const;
 
   /// Minimum bandwidth along the path, bytes/second. Infinite for loopback.
@@ -104,11 +128,40 @@ class ClusterTopology {
   /// Sum of fixed hop latencies along the path.
   [[nodiscard]] Seconds path_latency(NodeId a, NodeId b) const;
 
+  /// Depth of the lowest common ancestor switch of the two nodes' attachment
+  /// points (0 = the root). Requires a != b is NOT required — for nodes on the
+  /// same switch the LCA is that switch.
+  [[nodiscard]] int lca_depth(NodeId a, NodeId b) const;
+
+  /// Deepest switch of the tree (root = 0).
+  [[nodiscard]] int max_switch_depth() const noexcept { return max_depth_; }
+
+  /// Ancestor switch of `node`'s attachment at `depth`; requires
+  /// depth <= attachment depth.
+  [[nodiscard]] SwitchId ancestor_at(NodeId node, int depth) const;
+
+  /// Interned topology class of a node (see TopoClass); stable after freeze().
+  [[nodiscard]] std::uint32_t topo_class_of(NodeId node) const;
+  /// Number of distinct node topology classes.
+  [[nodiscard]] std::size_t topo_class_count() const noexcept {
+    return topo_classes_.size();
+  }
+  /// Description of topology class `cls` (< topo_class_count()).
+  [[nodiscard]] const TopoClass& topo_class(std::uint32_t cls) const;
+
   /// Equivalence-class signature for calibration: unordered endpoint
   /// architectures + sorted multiset of link categories along the path.
   /// Two pairs with equal signatures have identical no-load latency behaviour,
   /// which is what makes the paper's O(N) calibration sound.
   [[nodiscard]] std::string path_signature(NodeId a, NodeId b) const;
+
+  /// The path signature any (a, b) pair with topo_class_of(a) == ca,
+  /// topo_class_of(b) == cb, and lca_depth(a, b) == lca would produce —
+  /// byte-identical to path_signature(a, b). This is what lets the latency
+  /// layer enumerate path classes without touching node pairs at all.
+  [[nodiscard]] std::string class_pair_signature(std::uint32_t ca,
+                                                 std::uint32_t cb,
+                                                 int lca) const;
 
   /// Equivalence-class signature of one node: architecture, CPU slots, and
   /// the sorted link categories on its path to the root. Two nodes with equal
@@ -119,16 +172,21 @@ class ClusterTopology {
 
  private:
   [[nodiscard]] std::vector<SwitchId> chain_to_root(SwitchId leaf) const;
+  /// LCA switch of two attachment switches (O(tree depth)).
+  [[nodiscard]] SwitchId lca_switch(SwitchId a, SwitchId b) const;
   void require_frozen() const;
   void require_mutable() const;
 
   std::string name_;
   bool frozen_ = false;
+  int max_depth_ = 0;
   std::vector<Node> nodes_;
   std::vector<Switch> switches_;
   std::vector<Link> links_;
-  // Cached pairwise paths, indexed a * node_count + b, filled by freeze().
-  std::vector<std::vector<LinkId>> path_cache_;
+  // Interned per-node topology classes, filled by freeze(): O(N) ids plus one
+  // TopoClass record per distinct class.
+  std::vector<std::uint32_t> node_topo_class_;
+  std::vector<TopoClass> topo_classes_;
 };
 
 }  // namespace cbes

@@ -3,9 +3,15 @@
 // the model's paper-facing properties (latency spread, class structure).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+
 #include "common/check.h"
+#include "common/rng.h"
 #include "netmodel/calibrate.h"
 #include "netmodel/latency_model.h"
+#include "netmodel/pair_class.h"
 #include "simnet/load.h"
 #include "simnet/network.h"
 #include "topology/builders.h"
@@ -204,6 +210,167 @@ TEST(PaperSpread, OrangeGroveIsStronglyHeterogeneous) {
   // Paper: "as high as 54%".
   EXPECT_GT(spread, 0.40);
   EXPECT_LT(spread, 0.70);
+}
+
+// ------------------------------------------------ class-compressed pairs ----
+//
+// PairClassMap promises exactly the partition the dense N² signature scan
+// produced: same-signature pairs share a class, the class order is the sorted
+// signature order, and each class's representative is the row-major-first
+// pair — the three properties the calibration's bit-identity rests on. The
+// reference here IS that dense scan, rebuilt in-test from path_signature.
+
+/// Dense reference partition: signature -> (first-seen pair, every pair).
+struct DenseReference {
+  std::map<std::string, std::pair<NodeId, NodeId>> first_pair;
+  std::size_t distinct = 0;
+
+  explicit DenseReference(const ClusterTopology& topo) {
+    for (std::uint32_t a = 0; a < topo.node_count(); ++a) {
+      for (std::uint32_t b = 0; b < topo.node_count(); ++b) {
+        if (a == b) continue;
+        const auto [it, inserted] = first_pair.try_emplace(
+            topo.path_signature(NodeId{a}, NodeId{b}), NodeId{a}, NodeId{b});
+        (void)it;
+        if (inserted) ++distinct;
+      }
+    }
+  }
+};
+
+void expect_matches_dense_reference(const ClusterTopology& topo) {
+  const PairClassMap map(topo);
+  const DenseReference ref(topo);
+  ASSERT_EQ(map.table_size(), ref.distinct + 1) << topo.name();
+
+  // Classes come out in ascending signature order with the row-major-first
+  // representative — std::map iterates signatures sorted, so walking it in
+  // order must reproduce ids 1..K and their representatives exactly.
+  std::size_t idx = 1;
+  for (const auto& [signature, rep] : ref.first_pair) {
+    const PairClassMap::ClassInfo& info = map.info(idx);
+    EXPECT_EQ(info.signature, signature) << topo.name() << " class " << idx;
+    EXPECT_EQ(info.rep_a, rep.first) << topo.name() << " class " << idx;
+    EXPECT_EQ(info.rep_b, rep.second) << topo.name() << " class " << idx;
+    ++idx;
+  }
+
+  // Every pair lands in the class whose signature it carries.
+  for (std::uint32_t a = 0; a < topo.node_count(); ++a) {
+    for (std::uint32_t b = 0; b < topo.node_count(); ++b) {
+      const std::uint16_t cls = map.pair_class(a, b);
+      if (a == b) {
+        EXPECT_EQ(cls, 0) << topo.name();
+        continue;
+      }
+      ASSERT_GE(cls, 1u);
+      EXPECT_EQ(map.info(cls).signature,
+                topo.path_signature(NodeId{a}, NodeId{b}))
+          << topo.name() << " pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(PairClasses, MatchDenseSignatureScanOnPaperClusters) {
+  expect_matches_dense_reference(make_centurion());
+  expect_matches_dense_reference(make_orange_grove());
+}
+
+TEST(PairClasses, MatchDenseSignatureScanOnFatTrees) {
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7}}) {
+    Rng rng(seed);
+    FatTreeOptions opt;
+    opt.levels = 2 + static_cast<int>(rng.below(2));
+    opt.radix = 2 + static_cast<int>(rng.below(2));
+    opt.nodes_per_leaf = 2 + rng.below(3);
+    opt.arch_mix = {Arch::kAlpha533, Arch::kIntelPII400, Arch::kGeneric};
+    expect_matches_dense_reference(make_fat_tree(opt));
+  }
+}
+
+TEST(PairClasses, TreeClimbPathAgreesWithDenseFastPath) {
+  // Above kDenseNodeLimit the map answers by climbing the switch tree; that
+  // path must agree with the dense signature partition too. 1296 nodes keeps
+  // the sweep affordable, so sample pairs instead of the full N².
+  FatTreeOptions opt;
+  opt.levels = 2;
+  opt.radix = 6;
+  opt.nodes_per_leaf = 36;
+  opt.arch_mix = {Arch::kAlpha533, Arch::kIntelPII400};
+  const ClusterTopology topo = make_fat_tree(opt);
+  ASSERT_GT(topo.node_count(), PairClassMap::kDenseNodeLimit);
+  const PairClassMap map(topo);
+  Rng rng(0xC1A55);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t a =
+        static_cast<std::uint32_t>(rng.index(topo.node_count()));
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(rng.index(topo.node_count()));
+    const std::uint16_t cls = map.pair_class(a, b);
+    if (a == b) {
+      EXPECT_EQ(cls, 0);
+      continue;
+    }
+    EXPECT_EQ(map.info(cls).signature,
+              topo.path_signature(NodeId{a}, NodeId{b}));
+  }
+}
+
+TEST(PairClasses, ModelLookupIsBitIdenticalAcrossAClass) {
+  // Same class => same coefficients => bit-identical latency. Exact double
+  // equality on purpose: this is the identity the refactor must preserve.
+  const ClusterTopology topo = make_orange_grove();
+  const LatencyModel model = calibrate(topo, quiet_hw(), fast_cal());
+  const PairClassMap& map = model.pair_class_map();
+  for (std::uint32_t a = 0; a < topo.node_count(); ++a) {
+    for (std::uint32_t b = 0; b < topo.node_count(); ++b) {
+      if (a == b) continue;
+      const PairClassMap::ClassInfo& info = map.info(map.pair_class(a, b));
+      for (const Bytes size : {Bytes{64}, Bytes{4096}, Bytes{524288}}) {
+        const Seconds via_pair = model.no_load(NodeId{a}, NodeId{b}, size);
+        const Seconds via_rep = model.no_load(info.rep_a, info.rep_b, size);
+        EXPECT_EQ(via_pair, via_rep);  // exact, not near
+      }
+    }
+  }
+}
+
+TEST(PairClasses, TenThousandNodeModelStaysTiny) {
+  // The representation claim at scale: a 10k-node fat tree's pair index is a
+  // few O(N) vectors plus a class table, nowhere near the ~200 MB a dense
+  // u16 N² matrix would take.
+  FatTreeOptions opt;
+  opt.levels = 3;
+  opt.radix = 8;
+  opt.nodes_per_leaf = 20;
+  opt.arch_mix = {Arch::kAlpha533, Arch::kIntelPII400, Arch::kSparc500};
+  const ClusterTopology topo = make_fat_tree(opt);
+  ASSERT_EQ(topo.node_count(), 10240u);
+  const PairClassMap map(topo);
+  EXPECT_LT(map.memory_bytes(), std::size_t{4} << 20);
+  EXPECT_LT(map.table_size(), 200u);
+}
+
+TEST(PairClasses, OverflowIsATypedErrorNotTruncation) {
+  // A pathological flat topology where every node hangs off its own link
+  // category realizes ~N²/2 distinct classes; past 65534 the map must refuse
+  // with the typed error (the pre-class-map code's CBES_CHECK would fire the
+  // same way, but generators want to catch-and-reshape).
+  ClusterTopology topo("class-bomb");
+  const SwitchId root = topo.add_root_switch("root");
+  constexpr std::uint32_t kNodes = 400;  // C(400, 2) = 79 800 classes
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    topo.add_node("n" + std::to_string(i), Arch::kGeneric, 1, root, 1e8, 1e-5,
+                  /*category=*/1000 + static_cast<int>(i));
+  }
+  topo.freeze();
+  try {
+    const PairClassMap map(topo);
+    FAIL() << "expected TooManyPathClassesError";
+  } catch (const TooManyPathClassesError& e) {
+    EXPECT_GT(e.classes(), std::size_t{65535});
+    EXPECT_NE(std::string(e.what()).find("path classes"), std::string::npos);
+  }
 }
 
 }  // namespace

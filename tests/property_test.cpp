@@ -3,6 +3,8 @@
 // with parameterized sweeps.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/npb.h"
 #include "apps/registry.h"
 #include "apps/synthetic.h"
@@ -14,6 +16,7 @@
 #include "sched/annealing.h"
 #include "sched/cost.h"
 #include "sched/pool.h"
+#include "sched/sharded.h"
 #include "simmpi/simulator.h"
 #include "simnet/load.h"
 #include "topology/builders.h"
@@ -491,6 +494,133 @@ TEST_P(DeltaEval, BatchCostMatchesSummedFullEvaluations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeltaEval, ::testing::Range(0, 10));
+
+// ------------------------------------------------- sharded annealing -------
+//
+// ShardedAnneal runs shard anneals on worker threads, so these sweeps are in
+// the TSan-covered suite on purpose: same-seed determinism must hold across
+// thread counts, which is only true if the shard walks never race.
+
+/// A sharded-annealing cost over the shared World topology; the profile is
+/// seeded so every test instance sees a different communication pattern.
+struct ShardedCase {
+  AppProfile prof;
+  LoadSnapshot snap;
+  MappingEvaluator ev;
+  CbesCost cost;
+
+  explicit ShardedCase(std::uint64_t seed, std::size_t nranks)
+      : prof([&] {
+          Rng rng(seed);
+          return random_profile(nranks, rng);
+        }()),
+        snap(LoadSnapshot::idle(world().topo.node_count())),
+        ev(world().model),
+        cost(ev, prof, snap) {}
+};
+
+ShardedSaParams small_sharded_params(std::uint64_t seed) {
+  ShardedSaParams p;
+  p.inner.max_evaluations = 1200;  // keep the TSan run affordable
+  p.inner.moves_per_temperature = 40;
+  p.rounds = 2;
+  p.exchange_moves = 96;
+  p.seed = seed;
+  return p;
+}
+
+class ShardedSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedSeeds, SameSeedSameAnswerAcrossThreadCounts) {
+  const std::uint64_t seed = 0x5AAD + static_cast<std::uint64_t>(GetParam());
+  const std::size_t nranks = 10;
+  const NodePool pool = NodePool::whole_cluster(world().topo);
+
+  ScheduleResult results[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    ShardedCase c(seed, nranks);  // fresh cost: evaluations start at zero
+    ShardedSaParams p = small_sharded_params(seed);
+    p.threads = (i == 2) ? 1 : 4;  // third run single-threaded
+    ShardedAnnealScheduler scheduler(p);
+    results[i] = scheduler.schedule(nranks, pool, c.cost);
+  }
+  // Repeat run and single-thread run must match the first bit for bit:
+  // randomness is keyed by (seed, round, shard), never by thread timing.
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(results[0].mapping.assignment(), results[i].mapping.assignment());
+    EXPECT_EQ(results[0].cost, results[i].cost);
+    EXPECT_EQ(results[0].evaluations, results[i].evaluations);
+  }
+  EXPECT_FALSE(results[0].cancelled);
+}
+
+TEST_P(ShardedSeeds, MappingIsValidAndCostIsConsistent) {
+  const std::uint64_t seed = 0xF00D + static_cast<std::uint64_t>(GetParam());
+  const std::size_t nranks = 12;
+  const NodePool pool = NodePool::whole_cluster(world().topo);
+  ShardedCase c(seed, nranks);
+  ShardedAnnealScheduler scheduler(small_sharded_params(seed));
+  const ScheduleResult result = scheduler.schedule(nranks, pool, c.cost);
+
+  EXPECT_EQ(result.mapping.nranks(), nranks);
+  EXPECT_TRUE(result.mapping.fits(world().topo));
+  for (const NodeId n : result.mapping.assignment())
+    EXPECT_TRUE(pool.contains(n));
+  // The reported cost is the cost of the reported mapping (session and
+  // full evaluation are bit-identical by the compiled-engine contract).
+  EXPECT_EQ(result.cost, c.cost(result.mapping));
+}
+
+TEST(ShardedAnneal, DelegatesToPlainSaWhenPoolDoesNotSplit) {
+  // A flat cluster has one top-level subtree: the sharded scheduler must
+  // hand off to the plain annealer and return its exact result.
+  const ClusterTopology flat = make_flat(8, Arch::kAlpha533);
+  CalibrationOptions cal;
+  cal.repeats = 3;
+  const LatencyModel model = calibrate(flat, SimNetConfig{}, cal);
+  const MappingEvaluator ev(model);
+  Rng rng(0xDE1E);
+  const AppProfile prof = random_profile(6, rng);
+  const LoadSnapshot snap = LoadSnapshot::idle(flat.node_count());
+  const NodePool pool = NodePool::whole_cluster(flat);
+
+  ShardedSaParams sharded = small_sharded_params(0xABCD);
+  const CbesCost cost_a(ev, prof, snap);
+  const ScheduleResult a =
+      ShardedAnnealScheduler(sharded).schedule(6, pool, cost_a);
+
+  SaParams plain = sharded.inner;
+  plain.seed = sharded.seed;
+  const CbesCost cost_b(ev, prof, snap);
+  const ScheduleResult b =
+      SimulatedAnnealingScheduler(plain).schedule(6, pool, cost_b);
+
+  EXPECT_EQ(a.mapping.assignment(), b.mapping.assignment());
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(ShardedAnneal, PartitionCoversPoolDisjointly) {
+  const NodePool pool = NodePool::whole_cluster(world().topo);
+  for (const std::size_t target : {std::size_t{2}, std::size_t{4}}) {
+    const auto shards = ShardedAnnealScheduler::partition_nodes(pool, target);
+    ASSERT_GE(shards.size(), 2u);
+    ASSERT_LE(shards.size(), target);
+    std::set<std::uint32_t> seen;
+    std::size_t total = 0;
+    for (const auto& shard : shards) {
+      EXPECT_FALSE(shard.empty());
+      for (const NodeId n : shard) {
+        EXPECT_TRUE(seen.insert(n.value).second) << "node in two shards";
+        EXPECT_TRUE(pool.contains(n));
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, pool.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedSeeds, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace cbes

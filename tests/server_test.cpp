@@ -372,6 +372,61 @@ TEST_F(ServerTest, CallerCancelStopsRunningJob) {
   EXPECT_EQ(result.schedule.mapping.nranks(), 0u);
 }
 
+TEST(ServerSharded, SaShardsRunsDeterministicValidSchedule) {
+  // sa_shards > 1 routes the job through the hierarchically sharded annealer;
+  // same seed, same answer — the broker's determinism contract doesn't bend
+  // for the concurrent search.
+  const ClusterTopology topo = make_two_switch(4, Arch::kAlpha533);
+  NoLoad idle;
+  CbesService svc(topo, idle, service_config());
+  svc.register_profile(tiny_profile());
+  ServerConfig cfg;
+  cfg.workers = 2;
+  CbesServer server(svc, cfg);
+
+  const auto run = [&] {
+    ScheduleRequest req;
+    req.app = "tiny";
+    req.nranks = 2;
+    req.algo = Algo::kSa;
+    req.sa.max_evaluations = 2000;
+    req.sa_shards = 2;
+    req.seed = 0x51ED;
+    return server.submit(std::move(req)).wait();
+  };
+  const JobResult first = run();
+  const JobResult second = run();
+  ASSERT_EQ(first.state, JobState::kDone);
+  ASSERT_EQ(second.state, JobState::kDone);
+  EXPECT_TRUE(first.schedule.mapping.fits(topo));
+  EXPECT_EQ(first.schedule.mapping.assignment(),
+            second.schedule.mapping.assignment());
+  EXPECT_EQ(first.schedule.cost, second.schedule.cost);
+
+  // The statusz surface carries the class-compression footprint.
+  const ServerStatus status = server.status();
+  EXPECT_EQ(status.topology_nodes, topo.node_count());
+  EXPECT_GT(status.topology_path_classes, 0u);
+  EXPECT_GT(status.topology_model_bytes, 0u);
+  std::ostringstream text;
+  format_status_text(status, text);
+  EXPECT_NE(text.str().find("path classes"), std::string::npos);
+  std::ostringstream json;
+  format_status_json(status, json);
+  EXPECT_NE(json.str().find("\"path_classes\":"), std::string::npos);
+}
+
+TEST(ServerSharded, TopologyGaugesRegisterWithService) {
+  obs::MetricsRegistry registry;
+  const ClusterTopology topo = make_two_switch(3, Arch::kAlpha533);
+  NoLoad idle;
+  const CbesService svc(topo, idle, service_config(&registry));
+  EXPECT_GT(registry.gauge("cbes_topology_path_classes", "").value(), 0.0);
+  EXPECT_GT(registry.gauge("cbes_topology_model_bytes", "").value(), 0.0);
+  EXPECT_EQ(registry.gauge("cbes_topology_model_bytes", "").value(),
+            static_cast<double>(svc.latency_model().memory_bytes()));
+}
+
 TEST_F(ServerTest, QueueFullRejectsWithReason) {
   ServerConfig cfg;
   cfg.workers = 1;

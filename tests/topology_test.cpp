@@ -261,5 +261,95 @@ TEST(Mapping, DescribeNamesNodes) {
   EXPECT_NE(m.describe(topo).find("alpha-0"), std::string::npos);
 }
 
+// ------------------------------------------------------------- fat tree -----
+
+TEST(FatTree, NodeCountMatchesShape) {
+  FatTreeOptions opt;
+  opt.levels = 3;
+  opt.radix = 4;
+  opt.nodes_per_leaf = 5;
+  EXPECT_EQ(fat_tree_node_count(opt), 4u * 4u * 4u * 5u);
+  const ClusterTopology topo = make_fat_tree(opt);
+  EXPECT_EQ(topo.node_count(), fat_tree_node_count(opt));
+  // Switch count: root + 4 + 16 + 64.
+  EXPECT_EQ(topo.switch_count(), 1u + 4u + 16u + 64u);
+  EXPECT_EQ(topo.max_switch_depth(), 3);
+}
+
+TEST(FatTree, ArchMixAssignsRoundRobin) {
+  FatTreeOptions opt;
+  opt.levels = 1;
+  opt.radix = 2;
+  opt.nodes_per_leaf = 3;
+  opt.arch_mix = {Arch::kAlpha533, Arch::kIntelPII400};
+  const ClusterTopology topo = make_fat_tree(opt);
+  EXPECT_EQ(topo.node(NodeId{0}).arch, Arch::kAlpha533);
+  EXPECT_EQ(topo.node(NodeId{1}).arch, Arch::kIntelPII400);
+  EXPECT_EQ(topo.node(NodeId{2}).arch, Arch::kAlpha533);
+}
+
+TEST(FatTree, ClassCountIsIndependentOfLeafWidth) {
+  // The scaling claim: widening every leaf switch multiplies the node count
+  // but cannot create a single new path class — class count depends on depth
+  // and the architecture mix only, once each leaf is wide enough to realize
+  // every arch pair (leaf width 2 with a round-robin mix never co-locates two
+  // same-arch nodes, which is why the narrow tree starts at 4).
+  FatTreeOptions narrow;
+  narrow.levels = 2;
+  narrow.radix = 3;
+  narrow.nodes_per_leaf = 4;
+  narrow.arch_mix = {Arch::kAlpha533, Arch::kIntelPII400};
+  FatTreeOptions wide = narrow;
+  wide.nodes_per_leaf = 16;
+
+  const ClusterTopology small = make_fat_tree(narrow);
+  const ClusterTopology big = make_fat_tree(wide);
+  ASSERT_GT(big.node_count(), 4 * small.node_count() - 1);
+  EXPECT_EQ(small.topo_class_count(), big.topo_class_count());
+
+  // Identical shape => byte-identical class-pair signature space.
+  std::set<std::string> small_sigs;
+  for (std::uint32_t a = 0; a < small.node_count(); ++a)
+    for (std::uint32_t b = 0; b < small.node_count(); ++b)
+      if (a != b)
+        small_sigs.insert(small.path_signature(NodeId{a}, NodeId{b}));
+  std::set<std::string> big_sigs;
+  for (std::uint32_t a = 0; a < big.node_count(); ++a)
+    for (std::uint32_t b = 0; b < big.node_count(); ++b)
+      if (a != b) big_sigs.insert(big.path_signature(NodeId{a}, NodeId{b}));
+  EXPECT_EQ(small_sigs, big_sigs);
+}
+
+TEST(FatTree, RejectsDegenerateShapes) {
+  FatTreeOptions opt;
+  opt.levels = 0;
+  EXPECT_THROW(make_fat_tree(opt), ContractError);
+  opt.levels = 2;
+  opt.radix = 0;
+  EXPECT_THROW(make_fat_tree(opt), ContractError);
+  opt.radix = 4;
+  opt.nodes_per_leaf = 0;
+  EXPECT_THROW(make_fat_tree(opt), ContractError);
+  opt.nodes_per_leaf = 8;
+  opt.arch_mix.clear();
+  EXPECT_THROW(make_fat_tree(opt), ContractError);
+}
+
+TEST(FatTree, PathsAreSymmetricAndLevelCategorized) {
+  FatTreeOptions opt;
+  opt.levels = 2;
+  opt.radix = 2;
+  opt.nodes_per_leaf = 2;
+  const ClusterTopology topo = make_fat_tree(opt);
+  // Nodes 0 and 1 share a leaf: 2 hops. Node 0 and the last node cross the
+  // root: 2 node links + 4 switch uplinks.
+  EXPECT_EQ(topo.hops(NodeId{0}, NodeId{1}), 2u);
+  const NodeId last{static_cast<std::uint32_t>(topo.node_count() - 1)};
+  EXPECT_EQ(topo.hops(NodeId{0}, last), 6u);
+  EXPECT_EQ(topo.path_signature(NodeId{0}, last),
+            topo.path_signature(last, NodeId{0}));
+  EXPECT_EQ(topo.lca_depth(NodeId{0}, last), 0);
+}
+
 }  // namespace
 }  // namespace cbes
